@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the GPU simulator itself: how much host time
+//! the trace machinery costs per simulated kernel. Keeps the simulator
+//! honest as a substrate (tracing must stay cheap enough to run whole
+//! epochs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgd_datagen::{generate, DatasetProfile, GenOptions};
+use sgd_gpusim::{kernels, CoalescingAnalyzer, GpuDevice, L2Cache};
+
+fn bench_coalescing(c: &mut Criterion) {
+    let a = CoalescingAnalyzer;
+    let coalesced: Vec<(u64, u32)> = (0..32).map(|l| (l * 8, 8)).collect();
+    let scattered: Vec<(u64, u32)> = (0..32).map(|l| (l * 4096, 8)).collect();
+    let mut group = c.benchmark_group("coalescing_analyzer");
+    group.bench_function("coalesced_warp", |b| b.iter(|| a.transaction_count(&coalesced)));
+    group.bench_function("scattered_warp", |b| b.iter(|| a.transaction_count(&scattered)));
+    group.finish();
+}
+
+fn bench_l2(c: &mut Criterion) {
+    c.bench_function("l2_access_mixed", |b| {
+        let mut cache = L2Cache::new(1536 * 1024, 16);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line * 1103515245 + 12345) % 50_000;
+            cache.access_line(line)
+        })
+    });
+}
+
+fn bench_traced_spmv(c: &mut Criterion) {
+    let ds = generate(&DatasetProfile::w8a().scaled(0.02), &GenOptions::default());
+    let x = vec![0.5; ds.d()];
+    let mut y = vec![0.0; ds.n()];
+    let mut group = c.benchmark_group("traced_spmv");
+    group.sample_size(20);
+    group.bench_function("warp_per_row", |b| {
+        b.iter(|| {
+            let mut dev = GpuDevice::tesla_k80();
+            kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+            dev.elapsed_secs()
+        })
+    });
+    group.bench_function("thread_per_row", |b| {
+        b.iter(|| {
+            let mut dev = GpuDevice::tesla_k80();
+            kernels::spmv_thread_per_row(&mut dev, &ds.x, &x, &mut y);
+            dev.elapsed_secs()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalescing, bench_l2, bench_traced_spmv);
+criterion_main!(benches);

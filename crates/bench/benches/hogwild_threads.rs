@@ -1,0 +1,36 @@
+//! Criterion benchmark of real (wall-clock) Hogwild epochs across thread
+//! counts, dense versus sparse. On a multicore host this reproduces the
+//! paper's scaling behaviour directly; on a single-core host it documents
+//! the thread overhead (the modeled numbers come from `sgd-cpusim`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgd_core::{run_hogwild, RunOptions};
+use sgd_datagen::{generate, DatasetProfile, GenOptions};
+use sgd_models::{lr, Batch, Examples};
+
+fn bench_hogwild(c: &mut Criterion) {
+    let sparse = generate(&DatasetProfile::w8a().scaled(0.05), &GenOptions::default());
+    let dense_ds = generate(&DatasetProfile::covtype().scaled(0.002), &GenOptions::default());
+    let dense = dense_ds.x.to_dense();
+
+    let mut group = c.benchmark_group("hogwild_epoch");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("sparse_w8a", threads), &threads, |b, &t| {
+            let task = lr(sparse.d());
+            let batch = Batch::new(Examples::Sparse(&sparse.x), &sparse.y);
+            let opts = RunOptions { max_epochs: 1, plateau: None, ..Default::default() };
+            b.iter(|| run_hogwild(&task, &batch, t, 0.1, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_covtype", threads), &threads, |b, &t| {
+            let task = lr(dense_ds.d());
+            let batch = Batch::new(Examples::Dense(&dense), &dense_ds.y);
+            let opts = RunOptions { max_epochs: 1, plateau: None, ..Default::default() };
+            b.iter(|| run_hogwild(&task, &batch, t, 0.1, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hogwild);
+criterion_main!(benches);

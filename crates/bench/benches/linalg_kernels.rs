@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the linear-algebra substrate: the
+//! sequential-vs-parallel primitive costs that underlie every synchronous
+//! epoch. (Wall-clock; meaningful on multicore hosts.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgd_datagen::{generate, DatasetProfile, GenOptions};
+use sgd_linalg::{Backend, Matrix};
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    for &n in &[256usize, 2048] {
+        let a = Matrix::from_fn(n, 128, |i, j| ((i * 31 + j * 7) % 13) as f64 / 13.0);
+        let x = vec![0.5; 128];
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, _| {
+            b.iter(|| Backend::seq().gemv(&a, &x, &mut y))
+        });
+        group.bench_with_input(BenchmarkId::new("par", n), &n, |b, _| {
+            b.iter(|| Backend::par().gemv(&a, &x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let ds = generate(&DatasetProfile::w8a().scaled(0.05), &GenOptions::default());
+    let x = vec![0.5; ds.d()];
+    let mut y = vec![0.0; ds.n()];
+    let mut group = c.benchmark_group("spmv_w8a");
+    group.bench_function("seq", |b| b.iter(|| Backend::seq().spmv(&ds.x, &x, &mut y)));
+    group.bench_function("par", |b| b.iter(|| Backend::par().spmv(&ds.x, &x, &mut y)));
+    group.finish();
+}
+
+fn bench_gemm_threshold(c: &mut Criterion) {
+    // The ViennaCL quirk: a small-result product is not parallelized.
+    let a = Matrix::from_fn(50, 4096, |i, j| ((i + j) % 7) as f64);
+    let b_m = Matrix::from_fn(4096, 10, |i, j| ((i * j) % 5) as f64);
+    let mut cm = Matrix::zeros(50, 10);
+    let mut group = c.benchmark_group("gemm_small_result");
+    group.bench_function("viennacl_threshold", |b| {
+        b.iter(|| Backend::par().gemm(&a, &b_m, &mut cm))
+    });
+    group.bench_function("always_parallel", |b| {
+        b.iter(|| Backend::par_unconditional().gemm(&a, &b_m, &mut cm))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemv, bench_spmv, bench_gemm_threshold);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! Ablations of the design choices DESIGN.md calls out.
+
+use sgd_core::{
+    run_gpu_hogwild, run_replicated_hogwild, run_sync_modeled, GpuAsyncOptions, Replication,
+    RunOptions,
+};
+use sgd_datagen::{generate, DatasetProfile, GenOptions};
+use sgd_gpusim::{kernels, DeviceSpec, GpuDevice};
+use sgd_models::{lr, Batch, Examples, MlpTask};
+
+use crate::cli::ExperimentConfig;
+use crate::prep::Prepared;
+
+/// DimmWitted model-replication strategies: statistical efficiency of each
+/// on a sparse dataset (epochs are the meaningful axis; wall time depends
+/// on the host).
+pub fn replication_sweep(cfg: &ExperimentConfig) -> String {
+    let ds = generate(&DatasetProfile::w8a().scaled(cfg.scale), &GenOptions::default());
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = lr(ds.d());
+    let opts = RunOptions { max_epochs: 60, ..cfg.run_options() };
+    let mut out = String::from("Replication strategies (Hogwild, w8a, 4 threads):\n");
+    for repl in [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore] {
+        let rep = run_replicated_hogwild(&task, &batch, 4, 0.5, repl, &opts);
+        out.push_str(&format!(
+            "  {:<14} best loss {:.4} after {} epochs\n",
+            repl.label(),
+            rep.best_loss(),
+            rep.trace.epochs()
+        ));
+    }
+    out
+}
+
+/// GPU warp-conflict resolution: last-write-wins races versus atomic adds.
+pub fn gpu_conflict_resolution(cfg: &ExperimentConfig) -> String {
+    let ds = generate(&DatasetProfile::covtype().scaled(cfg.scale), &GenOptions::default());
+    let dense = ds.x.to_dense();
+    let batch = Batch::new(Examples::Dense(&dense), &ds.y);
+    let task = lr(ds.d());
+    let opts = RunOptions { max_epochs: 10, ..cfg.run_options() };
+    let mut out = String::from("GPU warp-Hogwild conflict resolution (covtype, dense):\n");
+    for (name, atomic) in [("last-write-wins", false), ("atomic adds", true)] {
+        let gopts = GpuAsyncOptions { atomic_updates: atomic, ..Default::default() };
+        let rep = run_gpu_hogwild(&task, &batch, 0.1, &opts, &gopts);
+        out.push_str(&format!(
+            "  {:<16} best loss {:.4}, {} conflicting updates, {:.3} ms/epoch\n",
+            name,
+            rep.best_loss(),
+            rep.update_conflicts.unwrap_or(0),
+            rep.time_per_epoch() * 1e3
+        ));
+    }
+    out
+}
+
+/// Sparse kernel layout: warp-per-row versus thread-per-row under the
+/// paper's nnz-variance regimes.
+pub fn spmv_layouts(cfg: &ExperimentConfig) -> String {
+    let mut out = String::from("GPU spmv layout (simulated ms per pass, SIMD efficiency):\n");
+    for profile in [DatasetProfile::w8a(), DatasetProfile::real_sim(), DatasetProfile::news()] {
+        let ds = generate(&profile.scaled(cfg.scale), &GenOptions::default());
+        let x = vec![0.5; ds.d()];
+        let mut y = vec![0.0; ds.n()];
+        let mut row = format!("  {:<9}", ds.name);
+        for thread_per_row in [false, true] {
+            let mut dev = GpuDevice::new(DeviceSpec::tesla_k80().scaled(cfg.scale));
+            if thread_per_row {
+                kernels::spmv_thread_per_row(&mut dev, &ds.x, &x, &mut y);
+            } else {
+                kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+            }
+            row.push_str(&format!(
+                "  {}={:.4}ms (simd {:.0}%)",
+                if thread_per_row { "thread/row" } else { "warp/row" },
+                dev.elapsed_secs() * 1e3,
+                dev.stats().simd_efficiency() * 100.0
+            ));
+        }
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// The ViennaCL GEMM threshold: modeled parallel-CPU MLP epoch time with
+/// and without it (the Fig. 6 mechanism in isolation).
+pub fn gemm_threshold(cfg: &ExperimentConfig) -> String {
+    let p = Prepared::new(&DatasetProfile::real_sim(), cfg);
+    let batch = p.mlp_batch();
+    let task = MlpTask::new(vec![50, 10, 5, 2], cfg.seed);
+    let opts = RunOptions { max_epochs: 2, ..cfg.run_options() };
+    let with = run_sync_modeled(&task, &batch, &cfg.mc_par(), 0.1, &opts);
+    let mut mc = cfg.mc_par();
+    mc.gemm_parallel_threshold = 0;
+    let without = run_sync_modeled(&task, &batch, &mc, 0.1, &opts);
+    format!(
+        "ViennaCL GEMM threshold (real-sim MLP, modeled 56-thread epoch):\n  \
+         with threshold    {:.4} ms\n  without threshold {:.4} ms\n",
+        with.time_per_epoch() * 1e3,
+        without.time_per_epoch() * 1e3
+    )
+}
+
+/// GPU L2 capacity sensitivity of the sparse gather path.
+pub fn l2_sensitivity(cfg: &ExperimentConfig) -> String {
+    let ds = generate(&DatasetProfile::rcv1().scaled(cfg.scale), &GenOptions::default());
+    let x = vec![0.5; ds.d()];
+    let mut y = vec![0.0; ds.n()];
+    let mut out = String::from("GPU L2 capacity sensitivity (rcv1 spmv, simulated ms):\n");
+    for kb in [96usize, 384, 1536, 6144] {
+        let mut spec = DeviceSpec::tesla_k80().scaled(cfg.scale);
+        spec.l2_bytes = kb * 1024;
+        let mut dev = GpuDevice::new(spec);
+        // Warm pass then measured pass.
+        kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+        let t0 = dev.elapsed_secs();
+        kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+        out.push_str(&format!(
+            "  L2 {kb:>5} KB: {:.4} ms (hit ratio {:.0}%)\n",
+            (dev.elapsed_secs() - t0) * 1e3,
+            dev.stats().l2_hit_ratio() * 100.0
+        ));
+    }
+    out
+}
+
+/// All ablations.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::from("Ablations (see DESIGN.md)\n\n");
+    out.push_str(&replication_sweep(cfg));
+    out.push('\n');
+    out.push_str(&gpu_conflict_resolution(cfg));
+    out.push('\n');
+    out.push_str(&spmv_layouts(cfg));
+    out.push('\n');
+    out.push_str(&gemm_threshold(cfg));
+    out.push('\n');
+    out.push_str(&l2_sensitivity(cfg));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_sections_run_at_smoke_scale() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.scale = 0.003;
+        let out = render(&cfg);
+        assert!(out.contains("Replication strategies"));
+        assert!(out.contains("last-write-wins"));
+        assert!(out.contains("warp/row"));
+        assert!(out.contains("ViennaCL GEMM threshold"));
+        assert!(out.contains("L2 capacity"));
+    }
+
+    #[test]
+    fn larger_l2_never_hurts_the_gather_path() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.scale = 0.002;
+        let ds = generate(&DatasetProfile::rcv1().scaled(cfg.scale), &GenOptions::default());
+        let x = vec![0.5; ds.d()];
+        let mut y = vec![0.0; ds.n()];
+        let mut times = Vec::new();
+        for kb in [96usize, 1536] {
+            let mut spec = DeviceSpec::tesla_k80();
+            spec.l2_bytes = kb * 1024;
+            let mut dev = GpuDevice::new(spec);
+            kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+            let t0 = dev.elapsed_secs();
+            kernels::spmv_warp_per_row(&mut dev, &ds.x, &x, &mut y);
+            times.push(dev.elapsed_secs() - t0);
+        }
+        assert!(times[1] <= times[0] * 1.001, "{times:?}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the ablation studies listed in DESIGN.md.
+
+fn main() {
+    let cfg = sgd_bench::cli::config_from_env();
+    print!("{}", sgd_bench::ablation::render(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 (see DESIGN.md for the experiment index).
+
+fn main() {
+    let cfg = sgd_bench::cli::config_from_env();
+    print!("{}", sgd_bench::fig6::render(&cfg));
+}

@@ -1,0 +1,33 @@
+//! Temporary timing probe.
+use std::time::Instant;
+use sgd_bench::{prep::Prepared, ExperimentConfig};
+use sgd_core::{reference_optimum, run_sync_modeled, RunOptions};
+use sgd_models::lr;
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let t0 = Instant::now();
+    let p = Prepared::new(&sgd_datagen::DatasetProfile::covtype(), &cfg);
+    println!("prep: {:?}", t0.elapsed());
+
+    let b = p.linear_batch();
+    let task = lr(p.ds.d());
+    let t0 = Instant::now();
+    let opt = reference_optimum(&task, &b, cfg.optimum_epochs);
+    println!("LR reference ({} epochs x 9): {:?} opt={opt:.4}", cfg.optimum_epochs, t0.elapsed());
+
+    let t0 = Instant::now();
+    let opts = RunOptions { max_epochs: 300, target_loss: Some(opt), ..cfg.run_options() };
+    let rep = run_sync_modeled(&task, &b, &cfg.mc_par(), 1.0, &opts);
+    println!("LR one sync run: {:?} ({} epochs)", t0.elapsed(), rep.trace.epochs());
+
+    let mlp = p.mlp_task(cfg.seed);
+    let mb = p.mlp_batch();
+    let t0 = Instant::now();
+    let mopt = reference_optimum(&mlp, &mb, cfg.optimum_epochs * cfg.mlp_epoch_boost);
+    println!("MLP reference: {:?} opt={mopt:.4}", t0.elapsed());
+    let t0 = Instant::now();
+    let opts = RunOptions { max_epochs: 300 * cfg.mlp_epoch_boost, target_loss: Some(mopt), ..cfg.run_options() };
+    let rep = run_sync_modeled(&mlp, &mb, &cfg.mc_par(), 1.0, &opts);
+    println!("MLP one sync run: {:?} ({} epochs)", t0.elapsed(), rep.trace.epochs());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 (see DESIGN.md for the experiment index).
+
+fn main() {
+    let cfg = sgd_bench::cli::config_from_env();
+    print!("{}", sgd_bench::table2::render(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 (see DESIGN.md for the experiment index).
+
+fn main() {
+    let cfg = sgd_bench::cli::config_from_env();
+    print!("{}", sgd_bench::table3::render(&cfg));
+}

@@ -1,0 +1,249 @@
+//! Shared experiment configuration and a dependency-free CLI parser.
+
+/// How CPU time is measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMode {
+    /// Modeled time for the paper's dual-socket Xeon (default): reproduces
+    /// the paper's parallel-CPU behaviour on any host, including
+    /// single-core CI machines. GPU time is always simulated.
+    Model,
+    /// Wall-clock time on the actual host (meaningful on real multicore
+    /// machines).
+    Wall,
+}
+
+/// Configuration shared by every reproduction binary.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Fraction of each dataset's published example count to generate.
+    pub scale: f64,
+    /// CPU threads for the parallel configurations (the paper's machine
+    /// has 56).
+    pub threads: usize,
+    /// Cap on epochs per run.
+    pub max_epochs: usize,
+    /// Cap on optimization seconds per run (`∞` rows beyond it).
+    pub max_secs: f64,
+    /// Step-size grid; defaults to the paper's full `1e-6..1e2` grid so
+    /// the reference optimum (computed over the same grid) is always
+    /// reachable by the best run.
+    pub grid: Vec<f64>,
+    /// Epochs of full-batch GD used to estimate the reference optimum.
+    pub optimum_epochs: usize,
+    /// Restrict to these dataset names (empty = all five).
+    pub datasets: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+    /// CPU timing source.
+    pub timing: TimingMode,
+    /// Epoch-budget multiplier for the MLP cells: the fully-connected nets
+    /// need an order of magnitude more epochs than the linear tasks.
+    pub mlp_epoch_boost: usize,
+    /// Thread count for the *modeled* parallel-CPU configuration (the
+    /// paper's machine has 56).
+    pub model_threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: 0.02,
+            threads: sgd_core::RunOptions::default().threads,
+            max_epochs: 300,
+            max_secs: 10.0,
+            grid: sgd_core::step_size_grid(),
+            optimum_epochs: 150,
+            datasets: vec![],
+            seed: 42,
+            timing: TimingMode::Model,
+            model_threads: 56,
+            mlp_epoch_boost: 5,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A tiny configuration for smoke tests.
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            scale: 0.001,
+            threads: 2,
+            max_epochs: 20,
+            max_secs: 2.0,
+            grid: vec![1.0],
+            optimum_epochs: 20,
+            datasets: vec!["w8a".into()],
+            seed: 42,
+            timing: TimingMode::Model,
+            model_threads: 56,
+            mlp_epoch_boost: 5,
+        }
+    }
+
+    /// Modeled-CPU configuration for the sequential column (fixed costs
+    /// and data-tier cache capacities scaled with the dataset scale).
+    pub fn mc_seq(&self) -> sgd_core::CpuModelConfig {
+        let mut mc = sgd_core::CpuModelConfig::paper_machine(1);
+        mc.spec = mc.spec.scaled(self.scale);
+        mc
+    }
+
+    /// Modeled-CPU configuration for the parallel column.
+    pub fn mc_par(&self) -> sgd_core::CpuModelConfig {
+        let mut mc = sgd_core::CpuModelConfig::paper_machine(self.model_threads);
+        mc.spec = mc.spec.scaled(self.scale);
+        mc
+    }
+
+    /// GPU asynchronous options with host-dispatch overhead scaled like
+    /// the other fixed costs.
+    pub fn gpu_async_opts(&self) -> sgd_core::GpuAsyncOptions {
+        let mut g = sgd_core::GpuAsyncOptions::default();
+        g.host_sync_overhead_secs *= self.scale;
+        g
+    }
+
+    /// Parses `--key value` style arguments:
+    /// `--scale f --threads n --max-epochs n --max-secs f --full-grid
+    /// --datasets a,b --seed n`.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cfg = ExperimentConfig::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => cfg.scale = parse(&value("--scale")?)?,
+                "--threads" => cfg.threads = parse(&value("--threads")?)?,
+                "--max-epochs" => cfg.max_epochs = parse(&value("--max-epochs")?)?,
+                "--max-secs" => cfg.max_secs = parse(&value("--max-secs")?)?,
+                "--optimum-epochs" => cfg.optimum_epochs = parse(&value("--optimum-epochs")?)?,
+                "--seed" => cfg.seed = parse(&value("--seed")?)?,
+                "--model-threads" => cfg.model_threads = parse(&value("--model-threads")?)?,
+                "--mlp-epoch-boost" => cfg.mlp_epoch_boost = parse(&value("--mlp-epoch-boost")?)?,
+                "--timing" => {
+                    cfg.timing = match value("--timing")?.as_str() {
+                        "model" => TimingMode::Model,
+                        "wall" => TimingMode::Wall,
+                        other => return Err(format!("unknown timing mode '{other}' (model|wall)")),
+                    }
+                }
+                "--full-grid" => cfg.grid = sgd_core::step_size_grid(),
+                "--datasets" => {
+                    cfg.datasets = value("--datasets")?.split(',').map(str::to_string).collect()
+                }
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+            }
+        }
+        if cfg.scale <= 0.0 || cfg.scale > 1.0 {
+            return Err("--scale must be in (0, 1]".into());
+        }
+        let known: Vec<&str> = sgd_datagen::all_profiles().iter().map(|p| p.name).collect();
+        for d in &cfg.datasets {
+            if !known.contains(&d.as_str()) {
+                return Err(format!("unknown dataset '{d}' (known: {})", known.join(", ")));
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Base `RunOptions` derived from this configuration.
+    pub fn run_options(&self) -> sgd_core::RunOptions {
+        sgd_core::RunOptions {
+            max_epochs: self.max_epochs,
+            max_secs: self.max_secs,
+            target_loss: None,
+            threads: self.threads,
+            seed: self.seed,
+            gpu_spec: Some(sgd_gpusim::DeviceSpec::tesla_k80().scaled(self.scale)),
+            plateau: Some((50, 1e-4)),
+        }
+    }
+
+    /// `true` when `name` is selected by `--datasets` (or no filter set).
+    pub fn wants(&self, name: &str) -> bool {
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d == name)
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--scale f] [--threads n] [--max-epochs n] \
+[--max-secs f] [--optimum-epochs n] [--full-grid] [--datasets a,b,c] [--seed n] \
+[--timing model|wall] [--model-threads n]";
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("cannot parse '{s}': {e}"))
+}
+
+/// Entry-point helper for the reproduction binaries: parses CLI args and
+/// exits with the usage string on error.
+pub fn config_from_env() -> ExperimentConfig {
+    match ExperimentConfig::from_args(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let cfg = ExperimentConfig::from_args(args("")).expect("empty args valid");
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.wants("covtype"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cfg = ExperimentConfig::from_args(args(
+            "--scale 0.1 --threads 4 --max-epochs 7 --datasets w8a,news --seed 9",
+        ))
+        .expect("valid flags");
+        assert!((cfg.scale - 0.1).abs() < 1e-12);
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.max_epochs, 7);
+        assert!(cfg.wants("w8a"));
+        assert!(cfg.wants("news"));
+        assert!(!cfg.wants("covtype"));
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn full_grid_restores_nine_points() {
+        let cfg = ExperimentConfig::from_args(args("--full-grid")).expect("valid");
+        assert_eq!(cfg.grid.len(), 9);
+    }
+
+    #[test]
+    fn timing_mode_parses() {
+        let cfg = ExperimentConfig::from_args(args("--timing wall")).expect("valid");
+        assert_eq!(cfg.timing, TimingMode::Wall);
+        let cfg = ExperimentConfig::from_args(args("--timing model --model-threads 8")).expect("valid");
+        assert_eq!(cfg.timing, TimingMode::Model);
+        assert_eq!(cfg.model_threads, 8);
+        assert!(ExperimentConfig::from_args(args("--timing bogus")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_bad_scale() {
+        assert!(ExperimentConfig::from_args(args("--bogus 1")).is_err());
+        assert!(ExperimentConfig::from_args(args("--scale 0")).is_err());
+        assert!(ExperimentConfig::from_args(args("--scale x")).is_err());
+        assert!(ExperimentConfig::from_args(args("--threads")).is_err());
+        let err = ExperimentConfig::from_args(args("--datasets w8a,nosuch")).unwrap_err();
+        assert!(err.contains("unknown dataset 'nosuch'"), "{err}");
+    }
+}

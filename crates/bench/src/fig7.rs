@@ -1,0 +1,172 @@
+//! Fig. 7 — loss versus time: synchronous GPU against asynchronous CPU.
+//!
+//! The direct comparison between the two per-strategy optimal
+//! configurations, with identical hyper-parameters and initialization.
+//! This is essentially batch GD (sync GPU) against stochastic GD (async
+//! CPU), so the winner is task- and dataset-dependent.
+
+use sgd_core::{
+    grid_search, make_batches, reference_optimum, run_hogbatch, run_hogbatch_modeled, run_hogwild,
+    run_hogwild_modeled, run_sync, DeviceKind, RunReport,
+};
+use sgd_models::{Batch, Examples};
+
+use crate::cli::{ExperimentConfig, TimingMode};
+use crate::prep::{prepare_all, Prepared};
+use crate::table3::HOGBATCH_SIZE;
+
+/// One panel of Fig. 7: two loss-vs-time curves for a task/dataset pair.
+#[derive(Clone, Debug)]
+pub struct Fig7Panel {
+    /// Task name.
+    pub task: &'static str,
+    /// Dataset name.
+    pub dataset: String,
+    /// Reference optimum (the asymptote).
+    pub optimum: f64,
+    /// `(seconds, loss)` for synchronous GPU.
+    pub sync_gpu: Vec<(f64, f64)>,
+    /// `(seconds, loss)` for asynchronous parallel CPU.
+    pub async_cpu: Vec<(f64, f64)>,
+}
+
+fn curve(r: &RunReport, max_points: usize) -> Vec<(f64, f64)> {
+    let pts = r.trace.points();
+    let stride = (pts.len() / max_points.max(1)).max(1);
+    let mut out: Vec<(f64, f64)> =
+        pts.iter().step_by(stride).map(|&(t, l)| (t, l)).collect();
+    if let Some(&last) = pts.last() {
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+    }
+    out
+}
+
+fn linear_panel<L: sgd_models::LinearLoss>(
+    task: &sgd_models::LinearTask<L>,
+    batch: &Batch<'_>,
+    dataset: &str,
+    cfg: &ExperimentConfig,
+) -> Fig7Panel {
+    let optimum = reference_optimum(task, batch, cfg.optimum_epochs);
+    let mut opts = cfg.run_options();
+    opts.target_loss = Some(optimum);
+    let sync = grid_search(optimum, &cfg.grid, |a| run_sync(task, batch, DeviceKind::Gpu, a, &opts));
+    let asyn = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogwild(task, batch, cfg.threads, a, &opts),
+        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_par(), a, &opts),
+    });
+    Fig7Panel {
+        task: sgd_models::Task::name(task),
+        dataset: dataset.to_string(),
+        optimum,
+        sync_gpu: curve(&sync, 40),
+        async_cpu: curve(&asyn, 40),
+    }
+}
+
+fn mlp_panel(p: &Prepared, cfg: &ExperimentConfig) -> Fig7Panel {
+    let boost = cfg.mlp_epoch_boost.max(1);
+    let mut cfg = cfg.clone();
+    cfg.max_epochs = cfg.max_epochs.saturating_mul(boost);
+    cfg.optimum_epochs = cfg.optimum_epochs.saturating_mul((boost / 2).max(1));
+    cfg.max_secs *= boost as f64;
+    let cfg = &cfg;
+    let task = p.mlp_task(cfg.seed);
+    let full = p.mlp_batch();
+    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let optimum = reference_optimum(&task, &full, cfg.optimum_epochs);
+    let mut opts = cfg.run_options();
+    opts.target_loss = Some(optimum);
+    let sync = grid_search(optimum, &cfg.grid, |a| run_sync(&task, &full, DeviceKind::Gpu, a, &opts));
+    let asyn = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogbatch(&task, &full, &batches, cfg.threads, a, &opts),
+        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), a, &opts),
+    });
+    Fig7Panel {
+        task: "MLP",
+        dataset: p.name().to_string(),
+        optimum,
+        sync_gpu: curve(&sync, 40),
+        async_cpu: curve(&asyn, 40),
+    }
+}
+
+/// All panels (LR, SVM, MLP x selected datasets).
+pub fn panels(cfg: &ExperimentConfig) -> Vec<Fig7Panel> {
+    let mut out = Vec::new();
+    for p in prepare_all(cfg) {
+        out.push(linear_panel(&sgd_models::lr(p.ds.d()), &p.linear_batch(), p.name(), cfg));
+        out.push(linear_panel(&sgd_models::svm(p.ds.d()), &p.linear_batch(), p.name(), cfg));
+        out.push(mlp_panel(&p, cfg));
+    }
+    out
+}
+
+/// Renders each panel as two aligned `time loss` series.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 7: time to convergence, synchronous GPU vs asynchronous CPU\n");
+    for p in panels(cfg) {
+        out.push_str(&format!(
+            "\n== {} / {} (optimum {:.6}) ==\n",
+            p.task, p.dataset, p.optimum
+        ));
+        out.push_str("  sync-gpu:  ");
+        for (t, l) in &p.sync_gpu {
+            out.push_str(&format!("({t:.4},{l:.4}) "));
+        }
+        out.push_str("\n  async-cpu: ");
+        for (t, l) in &p.async_cpu {
+            out.push_str(&format!("({t:.4},{l:.4}) "));
+        }
+        out.push('\n');
+        let w = |c: &Vec<(f64, f64)>| c.last().map(|&(_, l)| l).unwrap_or(f64::INFINITY);
+        let winner = if w(&p.sync_gpu) < w(&p.async_cpu) { "sync-gpu" } else { "async-cpu" };
+        out.push_str(&format!("  lower final loss: {winner}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_panels_have_both_curves() {
+        let cfg = ExperimentConfig::smoke();
+        let ps = panels(&cfg);
+        assert_eq!(ps.len(), 3); // LR, SVM, MLP on w8a
+        for p in &ps {
+            assert!(p.sync_gpu.len() >= 2, "{}", p.task);
+            assert!(p.async_cpu.len() >= 2, "{}", p.task);
+            // Curves start at time zero with the same initial loss.
+            assert_eq!(p.sync_gpu[0].0, 0.0);
+            assert_eq!(p.async_cpu[0].0, 0.0);
+            assert!((p.sync_gpu[0].1 - p.async_cpu[0].1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn curve_downsamples_and_keeps_last() {
+        let mut trace = sgd_core::LossTrace::new();
+        for i in 0..100 {
+            trace.push(i as f64, 1.0 / (i + 1) as f64);
+        }
+        let rep = RunReport {
+            label: "x".into(),
+            device: DeviceKind::CpuSeq,
+            step_size: 1.0,
+            opt_seconds: 99.0,
+            trace,
+            timed_out: false,
+            update_conflicts: None,
+        };
+        let c = curve(&rep, 10);
+        assert!(c.len() <= 12);
+        assert_eq!(c.last().expect("nonempty").0, 99.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 9 — GPU-over-parallel-CPU hardware-efficiency speedup for the MLP:
+//! our synchronous and asynchronous implementations against TensorFlow.
+
+use sgd_core::{
+    make_batches, run_gpu_hogbatch, run_hogbatch, run_hogbatch_modeled, run_sync,
+    run_sync_modeled, DeviceKind,
+};
+use sgd_frameworks::{run_tensorflow_sync, run_tensorflow_sync_modeled};
+use sgd_models::{Batch, Examples};
+
+use crate::cli::{ExperimentConfig, TimingMode};
+use crate::prep::{prepare_all, Prepared};
+use crate::table2::ratio;
+use crate::table3::HOGBATCH_SIZE;
+
+/// One bar group of Fig. 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Bar {
+    /// Dataset name.
+    pub dataset: String,
+    /// GPU / cpu-par speedup of our synchronous MLP.
+    pub ours_sync: f64,
+    /// GPU / cpu-par speedup of our asynchronous (Hogbatch) MLP.
+    pub ours_async: f64,
+    /// GPU / cpu-par speedup of the TensorFlow executor.
+    pub tensorflow: f64,
+}
+
+fn bar(p: &Prepared, cfg: &ExperimentConfig) -> Fig9Bar {
+    let mut opts = cfg.run_options();
+    opts.max_epochs = 4;
+    opts.target_loss = None;
+    let alpha = 0.1;
+    let task = p.mlp_task(cfg.seed);
+    let full = p.mlp_batch();
+
+    let ours_sync_gpu = run_sync(&task, &full, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
+
+    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let gopts = cfg.gpu_async_opts();
+    let ours_async_gpu =
+        run_gpu_hogbatch(&task, &full, &batches, alpha, &opts, &gopts).time_per_epoch();
+
+    let arch = p.profile.mlp_architecture();
+    let tf_gpu =
+        run_tensorflow_sync(&arch, &p.mlp_x, &p.mlp_y, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
+
+    let (ours_sync_par, ours_async_par, tf_par) = match cfg.timing {
+        TimingMode::Wall => (
+            run_sync(&task, &full, DeviceKind::CpuPar, alpha, &opts).time_per_epoch(),
+            run_hogbatch(&task, &full, &batches, cfg.threads, alpha, &opts).time_per_epoch(),
+            run_tensorflow_sync(&arch, &p.mlp_x, &p.mlp_y, DeviceKind::CpuPar, alpha, &opts)
+                .time_per_epoch(),
+        ),
+        TimingMode::Model => (
+            run_sync_modeled(&task, &full, &cfg.mc_par(), alpha, &opts).time_per_epoch(),
+            run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), alpha, &opts)
+                .time_per_epoch(),
+            run_tensorflow_sync_modeled(&arch, &p.mlp_x, &p.mlp_y, &cfg.mc_par(), alpha, &opts)
+                .time_per_epoch(),
+        ),
+    };
+
+    Fig9Bar {
+        dataset: p.name().to_string(),
+        ours_sync: ratio(ours_sync_par, ours_sync_gpu),
+        ours_async: ratio(ours_async_par, ours_async_gpu),
+        tensorflow: ratio(tf_par, tf_gpu),
+    }
+}
+
+/// All bars over the selected datasets.
+pub fn bars(cfg: &ExperimentConfig) -> Vec<Fig9Bar> {
+    prepare_all(cfg).iter().map(|p| bar(p, cfg)).collect()
+}
+
+/// Formats the figure.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str("Fig. 9: speedup in hardware efficiency of GPU over parallel CPU (MLP)\n");
+    out.push_str(&format!(
+        "{:<9} | {:>10} {:>11} {:>11}\n",
+        "dataset", "ours-sync", "ours-async", "TensorFlow"
+    ));
+    for b in bars(cfg) {
+        out.push_str(&format!(
+            "{:<9} | {:>10.2} {:>11.2} {:>11.2}\n",
+            b.dataset, b.ours_sync, b.ours_async, b.tensorflow
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bar_values_positive() {
+        let cfg = ExperimentConfig::smoke();
+        let bs = bars(&cfg);
+        assert_eq!(bs.len(), 1);
+        assert!(bs[0].ours_sync > 0.0);
+        assert!(bs[0].ours_async > 0.0);
+        assert!(bs[0].tensorflow > 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Dataset preparation shared by the experiments.
+
+use sgd_datagen::{all_profiles, generate, group_features, Dataset, DatasetProfile, GenOptions};
+use sgd_linalg::{Matrix, Scalar};
+use sgd_models::{Batch, Examples, MlpTask};
+
+use crate::cli::ExperimentConfig;
+
+/// A dataset prepared for all three tasks at the configured scale.
+pub struct Prepared {
+    /// The Table I profile this dataset was generated from.
+    pub profile: DatasetProfile,
+    /// The scaled LR/SVM dataset (CSR).
+    pub ds: Dataset,
+    /// Dense materialization for the dense code paths (only for profiles
+    /// that are dense in the paper, i.e. covtype).
+    pub dense: Option<Matrix>,
+    /// Feature-grouped dense examples for the MLP (Section IV-A).
+    pub mlp_x: Matrix,
+    /// Labels shared by the MLP batches.
+    pub mlp_y: Vec<Scalar>,
+}
+
+impl Prepared {
+    /// Generates one profile at the experiment's scale.
+    pub fn new(profile: &DatasetProfile, cfg: &ExperimentConfig) -> Self {
+        let opts = GenOptions { seed: cfg.seed, scale: cfg.scale, ..Default::default() };
+        let ds = generate(profile, &opts);
+        let dense = profile.dense.then(|| ds.x.to_dense());
+        let grouped = group_features(&ds, profile.mlp_input.min(ds.d()));
+        // Block averaging shrinks values by ~the block width; re-normalize
+        // so the MLP trains at unit input scale.
+        let grouped_x = sgd_datagen::normalize_rows(&grouped.x);
+        let mlp_x = grouped_x.to_dense();
+        // Grouping averages away the original planted separator, so the
+        // MLP datasets get labels re-planted in the grouped feature space
+        // (the paper's real datasets keep their labels; synthetic ones
+        // must stay learnable for convergence to be meaningful).
+        let (mlp_y, _) = sgd_datagen::plant_labels(&grouped_x, cfg.seed ^ 0x4d4c50, 0.02);
+        Prepared { profile: profile.clone(), ds, dense, mlp_x, mlp_y }
+    }
+
+    /// The batch the linear tasks (LR/SVM) train on: dense for covtype,
+    /// CSR otherwise — the representations the paper pairs with each
+    /// dataset.
+    pub fn linear_batch(&self) -> Batch<'_> {
+        match &self.dense {
+            Some(m) => Batch::new(Examples::Dense(m), &self.ds.y),
+            None => Batch::new(Examples::Sparse(&self.ds.x), &self.ds.y),
+        }
+    }
+
+    /// The full MLP batch (feature-grouped, dense).
+    pub fn mlp_batch(&self) -> Batch<'_> {
+        Batch::new(Examples::Dense(&self.mlp_x), &self.mlp_y)
+    }
+
+    /// The paper's MLP for this dataset (Table I architecture).
+    pub fn mlp_task(&self, seed: u64) -> MlpTask {
+        MlpTask::new(self.profile.mlp_architecture(), seed)
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        self.profile.name
+    }
+}
+
+/// Prepares every profile selected by the configuration, in Table I order.
+pub fn prepare_all(cfg: &ExperimentConfig) -> Vec<Prepared> {
+    all_profiles()
+        .iter()
+        .filter(|p| cfg.wants(p.name))
+        .map(|p| Prepared::new(p, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_prepares_only_selected() {
+        let cfg = ExperimentConfig::smoke();
+        let all = prepare_all(&cfg);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].name(), "w8a");
+        assert!(all[0].dense.is_none());
+        assert!(matches!(all[0].linear_batch().x, Examples::Sparse(_)));
+    }
+
+    #[test]
+    fn covtype_gets_a_dense_batch() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.datasets = vec!["covtype".into()];
+        let p = &prepare_all(&cfg)[0];
+        assert!(p.dense.is_some());
+        assert!(matches!(p.linear_batch().x, Examples::Dense(_)));
+        assert_eq!(p.mlp_x.cols(), 54);
+    }
+
+    #[test]
+    fn mlp_batch_matches_architecture() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.datasets = vec!["real-sim".into()];
+        cfg.scale = 0.002;
+        let p = &prepare_all(&cfg)[0];
+        assert_eq!(p.mlp_x.cols(), 50);
+        let task = p.mlp_task(1);
+        assert_eq!(task.layers(), &[50, 10, 5, 2]);
+        assert_eq!(p.mlp_batch().n(), p.ds.n());
+    }
+}

@@ -1,0 +1,53 @@
+//! Table I — the dataset inventory.
+
+use sgd_datagen::{table1_row, Table1Row};
+
+use crate::cli::ExperimentConfig;
+use crate::prep::prepare_all;
+
+/// Computes the Table I rows for the generated (scaled) datasets.
+pub fn rows(cfg: &ExperimentConfig) -> Vec<Table1Row> {
+    prepare_all(cfg).iter().map(|p| table1_row(&p.ds, &p.profile)).collect()
+}
+
+/// Formats the full table like the paper.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table I: experimental datasets (scale = {} of published sizes)\n",
+        cfg.scale
+    ));
+    out.push_str(&format!(
+        "{:<9} {:>9} {:>9} {:>6} {:>8} {:>7}  {:>10} / {:>12}  {:>8}  {:>8}  {}\n",
+        "dataset", "#examples", "#features", "min", "avg", "max", "size(s)", "size(d)",
+        "LR/SVM sp", "MLP sp", "MLP arch"
+    ));
+    for r in rows(cfg) {
+        out.push_str(&r.formatted());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_selected_dataset() {
+        let out = render(&ExperimentConfig::smoke());
+        assert!(out.contains("w8a"));
+        assert!(out.contains("300-10-5-2"));
+        assert!(!out.contains("covtype"));
+    }
+
+    #[test]
+    fn rows_match_scale() {
+        let cfg = ExperimentConfig::smoke();
+        let rs = rows(&cfg);
+        assert_eq!(rs.len(), 1);
+        // 64,700 examples at 0.001 scale -> 64.
+        assert_eq!(rs[0].examples, 64);
+        assert_eq!(rs[0].features, 300);
+    }
+}

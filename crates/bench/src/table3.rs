@@ -1,0 +1,201 @@
+//! Table III — asynchronous SGD across devices.
+
+use sgd_core::{
+    grid_search, make_batches, reference_optimum, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch,
+    run_hogbatch_modeled, run_hogwild, run_hogwild_modeled, RunReport,
+};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+
+use crate::cli::{ExperimentConfig, TimingMode};
+use crate::prep::{prepare_all, Prepared};
+use crate::table2::{fmt_opt_secs, ratio};
+
+/// The paper fixes the Hogbatch mini-batch size to 512 for all datasets.
+pub const HOGBATCH_SIZE: usize = 512;
+
+/// One (task, dataset) block of Table III. Device order: `[gpu, cpu-seq,
+/// cpu-par]`.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Task name.
+    pub task: &'static str,
+    /// Dataset name.
+    pub dataset: String,
+    /// Reference optimal loss.
+    pub optimum: f64,
+    /// Time to 1 % convergence (seconds; `None` = ∞).
+    pub ttc: [Option<f64>; 3],
+    /// Time per epoch in milliseconds.
+    pub tpi_ms: [f64; 3],
+    /// Epochs to 1 % convergence per device (statistical efficiency now
+    /// differs across devices).
+    pub epochs: [Option<usize>; 3],
+    /// Hardware-efficiency speedup of parallel over sequential CPU.
+    pub speedup_seq_over_par: f64,
+    /// Hardware-efficiency speedup of GPU over parallel CPU.
+    pub speedup_gpu_over_par: f64,
+    /// Intra-warp update conflicts recorded by the GPU kernel.
+    pub gpu_conflicts: Option<u64>,
+}
+
+fn build_row(
+    task: &'static str,
+    dataset: &str,
+    optimum: f64,
+    gpu: RunReport,
+    seq: RunReport,
+    par: RunReport,
+) -> Table3Row {
+    let s = |r: &RunReport| {
+        let summary = r.summarize(optimum);
+        (summary.time_to_1pct(), summary.epochs_to_1pct())
+    };
+    let (g, sq, pr) = (s(&gpu), s(&seq), s(&par));
+    let tpi = [gpu.time_per_epoch(), seq.time_per_epoch(), par.time_per_epoch()];
+    Table3Row {
+        task,
+        dataset: dataset.to_string(),
+        optimum,
+        ttc: [g.0, sq.0, pr.0],
+        tpi_ms: tpi.map(|t| t * 1e3),
+        epochs: [g.1, sq.1, pr.1],
+        speedup_seq_over_par: ratio(tpi[1], tpi[2]),
+        speedup_gpu_over_par: ratio(tpi[0], tpi[2]),
+        gpu_conflicts: gpu.update_conflicts,
+    }
+}
+
+/// Asynchronous cell for a linear task: Hogwild on one CPU thread, all CPU
+/// threads, and the GPU warp-Hogwild kernel; the step size is gridded per
+/// device (asynchronous statistical efficiency is device dependent).
+pub fn async_linear_cell<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    dataset: &str,
+    cfg: &ExperimentConfig,
+) -> Table3Row {
+    let optimum = reference_optimum(task, batch, cfg.optimum_epochs);
+    let mut opts = cfg.run_options();
+    opts.target_loss = Some(optimum);
+    let gopts = cfg.gpu_async_opts();
+
+    let seq = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogwild(task, batch, 1, a, &opts),
+        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_seq(), a, &opts),
+    });
+    let par = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogwild(task, batch, cfg.threads, a, &opts),
+        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_par(), a, &opts),
+    });
+    let gpu = grid_search(optimum, &cfg.grid, |a| run_gpu_hogwild(task, batch, a, &opts, &gopts));
+    build_row(task.name(), dataset, optimum, gpu, seq, par)
+}
+
+/// Asynchronous cell for the MLP: Hogbatch with batch size 512 on one CPU
+/// thread, all CPU threads, and the GPU (sequential kernel streams).
+pub fn async_mlp_cell(p: &Prepared, cfg: &ExperimentConfig) -> Table3Row {
+    let boost = cfg.mlp_epoch_boost.max(1);
+    let mut cfg = cfg.clone();
+    cfg.max_epochs = cfg.max_epochs.saturating_mul(boost);
+    cfg.optimum_epochs = cfg.optimum_epochs.saturating_mul((boost / 2).max(1));
+    cfg.max_secs *= boost as f64;
+    let cfg = &cfg;
+    let task = p.mlp_task(cfg.seed);
+    let full = p.mlp_batch();
+    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+
+    let optimum = reference_optimum(&task, &full, cfg.optimum_epochs);
+    let mut opts = cfg.run_options();
+    opts.target_loss = Some(optimum);
+    let gopts = cfg.gpu_async_opts();
+
+    let seq = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogbatch(&task, &full, &batches, 1, a, &opts),
+        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_seq(), a, &opts),
+    });
+    let par = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
+        TimingMode::Wall => run_hogbatch(&task, &full, &batches, cfg.threads, a, &opts),
+        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), a, &opts),
+    });
+    let gpu = grid_search(optimum, &cfg.grid, |a| {
+        run_gpu_hogbatch(&task, &full, &batches, a, &opts, &gopts)
+    });
+    build_row("MLP", p.name(), optimum, gpu, seq, par)
+}
+
+/// All Table III rows.
+pub fn rows(cfg: &ExperimentConfig) -> Vec<Table3Row> {
+    let mut out = Vec::new();
+    for p in prepare_all(cfg) {
+        out.push(async_linear_cell(&sgd_models::lr(p.ds.d()), &p.linear_batch(), p.name(), cfg));
+        out.push(async_linear_cell(&sgd_models::svm(p.ds.d()), &p.linear_batch(), p.name(), cfg));
+        out.push(async_mlp_cell(&p, cfg));
+    }
+    out
+}
+
+/// Formats the rows like the paper's Table III.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str("Table III: asynchronous SGD performance to 1% convergence error\n");
+    out.push_str(&format!(
+        "{:<4} {:<9} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>6} {:>6} {:>6} | {:>8} {:>8} | {:>10}\n",
+        "task", "dataset", "ttc-gpu", "ttc-seq", "ttc-par", "tpi-gpu", "tpi-seq", "tpi-par",
+        "e-gpu", "e-seq", "e-par", "seq/par", "gpu/par", "conflicts"
+    ));
+    for r in rows(cfg) {
+        let fe = |e: Option<usize>| e.map_or("∞".to_string(), |v| v.to_string());
+        out.push_str(&format!(
+            "{:<4} {:<9} | {:>10} {:>10} {:>10} | {:>10.3} {:>10.3} {:>10.3} | {:>6} {:>6} {:>6} | {:>8.2} {:>8.2} | {:>10}\n",
+            r.task,
+            r.dataset,
+            fmt_opt_secs(r.ttc[0]),
+            fmt_opt_secs(r.ttc[1]),
+            fmt_opt_secs(r.ttc[2]),
+            r.tpi_ms[0],
+            r.tpi_ms[1],
+            r.tpi_ms[2],
+            fe(r.epochs[0]),
+            fe(r.epochs[1]),
+            fe(r.epochs[2]),
+            r.speedup_seq_over_par,
+            r.speedup_gpu_over_par,
+            r.gpu_conflicts.map_or("-".to_string(), |c| c.to_string()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_models::lr;
+
+    #[test]
+    fn smoke_linear_cell() {
+        let cfg = ExperimentConfig::smoke();
+        let p = &prepare_all(&cfg)[0];
+        let row = async_linear_cell(&lr(p.ds.d()), &p.linear_batch(), p.name(), &cfg);
+        assert_eq!(row.task, "LR");
+        assert!(row.tpi_ms.iter().all(|&t| t > 0.0));
+        assert!(row.gpu_conflicts.is_some());
+    }
+
+    #[test]
+    fn smoke_mlp_cell() {
+        let cfg = ExperimentConfig::smoke();
+        let p = &prepare_all(&cfg)[0];
+        let row = async_mlp_cell(p, &cfg);
+        assert_eq!(row.task, "MLP");
+        assert!(row.tpi_ms.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn render_smoke() {
+        let out = render(&ExperimentConfig::smoke());
+        assert!(out.contains("asynchronous"));
+        assert!(out.contains("w8a"));
+    }
+}

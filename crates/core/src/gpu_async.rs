@@ -1,0 +1,494 @@
+//! Asynchronous SGD on the simulated GPU.
+//!
+//! Two kernels, mirroring the paper's GPU asynchronous implementations:
+//!
+//! * **warp-Hogwild** for the linear tasks: one thread per example, warps
+//!   execute in lockstep. All 32 lanes read the model *before* any of them
+//!   writes (lockstep loads), and the unsynchronized read-modify-write
+//!   update means that when several lanes touch the same coordinate only
+//!   the last lane's write survives — the intra-warp update conflicts that
+//!   destroy statistical efficiency on dense data. On sparse data the
+//!   conflicts vanish but the warp pays divergence (high nnz variance) and
+//!   non-coalesced model gathers — the hardware-efficiency penalty.
+//! * **Hogbatch** for the MLP: mini-batches dispatched kernel-by-kernel.
+//!   Although many host threads enqueue work, only one kernel executes at
+//!   a time (the paper's observation), so the updates are effectively
+//!   sequential — statistical efficiency matches sequential mini-batch SGD
+//!   and each small kernel pays a host dispatch/synchronization overhead.
+
+use std::collections::HashMap;
+
+use sgd_gpusim::kernels::GpuExec;
+use sgd_gpusim::WarpCtx;
+use sgd_linalg::{CpuExec, Exec, Scalar};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::hogwild::shuffled_order;
+use crate::report::RunReport;
+
+/// Options specific to the GPU asynchronous kernels.
+#[derive(Clone, Debug)]
+pub struct GpuAsyncOptions {
+    /// Resolve intra-warp conflicts with atomic adds (lossless, serialized)
+    /// instead of the default last-write-wins races. Ablation knob.
+    pub atomic_updates: bool,
+    /// Host-side dispatch + synchronization cost charged per kernel launch
+    /// in the Hogbatch path. The paper's asynchronous MLP launches
+    /// thousands of small dependent kernels from contending host threads;
+    /// this overhead is why its GPU Hogbatch is only ~2X faster than one
+    /// CPU core despite the device's raw throughput.
+    pub host_sync_overhead_secs: f64,
+}
+
+impl Default for GpuAsyncOptions {
+    fn default() -> Self {
+        GpuAsyncOptions { atomic_updates: false, host_sync_overhead_secs: 150e-6 }
+    }
+}
+
+const F64: u64 = std::mem::size_of::<Scalar>() as u64;
+const U32: u64 = std::mem::size_of::<u32>() as u64;
+
+/// Processes one warp of examples functionally, optionally reporting its
+/// memory/compute behaviour to a tracing context. Returns the number of
+/// updates lost to (or serialized by) intra-warp conflicts.
+#[allow(clippy::too_many_arguments)]
+fn process_warp<L: LinearLoss>(
+    loss: &L,
+    batch: &Batch<'_>,
+    w: &mut [Scalar],
+    alpha: f64,
+    lanes: &[u32],
+    atomic: bool,
+    ctx: &mut Option<&mut WarpCtx<'_>>,
+) -> u64 {
+    // Phase 1: lockstep gradient computation — every lane's margin is
+    // computed against the model as it stood when the warp arrived.
+    let mut coeffs: Vec<Scalar> = Vec::with_capacity(lanes.len());
+    match batch.x {
+        Examples::Sparse(m) => {
+            for &i in lanes {
+                let row = m.row(i as usize);
+                let margin: Scalar =
+                    row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w[c as usize]).sum();
+                coeffs.push(loss.dloss(margin, batch.y[i as usize]));
+            }
+            if let Some(ctx) = ctx.as_deref_mut() {
+                trace_sparse_pass(m, w, lanes, ctx);
+            }
+        }
+        Examples::Dense(m) => {
+            for &i in lanes {
+                let row = m.row(i as usize);
+                let margin: Scalar = row.iter().zip(w.iter()).map(|(&v, &wj)| v * wj).sum();
+                coeffs.push(loss.dloss(margin, batch.y[i as usize]));
+            }
+            if let Some(ctx) = ctx.as_deref_mut() {
+                trace_dense_pass(m, w, lanes, ctx);
+            }
+        }
+    }
+
+    // Phase 2: lockstep unsynchronized updates. Without atomics, lanes that
+    // touch the same coordinate all start from the pre-warp value and the
+    // last store wins (lost updates).
+    let mut pre: HashMap<u32, Scalar> = HashMap::new();
+    let mut touches: u64 = 0;
+    for (lane, &i) in lanes.iter().enumerate() {
+        let s = coeffs[lane];
+        if s == 0.0 {
+            continue;
+        }
+        let step = -alpha * s;
+        let mut apply = |c: u32, v: Scalar| {
+            touches += 1;
+            if atomic {
+                w[c as usize] += step * v;
+                pre.entry(c).or_insert(0.0);
+            } else {
+                let base = *pre.entry(c).or_insert(w[c as usize]);
+                w[c as usize] = base + step * v;
+            }
+        };
+        match batch.x {
+            Examples::Sparse(m) => {
+                let row = m.row(i as usize);
+                for (&c, &v) in row.cols.iter().zip(row.vals) {
+                    apply(c, v);
+                }
+            }
+            Examples::Dense(m) => {
+                for (j, &v) in m.row(i as usize).iter().enumerate() {
+                    if v != 0.0 {
+                        apply(j as u32, v);
+                    }
+                }
+            }
+        }
+    }
+    let conflicts = touches.saturating_sub(pre.len() as u64);
+    if let Some(ctx) = ctx.as_deref_mut() {
+        ctx.record_conflicts(conflicts);
+        if atomic && conflicts > 0 {
+            // Serialized atomic retries on the conflicting coordinates.
+            ctx.compute(conflicts * 8, 1);
+        }
+    }
+    conflicts
+}
+
+/// Memory/divergence trace of one warp's pass over sparse rows
+/// (thread-per-example layout: value/index loads scatter across rows, the
+/// model gather scatters across coordinates, trip count is the warp max).
+fn trace_sparse_pass(m: &sgd_linalg::CsrMatrix, w: &[Scalar], lanes: &[u32], ctx: &mut WarpCtx<'_>) {
+    let vals_p = m.values().as_ptr() as u64;
+    let cols_p = m.col_idx().as_ptr() as u64;
+    let w_p = w.as_ptr() as u64;
+    let trips: Vec<u64> = lanes.iter().map(|&i| m.row_nnz(i as usize) as u64).collect();
+    let max_trip = trips.iter().copied().max().unwrap_or(0);
+    let mut acc: Vec<(u64, u32)> = Vec::with_capacity(lanes.len());
+    for k in 0..max_trip {
+        for (l, &i) in lanes.iter().enumerate() {
+            if trips[l] > k {
+                let off = m.row_ptr()[i as usize] as u64 + k;
+                acc.push((vals_p + off * F64, F64 as u32));
+            }
+        }
+        ctx.load(&acc);
+        acc.clear();
+        for (l, &i) in lanes.iter().enumerate() {
+            if trips[l] > k {
+                let off = m.row_ptr()[i as usize] as u64 + k;
+                acc.push((cols_p + off * U32, U32 as u32));
+            }
+        }
+        ctx.load(&acc);
+        acc.clear();
+        // Gather model coordinates, then scatter the updates back: the
+        // same scattered addresses cost a load and a store each.
+        for (l, &i) in lanes.iter().enumerate() {
+            if trips[l] > k {
+                let c = m.col_idx()[m.row_ptr()[i as usize] + k as usize];
+                acc.push((w_p + c as u64 * F64, F64 as u32));
+            }
+        }
+        ctx.load(&acc);
+        ctx.store(&acc);
+        acc.clear();
+    }
+    // fma for the margin + fma for the update per element.
+    ctx.diverged_loop(&trips, 4);
+}
+
+/// Memory trace for dense rows: lanes stride by the row pitch (32
+/// transactions per element column), the model access is a broadcast (one
+/// transaction), updates store to the same broadcast coordinate.
+fn trace_dense_pass(m: &sgd_linalg::Matrix, w: &[Scalar], lanes: &[u32], ctx: &mut WarpCtx<'_>) {
+    let x_p = m.as_slice().as_ptr() as u64;
+    let w_p = w.as_ptr() as u64;
+    let d = m.cols() as u64;
+    let mut acc: Vec<(u64, u32)> = Vec::with_capacity(lanes.len());
+    for k in 0..d {
+        for &i in lanes {
+            acc.push((x_p + (i as u64 * d + k) * F64, F64 as u32));
+        }
+        ctx.load(&acc);
+        acc.clear();
+        let coord = [(w_p + k * F64, F64 as u32)];
+        ctx.load(&coord); // broadcast model read
+        ctx.store(&coord); // conflicting lockstep writes coalesce to one tx
+    }
+    ctx.diverged_loop(&vec![d; lanes.len()], 4);
+}
+
+/// Runs warp-Hogwild for a linear task on the simulated GPU.
+///
+/// The whole epoch is a single kernel (one thread per example). The first
+/// two epochs are traced (cold/warm L2); later epochs replay the warm cost
+/// while computing functionally identical updates.
+pub fn run_gpu_hogwild<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    alpha: f64,
+    opts: &RunOptions,
+    gopts: &GpuAsyncOptions,
+) -> RunReport {
+    let mut dev = opts.gpu_device();
+    let warp_size = dev.spec().warp_size;
+    let order = shuffled_order(batch.n(), opts.seed);
+    let warps: Vec<&[u32]> = order.chunks(warp_size).collect();
+
+    let mut w = task.init_model();
+    let mut eval = CpuExec::par();
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, batch, &w));
+
+    let loss_fn = task.pointwise();
+    let stop = opts.stop_loss();
+    let mut warm_cost = 0.0;
+    let mut conflicts_total: u64 = 0;
+    let mut timed_out = true;
+    for epoch in 0..opts.max_epochs {
+        if epoch < 2 {
+            let t0 = dev.elapsed_secs();
+            let w_cell = &mut w;
+            let conflicts = &mut conflicts_total;
+            dev.run_kernel(warps.len(), |wi, ctx| {
+                let mut c = Some(ctx);
+                *conflicts += process_warp(loss_fn, batch, w_cell, alpha, warps[wi], gopts.atomic_updates, &mut c);
+            });
+            warm_cost = dev.elapsed_secs() - t0;
+        } else {
+            for lanes in &warps {
+                conflicts_total +=
+                    process_warp(loss_fn, batch, &mut w, alpha, lanes, gopts.atomic_updates, &mut None);
+            }
+            dev.advance_secs(warm_cost);
+        }
+        let loss = task.loss(&mut eval, batch, &w); // untimed
+        trace.push(dev.elapsed_secs(), loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: format!("{} async gpu (warp-hogwild)", task.name()),
+        device: DeviceKind::Gpu,
+        step_size: alpha,
+        trace,
+        opt_seconds: dev.elapsed_secs(),
+        timed_out,
+        update_conflicts: Some(conflicts_total),
+    }
+}
+
+/// Runs Hogbatch for any task on the simulated GPU: batches are processed
+/// strictly in sequence (only one kernel executes at a time), each batch's
+/// primitive stream paying the per-kernel host dispatch overhead.
+pub fn run_gpu_hogbatch<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    alpha: f64,
+    opts: &RunOptions,
+    gopts: &GpuAsyncOptions,
+) -> RunReport {
+    assert!(!batches.is_empty(), "at least one mini-batch required");
+    let mut dev = opts.gpu_device();
+    let mut w = task.init_model();
+    let mut g = vec![0.0; task.dim()];
+    let mut eval = CpuExec::par();
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, full, &w));
+
+    let stop = opts.stop_loss();
+    let mut warm_cost = 0.0;
+    let mut timed_out = true;
+    let mut cpu = CpuExec::seq();
+    for epoch in 0..opts.max_epochs {
+        if epoch == 0 {
+            let t0 = dev.elapsed_secs();
+            for b in batches {
+                let k0 = dev.stats().kernels_launched;
+                let mut e = GpuExec::new(&mut dev);
+                task.gradient(&mut e, b, &w, &mut g);
+                e.axpy(-alpha, &g, &mut w);
+                let launches = dev.stats().kernels_launched - k0;
+                dev.advance_secs(gopts.host_sync_overhead_secs * launches as f64);
+            }
+            warm_cost = dev.elapsed_secs() - t0;
+        } else {
+            for b in batches {
+                task.gradient(&mut cpu, b, &w, &mut g);
+                cpu.axpy(-alpha, &g, &mut w);
+            }
+            dev.advance_secs(warm_cost);
+        }
+        let loss = task.loss(&mut eval, full, &w);
+        trace.push(dev.elapsed_secs(), loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: format!("{} async gpu (hogbatch)", task.name()),
+        device: DeviceKind::Gpu,
+        step_size: alpha,
+        trace,
+        opt_seconds: dev.elapsed_secs(),
+        timed_out,
+        update_conflicts: Some(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hogbatch::{make_batches, run_hogbatch};
+    use crate::hogwild::run_hogwild;
+    use sgd_linalg::{CsrMatrix, Matrix};
+    use sgd_models::{lr, MlpTask};
+
+    fn dense_data(n: usize, d: usize) -> (Matrix, Vec<Scalar>) {
+        let x = Matrix::from_fn(n, d, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (((i * 3 + j) % 5) as Scalar + 1.0) / 5.0
+        });
+        let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn dense_warps_lose_most_updates() {
+        // Every lane updates every coordinate: in a 32-wide warp,
+        // 31/32 of updates are lost to last-write-wins.
+        let (x, y) = dense_data(64, 6);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(6);
+        let opts = RunOptions { max_epochs: 1, ..Default::default() };
+        let rep = run_gpu_hogwild(&task, &b, 0.1, &opts, &GpuAsyncOptions::default());
+        let conflicts = rep.update_conflicts.expect("gpu run records conflicts");
+        // 64 examples, 6 coords each = 384 touches; 2 warps x 6 unique.
+        assert_eq!(conflicts, 384 - 12);
+    }
+
+    #[test]
+    fn dense_gpu_hogwild_needs_more_epochs_than_sequential() {
+        // The statistical-efficiency gap of Table III on dense data: with
+        // last-write-wins warps, the GPU makes far less progress per epoch
+        // than sequential incremental SGD at the same step size.
+        let (x, y) = dense_data(256, 8);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(8);
+        let alpha = 0.02;
+        let epochs = 3;
+        let opts = RunOptions { max_epochs: epochs, ..Default::default() };
+        let seq = run_hogwild(&task, &b, 1, alpha, &opts);
+        let gpu = run_gpu_hogwild(&task, &b, alpha, &opts, &GpuAsyncOptions::default());
+        let l_seq = seq.trace.points()[epochs].1;
+        let l_gpu = gpu.trace.points()[epochs].1;
+        let l0 = seq.trace.points()[0].1;
+        assert!(l_seq < l0, "sequential must make progress");
+        // GPU progress from the start must be a small fraction of the
+        // sequential progress (31/32 of its updates are lost).
+        assert!(
+            (l0 - l_gpu) < 0.5 * (l0 - l_seq),
+            "gpu progress {} vs seq progress {}",
+            l0 - l_gpu,
+            l0 - l_seq
+        );
+        assert!(gpu.update_conflicts.expect("recorded") > 0);
+    }
+
+    #[test]
+    fn disjoint_sparse_matches_sequential_hogwild() {
+        // With disjoint per-example supports the warp semantics are
+        // invisible: trajectories match sequential Hogwild exactly.
+        let n = 96;
+        let d = 96;
+        let entries: Vec<Vec<(u32, Scalar)>> = (0..n).map(|i| vec![(i as u32, 1.0)]).collect();
+        let y: Vec<Scalar> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs = CsrMatrix::from_row_entries(n, d, &entries);
+        let b = Batch::new(Examples::Sparse(&xs), &y);
+        let task = lr(d);
+        let opts = RunOptions { max_epochs: 5, ..Default::default() };
+        let seq = run_hogwild(&task, &b, 1, 0.5, &opts);
+        let gpu = run_gpu_hogwild(&task, &b, 0.5, &opts, &GpuAsyncOptions::default());
+        assert_eq!(gpu.update_conflicts, Some(0));
+        for (p, q) in seq.trace.points().iter().zip(gpu.trace.points()) {
+            assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
+        }
+    }
+
+    #[test]
+    fn atomic_updates_keep_all_updates() {
+        let (x, y) = dense_data(64, 6);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(6);
+        let opts = RunOptions { max_epochs: 20, ..Default::default() };
+        let lww = run_gpu_hogwild(&task, &b, 0.5, &opts, &GpuAsyncOptions::default());
+        let atomic = run_gpu_hogwild(
+            &task,
+            &b,
+            0.5,
+            &opts,
+            &GpuAsyncOptions { atomic_updates: true, ..Default::default() },
+        );
+        // Atomic (mini-batch-like) updates make faster statistical progress
+        // on dense data than last-write-wins.
+        assert!(atomic.best_loss() < lww.best_loss() + 1e-12);
+    }
+
+    #[test]
+    fn epoch_cost_replay_is_consistent() {
+        let (x, y) = dense_data(128, 4);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 6, ..Default::default() };
+        let rep = run_gpu_hogwild(&task, &b, 0.1, &opts, &GpuAsyncOptions::default());
+        let pts = rep.trace.points();
+        assert!(pts.len() >= 6);
+        let d4 = pts[4].0 - pts[3].0;
+        let d5 = pts[5].0 - pts[4].0;
+        assert!((d4 - d5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gpu_hogbatch_statistics_match_sequential_hogbatch() {
+        let (x, y) = dense_data(96, 6);
+        let task = MlpTask::new(vec![6, 5, 2], 1);
+        let owned = make_batches(&x, &y, 16);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 10, ..Default::default() };
+        let cpu = run_hogbatch(&task, &full, &batches, 1, 1.0, &opts);
+        let gpu = run_gpu_hogbatch(&task, &full, &batches, 1.0, &opts, &GpuAsyncOptions::default());
+        for (p, q) in cpu.trace.points().iter().zip(gpu.trace.points()) {
+            assert!((p.1 - q.1).abs() < 1e-9, "{} vs {}", p.1, q.1);
+        }
+    }
+
+    #[test]
+    fn host_sync_overhead_slows_hogbatch() {
+        let (x, y) = dense_data(96, 6);
+        let task = MlpTask::new(vec![6, 5, 2], 1);
+        let owned = make_batches(&x, &y, 8);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 3, ..Default::default() };
+        let fast = run_gpu_hogbatch(
+            &task,
+            &full,
+            &batches,
+            1.0,
+            &opts,
+            &GpuAsyncOptions { host_sync_overhead_secs: 0.0, ..Default::default() },
+        );
+        let slow = run_gpu_hogbatch(&task, &full, &batches, 1.0, &opts, &GpuAsyncOptions::default());
+        assert!(slow.time_per_epoch() > 2.0 * fast.time_per_epoch());
+    }
+}

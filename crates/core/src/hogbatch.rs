@@ -1,0 +1,196 @@
+//! Hogbatch: asynchronous mini-batch SGD over a shared model.
+//!
+//! The paper executes asynchronous MLP training as Hogbatch (after
+//! Sallinen et al., IPDPS 2016): worker threads pull mini-batches, compute
+//! the batch gradient against a (possibly stale) snapshot of the shared
+//! model, and apply the update without locks. With one thread this is
+//! plain sequential mini-batch SGD — the paper's `cpu-seq` asynchronous
+//! MLP baseline.
+
+use std::time::Instant;
+
+use sgd_linalg::{CpuExec, Scalar};
+use sgd_models::{Batch, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::report::RunReport;
+use crate::shared_model::SharedModel;
+
+/// Splits `full` (dense examples required for MLP) into owned mini-batch
+/// matrices of `batch_size` rows. Returns `(matrices, label_slices)` to
+/// borrow `Batch`es from.
+pub fn make_batches(
+    x: &sgd_linalg::Matrix,
+    y: &[Scalar],
+    batch_size: usize,
+) -> Vec<(sgd_linalg::Matrix, Vec<Scalar>)> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let n = x.rows();
+    let mut out = Vec::with_capacity(n.div_ceil(batch_size));
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + batch_size).min(n);
+        out.push((x.row_range(lo, hi), y[lo..hi].to_vec()));
+        lo = hi;
+    }
+    out
+}
+
+/// Runs Hogbatch with `threads` workers over the given mini-batches.
+/// `full` is the whole dataset, used only for (untimed) loss evaluation.
+pub fn run_hogbatch<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    assert!(!batches.is_empty(), "at least one mini-batch required");
+    let threads = threads.max(1);
+    let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+    let dim = task.dim();
+    let model = SharedModel::from_slice(&task.init_model());
+
+    let mut eval = CpuExec::par();
+    let mut trace = LossTrace::new();
+    let mut snapshot = vec![0.0; dim];
+    model.snapshot_into(&mut snapshot);
+    trace.push(0.0, task.loss(&mut eval, full, &snapshot));
+
+    let stop = opts.stop_loss();
+    let mut opt_seconds = 0.0;
+    let mut timed_out = true;
+    for _ in 0..opts.max_epochs {
+        let t0 = Instant::now();
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                let model = &model;
+                s.spawn(move |_| {
+                    let mut e = CpuExec::seq();
+                    let mut w = vec![0.0; dim];
+                    let mut g = vec![0.0; dim];
+                    let mut b = t;
+                    while b < batches.len() {
+                        // Stale snapshot, gradient, lock-free scatter.
+                        model.snapshot_into(&mut w);
+                        task.gradient(&mut e, &batches[b], &w, &mut g);
+                        for (j, &gj) in g.iter().enumerate() {
+                            if gj != 0.0 {
+                                model.add(j, -alpha * gj);
+                            }
+                        }
+                        b += threads;
+                    }
+                });
+            }
+        })
+        .expect("hogbatch workers join");
+        opt_seconds += t0.elapsed().as_secs_f64();
+
+        model.snapshot_into(&mut snapshot);
+        let loss = task.loss(&mut eval, full, &snapshot); // untimed
+        trace.push(opt_seconds, loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: format!("{} async {} (hogbatch)", task.name(), device.label()),
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::Matrix;
+    use sgd_models::{Examples, MlpTask};
+
+    fn toy() -> (Matrix, Vec<Scalar>) {
+        let x = Matrix::from_fn(96, 6, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (((i * 5 + j) % 4) as Scalar + 1.0) / 4.0
+        });
+        let y: Vec<Scalar> = (0..96).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn make_batches_covers_all_rows() {
+        let (x, y) = toy();
+        let batches = make_batches(&x, &y, 40);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.rows(), 40);
+        assert_eq!(batches[2].0.rows(), 16);
+        let total: usize = batches.iter().map(|(m, _)| m.rows()).sum();
+        assert_eq!(total, 96);
+        assert_eq!(batches[1].1.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let (x, y) = toy();
+        let _ = make_batches(&x, &y, 0);
+    }
+
+    #[test]
+    fn sequential_hogbatch_trains_mlp() {
+        let (x, y) = toy();
+        let task = MlpTask::new(vec![6, 5, 2], 3);
+        let owned = make_batches(&x, &y, 16);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 120, ..Default::default() };
+        let rep = run_hogbatch(&task, &full, &batches, 1, 2.0, &opts);
+        assert_eq!(rep.device, DeviceKind::CpuSeq);
+        let start = rep.trace.points()[0].1;
+        assert!(rep.best_loss() < start * 0.6, "loss {} -> {}", start, rep.best_loss());
+    }
+
+    #[test]
+    fn parallel_hogbatch_trains_mlp() {
+        let (x, y) = toy();
+        let task = MlpTask::new(vec![6, 5, 2], 3);
+        let owned = make_batches(&x, &y, 8);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 120, ..Default::default() };
+        let rep = run_hogbatch(&task, &full, &batches, 4, 2.0, &opts);
+        assert_eq!(rep.device, DeviceKind::CpuPar);
+        let start = rep.trace.points()[0].1;
+        assert!(rep.best_loss() < start * 0.7, "loss {} -> {}", start, rep.best_loss());
+    }
+
+    #[test]
+    fn works_for_linear_tasks_too() {
+        let (x, y) = toy();
+        let task = sgd_models::lr(6);
+        let owned = make_batches(&x, &y, 12);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 60, ..Default::default() };
+        let rep = run_hogbatch(&task, &full, &batches, 2, 1.0, &opts);
+        assert!(rep.best_loss() < 0.3, "loss {}", rep.best_loss());
+    }
+}

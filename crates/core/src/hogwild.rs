@@ -1,0 +1,265 @@
+//! Hogwild: asynchronous, lock-free incremental SGD on the CPU.
+//!
+//! The exact `Incremental SGD Optimization Epoch` (Algorithm 3) with the
+//! loop iterations executed concurrently by several threads over a shared
+//! model, with no synchronization whatsoever — reads may be stale, writes
+//! may be lost. On sparse data the per-example updates touch few
+//! coordinates and rarely collide (near-linear scaling); on dense data
+//! every update touches every coordinate and cache-coherency traffic plus
+//! lost updates erase the benefit of parallelism — the central asynchronous
+//! finding of the paper.
+
+use std::time::Instant;
+
+use sgd_linalg::Scalar;
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::report::RunReport;
+use crate::shared_model::SharedModel;
+
+/// Deterministic Fisher–Yates shuffle of `0..n` (the single random pass
+/// order shared by all epochs; DimmWitted's data access strategy).
+pub(crate) fn shuffled_order(n: usize, seed: u64) -> Vec<u32> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+    order
+}
+
+/// One thread's pass over its partition of the examples.
+pub(crate) fn hogwild_worker<L: LinearLoss>(
+    loss: &L,
+    batch: &Batch<'_>,
+    model: &SharedModel,
+    alpha: f64,
+    part: &[u32],
+) {
+    match batch.x {
+        Examples::Sparse(m) => {
+            for &i in part {
+                let i = i as usize;
+                let row = m.row(i);
+                let mut margin = 0.0;
+                for (&c, &v) in row.cols.iter().zip(row.vals) {
+                    margin += v * model.read(c as usize);
+                }
+                let s = loss.dloss(margin, batch.y[i]);
+                if s != 0.0 {
+                    let step = -alpha * s;
+                    for (&c, &v) in row.cols.iter().zip(row.vals) {
+                        model.add(c as usize, step * v);
+                    }
+                }
+            }
+        }
+        Examples::Dense(m) => {
+            for &i in part {
+                let i = i as usize;
+                let row = m.row(i);
+                let mut margin = 0.0;
+                for (j, &v) in row.iter().enumerate() {
+                    margin += v * model.read(j);
+                }
+                let s = loss.dloss(margin, batch.y[i]);
+                if s != 0.0 {
+                    let step = -alpha * s;
+                    for (j, &v) in row.iter().enumerate() {
+                        if v != 0.0 {
+                            model.add(j, step * v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs Hogwild over `batch` with `threads` concurrent workers
+/// (`threads == 1` is exactly sequential incremental SGD, the paper's
+/// `cpu-seq` asynchronous baseline).
+pub fn run_hogwild<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    let threads = threads.max(1);
+    let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+    let n = batch.n();
+    let order = shuffled_order(n, opts.seed);
+    let chunk = n.div_ceil(threads);
+
+    let model = SharedModel::from_slice(&task.init_model());
+    let mut eval = sgd_linalg::CpuExec::par();
+    let mut trace = LossTrace::new();
+    let mut snapshot: Vec<Scalar> = vec![0.0; task.dim()];
+    model.snapshot_into(&mut snapshot);
+    trace.push(0.0, task.loss(&mut eval, batch, &snapshot));
+
+    let stop = opts.stop_loss();
+    let loss_fn = task.pointwise();
+    let mut opt_seconds = 0.0;
+    let mut timed_out = true;
+    for _ in 0..opts.max_epochs {
+        let t0 = Instant::now();
+        if threads == 1 {
+            hogwild_worker(loss_fn, batch, &model, alpha, &order);
+        } else {
+            crossbeam::thread::scope(|s| {
+                for part in order.chunks(chunk.max(1)) {
+                    let model = &model;
+                    s.spawn(move |_| hogwild_worker(loss_fn, batch, model, alpha, part));
+                }
+            })
+            .expect("hogwild workers join");
+        }
+        opt_seconds += t0.elapsed().as_secs_f64();
+
+        model.snapshot_into(&mut snapshot);
+        let loss = task.loss(&mut eval, batch, &snapshot); // untimed
+        trace.push(opt_seconds, loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: format!("{} async {}", task.name(), device.label()),
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::{CsrMatrix, Matrix};
+    use sgd_models::lr;
+
+    fn sparse_separable(n: usize, d: usize) -> (CsrMatrix, Vec<Scalar>) {
+        // Each example touches 2 coordinates; label decided by the first.
+        let entries: Vec<Vec<(u32, Scalar)>> = (0..n)
+            .map(|i| {
+                let c1 = (i % d) as u32;
+                let c2 = ((i * 7 + 3) % d) as u32;
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                if c1 == c2 {
+                    vec![(c1, sign)]
+                } else {
+                    vec![(c1.min(c2), sign), (c1.max(c2), sign * 0.25)]
+                }
+            })
+            .collect();
+        let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (CsrMatrix::from_row_entries(n, d, &entries), y)
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let a = shuffled_order(100, 1);
+        let b = shuffled_order(100, 1);
+        let c = shuffled_order(100, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sequential_hogwild_converges_on_sparse_data() {
+        let (x, y) = sparse_separable(256, 32);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(32);
+        let opts = RunOptions { max_epochs: 60, ..Default::default() };
+        let rep = run_hogwild(&task, &b, 1, 0.5, &opts);
+        assert_eq!(rep.device, DeviceKind::CpuSeq);
+        assert!(rep.best_loss() < 0.15, "loss {}", rep.best_loss());
+    }
+
+    #[test]
+    fn parallel_hogwild_converges_on_sparse_data() {
+        let (x, y) = sparse_separable(512, 64);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(64);
+        let opts = RunOptions { max_epochs: 60, ..Default::default() };
+        let rep = run_hogwild(&task, &b, 4, 0.5, &opts);
+        assert_eq!(rep.device, DeviceKind::CpuPar);
+        assert!(rep.best_loss() < 0.2, "loss {}", rep.best_loss());
+    }
+
+    #[test]
+    fn dense_hogwild_converges() {
+        let x = Matrix::from_fn(128, 8, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (((i + j) % 3) as Scalar + 1.0) / 3.0
+        });
+        let y: Vec<Scalar> = (0..128).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(8);
+        let opts = RunOptions { max_epochs: 40, ..Default::default() };
+        let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
+        assert!(rep.best_loss() < 0.2, "loss {}", rep.best_loss());
+    }
+
+    #[test]
+    fn disjoint_support_parallel_equals_expectations() {
+        // When threads touch disjoint model coordinates there are no
+        // conflicts at all: parallel Hogwild must converge exactly like a
+        // partitioned sequential run would.
+        let n = 128;
+        let d = 16;
+        // Example i touches only coordinate i % d, examples are assigned to
+        // threads by contiguous chunks of the shuffled order, but every
+        // update is a single-coordinate op so conflicts cannot corrupt.
+        let entries: Vec<Vec<(u32, Scalar)>> =
+            (0..n).map(|i| vec![((i % d) as u32, 1.0)]).collect();
+        let y: Vec<Scalar> = (0..n).map(|i| if (i % d) < d / 2 { 1.0 } else { -1.0 }).collect();
+        let x = CsrMatrix::from_row_entries(n, d, &entries);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(d);
+        let opts = RunOptions { max_epochs: 80, ..Default::default() };
+        let rep = run_hogwild(&task, &b, 4, 1.0, &opts);
+        assert!(rep.best_loss() < 0.1, "loss {}", rep.best_loss());
+    }
+
+    #[test]
+    fn early_stop_and_timeout_flags() {
+        let (x, y) = sparse_separable(256, 32);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(32);
+        let opts = RunOptions {
+            max_epochs: 200,
+            target_loss: Some(0.3),
+            ..Default::default()
+        };
+        let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
+        assert!(!rep.timed_out);
+
+        // An impossible target within a tiny time budget reports timeout.
+        let opts = RunOptions {
+            max_epochs: 3,
+            target_loss: Some(1e-12),
+            ..Default::default()
+        };
+        let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
+        assert!(rep.timed_out, "must report the paper's ∞");
+    }
+}

@@ -1,0 +1,43 @@
+//! The parallel-SGD study harness — the paper's primary contribution.
+//!
+//! Implements all eight corners of the paper's exploratory cube (Fig. 1):
+//!
+//! | axis | values |
+//! |---|---|
+//! | architecture | sequential CPU, parallel CPU (rayon), simulated GPU |
+//! | update strategy | synchronous (batch GD) / asynchronous (Hogwild, Hogbatch) |
+//! | sparsity | dense / CSR |
+//!
+//! and measures the three performance axes (Fig. 2): **hardware
+//! efficiency** (time per epoch), **statistical efficiency** (epochs to a
+//! loss threshold) and **time to convergence**, under the paper's
+//! methodology: identical initial models, step size gridded in powers of
+//! ten, loss-evaluation time excluded, convergence measured at 10/5/2/1 %
+//! above the optimal loss.
+//!
+//! Entry points: [`run_sync`], [`run_hogwild`], [`run_hogbatch`],
+//! [`run_gpu_hogwild`], [`run_gpu_hogbatch`], with [`grid_search`] and the
+//! convergence utilities on top.
+
+mod config;
+mod convergence;
+mod gpu_async;
+mod hogbatch;
+mod hogwild;
+mod modeled;
+pub mod pool;
+mod replication;
+mod report;
+mod shared_model;
+mod sync;
+
+pub use config::{DeviceKind, RunOptions};
+pub use convergence::{reference_optimum, ConvergenceSummary, LossTrace, THRESHOLDS};
+pub use gpu_async::{run_gpu_hogbatch, run_gpu_hogwild, GpuAsyncOptions};
+pub use hogbatch::{make_batches, run_hogbatch};
+pub use hogwild::run_hogwild;
+pub use modeled::{run_hogbatch_modeled, run_hogwild_modeled, run_sync_modeled, CpuModelConfig};
+pub use replication::{run_replicated_hogwild, Replication};
+pub use report::{grid_search, step_size_grid, RunReport};
+pub use shared_model::SharedModel;
+pub use sync::run_sync;

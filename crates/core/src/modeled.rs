@@ -1,0 +1,488 @@
+//! Runners that report *modeled* CPU time (see `sgd-cpusim`).
+//!
+//! Functional results are computed exactly (and deterministically); the
+//! reported seconds come from the performance model of the paper's
+//! dual-socket Xeon instead of the host's wall clock, so the paper's
+//! parallel-CPU findings reproduce even on small or single-core hosts.
+//!
+//! For the asynchronous runners the *statistical* effect of concurrency is
+//! simulated with bounded staleness: examples (or mini-batches) are
+//! processed in rounds of `threads`, every member of a round reading the
+//! model as it stood when the round began — the standard analytical
+//! approximation of Hogwild's delayed reads. With one thread this is
+//! exactly sequential execution.
+
+use sgd_cpusim::{CpuModelExec, CpuSpec, HogwildCost};
+use sgd_linalg::{CpuExec, Exec, Scalar};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::hogwild::shuffled_order;
+use crate::report::RunReport;
+
+/// Which machine the CPU model describes and how many threads to model.
+#[derive(Clone, Debug)]
+pub struct CpuModelConfig {
+    /// The modeled machine.
+    pub spec: CpuSpec,
+    /// Modeled thread count (1 = the paper's `cpu-seq` column).
+    pub threads: usize,
+    /// ViennaCL's GEMM result-size threshold (0 disables it — the Fig. 6
+    /// ablation and the TensorFlow/Eigen comparator).
+    pub gemm_parallel_threshold: usize,
+}
+
+impl CpuModelConfig {
+    /// The paper's machine at `threads` threads with ViennaCL behaviour.
+    pub fn paper_machine(threads: usize) -> Self {
+        CpuModelConfig {
+            spec: CpuSpec::xeon_e5_2660_v4_dual(),
+            threads: threads.max(1),
+            gemm_parallel_threshold: sgd_linalg::DEFAULT_GEMM_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Device label for reports.
+    pub fn device(&self) -> DeviceKind {
+        if self.threads == 1 {
+            DeviceKind::CpuSeq
+        } else {
+            DeviceKind::CpuPar
+        }
+    }
+
+    fn exec(&self) -> CpuModelExec {
+        let mut e = CpuModelExec::new(self.spec.clone(), self.threads);
+        e.gemm_parallel_threshold = self.gemm_parallel_threshold;
+        e
+    }
+}
+
+/// Synchronous (batch) gradient descent with modeled CPU time.
+pub fn run_sync_modeled<T: Task>(
+    task: &T,
+    batch: &Batch<'_>,
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    let mut e = mc.exec();
+    let mut eval = CpuExec::seq();
+    let mut w = task.init_model();
+    let mut g = vec![0.0; task.dim()];
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let stop = opts.stop_loss();
+    let mut timed_out = stop.is_some();
+    for _ in 0..opts.max_epochs {
+        task.gradient(&mut e, batch, &w, &mut g);
+        e.axpy(-alpha, &g, &mut w);
+        let loss = task.loss(&mut eval, batch, &w); // untimed
+        trace.push(e.elapsed_secs(), loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if e.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    RunReport {
+        label: format!("{} sync {} (modeled)", task.name(), mc.device().label()),
+        device: mc.device(),
+        step_size: alpha,
+        trace,
+        opt_seconds: e.elapsed_secs(),
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+/// One bounded-staleness epoch for a linear task: rounds of `round`
+/// examples read the pre-round model, updates apply additively at round
+/// end. `round == 1` is exactly sequential incremental SGD.
+pub(crate) fn staleness_epoch<L: LinearLoss>(
+    loss: &L,
+    batch: &Batch<'_>,
+    w: &mut [Scalar],
+    alpha: f64,
+    order: &[u32],
+    round: usize,
+) {
+    let round = round.max(1);
+    let mut pending: Vec<(u32, Scalar)> = Vec::with_capacity(round * 8);
+    for chunk in order.chunks(round) {
+        pending.clear();
+        for &i in chunk {
+            let i = i as usize;
+            match batch.x {
+                Examples::Sparse(m) => {
+                    let row = m.row(i);
+                    let margin: Scalar =
+                        row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w[c as usize]).sum();
+                    let s = loss.dloss(margin, batch.y[i]);
+                    if s != 0.0 {
+                        let step = -alpha * s;
+                        if round == 1 {
+                            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                                w[c as usize] += step * v;
+                            }
+                        } else {
+                            pending.extend(
+                                row.cols.iter().zip(row.vals).map(|(&c, &v)| (c, step * v)),
+                            );
+                        }
+                    }
+                }
+                Examples::Dense(m) => {
+                    let row = m.row(i);
+                    let margin: Scalar = row.iter().zip(w.iter()).map(|(&v, &wj)| v * wj).sum();
+                    let s = loss.dloss(margin, batch.y[i]);
+                    if s != 0.0 {
+                        let step = -alpha * s;
+                        if round == 1 {
+                            for (j, &v) in row.iter().enumerate() {
+                                w[j] += step * v;
+                            }
+                        } else {
+                            pending.extend(
+                                row.iter().enumerate().map(|(j, &v)| (j as u32, step * v)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for &(c, d) in &pending {
+            w[c as usize] += d;
+        }
+    }
+}
+
+/// Batch shape statistics the Hogwild cost model needs.
+fn batch_stats(batch: &Batch<'_>) -> (usize, f64, usize, usize) {
+    match batch.x {
+        Examples::Sparse(m) => {
+            let (_, avg, _) = m.nnz_per_row_stats();
+            (m.rows(), avg, m.cols(), m.sparse_size_bytes())
+        }
+        Examples::Dense(m) => (m.rows(), m.cols() as f64, m.cols(), 8 * m.len()),
+    }
+}
+
+/// Hogwild for a linear task with modeled time and bounded-staleness
+/// statistics.
+pub fn run_hogwild_modeled<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    let (n, avg_nnz, dim, data_bytes) = batch_stats(batch);
+    let cost = HogwildCost { spec: mc.spec.clone(), threads: mc.threads };
+    let epoch_secs = cost.epoch_secs(n, avg_nnz, dim, data_bytes);
+
+    let order = shuffled_order(n, opts.seed);
+    let mut w = task.init_model();
+    let mut eval = CpuExec::seq();
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let stop = opts.stop_loss();
+    let loss_fn = task.pointwise();
+    let mut elapsed = 0.0;
+    let mut timed_out = stop.is_some();
+    for _ in 0..opts.max_epochs {
+        staleness_epoch(loss_fn, batch, &mut w, alpha, &order, mc.threads);
+        elapsed += epoch_secs;
+        let loss = task.loss(&mut eval, batch, &w);
+        trace.push(elapsed, loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if elapsed > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    RunReport {
+        label: format!("{} async {} (modeled)", task.name(), mc.device().label()),
+        device: mc.device(),
+        step_size: alpha,
+        trace,
+        opt_seconds: elapsed,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+/// Hogbatch with modeled time: workers compute mini-batch gradients
+/// against round-stale snapshots; timing is one batch's modeled
+/// single-thread cost scaled by the batch count over the effective cores,
+/// plus the coherency cost of the concurrent dense model updates.
+pub fn run_hogbatch_modeled<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    assert!(!batches.is_empty(), "at least one mini-batch required");
+    let dim = task.dim();
+    let mut w = task.init_model();
+    let mut eval = CpuExec::seq();
+
+    // Modeled cost of one epoch: per-batch gradient on one core, batches
+    // spread over the machine, coherency from the dense updates.
+    let mut probe = CpuModelExec::new(mc.spec.clone(), 1);
+    let mut g = vec![0.0; dim];
+    task.gradient(&mut probe, &batches[0], &w, &mut g);
+    probe.axpy(-alpha, &g, &mut w);
+    let batch_cost = probe.elapsed_secs();
+    // Re-initialize: the probe step above must not perturb the trajectory.
+    w = task.init_model();
+    let coherency = if mc.threads > 1 {
+        // Each batch update writes the whole (dense) model once, but the
+        // write phase is only a small fraction of a batch's duration, so
+        // the probability that another worker writes concurrently is the
+        // write duty cycle times the number of other workers.
+        let write_secs = dim as f64 * 1e-9;
+        let duty = (write_secs / batch_cost.max(1e-12)).min(1.0);
+        let rate = ((mc.threads - 1) as f64 * duty).min(1.0);
+        let pipelines = (dim as f64 * 8.0 / mc.spec.cacheline as f64).sqrt().max(1.0);
+        batches.len() as f64 * dim as f64 * rate * mc.spec.coherency_inval_ns * 1e-9 / pipelines
+    } else {
+        0.0
+    };
+    // Scale by total rows rather than batch count so a smaller trailing
+    // batch is not charged as a full one.
+    let total_rows: usize = batches.iter().map(|b| b.n()).sum();
+    let equivalent_batches = total_rows as f64 / batches[0].n().max(1) as f64;
+    let epoch_secs =
+        (batch_cost * equivalent_batches / mc.spec.effective_cores(mc.threads)).max(coherency)
+            + if mc.threads > 1 { mc.spec.fork_join_secs } else { 0.0 };
+
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, full, &w));
+    let stop = opts.stop_loss();
+    let mut elapsed = 0.0;
+    let mut timed_out = stop.is_some();
+    let mut cpu = CpuExec::seq();
+    let mut snapshot = vec![0.0; dim];
+    for _ in 0..opts.max_epochs {
+        // Rounds of `threads` batches share a stale snapshot.
+        for group in batches.chunks(mc.threads.max(1)) {
+            snapshot.copy_from_slice(&w);
+            for b in group {
+                task.gradient(&mut cpu, b, &snapshot, &mut g);
+                for (wj, &gj) in w.iter_mut().zip(&g) {
+                    *wj -= alpha * gj;
+                }
+            }
+        }
+        elapsed += epoch_secs;
+        let loss = task.loss(&mut eval, full, &w);
+        trace.push(elapsed, loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if elapsed > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    RunReport {
+        label: format!("{} async {} (hogbatch, modeled)", task.name(), mc.device().label()),
+        device: mc.device(),
+        step_size: alpha,
+        trace,
+        opt_seconds: elapsed,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hogwild::run_hogwild;
+    use crate::sync::run_sync;
+    use sgd_linalg::{CsrMatrix, Matrix};
+    use sgd_models::{lr, MlpTask};
+
+    fn sparse_data(n: usize, d: usize) -> (CsrMatrix, Vec<Scalar>) {
+        let entries: Vec<Vec<(u32, Scalar)>> = (0..n)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                let mut v = vec![((i % d) as u32, sign), (((i * 5 + 1) % d) as u32, sign * 0.5)];
+                v.sort_by_key(|e| e.0);
+                v.dedup_by_key(|e| e.0);
+                v
+            })
+            .collect();
+        let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (CsrMatrix::from_row_entries(n, d, &entries), y)
+    }
+
+    #[test]
+    fn modeled_sync_statistics_match_wall_sync() {
+        let (x, y) = sparse_data(128, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let opts = RunOptions { max_epochs: 8, ..Default::default() };
+        let wall = run_sync(&task, &b, DeviceKind::CpuSeq, 0.5, &opts);
+        let modeled = run_sync_modeled(&task, &b, &CpuModelConfig::paper_machine(56), 0.5, &opts);
+        for (p, q) in wall.trace.points().iter().zip(modeled.trace.points()) {
+            assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
+        }
+        assert!(modeled.opt_seconds > 0.0);
+    }
+
+    #[test]
+    fn modeled_single_thread_hogwild_matches_wall_hogwild() {
+        let (x, y) = sparse_data(200, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let opts = RunOptions { max_epochs: 6, ..Default::default() };
+        let wall = run_hogwild(&task, &b, 1, 0.5, &opts);
+        let modeled = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(1), 0.5, &opts);
+        for (p, q) in wall.trace.points().iter().zip(modeled.trace.points()) {
+            assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
+        }
+    }
+
+    #[test]
+    fn staleness_changes_trajectory_but_still_converges() {
+        let (x, y) = sparse_data(256, 8); // low-dimensional: much contention
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(8);
+        let opts = RunOptions { max_epochs: 3, ..Default::default() };
+        let fresh = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(1), 0.2, &opts);
+        let stale = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(56), 0.2, &opts);
+        // The delayed reads produce a measurably different trajectory...
+        let diff: f64 = fresh
+            .trace
+            .points()
+            .iter()
+            .zip(stale.trace.points())
+            .map(|(p, q)| (p.1 - q.1).abs())
+            .sum();
+        assert!(diff > 1e-9, "staleness must alter the trajectory");
+        // ...while both still optimize.
+        let l0 = fresh.trace.points()[0].1;
+        assert!(fresh.best_loss() < 0.5 * l0);
+        assert!(stale.best_loss() < 0.5 * l0);
+    }
+
+    #[test]
+    fn staleness_round_one_is_exactly_incremental() {
+        let (x, y) = sparse_data(128, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let order = crate::hogwild::shuffled_order(128, 1);
+        let mut w1 = task.init_model();
+        staleness_epoch(task.pointwise(), &b, &mut w1, 0.3, &order, 1);
+        // Reference: plain incremental updates in the same order.
+        let mut w2 = task.init_model();
+        for &i in &order {
+            let i = i as usize;
+            let row = x.row(i);
+            let margin: Scalar =
+                row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w2[c as usize]).sum();
+            let s = task.pointwise().dloss(margin, y[i]);
+            for (&c, &v) in row.cols.iter().zip(row.vals) {
+                w2[c as usize] += -0.3 * s * v;
+            }
+        }
+        assert!(sgd_linalg::approx_eq_slice(&w1, &w2, 1e-12));
+    }
+
+    #[test]
+    fn modeled_dense_hogwild_par_slower_per_epoch() {
+        // covtype-like: dense, low-dimensional => parallel is slower.
+        let x = Matrix::from_fn(512, 54, |i, j| (((i + j) % 5) as Scalar - 2.0) / 2.0);
+        let y: Vec<Scalar> = (0..512).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(54);
+        let opts = RunOptions { max_epochs: 2, ..Default::default() };
+        let seq = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(1), 0.1, &opts);
+        let par = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(56), 0.1, &opts);
+        assert!(par.time_per_epoch() > seq.time_per_epoch());
+    }
+
+    #[test]
+    fn modeled_sparse_hogwild_par_faster_per_epoch() {
+        let (x, y) = sparse_data(4096, 100_000);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(100_000);
+        let opts = RunOptions { max_epochs: 2, ..Default::default() };
+        let seq = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(1), 0.1, &opts);
+        let par = run_hogwild_modeled(&task, &b, &CpuModelConfig::paper_machine(56), 0.1, &opts);
+        assert!(par.time_per_epoch() < seq.time_per_epoch());
+    }
+
+    #[test]
+    fn modeled_hogbatch_runs_and_speeds_up() {
+        // w8a-like sizes: large enough that a batch's compute dominates
+        // its model-update write phase (as at the paper's scale).
+        let x = Matrix::from_fn(1024, 300, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (((i * 3 + j) % 4) as Scalar + 1.0) / 4.0
+        });
+        let y: Vec<Scalar> = (0..1024).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let task = MlpTask::new(vec![300, 10, 5, 2], 1);
+        let owned = crate::hogbatch::make_batches(&x, &y, 512);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions { max_epochs: 3, ..Default::default() };
+        // Zero fork/join isolates the scaling law from the (realistic)
+        // per-region overhead, which dominates at this toy scale.
+        let mut mc1 = CpuModelConfig::paper_machine(1);
+        mc1.spec.fork_join_secs = 0.0;
+        let mut mc56 = CpuModelConfig::paper_machine(56);
+        mc56.spec.fork_join_secs = 0.0;
+        let seq = run_hogbatch_modeled(&task, &full, &batches, &mc1, 0.5, &opts);
+        let par = run_hogbatch_modeled(&task, &full, &batches, &mc56, 0.5, &opts);
+        assert!(par.time_per_epoch() < seq.time_per_epoch());
+        // Both make progress on the loss.
+        assert!(seq.best_loss() < seq.trace.points()[0].1);
+        assert!(par.best_loss() < par.trace.points()[0].1);
+    }
+
+    #[test]
+    fn gemm_threshold_ablation_changes_modeled_time() {
+        // Large enough that the input-layer products dominate and benefit
+        // from parallelism once the ViennaCL threshold is lifted.
+        let x = Matrix::from_fn(20_000, 50, |i, j| (((i + j) % 7) as Scalar - 3.0) / 3.0);
+        let y: Vec<Scalar> = (0..20_000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = MlpTask::new(vec![50, 10, 5, 2], 1);
+        let opts = RunOptions { max_epochs: 2, ..Default::default() };
+        // The weight-gradient products (50x10, 10x5, 5x2 results) stay
+        // below the threshold; with it lifted they parallelize too.
+        let mut with = CpuModelConfig::paper_machine(56);
+        with.spec.fork_join_secs = 0.0;
+        let mut without = with.clone();
+        without.gemm_parallel_threshold = 0;
+        let rep_with = run_sync_modeled(&task, &b, &with, 0.5, &opts);
+        let rep_without = run_sync_modeled(&task, &b, &without, 0.5, &opts);
+        assert!(
+            rep_without.time_per_epoch() < rep_with.time_per_epoch(),
+            "lifting the ViennaCL threshold must speed the modeled epoch up: {} vs {}",
+            rep_without.time_per_epoch(),
+            rep_with.time_per_epoch()
+        );
+    }
+}

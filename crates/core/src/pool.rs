@@ -1,0 +1,34 @@
+//! Thread-pool helper for the parallel CPU configurations.
+
+/// Runs `f` inside a dedicated rayon pool of `n` threads, so every
+/// `Backend::par()` primitive invoked within uses exactly that degree of
+/// parallelism (the study's equivalent of setting `OMP_NUM_THREADS`).
+pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n.max(1))
+        .build()
+        .expect("thread pool construction cannot fail for a positive thread count")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_width() {
+        let n = with_threads(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn zero_is_clamped_to_one() {
+        let n = with_threads(0, rayon::current_num_threads);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        assert_eq!(with_threads(2, || 41 + 1), 42);
+    }
+}

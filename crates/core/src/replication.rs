@@ -1,0 +1,215 @@
+//! DimmWitted-style model replication for NUMA-aware Hogwild.
+//!
+//! The paper adopts the DimmWitted (Zhang & Ré, PVLDB 2014) implementation
+//! for its NUMA CPU; DimmWitted's central design axis is *model
+//! replication*: one shared model for the whole machine (PerMachine =
+//! classic Hogwild), one replica per NUMA node with workers sharing their
+//! node's replica, or one replica per core (equivalent to model
+//! averaging). Replicas are averaged at every epoch boundary. The ablation
+//! bench sweeps this axis.
+
+use std::time::Instant;
+
+use sgd_linalg::Scalar;
+use sgd_models::{Batch, LinearLoss, LinearTask, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::hogwild::{hogwild_worker, shuffled_order};
+use crate::report::RunReport;
+use crate::shared_model::SharedModel;
+
+/// Model-replication strategy (DimmWitted's axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replication {
+    /// One model shared by all threads: classic Hogwild.
+    PerMachine,
+    /// One replica per (emulated) NUMA node; threads are assigned
+    /// round-robin; replicas averaged per epoch.
+    PerNode {
+        /// Number of emulated NUMA nodes (the paper's machine has 2).
+        nodes: usize,
+    },
+    /// One replica per thread, averaged per epoch (model averaging).
+    PerCore,
+}
+
+impl Replication {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Replication::PerMachine => "per-machine".into(),
+            Replication::PerNode { nodes } => format!("per-node({nodes})"),
+            Replication::PerCore => "per-core".into(),
+        }
+    }
+
+    fn replicas(&self, threads: usize) -> usize {
+        match self {
+            Replication::PerMachine => 1,
+            Replication::PerNode { nodes } => (*nodes).clamp(1, threads),
+            Replication::PerCore => threads,
+        }
+    }
+}
+
+/// Hogwild with the chosen replication strategy.
+pub fn run_replicated_hogwild<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    replication: Replication,
+    opts: &RunOptions,
+) -> RunReport {
+    let threads = threads.max(1);
+    let n_replicas = replication.replicas(threads);
+    let _dim = task.dim();
+    let init = task.init_model();
+    let replicas: Vec<SharedModel> =
+        (0..n_replicas).map(|_| SharedModel::from_slice(&init)).collect();
+
+    let n = batch.n();
+    let order = shuffled_order(n, opts.seed);
+    let chunk = n.div_ceil(threads);
+    let parts: Vec<&[u32]> = order.chunks(chunk.max(1)).collect();
+
+    let mut eval = sgd_linalg::CpuExec::par();
+    let mut trace = LossTrace::new();
+    let mut avg = init.clone();
+    trace.push(0.0, task.loss(&mut eval, batch, &avg));
+
+    let stop = opts.stop_loss();
+    let loss_fn = task.pointwise();
+    let mut opt_seconds = 0.0;
+    let mut timed_out = true;
+    for _ in 0..opts.max_epochs {
+        let t0 = Instant::now();
+        crossbeam::thread::scope(|s| {
+            for (t, part) in parts.iter().enumerate() {
+                let model = &replicas[t % n_replicas];
+                s.spawn(move |_| hogwild_worker(loss_fn, batch, model, alpha, part));
+            }
+        })
+        .expect("replicated hogwild workers join");
+
+        // Epoch-boundary averaging (counted in optimization time: it is
+        // part of the algorithm, unlike loss evaluation).
+        average_replicas(&replicas, &mut avg);
+        for r in &replicas {
+            r.store_from(&avg);
+        }
+        opt_seconds += t0.elapsed().as_secs_f64();
+
+        let loss = task.loss(&mut eval, batch, &avg);
+        trace.push(opt_seconds, loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+    RunReport {
+        label: format!("{} async {} [{}]", task.name(), device.label(), replication.label()),
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+fn average_replicas(replicas: &[SharedModel], out: &mut [Scalar]) {
+    let inv = 1.0 / replicas.len() as Scalar;
+    out.fill(0.0);
+    let mut buf = vec![0.0; out.len()];
+    for r in replicas {
+        r.snapshot_into(&mut buf);
+        for (o, &v) in out.iter_mut().zip(&buf) {
+            *o += v * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::CsrMatrix;
+    use sgd_models::{lr, Examples};
+
+    fn data(n: usize, d: usize) -> (CsrMatrix, Vec<Scalar>) {
+        let entries: Vec<Vec<(u32, Scalar)>> = (0..n)
+            .map(|i| {
+                let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+                vec![((i % d) as u32, sign), (((i + 3) % d) as u32, sign * 0.5)]
+            })
+            .map(|mut v| {
+                v.sort_by_key(|e| e.0);
+                v.dedup_by_key(|e| e.0);
+                v
+            })
+            .collect();
+        let y = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (CsrMatrix::from_row_entries(n, d, &entries), y)
+    }
+
+    #[test]
+    fn replica_counts() {
+        assert_eq!(Replication::PerMachine.replicas(8), 1);
+        assert_eq!(Replication::PerNode { nodes: 2 }.replicas(8), 2);
+        assert_eq!(Replication::PerNode { nodes: 16 }.replicas(8), 8);
+        assert_eq!(Replication::PerCore.replicas(8), 8);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Replication::PerMachine.label(), "per-machine");
+        assert_eq!(Replication::PerNode { nodes: 2 }.label(), "per-node(2)");
+        assert_eq!(Replication::PerCore.label(), "per-core");
+    }
+
+    #[test]
+    fn all_strategies_converge() {
+        let (x, y) = data(256, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let opts = RunOptions { max_epochs: 80, ..Default::default() };
+        for repl in [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore] {
+            let rep = run_replicated_hogwild(&task, &b, 4, 0.5, repl, &opts);
+            assert!(rep.best_loss() < 0.3, "{}: loss {}", repl.label(), rep.best_loss());
+        }
+    }
+
+    #[test]
+    fn per_machine_single_thread_matches_plain_hogwild() {
+        let (x, y) = data(128, 8);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(8);
+        let opts = RunOptions { max_epochs: 10, ..Default::default() };
+        let a = run_replicated_hogwild(&task, &b, 1, 0.5, Replication::PerMachine, &opts);
+        let h = crate::hogwild::run_hogwild(&task, &b, 1, 0.5, &opts);
+        // Single-threaded, same order and updates: identical trajectories.
+        for (p, q) in a.trace.points().iter().zip(h.trace.points()) {
+            assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
+        }
+    }
+
+    #[test]
+    fn averaging_averages() {
+        let a = SharedModel::from_slice(&[1.0, 3.0]);
+        let b = SharedModel::from_slice(&[3.0, 5.0]);
+        let mut out = vec![0.0; 2];
+        average_replicas(&[a, b], &mut out);
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Run reports and step-size grid search.
+
+use crate::config::DeviceKind;
+use crate::convergence::{ConvergenceSummary, LossTrace};
+
+/// The outcome of one optimizer run: everything needed to fill one cell
+/// block of the paper's Tables II/III.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Configuration label, e.g. `LR sync gpu`.
+    pub label: String,
+    /// Device the run executed on.
+    pub device: DeviceKind,
+    /// Step size used.
+    pub step_size: f64,
+    /// Loss trajectory (time excludes loss evaluation; GPU time is
+    /// simulated kernel time).
+    pub trace: LossTrace,
+    /// Seconds spent in optimization (sum of epoch times).
+    pub opt_seconds: f64,
+    /// `true` when the run hit its time budget before reaching the 1 %
+    /// threshold (reported as `∞` in the tables).
+    pub timed_out: bool,
+    /// Model updates lost to (or serialized by) intra-warp conflicts;
+    /// recorded only by the GPU asynchronous kernels.
+    pub update_conflicts: Option<u64>,
+}
+
+impl RunReport {
+    /// Hardware efficiency: average seconds per epoch.
+    pub fn time_per_epoch(&self) -> f64 {
+        let epochs = self.trace.epochs();
+        if epochs == 0 {
+            0.0
+        } else {
+            self.opt_seconds / epochs as f64
+        }
+    }
+
+    /// Convergence summary against a reference optimum.
+    pub fn summarize(&self, optimum: f64) -> ConvergenceSummary {
+        self.trace.summarize(optimum)
+    }
+
+    /// Best loss this run reached.
+    pub fn best_loss(&self) -> f64 {
+        self.trace.best_loss().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// The paper's step-size grid: powers of ten from `1e-6` to `1e2`.
+pub fn step_size_grid() -> Vec<f64> {
+    (-6..=2).map(|e| 10f64.powi(e)).collect()
+}
+
+/// Runs `run` at every step size in `grid` and returns the report with the
+/// fastest time to 1 % above `optimum`; when no step size converges, the
+/// report with the lowest final loss is returned (it carries
+/// `timed_out`/`∞` semantics for the tables).
+pub fn grid_search(optimum: f64, grid: &[f64], mut run: impl FnMut(f64) -> RunReport) -> RunReport {
+    assert!(!grid.is_empty(), "empty step-size grid");
+    let mut best: Option<(Option<f64>, f64, RunReport)> = None;
+    for &alpha in grid {
+        let rep = run(alpha);
+        let t = rep.summarize(optimum).time_to_1pct();
+        let loss = rep.best_loss();
+        let better = match &best {
+            None => true,
+            Some((bt, bloss, _)) => match (t, bt) {
+                (Some(a), Some(b)) => a < *b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => loss < *bloss,
+            },
+        };
+        if better {
+            best = Some((t, loss, rep));
+        }
+    }
+    best.expect("non-empty grid produced at least one report").2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(alpha: f64, times_losses: &[(f64, f64)]) -> RunReport {
+        let mut trace = LossTrace::new();
+        for &(t, l) in times_losses {
+            trace.push(t, l);
+        }
+        RunReport {
+            label: "test".into(),
+            device: DeviceKind::CpuSeq,
+            step_size: alpha,
+            opt_seconds: times_losses.last().map(|&(t, _)| t).unwrap_or(0.0),
+            trace,
+            timed_out: false,
+            update_conflicts: None,
+        }
+    }
+
+    #[test]
+    fn time_per_epoch_averages() {
+        let r = report(0.1, &[(0.0, 1.0), (2.0, 0.5), (4.0, 0.2)]);
+        assert!((r.time_per_epoch() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_is_powers_of_ten() {
+        let g = step_size_grid();
+        assert_eq!(g.len(), 9);
+        assert!((g[0] - 1e-6).abs() < 1e-18);
+        assert!((g[8] - 1e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_search_prefers_fastest_convergence() {
+        // optimum 1.0 -> 1 % threshold at 1.01.
+        let best = grid_search(1.0, &[0.1, 1.0, 10.0], |alpha| {
+            if alpha == 1.0 {
+                report(alpha, &[(0.0, 2.0), (1.0, 1.005)]) // converges at t=1
+            } else if alpha == 10.0 {
+                report(alpha, &[(0.0, 2.0), (0.5, 1.009)]) // converges at t=0.5
+            } else {
+                report(alpha, &[(0.0, 2.0), (1.0, 1.5)]) // never converges
+            }
+        });
+        assert_eq!(best.step_size, 10.0);
+    }
+
+    #[test]
+    fn grid_search_falls_back_to_lowest_loss() {
+        let best = grid_search(0.0, &[0.1, 1.0], |alpha| {
+            report(alpha, &[(0.0, 2.0), (1.0, if alpha == 1.0 { 0.5 } else { 0.9 })])
+        });
+        assert_eq!(best.step_size, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty step-size grid")]
+    fn empty_grid_rejected() {
+        let _ = grid_search(0.0, &[], |a| report(a, &[(0.0, 1.0)]));
+    }
+}

@@ -1,0 +1,168 @@
+//! The lock-free shared model of the asynchronous optimizers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sgd_linalg::Scalar;
+
+/// A model vector shared by concurrent Hogwild threads without any locks.
+///
+/// Each coordinate is an `f64` stored in an `AtomicU64` cell accessed with
+/// `Relaxed` ordering — the Rust-sound equivalent of Hogwild's benign
+/// races. [`SharedModel::add`] is deliberately a *plain* read-modify-write
+/// (load, add, store), not a `fetch_add` loop: concurrent updates to the
+/// same coordinate can be lost, exactly as in the paper's lock-free
+/// implementation. [`SharedModel::fetch_add`] provides the CAS-based
+/// lossless variant for the ablation benches.
+pub struct SharedModel {
+    cells: Vec<AtomicU64>,
+}
+
+impl SharedModel {
+    /// A shared model initialized from `w`.
+    pub fn from_slice(w: &[Scalar]) -> Self {
+        SharedModel { cells: w.iter().map(|&v| AtomicU64::new(v.to_bits())).collect() }
+    }
+
+    /// Number of coordinates.
+    pub fn dim(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Racy read of coordinate `i`.
+    #[inline]
+    pub fn read(&self, i: usize) -> Scalar {
+        Scalar::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Racy write of coordinate `i`.
+    #[inline]
+    pub fn write(&self, i: usize, v: Scalar) {
+        self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Hogwild update `w[i] += delta` as a plain load/add/store; concurrent
+    /// updates may be lost (the algorithm tolerates this).
+    #[inline]
+    pub fn add(&self, i: usize, delta: Scalar) {
+        let v = self.read(i) + delta;
+        self.write(i, v);
+    }
+
+    /// Lossless update via compare-and-swap (ablation variant).
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: Scalar) {
+        let cell = &self.cells[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (Scalar::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Copies the current model into a plain vector (racy snapshot).
+    pub fn snapshot(&self) -> Vec<Scalar> {
+        self.cells.iter().map(|c| Scalar::from_bits(c.load(Ordering::Relaxed))).collect()
+    }
+
+    /// Snapshot into an existing buffer without allocating.
+    pub fn snapshot_into(&self, out: &mut [Scalar]) {
+        assert_eq!(out.len(), self.cells.len(), "snapshot buffer size mismatch");
+        for (o, c) in out.iter_mut().zip(&self.cells) {
+            *o = Scalar::from_bits(c.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrites the model from a plain vector.
+    pub fn store_from(&self, w: &[Scalar]) {
+        assert_eq!(w.len(), self.cells.len(), "model size mismatch");
+        for (c, &v) in self.cells.iter().zip(w) {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_values() {
+        let m = SharedModel::from_slice(&[1.5, -2.25, 0.0]);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.read(1), -2.25);
+        m.write(2, 7.0);
+        m.add(0, 0.5);
+        assert_eq!(m.snapshot(), vec![2.0, -2.25, 7.0]);
+    }
+
+    #[test]
+    fn snapshot_into_matches_snapshot() {
+        let m = SharedModel::from_slice(&[1.0, 2.0]);
+        let mut buf = vec![0.0; 2];
+        m.snapshot_into(&mut buf);
+        assert_eq!(buf, m.snapshot());
+    }
+
+    #[test]
+    fn store_from_overwrites() {
+        let m = SharedModel::from_slice(&[0.0; 4]);
+        m.store_from(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.snapshot(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn fetch_add_is_lossless_under_contention() {
+        let m = Arc::new(SharedModel::from_slice(&[0.0]));
+        let threads = 8;
+        let per = 10_000;
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                let m = Arc::clone(&m);
+                s.spawn(move |_| {
+                    for _ in 0..per {
+                        m.fetch_add(0, 1.0);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(m.read(0), (threads * per) as f64);
+    }
+
+    #[test]
+    fn plain_add_may_lose_updates_but_stays_sane() {
+        // The racy add can lose increments; it must never corrupt the value
+        // (each read/write is atomic) and single-threaded it is exact.
+        let m = SharedModel::from_slice(&[0.0]);
+        for _ in 0..1000 {
+            m.add(0, 1.0);
+        }
+        assert_eq!(m.read(0), 1000.0);
+
+        let m = Arc::new(SharedModel::from_slice(&[0.0]));
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move |_| {
+                    for _ in 0..50_000 {
+                        m.add(0, 1.0);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let v = m.read(0);
+        assert!(v > 0.0 && v <= 200_000.0, "value {v}");
+        assert_eq!(v.fract(), 0.0, "value must be a whole count, got {v}");
+    }
+
+    #[test]
+    #[should_panic(expected = "model size mismatch")]
+    fn store_from_checks_len() {
+        SharedModel::from_slice(&[0.0; 2]).store_from(&[1.0]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Synchronous SGD (full-batch gradient descent per epoch).
+//!
+//! The paper's synchronous configuration: the optimization epoch is a
+//! sequence of blocking linear-algebra primitives (Algorithm 2), so the
+//! model is updated once per pass and statistical efficiency is identical
+//! across devices — only hardware efficiency differs. The identical task
+//! code runs on all three devices through the `Exec` abstraction.
+
+use std::time::Instant;
+
+use sgd_gpusim::kernels::GpuExec;
+use sgd_linalg::{CpuExec, Exec};
+use sgd_models::{Batch, Task};
+
+use crate::config::{DeviceKind, RunOptions};
+use crate::convergence::LossTrace;
+use crate::pool::with_threads;
+use crate::report::RunReport;
+
+/// Runs synchronous (batch) gradient descent for `task` over `batch` on
+/// the given device with step size `alpha`.
+///
+/// GPU time is simulated kernel time; because the synchronous access
+/// pattern is identical every epoch, the GPU run traces the first two
+/// epochs (cold and warm cache) and replays the warm epoch cost for the
+/// remainder while still computing functionally exact updates.
+pub fn run_sync<T: Task>(
+    task: &T,
+    batch: &Batch<'_>,
+    device: DeviceKind,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    match device {
+        DeviceKind::CpuSeq => cpu_run(task, batch, CpuExec::seq(), device, alpha, opts),
+        DeviceKind::CpuPar => with_threads(opts.threads, || {
+            cpu_run(task, batch, CpuExec::par(), device, alpha, opts)
+        }),
+        DeviceKind::Gpu => gpu_run(task, batch, alpha, opts),
+    }
+}
+
+fn label<T: Task>(task: &T, device: DeviceKind) -> String {
+    format!("{} sync {}", task.name(), device.label())
+}
+
+fn cpu_run<T: Task>(
+    task: &T,
+    batch: &Batch<'_>,
+    mut e: CpuExec,
+    device: DeviceKind,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    let mut w = task.init_model();
+    let mut g = vec![0.0; task.dim()];
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut e, batch, &w));
+    let stop = opts.stop_loss();
+    let mut opt_seconds = 0.0;
+    let mut timed_out = true;
+    for _ in 0..opts.max_epochs {
+        let t0 = Instant::now();
+        task.gradient(&mut e, batch, &w, &mut g);
+        e.axpy(-alpha, &g, &mut w);
+        opt_seconds += t0.elapsed().as_secs_f64();
+        let loss = task.loss(&mut e, batch, &w); // excluded from timing
+        trace.push(opt_seconds, loss);
+        if !loss.is_finite() {
+            break; // diverged; grid search will discard this step size
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: label(task, device),
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+fn gpu_run<T: Task>(task: &T, batch: &Batch<'_>, alpha: f64, opts: &RunOptions) -> RunReport {
+    let mut dev = opts.gpu_device();
+    let mut eval = CpuExec::seq();
+    let mut w = task.init_model();
+    let mut g = vec![0.0; task.dim()];
+    let mut trace = LossTrace::new();
+    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let stop = opts.stop_loss();
+    let mut warm_epoch_cost = 0.0;
+    let mut timed_out = true;
+    for epoch in 0..opts.max_epochs {
+        if epoch < 2 {
+            // Trace the real kernel stream (epoch 0 cold, epoch 1 warm L2).
+            let t0 = dev.elapsed_secs();
+            let mut e = GpuExec::new(&mut dev);
+            task.gradient(&mut e, batch, &w, &mut g);
+            e.axpy(-alpha, &g, &mut w);
+            warm_epoch_cost = dev.elapsed_secs() - t0;
+        } else {
+            // Identical access pattern: replay the warm-epoch cost while
+            // computing the numerically identical update on the host.
+            task.gradient(&mut eval, batch, &w, &mut g);
+            eval.axpy(-alpha, &g, &mut w);
+            dev.advance_secs(warm_epoch_cost);
+        }
+        let loss = task.loss(&mut eval, batch, &w);
+        trace.push(dev.elapsed_secs(), loss);
+        if !loss.is_finite() {
+            break;
+        }
+        if stop.is_some_and(|s| loss <= s) {
+            timed_out = false;
+            break;
+        }
+        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+            break;
+        }
+    }
+    if stop.is_none() {
+        timed_out = false;
+    }
+    RunReport {
+        label: label(task, DeviceKind::Gpu),
+        device: DeviceKind::Gpu,
+        step_size: alpha,
+        trace,
+        opt_seconds: dev.elapsed_secs(),
+        timed_out,
+        update_conflicts: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::{CsrMatrix, Matrix};
+    use sgd_models::{lr, svm, Examples};
+
+    fn separable() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_fn(64, 4, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * ((i * 7 + j * 3) % 5 + 1) as f64 / 5.0
+        });
+        let y: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn all_devices_produce_identical_statistics() {
+        // Synchronous updates are deterministic: the loss trajectory must
+        // be numerically identical across devices (paper: "the statistical
+        // efficiency is identical in synchronous SGD").
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 12, threads: 2, ..Default::default() };
+        let seq = run_sync(&task, &b, DeviceKind::CpuSeq, 1.0, &opts);
+        let par = run_sync(&task, &b, DeviceKind::CpuPar, 1.0, &opts);
+        let gpu = run_sync(&task, &b, DeviceKind::Gpu, 1.0, &opts);
+        let ls: Vec<f64> = seq.trace.points().iter().map(|&(_, l)| l).collect();
+        let lp: Vec<f64> = par.trace.points().iter().map(|&(_, l)| l).collect();
+        let lg: Vec<f64> = gpu.trace.points().iter().map(|&(_, l)| l).collect();
+        assert_eq!(ls.len(), lp.len());
+        assert_eq!(ls.len(), lg.len());
+        for i in 0..ls.len() {
+            assert!((ls[i] - lp[i]).abs() < 1e-9, "epoch {i}: {} vs {}", ls[i], lp[i]);
+            assert!((ls[i] - lg[i]).abs() < 1e-12, "epoch {i}: {} vs {}", ls[i], lg[i]);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_on_separable_data() {
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = svm(4);
+        let opts = RunOptions { max_epochs: 40, ..Default::default() };
+        let rep = run_sync(&task, &b, DeviceKind::CpuSeq, 1.0, &opts);
+        assert!(rep.best_loss() < 0.5, "loss {}", rep.best_loss());
+        assert!(rep.time_per_epoch() > 0.0);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path() {
+        let (x, y) = separable();
+        let sparse = CsrMatrix::from_dense(&x);
+        let bd = Batch::new(Examples::Dense(&x), &y);
+        let bs = Batch::new(Examples::Sparse(&sparse), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 8, ..Default::default() };
+        let rd = run_sync(&task, &bd, DeviceKind::CpuSeq, 0.5, &opts);
+        let rs = run_sync(&task, &bs, DeviceKind::CpuSeq, 0.5, &opts);
+        for (a, b) in rd.trace.points().iter().zip(rs.trace.points()) {
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_stop_at_target_loss() {
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions {
+            max_epochs: 500,
+            target_loss: Some(0.2),
+            ..Default::default()
+        };
+        let rep = run_sync(&task, &b, DeviceKind::CpuSeq, 1.0, &opts);
+        assert!(!rep.timed_out);
+        assert!(rep.trace.epochs() < 500, "stopped early");
+        let last = rep.trace.points().last().expect("nonempty").1;
+        assert!(last <= 0.2 * 1.01 + 1e-12);
+    }
+
+    #[test]
+    fn divergent_step_size_terminates() {
+        // Non-separable data (conflicting labels on identical examples):
+        // a huge step size can never reach a near-zero loss.
+        let (x, mut y) = separable();
+        for i in (0..y.len()).step_by(4) {
+            y[i] = -y[i];
+        }
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 50, target_loss: Some(1e-6), ..Default::default() };
+        let rep = run_sync(&task, &b, DeviceKind::CpuSeq, 1e6, &opts);
+        // The run must terminate without reporting convergence to ~0 loss.
+        assert!(rep.summarize(0.0).time_to_1pct().is_none());
+        assert!(rep.trace.epochs() <= 50);
+    }
+
+    #[test]
+    fn gpu_epochs_have_consistent_cost() {
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 10, ..Default::default() };
+        let rep = run_sync(&task, &b, DeviceKind::Gpu, 0.5, &opts);
+        let pts = rep.trace.points();
+        // Epoch costs after the warm-up are exactly equal (replayed).
+        let d3 = pts[3].0 - pts[2].0;
+        let d9 = pts[9].0 - pts[8].0;
+        assert!((d3 - d9).abs() < 1e-15, "{d3} vs {d9}");
+        assert!(rep.opt_seconds > 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Saturating bandwidth curves and cache-fit tiers.
+
+use crate::spec::CpuSpec;
+
+/// Streaming bandwidth available to `threads` hardware threads, GB/s:
+/// per-core bandwidth scales until the sockets saturate. Threads are
+/// assumed to be spread across sockets (the OS scheduler and the paper's
+/// NUMA-aware placement both do this).
+pub fn stream_bw_gbps(spec: &CpuSpec, threads: usize) -> f64 {
+    let eff = spec.effective_cores(threads);
+    (eff * spec.stream_bw_core_gbps).min(spec.stream_bw_socket_gbps * spec.sockets as f64)
+}
+
+/// Bandwidth multiplier when `working_set` bytes fit in a cache tier
+/// available to `threads` threads. The aggregate-private-L2 tier is what
+/// produces the paper's super-linear parallel speedups: a dataset that
+/// thrashes a single core's cache fits entirely in the union of 28 L2s.
+fn cache_fit_multiplier(spec: &CpuSpec, threads: usize, working_set: usize) -> f64 {
+    let cores = spec.effective_cores(threads).ceil();
+    let scale = spec.cache_scale;
+    let l1_agg = spec.l1_bytes as f64 * cores * scale;
+    let l2_agg = spec.l2_bytes as f64 * cores * scale;
+    let l3_total = (spec.l3_bytes * spec.sockets) as f64 * scale;
+    let ws = working_set as f64;
+    if ws <= l1_agg {
+        8.0
+    } else if ws <= l2_agg {
+        4.0
+    } else if ws <= l3_total {
+        2.0
+    } else {
+        1.0
+    }
+}
+
+/// Effective streaming bandwidth for a primitive with the given working
+/// set, GB/s.
+pub fn effective_stream_bw_gbps(spec: &CpuSpec, threads: usize, working_set: usize) -> f64 {
+    stream_bw_gbps(spec, threads) * cache_fit_multiplier(spec, threads, working_set)
+}
+
+/// Cost of one random (gather/scatter) cache-line access in nanoseconds,
+/// for a structure of `struct_bytes` accessed by `threads` threads:
+/// cached tiers are cheap, DRAM-resident structures pay the full random
+/// latency. This is the per-access cost seen by *one* thread; aggregate
+/// random throughput saturates like streaming bandwidth, which callers
+/// model by dividing total work by [`CpuSpec::effective_cores`] and
+/// flooring at the machine's random-access capability.
+pub fn random_line_cost_ns(spec: &CpuSpec, struct_bytes: usize) -> f64 {
+    if struct_bytes <= spec.l1_bytes {
+        0.8 // L1-resident: ~a couple of cycles
+    } else if struct_bytes <= spec.l2_bytes {
+        2.0
+    } else if struct_bytes <= spec.l3_bytes * spec.sockets {
+        4.0
+    } else {
+        spec.random_line_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::xeon_e5_2660_v4_dual()
+    }
+
+    #[test]
+    fn stream_bw_saturates() {
+        let s = spec();
+        assert!((stream_bw_gbps(&s, 1) - 12.0).abs() < 1e-9);
+        // 28 cores x 12 GB/s would be 336; the sockets cap at 130.
+        assert!((stream_bw_gbps(&s, 56) - 130.0).abs() < 1e-9);
+        assert!(stream_bw_gbps(&s, 4) > stream_bw_gbps(&s, 1));
+    }
+
+    #[test]
+    fn cache_tiers_order() {
+        let s = spec();
+        // 4 MB working set: thrashes one core's L2, fits 28 cores' L2s.
+        let seq = effective_stream_bw_gbps(&s, 1, 4 << 20);
+        let par = effective_stream_bw_gbps(&s, 28, 4 << 20);
+        assert!(par / seq > 20.0, "super-linear region: {seq} vs {par}");
+        // A DRAM-sized working set scales sub-linearly.
+        let seq_big = effective_stream_bw_gbps(&s, 1, 1 << 30);
+        let par_big = effective_stream_bw_gbps(&s, 28, 1 << 30);
+        assert!(par_big / seq_big < 28.0);
+    }
+
+    #[test]
+    fn random_cost_by_tier() {
+        let s = spec();
+        assert!(random_line_cost_ns(&s, 1024) < 1.0);
+        assert!(random_line_cost_ns(&s, 100 * 1024) <= 2.0);
+        assert!(random_line_cost_ns(&s, 10 << 20) <= 4.0);
+        assert_eq!(random_line_cost_ns(&s, 1 << 30), s.random_line_ns);
+        // Monotone in structure size.
+        let sizes = [1024usize, 100 * 1024, 10 << 20, 1 << 30];
+        let costs: Vec<f64> = sizes.iter().map(|&b| random_line_cost_ns(&s, b)).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,336 @@
+//! `Exec` implementation with modeled time.
+
+use sgd_linalg::{Backend, CsrMatrix, Exec, Matrix, Scalar};
+
+use crate::bandwidth::{effective_stream_bw_gbps, random_line_cost_ns};
+use crate::spec::CpuSpec;
+
+/// Aggregate random-access throughput saturates well before streaming
+/// bandwidth does: gathers/scatters from many cores contend in the L3 and
+/// the memory controllers. Calibrated so the paper's best sparse Hogwild
+/// speedup (~6X on news) is reproduced.
+pub(crate) const RANDOM_PARALLEL_CAP: f64 = 8.0;
+
+/// A CPU executor that computes functionally exact results (via the
+/// sequential reference backend) while charging modeled time for the
+/// paper's machine at a chosen thread count.
+///
+/// Parallelization rules mirror the real `sgd-linalg` backend: matrix
+/// products below the ViennaCL result-size threshold stay sequential, and
+/// element-wise kernels below the fork/join cut-off stay sequential.
+pub struct CpuModelExec {
+    spec: CpuSpec,
+    threads: usize,
+    /// ViennaCL's GEMM result-size threshold (0 = always parallel).
+    pub gemm_parallel_threshold: usize,
+    min_parallel_len: usize,
+    elapsed: f64,
+    functional: Backend,
+}
+
+impl CpuModelExec {
+    /// A modeled executor for `threads` hardware threads on `spec`.
+    pub fn new(spec: CpuSpec, threads: usize) -> Self {
+        CpuModelExec {
+            threads: threads.max(1),
+            spec,
+            gemm_parallel_threshold: sgd_linalg::DEFAULT_GEMM_PARALLEL_THRESHOLD,
+            min_parallel_len: 4096,
+            elapsed: 0.0,
+            functional: Backend::seq(),
+        }
+    }
+
+    /// The paper's machine at the given thread count.
+    pub fn paper_machine(threads: usize) -> Self {
+        CpuModelExec::new(CpuSpec::xeon_e5_2660_v4_dual(), threads)
+    }
+
+    /// Modeled seconds accumulated so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Resets the modeled clock.
+    pub fn reset(&mut self) {
+        self.elapsed = 0.0;
+    }
+
+    /// The modeled machine.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Modeled thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Charges a streaming primitive: `flops` of arithmetic over `bytes`
+    /// of traffic with the given working set, on `threads_used` threads.
+    fn charge_stream(&mut self, flops: f64, bytes: f64, working_set: usize, threads_used: usize) {
+        let t_compute = flops / self.spec.peak_flops(threads_used);
+        let bw = effective_stream_bw_gbps(&self.spec, threads_used, working_set) * 1e9;
+        let t_mem = bytes / bw;
+        self.elapsed += t_compute.max(t_mem);
+        if threads_used > 1 {
+            self.elapsed += self.spec.fork_join_secs;
+        }
+    }
+
+    /// Charges `lines` random cache-line accesses into a structure of
+    /// `struct_bytes` (gathers/scatters), on `threads_used` threads.
+    fn charge_random(&mut self, lines: f64, struct_bytes: usize, threads_used: usize) {
+        let per_line = random_line_cost_ns(&self.spec, struct_bytes) * 1e-9;
+        let eff = self.spec.effective_cores(threads_used).min(RANDOM_PARALLEL_CAP);
+        self.elapsed += lines * per_line / eff;
+    }
+
+    fn elementwise_threads(&self, n: usize) -> usize {
+        if n >= self.min_parallel_len {
+            self.threads
+        } else {
+            1
+        }
+    }
+
+    fn gemm_threads(&self, result_len: usize) -> usize {
+        if result_len >= self.gemm_parallel_threshold.max(1) {
+            self.threads
+        } else {
+            1
+        }
+    }
+}
+
+impl Exec for CpuModelExec {
+    fn dot(&mut self, x: &[Scalar], y: &[Scalar]) -> Scalar {
+        let n = x.len() as f64;
+        self.charge_stream(2.0 * n, 16.0 * n, 16 * x.len(), self.elementwise_threads(x.len()));
+        self.functional.dot(x, y)
+    }
+
+    fn axpy(&mut self, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        let n = x.len() as f64;
+        self.charge_stream(2.0 * n, 24.0 * n, 16 * x.len(), self.elementwise_threads(x.len()));
+        self.functional.axpy(a, x, y)
+    }
+
+    fn scale(&mut self, a: Scalar, x: &mut [Scalar]) {
+        let n = x.len() as f64;
+        self.charge_stream(n, 16.0 * n, 8 * x.len(), self.elementwise_threads(x.len()));
+        self.functional.scale(a, x)
+    }
+
+    fn sum(&mut self, x: &[Scalar]) -> Scalar {
+        let n = x.len() as f64;
+        self.charge_stream(n, 8.0 * n, 8 * x.len(), self.elementwise_threads(x.len()));
+        self.functional.sum(x)
+    }
+
+    fn gemv(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        let (r, c) = (a.rows() as f64, a.cols() as f64);
+        self.charge_stream(2.0 * r * c, 8.0 * (r * c + r + c), 8 * a.len(), self.threads);
+        self.functional.gemv(a, x, y)
+    }
+
+    fn gemv_t(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        let (r, c) = (a.rows() as f64, a.cols() as f64);
+        // Per-chunk partial buffers add one extra write/read of y per chunk
+        // (the backend caps scatter partials at 8, a two-level reduction).
+        let extra = 16.0 * c * self.threads.min(8) as f64;
+        self.charge_stream(2.0 * r * c, 8.0 * (r * c + r + c) + extra, 8 * a.len(), self.threads);
+        self.functional.gemv_t(a, x, y)
+    }
+
+    fn gemm(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let (n, k, m) = (a.rows() as f64, a.cols() as f64, b.cols() as f64);
+        let threads = self.gemm_threads(c.len());
+        self.charge_stream(
+            2.0 * n * k * m,
+            8.0 * (n * k + k * m + n * m),
+            8 * (a.len() + b.len() + c.len()),
+            threads,
+        );
+        self.functional.gemm(a, b, c)
+    }
+
+    fn gemm_nt(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let (n, k, m) = (a.rows() as f64, a.cols() as f64, b.rows() as f64);
+        let threads = self.gemm_threads(c.len());
+        self.charge_stream(
+            2.0 * n * k * m,
+            8.0 * (n * k + k * m + n * m),
+            8 * (a.len() + b.len() + c.len()),
+            threads,
+        );
+        self.functional.gemm_nt(a, b, c)
+    }
+
+    fn gemm_tn(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        let (k, n, m) = (a.cols() as f64, a.rows() as f64, b.cols() as f64);
+        let threads = self.gemm_threads(c.len());
+        self.charge_stream(
+            2.0 * k * n * m,
+            8.0 * (n * k + n * m + k * m),
+            8 * (a.len() + b.len() + c.len()),
+            threads,
+        );
+        self.functional.gemm_tn(a, b, c)
+    }
+
+    fn spmv(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        let nnz = a.nnz() as f64;
+        // Values + column indices stream; x is gathered randomly.
+        self.charge_stream(2.0 * nnz, 12.0 * nnz + 8.0 * a.rows() as f64, a.sparse_size_bytes(), self.threads);
+        self.charge_random(nnz, 8 * x.len(), self.threads);
+        self.functional.spmv(a, x, y)
+    }
+
+    fn spmv_t(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        let nnz = a.nnz() as f64;
+        self.charge_stream(2.0 * nnz, 12.0 * nnz + 8.0 * a.rows() as f64, a.sparse_size_bytes(), self.threads);
+        // Scatter into y (plus the capped per-chunk partial reduction).
+        self.charge_random(nnz, 8 * y.len(), self.threads);
+        let extra = 16.0 * y.len() as f64 * self.threads.min(8) as f64;
+        self.charge_stream(0.0, extra, 8 * y.len(), self.threads);
+        self.functional.spmv_t(a, x, y)
+    }
+
+    fn map<F>(&mut self, x: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar) -> Scalar + Sync + Send,
+    {
+        let n = x.len() as f64;
+        self.charge_stream(flops_per_elem * n, 16.0 * n, 8 * x.len(), self.elementwise_threads(x.len()));
+        self.functional.map_inplace(x, f)
+    }
+
+    fn zip<F>(&mut self, a: &[Scalar], b: &[Scalar], out: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
+    {
+        let n = a.len() as f64;
+        self.charge_stream(flops_per_elem * n, 24.0 * n, 16 * a.len(), self.elementwise_threads(a.len()));
+        self.functional.zip_map(a, b, out, f)
+    }
+
+    fn add_row_bias(&mut self, c: &mut Matrix, b: &[Scalar]) {
+        let n = c.len() as f64;
+        self.charge_stream(n, 16.0 * n, 8 * c.len(), self.elementwise_threads(c.len()));
+        sgd_linalg::CpuExec::seq().add_row_bias(c, b)
+    }
+
+    fn col_sums(&mut self, a: &Matrix, out: &mut [Scalar]) {
+        let n = a.len() as f64;
+        self.charge_stream(n, 8.0 * n, 8 * a.len(), self.elementwise_threads(a.len()));
+        sgd_linalg::CpuExec::seq().col_sums(a, out)
+    }
+
+    fn softmax_xent(&mut self, z: &mut Matrix, classes: &[usize]) -> Scalar {
+        let n = z.len() as f64;
+        self.charge_stream(6.0 * n, 16.0 * n, 8 * z.len(), self.elementwise_threads(z.len()));
+        sgd_linalg::softmax_xent_reference(z, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::approx_eq_slice;
+
+    #[test]
+    fn functional_results_match_reference() {
+        let a = Matrix::from_fn(20, 8, |i, j| ((i * 8 + j) % 7) as Scalar - 3.0);
+        let x: Vec<Scalar> = (0..8).map(|i| i as Scalar * 0.5).collect();
+        let mut e = CpuModelExec::paper_machine(56);
+        let mut y1 = vec![0.0; 20];
+        e.gemv(&a, &x, &mut y1);
+        let mut y2 = vec![0.0; 20];
+        Backend::seq().gemv(&a, &x, &mut y2);
+        assert!(approx_eq_slice(&y1, &y2, 1e-12));
+        assert!(e.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn more_threads_model_less_time_on_large_work() {
+        let a = Matrix::from_fn(400, 300, |i, j| ((i + j) % 5) as Scalar);
+        let x = vec![1.0; 300];
+        let mut y = vec![0.0; 400];
+        let mut seq = CpuModelExec::paper_machine(1);
+        seq.gemv(&a, &x, &mut y);
+        let mut par = CpuModelExec::paper_machine(56);
+        par.gemv(&a, &x, &mut y);
+        assert!(par.elapsed_secs() < seq.elapsed_secs());
+    }
+
+    #[test]
+    fn small_gemm_is_not_parallelized() {
+        // A 10x10 result stays below the ViennaCL threshold: the modeled
+        // time must equal the single-thread time (plus no fork/join).
+        let a = Matrix::from_fn(10, 2000, |i, j| ((i + j) % 3) as Scalar);
+        let b = Matrix::from_fn(2000, 10, |i, j| ((i * j) % 3) as Scalar);
+        let mut c = Matrix::zeros(10, 10);
+        let mut par = CpuModelExec::paper_machine(56);
+        par.gemm(&a, &b, &mut c);
+        let mut seq = CpuModelExec::paper_machine(1);
+        seq.gemm(&a, &b, &mut c);
+        assert!((par.elapsed_secs() - seq.elapsed_secs()).abs() < 1e-12);
+
+        // Lifting the threshold parallelizes it.
+        let mut unconditional = CpuModelExec::paper_machine(56);
+        unconditional.gemm_parallel_threshold = 0;
+        unconditional.gemm(&a, &b, &mut c);
+        assert!(unconditional.elapsed_secs() < seq.elapsed_secs());
+    }
+
+    #[test]
+    fn tiny_elementwise_kernels_stay_sequential() {
+        let mut x = vec![1.0; 100];
+        let mut par = CpuModelExec::paper_machine(56);
+        par.scale(2.0, &mut x);
+        let mut seq = CpuModelExec::paper_machine(1);
+        let mut x2 = vec![1.0; 100];
+        seq.scale(2.0, &mut x2);
+        assert!((par.elapsed_secs() - seq.elapsed_secs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sparse_gather_cost_grows_with_model_size() {
+        // Same nnz, bigger model vector => costlier random gathers.
+        let small_cols = 512usize;
+        let large_cols = 4 << 20;
+        let rows = 64;
+        let make = |cols: usize| {
+            let entries: Vec<Vec<(u32, Scalar)>> = (0..rows)
+                .map(|i| (0..8).map(|k| (((i * 131 + k * 977) % cols) as u32, 1.0)).collect::<Vec<_>>())
+                .map(|mut v| {
+                    v.sort_by_key(|e| e.0);
+                    v.dedup_by_key(|e| e.0);
+                    v
+                })
+                .collect();
+            CsrMatrix::from_row_entries(rows, cols, &entries)
+        };
+        let a_small = make(small_cols);
+        let a_large = make(large_cols);
+        let mut e1 = CpuModelExec::paper_machine(1);
+        let mut y = vec![0.0; rows];
+        e1.spmv(&a_small, &vec![0.5; small_cols], &mut y);
+        let t_small = e1.elapsed_secs();
+        let mut e2 = CpuModelExec::paper_machine(1);
+        e2.spmv(&a_large, &vec![0.5; large_cols], &mut y);
+        let t_large = e2.elapsed_secs();
+        assert!(t_large > t_small, "{t_large} vs {t_small}");
+    }
+
+    #[test]
+    fn reset_clears_clock() {
+        let mut e = CpuModelExec::paper_machine(4);
+        let mut x = vec![1.0; 10_000];
+        e.scale(0.5, &mut x);
+        assert!(e.elapsed_secs() > 0.0);
+        e.reset();
+        assert_eq!(e.elapsed_secs(), 0.0);
+    }
+}

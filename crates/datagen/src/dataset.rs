@@ -1,0 +1,142 @@
+//! The in-memory training dataset.
+
+use sgd_linalg::{CsrMatrix, Matrix, Scalar};
+
+/// A labelled training dataset.
+///
+/// Storage is CSR (the only representation that fits for the large sparse
+/// datasets — Table I shows `rcv1` at 256 GB dense); a dense
+/// materialization is available for the dense code paths where it fits.
+/// Labels are `±1` (the paper's LR and SVM are binary; the MLP uses two
+/// output units over the same labels).
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (profile name, possibly suffixed by a transform).
+    pub name: String,
+    /// The `N x d` example matrix.
+    pub x: CsrMatrix,
+    /// Per-example labels in `{-1.0, +1.0}`.
+    pub y: Vec<Scalar>,
+    /// The planted separator the labels were generated from, when the
+    /// dataset is synthetic. Useful for sanity-checking convergence.
+    pub ground_truth: Option<Vec<Scalar>>,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating shape agreement.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != x.rows()` or a label is not `±1`.
+    pub fn new(name: impl Into<String>, x: CsrMatrix, y: Vec<Scalar>) -> Self {
+        assert_eq!(x.rows(), y.len(), "one label per example required");
+        assert!(y.iter().all(|&l| l == 1.0 || l == -1.0), "labels must be +/-1");
+        Dataset { name: name.into(), x, y, ground_truth: None }
+    }
+
+    /// Number of examples (N).
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features (d).
+    pub fn d(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Dense materialization of the example matrix.
+    ///
+    /// # Panics
+    /// Panics if the dense size would exceed `limit_bytes` — the same
+    /// guard the paper applies when dense `rcv1`/`news` cannot be
+    /// processed even on the CPU.
+    pub fn to_dense(&self, limit_bytes: usize) -> Matrix {
+        let need = self.x.dense_size_bytes();
+        assert!(
+            need <= limit_bytes,
+            "dense representation needs {need} bytes, limit is {limit_bytes}"
+        );
+        self.x.to_dense()
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().filter(|&&l| l > 0.0).count() as f64 / self.y.len() as f64
+    }
+
+    /// A copy restricted to examples `lo..hi` (used for mini-batching
+    /// tests and integration splits).
+    pub fn slice(&self, lo: usize, hi: usize) -> Dataset {
+        assert!(lo <= hi && hi <= self.n());
+        let entries: Vec<Vec<(u32, Scalar)>> = (lo..hi)
+            .map(|i| {
+                let r = self.x.row(i);
+                r.cols.iter().copied().zip(r.vals.iter().copied()).collect()
+            })
+            .collect();
+        Dataset {
+            name: format!("{}[{lo}..{hi}]", self.name),
+            x: CsrMatrix::from_row_entries(hi - lo, self.d(), &entries),
+            y: self.y[lo..hi].to_vec(),
+            ground_truth: self.ground_truth.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let x = CsrMatrix::from_row_entries(
+            3,
+            4,
+            &[vec![(0, 1.0)], vec![(1, 2.0), (3, 1.0)], vec![(2, -1.0)]],
+        );
+        Dataset::new("tiny", x, vec![1.0, -1.0, 1.0])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = tiny();
+        assert_eq!((d.n(), d.d()), (3, 4));
+        assert!((d.positive_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per example")]
+    fn label_count_checked() {
+        let x = CsrMatrix::from_row_entries(2, 2, &[vec![], vec![]]);
+        let _ = Dataset::new("bad", x, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be")]
+    fn label_values_checked() {
+        let x = CsrMatrix::from_row_entries(1, 2, &[vec![]]);
+        let _ = Dataset::new("bad", x, vec![0.5]);
+    }
+
+    #[test]
+    fn dense_guard() {
+        let d = tiny();
+        let m = d.to_dense(usize::MAX);
+        assert_eq!(m.at(1, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense representation needs")]
+    fn dense_guard_rejects_oversized() {
+        let _ = tiny().to_dense(8);
+    }
+
+    #[test]
+    fn slice_extracts_rows_and_labels() {
+        let d = tiny().slice(1, 3);
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.y, vec![-1.0, 1.0]);
+        assert_eq!(d.x.row(0).cols, &[1, 3]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dataset substrate: profiles of the paper's five LIBSVM datasets,
+//! synthetic generators that match those profiles, a real LIBSVM parser,
+//! and the MLP feature-grouping transform.
+//!
+//! The paper evaluates on `covtype`, `w8a`, `real-sim`, `rcv1` and
+//! `news20` (Table I). Those files are not shippable here, so
+//! [`generate`] synthesizes datasets with the same
+//! shape: the published example/feature counts (optionally scaled), the
+//! published nnz-per-example range and average (log-normal fit), a skewed
+//! feature-popularity distribution (text-like), and labels planted from a
+//! ground-truth linear separator plus noise so that every optimizer in the
+//! study has a real optimum to converge to. Genuine LIBSVM files can be
+//! loaded through [`libsvm`] and dropped into the same pipeline.
+
+mod dataset;
+mod generator;
+pub mod libsvm;
+mod profiles;
+pub mod rng_util;
+mod stats;
+mod transform;
+
+pub use dataset::Dataset;
+pub use generator::{generate, plant_labels, GenOptions};
+pub use profiles::{all_profiles, DatasetProfile};
+pub use stats::{table1_row, Table1Row};
+pub use transform::{group_features, normalize_rows};

@@ -1,0 +1,168 @@
+//! LIBSVM text-format reader/writer.
+//!
+//! The paper's datasets ship in this format (`label idx:val idx:val ...`,
+//! 1-based indices). Real files can be dropped into the study through
+//! [`read_file`]; the writer exists so synthetic datasets can be exported
+//! for cross-checking against other systems.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use sgd_linalg::{CsrMatrix, Scalar};
+
+use crate::dataset::Dataset;
+
+/// Parses LIBSVM text. `features` forces the feature-space width; pass 0 to
+/// infer it from the data. Labels are mapped to `±1` (`<= 0` and the
+/// common `0/1` and `1/2` encodings become `-1/+1`).
+pub fn parse_str(name: &str, text: &str, features: usize) -> Result<Dataset, String> {
+    let mut entries: Vec<Vec<(u32, Scalar)>> = Vec::new();
+    let mut raw_labels: Vec<f64> = Vec::new();
+    let mut max_col = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label: f64 = parts
+            .next()
+            .expect("non-empty line has a first token")
+            .parse()
+            .map_err(|e| format!("line {}: bad label: {e}", lineno + 1))?;
+        let mut row: Vec<(u32, Scalar)> = Vec::new();
+        for tok in parts {
+            let (idx, val) = tok
+                .split_once(':')
+                .ok_or_else(|| format!("line {}: expected idx:val, got '{tok}'", lineno + 1))?;
+            let idx: usize =
+                idx.parse().map_err(|e| format!("line {}: bad index: {e}", lineno + 1))?;
+            if idx == 0 {
+                return Err(format!("line {}: LIBSVM indices are 1-based", lineno + 1));
+            }
+            let val: Scalar =
+                val.parse().map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+            max_col = max_col.max(idx);
+            row.push((idx as u32 - 1, val));
+        }
+        entries.push(row);
+        raw_labels.push(label);
+    }
+
+    let d = if features > 0 {
+        if max_col > features {
+            return Err(format!("index {max_col} exceeds declared features {features}"));
+        }
+        features
+    } else {
+        max_col.max(1)
+    };
+
+    // Map labels to +/-1: the largest label value is the positive class
+    // (covers the +1/-1, 1/0 and 2/1 encodings used by the five datasets).
+    let hi = raw_labels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let y: Vec<Scalar> = raw_labels.iter().map(|&l| if l == hi { 1.0 } else { -1.0 }).collect();
+
+    let x = CsrMatrix::from_row_entries(entries.len(), d, &entries);
+    Ok(Dataset::new(name, x, y))
+}
+
+/// Reads a LIBSVM file from disk.
+pub fn read_file(path: &Path, features: usize) -> io::Result<Dataset> {
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("libsvm").to_string();
+    let mut text = String::new();
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut line = String::new();
+    while reader.read_line(&mut line)? != 0 {
+        text.push_str(&line);
+        line.clear();
+    }
+    parse_str(&name, &text, features).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Serializes a dataset to LIBSVM text.
+pub fn to_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for i in 0..ds.n() {
+        let label = if ds.y[i] > 0.0 { "+1" } else { "-1" };
+        out.push_str(label);
+        let row = ds.x.row(i);
+        for (&c, &v) in row.cols.iter().zip(row.vals) {
+            out.push_str(&format!(" {}:{}", c + 1, v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset as a LIBSVM file.
+pub fn write_file(ds: &Dataset, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(to_string(ds).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "+1 1:0.5 3:2\n-1 2:1\n";
+        let ds = parse_str("t", text, 0).expect("valid input");
+        assert_eq!((ds.n(), ds.d()), (2, 3));
+        assert_eq!(ds.y, vec![1.0, -1.0]);
+        assert_eq!(ds.x.row(0).cols, &[0, 2]);
+        assert_eq!(ds.x.row(0).vals, &[0.5, 2.0]);
+    }
+
+    #[test]
+    fn respects_declared_width_and_skips_comments() {
+        let text = "# comment\n+1 1:1\n\n-1 1:2\n";
+        let ds = parse_str("t", text, 10).expect("valid input");
+        assert_eq!(ds.d(), 10);
+        assert_eq!(ds.n(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        assert!(parse_str("t", "+1 0:1\n", 0).unwrap_err().contains("1-based"));
+    }
+
+    #[test]
+    fn rejects_malformed_pair() {
+        assert!(parse_str("t", "+1 abc\n", 0).unwrap_err().contains("idx:val"));
+    }
+
+    #[test]
+    fn rejects_overflowing_index() {
+        assert!(parse_str("t", "+1 5:1\n", 3).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn maps_zero_one_labels() {
+        let ds = parse_str("t", "1 1:1\n0 1:1\n", 0).expect("valid input");
+        assert_eq!(ds.y, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let text = "+1 1:0.5 3:2\n-1 2:1.25\n";
+        let ds = parse_str("t", text, 3).expect("valid input");
+        let ds2 = parse_str("t", &to_string(&ds), 3).expect("round trip");
+        assert_eq!(ds.x, ds2.x);
+        assert_eq!(ds.y, ds2.y);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sgd_study_libsvm_test.svm");
+        let ds = parse_str("t", "+1 1:1 2:-2\n-1 3:0.5\n", 0).expect("valid input");
+        write_file(&ds, &path).expect("write");
+        let back = read_file(&path, 0).expect("read");
+        assert_eq!(ds.x, back.x);
+        assert_eq!(ds.y, back.y);
+        std::fs::remove_file(&path).ok();
+    }
+}

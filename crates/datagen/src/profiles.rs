@@ -1,0 +1,188 @@
+//! The five dataset profiles of Table I.
+
+/// Published characteristics of one experimental dataset (Table I of the
+/// paper), plus the MLP architecture the paper pairs with it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Number of training examples (N).
+    pub examples: usize,
+    /// Number of features (d).
+    pub features: usize,
+    /// Minimum non-zeros per example.
+    pub nnz_min: usize,
+    /// Average non-zeros per example.
+    pub nnz_avg: usize,
+    /// Maximum non-zeros per example.
+    pub nnz_max: usize,
+    /// Number of input units of the paper's MLP for this dataset (features
+    /// are grouped down to this width before MLP training).
+    pub mlp_input: usize,
+    /// Hidden/output layer widths of the paper's MLP (the architecture is
+    /// `mlp_input — hidden... — output`).
+    pub mlp_hidden: [usize; 3],
+    /// `true` when the dataset is fully dense (covtype).
+    pub dense: bool,
+}
+
+impl DatasetProfile {
+    /// `covtype`: 581,012 x 54, fully dense, MLP 54-10-5-2.
+    pub fn covtype() -> Self {
+        DatasetProfile {
+            name: "covtype",
+            examples: 581_012,
+            features: 54,
+            nnz_min: 54,
+            nnz_avg: 54,
+            nnz_max: 54,
+            mlp_input: 54,
+            mlp_hidden: [10, 5, 2],
+            dense: true,
+        }
+    }
+
+    /// `w8a`: 64,700 x 300, 3.88 % sparse, MLP 300-10-5-2.
+    pub fn w8a() -> Self {
+        DatasetProfile {
+            name: "w8a",
+            examples: 64_700,
+            features: 300,
+            nnz_min: 1, // Table I says 0; empty examples carry no signal, so we floor at 1
+            nnz_avg: 12,
+            nnz_max: 114,
+            mlp_input: 300,
+            mlp_hidden: [10, 5, 2],
+            dense: false,
+        }
+    }
+
+    /// `real-sim`: 72,309 x 20,958, 0.25 % sparse, MLP 50-10-5-2.
+    pub fn real_sim() -> Self {
+        DatasetProfile {
+            name: "real-sim",
+            examples: 72_309,
+            features: 20_958,
+            nnz_min: 1,
+            nnz_avg: 51,
+            nnz_max: 3_484,
+            mlp_input: 50,
+            mlp_hidden: [10, 5, 2],
+            dense: false,
+        }
+    }
+
+    /// `rcv1`: 677,399 x 47,236, 0.16 % sparse, MLP 50-10-5-2.
+    pub fn rcv1() -> Self {
+        DatasetProfile {
+            name: "rcv1",
+            examples: 677_399,
+            features: 47_236,
+            nnz_min: 4,
+            nnz_avg: 73,
+            nnz_max: 1_224,
+            mlp_input: 50,
+            mlp_hidden: [10, 5, 2],
+            dense: false,
+        }
+    }
+
+    /// `news`: 19,996 x 1,355,191, 0.03 % sparse, MLP 300-10-5-2.
+    pub fn news() -> Self {
+        DatasetProfile {
+            name: "news",
+            examples: 19_996,
+            features: 1_355_191,
+            nnz_min: 1,
+            nnz_avg: 455,
+            nnz_max: 16_423,
+            mlp_input: 300,
+            mlp_hidden: [10, 5, 2],
+            dense: false,
+        }
+    }
+
+    /// Scales the example count by `f` (features are kept: dimensionality
+    /// drives the architecture comparison, data volume only drives
+    /// absolute runtime). At least 64 examples are kept.
+    pub fn scaled(&self, f: f64) -> Self {
+        assert!(f > 0.0, "scale must be positive");
+        let mut p = self.clone();
+        p.examples = ((self.examples as f64 * f) as usize).max(64);
+        p
+    }
+
+    /// Average-nnz / features, as the percentage reported in Table I.
+    pub fn sparsity_pct(&self) -> f64 {
+        100.0 * self.nnz_avg as f64 / self.features as f64
+    }
+
+    /// The full MLP architecture `[input, hidden..., output]`.
+    pub fn mlp_architecture(&self) -> Vec<usize> {
+        let mut arch = vec![self.mlp_input];
+        arch.extend_from_slice(&self.mlp_hidden);
+        arch
+    }
+}
+
+/// All five profiles in the paper's Table I order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![
+        DatasetProfile::covtype(),
+        DatasetProfile::w8a(),
+        DatasetProfile::real_sim(),
+        DatasetProfile::rcv1(),
+        DatasetProfile::news(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers() {
+        let p = DatasetProfile::rcv1();
+        assert_eq!(p.examples, 677_399);
+        assert_eq!(p.features, 47_236);
+        assert_eq!(p.nnz_avg, 73);
+        // Table I reports 0.16 % sparsity for rcv1.
+        assert!((p.sparsity_pct() - 0.1545).abs() < 0.01);
+    }
+
+    #[test]
+    fn covtype_is_dense() {
+        let p = DatasetProfile::covtype();
+        assert!(p.dense);
+        assert_eq!(p.nnz_min, p.features);
+        assert!((p.sparsity_pct() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlp_architectures_match_table1() {
+        assert_eq!(DatasetProfile::covtype().mlp_architecture(), vec![54, 10, 5, 2]);
+        assert_eq!(DatasetProfile::news().mlp_architecture(), vec![300, 10, 5, 2]);
+        assert_eq!(DatasetProfile::real_sim().mlp_architecture(), vec![50, 10, 5, 2]);
+    }
+
+    #[test]
+    fn scaling_preserves_features_and_floors_examples() {
+        let p = DatasetProfile::news().scaled(0.01);
+        assert_eq!(p.features, 1_355_191);
+        assert_eq!(p.examples, 199);
+        let tiny = DatasetProfile::news().scaled(1e-9);
+        assert_eq!(tiny.examples, 64);
+    }
+
+    #[test]
+    fn all_profiles_ordered_as_table1() {
+        let names: Vec<&str> = all_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["covtype", "w8a", "real-sim", "rcv1", "news"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = DatasetProfile::w8a().scaled(0.0);
+    }
+}

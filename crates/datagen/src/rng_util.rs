@@ -1,0 +1,75 @@
+//! Small sampling utilities built on `rand`.
+//!
+//! The allowed dependency set does not include `rand_distr`, so the two
+//! distributions the generator needs — a standard normal and a clamped
+//! log-normal — are implemented here via Box–Muller.
+
+use rand::Rng;
+
+/// One standard-normal sample (Box–Muller, one branch of the pair).
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal sample with the given underlying `mu`/`sigma`.
+pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Log-normal integer sample clamped to `[min, max]`, parameterized so the
+/// *mean* of the unclamped distribution is `mean`.
+pub fn log_normal_count<R: Rng>(rng: &mut R, mean: f64, sigma: f64, min: usize, max: usize) -> usize {
+    debug_assert!(min <= max);
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) => mu = ln(mean) - sigma^2/2.
+    let mu = mean.max(1.0).ln() - sigma * sigma / 2.0;
+    let v = log_normal(rng, mu, sigma).round() as i64;
+    (v.max(min as i64) as usize).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_count_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            let v = log_normal_count(&mut rng, 73.0, 1.2, 4, 1224);
+            assert!((4..=1224).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_normal_count_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 30_000;
+        let total: usize = (0..n).map(|_| log_normal_count(&mut rng, 73.0, 1.0, 1, 100_000)).sum();
+        let mean = total as f64 / n as f64;
+        // Clamping at 1 biases slightly upward; the target is ±15 %.
+        assert!((mean - 73.0).abs() < 11.0, "mean {mean}");
+    }
+
+    #[test]
+    fn degenerate_range_collapses() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(log_normal_count(&mut rng, 54.0, 1.0, 54, 54), 54);
+        }
+    }
+}

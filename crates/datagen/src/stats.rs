@@ -1,0 +1,136 @@
+//! Dataset statistics — the regenerator of Table I.
+
+use crate::dataset::Dataset;
+use crate::profiles::DatasetProfile;
+use crate::transform::group_features;
+
+/// One row of Table I, computed from an actual (generated or loaded)
+/// dataset.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub name: String,
+    /// Number of examples.
+    pub examples: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Minimum nnz per example.
+    pub nnz_min: usize,
+    /// Average nnz per example.
+    pub nnz_avg: f64,
+    /// Maximum nnz per example.
+    pub nnz_max: usize,
+    /// Sparse representation size in bytes.
+    pub sparse_bytes: usize,
+    /// Dense representation size in bytes.
+    pub dense_bytes: usize,
+    /// LR/SVM sparsity percentage (avg nnz / features).
+    pub lr_svm_sparsity_pct: f64,
+    /// MLP sparsity percentage after feature grouping.
+    pub mlp_sparsity_pct: f64,
+    /// MLP architecture string, e.g. `54-10-5-2`.
+    pub mlp_architecture: String,
+}
+
+impl Table1Row {
+    /// Formats the row like the paper's table.
+    pub fn formatted(&self) -> String {
+        format!(
+            "{:<9} {:>9} {:>9} {:>6} {:>8.1} {:>7}  {:>10} / {:>12}  {:>7.2}%  {:>7.2}%  {}",
+            self.name,
+            self.examples,
+            self.features,
+            self.nnz_min,
+            self.nnz_avg,
+            self.nnz_max,
+            human_bytes(self.sparse_bytes),
+            human_bytes(self.dense_bytes),
+            self.lr_svm_sparsity_pct,
+            self.mlp_sparsity_pct,
+            self.mlp_architecture,
+        )
+    }
+}
+
+/// Computes a Table I row for a dataset generated from (or matching)
+/// `profile`.
+pub fn table1_row(ds: &Dataset, profile: &DatasetProfile) -> Table1Row {
+    let (nnz_min, nnz_avg, nnz_max) = ds.x.nnz_per_row_stats();
+    let mlp = group_features(ds, profile.mlp_input.min(ds.d()));
+    let (_, mlp_avg, _) = mlp.x.nnz_per_row_stats();
+    let arch: Vec<String> = profile.mlp_architecture().iter().map(|u| u.to_string()).collect();
+    Table1Row {
+        name: ds.name.clone(),
+        examples: ds.n(),
+        features: ds.d(),
+        nnz_min,
+        nnz_avg,
+        nnz_max,
+        sparse_bytes: ds.x.sparse_size_bytes(),
+        dense_bytes: ds.x.dense_size_bytes(),
+        lr_svm_sparsity_pct: 100.0 * nnz_avg / ds.d() as f64,
+        mlp_sparsity_pct: 100.0 * mlp_avg / mlp.d() as f64,
+        mlp_architecture: arch.join("-"),
+    }
+}
+
+/// Human-readable byte count (binary units, one decimal).
+pub fn human_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b}{}", UNITS[0])
+    } else {
+        format!("{v:.1}{}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenOptions};
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+
+    #[test]
+    fn row_reflects_generated_data() {
+        let p = DatasetProfile::w8a().scaled(0.02);
+        let ds = generate(&p, &GenOptions::default());
+        let row = table1_row(&ds, &p);
+        assert_eq!(row.examples, p.examples);
+        assert_eq!(row.features, 300);
+        assert!(row.lr_svm_sparsity_pct < 10.0);
+        // w8a keeps its width for the MLP, so the sparsities coincide.
+        assert!((row.mlp_sparsity_pct - row.lr_svm_sparsity_pct).abs() < 1e-9);
+        assert_eq!(row.mlp_architecture, "300-10-5-2");
+        assert!(row.sparse_bytes < row.dense_bytes);
+    }
+
+    #[test]
+    fn grouped_profile_reports_denser_mlp_column() {
+        let p = DatasetProfile::real_sim().scaled(0.005);
+        let ds = generate(&p, &GenOptions::default());
+        let row = table1_row(&ds, &p);
+        assert!(row.mlp_sparsity_pct > 5.0 * row.lr_svm_sparsity_pct);
+    }
+
+    #[test]
+    fn formatted_row_contains_key_fields() {
+        let p = DatasetProfile::covtype().scaled(0.001);
+        let ds = generate(&p, &GenOptions::default());
+        let s = table1_row(&ds, &p).formatted();
+        assert!(s.contains("covtype"));
+        assert!(s.contains("54-10-5-2"));
+        assert!(s.contains("100.00%"));
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's MLP feature-grouping transform.
+//!
+//! To keep the fully-connected nets inside GPU memory, the paper reduces
+//! each dataset's input width by "grouping and reorganizing the features by
+//! averaging the values of hundreds of consecutive features to match the
+//! input layer size of the MLP architecture" (Section IV-A). Grouping makes
+//! most datasets substantially denser — the "MLP sparsity" column of
+//! Table I — which in turn changes the Hogwild conflict behaviour.
+
+use sgd_linalg::{CsrMatrix, Scalar};
+
+use crate::dataset::Dataset;
+
+/// Groups the dataset's features down to `target_inputs` by averaging
+/// consecutive feature blocks, reproducing the paper's MLP preprocessing.
+///
+/// Feature `j` maps to group `j * target / d`; each group's value is the
+/// sum of its members' values divided by the block width (absent features
+/// contribute zero, as in the paper's dense averaging).
+///
+/// # Panics
+/// Panics if `target_inputs` is zero or exceeds the current width.
+pub fn group_features(ds: &Dataset, target_inputs: usize) -> Dataset {
+    let d = ds.d();
+    assert!(target_inputs > 0 && target_inputs <= d, "invalid target width {target_inputs}");
+    if target_inputs == d {
+        let mut out = ds.clone();
+        out.name = format!("{}-mlp", ds.name);
+        out.ground_truth = None;
+        return out;
+    }
+
+    let block = d as f64 / target_inputs as f64;
+    let mut entries: Vec<Vec<(u32, Scalar)>> = Vec::with_capacity(ds.n());
+    let mut acc: Vec<Scalar> = vec![0.0; target_inputs];
+    let mut touched: Vec<u32> = Vec::new();
+    for i in 0..ds.n() {
+        let row = ds.x.row(i);
+        for (&c, &v) in row.cols.iter().zip(row.vals) {
+            let g = ((c as f64 / block) as usize).min(target_inputs - 1);
+            if acc[g] == 0.0 {
+                touched.push(g as u32);
+            }
+            acc[g] += v;
+        }
+        touched.sort_unstable();
+        let mut row_out: Vec<(u32, Scalar)> = Vec::with_capacity(touched.len());
+        for &g in &touched {
+            let width = block_width(d, target_inputs, g as usize);
+            let v = acc[g as usize] / width as Scalar;
+            if v != 0.0 {
+                row_out.push((g, v));
+            }
+            acc[g as usize] = 0.0;
+        }
+        touched.clear();
+        entries.push(row_out);
+    }
+
+    let x = CsrMatrix::from_row_entries(ds.n(), target_inputs, &entries);
+    let mut out = Dataset::new(format!("{}-mlp", ds.name), x, ds.y.clone());
+    out.ground_truth = None; // the planted separator lives in the original space
+    out
+}
+
+/// Returns a copy of `x` with every row L2-normalized (rows with zero
+/// norm are left untouched). The feature-grouping transform shrinks
+/// values by roughly the block width; re-normalizing keeps the MLP inputs
+/// at unit scale so the same step-size grid applies.
+pub fn normalize_rows(x: &CsrMatrix) -> CsrMatrix {
+    let entries: Vec<Vec<(u32, Scalar)>> = (0..x.rows())
+        .map(|i| {
+            let row = x.row(i);
+            let norm = row.norm_sq().sqrt();
+            let inv = if norm > 0.0 { 1.0 / norm } else { 1.0 };
+            row.cols.iter().zip(row.vals).map(|(&c, &v)| (c, v * inv)).collect()
+        })
+        .collect();
+    CsrMatrix::from_row_entries(x.rows(), x.cols(), &entries)
+}
+
+/// Number of original features mapped to group `g`.
+fn block_width(d: usize, target: usize, g: usize) -> usize {
+    let block = d as f64 / target as f64;
+    let lo = (g as f64 * block).ceil() as usize;
+    let hi = (((g + 1) as f64) * block).ceil() as usize;
+    (hi.min(d)).saturating_sub(lo).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenOptions};
+    use crate::profiles::DatasetProfile;
+
+    fn tiny() -> Dataset {
+        let x = CsrMatrix::from_row_entries(
+            2,
+            6,
+            &[
+                vec![(0, 1.0), (1, 2.0), (5, 3.0)],
+                vec![(2, 4.0)],
+            ],
+        );
+        Dataset::new("tiny", x, vec![1.0, -1.0])
+    }
+
+    #[test]
+    fn grouping_averages_consecutive_blocks() {
+        // 6 features -> 3 groups of 2: row 0 groups to [(1+2)/2, 0, 3/2].
+        let g = group_features(&tiny(), 3);
+        assert_eq!(g.d(), 3);
+        let d = g.x.to_dense();
+        assert!((d.at(0, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(d.at(0, 1), 0.0);
+        assert!((d.at(0, 2) - 1.5).abs() < 1e-12);
+        assert!((d.at(1, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouping_preserves_labels_and_names() {
+        let g = group_features(&tiny(), 2);
+        assert_eq!(g.y, vec![1.0, -1.0]);
+        assert_eq!(g.name, "tiny-mlp");
+    }
+
+    #[test]
+    fn identity_grouping_is_a_rename() {
+        let t = tiny();
+        let g = group_features(&t, 6);
+        assert_eq!(g.x, t.x);
+        assert_eq!(g.name, "tiny-mlp");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid target width")]
+    fn wider_than_input_rejected() {
+        let _ = group_features(&tiny(), 7);
+    }
+
+    #[test]
+    fn grouping_increases_density_like_table1() {
+        // real-sim: LR/SVM sparsity 0.25 %, MLP sparsity (after grouping to
+        // 50 inputs) 42.64 % in Table I — grouping makes it much denser.
+        let ds = generate(&DatasetProfile::real_sim().scaled(0.01), &GenOptions::default());
+        let before = ds.x.density();
+        let g = group_features(&ds, 50);
+        let after = g.x.density();
+        assert!(after > 20.0 * before, "density before {before}, after {after}");
+        assert!(after > 0.2, "MLP-transformed real-sim should be fairly dense, got {after}");
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norms() {
+        let x = CsrMatrix::from_row_entries(
+            3,
+            4,
+            &[vec![(0, 3.0), (1, 4.0)], vec![], vec![(2, 0.001)]],
+        );
+        let n = normalize_rows(&x);
+        assert!((n.row(0).norm_sq() - 1.0).abs() < 1e-12);
+        assert_eq!(n.row(1).nnz(), 0);
+        assert!((n.row(2).norm_sq() - 1.0).abs() < 1e-12);
+        // Direction preserved.
+        assert!((n.row(0).vals[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_width_partitions_all_features() {
+        for (d, t) in [(6usize, 3usize), (10, 3), (1355, 300), (54, 54)] {
+            let total: usize = (0..t).map(|g| block_width(d, t, g)).sum();
+            // Widths cover at least all features (rounding can overlap by
+            // at most target).
+            assert!(total >= d - t && total <= d + t, "d={d} t={t} total={total}");
+        }
+    }
+}

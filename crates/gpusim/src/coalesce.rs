@@ -1,0 +1,108 @@
+//! Memory-coalescing analysis.
+//!
+//! When the threads of a warp issue a global-memory instruction, the device
+//! converts the per-lane addresses into as few aligned memory transactions
+//! as possible. Consecutive, aligned addresses coalesce into one 128-byte
+//! line transaction; scattered addresses degenerate into one transaction
+//! per distinct line touched (Section II of the paper: "if the requested
+//! addresses of the warp are sparse or unaligned, several memory
+//! transactions are required").
+
+/// Size of one global-memory transaction (an L2 cache line).
+pub const LINE_BYTES: u64 = 128;
+
+/// Computes the set of memory transactions a warp instruction generates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoalescingAnalyzer;
+
+impl CoalescingAnalyzer {
+    /// Returns the distinct 128-byte line indices touched by the given
+    /// per-lane byte accesses (`(address, size)` pairs), i.e. the memory
+    /// transactions the warp instruction costs. The result is sorted and
+    /// deduplicated.
+    pub fn transactions(&self, accesses: &[(u64, u32)]) -> Vec<u64> {
+        let mut lines: Vec<u64> = Vec::with_capacity(accesses.len());
+        for &(addr, size) in accesses {
+            if size == 0 {
+                continue;
+            }
+            let first = addr / LINE_BYTES;
+            let last = (addr + size as u64 - 1) / LINE_BYTES;
+            for line in first..=last {
+                lines.push(line);
+            }
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+
+    /// Number of transactions for the given accesses.
+    pub fn transaction_count(&self, accesses: &[(u64, u32)]) -> usize {
+        self.transactions(accesses).len()
+    }
+
+    /// Coalescing efficiency: useful bytes divided by transferred bytes
+    /// (1.0 = perfectly coalesced). Returns 1.0 for an empty access list.
+    pub fn efficiency(&self, accesses: &[(u64, u32)]) -> f64 {
+        let useful: u64 = accesses.iter().map(|&(_, s)| s as u64).sum();
+        if useful == 0 {
+            return 1.0;
+        }
+        let moved = self.transaction_count(accesses) as u64 * LINE_BYTES;
+        (useful as f64 / moved as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: CoalescingAnalyzer = CoalescingAnalyzer;
+
+    #[test]
+    fn fully_coalesced_warp_is_two_transactions() {
+        // 32 lanes loading consecutive f64s from an aligned base: 256 bytes
+        // = exactly two 128-byte transactions.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * 8, 8)).collect();
+        assert_eq!(A.transaction_count(&accesses), 2);
+        assert!((A.efficiency(&accesses) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        // All lanes reading the same address (model broadcast) coalesces to
+        // a single transaction.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|_| (4096, 8)).collect();
+        assert_eq!(A.transaction_count(&accesses), 1);
+    }
+
+    #[test]
+    fn strided_access_degenerates() {
+        // Lanes striding by one line each -> one transaction per lane.
+        let accesses: Vec<(u64, u32)> = (0..32).map(|l| (l * LINE_BYTES, 8)).collect();
+        assert_eq!(A.transaction_count(&accesses), 32);
+        assert!(A.efficiency(&accesses) < 0.07);
+    }
+
+    #[test]
+    fn unaligned_access_spans_extra_line() {
+        // One 8-byte access straddling a line boundary costs two lines.
+        assert_eq!(A.transaction_count(&[(LINE_BYTES - 4, 8)]), 2);
+        // Aligned equivalent costs one.
+        assert_eq!(A.transaction_count(&[(LINE_BYTES, 8)]), 1);
+    }
+
+    #[test]
+    fn zero_size_and_empty_are_free() {
+        assert_eq!(A.transaction_count(&[]), 0);
+        assert_eq!(A.transaction_count(&[(64, 0)]), 0);
+        assert!((A.efficiency(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transactions_are_sorted_and_unique() {
+        let tx = A.transactions(&[(3 * LINE_BYTES, 8), (0, 8), (3 * LINE_BYTES + 16, 8)]);
+        assert_eq!(tx, vec![0, 3]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Closed-form roofline costs for regular (dense BLAS) kernels.
+//!
+//! Dense kernels have data-independent, perfectly coalescable access
+//! patterns, so tracing every access would add nothing but runtime. The
+//! analytic model charges `max(compute, memory)` cycles — the classic
+//! roofline — plus launch overhead. Irregular kernels (sparse, Hogwild)
+//! use the trace machinery in [`crate::warp`] instead.
+
+use crate::device::DeviceSpec;
+
+/// Roofline cost model for one device.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    spec: DeviceSpec,
+}
+
+impl CostModel {
+    /// Builds a cost model for the given device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        CostModel { spec }
+    }
+
+    /// The device this model describes.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Cycles for a kernel performing `flops` floating-point operations and
+    /// moving `bytes` through global memory, assuming perfect coalescing
+    /// and full occupancy. Includes launch overhead.
+    pub fn kernel_cycles(&self, flops: f64, bytes: f64) -> f64 {
+        let s = &self.spec;
+        let compute = flops / (s.total_cores() as f64 * s.flops_per_core_cycle);
+        let memory = bytes / s.bytes_per_cycle();
+        s.launch_overhead_cycles as f64 + compute.max(memory)
+    }
+
+    /// Seconds for the same kernel.
+    pub fn kernel_secs(&self, flops: f64, bytes: f64) -> f64 {
+        self.spec.cycles_to_secs(self.kernel_cycles(flops, bytes))
+    }
+
+    /// Arithmetic intensity (FLOPs per byte) at which the device flips from
+    /// memory bound to compute bound.
+    pub fn ridge_point(&self) -> f64 {
+        let s = &self.spec;
+        s.total_cores() as f64 * s.flops_per_core_cycle / s.bytes_per_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_kernel_ignores_flops() {
+        let m = CostModel::new(DeviceSpec::tesla_k80());
+        // 1 GB moved, trivial compute: time ~ 1/240 s.
+        let secs = m.kernel_secs(1e6, 1e9);
+        assert!((secs - 1.0 / 240.0).abs() / (1.0 / 240.0) < 0.01);
+    }
+
+    #[test]
+    fn compute_bound_kernel_ignores_bytes() {
+        let m = CostModel::new(DeviceSpec::tesla_k80());
+        // 4.1 TFLOP of work, 1 KB moved: time ~ 1 s.
+        let flops = m.spec().peak_flops();
+        let secs = m.kernel_secs(flops, 1024.0);
+        assert!((secs - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn launch_overhead_floors_empty_kernels() {
+        let spec = DeviceSpec::tesla_k80();
+        let m = CostModel::new(spec.clone());
+        assert_eq!(m.kernel_cycles(0.0, 0.0), spec.launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn ridge_point_is_flops_over_bandwidth() {
+        let m = CostModel::new(DeviceSpec::tesla_k80());
+        // K80: ~4.1 TFLOPs / 240 GB/s ~ 17 FLOP/byte.
+        let r = m.ridge_point();
+        assert!(r > 15.0 && r < 20.0, "ridge point {r}");
+        // A kernel exactly at the ridge point is equally bound by both.
+        let c1 = m.kernel_cycles(r * 1e6, 1e6);
+        let compute_only = m.kernel_cycles(r * 1e6, 0.0);
+        assert!((c1 - compute_only).abs() < 1.0);
+    }
+}

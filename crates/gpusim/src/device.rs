@@ -1,0 +1,162 @@
+//! GPU hardware parameters.
+
+/// Static description of a simulated GPU.
+///
+/// The defaults come from the paper's Fig. 5 (one GK210 die of a Tesla K80;
+/// only one of the two dies is used in the paper's experiments).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// SIMD width of a warp.
+    pub warp_size: usize,
+    /// Maximum resident threads per SM (bounds occupancy).
+    pub max_threads_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Global-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Latency of a global-memory transaction that misses L2, in cycles.
+    pub dram_latency_cycles: u64,
+    /// Latency of a global-memory transaction that hits L2, in cycles.
+    pub l2_latency_cycles: u64,
+    /// L2 cache capacity in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity (ways per set).
+    pub l2_assoc: usize,
+    /// Fused-multiply-add throughput per core per cycle (counted as 2
+    /// FLOPs).
+    pub flops_per_core_cycle: f64,
+    /// Fixed cost of launching one kernel, in cycles (driver + dispatch).
+    pub launch_overhead_cycles: u64,
+}
+
+impl DeviceSpec {
+    /// One GK210 die of a Tesla K80, the device of the paper (Fig. 5).
+    pub fn tesla_k80() -> Self {
+        DeviceSpec {
+            name: "Tesla K80 (one GK210 die)",
+            sm_count: 13,
+            cores_per_sm: 192,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            clock_ghz: 0.824,
+            mem_bandwidth_gbps: 240.0,
+            dram_latency_cycles: 400,
+            l2_latency_cycles: 40,
+            l2_bytes: 1536 * 1024,
+            l2_assoc: 16,
+            flops_per_core_cycle: 2.0,
+            // ~5 µs launch overhead at 0.824 GHz.
+            launch_overhead_cycles: 4_000,
+        }
+    }
+
+    /// A smaller laptop-class device used by sensitivity/ablation benches.
+    pub fn small_gpu() -> Self {
+        DeviceSpec {
+            name: "small reference GPU",
+            sm_count: 4,
+            cores_per_sm: 128,
+            warp_size: 32,
+            max_threads_per_sm: 1024,
+            clock_ghz: 1.0,
+            mem_bandwidth_gbps: 80.0,
+            dram_latency_cycles: 350,
+            l2_latency_cycles: 35,
+            l2_bytes: 512 * 1024,
+            l2_assoc: 8,
+            flops_per_core_cycle: 2.0,
+            launch_overhead_cycles: 3_000,
+        }
+    }
+
+    /// Returns a copy with fixed per-launch costs scaled by `f` — the
+    /// scaled-simulation companion of shrinking the datasets to a fraction
+    /// of their published size, so launch overhead keeps the same relative
+    /// weight per epoch as at full scale. Bandwidths, latencies and cache
+    /// capacity are physical properties and do not scale.
+    pub fn scaled(&self, f: f64) -> Self {
+        assert!(f > 0.0 && f <= 1.0, "scale must be in (0, 1]");
+        let mut s = self.clone();
+        s.launch_overhead_cycles = ((self.launch_overhead_cycles as f64 * f) as u64).max(1);
+        s
+    }
+
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Warp instructions one SM can issue per cycle (6 for the K80's 192
+    /// cores / 32-wide warps).
+    pub fn warp_issue_per_sm(&self) -> f64 {
+        self.cores_per_sm as f64 / self.warp_size as f64
+    }
+
+    /// Resident warps per SM at full occupancy.
+    pub fn resident_warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Peak single-issue FLOPs per second.
+    pub fn peak_flops(&self) -> f64 {
+        self.total_cores() as f64 * self.flops_per_core_cycle * self.clock_ghz * 1e9
+    }
+
+    /// Global-memory bytes deliverable per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1e9 / (self.clock_ghz * 1e9)
+    }
+
+    /// Converts a cycle count into seconds of simulated time.
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_matches_paper_fig5() {
+        let d = DeviceSpec::tesla_k80();
+        assert_eq!(d.sm_count, 13);
+        assert_eq!(d.cores_per_sm, 192);
+        assert_eq!(d.total_cores(), 2496);
+        assert_eq!(d.warp_size, 32);
+        assert_eq!(d.l2_bytes, 1536 * 1024);
+        assert_eq!(d.resident_warps_per_sm(), 64);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let d = DeviceSpec::tesla_k80();
+        assert!((d.warp_issue_per_sm() - 6.0).abs() < 1e-12);
+        // ~4.1 TFLOPs single precision for the full issue rate.
+        assert!(d.peak_flops() > 4.0e12 && d.peak_flops() < 4.2e12);
+        // 240 GB/s at 0.824 GHz is ~291 bytes per cycle.
+        assert!((d.bytes_per_cycle() - 240.0 / 0.824).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_spec_shrinks_fixed_costs_only() {
+        let d = DeviceSpec::tesla_k80();
+        let s = d.scaled(0.01);
+        assert_eq!(s.launch_overhead_cycles, 40);
+        assert_eq!(s.mem_bandwidth_gbps, d.mem_bandwidth_gbps);
+        assert_eq!(s.l2_bytes, d.l2_bytes);
+    }
+
+    #[test]
+    fn cycles_to_secs_round_trip() {
+        let d = DeviceSpec::tesla_k80();
+        let secs = d.cycles_to_secs(0.824e9);
+        assert!((secs - 1.0).abs() < 1e-12);
+    }
+}

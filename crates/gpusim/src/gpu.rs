@@ -1,0 +1,185 @@
+//! The simulated GPU device: clock, memory system, and launch API.
+
+use crate::cache::L2Cache;
+use crate::cost::CostModel;
+use crate::device::DeviceSpec;
+use crate::scheduler::{KernelAccounting, Scheduler};
+use crate::stats::GpuStats;
+use crate::warp::WarpCtx;
+
+/// A simulated GPU.
+///
+/// Owns the device clock (simulated seconds), the shared L2 cache model,
+/// and the lifetime statistics. Kernels advance the clock either through
+/// the analytic roofline ([`GpuDevice::launch_analytic`]) or by tracing
+/// warp execution ([`GpuDevice::run_kernel`]).
+pub struct GpuDevice {
+    spec: DeviceSpec,
+    scheduler: Scheduler,
+    cost: CostModel,
+    l2: L2Cache,
+    stats: GpuStats,
+    elapsed_cycles: f64,
+    alloc_cursor: u64,
+}
+
+impl GpuDevice {
+    /// Builds a device from a spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let l2 = L2Cache::new(spec.l2_bytes, spec.l2_assoc);
+        GpuDevice {
+            scheduler: Scheduler::new(spec.clone()),
+            cost: CostModel::new(spec.clone()),
+            l2,
+            stats: GpuStats::default(),
+            elapsed_cycles: 0.0,
+            alloc_cursor: 0,
+            spec,
+        }
+    }
+
+    /// The paper's device: one die of a Tesla K80.
+    pub fn tesla_k80() -> Self {
+        GpuDevice::new(DeviceSpec::tesla_k80())
+    }
+
+    /// The device description.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Simulated kernel time elapsed so far, in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.spec.cycles_to_secs(self.elapsed_cycles)
+    }
+
+    /// Simulated cycles elapsed so far.
+    pub fn elapsed_cycles(&self) -> f64 {
+        self.elapsed_cycles
+    }
+
+    /// Resets the clock (statistics and cache contents are kept).
+    pub fn reset_clock(&mut self) {
+        self.elapsed_cycles = 0.0;
+    }
+
+    /// Advances the clock by a pre-computed amount of simulated seconds.
+    ///
+    /// Used by the study harness to replay the cost of an epoch whose
+    /// access pattern was already traced (synchronous SGD touches identical
+    /// addresses every epoch, so tracing once is exact).
+    pub fn advance_secs(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "time cannot run backwards");
+        self.elapsed_cycles += secs * self.spec.clock_ghz * 1e9;
+    }
+
+    /// Allocates `bytes` of simulated global memory, returning the base
+    /// address (256-byte aligned, like `cudaMalloc`).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.alloc_cursor;
+        self.alloc_cursor += (bytes + 255) & !255;
+        base
+    }
+
+    /// Launches an analytic (roofline) kernel: `flops` floating-point
+    /// operations over `bytes` of perfectly coalesced global traffic.
+    pub fn launch_analytic(&mut self, flops: f64, bytes: f64) {
+        self.elapsed_cycles += self.cost.kernel_cycles(flops, bytes);
+        self.stats.kernels_launched += 1;
+        self.stats.bytes_transferred += bytes as u64;
+    }
+
+    /// Launches a trace-mode kernel of `n_warps` warps. The closure is
+    /// invoked once per warp with a fresh [`WarpCtx`] and performs both the
+    /// functional work and the cost reporting. Warps run functionally in
+    /// order (the simulator is deterministic); their costs are aggregated
+    /// by the [`Scheduler`] as if they ran concurrently at full occupancy.
+    pub fn run_kernel<F>(&mut self, n_warps: usize, mut f: F)
+    where
+        F: FnMut(usize, &mut WarpCtx<'_>),
+    {
+        let mut acc = KernelAccounting::default();
+        for w in 0..n_warps {
+            let mut ctx = WarpCtx::new(&self.spec, &mut self.l2);
+            f(w, &mut ctx);
+            let rec = ctx.into_record();
+            self.stats.merge(&rec.stats);
+            acc.add_warp(&rec);
+        }
+        self.elapsed_cycles += self.scheduler.kernel_cycles(&acc);
+        self.stats.kernels_launched += 1;
+    }
+
+    /// Direct access to the cost model (for analytic kernel helpers).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_launch_advances_clock() {
+        let mut dev = GpuDevice::tesla_k80();
+        assert_eq!(dev.elapsed_secs(), 0.0);
+        dev.launch_analytic(0.0, 240e9 / 1000.0); // 1 ms of bandwidth
+        assert!(dev.elapsed_secs() > 0.9e-3 && dev.elapsed_secs() < 1.2e-3);
+        assert_eq!(dev.stats().kernels_launched, 1);
+    }
+
+    #[test]
+    fn traced_kernel_advances_clock_and_merges_stats() {
+        let mut dev = GpuDevice::tesla_k80();
+        dev.run_kernel(4, |w, ctx| {
+            ctx.compute(10, 32);
+            ctx.load(&[(w as u64 * 4096, 8)]);
+        });
+        assert_eq!(dev.stats().kernels_launched, 1);
+        assert_eq!(dev.stats().mem_transactions, 4);
+        assert!(dev.elapsed_cycles() >= dev.spec().launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn l2_persists_across_kernels() {
+        let mut dev = GpuDevice::tesla_k80();
+        dev.run_kernel(1, |_, ctx| ctx.load(&[(0, 8)]));
+        dev.run_kernel(1, |_, ctx| ctx.load(&[(0, 8)]));
+        assert_eq!(dev.stats().l2_misses, 1);
+        assert_eq!(dev.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut dev = GpuDevice::tesla_k80();
+        let a = dev.alloc(100);
+        let b = dev.alloc(1);
+        let c = dev.alloc(300);
+        assert_eq!(a % 256, 0);
+        assert!(b >= a + 100);
+        assert!(c > b);
+        assert_eq!(b % 256, 0);
+        assert_eq!(c % 256, 0);
+    }
+
+    #[test]
+    fn advance_and_reset_clock() {
+        let mut dev = GpuDevice::tesla_k80();
+        dev.advance_secs(2.5);
+        assert!((dev.elapsed_secs() - 2.5).abs() < 1e-9);
+        dev.reset_clock();
+        assert_eq!(dev.elapsed_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_negative() {
+        GpuDevice::tesla_k80().advance_secs(-1.0);
+    }
+}

@@ -1,0 +1,483 @@
+//! Functional device kernels with simulated cost.
+//!
+//! Dense kernels use the analytic roofline (their access patterns are
+//! regular and perfectly coalescable, so tracing adds nothing); sparse
+//! kernels trace real per-lane addresses because their cost is exactly the
+//! data-dependent behaviour the paper studies (divergence from the nnz
+//! distribution, non-coalesced gathers through L2).
+//!
+//! Simulated addresses are the host addresses of the backing slices: they
+//! are stable across calls (cache reuse is modelled faithfully) and
+//! distinct across arrays.
+//!
+//! [`GpuExec`] packages the kernels behind the [`Exec`] trait so the models
+//! in `sgd-models` run unchanged on the simulated device.
+
+use sgd_linalg::{CsrMatrix, Exec, Matrix, Scalar};
+
+use crate::gpu::GpuDevice;
+use crate::warp::LaneAccess;
+
+const F64: u64 = std::mem::size_of::<Scalar>() as u64;
+const U32: u64 = std::mem::size_of::<u32>() as u64;
+
+/// `y = A x`, analytic roofline.
+pub fn gemv(dev: &mut GpuDevice, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    sgd_linalg::Backend::seq().gemv(a, x, y);
+    let (r, c) = (a.rows() as f64, a.cols() as f64);
+    dev.launch_analytic(2.0 * r * c, 8.0 * (r * c + c + r));
+}
+
+/// `y = A^T x`, analytic roofline.
+pub fn gemv_t(dev: &mut GpuDevice, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    sgd_linalg::Backend::seq().gemv_t(a, x, y);
+    let (r, c) = (a.rows() as f64, a.cols() as f64);
+    dev.launch_analytic(2.0 * r * c, 8.0 * (r * c + r + c));
+}
+
+fn gemm_cost(dev: &mut GpuDevice, n: f64, k: f64, m: f64) {
+    dev.launch_analytic(2.0 * n * k * m, 8.0 * (n * k + k * m + n * m));
+}
+
+/// `C = A B`, analytic roofline (ideal shared-memory tiling: each operand
+/// read once).
+pub fn gemm(dev: &mut GpuDevice, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    sgd_linalg::Backend::seq().gemm(a, b, c);
+    gemm_cost(dev, a.rows() as f64, a.cols() as f64, b.cols() as f64);
+}
+
+/// `C = A B^T`, analytic roofline.
+pub fn gemm_nt(dev: &mut GpuDevice, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    sgd_linalg::Backend::seq().gemm_nt(a, b, c);
+    gemm_cost(dev, a.rows() as f64, a.cols() as f64, b.rows() as f64);
+}
+
+/// `C = A^T B`, analytic roofline.
+pub fn gemm_tn(dev: &mut GpuDevice, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    sgd_linalg::Backend::seq().gemm_tn(a, b, c);
+    gemm_cost(dev, a.cols() as f64, a.rows() as f64, b.cols() as f64);
+}
+
+/// `y += a x`, analytic.
+pub fn axpy(dev: &mut GpuDevice, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+    sgd_linalg::Backend::seq().axpy(a, x, y);
+    let n = x.len() as f64;
+    dev.launch_analytic(2.0 * n, 24.0 * n);
+}
+
+/// `x *= a`, analytic.
+pub fn scale(dev: &mut GpuDevice, a: Scalar, x: &mut [Scalar]) {
+    sgd_linalg::Backend::seq().scale(a, x);
+    let n = x.len() as f64;
+    dev.launch_analytic(n, 16.0 * n);
+}
+
+/// Dot product with tree reduction, analytic.
+pub fn dot(dev: &mut GpuDevice, x: &[Scalar], y: &[Scalar]) -> Scalar {
+    let n = x.len() as f64;
+    dev.launch_analytic(2.0 * n + n.log2().max(0.0), 16.0 * n);
+    sgd_linalg::Backend::seq().dot(x, y)
+}
+
+/// Sum with tree reduction, analytic.
+pub fn sum(dev: &mut GpuDevice, x: &[Scalar]) -> Scalar {
+    let n = x.len() as f64;
+    dev.launch_analytic(n + n.log2().max(0.0), 8.0 * n);
+    x.iter().sum()
+}
+
+/// Element-wise map, analytic; `flops_per_elem` declares the cost of `f`.
+pub fn map<F>(dev: &mut GpuDevice, x: &mut [Scalar], flops_per_elem: f64, f: F)
+where
+    F: Fn(Scalar) -> Scalar,
+{
+    for v in x.iter_mut() {
+        *v = f(*v);
+    }
+    let n = x.len() as f64;
+    dev.launch_analytic(flops_per_elem * n, 16.0 * n);
+}
+
+/// Element-wise zip, analytic.
+pub fn zip<F>(
+    dev: &mut GpuDevice,
+    a: &[Scalar],
+    b: &[Scalar],
+    out: &mut [Scalar],
+    flops_per_elem: f64,
+    f: F,
+) where
+    F: Fn(Scalar, Scalar) -> Scalar,
+{
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(x, y);
+    }
+    let n = a.len() as f64;
+    dev.launch_analytic(flops_per_elem * n, 24.0 * n);
+}
+
+/// `y = A x` over CSR, one warp per row (the coalescing-friendly layout
+/// ViennaCL uses): lanes stride the row's values/indices contiguously and
+/// gather `x[col]` through L2. Cost is traced from real addresses.
+pub fn spmv_warp_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    let w = dev.spec().warp_size;
+    let (vals_p, cols_p, x_p, y_p) = (
+        a.values().as_ptr() as u64,
+        a.col_idx().as_ptr() as u64,
+        x.as_ptr() as u64,
+        y.as_ptr() as u64,
+    );
+    let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);
+    dev.run_kernel(a.rows(), |row, ctx| {
+        let r = a.row(row);
+        let (lo, hi) = (a.row_ptr()[row], a.row_ptr()[row + 1]);
+        let mut chunk = lo;
+        while chunk < hi {
+            let lanes = (hi - chunk).min(w);
+            // Coalesced loads of the row's value and index segments.
+            acc.clear();
+            acc.extend((0..lanes).map(|l| (vals_p + (chunk + l) as u64 * F64, F64 as u32)));
+            ctx.load(&acc);
+            acc.clear();
+            acc.extend((0..lanes).map(|l| (cols_p + (chunk + l) as u64 * U32, U32 as u32)));
+            ctx.load(&acc);
+            // Gather x[col]: scattered, the expensive part on sparse data.
+            acc.clear();
+            acc.extend(
+                a.col_idx()[chunk..chunk + lanes]
+                    .iter()
+                    .map(|&c| (x_p + c as u64 * F64, F64 as u32)),
+            );
+            ctx.load(&acc);
+            ctx.compute(2, lanes); // fma + pointer bump
+            chunk += lanes;
+        }
+        // Intra-warp tree reduction, then one lane stores y[row].
+        ctx.compute(5, w.min(r.nnz().max(1)));
+        ctx.store(&[(y_p + row as u64 * F64, F64 as u32)]);
+        y[row] = r.dot(x);
+    });
+}
+
+/// `y = A x` over CSR, one thread per row (the naive layout): lane `l` of a
+/// warp walks row `32w + l`, so value/index loads are scattered across rows
+/// and the warp's trip count is the *maximum* nnz among its 32 rows — the
+/// divergence penalty the paper measures on high-variance datasets. Used by
+/// the ablation benches.
+pub fn spmv_thread_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    let w = dev.spec().warp_size;
+    let n_warps = a.rows().div_ceil(w);
+    let (vals_p, cols_p, x_p, y_p) = (
+        a.values().as_ptr() as u64,
+        a.col_idx().as_ptr() as u64,
+        x.as_ptr() as u64,
+        y.as_ptr() as u64,
+    );
+    let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);
+    dev.run_kernel(n_warps, |warp, ctx| {
+        let rows = (warp * w)..((warp * w + w).min(a.rows()));
+        let trips: Vec<u64> = rows.clone().map(|r| a.row_nnz(r) as u64).collect();
+        let max_trip = trips.iter().copied().max().unwrap_or(0);
+        for k in 0..max_trip {
+            // Lanes whose row still has a k-th element issue the loads.
+            acc.clear();
+            for (i, row) in rows.clone().enumerate() {
+                if trips[i] > k {
+                    let off = (a.row_ptr()[row] as u64 + k) * F64;
+                    acc.push((vals_p + off, F64 as u32));
+                }
+            }
+            ctx.load(&acc);
+            acc.clear();
+            for (i, row) in rows.clone().enumerate() {
+                if trips[i] > k {
+                    let off = (a.row_ptr()[row] as u64 + k) * U32;
+                    acc.push((cols_p + off, U32 as u32));
+                }
+            }
+            ctx.load(&acc);
+            acc.clear();
+            for (i, row) in rows.clone().enumerate() {
+                if trips[i] > k {
+                    let col = a.col_idx()[a.row_ptr()[row] + k as usize];
+                    acc.push((x_p + col as u64 * F64, F64 as u32));
+                }
+            }
+            ctx.load(&acc);
+        }
+        ctx.diverged_loop(&trips, 2);
+        // Coalesced store of the warp's y segment.
+        acc.clear();
+        acc.extend(rows.clone().map(|r| (y_p + r as u64 * F64, F64 as u32)));
+        ctx.store(&acc);
+        for row in rows {
+            y[row] = a.row(row).dot(x);
+        }
+    });
+}
+
+/// `y = A^T x` over CSR (the gradient scatter `X^T r`), one warp per row:
+/// the row's `x[row]` is broadcast, values/indices stream coalesced, and
+/// the updates scatter into `y[col]` with atomic adds.
+pub fn spmv_t_warp_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    let w = dev.spec().warp_size;
+    let (vals_p, cols_p, x_p, y_p) = (
+        a.values().as_ptr() as u64,
+        a.col_idx().as_ptr() as u64,
+        x.as_ptr() as u64,
+        y.as_ptr() as u64,
+    );
+    y.fill(0.0);
+    let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);
+    dev.run_kernel(a.rows(), |row, ctx| {
+        let xi = x[row];
+        ctx.load(&[(x_p + row as u64 * F64, F64 as u32)]);
+        let (lo, hi) = (a.row_ptr()[row], a.row_ptr()[row + 1]);
+        let mut chunk = lo;
+        while chunk < hi {
+            let lanes = (hi - chunk).min(w);
+            acc.clear();
+            acc.extend((0..lanes).map(|l| (vals_p + (chunk + l) as u64 * F64, F64 as u32)));
+            ctx.load(&acc);
+            acc.clear();
+            acc.extend((0..lanes).map(|l| (cols_p + (chunk + l) as u64 * U32, U32 as u32)));
+            ctx.load(&acc);
+            // Atomic scatter y[col] += v * xi: a read-modify-write, charged
+            // as a load plus a store on the scattered addresses.
+            acc.clear();
+            acc.extend(
+                a.col_idx()[chunk..chunk + lanes]
+                    .iter()
+                    .map(|&c| (y_p + c as u64 * F64, F64 as u32)),
+            );
+            ctx.load(&acc);
+            ctx.store(&acc);
+            ctx.compute(2, lanes);
+            chunk += lanes;
+        }
+        if xi != 0.0 {
+            a.row(row).axpy_into(xi, y);
+        }
+    });
+}
+
+/// The [`Exec`] implementation for the simulated GPU.
+///
+/// Dense primitives launch analytic kernels; sparse primitives trace their
+/// access pattern (warp-per-row by default, thread-per-row when
+/// `thread_per_row` is set — used by the ablation benches).
+pub struct GpuExec<'a> {
+    /// The device the kernels run on.
+    pub dev: &'a mut GpuDevice,
+    /// Use the naive thread-per-row sparse layout instead of warp-per-row.
+    pub thread_per_row: bool,
+}
+
+impl<'a> GpuExec<'a> {
+    /// Wraps a device with the default (warp-per-row) sparse layout.
+    pub fn new(dev: &'a mut GpuDevice) -> Self {
+        GpuExec { dev, thread_per_row: false }
+    }
+}
+
+impl Exec for GpuExec<'_> {
+    fn dot(&mut self, x: &[Scalar], y: &[Scalar]) -> Scalar {
+        dot(self.dev, x, y)
+    }
+
+    fn axpy(&mut self, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        axpy(self.dev, a, x, y)
+    }
+
+    fn scale(&mut self, a: Scalar, x: &mut [Scalar]) {
+        scale(self.dev, a, x)
+    }
+
+    fn sum(&mut self, x: &[Scalar]) -> Scalar {
+        sum(self.dev, x)
+    }
+
+    fn gemv(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        gemv(self.dev, a, x, y)
+    }
+
+    fn gemv_t(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        gemv_t(self.dev, a, x, y)
+    }
+
+    fn gemm(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        gemm(self.dev, a, b, c)
+    }
+
+    fn gemm_nt(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        gemm_nt(self.dev, a, b, c)
+    }
+
+    fn gemm_tn(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        gemm_tn(self.dev, a, b, c)
+    }
+
+    fn spmv(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        if self.thread_per_row {
+            spmv_thread_per_row(self.dev, a, x, y)
+        } else {
+            spmv_warp_per_row(self.dev, a, x, y)
+        }
+    }
+
+    fn spmv_t(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        spmv_t_warp_per_row(self.dev, a, x, y)
+    }
+
+    fn map<F>(&mut self, x: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar) -> Scalar + Sync + Send,
+    {
+        map(self.dev, x, flops_per_elem, f)
+    }
+
+    fn zip<F>(&mut self, a: &[Scalar], b: &[Scalar], out: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
+    {
+        zip(self.dev, a, b, out, flops_per_elem, f)
+    }
+
+    fn add_row_bias(&mut self, c: &mut Matrix, b: &[Scalar]) {
+        sgd_linalg::CpuExec::seq().add_row_bias(c, b);
+        let n = c.len() as f64;
+        // Bias vector stays resident; matrix streamed in and out.
+        self.dev.launch_analytic(n, 16.0 * n);
+    }
+
+    fn col_sums(&mut self, a: &Matrix, out: &mut [Scalar]) {
+        sgd_linalg::CpuExec::seq().col_sums(a, out);
+        let n = a.len() as f64;
+        self.dev.launch_analytic(n + (a.rows() as f64).log2().max(0.0), 8.0 * n);
+    }
+
+    fn softmax_xent(&mut self, z: &mut Matrix, classes: &[usize]) -> Scalar {
+        let n = z.len() as f64;
+        // exp + normalize + delta: ~6 flops per logit, matrix in and out.
+        self.dev.launch_analytic(6.0 * n, 16.0 * n);
+        sgd_linalg::softmax_xent_reference(z, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_linalg::approx_eq_slice;
+
+    fn skewed_csr() -> (CsrMatrix, Vec<Scalar>) {
+        // 64 rows; row 0 has 200 nnz, the rest have 2: high variance like
+        // the news dataset.
+        let cols = 256;
+        let mut rows = Vec::new();
+        for r in 0..64usize {
+            let nnz = if r == 0 { 200 } else { 2 };
+            let entries: Vec<(u32, Scalar)> =
+                (0..nnz).map(|k| (((r * 37 + k * 13) % cols) as u32, 1.0 + k as Scalar)).collect();
+            let mut dedup: Vec<(u32, Scalar)> = Vec::new();
+            for e in entries {
+                if !dedup.iter().any(|d| d.0 == e.0) {
+                    dedup.push(e);
+                }
+            }
+            rows.push(dedup);
+        }
+        let m = CsrMatrix::from_row_entries(64, cols, &rows);
+        let x: Vec<Scalar> = (0..cols).map(|i| (i % 7) as Scalar * 0.5 - 1.0).collect();
+        (m, x)
+    }
+
+    #[test]
+    fn dense_kernels_match_cpu_reference() {
+        let mut dev = GpuDevice::tesla_k80();
+        let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as Scalar * 0.25);
+        let x: Vec<Scalar> = (0..5).map(|i| i as Scalar - 2.0).collect();
+        let mut y_gpu = vec![0.0; 7];
+        let mut y_cpu = vec![0.0; 7];
+        gemv(&mut dev, &a, &x, &mut y_gpu);
+        sgd_linalg::Backend::seq().gemv(&a, &x, &mut y_cpu);
+        assert!(approx_eq_slice(&y_gpu, &y_cpu, 1e-12));
+        assert_eq!(dev.stats().kernels_launched, 1);
+        assert!(dev.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn sparse_kernels_match_cpu_reference() {
+        let (m, x) = skewed_csr();
+        let mut expect = vec![0.0; 64];
+        sgd_linalg::Backend::seq().spmv(&m, &x, &mut expect);
+
+        let mut dev = GpuDevice::tesla_k80();
+        let mut y = vec![0.0; 64];
+        spmv_warp_per_row(&mut dev, &m, &x, &mut y);
+        assert!(approx_eq_slice(&y, &expect, 1e-12));
+
+        let mut dev = GpuDevice::tesla_k80();
+        let mut y = vec![0.0; 64];
+        spmv_thread_per_row(&mut dev, &m, &x, &mut y);
+        assert!(approx_eq_slice(&y, &expect, 1e-12));
+    }
+
+    #[test]
+    fn spmv_t_matches_cpu_reference() {
+        let (m, _) = skewed_csr();
+        let x: Vec<Scalar> = (0..64).map(|i| (i % 3) as Scalar - 1.0).collect();
+        let mut expect = vec![0.0; 256];
+        sgd_linalg::Backend::seq().spmv_t(&m, &x, &mut expect);
+        let mut dev = GpuDevice::tesla_k80();
+        let mut y = vec![0.0; 256];
+        spmv_t_warp_per_row(&mut dev, &m, &x, &mut y);
+        assert!(approx_eq_slice(&y, &expect, 1e-12));
+    }
+
+    #[test]
+    fn thread_per_row_pays_divergence_on_skewed_rows() {
+        let (m, x) = skewed_csr();
+        let mut y = vec![0.0; 64];
+
+        let mut dev_w = GpuDevice::tesla_k80();
+        spmv_warp_per_row(&mut dev_w, &m, &x, &mut y);
+
+        let mut dev_t = GpuDevice::tesla_k80();
+        spmv_thread_per_row(&mut dev_t, &m, &x, &mut y);
+
+        // The naive layout wastes lane-cycles on the 200-nnz outlier row.
+        assert!(dev_t.stats().divergent_lane_cycles > dev_w.stats().divergent_lane_cycles);
+        assert!(dev_t.stats().simd_efficiency() < 0.5);
+    }
+
+    #[test]
+    fn gpu_exec_runs_models_primitives() {
+        let mut dev = GpuDevice::tesla_k80();
+        let mut e = GpuExec::new(&mut dev);
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as Scalar);
+        let b = Matrix::from_fn(3, 4, |i, j| i as Scalar - j as Scalar);
+        let mut c = Matrix::zeros(4, 4);
+        e.gemm(&a, &b, &mut c);
+        let mut expect = Matrix::zeros(4, 4);
+        sgd_linalg::Backend::seq().gemm(&a, &b, &mut expect);
+        assert!(approx_eq_slice(c.as_slice(), expect.as_slice(), 1e-12));
+
+        let mut v = vec![1.0, 2.0, 3.0];
+        e.map(&mut v, 1.0, |x| x * 2.0);
+        assert_eq!(v, vec![2.0, 4.0, 6.0]);
+        assert!(e.dev.stats().kernels_launched >= 2);
+    }
+
+    #[test]
+    fn repeated_spmv_warms_l2() {
+        let (m, x) = skewed_csr();
+        let mut dev = GpuDevice::tesla_k80();
+        let mut y = vec![0.0; 64];
+        spmv_warp_per_row(&mut dev, &m, &x, &mut y);
+        let misses_cold = dev.stats().l2_misses;
+        spmv_warp_per_row(&mut dev, &m, &x, &mut y);
+        let misses_second = dev.stats().l2_misses - misses_cold;
+        // The test matrix fits in 1.5 MB of L2, so the second pass hits.
+        assert!(misses_second < misses_cold / 4, "{misses_second} vs {misses_cold}");
+    }
+}

@@ -1,0 +1,47 @@
+//! A SIMT GPU simulator standing in for the NVIDIA Tesla K80 of the paper.
+//!
+//! The paper's GPU findings are architectural, not numeric: synchronous SGD
+//! wins on GPU because dense BLAS coalesces global-memory traffic and
+//! saturates the device's FLOPs; asynchronous (Hogwild) SGD loses on GPU
+//! because warp-lockstep execution turns concurrent model updates into
+//! intra-warp conflicts (dense data) and irregular per-example work into
+//! warp divergence plus non-coalesced model gathers (sparse data). This
+//! crate models exactly those mechanisms:
+//!
+//! * [`DeviceSpec`] — the hardware parameters (K80 preset from the paper's
+//!   Fig. 5, plus others for sensitivity studies);
+//! * [`CoalescingAnalyzer`] — converts the per-lane addresses of one warp
+//!   memory instruction into 128-byte-line memory transactions;
+//! * [`L2Cache`] — a set-associative LRU model of the 1.5 MB L2;
+//! * [`WarpCtx`] — warp-lockstep execution with an active mask, divergence
+//!   accounting, and per-access memory charging;
+//! * [`Scheduler`] — SM occupancy and the aggregation of per-warp cycles
+//!   into kernel time;
+//! * [`CostModel`] — closed-form roofline costs for dense BLAS kernels
+//!   whose access patterns are regular enough not to need tracing;
+//! * [`kernels`] — functional device kernels (gemv/gemm/spmv/...) that
+//!   compute real results while charging simulated cycles;
+//! * [`GpuDevice`] — the facade owning the simulated clock.
+//!
+//! Simulated time accumulates on [`GpuDevice`] and is reported as kernel
+//! execution time only, matching the paper's methodology (host↔device
+//! transfer time is excluded there too).
+
+mod cache;
+mod coalesce;
+mod cost;
+mod device;
+mod gpu;
+pub mod kernels;
+mod scheduler;
+mod stats;
+mod warp;
+
+pub use cache::L2Cache;
+pub use coalesce::{CoalescingAnalyzer, LINE_BYTES};
+pub use cost::CostModel;
+pub use device::DeviceSpec;
+pub use gpu::GpuDevice;
+pub use scheduler::Scheduler;
+pub use stats::GpuStats;
+pub use warp::{LaneAccess, WarpCtx};

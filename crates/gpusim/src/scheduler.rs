@@ -1,0 +1,149 @@
+//! Aggregation of per-warp accounting into kernel execution time.
+
+use crate::device::DeviceSpec;
+use crate::warp::WarpRecord;
+
+/// Folds the records of a kernel's warps into a cycle count.
+///
+/// The model is a three-way roofline plus a critical path:
+///
+/// * **issue bound** — total warp compute cycles divided by the machine's
+///   aggregate warp issue rate (`sm_count x cores_per_sm / warp_size`);
+/// * **bandwidth bound** — total bytes moved divided by bytes per cycle;
+/// * **latency bound** — total exposed memory latency divided by the
+///   number of resident warps that can hide it (`sm_count x
+///   resident_warps_per_sm`);
+/// * **critical path** — no kernel finishes before its slowest warp.
+///
+/// Kernel time is the launch overhead plus the maximum of the four. This
+/// deliberately ignores second-order effects (bank conflicts, instruction
+/// mix) that do not drive any of the paper's findings.
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    spec: DeviceSpec,
+}
+
+/// Summed accounting over all warps of one kernel.
+#[derive(Clone, Debug, Default)]
+pub struct KernelAccounting {
+    /// Sum of per-warp compute cycles.
+    pub total_compute_cycles: u64,
+    /// Sum of per-warp exposed memory latency cycles.
+    pub total_mem_latency_cycles: u64,
+    /// Sum of bytes moved by all warps.
+    pub total_bytes: u64,
+    /// Slowest single warp.
+    pub max_warp_cycles: u64,
+    /// Number of warps.
+    pub warps: u64,
+}
+
+impl KernelAccounting {
+    /// Folds one warp's record into the kernel totals.
+    pub fn add_warp(&mut self, w: &WarpRecord) {
+        self.total_compute_cycles += w.compute_cycles;
+        self.total_mem_latency_cycles += w.mem_latency_cycles;
+        self.total_bytes += w.bytes;
+        self.max_warp_cycles = self.max_warp_cycles.max(w.cycles());
+        self.warps += 1;
+    }
+}
+
+impl Scheduler {
+    /// Builds a scheduler for the given device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Scheduler { spec }
+    }
+
+    /// The device this scheduler models.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Kernel execution cycles for the accumulated warp accounting,
+    /// including launch overhead.
+    pub fn kernel_cycles(&self, acc: &KernelAccounting) -> f64 {
+        let s = &self.spec;
+        let issue = acc.total_compute_cycles as f64 / (s.sm_count as f64 * s.warp_issue_per_sm());
+        let bandwidth = acc.total_bytes as f64 / s.bytes_per_cycle();
+        let hiding = (s.sm_count * s.resident_warps_per_sm()) as f64;
+        let latency = acc.total_mem_latency_cycles as f64 / hiding;
+        let critical = acc.max_warp_cycles as f64;
+        s.launch_overhead_cycles as f64 + issue.max(bandwidth).max(latency).max(critical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::L2Cache;
+    use crate::warp::WarpCtx;
+
+    fn record(compute: u64, loads_scattered: usize) -> WarpRecord {
+        let spec = DeviceSpec::tesla_k80();
+        let mut l2 = L2Cache::new(spec.l2_bytes, spec.l2_assoc);
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.compute(compute, 32);
+        for i in 0..loads_scattered {
+            let acc: Vec<(u64, u32)> = (0..32).map(|l| ((i * 32 + l as usize) as u64 * 4096, 8)).collect();
+            w.load(&acc);
+        }
+        w.into_record()
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let spec = DeviceSpec::tesla_k80();
+        let sched = Scheduler::new(spec.clone());
+        let acc = KernelAccounting::default();
+        assert_eq!(sched.kernel_cycles(&acc), spec.launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn critical_path_dominates_single_slow_warp() {
+        let spec = DeviceSpec::tesla_k80();
+        let sched = Scheduler::new(spec.clone());
+        let mut acc = KernelAccounting::default();
+        acc.add_warp(&record(1_000_000, 0));
+        let cycles = sched.kernel_cycles(&acc) - spec.launch_overhead_cycles as f64;
+        assert!((cycles - 1_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn many_small_warps_scale_with_issue_rate() {
+        let spec = DeviceSpec::tesla_k80();
+        let sched = Scheduler::new(spec.clone());
+        let mut acc = KernelAccounting::default();
+        for _ in 0..10_000 {
+            acc.add_warp(&record(100, 0));
+        }
+        let cycles = sched.kernel_cycles(&acc) - spec.launch_overhead_cycles as f64;
+        // 1e6 total compute cycles over 78 warp-issue slots.
+        let expect = 1_000_000.0 / (13.0 * 6.0);
+        assert!((cycles - expect).abs() / expect < 1e-6);
+    }
+
+    #[test]
+    fn memory_heavy_kernel_is_bandwidth_or_latency_bound() {
+        let spec = DeviceSpec::tesla_k80();
+        let sched = Scheduler::new(spec.clone());
+        let mut acc = KernelAccounting::default();
+        for _ in 0..1000 {
+            acc.add_warp(&record(1, 64)); // 64 fully scattered loads each
+        }
+        let compute_only = acc.total_compute_cycles as f64 / (13.0 * 6.0);
+        let cycles = sched.kernel_cycles(&acc) - spec.launch_overhead_cycles as f64;
+        assert!(cycles > compute_only * 10.0, "memory cost must dominate");
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut acc = KernelAccounting::default();
+        acc.add_warp(&record(10, 1));
+        acc.add_warp(&record(20, 0));
+        assert_eq!(acc.warps, 2);
+        assert_eq!(acc.total_compute_cycles, 30);
+        assert!(acc.max_warp_cycles >= 20);
+        assert!(acc.total_bytes > 0);
+    }
+}

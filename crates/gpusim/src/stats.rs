@@ -1,0 +1,101 @@
+//! Aggregate simulator counters.
+
+/// Counters accumulated over the lifetime of a [`crate::GpuDevice`].
+///
+/// These are the quantities the paper's analysis reasons about: memory
+/// transactions (coalescing), cache behaviour, warp divergence, and model
+/// update conflicts inside warps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GpuStats {
+    /// Kernels launched on the device.
+    pub kernels_launched: u64,
+    /// Warp-level instructions issued (compute + memory).
+    pub warp_instructions: u64,
+    /// Global-memory transactions generated after coalescing.
+    pub mem_transactions: u64,
+    /// L2 hits among those transactions.
+    pub l2_hits: u64,
+    /// L2 misses among those transactions.
+    pub l2_misses: u64,
+    /// Bytes moved between L2/DRAM and the SMs (transactions x 128).
+    pub bytes_transferred: u64,
+    /// Lane-cycles during which a lane was masked off inside a divergent
+    /// loop (the waste caused by variance in per-example work).
+    pub divergent_lane_cycles: u64,
+    /// Lane-cycles during which a lane did useful work.
+    pub active_lane_cycles: u64,
+    /// Model updates lost to intra-warp write conflicts (recorded by the
+    /// asynchronous SGD kernels).
+    pub update_conflicts: u64,
+}
+
+impl GpuStats {
+    /// L2 hit ratio over all transactions (0 if none).
+    pub fn l2_hit_ratio(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// SIMD efficiency: fraction of lane-cycles doing useful work
+    /// (1.0 = no divergence; 1.0 when nothing ran).
+    pub fn simd_efficiency(&self) -> f64 {
+        let total = self.active_lane_cycles + self.divergent_lane_cycles;
+        if total == 0 {
+            1.0
+        } else {
+            self.active_lane_cycles as f64 / total as f64
+        }
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &GpuStats) {
+        self.kernels_launched += other.kernels_launched;
+        self.warp_instructions += other.warp_instructions;
+        self.mem_transactions += other.mem_transactions;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.bytes_transferred += other.bytes_transferred;
+        self.divergent_lane_cycles += other.divergent_lane_cycles;
+        self.active_lane_cycles += other.active_lane_cycles;
+        self.update_conflicts += other.update_conflicts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let s = GpuStats::default();
+        assert_eq!(s.l2_hit_ratio(), 0.0);
+        assert_eq!(s.simd_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = GpuStats {
+            l2_hits: 3,
+            l2_misses: 1,
+            active_lane_cycles: 60,
+            divergent_lane_cycles: 40,
+            ..Default::default()
+        };
+        assert!((s.l2_hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.simd_efficiency() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = GpuStats { kernels_launched: 1, mem_transactions: 10, ..Default::default() };
+        let b = GpuStats { kernels_launched: 2, mem_transactions: 5, update_conflicts: 7, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.kernels_launched, 3);
+        assert_eq!(a.mem_transactions, 15);
+        assert_eq!(a.update_conflicts, 7);
+    }
+}

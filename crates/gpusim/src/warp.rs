@@ -1,0 +1,263 @@
+//! Warp-lockstep execution context.
+//!
+//! Trace-mode kernels (those whose cost is data dependent: sparse
+//! matrix-vector products and the asynchronous SGD kernels) are written as
+//! per-warp Rust code that performs the *functional* work natively and
+//! reports its compute and memory behaviour to a [`WarpCtx`]. The context
+//! charges cycles the way the hardware would: one issue per warp
+//! instruction for all active lanes, coalesced memory transactions through
+//! the shared L2, and divergence accounting when lanes have unequal trip
+//! counts.
+
+use crate::cache::L2Cache;
+use crate::coalesce::{CoalescingAnalyzer, LINE_BYTES};
+use crate::device::DeviceSpec;
+use crate::stats::GpuStats;
+
+/// One lane's memory access: `(byte address, size in bytes)`. Inactive
+/// lanes simply do not contribute an access.
+pub type LaneAccess = (u64, u32);
+
+/// Execution context for one warp of a trace-mode kernel.
+///
+/// Accumulates the warp's compute cycles, memory-latency cycles, and stats;
+/// the [`crate::GpuDevice`] aggregates finished warps into kernel time via
+/// the [`crate::Scheduler`].
+pub struct WarpCtx<'a> {
+    spec: &'a DeviceSpec,
+    l2: &'a mut L2Cache,
+    analyzer: CoalescingAnalyzer,
+    compute_cycles: u64,
+    mem_latency_cycles: u64,
+    bytes: u64,
+    stats: GpuStats,
+}
+
+impl<'a> WarpCtx<'a> {
+    pub(crate) fn new(spec: &'a DeviceSpec, l2: &'a mut L2Cache) -> Self {
+        WarpCtx {
+            spec,
+            l2,
+            analyzer: CoalescingAnalyzer,
+            compute_cycles: 0,
+            mem_latency_cycles: 0,
+            bytes: 0,
+            stats: GpuStats::default(),
+        }
+    }
+
+    /// Issues `instructions` warp-wide compute instructions with
+    /// `active_lanes` lanes enabled. Divergence (masked-off lanes) is
+    /// charged as wasted lane-cycles but still consumes full issue slots —
+    /// exactly the SIMT behaviour that penalizes irregular sparse work.
+    pub fn compute(&mut self, instructions: u64, active_lanes: usize) {
+        let w = self.spec.warp_size;
+        debug_assert!(active_lanes <= w);
+        self.compute_cycles += instructions;
+        self.stats.warp_instructions += instructions;
+        self.stats.active_lane_cycles += instructions * active_lanes as u64;
+        self.stats.divergent_lane_cycles += instructions * (w - active_lanes) as u64;
+    }
+
+    /// Convenience: a loop whose lanes have different trip counts. The warp
+    /// executes `max(trips)` iterations of `instr_per_iter` instructions;
+    /// lanes that finished early are masked off (divergence).
+    pub fn diverged_loop(&mut self, trips: &[u64], instr_per_iter: u64) {
+        let Some(&max) = trips.iter().max() else { return };
+        let total_iters: u64 = trips.iter().sum();
+        let issued = max * instr_per_iter;
+        self.compute_cycles += issued;
+        self.stats.warp_instructions += issued;
+        self.stats.active_lane_cycles += total_iters * instr_per_iter;
+        let wasted_lanes =
+            max * self.spec.warp_size as u64 - total_iters - max * (self.spec.warp_size as u64 - trips.len() as u64);
+        // Lanes beyond trips.len() never participated in this loop at all;
+        // only lanes that started and finished early count as divergence.
+        self.stats.divergent_lane_cycles += wasted_lanes * instr_per_iter;
+    }
+
+    fn memory_instruction(&mut self, accesses: &[LaneAccess]) {
+        let lines = self.analyzer.transactions(accesses);
+        if lines.is_empty() {
+            return;
+        }
+        let (hits, misses) = self.l2.access_lines(&lines);
+        self.stats.mem_transactions += lines.len() as u64;
+        self.stats.l2_hits += hits;
+        self.stats.l2_misses += misses;
+        self.stats.bytes_transferred += lines.len() as u64 * LINE_BYTES;
+        // Only L2 misses consume DRAM bandwidth; hits are served from the
+        // cache and cost latency only (hidden across warps by the
+        // scheduler).
+        self.bytes += misses * LINE_BYTES;
+        // The warp stalls for the slowest transaction; subsequent
+        // transactions of the same instruction pipeline behind it at one
+        // issue each. Latency across *different* warps is hidden by the
+        // scheduler, not here.
+        let slowest = if misses > 0 { self.spec.dram_latency_cycles } else { self.spec.l2_latency_cycles };
+        self.mem_latency_cycles += slowest + (lines.len() as u64 - 1);
+        self.stats.warp_instructions += 1;
+        let active = accesses.len().min(self.spec.warp_size);
+        self.stats.active_lane_cycles += active as u64;
+        self.stats.divergent_lane_cycles += (self.spec.warp_size - active) as u64;
+    }
+
+    /// One warp-wide global load.
+    pub fn load(&mut self, accesses: &[LaneAccess]) {
+        self.memory_instruction(accesses);
+    }
+
+    /// One warp-wide global store.
+    pub fn store(&mut self, accesses: &[LaneAccess]) {
+        self.memory_instruction(accesses);
+    }
+
+    /// Records `lost` model updates destroyed by intra-warp write conflicts
+    /// (used by the asynchronous SGD kernels).
+    pub fn record_conflicts(&mut self, lost: u64) {
+        self.stats.update_conflicts += lost;
+    }
+
+    /// Total cycles this warp occupied (compute + exposed memory latency).
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles + self.mem_latency_cycles
+    }
+
+    pub(crate) fn into_record(self) -> WarpRecord {
+        WarpRecord {
+            compute_cycles: self.compute_cycles,
+            mem_latency_cycles: self.mem_latency_cycles,
+            bytes: self.bytes,
+            stats: self.stats,
+        }
+    }
+}
+
+/// The accounting result of one finished warp.
+#[derive(Clone, Debug, Default)]
+pub struct WarpRecord {
+    pub(crate) compute_cycles: u64,
+    pub(crate) mem_latency_cycles: u64,
+    pub(crate) bytes: u64,
+    pub(crate) stats: GpuStats,
+}
+
+impl WarpRecord {
+    /// Cycles this warp occupied end to end.
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles + self.mem_latency_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (DeviceSpec, L2Cache) {
+        let spec = DeviceSpec::tesla_k80();
+        let l2 = L2Cache::new(spec.l2_bytes, spec.l2_assoc);
+        (spec, l2)
+    }
+
+    #[test]
+    fn compute_charges_issue_slots_and_divergence() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.compute(10, 8);
+        assert_eq!(w.cycles(), 10);
+        let r = w.into_record();
+        assert_eq!(r.stats.active_lane_cycles, 80);
+        assert_eq!(r.stats.divergent_lane_cycles, 240);
+    }
+
+    #[test]
+    fn coalesced_load_is_cheap_scattered_is_not() {
+        let (spec, mut l2) = ctx_parts();
+
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        let coalesced: Vec<LaneAccess> = (0..32).map(|l| (l * 8, 8)).collect();
+        w.load(&coalesced);
+        let cheap = w.cycles();
+        let r = w.into_record();
+        assert_eq!(r.stats.mem_transactions, 2);
+
+        let mut l2b = L2Cache::new(spec.l2_bytes, spec.l2_assoc);
+        let mut w = WarpCtx::new(&spec, &mut l2b);
+        let scattered: Vec<LaneAccess> = (0..32).map(|l| (l * 4096, 8)).collect();
+        w.load(&scattered);
+        let costly = w.cycles();
+        let r = w.into_record();
+        assert_eq!(r.stats.mem_transactions, 32);
+        assert!(costly > cheap);
+    }
+
+    #[test]
+    fn l2_hit_lowers_latency() {
+        let (spec, mut l2) = ctx_parts();
+        let acc: Vec<LaneAccess> = vec![(0, 8)];
+        let miss_cycles = {
+            let mut w = WarpCtx::new(&spec, &mut l2);
+            w.load(&acc); // cold miss
+            w.cycles()
+        };
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.load(&acc); // now resident
+        let hit_cycles = w.cycles();
+        assert_eq!(miss_cycles, spec.dram_latency_cycles);
+        assert_eq!(hit_cycles, spec.l2_latency_cycles);
+    }
+
+    #[test]
+    fn diverged_loop_charges_max_trip() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        // 32 lanes, one does 100 iterations, the rest do 1.
+        let mut trips = vec![1u64; 32];
+        trips[0] = 100;
+        w.diverged_loop(&trips, 2);
+        assert_eq!(w.cycles(), 200);
+        let r = w.into_record();
+        // Useful work: 131 lane-iterations of 2 instructions.
+        assert_eq!(r.stats.active_lane_cycles, 262);
+        // Wasted: 31 lanes x 99 masked iterations x 2 instructions.
+        assert_eq!(r.stats.divergent_lane_cycles, 31 * 99 * 2);
+    }
+
+    #[test]
+    fn diverged_loop_uniform_has_no_waste() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.diverged_loop(&[5; 32], 3);
+        let r = w.into_record();
+        assert_eq!(r.stats.divergent_lane_cycles, 0);
+        assert_eq!(r.stats.active_lane_cycles, 32 * 5 * 3);
+    }
+
+    #[test]
+    fn diverged_loop_partial_warp_not_counted_as_divergence() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        // Only 8 lanes participate, all with equal trips: the other 24
+        // lanes were never part of the loop, so no divergence is recorded.
+        w.diverged_loop(&[4; 8], 1);
+        let r = w.into_record();
+        assert_eq!(r.stats.divergent_lane_cycles, 0);
+        assert_eq!(r.stats.active_lane_cycles, 32);
+    }
+
+    #[test]
+    fn conflicts_recorded() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.record_conflicts(31);
+        assert_eq!(w.into_record().stats.update_conflicts, 31);
+    }
+
+    #[test]
+    fn empty_loads_are_free() {
+        let (spec, mut l2) = ctx_parts();
+        let mut w = WarpCtx::new(&spec, &mut l2);
+        w.load(&[]);
+        assert_eq!(w.cycles(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The execution backend: one primitive API, two execution strategies.
+
+use crate::{par, seq, CsrMatrix, Matrix, Scalar};
+
+/// ViennaCL does not parallelize a matrix product whose *result* has fewer
+/// than roughly this many entries; below the threshold the kernel runs on a
+/// single thread. The paper traces the anomalous ~2X MLP speedup (Table II,
+/// Fig. 6) to exactly this behaviour, so the parallel backend reproduces it.
+pub const DEFAULT_GEMM_PARALLEL_THRESHOLD: usize = 5000;
+
+/// A linear-algebra execution backend.
+///
+/// All primitives have identical semantics across variants (the results are
+/// bit-identical for `Seq` and numerically equal up to reduction reordering
+/// for `Par`); only the execution strategy differs. This mirrors the
+/// "common API" design of ViennaCL that the paper's synchronous SGD relies
+/// on: switching device means switching the backend value, not the code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded reference implementation.
+    Seq,
+    /// Rayon-parallel implementation running on the current thread pool.
+    Par {
+        /// Result-size threshold below which `gemm` stays sequential
+        /// (ViennaCL's behaviour). Set to 0 to always parallelize.
+        gemm_parallel_threshold: usize,
+    },
+}
+
+impl Backend {
+    /// The sequential backend.
+    pub fn seq() -> Self {
+        Backend::Seq
+    }
+
+    /// The parallel backend with ViennaCL's default GEMM threshold.
+    pub fn par() -> Self {
+        Backend::Par { gemm_parallel_threshold: DEFAULT_GEMM_PARALLEL_THRESHOLD }
+    }
+
+    /// The parallel backend with every primitive parallelized regardless of
+    /// size (used by the Fig. 6 ablation).
+    pub fn par_unconditional() -> Self {
+        Backend::Par { gemm_parallel_threshold: 0 }
+    }
+
+    /// `true` for the parallel variants.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, Backend::Par { .. })
+    }
+
+    /// Dot product `x . y`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn dot(&self, x: &[Scalar], y: &[Scalar]) -> Scalar {
+        assert_eq!(x.len(), y.len(), "dot length mismatch");
+        match self {
+            Backend::Seq => seq::dot(x, y),
+            Backend::Par { .. } => par::dot(x, y),
+        }
+    }
+
+    /// `y += a * x`.
+    pub fn axpy(&self, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        match self {
+            Backend::Seq => seq::axpy(a, x, y),
+            Backend::Par { .. } => par::axpy(a, x, y),
+        }
+    }
+
+    /// `x *= a`.
+    pub fn scale(&self, a: Scalar, x: &mut [Scalar]) {
+        match self {
+            Backend::Seq => seq::scale(a, x),
+            Backend::Par { .. } => par::scale(a, x),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self, x: &[Scalar]) -> Scalar {
+        match self {
+            Backend::Seq => x.iter().sum(),
+            Backend::Par { .. } => par::sum(x),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F>(&self, x: &mut [Scalar], f: F)
+    where
+        F: Fn(Scalar) -> Scalar + Sync + Send,
+    {
+        match self {
+            Backend::Seq => {
+                for v in x.iter_mut() {
+                    *v = f(*v);
+                }
+            }
+            Backend::Par { .. } => par::map_inplace(x, f),
+        }
+    }
+
+    /// `out[i] = f(a[i], b[i])`.
+    pub fn zip_map<F>(&self, a: &[Scalar], b: &[Scalar], out: &mut [Scalar], f: F)
+    where
+        F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
+    {
+        assert!(a.len() == b.len() && b.len() == out.len(), "zip_map length mismatch");
+        match self {
+            Backend::Seq => {
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    *o = f(x, y);
+                }
+            }
+            Backend::Par { .. } => par::zip_map(a, b, out, f),
+        }
+    }
+
+    /// Dense matrix-vector product `y = A x`.
+    pub fn gemv(&self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(a.cols(), x.len(), "gemv inner dimension");
+        assert_eq!(a.rows(), y.len(), "gemv outer dimension");
+        match self {
+            Backend::Seq => seq::gemv(a, x, y),
+            Backend::Par { .. } => par::gemv(a, x, y),
+        }
+    }
+
+    /// Transposed dense matrix-vector product `y = A^T x`.
+    pub fn gemv_t(&self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(a.rows(), x.len(), "gemv_t inner dimension");
+        assert_eq!(a.cols(), y.len(), "gemv_t outer dimension");
+        match self {
+            Backend::Seq => seq::gemv_t(a, x, y),
+            Backend::Par { .. } => par::gemv_t(a, x, y),
+        }
+    }
+
+    /// Dense matrix product `C = A B`.
+    ///
+    /// Under `Par`, the product runs sequentially when
+    /// `C.len() < gemm_parallel_threshold` (the ViennaCL quirk).
+    pub fn gemm(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(a.cols(), b.rows(), "gemm inner dimension");
+        assert_eq!(a.rows(), c.rows(), "gemm rows");
+        assert_eq!(b.cols(), c.cols(), "gemm cols");
+        match self {
+            Backend::Seq => seq::gemm(a, b, c),
+            Backend::Par { gemm_parallel_threshold } => {
+                if c.len() < *gemm_parallel_threshold {
+                    seq::gemm(a, b, c);
+                } else {
+                    par::gemm(a, b, c);
+                }
+            }
+        }
+    }
+
+    /// Dense matrix product with transposed right operand, `C = A B^T`.
+    ///
+    /// Subject to the same parallelism threshold as [`Backend::gemm`].
+    pub fn gemm_nt(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(a.cols(), b.cols(), "gemm_nt inner dimension");
+        assert_eq!(a.rows(), c.rows(), "gemm_nt rows");
+        assert_eq!(b.rows(), c.cols(), "gemm_nt cols");
+        match self {
+            Backend::Seq => seq::gemm_nt(a, b, c),
+            Backend::Par { gemm_parallel_threshold } => {
+                if c.len() < *gemm_parallel_threshold {
+                    seq::gemm_nt(a, b, c);
+                } else {
+                    par::gemm_nt(a, b, c);
+                }
+            }
+        }
+    }
+
+    /// Dense matrix product with transposed left operand, `C = A^T B`.
+    ///
+    /// Subject to the same parallelism threshold as [`Backend::gemm`].
+    pub fn gemm_tn(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        assert_eq!(a.rows(), b.rows(), "gemm_tn inner dimension");
+        assert_eq!(a.cols(), c.rows(), "gemm_tn rows");
+        assert_eq!(b.cols(), c.cols(), "gemm_tn cols");
+        match self {
+            Backend::Seq => seq::gemm_tn(a, b, c),
+            Backend::Par { gemm_parallel_threshold } => {
+                if c.len() < *gemm_parallel_threshold {
+                    seq::gemm_tn(a, b, c);
+                } else {
+                    par::gemm_tn(a, b, c);
+                }
+            }
+        }
+    }
+
+    /// Sparse matrix-vector product `y = A x` over CSR.
+    pub fn spmv(&self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(a.cols(), x.len(), "spmv inner dimension");
+        assert_eq!(a.rows(), y.len(), "spmv outer dimension");
+        match self {
+            Backend::Seq => seq::spmv(a, x, y),
+            Backend::Par { .. } => par::spmv(a, x, y),
+        }
+    }
+
+    /// Transposed sparse matrix-vector product `y = A^T x`.
+    ///
+    /// The parallel variant accumulates into per-chunk scratch vectors and
+    /// reduces, because the scatter pattern of CSR columns would otherwise
+    /// race.
+    pub fn spmv_t(&self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(a.rows(), x.len(), "spmv_t inner dimension");
+        assert_eq!(a.cols(), y.len(), "spmv_t outer dimension");
+        match self {
+            Backend::Seq => seq::spmv_t(a, x, y),
+            Backend::Par { .. } => par::spmv_t(a, x, y),
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self, x: &[Scalar]) -> Scalar {
+        self.dot(x, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    fn mat() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn seq_and_par_dot_agree() {
+        let x: Vec<Scalar> = (0..1000).map(|i| i as Scalar * 0.5).collect();
+        let y: Vec<Scalar> = (0..1000).map(|i| (i % 7) as Scalar).collect();
+        let s = Backend::seq().dot(&x, &y);
+        let p = Backend::par().dot(&x, &y);
+        assert!((s - p).abs() < 1e-6 * s.abs());
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let a = mat();
+        let x = vec![1.0, 0.0, -1.0];
+        for be in [Backend::seq(), Backend::par()] {
+            let mut y = vec![0.0; 2];
+            be.gemv(&a, &x, &mut y);
+            assert_eq!(y, vec![-2.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose_gemv() {
+        let a = mat();
+        let at = a.transposed();
+        let x = vec![1.0, 2.0];
+        for be in [Backend::seq(), Backend::par()] {
+            let mut y1 = vec![0.0; 3];
+            let mut y2 = vec![0.0; 3];
+            be.gemv_t(&a, &x, &mut y1);
+            be.gemv(&at, &x, &mut y2);
+            assert!(approx_eq_slice(&y1, &y2, 1e-12));
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as Scalar);
+        let b = Matrix::from_fn(3, 5, |i, j| (i as Scalar - j as Scalar) * 0.5);
+        let mut c_seq = Matrix::zeros(4, 5);
+        let mut c_par = Matrix::zeros(4, 5);
+        Backend::seq().gemm(&a, &b, &mut c_seq);
+        Backend::par_unconditional().gemm(&a, &b, &mut c_par);
+        assert!(approx_eq_slice(c_seq.as_slice(), c_par.as_slice(), 1e-12));
+        // Spot check C[1][2] = sum_k A[1][k] * B[k][2].
+        let expect: Scalar = (0..3).map(|k| ((1 + k) as Scalar) * ((k as Scalar - 2.0) * 0.5)).sum();
+        assert!((c_seq.at(1, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_and_tn_match_explicit_transposes() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as Scalar * 0.5);
+        let b = Matrix::from_fn(5, 3, |i, j| i as Scalar - j as Scalar);
+        let bt = b.transposed();
+        for be in [Backend::seq(), Backend::par_unconditional()] {
+            let mut c1 = Matrix::zeros(4, 5);
+            let mut c2 = Matrix::zeros(4, 5);
+            be.gemm_nt(&a, &b, &mut c1);
+            be.gemm(&a, &bt, &mut c2);
+            assert!(approx_eq_slice(c1.as_slice(), c2.as_slice(), 1e-12));
+        }
+        let c = Matrix::from_fn(4, 6, |i, j| ((i + j) % 3) as Scalar);
+        let at = a.transposed();
+        for be in [Backend::seq(), Backend::par_unconditional()] {
+            let mut c1 = Matrix::zeros(3, 6);
+            let mut c2 = Matrix::zeros(3, 6);
+            be.gemm_tn(&a, &c, &mut c1);
+            be.gemm(&at, &c, &mut c2);
+            assert!(approx_eq_slice(c1.as_slice(), c2.as_slice(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_gemv() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[0.0, 3.0, 4.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        let x = vec![1.0, 10.0, 100.0];
+        for be in [Backend::seq(), Backend::par()] {
+            let mut yd = vec![0.0; 3];
+            let mut ys = vec![0.0; 3];
+            be.gemv(&d, &x, &mut yd);
+            be.spmv(&s, &x, &mut ys);
+            assert!(approx_eq_slice(&yd, &ys, 1e-12));
+        }
+    }
+
+    #[test]
+    fn spmv_t_matches_dense_gemv_t() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[5.0, 0.0, 0.0], &[0.0, 3.0, 4.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        let x = vec![1.0, -2.0, 3.0];
+        for be in [Backend::seq(), Backend::par()] {
+            let mut yd = vec![0.0; 3];
+            let mut ys = vec![0.0; 3];
+            be.gemv_t(&d, &x, &mut yd);
+            be.spmv_t(&s, &x, &mut ys);
+            assert!(approx_eq_slice(&yd, &ys, 1e-12));
+        }
+    }
+
+    #[test]
+    fn axpy_scale_sum_map() {
+        for be in [Backend::seq(), Backend::par()] {
+            let x = vec![1.0, 2.0, 3.0];
+            let mut y = vec![10.0, 20.0, 30.0];
+            be.axpy(2.0, &x, &mut y);
+            assert_eq!(y, vec![12.0, 24.0, 36.0]);
+            be.scale(0.5, &mut y);
+            assert_eq!(y, vec![6.0, 12.0, 18.0]);
+            assert_eq!(be.sum(&y), 36.0);
+            be.map_inplace(&mut y, |v| v - 6.0);
+            assert_eq!(y, vec![0.0, 6.0, 12.0]);
+            let a = vec![1.0, 2.0];
+            let b = vec![3.0, 4.0];
+            let mut out = vec![0.0; 2];
+            be.zip_map(&a, &b, &mut out, |p, q| p * q);
+            assert_eq!(out, vec![3.0, 8.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv inner dimension")]
+    fn gemv_checks_dims() {
+        let mut y = vec![0.0; 2];
+        Backend::seq().gemv(&mat(), &[1.0], &mut y);
+    }
+
+    #[test]
+    fn par_helpers() {
+        assert!(Backend::par().is_parallel());
+        assert!(!Backend::seq().is_parallel());
+        assert_eq!(
+            Backend::par(),
+            Backend::Par { gemm_parallel_threshold: DEFAULT_GEMM_PARALLEL_THRESHOLD }
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed Sparse Row (CSR) matrix.
+
+use crate::{Matrix, Scalar};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// `row_ptr` has `rows + 1` entries; row `i` occupies
+/// `col_idx[row_ptr[i]..row_ptr[i+1]]` / `values[...]` with column indices
+/// strictly increasing inside a row. Column indices are stored as `u32`
+/// (the paper's largest dataset, news20, has 1.36 M features) to halve
+/// index memory traffic, which matters for the GPU coalescing model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<Scalar>,
+}
+
+/// A borrowed view of one CSR row: parallel slices of column indices and
+/// values.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrRow<'a> {
+    /// Column indices of the non-zero entries, strictly increasing.
+    pub cols: &'a [u32],
+    /// Values of the non-zero entries.
+    pub vals: &'a [Scalar],
+}
+
+impl<'a> CsrRow<'a> {
+    /// Number of non-zero entries in the row.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Sparse dot product with a dense vector.
+    #[inline]
+    pub fn dot(&self, x: &[Scalar]) -> Scalar {
+        self.cols
+            .iter()
+            .zip(self.vals)
+            .map(|(&c, &v)| v * x[c as usize])
+            .sum()
+    }
+
+    /// `y[c] += a * v` for every non-zero `(c, v)` of the row.
+    #[inline]
+    pub fn axpy_into(&self, a: Scalar, y: &mut [Scalar]) {
+        for (&c, &v) in self.cols.iter().zip(self.vals) {
+            y[c as usize] += a * v;
+        }
+    }
+
+    /// Squared Euclidean norm of the row.
+    pub fn norm_sq(&self) -> Scalar {
+        self.vals.iter().map(|v| v * v).sum()
+    }
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(col, value)` pairs.
+    ///
+    /// Entries inside each row are sorted by column; duplicate columns in a
+    /// row are rejected.
+    ///
+    /// # Panics
+    /// Panics if any column index is `>= cols` or duplicated within a row.
+    pub fn from_row_entries(rows: usize, cols: usize, entries: &[Vec<(u32, Scalar)>]) -> Self {
+        assert_eq!(entries.len(), rows, "one entry list per row required");
+        let nnz: usize = entries.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for row in entries {
+            let mut sorted: Vec<(u32, Scalar)> = row.clone();
+            sorted.sort_unstable_by_key(|&(c, _)| c);
+            for w in sorted.windows(2) {
+                assert_ne!(w[0].0, w[1].0, "duplicate column {} in a row", w[0].0);
+            }
+            for (c, v) in sorted {
+                assert!((c as usize) < cols, "column {c} out of bounds (cols={cols})");
+                col_idx.push(c);
+                values.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds a CSR matrix from raw components.
+    ///
+    /// # Panics
+    /// Panics if the components violate CSR invariants (see
+    /// [`CsrMatrix::validate`]).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<Scalar>,
+    ) -> Self {
+        let m = CsrMatrix { rows, cols, row_ptr, col_idx, values };
+        m.validate();
+        m
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+    }
+
+    /// Materializes the matrix densely.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (&c, &v) in r.cols.iter().zip(r.vals) {
+                *m.at_mut(i, c as usize) = v;
+            }
+        }
+        m
+    }
+
+    /// Checks all CSR invariants, panicking on the first violation.
+    ///
+    /// Invariants: `row_ptr` has `rows + 1` monotone entries ending at
+    /// `nnz`; `col_idx` and `values` have equal length; column indices are
+    /// in bounds and strictly increasing within each row.
+    pub fn validate(&self) {
+        assert_eq!(self.row_ptr.len(), self.rows + 1, "row_ptr length");
+        assert_eq!(self.row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(*self.row_ptr.last().unwrap(), self.values.len(), "row_ptr must end at nnz");
+        assert_eq!(self.col_idx.len(), self.values.len(), "col/val length mismatch");
+        for w in self.row_ptr.windows(2) {
+            assert!(w[0] <= w[1], "row_ptr not monotone");
+        }
+        for i in 0..self.rows {
+            let cols = &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "columns not strictly increasing in row {i}");
+            }
+            if let Some(&last) = cols.last() {
+                assert!((last as usize) < self.cols, "column out of bounds in row {i}");
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of non-zeros in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Borrowed view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> CsrRow<'_> {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        CsrRow { cols: &self.col_idx[lo..hi], vals: &self.values[lo..hi] }
+    }
+
+    /// Iterator over all rows.
+    pub fn rows_iter(&self) -> impl ExactSizeIterator<Item = CsrRow<'_>> {
+        (0..self.rows).map(|i| self.row(i))
+    }
+
+    /// The raw `row_ptr` array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Fraction of entries stored (`nnz / (rows * cols)`); 1.0 means fully
+    /// dense. This is the "sparsity" column of Table I (reported there as a
+    /// percentage of average nnz over feature count).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// Bytes needed by the sparse representation (values + indices +
+    /// row pointers), the "s" size column of Table I.
+    pub fn sparse_size_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Scalar>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.row_ptr.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Bytes a dense materialization would need, the "d" size of Table I.
+    pub fn dense_size_bytes(&self) -> usize {
+        self.rows * self.cols * std::mem::size_of::<Scalar>()
+    }
+
+    /// Minimum, average, and maximum nnz per row — the "#nnz/exp" column of
+    /// Table I. Returns `(0, 0.0, 0)` for an empty matrix.
+    pub fn nnz_per_row_stats(&self) -> (usize, f64, usize) {
+        if self.rows == 0 {
+            return (0, 0.0, 0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for i in 0..self.rows {
+            let n = self.row_nnz(i);
+            min = min.min(n);
+            max = max.max(n);
+        }
+        (min, self.nnz() as f64 / self.rows as f64, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 0 3 4 ]
+        CsrMatrix::from_row_entries(
+            3,
+            3,
+            &[vec![(0, 1.0), (2, 2.0)], vec![], vec![(1, 3.0), (2, 4.0)]],
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 3, 4));
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn row_view_and_dot() {
+        let m = sample();
+        let x = vec![1.0, 10.0, 100.0];
+        assert_eq!(m.row(0).dot(&x), 201.0);
+        assert_eq!(m.row(1).dot(&x), 0.0);
+        assert_eq!(m.row(2).dot(&x), 430.0);
+    }
+
+    #[test]
+    fn axpy_into_scatters() {
+        let m = sample();
+        let mut y = vec![0.0; 3];
+        m.row(2).axpy_into(2.0, &mut y);
+        assert_eq!(y, vec![0.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d.at(0, 2), 2.0);
+        assert_eq!(d.at(1, 1), 0.0);
+        assert_eq!(CsrMatrix::from_dense(&d), m);
+    }
+
+    #[test]
+    fn from_row_entries_sorts_columns() {
+        let m = CsrMatrix::from_row_entries(1, 4, &[vec![(3, 3.0), (0, 1.0)]]);
+        assert_eq!(m.col_idx(), &[0, 3]);
+        assert_eq!(m.values(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let _ = CsrMatrix::from_row_entries(1, 4, &[vec![(1, 1.0), (1, 2.0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_column_rejected() {
+        let _ = CsrMatrix::from_row_entries(1, 2, &[vec![(2, 1.0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end at nnz")]
+    fn from_raw_validates() {
+        let _ = CsrMatrix::from_raw(1, 2, vec![0, 2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn stats_and_sizes() {
+        let m = sample();
+        let (min, avg, max) = m.nnz_per_row_stats();
+        assert_eq!((min, max), (0, 2));
+        assert!((avg - 4.0 / 3.0).abs() < 1e-12);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.dense_size_bytes(), 9 * 8);
+        assert_eq!(m.sparse_size_bytes(), 4 * 8 + 4 * 4 + 4 * 8);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = CsrMatrix::from_row_entries(0, 0, &[]);
+        assert_eq!(m.nnz_per_row_stats(), (0, 0.0, 0));
+        assert_eq!(m.density(), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! The `Exec` trait: one primitive API executed on CPU or simulated GPU.
+//!
+//! The paper's synchronous SGD is written once against ViennaCL's primitive
+//! API and compiled for CPU or GPU. `Exec` is our equivalent: the models in
+//! `sgd-models` compute losses and gradients generically over an `Exec`,
+//! and the study harness instantiates them with [`CpuExec`] (sequential or
+//! rayon-parallel) or with the GPU simulator's executor (which performs the
+//! same arithmetic while charging simulated cycles).
+//!
+//! Element-wise operations carry an explicit `flops_per_elem` so a
+//! cost-accounting executor knows the arithmetic intensity without
+//! inspecting the closure.
+
+use crate::{Backend, CsrMatrix, Matrix, Scalar};
+
+/// Execution backend abstraction shared by CPU and simulated GPU.
+pub trait Exec {
+    /// Dot product `x . y`.
+    fn dot(&mut self, x: &[Scalar], y: &[Scalar]) -> Scalar;
+    /// `y += a * x`.
+    fn axpy(&mut self, a: Scalar, x: &[Scalar], y: &mut [Scalar]);
+    /// `x *= a`.
+    fn scale(&mut self, a: Scalar, x: &mut [Scalar]);
+    /// Sum of elements.
+    fn sum(&mut self, x: &[Scalar]) -> Scalar;
+    /// `y = A x`.
+    fn gemv(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]);
+    /// `y = A^T x`.
+    fn gemv_t(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]);
+    /// `C = A B`.
+    fn gemm(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix);
+    /// `C = A B^T`.
+    fn gemm_nt(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix);
+    /// `C = A^T B`.
+    fn gemm_tn(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix);
+    /// `y = A x` over CSR.
+    fn spmv(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]);
+    /// `y = A^T x` over CSR.
+    fn spmv_t(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]);
+    /// `x[i] = f(x[i])`; `flops_per_elem` declares the arithmetic cost of
+    /// one application of `f` for cost-accounting executors.
+    fn map<F>(&mut self, x: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar) -> Scalar + Sync + Send;
+    /// `out[i] = f(a[i], b[i])`.
+    fn zip<F>(&mut self, a: &[Scalar], b: &[Scalar], out: &mut [Scalar], flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar, Scalar) -> Scalar + Sync + Send;
+    /// `C[i][j] += b[j]` for every row `i` (bias broadcast).
+    fn add_row_bias(&mut self, c: &mut Matrix, b: &[Scalar]);
+    /// `out[j] = sum_i A[i][j]` (bias gradient reduction).
+    fn col_sums(&mut self, a: &Matrix, out: &mut [Scalar]);
+    /// Fused row-wise softmax + cross-entropy: `z` holds logits on entry
+    /// and is replaced by the output delta `(softmax - onehot) / rows`;
+    /// returns the mean cross-entropy loss over the rows. `classes[i]` is
+    /// the target class index of row `i`.
+    fn softmax_xent(&mut self, z: &mut Matrix, classes: &[usize]) -> Scalar;
+}
+
+/// Reference implementation of the fused softmax/cross-entropy kernel,
+/// shared by the CPU and simulated-GPU executors.
+pub fn softmax_xent_reference(z: &mut Matrix, classes: &[usize]) -> Scalar {
+    assert_eq!(z.rows(), classes.len(), "one class per row required");
+    let rows = z.rows();
+    if rows == 0 {
+        return 0.0;
+    }
+    let inv = 1.0 / rows as Scalar;
+    let mut loss = 0.0;
+    for (i, &target) in classes.iter().enumerate() {
+        let row = z.row_mut(i);
+        let max = row.iter().cloned().fold(Scalar::NEG_INFINITY, Scalar::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        assert!(target < row.len(), "class {target} out of range");
+        loss -= (row[target] / denom).max(Scalar::MIN_POSITIVE).ln();
+        for (j, v) in row.iter_mut().enumerate() {
+            let p = *v / denom;
+            *v = (p - if j == target { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    loss * inv
+}
+
+/// CPU executor: wraps a [`Backend`] (sequential or parallel).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuExec(pub Backend);
+
+impl CpuExec {
+    /// Sequential CPU executor.
+    pub fn seq() -> Self {
+        CpuExec(Backend::seq())
+    }
+
+    /// Parallel CPU executor (current rayon pool, ViennaCL GEMM threshold).
+    pub fn par() -> Self {
+        CpuExec(Backend::par())
+    }
+}
+
+impl Exec for CpuExec {
+    fn dot(&mut self, x: &[Scalar], y: &[Scalar]) -> Scalar {
+        self.0.dot(x, y)
+    }
+
+    fn axpy(&mut self, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        self.0.axpy(a, x, y)
+    }
+
+    fn scale(&mut self, a: Scalar, x: &mut [Scalar]) {
+        self.0.scale(a, x)
+    }
+
+    fn sum(&mut self, x: &[Scalar]) -> Scalar {
+        self.0.sum(x)
+    }
+
+    fn gemv(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        self.0.gemv(a, x, y)
+    }
+
+    fn gemv_t(&mut self, a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+        self.0.gemv_t(a, x, y)
+    }
+
+    fn gemm(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        self.0.gemm(a, b, c)
+    }
+
+    fn gemm_nt(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        self.0.gemm_nt(a, b, c)
+    }
+
+    fn gemm_tn(&mut self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        self.0.gemm_tn(a, b, c)
+    }
+
+    fn spmv(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        self.0.spmv(a, x, y)
+    }
+
+    fn spmv_t(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+        self.0.spmv_t(a, x, y)
+    }
+
+    fn map<F>(&mut self, x: &mut [Scalar], _flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar) -> Scalar + Sync + Send,
+    {
+        self.0.map_inplace(x, f)
+    }
+
+    fn zip<F>(&mut self, a: &[Scalar], b: &[Scalar], out: &mut [Scalar], _flops_per_elem: f64, f: F)
+    where
+        F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
+    {
+        self.0.zip_map(a, b, out, f)
+    }
+
+    fn add_row_bias(&mut self, c: &mut Matrix, b: &[Scalar]) {
+        assert_eq!(c.cols(), b.len(), "bias width mismatch");
+        for i in 0..c.rows() {
+            for (v, &bj) in c.row_mut(i).iter_mut().zip(b) {
+                *v += bj;
+            }
+        }
+    }
+
+    fn col_sums(&mut self, a: &Matrix, out: &mut [Scalar]) {
+        assert_eq!(a.cols(), out.len(), "col_sums width mismatch");
+        out.fill(0.0);
+        for i in 0..a.rows() {
+            for (o, &v) in out.iter_mut().zip(a.row(i)) {
+                *o += v;
+            }
+        }
+    }
+
+    fn softmax_xent(&mut self, z: &mut Matrix, classes: &[usize]) -> Scalar {
+        softmax_xent_reference(z, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    #[test]
+    fn cpu_exec_delegates_to_backend() {
+        let mut e = CpuExec::seq();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut y = vec![0.0; 2];
+        e.gemv(&a, &[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        assert_eq!(e.dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn gemm_variants_consistent_via_exec() {
+        let mut e = CpuExec::par();
+        let a = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as Scalar);
+        let b = Matrix::from_fn(5, 4, |i, j| (2 * i + j) as Scalar);
+        // C1 = A B^T directly; C2 = A (B^T) via explicit transpose + gemm.
+        let mut c1 = Matrix::zeros(3, 5);
+        e.gemm_nt(&a, &b, &mut c1);
+        let bt = b.transposed();
+        let mut c2 = Matrix::zeros(3, 5);
+        e.gemm(&a, &bt, &mut c2);
+        assert!(approx_eq_slice(c1.as_slice(), c2.as_slice(), 1e-12));
+    }
+
+    #[test]
+    fn add_row_bias_broadcasts() {
+        let mut e = CpuExec::seq();
+        let mut c = Matrix::zeros(2, 3);
+        e.add_row_bias(&mut c, &[1.0, 2.0, 3.0]);
+        assert_eq!(c.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(c.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sums_reduces_rows() {
+        let mut e = CpuExec::seq();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[10.0, 20.0], &[100.0, 200.0]]);
+        let mut out = vec![0.0; 2];
+        e.col_sums(&a, &mut out);
+        assert_eq!(out, vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn softmax_xent_known_case() {
+        let mut e = CpuExec::seq();
+        // Uniform logits: softmax = [1/2, 1/2], loss = ln 2, delta = (p - onehot)/1.
+        let mut z = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let loss = e.softmax_xent(&mut z, &[1]);
+        assert!((loss - (2.0 as Scalar).ln()).abs() < 1e-12);
+        assert!((z.at(0, 0) - 0.5).abs() < 1e-12);
+        assert!((z.at(0, 1) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_xent_is_shift_invariant_and_averaged() {
+        let mut e = CpuExec::seq();
+        let mut z1 = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, -1.0]]);
+        let mut z2 = Matrix::from_rows(&[&[101.0, 103.0], &[52.0, 49.0]]);
+        let l1 = e.softmax_xent(&mut z1, &[0, 1]);
+        let l2 = e.softmax_xent(&mut z2, &[0, 1]);
+        assert!((l1 - l2).abs() < 1e-9);
+        assert!(approx_eq_slice(z1.as_slice(), z2.as_slice(), 1e-9));
+        // Deltas of each row sum to zero.
+        for i in 0..2 {
+            let s: Scalar = z1.row(i).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn map_and_zip_apply_closures() {
+        let mut e = CpuExec::seq();
+        let mut x = vec![1.0, 4.0, 9.0];
+        e.map(&mut x, 1.0, |v| v.sqrt());
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+        let mut out = vec![0.0; 3];
+        e.zip(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &mut out, 1.0, |a, b| b - a);
+        assert_eq!(out, vec![9.0, 18.0, 27.0]);
+    }
+}

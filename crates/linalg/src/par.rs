@@ -1,0 +1,235 @@
+//! Rayon-parallel implementations of the primitives.
+//!
+//! All kernels run on the *current* rayon thread pool so the study harness
+//! can control the degree of parallelism by installing a pool of the
+//! desired size (the paper varies CPU thread counts the same way through
+//! OpenMP).
+
+use rayon::prelude::*;
+
+use crate::{seq, CsrMatrix, Matrix, Scalar};
+
+/// Below this many elements a parallel element-wise kernel is not worth the
+/// fork-join overhead and we fall back to the sequential implementation.
+/// ViennaCL's OpenMP backend has the same kind of guard.
+const MIN_PARALLEL_LEN: usize = 4096;
+
+pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    if x.len() < MIN_PARALLEL_LEN {
+        return seq::dot(x, y);
+    }
+    x.par_iter().zip(y.par_iter()).map(|(&a, &b)| a * b).sum()
+}
+
+pub(crate) fn axpy(a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+    if x.len() < MIN_PARALLEL_LEN {
+        return seq::axpy(a, x, y);
+    }
+    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| *yi += a * xi);
+}
+
+pub(crate) fn scale(a: Scalar, x: &mut [Scalar]) {
+    if x.len() < MIN_PARALLEL_LEN {
+        return seq::scale(a, x);
+    }
+    x.par_iter_mut().for_each(|v| *v *= a);
+}
+
+pub(crate) fn sum(x: &[Scalar]) -> Scalar {
+    if x.len() < MIN_PARALLEL_LEN {
+        return x.iter().sum();
+    }
+    x.par_iter().sum()
+}
+
+pub(crate) fn map_inplace<F>(x: &mut [Scalar], f: F)
+where
+    F: Fn(Scalar) -> Scalar + Sync + Send,
+{
+    if x.len() < MIN_PARALLEL_LEN {
+        for v in x.iter_mut() {
+            *v = f(*v);
+        }
+        return;
+    }
+    x.par_iter_mut().for_each(|v| *v = f(*v));
+}
+
+pub(crate) fn zip_map<F>(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], f: F)
+where
+    F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
+{
+    if a.len() < MIN_PARALLEL_LEN {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = f(x, y);
+        }
+        return;
+    }
+    out.par_iter_mut()
+        .zip(a.par_iter())
+        .zip(b.par_iter())
+        .for_each(|((o, &x), &y)| *o = f(x, y));
+}
+
+pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = seq::dot(a.row(i), x));
+}
+
+/// Scatter reductions materialize one dense partial per chunk; capping the
+/// chunk count bounds that memory traffic when the output is very wide
+/// (news: 1.35 M columns), like a two-level tree reduction would.
+const MAX_SCATTER_PARTIALS: usize = 8;
+
+pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    // Scatter along rows races on y; accumulate per-chunk partials and add.
+    let cols = a.cols();
+    let chunk = (x.len() / rayon::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS)).max(1);
+    let partials: Vec<Vec<Scalar>> = x
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, xs)| {
+            let base = ci * chunk;
+            let mut acc = vec![0.0; cols];
+            for (off, &xi) in xs.iter().enumerate() {
+                seq::axpy(xi, a.row(base + off), &mut acc);
+            }
+            acc
+        })
+        .collect();
+    y.fill(0.0);
+    for p in partials {
+        seq::axpy(1.0, &p, y);
+    }
+}
+
+pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (k, m) = (a.cols(), b.cols());
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            c_row.fill(0.0);
+            let a_row = a.row(i);
+            for (p, &aip) in a_row.iter().enumerate().take(k) {
+                if aip == 0.0 {
+                    continue;
+                }
+                seq::axpy(aip, b.row(p), c_row);
+            }
+        });
+}
+
+pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = b.rows();
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = a.row(i);
+            for (j, cij) in c_row.iter_mut().enumerate() {
+                *cij = seq::dot(a_row, b.row(j));
+            }
+        });
+}
+
+pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    // Parallelize over rows of C = A^T B: row i of C gathers column i of A
+    // against all rows of B.
+    let m = b.cols();
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            c_row.fill(0.0);
+            for p in 0..a.rows() {
+                let api = a.at(p, i);
+                if api != 0.0 {
+                    seq::axpy(api, b.row(p), c_row);
+                }
+            }
+        });
+}
+
+pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = a.row(i).dot(x));
+}
+
+pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    let cols = a.cols();
+    let chunk = (x.len() / rayon::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS)).max(1);
+    let partials: Vec<Vec<Scalar>> = x
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, xs)| {
+            let base = ci * chunk;
+            let mut acc = vec![0.0; cols];
+            for (off, &xi) in xs.iter().enumerate() {
+                if xi != 0.0 {
+                    a.row(base + off).axpy_into(xi, &mut acc);
+                }
+            }
+            acc
+        })
+        .collect();
+    y.fill(0.0);
+    for p in partials {
+        seq::axpy(1.0, &p, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    #[test]
+    fn large_dot_crosses_parallel_threshold() {
+        let x: Vec<Scalar> = (0..MIN_PARALLEL_LEN * 2).map(|i| (i % 13) as Scalar).collect();
+        let y: Vec<Scalar> = (0..MIN_PARALLEL_LEN * 2).map(|i| (i % 7) as Scalar).collect();
+        let expect = seq::dot(&x, &y);
+        assert!((dot(&x, &y) - expect).abs() <= 1e-9 * expect.abs());
+    }
+
+    #[test]
+    fn gemv_t_partials_reduce_correctly() {
+        let a = Matrix::from_fn(97, 11, |i, j| ((i * 31 + j * 7) % 5) as Scalar - 2.0);
+        let x: Vec<Scalar> = (0..97).map(|i| (i % 3) as Scalar).collect();
+        let mut got = vec![0.0; 11];
+        let mut expect = vec![0.0; 11];
+        gemv_t(&a, &x, &mut got);
+        seq::gemv_t(&a, &x, &mut expect);
+        assert!(approx_eq_slice(&got, &expect, 1e-9));
+    }
+
+    #[test]
+    fn spmv_t_partials_reduce_correctly() {
+        let d = Matrix::from_fn(53, 17, |i, j| if (i + j) % 4 == 0 { (i + j) as Scalar } else { 0.0 });
+        let s = CsrMatrix::from_dense(&d);
+        let x: Vec<Scalar> = (0..53).map(|i| (i % 5) as Scalar - 2.0).collect();
+        let mut got = vec![0.0; 17];
+        let mut expect = vec![0.0; 17];
+        spmv_t(&s, &x, &mut got);
+        seq::spmv_t(&s, &x, &mut expect);
+        assert!(approx_eq_slice(&got, &expect, 1e-9));
+    }
+
+    #[test]
+    fn large_elementwise_kernels_match_seq() {
+        let n = MIN_PARALLEL_LEN * 2 + 17;
+        let x: Vec<Scalar> = (0..n).map(|i| (i % 19) as Scalar * 0.25).collect();
+        let mut y1: Vec<Scalar> = (0..n).map(|i| (i % 5) as Scalar).collect();
+        let mut y2 = y1.clone();
+        axpy(1.5, &x, &mut y1);
+        seq::axpy(1.5, &x, &mut y2);
+        assert!(approx_eq_slice(&y1, &y2, 1e-12));
+
+        let mut a1 = x.clone();
+        let mut a2 = x.clone();
+        map_inplace(&mut a1, |v| v * v + 1.0);
+        for v in a2.iter_mut() {
+            *v = *v * *v + 1.0;
+        }
+        assert!(approx_eq_slice(&a1, &a2, 1e-12));
+        assert!((sum(&a1) - a2.iter().sum::<Scalar>()).abs() < 1e-6);
+    }
+}

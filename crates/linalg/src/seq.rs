@@ -1,0 +1,126 @@
+//! Sequential reference implementations of the primitives.
+//!
+//! These are the semantic ground truth: the parallel backend and the GPU
+//! simulator's functional kernels are tested against them.
+
+use crate::{CsrMatrix, Matrix, Scalar};
+
+pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+pub(crate) fn axpy(a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+pub(crate) fn scale(a: Scalar, x: &mut [Scalar]) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = dot(a.row(i), x);
+    }
+}
+
+pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    y.fill(0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        axpy(xi, a.row(i), y);
+    }
+}
+
+pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (n, k, m) = (a.rows(), a.cols(), b.cols());
+    c.fill_zero();
+    // i-k-j loop order keeps the inner loop streaming over contiguous rows
+    // of B and C.
+    for i in 0..n {
+        let a_row = a.row(i);
+        for (p, &aip) in a_row.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            let c_row = c.row_mut(i);
+            for j in 0..m {
+                c_row[j] += aip * b_row[j];
+            }
+        }
+    }
+}
+
+pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    // C[i][j] = A.row(i) . B.row(j): both operands stream along rows.
+    let m = b.rows();
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (j, cij) in c_row.iter_mut().enumerate().take(m) {
+            *cij = dot(a_row, b.row(j));
+        }
+    }
+}
+
+pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    // C = A^T B with A: n x k, B: n x m, C: k x m. Accumulate rank-1
+    // updates row by row so every inner loop is contiguous.
+    c.fill_zero();
+    for p in 0..a.rows() {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &api) in a_row.iter().enumerate() {
+            if api != 0.0 {
+                axpy(api, b_row, c.row_mut(i));
+            }
+        }
+    }
+}
+
+pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = a.row(i).dot(x);
+    }
+}
+
+pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    y.fill(0.0);
+    for (i, &xi) in x.iter().enumerate() {
+        a.row(i).axpy_into(xi, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_skips_zero_entries_correctly() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[3.0, 4.0]]);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[6.0, 8.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gemm_overwrites_previous_content() {
+        let a = Matrix::from_rows(&[&[1.0]]);
+        let b = Matrix::from_rows(&[&[2.0]]);
+        let mut c = Matrix::from_rows(&[&[99.0]]);
+        gemm(&a, &b, &mut c);
+        assert_eq!(c.at(0, 0), 2.0);
+    }
+
+    #[test]
+    fn gemv_t_zeroes_output_first() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let mut y = vec![5.0, 5.0];
+        gemv_t(&a, &[3.0], &mut y);
+        assert_eq!(y, vec![3.0, 6.0]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Borrowed views of (a batch of) training examples.
+
+use sgd_linalg::{CsrMatrix, Matrix, Scalar};
+
+/// The example matrix of a batch, dense or CSR — the data-sparsity axis of
+/// the paper's Fig. 1.
+#[derive(Clone, Copy, Debug)]
+pub enum Examples<'a> {
+    /// Row-major dense examples.
+    Dense(&'a Matrix),
+    /// CSR sparse examples.
+    Sparse(&'a CsrMatrix),
+}
+
+impl Examples<'_> {
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        match self {
+            Examples::Dense(m) => m.rows(),
+            Examples::Sparse(m) => m.rows(),
+        }
+    }
+
+    /// Number of features.
+    pub fn d(&self) -> usize {
+        match self {
+            Examples::Dense(m) => m.cols(),
+            Examples::Sparse(m) => m.cols(),
+        }
+    }
+
+    /// `true` for the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Examples::Dense(_))
+    }
+}
+
+/// A batch: examples plus their `±1` labels.
+#[derive(Clone, Copy, Debug)]
+pub struct Batch<'a> {
+    /// The examples.
+    pub x: Examples<'a>,
+    /// Labels, one per example, in `{-1.0, +1.0}`.
+    pub y: &'a [Scalar],
+}
+
+impl<'a> Batch<'a> {
+    /// Builds a batch, validating the label count.
+    pub fn new(x: Examples<'a>, y: &'a [Scalar]) -> Self {
+        assert_eq!(x.n(), y.len(), "one label per example required");
+        Batch { x, y }
+    }
+
+    /// Batch size.
+    pub fn n(&self) -> usize {
+        self.x.n()
+    }
+
+    /// Target class indices for the two-unit softmax output of the MLP:
+    /// label `+1` is class 1, `-1` is class 0.
+    pub fn classes(&self) -> Vec<usize> {
+        self.y.iter().map(|&l| usize::from(l > 0.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_sparse_report_shape() {
+        let d = Matrix::zeros(3, 5);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!((Examples::Dense(&d).n(), Examples::Dense(&d).d()), (3, 5));
+        assert_eq!((Examples::Sparse(&s).n(), Examples::Sparse(&s).d()), (3, 5));
+        assert!(Examples::Dense(&d).is_dense());
+        assert!(!Examples::Sparse(&s).is_dense());
+    }
+
+    #[test]
+    fn classes_map_labels() {
+        let d = Matrix::zeros(3, 2);
+        let y = [1.0, -1.0, 1.0];
+        let b = Batch::new(Examples::Dense(&d), &y);
+        assert_eq!(b.classes(), vec![1, 0, 1]);
+        assert_eq!(b.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per example")]
+    fn batch_checks_label_count() {
+        let d = Matrix::zeros(3, 2);
+        let _ = Batch::new(Examples::Dense(&d), &[1.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Finite-difference gradient checking.
+
+use sgd_linalg::{CpuExec, Scalar};
+
+use crate::batch::Batch;
+use crate::task::Task;
+
+/// Verifies `task.gradient` against central finite differences of
+/// `task.loss` at `w`, returning the worst relative error over the checked
+/// coordinates (all of them up to 64, then a deterministic stride-sample).
+///
+/// Used by the test suites of every task; also useful for user-defined
+/// tasks.
+pub fn check_gradient<T: Task>(task: &T, batch: &Batch<'_>, w: &[Scalar]) -> f64 {
+    let mut e = CpuExec::seq();
+    let dim = task.dim();
+    let mut g = vec![0.0; dim];
+    task.gradient(&mut e, batch, w, &mut g);
+
+    let stride = (dim / 64).max(1);
+    let mut worst: f64 = 0.0;
+    let mut wp = w.to_vec();
+    for i in (0..dim).step_by(stride) {
+        let eps = 1e-5 * w[i].abs().max(1.0);
+        wp[i] = w[i] + eps;
+        let lp = task.loss(&mut e, batch, &wp);
+        wp[i] = w[i] - eps;
+        let lm = task.loss(&mut e, batch, &wp);
+        wp[i] = w[i];
+        let numeric = (lp - lm) / (2.0 * eps);
+        let denom = numeric.abs().max(g[i].abs()).max(1e-6);
+        worst = worst.max((numeric - g[i]).abs() / denom);
+    }
+    worst
+}

@@ -1,0 +1,30 @@
+//! The task abstraction shared by all optimizers.
+
+use sgd_linalg::{Exec, Scalar};
+
+use crate::batch::Batch;
+
+/// A trainable model-fitting task.
+///
+/// `loss` and `gradient` are *means* over the batch, which keeps step-size
+/// ranges comparable across dataset scales (the paper grids step sizes per
+/// configuration anyway, so the normalization convention does not affect
+/// any comparison).
+pub trait Task: Sync {
+    /// Human-readable task name (`LR`, `SVM`, `MLP`).
+    fn name(&self) -> &'static str;
+
+    /// Dimension of the flat model vector.
+    fn dim(&self) -> usize;
+
+    /// The initial model every configuration starts from (the paper
+    /// initializes all configurations identically).
+    fn init_model(&self) -> Vec<Scalar>;
+
+    /// Mean loss of `w` over the batch.
+    fn loss<E: Exec>(&self, e: &mut E, batch: &Batch<'_>, w: &[Scalar]) -> Scalar;
+
+    /// Mean gradient of the loss at `w` over the batch, written to `g`
+    /// (overwritten, `g.len() == dim()`).
+    fn gradient<E: Exec>(&self, e: &mut E, batch: &Batch<'_>, w: &[Scalar], g: &mut [Scalar]);
+}

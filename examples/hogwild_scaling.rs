@@ -1,0 +1,53 @@
+//! Hogwild thread scaling: the cache-coherency story.
+//!
+//! Sweeps the modeled thread count for Hogwild on a dense low-dimensional
+//! dataset (covtype-like: every update touches every model line) and a
+//! sparse high-dimensional one (news-like: conflicts are negligible).
+//! Parallelism *hurts* the first and helps the second — the paper's
+//! central asynchronous-CPU finding (Table III).
+//!
+//! ```text
+//! cargo run --release --example hogwild_scaling
+//! ```
+
+use sgd_study::core::{run_hogwild_modeled, CpuModelConfig, RunOptions};
+use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
+use sgd_study::models::{lr, Batch, Examples};
+
+fn main() {
+    let dense = generate(&DatasetProfile::covtype().scaled(0.01), &GenOptions::default());
+    let sparse = generate(&DatasetProfile::news().scaled(0.05), &GenOptions::default());
+    let opts = RunOptions { max_epochs: 3, ..Default::default() };
+
+    println!(
+        "{:>8} | {:>16} {:>9} | {:>16} {:>9}",
+        "threads", "covtype ms/ep", "speedup", "news ms/ep", "speedup"
+    );
+    let mut base = [0.0f64; 2];
+    for threads in [1usize, 2, 4, 8, 16, 28, 56] {
+        let mc = CpuModelConfig::paper_machine(threads);
+        let mut cols = [0.0f64; 2];
+        for (i, ds) in [&dense, &sparse].into_iter().enumerate() {
+            let task = lr(ds.d());
+            let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+            let rep = run_hogwild_modeled(&task, &batch, &mc, 0.1, &opts);
+            cols[i] = rep.time_per_epoch() * 1e3;
+        }
+        if threads == 1 {
+            base = cols;
+        }
+        println!(
+            "{:>8} | {:>16.4} {:>8.2}x | {:>16.4} {:>8.2}x",
+            threads,
+            cols[0],
+            base[0] / cols[0],
+            cols[1],
+            base[1] / cols[1],
+        );
+    }
+    println!(
+        "\nDense, low-dimensional models slow down under concurrency (coherency\n\
+         conflicts on the handful of model cache lines); sparse, high-dimensional\n\
+         models scale until random-access memory throughput saturates."
+    );
+}

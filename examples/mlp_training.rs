@@ -1,0 +1,61 @@
+//! Deep-net training on the paper's feature-grouped data: synchronous
+//! batch GD versus Hogbatch, and our implementation versus the
+//! TensorFlow-like graph executor.
+//!
+//! ```text
+//! cargo run --release --example mlp_training
+//! ```
+
+use sgd_study::core::{make_batches, run_hogbatch, run_sync, DeviceKind, RunOptions};
+use sgd_study::datagen::{generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions};
+use sgd_study::frameworks::run_tensorflow_sync;
+use sgd_study::models::{Batch, Examples, MlpTask, Task};
+
+fn main() {
+    // real-sim, grouped to the paper's 50-input MLP and re-normalized.
+    let ds = generate(&DatasetProfile::real_sim().scaled(0.01), &GenOptions::default());
+    let grouped = normalize_rows(&group_features(&ds, 50).x);
+    let x = grouped.to_dense();
+    let (y, _) = plant_labels(&grouped, 7, 0.02);
+    let task = MlpTask::new(vec![50, 10, 5, 2], 42);
+    println!(
+        "MLP {} on grouped {} ({} x {}), {} parameters\n",
+        task.arch_string(),
+        ds.name,
+        x.rows(),
+        x.cols(),
+        task.dim()
+    );
+
+    let full = Batch::new(Examples::Dense(&x), &y);
+    // No plateau cut-off: we want the full 800-epoch trajectories to
+    // compare the strategies' curves directly.
+    let opts = RunOptions { max_epochs: 800, max_secs: 60.0, plateau: None, ..Default::default() };
+    let alpha = 1.0;
+
+    // Synchronous batch GD on the simulated GPU.
+    let sync = run_sync(&task, &full, DeviceKind::Gpu, alpha, &opts);
+    // Hogbatch (asynchronous mini-batches of 256) on two CPU workers.
+    let owned = make_batches(&x, &y, 256);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let hog = run_hogbatch(&task, &full, &batches, 2, alpha, &opts);
+    // The TensorFlow-like dataflow executor, same initialization.
+    let tf = run_tensorflow_sync(&[50, 10, 5, 2], &x, &y, DeviceKind::CpuSeq, alpha, &opts);
+
+    for rep in [&sync, &hog, &tf] {
+        let pts = rep.trace.points();
+        println!(
+            "{:<38} loss {:.4} -> {:.4} over {} epochs",
+            rep.label,
+            pts.first().expect("trace nonempty").1,
+            pts.last().expect("trace nonempty").1,
+            rep.trace.epochs()
+        );
+    }
+    println!(
+        "\nThe graph executor follows exactly the same trajectory as our sync\n\
+         implementation (same math, same init) — it only differs in execution\n\
+         profile (one kernel per op), which is what Fig. 9 measures."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: generate a dataset, train logistic regression with
+//! synchronous SGD and with Hogwild, and print the convergence behaviour.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sgd_study::core::{
+    grid_search, reference_optimum, run_hogwild, run_sync, step_size_grid, DeviceKind, RunOptions,
+};
+use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
+use sgd_study::models::{lr, Batch, Examples};
+
+fn main() {
+    // A scaled-down copy of the paper's `w8a` dataset: 300 features,
+    // log-normal sparsity, labels planted from a linear separator.
+    let profile = DatasetProfile::w8a().scaled(0.05);
+    let ds = generate(&profile, &GenOptions::default());
+    println!("dataset: {} ({} examples x {} features, {} non-zeros)", ds.name, ds.n(), ds.d(), ds.x.nnz());
+
+    let task = lr(ds.d());
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+
+    // The paper's convergence protocol: find the best reachable loss,
+    // then measure time to get within 1 % of it.
+    let optimum = reference_optimum(&task, &batch, 200);
+    println!("reference optimal loss: {optimum:.6}");
+
+    let opts = RunOptions { max_epochs: 300, target_loss: Some(optimum), ..Default::default() };
+
+    // Synchronous SGD (batch gradient descent) on one CPU core and on the
+    // simulated Tesla K80, with the step size gridded as in the paper.
+    let grid = step_size_grid();
+    for device in [DeviceKind::CpuSeq, DeviceKind::Gpu] {
+        let rep = grid_search(optimum, &grid, |a| run_sync(&task, &batch, device, a, &opts));
+        report(&rep.label, rep.summarize(optimum).time_to_1pct(), rep.time_per_epoch());
+    }
+
+    // Asynchronous (Hogwild) SGD: lock-free concurrent updates.
+    let rep = grid_search(optimum, &grid, |a| run_hogwild(&task, &batch, 4, a, &opts));
+    report(&rep.label, rep.summarize(optimum).time_to_1pct(), rep.time_per_epoch());
+}
+
+fn report(label: &str, ttc: Option<f64>, tpe: f64) {
+    match ttc {
+        Some(secs) => println!("{label:32} converged to 1% in {secs:.4}s  ({:.3} ms/epoch)", tpe * 1e3),
+        None => println!("{label:32} did not reach the 1% band  ({:.3} ms/epoch)", tpe * 1e3),
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the SGD-on-modern-hardware study.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! downstream users need a single dependency. See the README for the
+//! architecture overview and `DESIGN.md` for the per-experiment index.
+
+pub use sgd_core as core;
+pub use sgd_datagen as datagen;
+pub use sgd_frameworks as frameworks;
+pub use sgd_gpusim as gpusim;
+pub use sgd_linalg as linalg;
+pub use sgd_models as models;

@@ -1,0 +1,125 @@
+//! End-to-end convergence: every optimizer in the study must actually
+//! optimize every task on generated data, and configurations that share
+//! update semantics must agree exactly.
+
+use sgd_study::core::{
+    make_batches, reference_optimum, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch,
+    run_hogwild, run_hogwild_modeled, run_sync, run_sync_modeled, CpuModelConfig, DeviceKind,
+    GpuAsyncOptions, RunOptions,
+};
+use sgd_study::datagen::{generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions};
+use sgd_study::models::{lr, svm, Batch, Examples, MlpTask, Task};
+
+fn w8a_small() -> sgd_study::datagen::Dataset {
+    generate(&DatasetProfile::w8a().scaled(0.02), &GenOptions::default())
+}
+
+fn opts(max_epochs: usize) -> RunOptions {
+    RunOptions { max_epochs, max_secs: 20.0, ..Default::default() }
+}
+
+#[test]
+fn sync_converges_on_all_tasks_and_devices() {
+    let ds = w8a_small();
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    for device in [DeviceKind::CpuSeq, DeviceKind::CpuPar, DeviceKind::Gpu] {
+        let lr_rep = run_sync(&lr(ds.d()), &batch, device, 10.0, &opts(150));
+        assert!(lr_rep.best_loss() < 0.3, "{device:?} LR loss {}", lr_rep.best_loss());
+        let svm_rep = run_sync(&svm(ds.d()), &batch, device, 10.0, &opts(150));
+        assert!(svm_rep.best_loss() < 0.45, "{device:?} SVM loss {}", svm_rep.best_loss());
+    }
+}
+
+#[test]
+fn sync_statistical_efficiency_is_device_independent() {
+    // The paper: "the statistical efficiency is identical in synchronous
+    // SGD" — trajectories must agree to machine precision between seq CPU
+    // and the simulated GPU, and to reduction-reordering tolerance for the
+    // parallel CPU.
+    let ds = w8a_small();
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = lr(ds.d());
+    let o = opts(20);
+    let seq = run_sync(&task, &batch, DeviceKind::CpuSeq, 1.0, &o);
+    let par = run_sync(&task, &batch, DeviceKind::CpuPar, 1.0, &o);
+    let gpu = run_sync(&task, &batch, DeviceKind::Gpu, 1.0, &o);
+    let modeled = run_sync_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), 1.0, &o);
+    for (((s, p), g), m) in seq
+        .trace
+        .points()
+        .iter()
+        .zip(par.trace.points())
+        .zip(gpu.trace.points())
+        .zip(modeled.trace.points())
+    {
+        assert!((s.1 - g.1).abs() < 1e-12);
+        assert!((s.1 - m.1).abs() < 1e-12);
+        assert!((s.1 - p.1).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn hogwild_converges_across_thread_counts() {
+    let ds = w8a_small();
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = lr(ds.d());
+    for threads in [1, 2, 4] {
+        let rep = run_hogwild(&task, &batch, threads, 0.5, &opts(80));
+        assert!(rep.best_loss() < 0.25, "threads {threads}: {}", rep.best_loss());
+    }
+    // Modeled variant converges too.
+    let rep = run_hogwild_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), 0.5, &opts(80));
+    assert!(rep.best_loss() < 0.25, "modeled: {}", rep.best_loss());
+}
+
+#[test]
+fn gpu_hogwild_converges_on_sparse_data() {
+    let ds = w8a_small();
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = lr(ds.d());
+    let rep = run_gpu_hogwild(&task, &batch, 0.5, &opts(120), &GpuAsyncOptions::default());
+    assert!(rep.best_loss() < 0.3, "loss {}", rep.best_loss());
+    assert!(rep.update_conflicts.is_some());
+}
+
+#[test]
+fn mlp_pipeline_converges_end_to_end() {
+    // The full MLP data path: generate -> group -> normalize -> re-plant
+    // -> train with sync, Hogbatch, and GPU Hogbatch.
+    let ds = generate(&DatasetProfile::w8a().scaled(0.01), &GenOptions::default());
+    let grouped = normalize_rows(&group_features(&ds, 300).x);
+    let x = grouped.to_dense();
+    let (y, _) = plant_labels(&grouped, 3, 0.02);
+    let task = MlpTask::new(vec![300, 10, 5, 2], 42);
+    let full = Batch::new(Examples::Dense(&x), &y);
+    let o = RunOptions { max_epochs: 600, max_secs: 30.0, plateau: None, ..Default::default() };
+
+    let start = task.loss(&mut sgd_study::linalg::CpuExec::seq(), &full, &task.init_model());
+    let sync = run_sync(&task, &full, DeviceKind::Gpu, 3.0, &o);
+    assert!(sync.best_loss() < 0.8 * start, "sync: {} -> {}", start, sync.best_loss());
+
+    let owned = make_batches(&x, &y, 128);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let hog = run_hogbatch(&task, &full, &batches, 2, 1.0, &o);
+    assert!(hog.best_loss() < 0.8 * start, "hogbatch: {}", hog.best_loss());
+
+    let gpu = run_gpu_hogbatch(&task, &full, &batches, 1.0, &o, &GpuAsyncOptions::default());
+    assert!(gpu.best_loss() < 0.8 * start, "gpu hogbatch: {}", gpu.best_loss());
+}
+
+#[test]
+fn reference_optimum_is_a_lower_bound_for_grid_runs() {
+    let ds = w8a_small();
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = svm(ds.d());
+    let optimum = reference_optimum(&task, &batch, 100);
+    for alpha in [0.1, 1.0, 10.0] {
+        let rep = run_sync(&task, &batch, DeviceKind::CpuSeq, alpha, &opts(100));
+        assert!(
+            rep.best_loss() >= optimum - 1e-9,
+            "alpha {alpha}: run found {} below reference {optimum}",
+            rep.best_loss()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Smoke tests for the full table/figure reproduction pipelines: every
+//! regenerator must run end to end at tiny scale and emit well-formed
+//! output. (The quantitative shapes are asserted in `paper_shapes.rs` and
+//! in the bench crate's unit tests.)
+
+use sgd_bench::{fig6, fig7, fig8, fig9, table1, table2, table3, ExperimentConfig};
+
+fn smoke() -> ExperimentConfig {
+    ExperimentConfig::smoke()
+}
+
+#[test]
+fn table1_pipeline() {
+    let out = table1::render(&smoke());
+    assert!(out.contains("Table I"));
+    assert!(out.contains("w8a"));
+    assert!(out.lines().count() >= 3);
+}
+
+#[test]
+fn table2_pipeline() {
+    let rows = table2::rows(&smoke());
+    assert_eq!(rows.len(), 3, "LR, SVM, MLP for the selected dataset");
+    for r in &rows {
+        assert!(r.tpi_ms.iter().all(|&t| t.is_finite() && t > 0.0), "{r:?}");
+        assert!(r.speedup_seq_over_par.is_finite());
+    }
+    assert!(table2::render(&smoke()).contains("synchronous"));
+}
+
+#[test]
+fn table3_pipeline() {
+    let rows = table3::rows(&smoke());
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(r.tpi_ms.iter().all(|&t| t.is_finite() && t > 0.0), "{r:?}");
+    }
+    assert!(table3::render(&smoke()).contains("asynchronous"));
+}
+
+#[test]
+fn fig6_pipeline() {
+    let mut cfg = smoke();
+    cfg.scale = 0.002; // fig6 always runs on real-sim
+    let pts = fig6::points(&cfg);
+    assert_eq!(pts.len(), fig6::architectures().len());
+    assert!(fig6::render(&cfg).contains("real-sim"));
+}
+
+#[test]
+fn fig7_pipeline() {
+    let out = fig7::render(&smoke());
+    assert!(out.contains("sync-gpu"));
+    assert!(out.contains("async-cpu"));
+    assert!(out.contains("lower final loss"));
+}
+
+#[test]
+fn fig8_pipeline() {
+    let bars = fig8::bars(&smoke());
+    assert_eq!(bars.len(), 2);
+    assert!(bars.iter().all(|b| b.ours_sync > 0.0 && b.bidmach > 0.0 && b.ours_async > 0.0));
+    assert!(fig8::render(&smoke()).contains("BIDMach"));
+}
+
+#[test]
+fn fig9_pipeline() {
+    let bars = fig9::bars(&smoke());
+    assert_eq!(bars.len(), 1);
+    assert!(bars[0].tensorflow > 0.0);
+    assert!(fig9::render(&smoke()).contains("TensorFlow"));
+}
+
+#[test]
+fn cli_round_trip_matches_defaults() {
+    let parsed = ExperimentConfig::from_args(Vec::<String>::new()).expect("no args is valid");
+    let def = ExperimentConfig::default();
+    assert_eq!(parsed.scale, def.scale);
+    assert_eq!(parsed.grid, def.grid);
+    assert_eq!(parsed.model_threads, def.model_threads);
+}

@@ -1,0 +1,150 @@
+//! The paper's qualitative findings, asserted end to end at reduced scale
+//! with modeled CPU time and the simulated K80 (see EXPERIMENTS.md for the
+//! quantitative comparison).
+
+use sgd_study::core::{
+    run_gpu_hogwild, run_hogwild_modeled, run_sync, run_sync_modeled, CpuModelConfig, DeviceKind,
+    GpuAsyncOptions, RunOptions,
+};
+use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
+use sgd_study::models::{lr, Batch, Examples};
+
+const SCALE: f64 = 0.01;
+
+fn run_opts(max_epochs: usize) -> RunOptions {
+    RunOptions {
+        max_epochs,
+        max_secs: 30.0,
+        gpu_spec: Some(sgd_study::gpusim::DeviceSpec::tesla_k80().scaled(SCALE)),
+        ..Default::default()
+    }
+}
+
+fn mc(threads: usize) -> CpuModelConfig {
+    let mut mc = CpuModelConfig::paper_machine(threads);
+    mc.spec = mc.spec.scaled(SCALE);
+    mc
+}
+
+/// Finding 1 (Table II): for synchronous SGD, GPU beats parallel CPU in
+/// time per iteration on the dense dataset.
+#[test]
+fn sync_gpu_beats_parallel_cpu_on_dense_data() {
+    let ds = generate(&DatasetProfile::covtype().scaled(SCALE), &GenOptions::default());
+    let dense = ds.x.to_dense();
+    let batch = Batch::new(Examples::Dense(&dense), &ds.y);
+    let task = lr(ds.d());
+    let o = run_opts(4);
+    let gpu = run_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o);
+    let par = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o);
+    let seq = run_sync_modeled(&task, &batch, &mc(1), 0.1, &o);
+    assert!(
+        gpu.time_per_epoch() < par.time_per_epoch(),
+        "gpu {} vs cpu-par {}",
+        gpu.time_per_epoch(),
+        par.time_per_epoch()
+    );
+    // And parallelism helps the CPU.
+    assert!(par.time_per_epoch() < seq.time_per_epoch());
+}
+
+/// Finding 2 (Table III): parallel Hogwild is slower than sequential on
+/// dense low-dimensional data (cache-coherency conflicts) but faster on
+/// sparse high-dimensional data.
+#[test]
+fn hogwild_parallelism_helps_sparse_hurts_dense() {
+    let o = run_opts(3);
+
+    let dense = generate(&DatasetProfile::covtype().scaled(SCALE), &GenOptions::default());
+    let dm = dense.x.to_dense();
+    let db = Batch::new(Examples::Dense(&dm), &dense.y);
+    let task_d = lr(dense.d());
+    let seq = run_hogwild_modeled(&task_d, &db, &mc(1), 0.1, &o);
+    let par = run_hogwild_modeled(&task_d, &db, &mc(56), 0.1, &o);
+    assert!(
+        par.time_per_epoch() > seq.time_per_epoch(),
+        "dense: par {} should exceed seq {}",
+        par.time_per_epoch(),
+        seq.time_per_epoch()
+    );
+
+    let sparse = generate(&DatasetProfile::news().scaled(0.05), &GenOptions::default());
+    let sb = Batch::new(Examples::Sparse(&sparse.x), &sparse.y);
+    let task_s = lr(sparse.d());
+    let seq = run_hogwild_modeled(&task_s, &sb, &mc(1), 0.1, &o);
+    let par = run_hogwild_modeled(&task_s, &sb, &mc(56), 0.1, &o);
+    let speedup = seq.time_per_epoch() / par.time_per_epoch();
+    assert!(speedup > 2.0, "sparse speedup {speedup}");
+}
+
+/// Finding 3 (Table III): on dense data the GPU's asynchronous kernel
+/// needs far more epochs than the sequential CPU at the same step size —
+/// intra-warp conflicts destroy statistical efficiency.
+#[test]
+fn async_gpu_statistical_penalty_on_dense_data() {
+    let ds = generate(&DatasetProfile::covtype().scaled(0.003), &GenOptions::default());
+    let dm = ds.x.to_dense();
+    let batch = Batch::new(Examples::Dense(&dm), &ds.y);
+    let task = lr(ds.d());
+    let o = run_opts(3);
+    let alpha = 0.02;
+    let seq = run_hogwild_modeled(&task, &batch, &mc(1), alpha, &o);
+    let gpu = run_gpu_hogwild(&task, &batch, alpha, &o, &GpuAsyncOptions::default());
+    let l0 = seq.trace.points()[0].1;
+    let progress_seq = l0 - seq.trace.points()[3].1;
+    let progress_gpu = l0 - gpu.trace.points()[3].1;
+    assert!(progress_seq > 0.0);
+    assert!(
+        progress_gpu < 0.5 * progress_seq,
+        "gpu progress {progress_gpu} vs seq {progress_seq}"
+    );
+    assert!(gpu.update_conflicts.expect("recorded") > 0);
+}
+
+/// Finding 4 (Fig. 8 direction): our sync GPU speedup over parallel CPU is
+/// at least BIDMach's on skewed sparse data.
+#[test]
+fn ours_matches_or_beats_bidmach_speedup_on_sparse() {
+    let ds = generate(&DatasetProfile::real_sim().scaled(0.005), &GenOptions::default());
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let task = lr(ds.d());
+    let o = run_opts(4);
+    let ours_gpu = run_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o).time_per_epoch();
+    let bid_gpu =
+        sgd_study::frameworks::run_bidmach_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o)
+            .time_per_epoch();
+    let cpu = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o).time_per_epoch();
+    let ours_speedup = cpu / ours_gpu;
+    let bid_speedup = cpu / bid_gpu;
+    assert!(
+        ours_speedup >= bid_speedup * 0.99,
+        "ours {ours_speedup} vs bidmach {bid_speedup}"
+    );
+}
+
+/// Finding 5 (Fig. 6 direction): the parallel-CPU speedup for MLP training
+/// grows with the architecture size (the ViennaCL GEMM threshold binds
+/// small nets to ~sequential weight-gradient products).
+#[test]
+fn mlp_cpu_speedup_grows_with_architecture() {
+    use sgd_study::models::MlpTask;
+    let ds = generate(&DatasetProfile::real_sim().scaled(0.01), &GenOptions::default());
+    let grouped = sgd_study::datagen::normalize_rows(&sgd_study::datagen::group_features(&ds, 50).x);
+    let x = grouped.to_dense();
+    let (y, _) = sgd_study::datagen::plant_labels(&grouped, 3, 0.02);
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let o = run_opts(2);
+
+    let speedup = |layers: Vec<usize>| {
+        let task = MlpTask::new(layers, 42);
+        let seq = run_sync_modeled(&task, &batch, &mc(1), 0.1, &o).time_per_epoch();
+        let par = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o).time_per_epoch();
+        seq / par
+    };
+    let small = speedup(vec![50, 10, 5, 2]);
+    let large = speedup(vec![50, 500, 250, 2]);
+    assert!(
+        large > 1.5 * small,
+        "speedup should grow with net size: small {small}, large {large}"
+    );
+}
