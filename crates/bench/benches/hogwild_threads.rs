@@ -4,9 +4,14 @@
 //! the thread overhead (the modeled numbers come from `sgd-cpusim`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sgd_core::{run_hogwild, RunOptions};
+use sgd_core::{Configuration, DeviceKind, Engine, RunOptions, Strategy};
 use sgd_datagen::{generate, DatasetProfile, GenOptions};
 use sgd_models::{lr, Batch, Examples};
+
+fn hogwild_corner(threads: usize) -> Configuration {
+    let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+    Configuration::new(device, Strategy::Hogwild)
+}
 
 fn bench_hogwild(c: &mut Criterion) {
     let sparse = generate(&DatasetProfile::w8a().scaled(0.05), &GenOptions::default());
@@ -19,14 +24,16 @@ fn bench_hogwild(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sparse_w8a", threads), &threads, |b, &t| {
             let task = lr(sparse.d());
             let batch = Batch::new(Examples::Sparse(&sparse.x), &sparse.y);
-            let opts = RunOptions { max_epochs: 1, plateau: None, ..Default::default() };
-            b.iter(|| run_hogwild(&task, &batch, t, 0.1, &opts))
+            let opts =
+                RunOptions { max_epochs: 1, threads: t, plateau: None, ..Default::default() };
+            b.iter(|| Engine::run(&hogwild_corner(t), &task, &batch, 0.1, &opts))
         });
         group.bench_with_input(BenchmarkId::new("dense_covtype", threads), &threads, |b, &t| {
             let task = lr(dense_ds.d());
             let batch = Batch::new(Examples::Dense(&dense), &dense_ds.y);
-            let opts = RunOptions { max_epochs: 1, plateau: None, ..Default::default() };
-            b.iter(|| run_hogwild(&task, &batch, t, 0.1, &opts))
+            let opts =
+                RunOptions { max_epochs: 1, threads: t, plateau: None, ..Default::default() };
+            b.iter(|| Engine::run(&hogwild_corner(t), &task, &batch, 0.1, &opts))
         });
     }
     group.finish();

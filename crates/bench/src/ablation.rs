@@ -1,8 +1,7 @@
 //! Ablations of the design choices DESIGN.md calls out.
 
 use sgd_core::{
-    run_gpu_hogwild, run_replicated_hogwild, run_sync_modeled, GpuAsyncOptions, Replication,
-    RunOptions,
+    Configuration, DeviceKind, Engine, GpuAsyncOptions, Replication, RunOptions, Strategy, Timing,
 };
 use sgd_datagen::{generate, DatasetProfile, GenOptions};
 use sgd_gpusim::{kernels, DeviceSpec, GpuDevice};
@@ -18,10 +17,14 @@ pub fn replication_sweep(cfg: &ExperimentConfig) -> String {
     let ds = generate(&DatasetProfile::w8a().scaled(cfg.scale), &GenOptions::default());
     let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
     let task = lr(ds.d());
-    let opts = RunOptions { max_epochs: 60, ..cfg.run_options() };
+    let opts = RunOptions { max_epochs: 60, threads: 4, ..cfg.run_options() };
     let mut out = String::from("Replication strategies (Hogwild, w8a, 4 threads):\n");
     for repl in [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore] {
-        let rep = run_replicated_hogwild(&task, &batch, 4, 0.5, repl, &opts);
+        let corner = Configuration::new(
+            DeviceKind::CpuPar,
+            Strategy::ReplicatedHogwild { replication: repl },
+        );
+        let rep = Engine::run(&corner, &task, &batch, 0.5, &opts);
         out.push_str(&format!(
             "  {:<14} best loss {:.4} after {} epochs\n",
             repl.label(),
@@ -42,12 +45,13 @@ pub fn gpu_conflict_resolution(cfg: &ExperimentConfig) -> String {
     let mut out = String::from("GPU warp-Hogwild conflict resolution (covtype, dense):\n");
     for (name, atomic) in [("last-write-wins", false), ("atomic adds", true)] {
         let gopts = GpuAsyncOptions { atomic_updates: atomic, ..Default::default() };
-        let rep = run_gpu_hogwild(&task, &batch, 0.1, &opts, &gopts);
+        let corner = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild).with_gpu_async(gopts);
+        let rep = Engine::run(&corner, &task, &batch, 0.1, &opts);
         out.push_str(&format!(
             "  {:<16} best loss {:.4}, {} conflicting updates, {:.3} ms/epoch\n",
             name,
             rep.best_loss(),
-            rep.update_conflicts.unwrap_or(0),
+            rep.update_conflicts().unwrap_or(0),
             rep.time_per_epoch() * 1e3
         ));
     }
@@ -90,10 +94,15 @@ pub fn gemm_threshold(cfg: &ExperimentConfig) -> String {
     let batch = p.mlp_batch();
     let task = MlpTask::new(vec![50, 10, 5, 2], cfg.seed);
     let opts = RunOptions { max_epochs: 2, ..cfg.run_options() };
-    let with = run_sync_modeled(&task, &batch, &cfg.mc_par(), 0.1, &opts);
+    let modeled = |mc: sgd_core::CpuModelConfig| {
+        let corner =
+            Configuration::new(DeviceKind::CpuPar, Strategy::Sync).with_timing(Timing::Modeled(mc));
+        Engine::run(&corner, &task, &batch, 0.1, &opts)
+    };
+    let with = modeled(cfg.mc_par());
     let mut mc = cfg.mc_par();
     mc.gemm_parallel_threshold = 0;
-    let without = run_sync_modeled(&task, &batch, &mc, 0.1, &opts);
+    let without = modeled(mc);
     format!(
         "ViennaCL GEMM threshold (real-sim MLP, modeled 56-thread epoch):\n  \
          with threshold    {:.4} ms\n  without threshold {:.4} ms\n",

@@ -1,8 +1,8 @@
 //! Temporary timing probe.
-use std::time::Instant;
 use sgd_bench::{prep::Prepared, ExperimentConfig};
-use sgd_core::{reference_optimum, run_sync_modeled, RunOptions};
+use sgd_core::{reference_optimum, DeviceKind, Engine, RunOptions, Strategy};
 use sgd_models::lr;
+use std::time::Instant;
 
 fn main() {
     let cfg = ExperimentConfig::default();
@@ -18,7 +18,8 @@ fn main() {
 
     let t0 = Instant::now();
     let opts = RunOptions { max_epochs: 300, target_loss: Some(opt), ..cfg.run_options() };
-    let rep = run_sync_modeled(&task, &b, &cfg.mc_par(), 1.0, &opts);
+    let corner = cfg.configuration(DeviceKind::CpuPar, Strategy::Sync);
+    let rep = Engine::run(&corner, &task, &b, 1.0, &opts);
     println!("LR one sync run: {:?} ({} epochs)", t0.elapsed(), rep.trace.epochs());
 
     let mlp = p.mlp_task(cfg.seed);
@@ -27,7 +28,12 @@ fn main() {
     let mopt = reference_optimum(&mlp, &mb, cfg.optimum_epochs * cfg.mlp_epoch_boost);
     println!("MLP reference: {:?} opt={mopt:.4}", t0.elapsed());
     let t0 = Instant::now();
-    let opts = RunOptions { max_epochs: 300 * cfg.mlp_epoch_boost, target_loss: Some(mopt), ..cfg.run_options() };
-    let rep = run_sync_modeled(&mlp, &mb, &cfg.mc_par(), 1.0, &opts);
+    let opts = RunOptions {
+        max_epochs: 300 * cfg.mlp_epoch_boost,
+        target_loss: Some(mopt),
+        ..cfg.run_options()
+    };
+    let corner = cfg.configuration(DeviceKind::CpuPar, Strategy::Sync);
+    let rep = Engine::run(&corner, &mlp, &mb, 1.0, &opts);
     println!("MLP one sync run: {:?} ({} epochs)", t0.elapsed(), rep.trace.epochs());
 }

@@ -1,16 +1,7 @@
 //! Shared experiment configuration and a dependency-free CLI parser.
 
-/// How CPU time is measured.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TimingMode {
-    /// Modeled time for the paper's dual-socket Xeon (default): reproduces
-    /// the paper's parallel-CPU behaviour on any host, including
-    /// single-core CI machines. GPU time is always simulated.
-    Model,
-    /// Wall-clock time on the actual host (meaningful on real multicore
-    /// machines).
-    Wall,
-}
+pub use sgd_core::TimingMode;
+use sgd_core::{Configuration, DeviceKind, Strategy, Timing};
 
 /// Configuration shared by every reproduction binary.
 #[derive(Clone, Debug)]
@@ -103,6 +94,21 @@ impl ExperimentConfig {
         g
     }
 
+    /// The engine [`Configuration`] for one cube corner under this
+    /// experiment's timing mode: CPU corners follow `--timing` (modeled
+    /// time describes `--model-threads` workers for `cpu-par`), the GPU is
+    /// always simulated in wall terms.
+    pub fn configuration(&self, device: DeviceKind, strategy: Strategy) -> Configuration {
+        let timing = match device {
+            DeviceKind::Gpu => Timing::Wall,
+            DeviceKind::CpuSeq => self.timing.timing(|| self.mc_seq()),
+            DeviceKind::CpuPar => self.timing.timing(|| self.mc_par()),
+        };
+        Configuration::new(device, strategy)
+            .with_timing(timing)
+            .with_gpu_async(self.gpu_async_opts())
+    }
+
     /// Parses `--key value` style arguments:
     /// `--scale f --threads n --max-epochs n --max-secs f --full-grid
     /// --datasets a,b --seed n`.
@@ -110,9 +116,8 @@ impl ExperimentConfig {
         let mut cfg = ExperimentConfig::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => cfg.scale = parse(&value("--scale")?)?,
                 "--threads" => cfg.threads = parse(&value("--threads")?)?,
@@ -231,10 +236,27 @@ mod tests {
     fn timing_mode_parses() {
         let cfg = ExperimentConfig::from_args(args("--timing wall")).expect("valid");
         assert_eq!(cfg.timing, TimingMode::Wall);
-        let cfg = ExperimentConfig::from_args(args("--timing model --model-threads 8")).expect("valid");
+        let cfg =
+            ExperimentConfig::from_args(args("--timing model --model-threads 8")).expect("valid");
         assert_eq!(cfg.timing, TimingMode::Model);
         assert_eq!(cfg.model_threads, 8);
         assert!(ExperimentConfig::from_args(args("--timing bogus")).is_err());
+    }
+
+    #[test]
+    fn configuration_maps_devices_to_timing() {
+        let cfg = ExperimentConfig::smoke(); // timing: Model
+        let c = cfg.configuration(DeviceKind::CpuPar, Strategy::Sync);
+        assert!(matches!(c.timing, Timing::Modeled(ref mc) if mc.threads == cfg.model_threads));
+        let c = cfg.configuration(DeviceKind::CpuSeq, Strategy::Sync);
+        assert!(matches!(c.timing, Timing::Modeled(ref mc) if mc.threads == 1));
+        // The GPU is always simulated; modeled CPU timing never applies.
+        let c = cfg.configuration(DeviceKind::Gpu, Strategy::Sync);
+        assert!(matches!(c.timing, Timing::Wall));
+        let mut wall = cfg;
+        wall.timing = TimingMode::Wall;
+        let c = wall.configuration(DeviceKind::CpuPar, Strategy::Sync);
+        assert!(matches!(c.timing, Timing::Wall));
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //! climbs toward (but never reaches) the thread count, while the
 //! GPU-over-parallel-CPU speedup stays roughly flat.
 
-use sgd_core::{run_sync, run_sync_modeled, DeviceKind};
+use sgd_core::{DeviceKind, Engine, Strategy};
 use sgd_datagen::DatasetProfile;
 use sgd_models::MlpTask;
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::Prepared;
-use crate::table2::ratio;
+use crate::render::ratio;
 
 /// The architecture sweep: the paper's real-sim net plus progressively
 /// wider variants.
@@ -54,17 +54,13 @@ pub fn points(cfg: &ExperimentConfig) -> Vec<Fig6Point> {
         .into_iter()
         .map(|arch| {
             let task = MlpTask::new(arch, cfg.seed);
-            let gpu = run_sync(&task, &batch, DeviceKind::Gpu, alpha, &opts);
-            let (seq, par) = match cfg.timing {
-                TimingMode::Wall => (
-                    run_sync(&task, &batch, DeviceKind::CpuSeq, alpha, &opts),
-                    run_sync(&task, &batch, DeviceKind::CpuPar, alpha, &opts),
-                ),
-                TimingMode::Model => (
-                    run_sync_modeled(&task, &batch, &cfg.mc_seq(), alpha, &opts),
-                    run_sync_modeled(&task, &batch, &cfg.mc_par(), alpha, &opts),
-                ),
+            let run = |device: DeviceKind| {
+                let corner = cfg.configuration(device, Strategy::Sync);
+                Engine::run(&corner, &task, &batch, alpha, &opts)
             };
+            let gpu = run(DeviceKind::Gpu);
+            let seq = run(DeviceKind::CpuSeq);
+            let par = run(DeviceKind::CpuPar);
             let tpi = [gpu.time_per_epoch(), seq.time_per_epoch(), par.time_per_epoch()];
             Fig6Point {
                 arch: task.arch_string(),
@@ -87,7 +83,11 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     for pt in points(cfg) {
         out.push_str(&format!(
             "{:<16} {:>12.3} {:>12.3} {:>12.3} | {:>12.2} {:>12.2}\n",
-            pt.arch, pt.tpi_ms[0], pt.tpi_ms[1], pt.tpi_ms[2], pt.speedup_par_over_seq,
+            pt.arch,
+            pt.tpi_ms[0],
+            pt.tpi_ms[1],
+            pt.tpi_ms[2],
+            pt.speedup_par_over_seq,
             pt.speedup_gpu_over_par
         ));
     }

@@ -5,13 +5,10 @@
 //! This is essentially batch GD (sync GPU) against stochastic GD (async
 //! CPU), so the winner is task- and dataset-dependent.
 
-use sgd_core::{
-    grid_search, make_batches, reference_optimum, run_hogbatch, run_hogbatch_modeled, run_hogwild,
-    run_hogwild_modeled, run_sync, DeviceKind, RunReport,
-};
-use sgd_models::{Batch, Examples};
+use sgd_core::{reference_optimum, DeviceKind, Engine, RunReport, Strategy};
+use sgd_models::Batch;
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
 use crate::table3::HOGBATCH_SIZE;
 
@@ -33,8 +30,7 @@ pub struct Fig7Panel {
 fn curve(r: &RunReport, max_points: usize) -> Vec<(f64, f64)> {
     let pts = r.trace.points();
     let stride = (pts.len() / max_points.max(1)).max(1);
-    let mut out: Vec<(f64, f64)> =
-        pts.iter().step_by(stride).map(|&(t, l)| (t, l)).collect();
+    let mut out: Vec<(f64, f64)> = pts.iter().step_by(stride).map(|&(t, l)| (t, l)).collect();
     if let Some(&last) = pts.last() {
         if out.last() != Some(&last) {
             out.push(last);
@@ -52,11 +48,10 @@ fn linear_panel<L: sgd_models::LinearLoss>(
     let optimum = reference_optimum(task, batch, cfg.optimum_epochs);
     let mut opts = cfg.run_options();
     opts.target_loss = Some(optimum);
-    let sync = grid_search(optimum, &cfg.grid, |a| run_sync(task, batch, DeviceKind::Gpu, a, &opts));
-    let asyn = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogwild(task, batch, cfg.threads, a, &opts),
-        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_par(), a, &opts),
-    });
+    let sync_corner = cfg.configuration(DeviceKind::Gpu, Strategy::Sync);
+    let sync = Engine::grid_search(&sync_corner, task, batch, optimum, &cfg.grid, &opts);
+    let async_corner = cfg.configuration(DeviceKind::CpuPar, Strategy::Hogwild);
+    let asyn = Engine::grid_search(&async_corner, task, batch, optimum, &cfg.grid, &opts);
     Fig7Panel {
         task: sgd_models::Task::name(task),
         dataset: dataset.to_string(),
@@ -75,17 +70,14 @@ fn mlp_panel(p: &Prepared, cfg: &ExperimentConfig) -> Fig7Panel {
     let cfg = &cfg;
     let task = p.mlp_task(cfg.seed);
     let full = p.mlp_batch();
-    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
-    let batches: Vec<Batch<'_>> =
-        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
     let optimum = reference_optimum(&task, &full, cfg.optimum_epochs);
     let mut opts = cfg.run_options();
     opts.target_loss = Some(optimum);
-    let sync = grid_search(optimum, &cfg.grid, |a| run_sync(&task, &full, DeviceKind::Gpu, a, &opts));
-    let asyn = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogbatch(&task, &full, &batches, cfg.threads, a, &opts),
-        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), a, &opts),
-    });
+    let sync_corner = cfg.configuration(DeviceKind::Gpu, Strategy::Sync);
+    let sync = Engine::grid_search(&sync_corner, &task, &full, optimum, &cfg.grid, &opts);
+    let async_corner =
+        cfg.configuration(DeviceKind::CpuPar, Strategy::Hogbatch { batch_size: HOGBATCH_SIZE });
+    let asyn = Engine::grid_search(&async_corner, &task, &full, optimum, &cfg.grid, &opts);
     Fig7Panel {
         task: "MLP",
         dataset: p.name().to_string(),
@@ -111,10 +103,7 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     let mut out = String::new();
     out.push_str("Fig. 7: time to convergence, synchronous GPU vs asynchronous CPU\n");
     for p in panels(cfg) {
-        out.push_str(&format!(
-            "\n== {} / {} (optimum {:.6}) ==\n",
-            p.task, p.dataset, p.optimum
-        ));
+        out.push_str(&format!("\n== {} / {} (optimum {:.6}) ==\n", p.task, p.dataset, p.optimum));
         out.push_str("  sync-gpu:  ");
         for (t, l) in &p.sync_gpu {
             out.push_str(&format!("({t:.4},{l:.4}) "));
@@ -163,7 +152,7 @@ mod tests {
             opt_seconds: 99.0,
             trace,
             timed_out: false,
-            update_conflicts: None,
+            metrics: sgd_core::RunMetrics::default(),
         };
         let c = curve(&rep, 10);
         assert!(c.len() <= 12);

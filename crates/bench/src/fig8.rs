@@ -1,15 +1,13 @@
 //! Fig. 8 — GPU-over-parallel-CPU hardware-efficiency speedup for LR and
 //! SVM: our synchronous and asynchronous implementations against BIDMach.
 
-use sgd_core::{
-    run_gpu_hogwild, run_hogwild, run_hogwild_modeled, run_sync, run_sync_modeled, DeviceKind,
-};
-use sgd_frameworks::{run_bidmach_sync, run_bidmach_sync_modeled};
+use sgd_core::{DeviceKind, Engine, Strategy};
+use sgd_frameworks::run_bidmach;
 use sgd_models::{Batch, LinearLoss, LinearTask};
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::prepare_all;
-use crate::table2::ratio;
+use crate::render::ratio;
 
 /// One bar group of Fig. 8.
 #[derive(Clone, Debug)]
@@ -38,22 +36,20 @@ fn bar<L: LinearLoss>(
     opts.target_loss = None;
     let alpha = 0.1;
 
-    let ours_sync_gpu = run_sync(task, batch, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
-    let ours_async_gpu =
-        run_gpu_hogwild(task, batch, alpha, &opts, &cfg.gpu_async_opts()).time_per_epoch();
-    let bid_gpu = run_bidmach_sync(task, batch, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
-    let (ours_sync_par, ours_async_par, bid_par) = match cfg.timing {
-        TimingMode::Wall => (
-            run_sync(task, batch, DeviceKind::CpuPar, alpha, &opts).time_per_epoch(),
-            run_hogwild(task, batch, cfg.threads, alpha, &opts).time_per_epoch(),
-            run_bidmach_sync(task, batch, DeviceKind::CpuPar, alpha, &opts).time_per_epoch(),
-        ),
-        TimingMode::Model => (
-            run_sync_modeled(task, batch, &cfg.mc_par(), alpha, &opts).time_per_epoch(),
-            run_hogwild_modeled(task, batch, &cfg.mc_par(), alpha, &opts).time_per_epoch(),
-            run_bidmach_sync_modeled(task, batch, &cfg.mc_par(), alpha, &opts).time_per_epoch(),
-        ),
+    let ours = |device: DeviceKind, strategy: Strategy| {
+        let corner = cfg.configuration(device, strategy);
+        Engine::run(&corner, task, batch, alpha, &opts).time_per_epoch()
     };
+    let bid = |device: DeviceKind| {
+        let corner = cfg.configuration(device, Strategy::Sync);
+        run_bidmach(&corner, task, batch, alpha, &opts).time_per_epoch()
+    };
+    let ours_sync_gpu = ours(DeviceKind::Gpu, Strategy::Sync);
+    let ours_async_gpu = ours(DeviceKind::Gpu, Strategy::Hogwild);
+    let ours_sync_par = ours(DeviceKind::CpuPar, Strategy::Sync);
+    let ours_async_par = ours(DeviceKind::CpuPar, Strategy::Hogwild);
+    let bid_gpu = bid(DeviceKind::Gpu);
+    let bid_par = bid(DeviceKind::CpuPar);
 
     Fig8Bar {
         task: sgd_models::Task::name(task),

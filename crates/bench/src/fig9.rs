@@ -1,16 +1,12 @@
 //! Fig. 9 — GPU-over-parallel-CPU hardware-efficiency speedup for the MLP:
 //! our synchronous and asynchronous implementations against TensorFlow.
 
-use sgd_core::{
-    make_batches, run_gpu_hogbatch, run_hogbatch, run_hogbatch_modeled, run_sync,
-    run_sync_modeled, DeviceKind,
-};
-use sgd_frameworks::{run_tensorflow_sync, run_tensorflow_sync_modeled};
-use sgd_models::{Batch, Examples};
+use sgd_core::{DeviceKind, Engine, Strategy};
+use sgd_frameworks::run_tensorflow;
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
-use crate::table2::ratio;
+use crate::render::ratio;
 use crate::table3::HOGBATCH_SIZE;
 
 /// One bar group of Fig. 9.
@@ -34,34 +30,22 @@ fn bar(p: &Prepared, cfg: &ExperimentConfig) -> Fig9Bar {
     let task = p.mlp_task(cfg.seed);
     let full = p.mlp_batch();
 
-    let ours_sync_gpu = run_sync(&task, &full, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
-
-    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
-    let batches: Vec<Batch<'_>> =
-        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
-    let gopts = cfg.gpu_async_opts();
-    let ours_async_gpu =
-        run_gpu_hogbatch(&task, &full, &batches, alpha, &opts, &gopts).time_per_epoch();
-
-    let arch = p.profile.mlp_architecture();
-    let tf_gpu =
-        run_tensorflow_sync(&arch, &p.mlp_x, &p.mlp_y, DeviceKind::Gpu, alpha, &opts).time_per_epoch();
-
-    let (ours_sync_par, ours_async_par, tf_par) = match cfg.timing {
-        TimingMode::Wall => (
-            run_sync(&task, &full, DeviceKind::CpuPar, alpha, &opts).time_per_epoch(),
-            run_hogbatch(&task, &full, &batches, cfg.threads, alpha, &opts).time_per_epoch(),
-            run_tensorflow_sync(&arch, &p.mlp_x, &p.mlp_y, DeviceKind::CpuPar, alpha, &opts)
-                .time_per_epoch(),
-        ),
-        TimingMode::Model => (
-            run_sync_modeled(&task, &full, &cfg.mc_par(), alpha, &opts).time_per_epoch(),
-            run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), alpha, &opts)
-                .time_per_epoch(),
-            run_tensorflow_sync_modeled(&arch, &p.mlp_x, &p.mlp_y, &cfg.mc_par(), alpha, &opts)
-                .time_per_epoch(),
-        ),
+    let ours = |device: DeviceKind, strategy: Strategy| {
+        let corner = cfg.configuration(device, strategy);
+        Engine::run(&corner, &task, &full, alpha, &opts).time_per_epoch()
     };
+    let arch = p.profile.mlp_architecture();
+    let tf = |device: DeviceKind| {
+        let corner = cfg.configuration(device, Strategy::Sync);
+        run_tensorflow(&corner, &arch, &p.mlp_x, &p.mlp_y, alpha, &opts).time_per_epoch()
+    };
+    let hogbatch = || Strategy::Hogbatch { batch_size: HOGBATCH_SIZE };
+    let ours_sync_gpu = ours(DeviceKind::Gpu, Strategy::Sync);
+    let ours_async_gpu = ours(DeviceKind::Gpu, hogbatch());
+    let ours_sync_par = ours(DeviceKind::CpuPar, Strategy::Sync);
+    let ours_async_par = ours(DeviceKind::CpuPar, hogbatch());
+    let tf_gpu = tf(DeviceKind::Gpu);
+    let tf_par = tf(DeviceKind::CpuPar);
 
     Fig9Bar {
         dataset: p.name().to_string(),

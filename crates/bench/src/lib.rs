@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod prep;
+mod render;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -68,11 +68,7 @@ impl Prepared {
 
 /// Prepares every profile selected by the configuration, in Table I order.
 pub fn prepare_all(cfg: &ExperimentConfig) -> Vec<Prepared> {
-    all_profiles()
-        .iter()
-        .filter(|p| cfg.wants(p.name))
-        .map(|p| Prepared::new(p, cfg))
-        .collect()
+    all_profiles().iter().filter(|p| cfg.wants(p.name)).map(|p| Prepared::new(p, cfg)).collect()
 }
 
 #[cfg(test)]

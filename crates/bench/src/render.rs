@@ -1,0 +1,38 @@
+//! Small formatting helpers shared by the table and figure renderers.
+
+/// Speedup ratio `num / den`; `NaN` when the denominator is not positive,
+/// so an unmeasurable cell renders as `NaN` instead of `inf`.
+pub(crate) fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::NAN
+    }
+}
+
+/// Seconds-to-convergence cell: `∞` for runs that never reached the
+/// threshold (the paper's notation).
+pub(crate) fn fmt_opt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.4}"),
+        None => "∞".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert!(ratio(1.0, -2.0).is_nan());
+        assert!((ratio(4.0, 2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_opt_secs_uses_infinity_sign() {
+        assert_eq!(fmt_opt_secs(None), "∞");
+        assert_eq!(fmt_opt_secs(Some(1.25)), "1.2500");
+    }
+}

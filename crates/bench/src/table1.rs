@@ -19,8 +19,17 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     ));
     out.push_str(&format!(
         "{:<9} {:>9} {:>9} {:>6} {:>8} {:>7}  {:>10} / {:>12}  {:>8}  {:>8}  {}\n",
-        "dataset", "#examples", "#features", "min", "avg", "max", "size(s)", "size(d)",
-        "LR/SVM sp", "MLP sp", "MLP arch"
+        "dataset",
+        "#examples",
+        "#features",
+        "min",
+        "avg",
+        "max",
+        "size(s)",
+        "size(d)",
+        "LR/SVM sp",
+        "MLP sp",
+        "MLP arch"
     ));
     for r in rows(cfg) {
         out.push_str(&r.formatted());

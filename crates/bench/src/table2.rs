@@ -1,10 +1,11 @@
 //! Table II — synchronous SGD across devices.
 
-use sgd_core::{grid_search, reference_optimum, run_sync, run_sync_modeled, DeviceKind, RunReport};
+use sgd_core::{reference_optimum, DeviceKind, Engine, RunReport, Strategy};
 use sgd_models::{Batch, Task};
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
+use crate::render::{fmt_opt_secs, ratio};
 
 /// One (task, dataset) block of Table II. Device order follows the paper:
 /// `[gpu, cpu-seq, cpu-par]`.
@@ -41,17 +42,12 @@ pub fn sync_cell<T: Task>(
     let mut opts = cfg.run_options();
     opts.target_loss = Some(optimum);
 
-    let run_par = |a: f64| match cfg.timing {
-        TimingMode::Wall => run_sync(task, batch, DeviceKind::CpuPar, a, &opts),
-        TimingMode::Model => run_sync_modeled(task, batch, &cfg.mc_par(), a, &opts),
-    };
-    let par = grid_search(optimum, &cfg.grid, run_par);
+    let corner = |device: DeviceKind| cfg.configuration(device, Strategy::Sync);
+    let par =
+        Engine::grid_search(&corner(DeviceKind::CpuPar), task, batch, optimum, &cfg.grid, &opts);
     let alpha = par.step_size;
-    let seq = match cfg.timing {
-        TimingMode::Wall => run_sync(task, batch, DeviceKind::CpuSeq, alpha, &opts),
-        TimingMode::Model => run_sync_modeled(task, batch, &cfg.mc_seq(), alpha, &opts),
-    };
-    let gpu = run_sync(task, batch, DeviceKind::Gpu, alpha, &opts);
+    let seq = Engine::run(&corner(DeviceKind::CpuSeq), task, batch, alpha, &opts);
+    let gpu = Engine::run(&corner(DeviceKind::Gpu), task, batch, alpha, &opts);
 
     let summarize = |r: &RunReport| r.summarize(optimum).time_to_1pct();
     let tpi = [gpu.time_per_epoch(), seq.time_per_epoch(), par.time_per_epoch()];
@@ -64,14 +60,6 @@ pub fn sync_cell<T: Task>(
         epochs: par.summarize(optimum).epochs_to_1pct(),
         speedup_seq_over_par: ratio(tpi[1], tpi[2]),
         speedup_par_over_gpu: ratio(tpi[2], tpi[0]),
-    }
-}
-
-pub(crate) fn ratio(num: f64, den: f64) -> f64 {
-    if den > 0.0 {
-        num / den
-    } else {
-        f64::NAN
     }
 }
 
@@ -103,8 +91,17 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     out.push_str("Table II: synchronous SGD performance to 1% convergence error\n");
     out.push_str(&format!(
         "{:<4} {:<9} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>7} | {:>8} {:>8}\n",
-        "task", "dataset", "ttc-gpu", "ttc-seq", "ttc-par", "tpi-gpu", "tpi-seq", "tpi-par",
-        "epochs", "seq/par", "par/gpu"
+        "task",
+        "dataset",
+        "ttc-gpu",
+        "ttc-seq",
+        "ttc-par",
+        "tpi-gpu",
+        "tpi-seq",
+        "tpi-par",
+        "epochs",
+        "seq/par",
+        "par/gpu"
     ));
     out.push_str(&format!(
         "{:<4} {:<9} | {:>32} | {:>32} | {:>7} | {:>17}\n",
@@ -127,13 +124,6 @@ pub fn render(cfg: &ExperimentConfig) -> String {
         ));
     }
     out
-}
-
-pub(crate) fn fmt_opt_secs(v: Option<f64>) -> String {
-    match v {
-        Some(s) => format!("{s:.4}"),
-        None => "∞".into(),
-    }
 }
 
 #[cfg(test)]
@@ -161,11 +151,5 @@ mod tests {
         assert!(out.contains("SVM"));
         assert!(out.contains("MLP"));
         assert!(out.contains("w8a"));
-    }
-
-    #[test]
-    fn ratio_handles_zero_denominator() {
-        assert!(ratio(1.0, 0.0).is_nan());
-        assert!((ratio(4.0, 2.0) - 2.0).abs() < 1e-12);
     }
 }

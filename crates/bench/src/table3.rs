@@ -1,14 +1,11 @@
 //! Table III — asynchronous SGD across devices.
 
-use sgd_core::{
-    grid_search, make_batches, reference_optimum, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch,
-    run_hogbatch_modeled, run_hogwild, run_hogwild_modeled, RunReport,
-};
-use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+use sgd_core::{reference_optimum, DeviceKind, Engine, RunReport, Strategy};
+use sgd_models::{Batch, LinearLoss, LinearTask, Task};
 
-use crate::cli::{ExperimentConfig, TimingMode};
+use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
-use crate::table2::{fmt_opt_secs, ratio};
+use crate::render::{fmt_opt_secs, ratio};
 
 /// The paper fixes the Hogbatch mini-batch size to 512 for all datasets.
 pub const HOGBATCH_SIZE: usize = 512;
@@ -61,7 +58,7 @@ fn build_row(
         epochs: [g.1, sq.1, pr.1],
         speedup_seq_over_par: ratio(tpi[1], tpi[2]),
         speedup_gpu_over_par: ratio(tpi[0], tpi[2]),
-        gpu_conflicts: gpu.update_conflicts,
+        gpu_conflicts: gpu.update_conflicts(),
     }
 }
 
@@ -77,17 +74,14 @@ pub fn async_linear_cell<L: LinearLoss>(
     let optimum = reference_optimum(task, batch, cfg.optimum_epochs);
     let mut opts = cfg.run_options();
     opts.target_loss = Some(optimum);
-    let gopts = cfg.gpu_async_opts();
 
-    let seq = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogwild(task, batch, 1, a, &opts),
-        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_seq(), a, &opts),
-    });
-    let par = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogwild(task, batch, cfg.threads, a, &opts),
-        TimingMode::Model => run_hogwild_modeled(task, batch, &cfg.mc_par(), a, &opts),
-    });
-    let gpu = grid_search(optimum, &cfg.grid, |a| run_gpu_hogwild(task, batch, a, &opts, &gopts));
+    let search = |device: DeviceKind| {
+        let corner = cfg.configuration(device, Strategy::Hogwild);
+        Engine::grid_search(&corner, task, batch, optimum, &cfg.grid, &opts)
+    };
+    let seq = search(DeviceKind::CpuSeq);
+    let par = search(DeviceKind::CpuPar);
+    let gpu = search(DeviceKind::Gpu);
     build_row(task.name(), dataset, optimum, gpu, seq, par)
 }
 
@@ -102,26 +96,18 @@ pub fn async_mlp_cell(p: &Prepared, cfg: &ExperimentConfig) -> Table3Row {
     let cfg = &cfg;
     let task = p.mlp_task(cfg.seed);
     let full = p.mlp_batch();
-    let owned = make_batches(&p.mlp_x, &p.mlp_y, HOGBATCH_SIZE.min(p.mlp_x.rows().max(1)));
-    let batches: Vec<Batch<'_>> =
-        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
 
     let optimum = reference_optimum(&task, &full, cfg.optimum_epochs);
     let mut opts = cfg.run_options();
     opts.target_loss = Some(optimum);
-    let gopts = cfg.gpu_async_opts();
 
-    let seq = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogbatch(&task, &full, &batches, 1, a, &opts),
-        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_seq(), a, &opts),
-    });
-    let par = grid_search(optimum, &cfg.grid, |a| match cfg.timing {
-        TimingMode::Wall => run_hogbatch(&task, &full, &batches, cfg.threads, a, &opts),
-        TimingMode::Model => run_hogbatch_modeled(&task, &full, &batches, &cfg.mc_par(), a, &opts),
-    });
-    let gpu = grid_search(optimum, &cfg.grid, |a| {
-        run_gpu_hogbatch(&task, &full, &batches, a, &opts, &gopts)
-    });
+    let search = |device: DeviceKind| {
+        let corner = cfg.configuration(device, Strategy::Hogbatch { batch_size: HOGBATCH_SIZE });
+        Engine::grid_search(&corner, &task, &full, optimum, &cfg.grid, &opts)
+    };
+    let seq = search(DeviceKind::CpuSeq);
+    let par = search(DeviceKind::CpuPar);
+    let gpu = search(DeviceKind::Gpu);
     build_row("MLP", p.name(), optimum, gpu, seq, par)
 }
 

@@ -238,12 +238,7 @@ mod tests {
 
     #[test]
     fn reference_optimum_beats_initial_loss() {
-        let x = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[0.9, 0.1],
-            &[-1.0, 0.2],
-            &[-0.8, -0.1],
-        ]);
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[-1.0, 0.2], &[-0.8, -0.1]]);
         let y = vec![1.0, 1.0, -1.0, -1.0];
         let task = lr(2);
         let batch = Batch::new(Examples::Dense(&x), &y);

@@ -21,11 +21,12 @@ use std::collections::HashMap;
 use sgd_gpusim::kernels::GpuExec;
 use sgd_gpusim::WarpCtx;
 use sgd_linalg::{CpuExec, Exec, Scalar};
-use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
 use crate::hogwild::shuffled_order;
+use crate::metrics::{EpochMetrics, EpochObserver, GpuEpochProbe, NullObserver, Recorder};
 use crate::report::RunReport;
 
 /// Options specific to the GPU asynchronous kernels.
@@ -55,8 +56,8 @@ const U32: u64 = std::mem::size_of::<u32>() as u64;
 /// memory/compute behaviour to a tracing context. Returns the number of
 /// updates lost to (or serialized by) intra-warp conflicts.
 #[allow(clippy::too_many_arguments)]
-fn process_warp<L: LinearLoss>(
-    loss: &L,
+fn process_warp(
+    loss: &dyn PointwiseLoss,
     batch: &Batch<'_>,
     w: &mut [Scalar],
     alpha: f64,
@@ -73,7 +74,7 @@ fn process_warp<L: LinearLoss>(
                 let row = m.row(i as usize);
                 let margin: Scalar =
                     row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w[c as usize]).sum();
-                coeffs.push(loss.dloss(margin, batch.y[i as usize]));
+                coeffs.push(loss.dloss_at(margin, batch.y[i as usize]));
             }
             if let Some(ctx) = ctx.as_deref_mut() {
                 trace_sparse_pass(m, w, lanes, ctx);
@@ -83,7 +84,7 @@ fn process_warp<L: LinearLoss>(
             for &i in lanes {
                 let row = m.row(i as usize);
                 let margin: Scalar = row.iter().zip(w.iter()).map(|(&v, &wj)| v * wj).sum();
-                coeffs.push(loss.dloss(margin, batch.y[i as usize]));
+                coeffs.push(loss.dloss_at(margin, batch.y[i as usize]));
             }
             if let Some(ctx) = ctx.as_deref_mut() {
                 trace_dense_pass(m, w, lanes, ctx);
@@ -142,7 +143,12 @@ fn process_warp<L: LinearLoss>(
 /// Memory/divergence trace of one warp's pass over sparse rows
 /// (thread-per-example layout: value/index loads scatter across rows, the
 /// model gather scatters across coordinates, trip count is the warp max).
-fn trace_sparse_pass(m: &sgd_linalg::CsrMatrix, w: &[Scalar], lanes: &[u32], ctx: &mut WarpCtx<'_>) {
+fn trace_sparse_pass(
+    m: &sgd_linalg::CsrMatrix,
+    w: &[Scalar],
+    lanes: &[u32],
+    ctx: &mut WarpCtx<'_>,
+) {
     let vals_p = m.values().as_ptr() as u64;
     let cols_p = m.col_idx().as_ptr() as u64;
     let w_p = w.as_ptr() as u64;
@@ -208,12 +214,25 @@ fn trace_dense_pass(m: &sgd_linalg::Matrix, w: &[Scalar], lanes: &[u32], ctx: &m
 /// The whole epoch is a single kernel (one thread per example). The first
 /// two epochs are traced (cold/warm L2); later epochs replay the warm cost
 /// while computing functionally identical updates.
+#[deprecated(note = "dispatch through `Engine::run` with `Strategy::Hogwild` on `DeviceKind::Gpu`")]
 pub fn run_gpu_hogwild<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
     alpha: f64,
     opts: &RunOptions,
     gopts: &GpuAsyncOptions,
+) -> RunReport {
+    gpu_hogwild_observed(task, task.pointwise(), batch, alpha, opts, gopts, &mut NullObserver)
+}
+
+pub(crate) fn gpu_hogwild_observed<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    alpha: f64,
+    opts: &RunOptions,
+    gopts: &GpuAsyncOptions,
+    obs: &mut dyn EpochObserver,
 ) -> RunReport {
     let mut dev = opts.gpu_device();
     let warp_size = dev.spec().warp_size;
@@ -224,31 +243,60 @@ pub fn run_gpu_hogwild<L: LinearLoss>(
     let mut eval = CpuExec::par();
     let mut trace = LossTrace::new();
     trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let mut rec = Recorder::new(obs);
+    let mut probe = GpuEpochProbe::new();
 
-    let loss_fn = task.pointwise();
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut conflicts_total: u64 = 0;
     let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        probe.begin(&dev);
+        let epoch_conflicts: u64;
         if epoch < 2 {
             let t0 = dev.elapsed_secs();
             let w_cell = &mut w;
-            let conflicts = &mut conflicts_total;
+            let mut conflicts = 0u64;
             dev.run_kernel(warps.len(), |wi, ctx| {
                 let mut c = Some(ctx);
-                *conflicts += process_warp(loss_fn, batch, w_cell, alpha, warps[wi], gopts.atomic_updates, &mut c);
+                conflicts += process_warp(
+                    loss_fn,
+                    batch,
+                    w_cell,
+                    alpha,
+                    warps[wi],
+                    gopts.atomic_updates,
+                    &mut c,
+                );
             });
+            epoch_conflicts = conflicts;
             warm_cost = dev.elapsed_secs() - t0;
         } else {
+            let mut conflicts = 0u64;
             for lanes in &warps {
-                conflicts_total +=
-                    process_warp(loss_fn, batch, &mut w, alpha, lanes, gopts.atomic_updates, &mut None);
+                conflicts += process_warp(
+                    loss_fn,
+                    batch,
+                    &mut w,
+                    alpha,
+                    lanes,
+                    gopts.atomic_updates,
+                    &mut None,
+                );
             }
+            epoch_conflicts = conflicts;
             dev.advance_secs(warm_cost);
         }
+        conflicts_total += epoch_conflicts;
+        let (cycles, l2) = probe.end(&dev);
         let loss = task.loss(&mut eval, batch, &w); // untimed
         trace.push(dev.elapsed_secs(), loss);
+        rec.record(EpochMetrics {
+            update_conflicts: epoch_conflicts,
+            simulated_cycles: cycles,
+            l2_hit_ratio: l2,
+            ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -263,6 +311,7 @@ pub fn run_gpu_hogwild<L: LinearLoss>(
     if stop.is_none() {
         timed_out = false;
     }
+    rec.set_update_conflicts(conflicts_total);
     RunReport {
         label: format!("{} async gpu (warp-hogwild)", task.name()),
         device: DeviceKind::Gpu,
@@ -270,13 +319,16 @@ pub fn run_gpu_hogwild<L: LinearLoss>(
         trace,
         opt_seconds: dev.elapsed_secs(),
         timed_out,
-        update_conflicts: Some(conflicts_total),
+        metrics: rec.finish(),
     }
 }
 
 /// Runs Hogbatch for any task on the simulated GPU: batches are processed
 /// strictly in sequence (only one kernel executes at a time), each batch's
 /// primitive stream paying the per-kernel host dispatch overhead.
+#[deprecated(
+    note = "dispatch through `Engine::run` with `Strategy::Hogbatch` on `DeviceKind::Gpu`"
+)]
 pub fn run_gpu_hogbatch<T: Task>(
     task: &T,
     full: &Batch<'_>,
@@ -285,6 +337,18 @@ pub fn run_gpu_hogbatch<T: Task>(
     opts: &RunOptions,
     gopts: &GpuAsyncOptions,
 ) -> RunReport {
+    gpu_hogbatch_observed(task, full, batches, alpha, opts, gopts, &mut NullObserver)
+}
+
+pub(crate) fn gpu_hogbatch_observed<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    alpha: f64,
+    opts: &RunOptions,
+    gopts: &GpuAsyncOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     assert!(!batches.is_empty(), "at least one mini-batch required");
     let mut dev = opts.gpu_device();
     let mut w = task.init_model();
@@ -292,12 +356,15 @@ pub fn run_gpu_hogbatch<T: Task>(
     let mut eval = CpuExec::par();
     let mut trace = LossTrace::new();
     trace.push(0.0, task.loss(&mut eval, full, &w));
+    let mut rec = Recorder::new(obs);
+    let mut probe = GpuEpochProbe::new();
 
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut timed_out = true;
     let mut cpu = CpuExec::seq();
     for epoch in 0..opts.max_epochs {
+        probe.begin(&dev);
         if epoch == 0 {
             let t0 = dev.elapsed_secs();
             for b in batches {
@@ -316,8 +383,14 @@ pub fn run_gpu_hogbatch<T: Task>(
             }
             dev.advance_secs(warm_cost);
         }
+        let (cycles, l2) = probe.end(&dev);
         let loss = task.loss(&mut eval, full, &w);
         trace.push(dev.elapsed_secs(), loss);
+        rec.record(EpochMetrics {
+            simulated_cycles: cycles,
+            l2_hit_ratio: l2,
+            ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -332,6 +405,8 @@ pub fn run_gpu_hogbatch<T: Task>(
     if stop.is_none() {
         timed_out = false;
     }
+    // The serialized kernel stream loses no updates.
+    rec.set_update_conflicts(0);
     RunReport {
         label: format!("{} async gpu (hogbatch)", task.name()),
         device: DeviceKind::Gpu,
@@ -339,12 +414,14 @@ pub fn run_gpu_hogbatch<T: Task>(
         trace,
         opt_seconds: dev.elapsed_secs(),
         timed_out,
-        update_conflicts: Some(0),
+        metrics: rec.finish(),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy shim entry points
+
     use super::*;
     use crate::hogbatch::{make_batches, run_hogbatch};
     use crate::hogwild::run_hogwild;
@@ -369,9 +446,11 @@ mod tests {
         let task = lr(6);
         let opts = RunOptions { max_epochs: 1, ..Default::default() };
         let rep = run_gpu_hogwild(&task, &b, 0.1, &opts, &GpuAsyncOptions::default());
-        let conflicts = rep.update_conflicts.expect("gpu run records conflicts");
+        let conflicts = rep.update_conflicts().expect("gpu run records conflicts");
         // 64 examples, 6 coords each = 384 touches; 2 warps x 6 unique.
         assert_eq!(conflicts, 384 - 12);
+        // The per-epoch metrics carry the same count.
+        assert_eq!(rep.metrics.epochs[0].update_conflicts, 384 - 12);
     }
 
     #[test]
@@ -399,7 +478,7 @@ mod tests {
             l0 - l_gpu,
             l0 - l_seq
         );
-        assert!(gpu.update_conflicts.expect("recorded") > 0);
+        assert!(gpu.update_conflicts().expect("recorded") > 0);
     }
 
     #[test]
@@ -416,7 +495,7 @@ mod tests {
         let opts = RunOptions { max_epochs: 5, ..Default::default() };
         let seq = run_hogwild(&task, &b, 1, 0.5, &opts);
         let gpu = run_gpu_hogwild(&task, &b, 0.5, &opts, &GpuAsyncOptions::default());
-        assert_eq!(gpu.update_conflicts, Some(0));
+        assert_eq!(gpu.update_conflicts(), Some(0));
         for (p, q) in seq.trace.points().iter().zip(gpu.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
         }
@@ -456,6 +535,24 @@ mod tests {
     }
 
     #[test]
+    fn gpu_hogwild_metrics_cover_conflicts_cycles_and_l2() {
+        let (x, y) = dense_data(128, 4);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 5, ..Default::default() };
+        let rep = run_gpu_hogwild(&task, &b, 0.1, &opts, &GpuAsyncOptions::default());
+        let m = &rep.metrics;
+        assert_eq!(m.epochs.len(), rep.trace.epochs());
+        let total: u64 = m.epochs.iter().map(|e| e.update_conflicts).sum();
+        assert_eq!(Some(total), rep.update_conflicts(), "per-epoch conflicts sum to the total");
+        for e in &m.epochs {
+            assert!(e.update_conflicts > 0, "dense warps conflict every epoch");
+            assert!(e.simulated_cycles > 0.0);
+            assert!(e.l2_hit_ratio.is_finite());
+        }
+    }
+
+    #[test]
     fn gpu_hogbatch_statistics_match_sequential_hogbatch() {
         let (x, y) = dense_data(96, 6);
         let task = MlpTask::new(vec![6, 5, 2], 1);
@@ -488,7 +585,8 @@ mod tests {
             &opts,
             &GpuAsyncOptions { host_sync_overhead_secs: 0.0, ..Default::default() },
         );
-        let slow = run_gpu_hogbatch(&task, &full, &batches, 1.0, &opts, &GpuAsyncOptions::default());
+        let slow =
+            run_gpu_hogbatch(&task, &full, &batches, 1.0, &opts, &GpuAsyncOptions::default());
         assert!(slow.time_per_epoch() > 2.0 * fast.time_per_epoch());
     }
 }

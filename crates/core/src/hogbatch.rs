@@ -14,6 +14,7 @@ use sgd_models::{Batch, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
 
@@ -39,6 +40,7 @@ pub fn make_batches(
 
 /// Runs Hogbatch with `threads` workers over the given mini-batches.
 /// `full` is the whole dataset, used only for (untimed) loss evaluation.
+#[deprecated(note = "dispatch through `Engine::run` with `Strategy::Hogbatch`")]
 pub fn run_hogbatch<T: Task>(
     task: &T,
     full: &Batch<'_>,
@@ -47,27 +49,43 @@ pub fn run_hogbatch<T: Task>(
     alpha: f64,
     opts: &RunOptions,
 ) -> RunReport {
+    hogbatch_observed(task, full, batches, threads, alpha, opts, &mut NullObserver)
+}
+
+pub(crate) fn hogbatch_observed<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     assert!(!batches.is_empty(), "at least one mini-batch required");
     let threads = threads.max(1);
     let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
     let dim = task.dim();
     let model = SharedModel::from_slice(&task.init_model());
+    // Concurrent workers read round-stale snapshots; with one worker every
+    // snapshot is fresh.
+    let staleness_rounds = if threads > 1 { batches.len().div_ceil(threads) as u64 } else { 0 };
 
     let mut eval = CpuExec::par();
     let mut trace = LossTrace::new();
     let mut snapshot = vec![0.0; dim];
     model.snapshot_into(&mut snapshot);
     trace.push(0.0, task.loss(&mut eval, full, &snapshot));
+    let mut rec = Recorder::new(obs);
 
     let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
     let mut timed_out = true;
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..threads {
                 let model = &model;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut e = CpuExec::seq();
                     let mut w = vec![0.0; dim];
                     let mut g = vec![0.0; dim];
@@ -85,13 +103,16 @@ pub fn run_hogbatch<T: Task>(
                     }
                 });
             }
-        })
-        .expect("hogbatch workers join");
+        });
         opt_seconds += t0.elapsed().as_secs_f64();
 
         model.snapshot_into(&mut snapshot);
         let loss = task.loss(&mut eval, full, &snapshot); // untimed
         trace.push(opt_seconds, loss);
+        rec.record(EpochMetrics {
+            staleness_rounds,
+            ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -113,12 +134,14 @@ pub fn run_hogbatch<T: Task>(
         trace,
         opt_seconds,
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy shim entry points
+
     use super::*;
     use sgd_linalg::Matrix;
     use sgd_models::{Examples, MlpTask};

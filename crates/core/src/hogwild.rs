@@ -11,11 +11,14 @@
 
 use std::time::Instant;
 
+use sgd_cpusim::{CpuSpec, HogwildCost};
 use sgd_linalg::Scalar;
-use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
+use crate::modeled::batch_stats;
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
 
@@ -30,7 +33,7 @@ pub(crate) fn shuffled_order(n: usize, seed: u64) -> Vec<u32> {
 }
 
 /// One thread's pass over its partition of the examples.
-pub(crate) fn hogwild_worker<L: LinearLoss>(
+pub(crate) fn hogwild_worker<L: PointwiseLoss + ?Sized>(
     loss: &L,
     batch: &Batch<'_>,
     model: &SharedModel,
@@ -46,7 +49,7 @@ pub(crate) fn hogwild_worker<L: LinearLoss>(
                 for (&c, &v) in row.cols.iter().zip(row.vals) {
                     margin += v * model.read(c as usize);
                 }
-                let s = loss.dloss(margin, batch.y[i]);
+                let s = loss.dloss_at(margin, batch.y[i]);
                 if s != 0.0 {
                     let step = -alpha * s;
                     for (&c, &v) in row.cols.iter().zip(row.vals) {
@@ -63,7 +66,7 @@ pub(crate) fn hogwild_worker<L: LinearLoss>(
                 for (j, &v) in row.iter().enumerate() {
                     margin += v * model.read(j);
                 }
-                let s = loss.dloss(margin, batch.y[i]);
+                let s = loss.dloss_at(margin, batch.y[i]);
                 if s != 0.0 {
                     let step = -alpha * s;
                     for (j, &v) in row.iter().enumerate() {
@@ -80,6 +83,7 @@ pub(crate) fn hogwild_worker<L: LinearLoss>(
 /// Runs Hogwild over `batch` with `threads` concurrent workers
 /// (`threads == 1` is exactly sequential incremental SGD, the paper's
 /// `cpu-seq` asynchronous baseline).
+#[deprecated(note = "dispatch through `Engine::run` with `Strategy::Hogwild`")]
 pub fn run_hogwild<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
@@ -87,11 +91,34 @@ pub fn run_hogwild<L: LinearLoss>(
     alpha: f64,
     opts: &RunOptions,
 ) -> RunReport {
+    hogwild_observed(task, task.pointwise(), batch, threads, alpha, opts, &mut NullObserver)
+}
+
+pub(crate) fn hogwild_observed<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let threads = threads.max(1);
     let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
     let n = batch.n();
     let order = shuffled_order(n, opts.seed);
     let chunk = n.div_ceil(threads);
+
+    // Per-epoch instrumentation: rounds of concurrent (potentially stale)
+    // updates, and the cost model's *expected* cross-core invalidation
+    // count for this batch shape on the paper's machine (wall-clock
+    // execution cannot observe real invalidations, so this is the same
+    // analytical estimate the modeled runners charge time for).
+    let (_, avg_nnz, dim, _) = batch_stats(batch);
+    let conflict_rate =
+        HogwildCost { spec: CpuSpec::xeon_e5_2660_v4_dual(), threads }.conflict_rate(avg_nnz, dim);
+    let staleness_rounds = if threads > 1 { n.div_ceil(threads) as u64 } else { 0 };
+    let coherency_per_epoch = n as f64 * avg_nnz * conflict_rate;
 
     let model = SharedModel::from_slice(&task.init_model());
     let mut eval = sgd_linalg::CpuExec::par();
@@ -99,29 +126,33 @@ pub fn run_hogwild<L: LinearLoss>(
     let mut snapshot: Vec<Scalar> = vec![0.0; task.dim()];
     model.snapshot_into(&mut snapshot);
     trace.push(0.0, task.loss(&mut eval, batch, &snapshot));
+    let mut rec = Recorder::new(obs);
 
     let stop = opts.stop_loss();
-    let loss_fn = task.pointwise();
     let mut opt_seconds = 0.0;
     let mut timed_out = true;
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
         if threads == 1 {
             hogwild_worker(loss_fn, batch, &model, alpha, &order);
         } else {
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for part in order.chunks(chunk.max(1)) {
                     let model = &model;
-                    s.spawn(move |_| hogwild_worker(loss_fn, batch, model, alpha, part));
+                    s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
                 }
-            })
-            .expect("hogwild workers join");
+            });
         }
         opt_seconds += t0.elapsed().as_secs_f64();
 
         model.snapshot_into(&mut snapshot);
         let loss = task.loss(&mut eval, batch, &snapshot); // untimed
         trace.push(opt_seconds, loss);
+        rec.record(EpochMetrics {
+            staleness_rounds,
+            coherency_conflicts: coherency_per_epoch,
+            ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -143,12 +174,14 @@ pub fn run_hogwild<L: LinearLoss>(
         trace,
         opt_seconds,
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy shim entry points
+
     use super::*;
     use sgd_linalg::{CsrMatrix, Matrix};
     use sgd_models::lr;
@@ -192,6 +225,9 @@ mod tests {
         let rep = run_hogwild(&task, &b, 1, 0.5, &opts);
         assert_eq!(rep.device, DeviceKind::CpuSeq);
         assert!(rep.best_loss() < 0.15, "loss {}", rep.best_loss());
+        // Sequential execution has no staleness and no coherency traffic.
+        assert_eq!(rep.metrics.total_staleness_rounds(), 0);
+        assert_eq!(rep.metrics.total_coherency_conflicts(), 0.0);
     }
 
     #[test]
@@ -203,6 +239,10 @@ mod tests {
         let rep = run_hogwild(&task, &b, 4, 0.5, &opts);
         assert_eq!(rep.device, DeviceKind::CpuPar);
         assert!(rep.best_loss() < 0.2, "loss {}", rep.best_loss());
+        // Four workers over 512 examples: 128 concurrent-update rounds per
+        // epoch, every epoch.
+        let epochs = rep.trace.epochs() as u64;
+        assert_eq!(rep.metrics.total_staleness_rounds(), 128 * epochs);
     }
 
     #[test]
@@ -217,6 +257,10 @@ mod tests {
         let opts = RunOptions { max_epochs: 40, ..Default::default() };
         let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
         assert!(rep.best_loss() < 0.2, "loss {}", rep.best_loss());
+        // Dense low-dimensional data drives the coherency estimate up:
+        // every touch is expected to invalidate a remote cacheline.
+        let per_epoch = rep.metrics.epochs[0].coherency_conflicts;
+        assert!(per_epoch > 0.0, "dense parallel Hogwild must report coherency traffic");
     }
 
     #[test]
@@ -245,20 +289,12 @@ mod tests {
         let (x, y) = sparse_separable(256, 32);
         let b = Batch::new(Examples::Sparse(&x), &y);
         let task = lr(32);
-        let opts = RunOptions {
-            max_epochs: 200,
-            target_loss: Some(0.3),
-            ..Default::default()
-        };
+        let opts = RunOptions { max_epochs: 200, target_loss: Some(0.3), ..Default::default() };
         let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
         assert!(!rep.timed_out);
 
         // An impossible target within a tiny time budget reports timeout.
-        let opts = RunOptions {
-            max_epochs: 3,
-            target_loss: Some(1e-12),
-            ..Default::default()
-        };
+        let opts = RunOptions { max_epochs: 3, target_loss: Some(1e-12), ..Default::default() };
         let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
         assert!(rep.timed_out, "must report the paper's ∞");
     }

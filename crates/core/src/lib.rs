@@ -4,7 +4,7 @@
 //!
 //! | axis | values |
 //! |---|---|
-//! | architecture | sequential CPU, parallel CPU (rayon), simulated GPU |
+//! | architecture | sequential CPU, thread-parallel CPU, simulated GPU |
 //! | update strategy | synchronous (batch GD) / asynchronous (Hogwild, Hogbatch) |
 //! | sparsity | dense / CSR |
 //!
@@ -15,15 +15,44 @@
 //! ten, loss-evaluation time excluded, convergence measured at 10/5/2/1 %
 //! above the optimal loss.
 //!
-//! Entry points: [`run_sync`], [`run_hogwild`], [`run_hogbatch`],
-//! [`run_gpu_hogwild`], [`run_gpu_hogbatch`], with [`grid_search`] and the
-//! convergence utilities on top.
+//! Every corner is named by a [`Configuration`] (device × [`Strategy`] ×
+//! [`Sparsity`] × [`Timing`]) and executed through [`Engine::run`], which
+//! owns the whole dispatch fan-out and threads an [`EpochObserver`]
+//! through every optimizer so per-epoch hardware counters
+//! ([`EpochMetrics`]) land in each [`RunReport`]:
+//!
+//! ```
+//! use sgd_core::{Configuration, DeviceKind, Engine, RunOptions, Strategy, Timing};
+//! use sgd_core::CpuModelConfig;
+//! use sgd_models::{lr, Batch, Examples};
+//! use sgd_linalg::Matrix;
+//!
+//! let x = Matrix::from_fn(32, 4, |i, j| (((i + j) % 3) as f64 - 1.0));
+//! let y: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+//! let batch = Batch::new(Examples::Dense(&x), &y);
+//!
+//! // Modeled 56-thread Hogwild on the paper's Xeon, dense data.
+//! let cfg = Configuration::new(sgd_core::DeviceKind::CpuPar, Strategy::Hogwild)
+//!     .with_timing(Timing::Modeled(CpuModelConfig::paper_machine(56)));
+//! let opts = RunOptions { max_epochs: 2, ..Default::default() };
+//! let report = Engine::run(&cfg, &lr(4), &batch, 0.1, &opts);
+//! assert!(report.metrics.total_coherency_conflicts() > 0.0);
+//! # let _ = DeviceKind::CpuSeq;
+//! ```
+//!
+//! The direct entry points (`run_sync`, `run_hogwild`, `run_hogbatch`,
+//! `run_gpu_hogwild`, `run_gpu_hogbatch`, the `*_modeled` variants and
+//! `run_replicated_hogwild`) remain as deprecated shims over the engine's
+//! internals; new code should dispatch through [`Engine::run`] (or
+//! [`Engine::grid_search`] with the convergence utilities on top).
 
 mod config;
 mod convergence;
+mod engine;
 mod gpu_async;
 mod hogbatch;
 mod hogwild;
+mod metrics;
 mod modeled;
 pub mod pool;
 mod replication;
@@ -33,11 +62,23 @@ mod sync;
 
 pub use config::{DeviceKind, RunOptions};
 pub use convergence::{reference_optimum, ConvergenceSummary, LossTrace, THRESHOLDS};
-pub use gpu_async::{run_gpu_hogbatch, run_gpu_hogwild, GpuAsyncOptions};
-pub use hogbatch::{make_batches, run_hogbatch};
+pub use engine::{Configuration, Engine, EngineError, Sparsity, Strategy, Timing, TimingMode};
+pub use gpu_async::GpuAsyncOptions;
+#[allow(deprecated)]
+pub use gpu_async::{run_gpu_hogbatch, run_gpu_hogwild};
+pub use hogbatch::make_batches;
+#[allow(deprecated)]
+pub use hogbatch::run_hogbatch;
+#[allow(deprecated)]
 pub use hogwild::run_hogwild;
-pub use modeled::{run_hogbatch_modeled, run_hogwild_modeled, run_sync_modeled, CpuModelConfig};
-pub use replication::{run_replicated_hogwild, Replication};
+pub use metrics::{EpochMetrics, EpochObserver, NullObserver, RunMetrics};
+pub use modeled::CpuModelConfig;
+#[allow(deprecated)]
+pub use modeled::{run_hogbatch_modeled, run_hogwild_modeled, run_sync_modeled};
+#[allow(deprecated)]
+pub use replication::run_replicated_hogwild;
+pub use replication::Replication;
 pub use report::{grid_search, step_size_grid, RunReport};
 pub use shared_model::SharedModel;
+#[allow(deprecated)]
 pub use sync::run_sync;

@@ -1,0 +1,211 @@
+//! Per-epoch instrumentation shared by every runner.
+//!
+//! Each optimizer records one [`EpochMetrics`] per completed epoch into a
+//! [`RunMetrics`] carried by the final [`crate::RunReport`], and forwards
+//! it to an [`EpochObserver`] while the run is still in flight. Counters
+//! that do not apply to a configuration are zero; rates that do not apply
+//! are `NaN` (so a plot of, say, L2 hit ratios simply has no points for
+//! CPU runs instead of a misleading zero line).
+
+/// Hardware and staleness counters for one completed epoch.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochMetrics {
+    /// 1-based index of the completed epoch.
+    pub epoch: usize,
+    /// Optimization seconds elapsed at the end of the epoch (wall or
+    /// simulated, matching the run's timing source).
+    pub elapsed_secs: f64,
+    /// Full-batch loss after the epoch.
+    pub loss: f64,
+    /// Model updates lost to write-write races during the epoch (GPU
+    /// warp-Hogwild's intra-warp conflicts).
+    pub update_conflicts: u64,
+    /// Simulated device cycles spent in the epoch (`NaN` for wall-clock
+    /// CPU runs, which have no cycle model).
+    pub simulated_cycles: f64,
+    /// L2 hit ratio of the epoch's simulated memory traffic (`NaN` when
+    /// no cache model is in the loop).
+    pub l2_hit_ratio: f64,
+    /// Rounds of concurrent model updates whose participants read a stale
+    /// snapshot (asynchronous CPU strategies; zero for synchronous runs).
+    pub staleness_rounds: u64,
+    /// Expected cache-coherency conflicts (cross-core invalidations of
+    /// model cachelines) during the epoch, from the CPU cost model's
+    /// conflict rate. Fractional because it is an expectation.
+    pub coherency_conflicts: f64,
+}
+
+impl EpochMetrics {
+    /// Metrics for a plain epoch: counters zero, simulator rates `NaN`.
+    pub fn new(epoch: usize, elapsed_secs: f64, loss: f64) -> Self {
+        EpochMetrics {
+            epoch,
+            elapsed_secs,
+            loss,
+            update_conflicts: 0,
+            simulated_cycles: f64::NAN,
+            l2_hit_ratio: f64::NAN,
+            staleness_rounds: 0,
+            coherency_conflicts: 0.0,
+        }
+    }
+}
+
+/// All per-epoch metrics of one run, plus run-level aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// One entry per completed epoch, in order.
+    pub epochs: Vec<EpochMetrics>,
+    /// Total conflicting model updates, when the configuration tracks
+    /// them exactly (the GPU asynchronous runners); `None` elsewhere.
+    pub update_conflicts: Option<u64>,
+}
+
+impl RunMetrics {
+    /// Sum of per-epoch staleness rounds.
+    pub fn total_staleness_rounds(&self) -> u64 {
+        self.epochs.iter().map(|e| e.staleness_rounds).sum()
+    }
+
+    /// Sum of per-epoch expected coherency conflicts.
+    pub fn total_coherency_conflicts(&self) -> f64 {
+        self.epochs.iter().map(|e| e.coherency_conflicts).sum()
+    }
+
+    /// Sum of per-epoch simulated cycles (`None` when no epoch had a
+    /// cycle model).
+    pub fn total_simulated_cycles(&self) -> Option<f64> {
+        let cycles: Vec<f64> =
+            self.epochs.iter().map(|e| e.simulated_cycles).filter(|c| c.is_finite()).collect();
+        if cycles.is_empty() {
+            None
+        } else {
+            Some(cycles.iter().sum())
+        }
+    }
+}
+
+/// Receives each epoch's metrics while a run is in flight.
+///
+/// Implement this to stream per-epoch hardware counters to a logger or a
+/// live plot; pass it to [`crate::Engine::run_observed`]. The same record
+/// also lands in [`RunMetrics::epochs`], so a post-hoc consumer can ignore
+/// the observer entirely.
+pub trait EpochObserver {
+    /// Called once per completed epoch, in order.
+    fn on_epoch(&mut self, m: &EpochMetrics);
+}
+
+/// Observer that discards everything (the default).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl EpochObserver for NullObserver {
+    fn on_epoch(&mut self, _m: &EpochMetrics) {}
+}
+
+/// Internal accumulator the runners write through: forwards each epoch to
+/// the observer and keeps the structured copy for the report.
+pub(crate) struct Recorder<'a> {
+    metrics: RunMetrics,
+    observer: &'a mut dyn EpochObserver,
+}
+
+impl<'a> Recorder<'a> {
+    pub(crate) fn new(observer: &'a mut dyn EpochObserver) -> Self {
+        Recorder { metrics: RunMetrics::default(), observer }
+    }
+
+    pub(crate) fn record(&mut self, m: EpochMetrics) {
+        self.observer.on_epoch(&m);
+        self.metrics.epochs.push(m);
+    }
+
+    pub(crate) fn set_update_conflicts(&mut self, total: u64) {
+        self.metrics.update_conflicts = Some(total);
+    }
+
+    pub(crate) fn finish(self) -> RunMetrics {
+        self.metrics
+    }
+}
+
+/// Per-epoch counter deltas of a simulated GPU run.
+///
+/// The GPU runners trace real kernel streams only for the first (cold and
+/// warm) epochs, then replay the warm epoch cost. Replay advances the
+/// simulated clock — so cycle deltas stay exact — but performs no memory
+/// accesses, so the L2 counters freeze; this probe falls back to the last
+/// traced hit ratio for replayed epochs.
+pub(crate) struct GpuEpochProbe {
+    cycles0: f64,
+    hits0: u64,
+    misses0: u64,
+    warm_l2: f64,
+}
+
+impl GpuEpochProbe {
+    pub(crate) fn new() -> Self {
+        GpuEpochProbe { cycles0: 0.0, hits0: 0, misses0: 0, warm_l2: f64::NAN }
+    }
+
+    /// Marks the start of an epoch.
+    pub(crate) fn begin(&mut self, dev: &sgd_gpusim::GpuDevice) {
+        self.cycles0 = dev.elapsed_cycles();
+        self.hits0 = dev.stats().l2_hits;
+        self.misses0 = dev.stats().l2_misses;
+    }
+
+    /// Returns `(simulated_cycles, l2_hit_ratio)` for the epoch since
+    /// [`Self::begin`].
+    pub(crate) fn end(&mut self, dev: &sgd_gpusim::GpuDevice) -> (f64, f64) {
+        let cycles = dev.elapsed_cycles() - self.cycles0;
+        let hits = dev.stats().l2_hits - self.hits0;
+        let misses = dev.stats().l2_misses - self.misses0;
+        let l2 = if hits + misses > 0 {
+            let r = hits as f64 / (hits + misses) as f64;
+            self.warm_l2 = r;
+            r
+        } else {
+            self.warm_l2 // replayed epoch: reuse the traced warm ratio
+        };
+        (cycles, l2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_forwards_and_accumulates() {
+        struct Count(usize);
+        impl EpochObserver for Count {
+            fn on_epoch(&mut self, m: &EpochMetrics) {
+                self.0 += m.epoch;
+            }
+        }
+        let mut obs = Count(0);
+        let mut rec = Recorder::new(&mut obs);
+        rec.record(EpochMetrics::new(1, 0.5, 2.0));
+        rec.record(EpochMetrics { staleness_rounds: 3, ..EpochMetrics::new(2, 1.0, 1.0) });
+        rec.set_update_conflicts(7);
+        let m = rec.finish();
+        assert_eq!(obs.0, 3);
+        assert_eq!(m.epochs.len(), 2);
+        assert_eq!(m.total_staleness_rounds(), 3);
+        assert_eq!(m.update_conflicts, Some(7));
+    }
+
+    #[test]
+    fn aggregates_handle_missing_rates() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.total_simulated_cycles(), None);
+        m.epochs.push(EpochMetrics::new(1, 0.1, 1.0));
+        assert_eq!(m.total_simulated_cycles(), None, "NaN epochs have no cycle model");
+        m.epochs.push(EpochMetrics { simulated_cycles: 4.0, ..EpochMetrics::new(2, 0.2, 0.9) });
+        m.epochs.push(EpochMetrics { simulated_cycles: 6.0, ..EpochMetrics::new(3, 0.3, 0.8) });
+        assert_eq!(m.total_simulated_cycles(), Some(10.0));
+        assert_eq!(m.total_coherency_conflicts(), 0.0);
+    }
+}

@@ -14,11 +14,12 @@
 
 use sgd_cpusim::{CpuModelExec, CpuSpec, HogwildCost};
 use sgd_linalg::{CpuExec, Exec, Scalar};
-use sgd_models::{Batch, Examples, LinearLoss, LinearTask, Task};
+use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
 use crate::hogwild::shuffled_order;
+use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::report::RunReport;
 
 /// Which machine the CPU model describes and how many threads to model.
@@ -60,6 +61,7 @@ impl CpuModelConfig {
 }
 
 /// Synchronous (batch) gradient descent with modeled CPU time.
+#[deprecated(note = "dispatch through `Engine::run` with `Strategy::Sync` and `Timing::Modeled`")]
 pub fn run_sync_modeled<T: Task>(
     task: &T,
     batch: &Batch<'_>,
@@ -67,19 +69,32 @@ pub fn run_sync_modeled<T: Task>(
     alpha: f64,
     opts: &RunOptions,
 ) -> RunReport {
+    sync_modeled_observed(task, batch, mc, alpha, opts, &mut NullObserver)
+}
+
+pub(crate) fn sync_modeled_observed<T: Task>(
+    task: &T,
+    batch: &Batch<'_>,
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let mut e = mc.exec();
     let mut eval = CpuExec::seq();
     let mut w = task.init_model();
     let mut g = vec![0.0; task.dim()];
     let mut trace = LossTrace::new();
     trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let mut rec = Recorder::new(obs);
     let stop = opts.stop_loss();
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         task.gradient(&mut e, batch, &w, &mut g);
         e.axpy(-alpha, &g, &mut w);
         let loss = task.loss(&mut eval, batch, &w); // untimed
         trace.push(e.elapsed_secs(), loss);
+        rec.record(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
         if !loss.is_finite() {
             break;
         }
@@ -98,14 +113,14 @@ pub fn run_sync_modeled<T: Task>(
         trace,
         opt_seconds: e.elapsed_secs(),
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
 /// One bounded-staleness epoch for a linear task: rounds of `round`
 /// examples read the pre-round model, updates apply additively at round
 /// end. `round == 1` is exactly sequential incremental SGD.
-pub(crate) fn staleness_epoch<L: LinearLoss>(
+pub(crate) fn staleness_epoch<L: PointwiseLoss + ?Sized>(
     loss: &L,
     batch: &Batch<'_>,
     w: &mut [Scalar],
@@ -124,7 +139,7 @@ pub(crate) fn staleness_epoch<L: LinearLoss>(
                     let row = m.row(i);
                     let margin: Scalar =
                         row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w[c as usize]).sum();
-                    let s = loss.dloss(margin, batch.y[i]);
+                    let s = loss.dloss_at(margin, batch.y[i]);
                     if s != 0.0 {
                         let step = -alpha * s;
                         if round == 1 {
@@ -141,7 +156,7 @@ pub(crate) fn staleness_epoch<L: LinearLoss>(
                 Examples::Dense(m) => {
                     let row = m.row(i);
                     let margin: Scalar = row.iter().zip(w.iter()).map(|(&v, &wj)| v * wj).sum();
-                    let s = loss.dloss(margin, batch.y[i]);
+                    let s = loss.dloss_at(margin, batch.y[i]);
                     if s != 0.0 {
                         let step = -alpha * s;
                         if round == 1 {
@@ -149,9 +164,8 @@ pub(crate) fn staleness_epoch<L: LinearLoss>(
                                 w[j] += step * v;
                             }
                         } else {
-                            pending.extend(
-                                row.iter().enumerate().map(|(j, &v)| (j as u32, step * v)),
-                            );
+                            pending
+                                .extend(row.iter().enumerate().map(|(j, &v)| (j as u32, step * v)));
                         }
                     }
                 }
@@ -164,7 +178,7 @@ pub(crate) fn staleness_epoch<L: LinearLoss>(
 }
 
 /// Batch shape statistics the Hogwild cost model needs.
-fn batch_stats(batch: &Batch<'_>) -> (usize, f64, usize, usize) {
+pub(crate) fn batch_stats(batch: &Batch<'_>) -> (usize, f64, usize, usize) {
     match batch.x {
         Examples::Sparse(m) => {
             let (_, avg, _) = m.nnz_per_row_stats();
@@ -176,6 +190,9 @@ fn batch_stats(batch: &Batch<'_>) -> (usize, f64, usize, usize) {
 
 /// Hogwild for a linear task with modeled time and bounded-staleness
 /// statistics.
+#[deprecated(
+    note = "dispatch through `Engine::run` with `Strategy::Hogwild` and `Timing::Modeled`"
+)]
 pub fn run_hogwild_modeled<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
@@ -183,24 +200,45 @@ pub fn run_hogwild_modeled<L: LinearLoss>(
     alpha: f64,
     opts: &RunOptions,
 ) -> RunReport {
+    hogwild_modeled_observed(task, task.pointwise(), batch, mc, alpha, opts, &mut NullObserver)
+}
+
+pub(crate) fn hogwild_modeled_observed<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let (n, avg_nnz, dim, data_bytes) = batch_stats(batch);
     let cost = HogwildCost { spec: mc.spec.clone(), threads: mc.threads };
     let epoch_secs = cost.epoch_secs(n, avg_nnz, dim, data_bytes);
+    // Expected cross-core invalidations per epoch under the cost model —
+    // the same quantity its coherency time term charges for.
+    let coherency_per_epoch = n as f64 * avg_nnz * cost.conflict_rate(avg_nnz, dim);
+    let staleness_rounds = if mc.threads > 1 { n.div_ceil(mc.threads) as u64 } else { 0 };
 
     let order = shuffled_order(n, opts.seed);
     let mut w = task.init_model();
     let mut eval = CpuExec::seq();
     let mut trace = LossTrace::new();
     trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let mut rec = Recorder::new(obs);
     let stop = opts.stop_loss();
-    let loss_fn = task.pointwise();
     let mut elapsed = 0.0;
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         staleness_epoch(loss_fn, batch, &mut w, alpha, &order, mc.threads);
         elapsed += epoch_secs;
         let loss = task.loss(&mut eval, batch, &w);
         trace.push(elapsed, loss);
+        rec.record(EpochMetrics {
+            staleness_rounds,
+            coherency_conflicts: coherency_per_epoch,
+            ..EpochMetrics::new(epoch + 1, elapsed, loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -219,7 +257,7 @@ pub fn run_hogwild_modeled<L: LinearLoss>(
         trace,
         opt_seconds: elapsed,
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
@@ -227,6 +265,9 @@ pub fn run_hogwild_modeled<L: LinearLoss>(
 /// against round-stale snapshots; timing is one batch's modeled
 /// single-thread cost scaled by the batch count over the effective cores,
 /// plus the coherency cost of the concurrent dense model updates.
+#[deprecated(
+    note = "dispatch through `Engine::run` with `Strategy::Hogbatch` and `Timing::Modeled`"
+)]
 pub fn run_hogbatch_modeled<T: Task>(
     task: &T,
     full: &Batch<'_>,
@@ -234,6 +275,18 @@ pub fn run_hogbatch_modeled<T: Task>(
     mc: &CpuModelConfig,
     alpha: f64,
     opts: &RunOptions,
+) -> RunReport {
+    hogbatch_modeled_observed(task, full, batches, mc, alpha, opts, &mut NullObserver)
+}
+
+pub(crate) fn hogbatch_modeled_observed<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    mc: &CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
 ) -> RunReport {
     assert!(!batches.is_empty(), "at least one mini-batch required");
     let dim = task.dim();
@@ -249,7 +302,7 @@ pub fn run_hogbatch_modeled<T: Task>(
     let batch_cost = probe.elapsed_secs();
     // Re-initialize: the probe step above must not perturb the trajectory.
     w = task.init_model();
-    let coherency = if mc.threads > 1 {
+    let (coherency, coherency_per_epoch) = if mc.threads > 1 {
         // Each batch update writes the whole (dense) model once, but the
         // write phase is only a small fraction of a batch's duration, so
         // the probability that another worker writes concurrently is the
@@ -258,26 +311,33 @@ pub fn run_hogbatch_modeled<T: Task>(
         let duty = (write_secs / batch_cost.max(1e-12)).min(1.0);
         let rate = ((mc.threads - 1) as f64 * duty).min(1.0);
         let pipelines = (dim as f64 * 8.0 / mc.spec.cacheline as f64).sqrt().max(1.0);
-        batches.len() as f64 * dim as f64 * rate * mc.spec.coherency_inval_ns * 1e-9 / pipelines
+        // Expected conflicting model-cacheline writes per epoch, and the
+        // time they cost once invalidation latency is spread over the
+        // memory pipelines.
+        let conflicts = batches.len() as f64 * dim as f64 * rate;
+        (conflicts * mc.spec.coherency_inval_ns * 1e-9 / pipelines, conflicts)
     } else {
-        0.0
+        (0.0, 0.0)
     };
+    let staleness_rounds =
+        if mc.threads > 1 { batches.len().div_ceil(mc.threads) as u64 } else { 0 };
     // Scale by total rows rather than batch count so a smaller trailing
     // batch is not charged as a full one.
     let total_rows: usize = batches.iter().map(|b| b.n()).sum();
     let equivalent_batches = total_rows as f64 / batches[0].n().max(1) as f64;
-    let epoch_secs =
-        (batch_cost * equivalent_batches / mc.spec.effective_cores(mc.threads)).max(coherency)
-            + if mc.threads > 1 { mc.spec.fork_join_secs } else { 0.0 };
+    let epoch_secs = (batch_cost * equivalent_batches / mc.spec.effective_cores(mc.threads))
+        .max(coherency)
+        + if mc.threads > 1 { mc.spec.fork_join_secs } else { 0.0 };
 
     let mut trace = LossTrace::new();
     trace.push(0.0, task.loss(&mut eval, full, &w));
+    let mut rec = Recorder::new(obs);
     let stop = opts.stop_loss();
     let mut elapsed = 0.0;
     let mut timed_out = stop.is_some();
     let mut cpu = CpuExec::seq();
     let mut snapshot = vec![0.0; dim];
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         // Rounds of `threads` batches share a stale snapshot.
         for group in batches.chunks(mc.threads.max(1)) {
             snapshot.copy_from_slice(&w);
@@ -291,6 +351,11 @@ pub fn run_hogbatch_modeled<T: Task>(
         elapsed += epoch_secs;
         let loss = task.loss(&mut eval, full, &w);
         trace.push(elapsed, loss);
+        rec.record(EpochMetrics {
+            staleness_rounds,
+            coherency_conflicts: coherency_per_epoch,
+            ..EpochMetrics::new(epoch + 1, elapsed, loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -309,12 +374,14 @@ pub fn run_hogbatch_modeled<T: Task>(
         trace,
         opt_seconds: elapsed,
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy shim entry points
+
     use super::*;
     use crate::hogwild::run_hogwild;
     use crate::sync::run_sync;

@@ -1,14 +1,11 @@
 //! Thread-pool helper for the parallel CPU configurations.
 
-/// Runs `f` inside a dedicated rayon pool of `n` threads, so every
+/// Runs `f` with the parallel backend limited to `n` threads, so every
 /// `Backend::par()` primitive invoked within uses exactly that degree of
 /// parallelism (the study's equivalent of setting `OMP_NUM_THREADS`).
-pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
-    rayon::ThreadPoolBuilder::new()
-        .num_threads(n.max(1))
-        .build()
-        .expect("thread pool construction cannot fail for a positive thread count")
-        .install(f)
+/// Delegates to [`sgd_linalg::pool::with_threads`].
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    sgd_linalg::pool::with_threads(n, f)
 }
 
 #[cfg(test)]
@@ -17,13 +14,13 @@ mod tests {
 
     #[test]
     fn pool_has_requested_width() {
-        let n = with_threads(3, rayon::current_num_threads);
+        let n = with_threads(3, sgd_linalg::pool::current_num_threads);
         assert_eq!(n, 3);
     }
 
     #[test]
     fn zero_is_clamped_to_one() {
-        let n = with_threads(0, rayon::current_num_threads);
+        let n = with_threads(0, sgd_linalg::pool::current_num_threads);
         assert_eq!(n, 1);
     }
 

@@ -10,12 +10,15 @@
 
 use std::time::Instant;
 
+use sgd_cpusim::{CpuSpec, HogwildCost};
 use sgd_linalg::Scalar;
-use sgd_models::{Batch, LinearLoss, LinearTask, Task};
+use sgd_models::{Batch, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
 use crate::hogwild::{hogwild_worker, shuffled_order};
+use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
+use crate::modeled::batch_stats;
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
 
@@ -54,6 +57,7 @@ impl Replication {
 }
 
 /// Hogwild with the chosen replication strategy.
+#[deprecated(note = "dispatch through `Engine::run` with `Strategy::ReplicatedHogwild`")]
 pub fn run_replicated_hogwild<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
@@ -62,9 +66,31 @@ pub fn run_replicated_hogwild<L: LinearLoss>(
     replication: Replication,
     opts: &RunOptions,
 ) -> RunReport {
+    replicated_observed(
+        task,
+        task.pointwise(),
+        batch,
+        threads,
+        alpha,
+        replication,
+        opts,
+        &mut NullObserver,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replicated_observed<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    replication: Replication,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let threads = threads.max(1);
     let n_replicas = replication.replicas(threads);
-    let _dim = task.dim();
     let init = task.init_model();
     let replicas: Vec<SharedModel> =
         (0..n_replicas).map(|_| SharedModel::from_slice(&init)).collect();
@@ -74,24 +100,34 @@ pub fn run_replicated_hogwild<L: LinearLoss>(
     let chunk = n.div_ceil(threads);
     let parts: Vec<&[u32]> = order.chunks(chunk.max(1)).collect();
 
+    // Contention only arises between threads sharing a replica, so the
+    // coherency estimate and staleness rounds use the per-replica group
+    // size (PerCore has private replicas: neither stale reads nor
+    // conflicting writes within an epoch).
+    let group = threads.div_ceil(n_replicas);
+    let (_, avg_nnz, dim, _) = batch_stats(batch);
+    let conflict_rate = HogwildCost { spec: CpuSpec::xeon_e5_2660_v4_dual(), threads: group }
+        .conflict_rate(avg_nnz, dim);
+    let staleness_rounds = if group > 1 { n.div_ceil(threads) as u64 } else { 0 };
+    let coherency_per_epoch = n as f64 * avg_nnz * conflict_rate;
+
     let mut eval = sgd_linalg::CpuExec::par();
     let mut trace = LossTrace::new();
     let mut avg = init.clone();
     trace.push(0.0, task.loss(&mut eval, batch, &avg));
+    let mut rec = Recorder::new(obs);
 
     let stop = opts.stop_loss();
-    let loss_fn = task.pointwise();
     let mut opt_seconds = 0.0;
     let mut timed_out = true;
-    for _ in 0..opts.max_epochs {
+    for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (t, part) in parts.iter().enumerate() {
                 let model = &replicas[t % n_replicas];
-                s.spawn(move |_| hogwild_worker(loss_fn, batch, model, alpha, part));
+                s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
             }
-        })
-        .expect("replicated hogwild workers join");
+        });
 
         // Epoch-boundary averaging (counted in optimization time: it is
         // part of the algorithm, unlike loss evaluation).
@@ -103,6 +139,11 @@ pub fn run_replicated_hogwild<L: LinearLoss>(
 
         let loss = task.loss(&mut eval, batch, &avg);
         trace.push(opt_seconds, loss);
+        rec.record(EpochMetrics {
+            staleness_rounds,
+            coherency_conflicts: coherency_per_epoch,
+            ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -125,7 +166,7 @@ pub fn run_replicated_hogwild<L: LinearLoss>(
         trace,
         opt_seconds,
         timed_out,
-        update_conflicts: None,
+        metrics: rec.finish(),
     }
 }
 
@@ -143,6 +184,8 @@ fn average_replicas(replicas: &[SharedModel], out: &mut [Scalar]) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // exercises the legacy shim entry points
+
     use super::*;
     use sgd_linalg::CsrMatrix;
     use sgd_models::{lr, Examples};
@@ -184,7 +227,9 @@ mod tests {
         let b = Batch::new(Examples::Sparse(&x), &y);
         let task = lr(16);
         let opts = RunOptions { max_epochs: 80, ..Default::default() };
-        for repl in [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore] {
+        for repl in
+            [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore]
+        {
             let rep = run_replicated_hogwild(&task, &b, 4, 0.5, repl, &opts);
             assert!(rep.best_loss() < 0.3, "{}: loss {}", repl.label(), rep.best_loss());
         }

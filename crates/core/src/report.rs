@@ -2,6 +2,7 @@
 
 use crate::config::DeviceKind;
 use crate::convergence::{ConvergenceSummary, LossTrace};
+use crate::metrics::RunMetrics;
 
 /// The outcome of one optimizer run: everything needed to fill one cell
 /// block of the paper's Tables II/III.
@@ -21,17 +22,18 @@ pub struct RunReport {
     /// `true` when the run hit its time budget before reaching the 1 %
     /// threshold (reported as `∞` in the tables).
     pub timed_out: bool,
-    /// Model updates lost to (or serialized by) intra-warp conflicts;
-    /// recorded only by the GPU asynchronous kernels.
-    pub update_conflicts: Option<u64>,
+    /// Per-epoch hardware and staleness counters (see
+    /// [`crate::EpochMetrics`]).
+    pub metrics: RunMetrics,
 }
 
 impl RunReport {
-    /// Hardware efficiency: average seconds per epoch.
+    /// Hardware efficiency: average seconds per epoch. `NaN` when the run
+    /// completed no epochs (an empty trace has no meaningful rate).
     pub fn time_per_epoch(&self) -> f64 {
         let epochs = self.trace.epochs();
         if epochs == 0 {
-            0.0
+            f64::NAN
         } else {
             self.opt_seconds / epochs as f64
         }
@@ -45,6 +47,13 @@ impl RunReport {
     /// Best loss this run reached.
     pub fn best_loss(&self) -> f64 {
         self.trace.best_loss().unwrap_or(f64::INFINITY)
+    }
+
+    /// Total model updates lost to (or serialized by) intra-warp
+    /// conflicts; tracked exactly by the GPU asynchronous kernels, `None`
+    /// for every other configuration.
+    pub fn update_conflicts(&self) -> Option<u64> {
+        self.metrics.update_conflicts
     }
 }
 
@@ -96,7 +105,7 @@ mod tests {
             opt_seconds: times_losses.last().map(|&(t, _)| t).unwrap_or(0.0),
             trace,
             timed_out: false,
-            update_conflicts: None,
+            metrics: RunMetrics::default(),
         }
     }
 
@@ -104,6 +113,22 @@ mod tests {
     fn time_per_epoch_averages() {
         let r = report(0.1, &[(0.0, 1.0), (2.0, 0.5), (4.0, 0.2)]);
         assert!((r.time_per_epoch() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_per_epoch_of_empty_trace_is_nan() {
+        // Regression: this used to report 0.0 s/epoch — an "infinitely
+        // fast" run — which silently corrupted speedup ratios.
+        assert!(report(0.1, &[]).time_per_epoch().is_nan());
+        assert!(report(0.1, &[(0.0, 1.0)]).time_per_epoch().is_nan(), "no completed epoch");
+    }
+
+    #[test]
+    fn update_conflicts_reads_metrics_aggregate() {
+        let mut r = report(0.1, &[(0.0, 1.0), (1.0, 0.5)]);
+        assert_eq!(r.update_conflicts(), None);
+        r.metrics.update_conflicts = Some(11);
+        assert_eq!(r.update_conflicts(), Some(11));
     }
 
     #[test]

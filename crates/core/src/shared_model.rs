@@ -119,17 +119,16 @@ mod tests {
         let m = Arc::new(SharedModel::from_slice(&[0.0]));
         let threads = 8;
         let per = 10_000;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
                 let m = Arc::clone(&m);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..per {
                         m.fetch_add(0, 1.0);
                     }
                 });
             }
-        })
-        .expect("threads join");
+        });
         assert_eq!(m.read(0), (threads * per) as f64);
     }
 
@@ -144,17 +143,16 @@ mod tests {
         assert_eq!(m.read(0), 1000.0);
 
         let m = Arc::new(SharedModel::from_slice(&[0.0]));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
                 let m = Arc::clone(&m);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..50_000 {
                         m.add(0, 1.0);
                     }
                 });
             }
-        })
-        .expect("threads join");
+        });
         let v = m.read(0);
         assert!(v > 0.0 && v <= 200_000.0, "value {v}");
         assert_eq!(v.fract(), 0.0, "value must be a whole count, got {v}");

@@ -182,14 +182,24 @@ impl Exec for CpuModelExec {
     fn spmv(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
         let nnz = a.nnz() as f64;
         // Values + column indices stream; x is gathered randomly.
-        self.charge_stream(2.0 * nnz, 12.0 * nnz + 8.0 * a.rows() as f64, a.sparse_size_bytes(), self.threads);
+        self.charge_stream(
+            2.0 * nnz,
+            12.0 * nnz + 8.0 * a.rows() as f64,
+            a.sparse_size_bytes(),
+            self.threads,
+        );
         self.charge_random(nnz, 8 * x.len(), self.threads);
         self.functional.spmv(a, x, y)
     }
 
     fn spmv_t(&mut self, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
         let nnz = a.nnz() as f64;
-        self.charge_stream(2.0 * nnz, 12.0 * nnz + 8.0 * a.rows() as f64, a.sparse_size_bytes(), self.threads);
+        self.charge_stream(
+            2.0 * nnz,
+            12.0 * nnz + 8.0 * a.rows() as f64,
+            a.sparse_size_bytes(),
+            self.threads,
+        );
         // Scatter into y (plus the capped per-chunk partial reduction).
         self.charge_random(nnz, 8 * y.len(), self.threads);
         let extra = 16.0 * y.len() as f64 * self.threads.min(8) as f64;
@@ -202,7 +212,12 @@ impl Exec for CpuModelExec {
         F: Fn(Scalar) -> Scalar + Sync + Send,
     {
         let n = x.len() as f64;
-        self.charge_stream(flops_per_elem * n, 16.0 * n, 8 * x.len(), self.elementwise_threads(x.len()));
+        self.charge_stream(
+            flops_per_elem * n,
+            16.0 * n,
+            8 * x.len(),
+            self.elementwise_threads(x.len()),
+        );
         self.functional.map_inplace(x, f)
     }
 
@@ -211,7 +226,12 @@ impl Exec for CpuModelExec {
         F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
     {
         let n = a.len() as f64;
-        self.charge_stream(flops_per_elem * n, 24.0 * n, 16 * a.len(), self.elementwise_threads(a.len()));
+        self.charge_stream(
+            flops_per_elem * n,
+            24.0 * n,
+            16 * a.len(),
+            self.elementwise_threads(a.len()),
+        );
         self.functional.zip_map(a, b, out, f)
     }
 
@@ -303,7 +323,9 @@ mod tests {
         let rows = 64;
         let make = |cols: usize| {
             let entries: Vec<Vec<(u32, Scalar)>> = (0..rows)
-                .map(|i| (0..8).map(|k| (((i * 131 + k * 977) % cols) as u32, 1.0)).collect::<Vec<_>>())
+                .map(|i| {
+                    (0..8).map(|k| (((i * 131 + k * 977) % cols) as u32, 1.0)).collect::<Vec<_>>()
+                })
                 .map(|mut v| {
                     v.sort_by_key(|e| e.0);
                     v.dedup_by_key(|e| e.0);

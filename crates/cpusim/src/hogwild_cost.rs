@@ -51,7 +51,13 @@ impl HogwildCost {
     /// Modeled seconds for one epoch over `examples` examples with
     /// `avg_nnz` non-zeros each, a model of `model_dim` coordinates, and
     /// `data_bytes` of training data streamed per pass.
-    pub fn epoch_secs(&self, examples: usize, avg_nnz: f64, model_dim: usize, data_bytes: usize) -> f64 {
+    pub fn epoch_secs(
+        &self,
+        examples: usize,
+        avg_nnz: f64,
+        model_dim: usize,
+        data_bytes: usize,
+    ) -> f64 {
         let spec = &self.spec;
         let touches = examples as f64 * avg_nnz;
         let model_bytes = model_dim * 8;
@@ -77,10 +83,9 @@ impl HogwildCost {
         // scaling, bounded by the core count).
         let model_lines = (model_bytes / spec.cacheline).max(1) as f64;
         let pipelines = model_lines.sqrt().min(spec.effective_cores(self.threads)).max(1.0);
-        let t_coherency = touches * self.conflict_rate(avg_nnz, model_dim)
-            * spec.coherency_inval_ns
-            * 1e-9
-            / pipelines;
+        let t_coherency =
+            touches * self.conflict_rate(avg_nnz, model_dim) * spec.coherency_inval_ns * 1e-9
+                / pipelines;
 
         (t_compute + t_model).max(t_data).max(t_coherency)
             + if self.threads > 1 { spec.fork_join_secs } else { 0.0 }

@@ -77,7 +77,8 @@ impl ZipfSampler {
 /// To keep feature order uninformative the sampled Zipf ranks are hashed
 /// over the feature range; the mapping is deterministic per seed.
 pub fn generate(profile: &DatasetProfile, opts: &GenOptions) -> Dataset {
-    let p = if (opts.scale - 1.0).abs() < 1e-12 { profile.clone() } else { profile.scaled(opts.scale) };
+    let p =
+        if (opts.scale - 1.0).abs() < 1e-12 { profile.clone() } else { profile.scaled(opts.scale) };
     let mut rng = StdRng::seed_from_u64(opts.seed ^ fxhash(p.name));
     let d = p.features;
 
@@ -87,7 +88,9 @@ pub fn generate(profile: &DatasetProfile, opts: &GenOptions) -> Dataset {
     let zipf = if p.dense { None } else { Some(ZipfSampler::new(d, opts.feature_skew)) };
     // A fixed random permutation-ish map so that popular features are not
     // all at low indices (multiplicative hashing by an odd constant).
-    let spread = |rank: usize| -> u32 { ((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % d as u64) as u32 };
+    let spread = |rank: usize| -> u32 {
+        ((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % d as u64) as u32
+    };
 
     let mut entries: Vec<Vec<(u32, Scalar)>> = Vec::with_capacity(p.examples);
     let mut labels = Vec::with_capacity(p.examples);
@@ -96,7 +99,13 @@ pub fn generate(profile: &DatasetProfile, opts: &GenOptions) -> Dataset {
         let nnz = if p.dense {
             d
         } else {
-            log_normal_count(&mut rng, p.nnz_avg as f64, opts.nnz_sigma, p.nnz_min.max(1), p.nnz_max.min(d))
+            log_normal_count(
+                &mut rng,
+                p.nnz_avg as f64,
+                opts.nnz_sigma,
+                p.nnz_min.max(1),
+                p.nnz_max.min(d),
+            )
         };
         cols_buf.clear();
         if p.dense {

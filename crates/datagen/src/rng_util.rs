@@ -21,7 +21,13 @@ pub fn log_normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 
 /// Log-normal integer sample clamped to `[min, max]`, parameterized so the
 /// *mean* of the unclamped distribution is `mean`.
-pub fn log_normal_count<R: Rng>(rng: &mut R, mean: f64, sigma: f64, min: usize, max: usize) -> usize {
+pub fn log_normal_count<R: Rng>(
+    rng: &mut R,
+    mean: f64,
+    sigma: f64,
+    min: usize,
+    max: usize,
+) -> usize {
     debug_assert!(min <= max);
     // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) => mu = ln(mean) - sigma^2/2.
     let mu = mean.max(1.0).ln() - sigma * sigma / 2.0;

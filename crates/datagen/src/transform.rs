@@ -97,10 +97,7 @@ mod tests {
         let x = CsrMatrix::from_row_entries(
             2,
             6,
-            &[
-                vec![(0, 1.0), (1, 2.0), (5, 3.0)],
-                vec![(2, 4.0)],
-            ],
+            &[vec![(0, 1.0), (1, 2.0), (5, 3.0)], vec![(2, 4.0)]],
         );
         Dataset::new("tiny", x, vec![1.0, -1.0])
     }

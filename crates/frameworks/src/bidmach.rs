@@ -10,13 +10,53 @@
 
 use std::time::Instant;
 
-use sgd_core::{DeviceKind, LossTrace, RunOptions, RunReport};
+use sgd_core::{
+    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunReport,
+    Strategy, Timing,
+};
 use sgd_gpusim::kernels::GpuExec;
 use sgd_linalg::CpuExec;
 use sgd_models::{Batch, LinearLoss, LinearTask, Task};
 
+/// Runs the BIDMach comparator for one engine [`Configuration`] corner.
+///
+/// BIDMach's driver in the paper's experiments runs synchronous
+/// (full-batch) GD only, so the configuration's strategy must be
+/// [`Strategy::Sync`]; the timing source and device follow the
+/// configuration like [`sgd_core::Engine::run`].
+pub fn run_bidmach<L: LinearLoss>(
+    cfg: &Configuration,
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    assert!(
+        matches!(cfg.strategy, Strategy::Sync),
+        "the BIDMach comparator implements synchronous GD only"
+    );
+    match &cfg.timing {
+        Timing::Wall => sync_wall(task, batch, cfg.device, alpha, opts),
+        Timing::Modeled(mc) => {
+            assert_ne!(cfg.device, DeviceKind::Gpu, "modeled timing covers CPU devices");
+            sync_modeled(task, batch, mc, alpha, opts)
+        }
+    }
+}
+
 /// Runs BIDMach-style synchronous (full-batch) GD for a linear task.
+#[deprecated(note = "dispatch through `run_bidmach` with an engine `Configuration`")]
 pub fn run_bidmach_sync<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    device: DeviceKind,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    sync_wall(task, batch, device, alpha, opts)
+}
+
+fn sync_wall<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
     device: DeviceKind,
@@ -50,13 +90,15 @@ fn cpu_loop<L: LinearLoss>(
     let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    let mut metrics = RunMetrics::default();
+    for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
         task.gradient(&mut e, batch, &w, &mut g);
         sgd_linalg::Exec::axpy(&mut e, -alpha, &g, &mut w);
         opt_seconds += t0.elapsed().as_secs_f64();
         let loss = task.loss(&mut e, batch, &w);
         trace.push(opt_seconds, loss);
+        metrics.epochs.push(EpochMetrics::new(epoch + 1, opt_seconds, loss));
         if !loss.is_finite() {
             break;
         }
@@ -68,7 +110,7 @@ fn cpu_loop<L: LinearLoss>(
             break;
         }
     }
-    RunReport { label, device, step_size: alpha, trace, opt_seconds, timed_out, update_conflicts: None }
+    RunReport { label, device, step_size: alpha, trace, opt_seconds, timed_out, metrics }
 }
 
 fn gpu_loop<L: LinearLoss>(
@@ -87,7 +129,9 @@ fn gpu_loop<L: LinearLoss>(
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut timed_out = stop.is_some();
+    let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
+        let cycles0 = dev.elapsed_cycles();
         if epoch < 2 {
             let t0 = dev.elapsed_secs();
             // Dense-optimized kernels: sparse ops take the naive
@@ -103,6 +147,10 @@ fn gpu_loop<L: LinearLoss>(
         }
         let loss = task.loss(&mut eval, batch, &w);
         trace.push(dev.elapsed_secs(), loss);
+        metrics.epochs.push(EpochMetrics {
+            simulated_cycles: dev.elapsed_cycles() - cycles0,
+            ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -121,13 +169,24 @@ fn gpu_loop<L: LinearLoss>(
         trace,
         opt_seconds: dev.elapsed_secs(),
         timed_out,
-        update_conflicts: None,
+        metrics,
     }
 }
 
 /// BIDMach-style synchronous GD with *modeled* CPU time (the paper's
 /// machine; same primitive parallelization rules as our implementation).
+#[deprecated(note = "dispatch through `run_bidmach` with an engine `Configuration`")]
 pub fn run_bidmach_sync_modeled<L: LinearLoss>(
+    task: &LinearTask<L>,
+    batch: &Batch<'_>,
+    mc: &sgd_core::CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    sync_modeled(task, batch, mc, alpha, opts)
+}
+
+fn sync_modeled<L: LinearLoss>(
     task: &LinearTask<L>,
     batch: &Batch<'_>,
     mc: &sgd_core::CpuModelConfig,
@@ -143,11 +202,13 @@ pub fn run_bidmach_sync_modeled<L: LinearLoss>(
     trace.push(0.0, task.loss(&mut eval, batch, &w));
     let stop = opts.stop_loss();
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    let mut metrics = RunMetrics::default();
+    for epoch in 0..opts.max_epochs {
         task.gradient(&mut e, batch, &w, &mut g);
         sgd_linalg::Exec::axpy(&mut e, -alpha, &g, &mut w);
         let loss = task.loss(&mut eval, batch, &w);
         trace.push(e.elapsed_secs(), loss);
+        metrics.epochs.push(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
         if !loss.is_finite() {
             break;
         }
@@ -166,15 +227,20 @@ pub fn run_bidmach_sync_modeled<L: LinearLoss>(
         trace,
         opt_seconds: e.elapsed_secs(),
         timed_out,
-        update_conflicts: None,
+        metrics,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sgd_core::Engine;
     use sgd_datagen::{generate, DatasetProfile, GenOptions};
     use sgd_models::{lr, Examples};
+
+    fn corner(device: DeviceKind) -> Configuration {
+        Configuration::new(device, Strategy::Sync)
+    }
 
     #[test]
     fn bidmach_statistics_match_ours() {
@@ -184,8 +250,8 @@ mod tests {
         let task = lr(ds.d());
         let b = Batch::new(Examples::Sparse(&ds.x), &ds.y);
         let opts = RunOptions { max_epochs: 6, ..Default::default() };
-        let bid = run_bidmach_sync(&task, &b, DeviceKind::Gpu, 1.0, &opts);
-        let ours = sgd_core::run_sync(&task, &b, DeviceKind::Gpu, 1.0, &opts);
+        let bid = run_bidmach(&corner(DeviceKind::Gpu), &task, &b, 1.0, &opts);
+        let ours = Engine::run(&corner(DeviceKind::Gpu), &task, &b, 1.0, &opts);
         for (p, q) in bid.trace.points().iter().zip(ours.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-12);
         }
@@ -199,8 +265,8 @@ mod tests {
         let task = lr(ds.d());
         let b = Batch::new(Examples::Sparse(&ds.x), &ds.y);
         let opts = RunOptions { max_epochs: 4, ..Default::default() };
-        let bid = run_bidmach_sync(&task, &b, DeviceKind::Gpu, 1.0, &opts);
-        let ours = sgd_core::run_sync(&task, &b, DeviceKind::Gpu, 1.0, &opts);
+        let bid = run_bidmach(&corner(DeviceKind::Gpu), &task, &b, 1.0, &opts);
+        let ours = Engine::run(&corner(DeviceKind::Gpu), &task, &b, 1.0, &opts);
         assert!(
             bid.time_per_epoch() > ours.time_per_epoch(),
             "bidmach {} vs ours {}",
@@ -215,11 +281,22 @@ mod tests {
         let task = lr(ds.d());
         let b = Batch::new(Examples::Sparse(&ds.x), &ds.y);
         let opts = RunOptions { max_epochs: 3, threads: 2, ..Default::default() };
-        let seq = run_bidmach_sync(&task, &b, DeviceKind::CpuSeq, 1.0, &opts);
-        let par = run_bidmach_sync(&task, &b, DeviceKind::CpuPar, 1.0, &opts);
+        let seq = run_bidmach(&corner(DeviceKind::CpuSeq), &task, &b, 1.0, &opts);
+        let par = run_bidmach(&corner(DeviceKind::CpuPar), &task, &b, 1.0, &opts);
         assert_eq!(seq.trace.points().len(), par.trace.points().len());
         for (p, q) in seq.trace.points().iter().zip(par.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-9);
         }
+        assert_eq!(seq.metrics.epochs.len(), seq.trace.epochs());
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronous GD only")]
+    fn asynchronous_corners_are_rejected() {
+        let ds = generate(&DatasetProfile::w8a().scaled(0.003), &GenOptions::default());
+        let task = lr(ds.d());
+        let b = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+        let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild);
+        let _ = run_bidmach(&cfg, &task, &b, 1.0, &RunOptions::default());
     }
 }

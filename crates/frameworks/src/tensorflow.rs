@@ -15,7 +15,10 @@
 
 use std::time::Instant;
 
-use sgd_core::{DeviceKind, LossTrace, RunOptions, RunReport};
+use sgd_core::{
+    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunReport,
+    Strategy, Timing,
+};
 use sgd_gpusim::kernels::GpuExec;
 use sgd_linalg::{Backend, CpuExec, Matrix, Scalar};
 use sgd_models::Task;
@@ -40,8 +43,48 @@ fn build_session(layers: &[usize], seed: u64) -> Session {
     Session::new(graph, params)
 }
 
+/// Runs the TensorFlow comparator for one engine [`Configuration`]
+/// corner.
+///
+/// The graph executor implements synchronous (full-batch) GD only, so
+/// the configuration's strategy must be [`Strategy::Sync`]; the timing
+/// source and device follow the configuration like
+/// [`sgd_core::Engine::run`].
+pub fn run_tensorflow(
+    cfg: &Configuration,
+    layers: &[usize],
+    x: &Matrix,
+    y: &[Scalar],
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    assert!(
+        matches!(cfg.strategy, Strategy::Sync),
+        "the TensorFlow comparator implements synchronous GD only"
+    );
+    match &cfg.timing {
+        Timing::Wall => sync_wall(layers, x, y, cfg.device, alpha, opts),
+        Timing::Modeled(mc) => {
+            assert_ne!(cfg.device, DeviceKind::Gpu, "modeled timing covers CPU devices");
+            sync_modeled(layers, x, y, mc, alpha, opts)
+        }
+    }
+}
+
 /// Runs synchronous (full-batch) MLP training through the graph executor.
+#[deprecated(note = "dispatch through `run_tensorflow` with an engine `Configuration`")]
 pub fn run_tensorflow_sync(
+    layers: &[usize],
+    x: &Matrix,
+    y: &[Scalar],
+    device: DeviceKind,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    sync_wall(layers, x, y, device, alpha, opts)
+}
+
+fn sync_wall(
     layers: &[usize],
     x: &Matrix,
     y: &[Scalar],
@@ -54,10 +97,21 @@ pub fn run_tensorflow_sync(
     let label = format!("TF MLP sync {}", device.label());
 
     match device {
-        DeviceKind::CpuSeq => cpu_loop(&mut sess, x, &classes, CpuExec::seq(), device, alpha, opts, label),
+        DeviceKind::CpuSeq => {
+            cpu_loop(&mut sess, x, &classes, CpuExec::seq(), device, alpha, opts, label)
+        }
         DeviceKind::CpuPar => sgd_core::pool::with_threads(opts.threads, || {
             // Eigen-style backend: no small-GEMM threshold.
-            cpu_loop(&mut sess, x, &classes, CpuExec(Backend::par_unconditional()), device, alpha, opts, label)
+            cpu_loop(
+                &mut sess,
+                x,
+                &classes,
+                CpuExec(Backend::par_unconditional()),
+                device,
+                alpha,
+                opts,
+                label,
+            )
         }),
         DeviceKind::Gpu => gpu_loop(&mut sess, x, &classes, alpha, opts, label),
     }
@@ -79,13 +133,15 @@ fn cpu_loop(
     let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    let mut metrics = RunMetrics::default();
+    for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
         let grads = sess.gradients(&mut e, x, classes);
         sess.apply_gradients(&mut e, &grads, alpha);
         opt_seconds += t0.elapsed().as_secs_f64();
         let loss = sess.loss(&mut e, x, classes);
         trace.push(opt_seconds, loss);
+        metrics.epochs.push(EpochMetrics::new(epoch + 1, opt_seconds, loss));
         if !loss.is_finite() {
             break;
         }
@@ -97,15 +153,7 @@ fn cpu_loop(
             break;
         }
     }
-    RunReport {
-        label,
-        device,
-        step_size: alpha,
-        trace,
-        opt_seconds,
-        timed_out,
-        update_conflicts: None,
-    }
+    RunReport { label, device, step_size: alpha, trace, opt_seconds, timed_out, metrics }
 }
 
 fn gpu_loop(
@@ -123,7 +171,9 @@ fn gpu_loop(
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut timed_out = stop.is_some();
+    let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
+        let cycles0 = dev.elapsed_cycles();
         if epoch < 2 {
             let t0 = dev.elapsed_secs();
             let k0 = dev.stats().kernels_launched;
@@ -140,6 +190,10 @@ fn gpu_loop(
         }
         let loss = sess.loss(&mut eval, x, classes);
         trace.push(dev.elapsed_secs(), loss);
+        metrics.epochs.push(EpochMetrics {
+            simulated_cycles: dev.elapsed_cycles() - cycles0,
+            ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
+        });
         if !loss.is_finite() {
             break;
         }
@@ -158,14 +212,26 @@ fn gpu_loop(
         trace,
         opt_seconds: dev.elapsed_secs(),
         timed_out,
-        update_conflicts: None,
+        metrics,
     }
 }
 
 /// Synchronous MLP training through the graph executor with *modeled* CPU
 /// time (see `sgd-cpusim`): the machine is the paper's Xeon, the backend
 /// is Eigen-like (no ViennaCL small-GEMM threshold).
+#[deprecated(note = "dispatch through `run_tensorflow` with an engine `Configuration`")]
 pub fn run_tensorflow_sync_modeled(
+    layers: &[usize],
+    x: &Matrix,
+    y: &[Scalar],
+    mc: &sgd_core::CpuModelConfig,
+    alpha: f64,
+    opts: &RunOptions,
+) -> RunReport {
+    sync_modeled(layers, x, y, mc, alpha, opts)
+}
+
+fn sync_modeled(
     layers: &[usize],
     x: &Matrix,
     y: &[Scalar],
@@ -182,11 +248,13 @@ pub fn run_tensorflow_sync_modeled(
     trace.push(0.0, sess.loss(&mut eval, x, &classes));
     let stop = opts.stop_loss();
     let mut timed_out = stop.is_some();
-    for _ in 0..opts.max_epochs {
+    let mut metrics = RunMetrics::default();
+    for epoch in 0..opts.max_epochs {
         let grads = sess.gradients(&mut e, x, &classes);
         sess.apply_gradients(&mut e, &grads, alpha);
         let loss = sess.loss(&mut eval, x, &classes);
         trace.push(e.elapsed_secs(), loss);
+        metrics.epochs.push(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
         if !loss.is_finite() {
             break;
         }
@@ -205,13 +273,14 @@ pub fn run_tensorflow_sync_modeled(
         trace,
         opt_seconds: e.elapsed_secs(),
         timed_out,
-        update_conflicts: None,
+        metrics,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sgd_core::Engine;
     use sgd_models::{Batch, Examples, MlpTask};
 
     fn toy() -> (Matrix, Vec<Scalar>) {
@@ -223,6 +292,10 @@ mod tests {
         (x, y)
     }
 
+    fn corner(device: DeviceKind) -> Configuration {
+        Configuration::new(device, Strategy::Sync)
+    }
+
     #[test]
     fn tf_trajectory_matches_our_sync_mlp() {
         // Same math, same init: TF-sim and our MLP task must produce the
@@ -230,11 +303,11 @@ mod tests {
         let (x, y) = toy();
         let layers = vec![5, 4, 2];
         let opts = RunOptions { max_epochs: 8, ..Default::default() };
-        let tf = run_tensorflow_sync(&layers, &x, &y, DeviceKind::CpuSeq, 0.5, &opts);
+        let tf = run_tensorflow(&corner(DeviceKind::CpuSeq), &layers, &x, &y, 0.5, &opts);
 
         let task = MlpTask::new(layers, opts.seed);
         let b = Batch::new(Examples::Dense(&x), &y);
-        let ours = sgd_core::run_sync(&task, &b, DeviceKind::CpuSeq, 0.5, &opts);
+        let ours = Engine::run(&corner(DeviceKind::CpuSeq), &task, &b, 0.5, &opts);
         for (p, q) in tf.trace.points().iter().zip(ours.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-10, "{} vs {}", p.1, q.1);
         }
@@ -245,12 +318,13 @@ mod tests {
         let (x, y) = toy();
         let layers = vec![5, 4, 2];
         let opts = RunOptions { max_epochs: 6, ..Default::default() };
-        let gpu = run_tensorflow_sync(&layers, &x, &y, DeviceKind::Gpu, 0.5, &opts);
-        let cpu = run_tensorflow_sync(&layers, &x, &y, DeviceKind::CpuSeq, 0.5, &opts);
+        let gpu = run_tensorflow(&corner(DeviceKind::Gpu), &layers, &x, &y, 0.5, &opts);
+        let cpu = run_tensorflow(&corner(DeviceKind::CpuSeq), &layers, &x, &y, 0.5, &opts);
         assert!(gpu.opt_seconds > 0.0);
         for (p, q) in gpu.trace.points().iter().zip(cpu.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-10);
         }
+        assert!(gpu.metrics.total_simulated_cycles().unwrap_or(0.0) > 0.0);
     }
 
     #[test]
@@ -259,7 +333,7 @@ mod tests {
         // tiny input regardless of arithmetic.
         let (x, y) = toy();
         let opts = RunOptions { max_epochs: 4, ..Default::default() };
-        let gpu = run_tensorflow_sync(&[5, 4, 2], &x, &y, DeviceKind::Gpu, 0.5, &opts);
+        let gpu = run_tensorflow(&corner(DeviceKind::Gpu), &[5, 4, 2], &x, &y, 0.5, &opts);
         assert!(gpu.time_per_epoch() > 0.5e-3, "{}", gpu.time_per_epoch());
     }
 }

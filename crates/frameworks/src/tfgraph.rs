@@ -169,12 +169,7 @@ impl Session {
     /// Reverse-mode sweep: returns the gradient of the loss with respect
     /// to every parameter, as a parallel `Vec<Matrix>`. Each backward op
     /// is again a separate kernel with a materialized output.
-    pub fn gradients<E: Exec>(
-        &self,
-        e: &mut E,
-        input: &Matrix,
-        classes: &[usize],
-    ) -> Vec<Matrix> {
+    pub fn gradients<E: Exec>(&self, e: &mut E, input: &Matrix, classes: &[usize]) -> Vec<Matrix> {
         let (values, xent_delta) = self.forward(e, input, classes);
         let n = self.graph.ops.len();
         let mut adjoint: Vec<Option<Matrix>> = vec![None; n];

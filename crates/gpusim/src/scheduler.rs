@@ -85,7 +85,8 @@ mod tests {
         let mut w = WarpCtx::new(&spec, &mut l2);
         w.compute(compute, 32);
         for i in 0..loads_scattered {
-            let acc: Vec<(u64, u32)> = (0..32).map(|l| ((i * 32 + l as usize) as u64 * 4096, 8)).collect();
+            let acc: Vec<(u64, u32)> =
+                (0..32).map(|l| ((i * 32 + l as usize) as u64 * 4096, 8)).collect();
             w.load(&acc);
         }
         w.into_record()

@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn merge_sums_fields() {
         let mut a = GpuStats { kernels_launched: 1, mem_transactions: 10, ..Default::default() };
-        let b = GpuStats { kernels_launched: 2, mem_transactions: 5, update_conflicts: 7, ..Default::default() };
+        let b = GpuStats {
+            kernels_launched: 2,
+            mem_transactions: 5,
+            update_conflicts: 7,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.kernels_launched, 3);
         assert_eq!(a.mem_transactions, 15);

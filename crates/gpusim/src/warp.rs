@@ -69,8 +69,9 @@ impl<'a> WarpCtx<'a> {
         self.compute_cycles += issued;
         self.stats.warp_instructions += issued;
         self.stats.active_lane_cycles += total_iters * instr_per_iter;
-        let wasted_lanes =
-            max * self.spec.warp_size as u64 - total_iters - max * (self.spec.warp_size as u64 - trips.len() as u64);
+        let wasted_lanes = max * self.spec.warp_size as u64
+            - total_iters
+            - max * (self.spec.warp_size as u64 - trips.len() as u64);
         // Lanes beyond trips.len() never participated in this loop at all;
         // only lanes that started and finished early count as divergence.
         self.stats.divergent_lane_cycles += wasted_lanes * instr_per_iter;
@@ -94,7 +95,8 @@ impl<'a> WarpCtx<'a> {
         // transactions of the same instruction pipeline behind it at one
         // issue each. Latency across *different* warps is hidden by the
         // scheduler, not here.
-        let slowest = if misses > 0 { self.spec.dram_latency_cycles } else { self.spec.l2_latency_cycles };
+        let slowest =
+            if misses > 0 { self.spec.dram_latency_cycles } else { self.spec.l2_latency_cycles };
         self.mem_latency_cycles += slowest + (lines.len() as u64 - 1);
         self.stats.warp_instructions += 1;
         let active = accesses.len().min(self.spec.warp_size);

@@ -278,7 +278,8 @@ mod tests {
         Backend::par_unconditional().gemm(&a, &b, &mut c_par);
         assert!(approx_eq_slice(c_seq.as_slice(), c_par.as_slice(), 1e-12));
         // Spot check C[1][2] = sum_k A[1][k] * B[k][2].
-        let expect: Scalar = (0..3).map(|k| ((1 + k) as Scalar) * ((k as Scalar - 2.0) * 0.5)).sum();
+        let expect: Scalar =
+            (0..3).map(|k| ((1 + k) as Scalar) * ((k as Scalar - 2.0) * 0.5)).sum();
         assert!((c_seq.at(1, 2) - expect).abs() < 1e-12);
     }
 

@@ -37,11 +37,7 @@ impl<'a> CsrRow<'a> {
     /// Sparse dot product with a dense vector.
     #[inline]
     pub fn dot(&self, x: &[Scalar]) -> Scalar {
-        self.cols
-            .iter()
-            .zip(self.vals)
-            .map(|(&c, &v)| v * x[c as usize])
-            .sum()
+        self.cols.iter().zip(self.vals).map(|(&c, &v)| v * x[c as usize]).sum()
     }
 
     /// `y[c] += a * v` for every non-zero `(c, v)` of the row.

@@ -1,5 +1,5 @@
 //! Dense and sparse (CSR) linear algebra primitives with sequential and
-//! rayon-parallel backends.
+//! thread-parallel backends.
 //!
 //! This crate plays the role ViennaCL plays in the paper: a single primitive
 //! API (`Backend`) whose implementations differ only in the execution
@@ -26,6 +26,7 @@ mod csr;
 mod dense;
 mod exec;
 mod par;
+pub mod pool;
 mod seq;
 
 pub use backend::{Backend, DEFAULT_GEMM_PARALLEL_THRESHOLD};

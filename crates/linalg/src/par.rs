@@ -1,78 +1,147 @@
-//! Rayon-parallel implementations of the primitives.
+//! Thread-parallel implementations of the primitives.
 //!
-//! All kernels run on the *current* rayon thread pool so the study harness
-//! can control the degree of parallelism by installing a pool of the
-//! desired size (the paper varies CPU thread counts the same way through
-//! OpenMP).
+//! All kernels fork-join scoped `std::thread`s sized by the ambient width
+//! from [`crate::pool`], so the study harness can control the degree of
+//! parallelism by wrapping work in [`crate::pool::with_threads`] (the
+//! paper varies CPU thread counts the same way through OpenMP).
 
-use rayon::prelude::*;
-
-use crate::{seq, CsrMatrix, Matrix, Scalar};
+use crate::{pool, seq, CsrMatrix, Matrix, Scalar};
 
 /// Below this many elements a parallel element-wise kernel is not worth the
 /// fork-join overhead and we fall back to the sequential implementation.
 /// ViennaCL's OpenMP backend has the same kind of guard.
 const MIN_PARALLEL_LEN: usize = 4096;
 
-pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
-    if x.len() < MIN_PARALLEL_LEN {
-        return seq::dot(x, y);
+/// Contiguous chunk size splitting `len` elements across the ambient
+/// thread count, or `None` when the sequential path should run instead.
+fn chunk_len(len: usize) -> Option<usize> {
+    let t = pool::current_num_threads();
+    if t <= 1 || len < 2 {
+        None
+    } else {
+        Some(len.div_ceil(t))
     }
-    x.par_iter().zip(y.par_iter()).map(|(&a, &b)| a * b).sum()
+}
+
+/// Splits `data` into `chunk`-sized contiguous pieces and runs
+/// `f(base_index, piece)` on scoped worker threads.
+fn for_chunks_mut<F>(data: &mut [Scalar], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [Scalar]) + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, piece) in data.chunks_mut(chunk).enumerate() {
+            s.spawn(move || f(ci * chunk, piece));
+        }
+    });
+}
+
+/// Maps `f(base_index, piece)` over `chunk`-sized pieces of `data` on
+/// scoped worker threads, collecting the per-chunk results in order.
+fn map_chunks<R, F>(data: &[Scalar], chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &[Scalar]) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = data
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, piece)| s.spawn(move || f(ci * chunk, piece)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel kernel worker panicked")).collect()
+    })
+}
+
+pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    match chunk_len(x.len()) {
+        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+            map_chunks(x, chunk, |base, xs| seq::dot(xs, &y[base..base + xs.len()]))
+                .into_iter()
+                .sum()
+        }
+        _ => seq::dot(x, y),
+    }
 }
 
 pub(crate) fn axpy(a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
-    if x.len() < MIN_PARALLEL_LEN {
-        return seq::axpy(a, x, y);
+    match chunk_len(x.len()) {
+        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+            for_chunks_mut(y, chunk, |base, ys| seq::axpy(a, &x[base..base + ys.len()], ys));
+        }
+        _ => seq::axpy(a, x, y),
     }
-    y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| *yi += a * xi);
 }
 
 pub(crate) fn scale(a: Scalar, x: &mut [Scalar]) {
-    if x.len() < MIN_PARALLEL_LEN {
-        return seq::scale(a, x);
+    match chunk_len(x.len()) {
+        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+            for_chunks_mut(x, chunk, |_, xs| seq::scale(a, xs));
+        }
+        _ => seq::scale(a, x),
     }
-    x.par_iter_mut().for_each(|v| *v *= a);
 }
 
 pub(crate) fn sum(x: &[Scalar]) -> Scalar {
-    if x.len() < MIN_PARALLEL_LEN {
-        return x.iter().sum();
+    match chunk_len(x.len()) {
+        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+            map_chunks(x, chunk, |_, xs| xs.iter().sum::<Scalar>()).into_iter().sum()
+        }
+        _ => x.iter().sum(),
     }
-    x.par_iter().sum()
 }
 
 pub(crate) fn map_inplace<F>(x: &mut [Scalar], f: F)
 where
     F: Fn(Scalar) -> Scalar + Sync + Send,
 {
-    if x.len() < MIN_PARALLEL_LEN {
-        for v in x.iter_mut() {
-            *v = f(*v);
+    match chunk_len(x.len()) {
+        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+            for_chunks_mut(x, chunk, |_, xs| {
+                for v in xs.iter_mut() {
+                    *v = f(*v);
+                }
+            });
         }
-        return;
+        _ => {
+            for v in x.iter_mut() {
+                *v = f(*v);
+            }
+        }
     }
-    x.par_iter_mut().for_each(|v| *v = f(*v));
 }
 
 pub(crate) fn zip_map<F>(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], f: F)
 where
     F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
 {
-    if a.len() < MIN_PARALLEL_LEN {
-        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-            *o = f(x, y);
+    match chunk_len(a.len()) {
+        Some(chunk) if a.len() >= MIN_PARALLEL_LEN => {
+            for_chunks_mut(out, chunk, |base, os| {
+                for (off, o) in os.iter_mut().enumerate() {
+                    *o = f(a[base + off], b[base + off]);
+                }
+            });
         }
-        return;
+        _ => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
+            }
+        }
     }
-    out.par_iter_mut()
-        .zip(a.par_iter())
-        .zip(b.par_iter())
-        .for_each(|((o, &x), &y)| *o = f(x, y));
 }
 
 pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
-    y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = seq::dot(a.row(i), x));
+    match chunk_len(y.len()) {
+        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| {
+            for (off, yi) in ys.iter_mut().enumerate() {
+                *yi = seq::dot(a.row(base + off), x);
+            }
+        }),
+        None => seq::gemv(a, x, y),
+    }
 }
 
 /// Scatter reductions materialize one dense partial per chunk; capping the
@@ -82,20 +151,19 @@ const MAX_SCATTER_PARTIALS: usize = 8;
 
 pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     // Scatter along rows races on y; accumulate per-chunk partials and add.
+    let t = pool::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS);
+    if t <= 1 {
+        return seq::gemv_t(a, x, y);
+    }
     let cols = a.cols();
-    let chunk = (x.len() / rayon::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS)).max(1);
-    let partials: Vec<Vec<Scalar>> = x
-        .par_chunks(chunk)
-        .enumerate()
-        .map(|(ci, xs)| {
-            let base = ci * chunk;
-            let mut acc = vec![0.0; cols];
-            for (off, &xi) in xs.iter().enumerate() {
-                seq::axpy(xi, a.row(base + off), &mut acc);
-            }
-            acc
-        })
-        .collect();
+    let chunk = (x.len() / t).max(1);
+    let partials = map_chunks(x, chunk, |base, xs| {
+        let mut acc = vec![0.0; cols];
+        for (off, &xi) in xs.iter().enumerate() {
+            seq::axpy(xi, a.row(base + off), &mut acc);
+        }
+        acc
+    });
     y.fill(0.0);
     for p in partials {
         seq::axpy(1.0, &p, y);
@@ -104,10 +172,14 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
 
 pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k, m) = (a.cols(), b.cols());
-    c.as_mut_slice()
-        .par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(i, c_row)| {
+    let rows = a.rows();
+    let rchunk = match chunk_len(rows) {
+        Some(rc) if m > 0 => rc,
+        _ => return seq::gemm(a, b, c),
+    };
+    for_chunks_mut(c.as_mut_slice(), rchunk * m, |base, piece| {
+        for (off, c_row) in piece.chunks_mut(m).enumerate() {
+            let i = base / m + off;
             c_row.fill(0.0);
             let a_row = a.row(i);
             for (p, &aip) in a_row.iter().enumerate().take(k) {
@@ -116,30 +188,39 @@ pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
                 }
                 seq::axpy(aip, b.row(p), c_row);
             }
-        });
+        }
+    });
 }
 
 pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let m = b.rows();
-    c.as_mut_slice()
-        .par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            let a_row = a.row(i);
+    let rows = a.rows();
+    let rchunk = match chunk_len(rows) {
+        Some(rc) if m > 0 => rc,
+        _ => return seq::gemm_nt(a, b, c),
+    };
+    for_chunks_mut(c.as_mut_slice(), rchunk * m, |base, piece| {
+        for (off, c_row) in piece.chunks_mut(m).enumerate() {
+            let a_row = a.row(base / m + off);
             for (j, cij) in c_row.iter_mut().enumerate() {
                 *cij = seq::dot(a_row, b.row(j));
             }
-        });
+        }
+    });
 }
 
 pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     // Parallelize over rows of C = A^T B: row i of C gathers column i of A
     // against all rows of B.
     let m = b.cols();
-    c.as_mut_slice()
-        .par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(i, c_row)| {
+    let rows = a.cols();
+    let rchunk = match chunk_len(rows) {
+        Some(rc) if m > 0 => rc,
+        _ => return seq::gemm_tn(a, b, c),
+    };
+    for_chunks_mut(c.as_mut_slice(), rchunk * m, |base, piece| {
+        for (off, c_row) in piece.chunks_mut(m).enumerate() {
+            let i = base / m + off;
             c_row.fill(0.0);
             for p in 0..a.rows() {
                 let api = a.at(p, i);
@@ -147,30 +228,37 @@ pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
                     seq::axpy(api, b.row(p), c_row);
                 }
             }
-        });
+        }
+    });
 }
 
 pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
-    y.par_iter_mut().enumerate().for_each(|(i, yi)| *yi = a.row(i).dot(x));
+    match chunk_len(y.len()) {
+        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| {
+            for (off, yi) in ys.iter_mut().enumerate() {
+                *yi = a.row(base + off).dot(x);
+            }
+        }),
+        None => seq::spmv(a, x, y),
+    }
 }
 
 pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
+    let t = pool::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS);
+    if t <= 1 {
+        return seq::spmv_t(a, x, y);
+    }
     let cols = a.cols();
-    let chunk = (x.len() / rayon::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS)).max(1);
-    let partials: Vec<Vec<Scalar>> = x
-        .par_chunks(chunk)
-        .enumerate()
-        .map(|(ci, xs)| {
-            let base = ci * chunk;
-            let mut acc = vec![0.0; cols];
-            for (off, &xi) in xs.iter().enumerate() {
-                if xi != 0.0 {
-                    a.row(base + off).axpy_into(xi, &mut acc);
-                }
+    let chunk = (x.len() / t).max(1);
+    let partials = map_chunks(x, chunk, |base, xs| {
+        let mut acc = vec![0.0; cols];
+        for (off, &xi) in xs.iter().enumerate() {
+            if xi != 0.0 {
+                a.row(base + off).axpy_into(xi, &mut acc);
             }
-            acc
-        })
-        .collect();
+        }
+        acc
+    });
     y.fill(0.0);
     for p in partials {
         seq::axpy(1.0, &p, y);
@@ -203,7 +291,8 @@ mod tests {
 
     #[test]
     fn spmv_t_partials_reduce_correctly() {
-        let d = Matrix::from_fn(53, 17, |i, j| if (i + j) % 4 == 0 { (i + j) as Scalar } else { 0.0 });
+        let d =
+            Matrix::from_fn(53, 17, |i, j| if (i + j) % 4 == 0 { (i + j) as Scalar } else { 0.0 });
         let s = CsrMatrix::from_dense(&d);
         let x: Vec<Scalar> = (0..53).map(|i| (i % 5) as Scalar - 2.0).collect();
         let mut got = vec![0.0; 17];
@@ -231,5 +320,28 @@ mod tests {
         }
         assert!(approx_eq_slice(&a1, &a2, 1e-12));
         assert!((sum(&a1) - a2.iter().sum::<Scalar>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gemm_variants_match_seq_under_forced_width() {
+        pool::with_threads(3, || {
+            let a = Matrix::from_fn(23, 7, |i, j| ((i * 5 + j) % 9) as Scalar - 4.0);
+            let b = Matrix::from_fn(7, 13, |i, j| ((i + j * 3) % 7) as Scalar - 3.0);
+            let mut got = Matrix::zeros(23, 13);
+            let mut expect = Matrix::zeros(23, 13);
+            gemm(&a, &b, &mut got);
+            seq::gemm(&a, &b, &mut expect);
+            assert!(approx_eq_slice(got.as_slice(), expect.as_slice(), 1e-9));
+
+            let bt = Matrix::from_fn(13, 7, |i, j| b.at(j, i));
+            let mut got_nt = Matrix::zeros(23, 13);
+            gemm_nt(&a, &bt, &mut got_nt);
+            assert!(approx_eq_slice(got_nt.as_slice(), expect.as_slice(), 1e-9));
+
+            let at = Matrix::from_fn(7, 23, |i, j| a.at(j, i));
+            let mut got_tn = Matrix::zeros(23, 13);
+            gemm_tn(&at, &b, &mut got_tn);
+            assert!(approx_eq_slice(got_tn.as_slice(), expect.as_slice(), 1e-9));
+        });
     }
 }

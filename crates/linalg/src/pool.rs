@@ -1,0 +1,65 @@
+//! Thread-count control for the parallel backend.
+//!
+//! The original harness installed a rayon pool of the desired width; with
+//! the workspace's std-only parallel backend the width is instead a
+//! thread-local ambient value read by every `par` kernel, and the kernels
+//! fork-join scoped `std::thread`s per call. [`with_threads`] is the
+//! study's equivalent of setting `OMP_NUM_THREADS`.
+
+use std::cell::Cell;
+use std::thread::available_parallelism;
+
+thread_local! {
+    static AMBIENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Degree of parallelism the `par` kernels use on this thread. Defaults to
+/// the machine's available parallelism outside any [`with_threads`] scope.
+pub fn current_num_threads() -> usize {
+    let n = AMBIENT_THREADS.with(Cell::get);
+    if n == 0 {
+        available_parallelism().map_or(1, usize::from)
+    } else {
+        n
+    }
+}
+
+/// Runs `f` with the parallel kernels limited to `n` threads (clamped to at
+/// least one). Nested calls see the innermost width; the previous width is
+/// restored on exit, including on unwind.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_THREADS.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(AMBIENT_THREADS.with(|t| t.replace(n.max(1))));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_width_is_scoped_and_clamped() {
+        let outside = current_num_threads();
+        assert!(outside >= 1);
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(0, || assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn width_does_not_leak_to_spawned_threads() {
+        with_threads(5, || {
+            let inner = std::thread::scope(|s| s.spawn(current_num_threads).join().unwrap());
+            // Worker threads fall back to the default, not the caller's 5.
+            assert_ne!(inner, 0);
+        });
+    }
+}

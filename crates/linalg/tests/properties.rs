@@ -1,60 +1,91 @@
-//! Property-based tests: the parallel backend must agree with the
+//! Randomized property tests: the parallel backend must agree with the
 //! sequential reference on arbitrary inputs, and CSR must round-trip.
+//!
+//! Each property is checked over `CASES` seeded random inputs (the
+//! offline-build replacement for the original proptest suite — the
+//! sampling is deterministic, so failures reproduce exactly).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use sgd_linalg::{approx_eq_slice, Backend, CsrMatrix, Matrix, Scalar};
 
-fn small_scalar() -> impl Strategy<Value = Scalar> {
-    // Bounded values keep reduction-reordering error within tolerance.
-    (-100i32..=100).prop_map(|v| v as Scalar / 8.0)
+const CASES: u64 = 64;
+
+/// Bounded values keep reduction-reordering error within tolerance.
+fn small_scalar(rng: &mut StdRng) -> Scalar {
+    rng.gen_range(0u32..201) as Scalar / 8.0 - 12.5
 }
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(small_scalar(), rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+fn vector(rng: &mut StdRng, len: usize) -> Vec<Scalar> {
+    (0..len).map(|_| small_scalar(rng)).collect()
 }
 
-fn sparse_matrix(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
-    prop::collection::vec(
-        prop_oneof![3 => Just(0.0), 1 => small_scalar()],
-        rows * cols,
-    )
-    .prop_map(move |data| CsrMatrix::from_dense(&Matrix::from_vec(rows, cols, data)))
+fn matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, vector(rng, rows * cols))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// ~25% dense, like the original `prop_oneof![3 => 0.0, 1 => value]`.
+fn sparse_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> CsrMatrix {
+    let data: Vec<Scalar> = (0..rows * cols)
+        .map(|_| if rng.gen_range(0u32..4) == 0 { small_scalar(rng) } else { 0.0 })
+        .collect();
+    CsrMatrix::from_dense(&Matrix::from_vec(rows, cols, data))
+}
 
-    #[test]
-    fn par_gemv_matches_seq(a in matrix(17, 9), x in prop::collection::vec(small_scalar(), 9)) {
+/// Runs `f` once per case with a per-case deterministic generator.
+fn for_cases(salt: u64, mut f: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(salt.wrapping_mul(0x9E37_79B9).wrapping_add(case));
+        f(&mut rng);
+    }
+}
+
+#[test]
+fn par_gemv_matches_seq() {
+    for_cases(1, |rng| {
+        let a = matrix(rng, 17, 9);
+        let x = vector(rng, 9);
         let mut ys = vec![0.0; 17];
         let mut yp = vec![0.0; 17];
         Backend::seq().gemv(&a, &x, &mut ys);
         Backend::par().gemv(&a, &x, &mut yp);
-        prop_assert!(approx_eq_slice(&ys, &yp, 1e-9));
-    }
+        assert!(approx_eq_slice(&ys, &yp, 1e-9));
+    });
+}
 
-    #[test]
-    fn par_gemv_t_matches_seq(a in matrix(23, 7), x in prop::collection::vec(small_scalar(), 23)) {
+#[test]
+fn par_gemv_t_matches_seq() {
+    for_cases(2, |rng| {
+        let a = matrix(rng, 23, 7);
+        let x = vector(rng, 23);
         let mut ys = vec![0.0; 7];
         let mut yp = vec![0.0; 7];
         Backend::seq().gemv_t(&a, &x, &mut ys);
         Backend::par().gemv_t(&a, &x, &mut yp);
-        prop_assert!(approx_eq_slice(&ys, &yp, 1e-9));
-    }
+        assert!(approx_eq_slice(&ys, &yp, 1e-9));
+    });
+}
 
-    #[test]
-    fn par_gemm_matches_seq(a in matrix(6, 5), b in matrix(5, 8)) {
+#[test]
+fn par_gemm_matches_seq() {
+    for_cases(3, |rng| {
+        let a = matrix(rng, 6, 5);
+        let b = matrix(rng, 5, 8);
         let mut cs = Matrix::zeros(6, 8);
         let mut cp = Matrix::zeros(6, 8);
         Backend::seq().gemm(&a, &b, &mut cs);
         Backend::par_unconditional().gemm(&a, &b, &mut cp);
-        prop_assert!(approx_eq_slice(cs.as_slice(), cp.as_slice(), 1e-9));
-    }
+        assert!(approx_eq_slice(cs.as_slice(), cp.as_slice(), 1e-9));
+    });
+}
 
-    #[test]
-    fn gemm_associates_with_gemv(a in matrix(4, 6), b in matrix(6, 3), x in prop::collection::vec(small_scalar(), 3)) {
+#[test]
+fn gemm_associates_with_gemv() {
+    for_cases(4, |rng| {
         // (A B) x == A (B x)
+        let a = matrix(rng, 4, 6);
+        let b = matrix(rng, 6, 3);
+        let x = vector(rng, 3);
         let be = Backend::seq();
         let mut ab = Matrix::zeros(4, 3);
         be.gemm(&a, &b, &mut ab);
@@ -64,72 +95,95 @@ proptest! {
         be.gemv(&b, &x, &mut bx);
         let mut rhs = vec![0.0; 4];
         be.gemv(&a, &bx, &mut rhs);
-        prop_assert!(approx_eq_slice(&lhs, &rhs, 1e-8));
-    }
+        assert!(approx_eq_slice(&lhs, &rhs, 1e-8));
+    });
+}
 
-    #[test]
-    fn csr_round_trips_through_dense(s in sparse_matrix(13, 11)) {
+#[test]
+fn csr_round_trips_through_dense() {
+    for_cases(5, |rng| {
+        let s = sparse_matrix(rng, 13, 11);
         let back = CsrMatrix::from_dense(&s.to_dense());
-        prop_assert_eq!(back, s);
-    }
+        assert_eq!(back, s);
+    });
+}
 
-    #[test]
-    fn csr_validate_accepts_generated(s in sparse_matrix(9, 9)) {
+#[test]
+fn csr_validate_accepts_generated() {
+    for_cases(6, |rng| {
+        let s = sparse_matrix(rng, 9, 9);
         s.validate(); // must not panic
-        prop_assert!(s.nnz() <= 81);
-    }
+        assert!(s.nnz() <= 81);
+    });
+}
 
-    #[test]
-    fn spmv_matches_dense_path(s in sparse_matrix(15, 10), x in prop::collection::vec(small_scalar(), 10)) {
+#[test]
+fn spmv_matches_dense_path() {
+    for_cases(7, |rng| {
+        let s = sparse_matrix(rng, 15, 10);
+        let x = vector(rng, 10);
         let d = s.to_dense();
         for be in [Backend::seq(), Backend::par()] {
             let mut ys = vec![0.0; 15];
             let mut yd = vec![0.0; 15];
             be.spmv(&s, &x, &mut ys);
             be.gemv(&d, &x, &mut yd);
-            prop_assert!(approx_eq_slice(&ys, &yd, 1e-9));
+            assert!(approx_eq_slice(&ys, &yd, 1e-9));
         }
-    }
+    });
+}
 
-    #[test]
-    fn spmv_t_matches_dense_path(s in sparse_matrix(12, 14), x in prop::collection::vec(small_scalar(), 12)) {
+#[test]
+fn spmv_t_matches_dense_path() {
+    for_cases(8, |rng| {
+        let s = sparse_matrix(rng, 12, 14);
+        let x = vector(rng, 12);
         let d = s.to_dense();
         for be in [Backend::seq(), Backend::par()] {
             let mut ys = vec![0.0; 14];
             let mut yd = vec![0.0; 14];
             be.spmv_t(&s, &x, &mut ys);
             be.gemv_t(&d, &x, &mut yd);
-            prop_assert!(approx_eq_slice(&ys, &yd, 1e-9));
+            assert!(approx_eq_slice(&ys, &yd, 1e-9));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dot_is_symmetric_and_linear(x in prop::collection::vec(small_scalar(), 50),
-                                   y in prop::collection::vec(small_scalar(), 50),
-                                   a in small_scalar()) {
+#[test]
+fn dot_is_symmetric_and_linear() {
+    for_cases(9, |rng| {
+        let x = vector(rng, 50);
+        let y = vector(rng, 50);
+        let a = small_scalar(rng);
         let be = Backend::seq();
-        prop_assert!((be.dot(&x, &y) - be.dot(&y, &x)).abs() < 1e-9);
+        assert!((be.dot(&x, &y) - be.dot(&y, &x)).abs() < 1e-9);
         let mut ax = x.clone();
         be.scale(a, &mut ax);
-        prop_assert!((be.dot(&ax, &y) - a * be.dot(&x, &y)).abs() < 1e-6);
-    }
+        assert!((be.dot(&ax, &y) - a * be.dot(&x, &y)).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn axpy_then_subtract_is_identity(x in prop::collection::vec(small_scalar(), 40),
-                                      y in prop::collection::vec(small_scalar(), 40),
-                                      a in small_scalar()) {
+#[test]
+fn axpy_then_subtract_is_identity() {
+    for_cases(10, |rng| {
+        let x = vector(rng, 40);
+        let y = vector(rng, 40);
+        let a = small_scalar(rng);
         let be = Backend::par();
         let mut z = y.clone();
         be.axpy(a, &x, &mut z);
         be.axpy(-a, &x, &mut z);
-        prop_assert!(approx_eq_slice(&z, &y, 1e-9));
-    }
+        assert!(approx_eq_slice(&z, &y, 1e-9));
+    });
+}
 
-    #[test]
-    fn nnz_stats_bound_density(s in sparse_matrix(10, 10)) {
+#[test]
+fn nnz_stats_bound_density() {
+    for_cases(11, |rng| {
+        let s = sparse_matrix(rng, 10, 10);
         let (min, avg, max) = s.nnz_per_row_stats();
-        prop_assert!(min as f64 <= avg + 1e-12);
-        prop_assert!(avg <= max as f64 + 1e-12);
-        prop_assert!(s.density() <= 1.0);
-    }
+        assert!(min as f64 <= avg + 1e-12);
+        assert!(avg <= max as f64 + 1e-12);
+        assert!(s.density() <= 1.0);
+    });
 }

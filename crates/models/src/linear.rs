@@ -19,6 +19,35 @@ pub trait LinearLoss: Sync + Send + Clone {
     fn dloss(&self, m: Scalar, y: Scalar) -> Scalar;
 }
 
+/// Object-safe view of a [`LinearLoss`].
+///
+/// `LinearLoss` itself is not object-safe (it is `Clone` and carries an
+/// associated constant), but the execution engine in `sgd-core` needs to
+/// hand a pointwise loss through a uniform, non-generic interface. Every
+/// `LinearLoss` implements this trait automatically.
+pub trait PointwiseLoss: Sync {
+    /// Task name for reports.
+    fn name(&self) -> &'static str;
+    /// Loss at margin `m` with label `y in {-1, +1}`.
+    fn loss_at(&self, m: Scalar, y: Scalar) -> Scalar;
+    /// Derivative of the loss with respect to the margin.
+    fn dloss_at(&self, m: Scalar, y: Scalar) -> Scalar;
+}
+
+impl<L: LinearLoss> PointwiseLoss for L {
+    fn name(&self) -> &'static str {
+        L::NAME
+    }
+
+    fn loss_at(&self, m: Scalar, y: Scalar) -> Scalar {
+        self.loss(m, y)
+    }
+
+    fn dloss_at(&self, m: Scalar, y: Scalar) -> Scalar {
+        self.dloss(m, y)
+    }
+}
+
 /// Logistic loss `ln(1 + exp(-y m))`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LogisticLoss;
@@ -39,7 +68,12 @@ impl LinearLoss for LogisticLoss {
     fn dloss(&self, m: Scalar, y: Scalar) -> Scalar {
         // -y * sigmoid(-y m)
         let z = -y * m;
-        let s = if z >= 0.0 { 1.0 / (1.0 + (-z).exp()) } else { let e = z.exp(); e / (1.0 + e) };
+        let s = if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        };
         -y * s
     }
 }
@@ -102,6 +136,10 @@ pub fn svm(d: usize) -> LinearTask<HingeLoss> {
 impl<L: LinearLoss> Task for LinearTask<L> {
     fn name(&self) -> &'static str {
         L::NAME
+    }
+
+    fn pointwise_loss(&self) -> Option<&dyn crate::PointwiseLoss> {
+        Some(&self.loss)
     }
 
     fn dim(&self) -> usize {

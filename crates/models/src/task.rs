@@ -27,4 +27,13 @@ pub trait Task: Sync {
     /// Mean gradient of the loss at `w` over the batch, written to `g`
     /// (overwritten, `g.len() == dim()`).
     fn gradient<E: Exec>(&self, e: &mut E, batch: &Batch<'_>, w: &[Scalar], g: &mut [Scalar]);
+
+    /// The pointwise margin loss, for tasks whose per-example gradient is
+    /// `dloss(x.w, y) * x` (the linear tasks). Example-at-a-time
+    /// optimizers (Hogwild and its variants) require `Some`; tasks without
+    /// that structure (the MLP) return `None` and train through
+    /// mini-batch gradients instead.
+    fn pointwise_loss(&self) -> Option<&dyn crate::PointwiseLoss> {
+        None
+    }
 }

@@ -12,16 +12,21 @@
 //! ```
 
 use sgd_study::core::{
-    grid_search, reference_optimum, run_gpu_hogwild, run_hogwild_modeled, run_sync,
-    run_sync_modeled, step_size_grid, CpuModelConfig, DeviceKind, GpuAsyncOptions, RunOptions,
-    RunReport,
+    reference_optimum, step_size_grid, Configuration, CpuModelConfig, DeviceKind, Engine,
+    RunOptions, RunReport, Strategy, Timing,
 };
 use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
 use sgd_study::models::{lr, Batch, Examples};
 
 fn main() {
     let ds = generate(&DatasetProfile::rcv1().scaled(0.01), &GenOptions::default());
-    println!("dataset: {} ({} x {}, {:.3}% dense)\n", ds.name, ds.n(), ds.d(), 100.0 * ds.x.density());
+    println!(
+        "dataset: {} ({} x {}, {:.3}% dense)\n",
+        ds.name,
+        ds.n(),
+        ds.d(),
+        100.0 * ds.x.density()
+    );
 
     let task = lr(ds.d());
     let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
@@ -30,24 +35,26 @@ fn main() {
 
     println!("{:<34} {:>12} {:>9} {:>12}", "configuration", "ms/epoch", "epochs", "ttc (s)");
     let grid = step_size_grid();
-    // Synchronous: parallel CPU (modeled 56-thread Xeon) vs simulated K80.
-    let sync_cpu = grid_search(optimum, &grid, |a| {
-        run_sync_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), a, &opts)
-    });
-    let sync_gpu = grid_search(optimum, &grid, |a| run_sync(&task, &batch, DeviceKind::Gpu, a, &opts));
-    // Asynchronous: Hogwild on the modeled CPU vs warp-Hogwild on the GPU.
-    let async_cpu = grid_search(optimum, &grid, |a| {
-        run_hogwild_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), a, &opts)
-    });
-    let async_gpu = grid_search(optimum, &grid, |a| {
-        run_gpu_hogwild(&task, &batch, a, &opts, &GpuAsyncOptions::default())
-    });
+    // Each corner of the cube is one `Configuration`: the CPU columns use
+    // the modeled 56-thread Xeon, the GPU columns the simulated K80.
+    let cpu = |strategy: Strategy| {
+        Configuration::new(DeviceKind::CpuPar, strategy)
+            .with_timing(Timing::Modeled(CpuModelConfig::paper_machine(56)))
+    };
+    let gpu = |strategy: Strategy| Configuration::new(DeviceKind::Gpu, strategy);
+    let corners =
+        [cpu(Strategy::Sync), gpu(Strategy::Sync), cpu(Strategy::Hogwild), gpu(Strategy::Hogwild)];
+    let reports: Vec<RunReport> = corners
+        .iter()
+        .map(|cfg| Engine::grid_search(cfg, &task, &batch, optimum, &grid, &opts))
+        .collect();
 
-    for rep in [&sync_cpu, &sync_gpu, &async_cpu, &async_gpu] {
+    for rep in &reports {
         row(rep, optimum);
     }
 
-    if let Some(conflicts) = async_gpu.update_conflicts {
+    let async_gpu = &reports[3];
+    if let Some(conflicts) = async_gpu.update_conflicts() {
         println!(
             "\nGPU warp-Hogwild lost {conflicts} updates to intra-warp conflicts — the \
              mechanism behind its statistical-efficiency penalty (Table III)."

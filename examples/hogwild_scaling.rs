@@ -10,7 +10,9 @@
 //! cargo run --release --example hogwild_scaling
 //! ```
 
-use sgd_study::core::{run_hogwild_modeled, CpuModelConfig, RunOptions};
+use sgd_study::core::{
+    Configuration, CpuModelConfig, DeviceKind, Engine, RunOptions, Strategy, Timing,
+};
 use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
 use sgd_study::models::{lr, Batch, Examples};
 
@@ -25,12 +27,14 @@ fn main() {
     );
     let mut base = [0.0f64; 2];
     for threads in [1usize, 2, 4, 8, 16, 28, 56] {
-        let mc = CpuModelConfig::paper_machine(threads);
+        let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+        let cfg = Configuration::new(device, Strategy::Hogwild)
+            .with_timing(Timing::Modeled(CpuModelConfig::paper_machine(threads)));
         let mut cols = [0.0f64; 2];
         for (i, ds) in [&dense, &sparse].into_iter().enumerate() {
             let task = lr(ds.d());
             let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
-            let rep = run_hogwild_modeled(&task, &batch, &mc, 0.1, &opts);
+            let rep = Engine::run(&cfg, &task, &batch, 0.1, &opts);
             cols[i] = rep.time_per_epoch() * 1e3;
         }
         if threads == 1 {

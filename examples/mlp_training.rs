@@ -6,9 +6,11 @@
 //! cargo run --release --example mlp_training
 //! ```
 
-use sgd_study::core::{make_batches, run_hogbatch, run_sync, DeviceKind, RunOptions};
-use sgd_study::datagen::{generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions};
-use sgd_study::frameworks::run_tensorflow_sync;
+use sgd_study::core::{Configuration, DeviceKind, Engine, RunOptions, Strategy};
+use sgd_study::datagen::{
+    generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions,
+};
+use sgd_study::frameworks::run_tensorflow;
 use sgd_study::models::{Batch, Examples, MlpTask, Task};
 
 fn main() {
@@ -34,14 +36,15 @@ fn main() {
     let alpha = 1.0;
 
     // Synchronous batch GD on the simulated GPU.
-    let sync = run_sync(&task, &full, DeviceKind::Gpu, alpha, &opts);
+    let sync_cfg = Configuration::new(DeviceKind::Gpu, Strategy::Sync);
+    let sync = Engine::run(&sync_cfg, &task, &full, alpha, &opts);
     // Hogbatch (asynchronous mini-batches of 256) on two CPU workers.
-    let owned = make_batches(&x, &y, 256);
-    let batches: Vec<Batch<'_>> =
-        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
-    let hog = run_hogbatch(&task, &full, &batches, 2, alpha, &opts);
+    let hog_cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Hogbatch { batch_size: 256 });
+    let hog_opts = RunOptions { threads: 2, ..opts.clone() };
+    let hog = Engine::run(&hog_cfg, &task, &full, alpha, &hog_opts);
     // The TensorFlow-like dataflow executor, same initialization.
-    let tf = run_tensorflow_sync(&[50, 10, 5, 2], &x, &y, DeviceKind::CpuSeq, alpha, &opts);
+    let tf_cfg = Configuration::new(DeviceKind::CpuSeq, Strategy::Sync);
+    let tf = run_tensorflow(&tf_cfg, &[50, 10, 5, 2], &x, &y, alpha, &opts);
 
     for rep in [&sync, &hog, &tf] {
         let pts = rep.trace.points();

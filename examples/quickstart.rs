@@ -6,7 +6,7 @@
 //! ```
 
 use sgd_study::core::{
-    grid_search, reference_optimum, run_hogwild, run_sync, step_size_grid, DeviceKind, RunOptions,
+    reference_optimum, step_size_grid, Configuration, DeviceKind, Engine, RunOptions, Strategy,
 };
 use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
 use sgd_study::models::{lr, Batch, Examples};
@@ -16,7 +16,13 @@ fn main() {
     // log-normal sparsity, labels planted from a linear separator.
     let profile = DatasetProfile::w8a().scaled(0.05);
     let ds = generate(&profile, &GenOptions::default());
-    println!("dataset: {} ({} examples x {} features, {} non-zeros)", ds.name, ds.n(), ds.d(), ds.x.nnz());
+    println!(
+        "dataset: {} ({} examples x {} features, {} non-zeros)",
+        ds.name,
+        ds.n(),
+        ds.d(),
+        ds.x.nnz()
+    );
 
     let task = lr(ds.d());
     let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
@@ -32,18 +38,23 @@ fn main() {
     // simulated Tesla K80, with the step size gridded as in the paper.
     let grid = step_size_grid();
     for device in [DeviceKind::CpuSeq, DeviceKind::Gpu] {
-        let rep = grid_search(optimum, &grid, |a| run_sync(&task, &batch, device, a, &opts));
+        let cfg = Configuration::new(device, Strategy::Sync);
+        let rep = Engine::grid_search(&cfg, &task, &batch, optimum, &grid, &opts);
         report(&rep.label, rep.summarize(optimum).time_to_1pct(), rep.time_per_epoch());
     }
 
     // Asynchronous (Hogwild) SGD: lock-free concurrent updates.
-    let rep = grid_search(optimum, &grid, |a| run_hogwild(&task, &batch, 4, a, &opts));
+    let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Hogwild);
+    let async_opts = RunOptions { threads: 4, ..opts };
+    let rep = Engine::grid_search(&cfg, &task, &batch, optimum, &grid, &async_opts);
     report(&rep.label, rep.summarize(optimum).time_to_1pct(), rep.time_per_epoch());
 }
 
 fn report(label: &str, ttc: Option<f64>, tpe: f64) {
     match ttc {
-        Some(secs) => println!("{label:32} converged to 1% in {secs:.4}s  ({:.3} ms/epoch)", tpe * 1e3),
+        Some(secs) => {
+            println!("{label:32} converged to 1% in {secs:.4}s  ({:.3} ms/epoch)", tpe * 1e3)
+        }
         None => println!("{label:32} did not reach the 1% band  ({:.3} ms/epoch)", tpe * 1e3),
     }
 }

@@ -1,13 +1,20 @@
 //! End-to-end convergence: every optimizer in the study must actually
 //! optimize every task on generated data, and configurations that share
 //! update semantics must agree exactly.
+//!
+//! This suite deliberately drives the deprecated `run_*` entry points so
+//! the legacy shims stay covered; `engine_equivalence.rs` pins them to
+//! `Engine::run`.
+#![allow(deprecated)]
 
 use sgd_study::core::{
-    make_batches, reference_optimum, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch,
-    run_hogwild, run_hogwild_modeled, run_sync, run_sync_modeled, CpuModelConfig, DeviceKind,
-    GpuAsyncOptions, RunOptions,
+    make_batches, reference_optimum, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch, run_hogwild,
+    run_hogwild_modeled, run_sync, run_sync_modeled, CpuModelConfig, DeviceKind, GpuAsyncOptions,
+    RunOptions,
 };
-use sgd_study::datagen::{generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions};
+use sgd_study::datagen::{
+    generate, group_features, normalize_rows, plant_labels, DatasetProfile, GenOptions,
+};
 use sgd_study::models::{lr, svm, Batch, Examples, MlpTask, Task};
 
 fn w8a_small() -> sgd_study::datagen::Dataset {
@@ -68,7 +75,8 @@ fn hogwild_converges_across_thread_counts() {
         assert!(rep.best_loss() < 0.25, "threads {threads}: {}", rep.best_loss());
     }
     // Modeled variant converges too.
-    let rep = run_hogwild_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), 0.5, &opts(80));
+    let rep =
+        run_hogwild_modeled(&task, &batch, &CpuModelConfig::paper_machine(56), 0.5, &opts(80));
     assert!(rep.best_loss() < 0.25, "modeled: {}", rep.best_loss());
 }
 
@@ -78,8 +86,11 @@ fn gpu_hogwild_converges_on_sparse_data() {
     let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
     let task = lr(ds.d());
     let rep = run_gpu_hogwild(&task, &batch, 0.5, &opts(120), &GpuAsyncOptions::default());
-    assert!(rep.best_loss() < 0.3, "loss {}", rep.best_loss());
-    assert!(rep.update_conflicts.is_some());
+    // Warp-Hogwild loses most intra-warp updates on colliding coordinates,
+    // so its statistical efficiency is far worse than CPU Hogwild (the
+    // paper's central asynchronous-GPU finding); it converges, slowly.
+    assert!(rep.best_loss() < 0.4, "loss {}", rep.best_loss());
+    assert!(rep.update_conflicts().is_some());
 }
 
 #[test]

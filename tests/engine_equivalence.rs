@@ -1,0 +1,228 @@
+//! Engine ↔ legacy equivalence: every corner of the 2×2×2 configuration
+//! cube dispatched through `Engine::run` must reproduce the report of the
+//! deprecated `run_*` entry point it replaced.
+//!
+//! Corners whose wall-clock execution is deterministic (sequential,
+//! modeled, or simulated-GPU time) are pinned bit-for-bit: identical
+//! labels, epoch counts, and loss trajectories. Corners that race real
+//! threads (wall-clock Hogwild/Hogbatch/replicated with >1 worker) are
+//! nondeterministic by construction, so only the report shape — label,
+//! device, and a non-empty trace — is compared.
+#![allow(deprecated)]
+
+use sgd_study::core::{
+    make_batches, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch, run_hogbatch_modeled,
+    run_hogwild, run_hogwild_modeled, run_replicated_hogwild, run_sync, run_sync_modeled,
+    Configuration, CpuModelConfig, DeviceKind, Engine, GpuAsyncOptions, Replication, RunOptions,
+    RunReport, Strategy, Timing,
+};
+use sgd_study::linalg::{CsrMatrix, Matrix};
+use sgd_study::models::{lr, Batch, Examples, MlpTask};
+
+fn dense() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(64, 6, |i, j| {
+        let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+        s * (((i * 3 + j) % 5) as f64 + 1.0) / 5.0
+    });
+    let y = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (x, y)
+}
+
+fn sparse() -> (CsrMatrix, Vec<f64>) {
+    let entries: Vec<Vec<(u32, f64)>> =
+        (0..64).map(|i| vec![((i % 16) as u32, if i % 2 == 0 { 1.0 } else { -1.0 })]).collect();
+    let y = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (CsrMatrix::from_row_entries(64, 16, &entries), y)
+}
+
+fn opts() -> RunOptions {
+    RunOptions { max_epochs: 8, plateau: None, ..Default::default() }
+}
+
+/// Bit-identical comparison for deterministic corners.
+fn assert_identical(engine: &RunReport, legacy: &RunReport) {
+    assert_eq!(engine.label, legacy.label);
+    assert_eq!(engine.device, legacy.device);
+    assert_eq!(engine.step_size, legacy.step_size);
+    assert_eq!(engine.trace.epochs(), legacy.trace.epochs());
+    for (e, l) in engine.trace.points().iter().zip(legacy.trace.points()) {
+        assert_eq!(e.1, l.1, "loss diverged: {} vs {}", e.1, l.1);
+    }
+    assert_eq!(engine.metrics.epochs.len(), engine.trace.epochs());
+}
+
+/// Shape-only comparison for racy wall-clock corners.
+fn assert_same_shape(engine: &RunReport, legacy: &RunReport) {
+    assert_eq!(engine.label, legacy.label);
+    assert_eq!(engine.device, legacy.device);
+    assert!(engine.trace.epochs() > 0);
+    assert!(legacy.trace.epochs() > 0);
+    assert_eq!(engine.metrics.epochs.len(), engine.trace.epochs());
+}
+
+#[test]
+fn sync_wall_matches_legacy_on_every_device() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = opts();
+    for device in [DeviceKind::CpuSeq, DeviceKind::CpuPar, DeviceKind::Gpu] {
+        let cfg = Configuration::new(device, Strategy::Sync);
+        let engine = Engine::run(&cfg, &task, &batch, 0.5, &o);
+        let legacy = run_sync(&task, &batch, device, 0.5, &o);
+        assert_identical(&engine, &legacy);
+    }
+}
+
+#[test]
+fn sync_modeled_matches_legacy() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = opts();
+    for threads in [1usize, 4] {
+        let mc = CpuModelConfig::paper_machine(threads);
+        let device = mc.device();
+        let cfg =
+            Configuration::new(device, Strategy::Sync).with_timing(Timing::Modeled(mc.clone()));
+        let engine = Engine::run(&cfg, &task, &batch, 0.5, &o);
+        let legacy = run_sync_modeled(&task, &batch, &mc, 0.5, &o);
+        assert_identical(&engine, &legacy);
+    }
+}
+
+#[test]
+fn hogwild_wall_single_thread_matches_legacy() {
+    // One worker: no races, the interleaving is fixed, so the engine and
+    // the shim must agree bit-for-bit.
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { threads: 1, ..opts() };
+    let cfg = Configuration::new(DeviceKind::CpuSeq, Strategy::Hogwild);
+    let engine = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let legacy = run_hogwild(&task, &batch, 1, 0.2, &o);
+    assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn hogwild_wall_multithread_matches_legacy_shape() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { threads: 4, ..opts() };
+    let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Hogwild);
+    let engine = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let legacy = run_hogwild(&task, &batch, 4, 0.2, &o);
+    assert_same_shape(&engine, &legacy);
+}
+
+#[test]
+fn hogwild_modeled_matches_legacy() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = opts();
+    let mc = CpuModelConfig::paper_machine(4);
+    let cfg =
+        Configuration::new(mc.device(), Strategy::Hogwild).with_timing(Timing::Modeled(mc.clone()));
+    let engine = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let legacy = run_hogwild_modeled(&task, &batch, &mc, 0.2, &o);
+    assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn gpu_hogwild_matches_legacy_including_conflicts() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = opts();
+    let gopts = GpuAsyncOptions::default();
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild).with_gpu_async(gopts.clone());
+    let engine = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let legacy = run_gpu_hogwild(&task, &batch, 0.2, &o, &gopts);
+    assert_identical(&engine, &legacy);
+    assert_eq!(engine.update_conflicts(), legacy.update_conflicts());
+}
+
+#[test]
+fn hogbatch_wall_single_thread_matches_legacy() {
+    let (x, y) = dense();
+    let full = Batch::new(Examples::Dense(&x), &y);
+    let task = MlpTask::new(vec![6, 4, 2], 42);
+    let o = RunOptions { threads: 1, ..opts() };
+    let cfg = Configuration::new(DeviceKind::CpuSeq, Strategy::Hogbatch { batch_size: 16 });
+    let engine = Engine::run(&cfg, &task, &full, 0.5, &o);
+    // The engine slices mini-batches internally; mirror it for the shim.
+    let owned = make_batches(&x, &y, 16);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let legacy = run_hogbatch(&task, &full, &batches, 1, 0.5, &o);
+    assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn hogbatch_wall_multithread_matches_legacy_shape() {
+    let (x, y) = dense();
+    let full = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = RunOptions { threads: 2, ..opts() };
+    let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Hogbatch { batch_size: 16 });
+    let engine = Engine::run(&cfg, &task, &full, 0.2, &o);
+    let owned = make_batches(&x, &y, 16);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let legacy = run_hogbatch(&task, &full, &batches, 2, 0.2, &o);
+    assert_same_shape(&engine, &legacy);
+}
+
+#[test]
+fn hogbatch_modeled_matches_legacy() {
+    let (x, y) = dense();
+    let full = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = opts();
+    let mc = CpuModelConfig::paper_machine(4);
+    let cfg = Configuration::new(mc.device(), Strategy::Hogbatch { batch_size: 16 })
+        .with_timing(Timing::Modeled(mc.clone()));
+    let engine = Engine::run(&cfg, &task, &full, 0.2, &o);
+    let owned = make_batches(&x, &y, 16);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let legacy = run_hogbatch_modeled(&task, &full, &batches, &mc, 0.2, &o);
+    assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn gpu_hogbatch_matches_legacy() {
+    let (x, y) = dense();
+    let full = Batch::new(Examples::Dense(&x), &y);
+    let task = MlpTask::new(vec![6, 4, 2], 42);
+    let o = opts();
+    let gopts = GpuAsyncOptions::default();
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogbatch { batch_size: 16 })
+        .with_gpu_async(gopts.clone());
+    let engine = Engine::run(&cfg, &task, &full, 0.5, &o);
+    let owned = make_batches(&x, &y, 16);
+    let batches: Vec<Batch<'_>> =
+        owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+    let legacy = run_gpu_hogbatch(&task, &full, &batches, 0.5, &o, &gopts);
+    assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn replicated_hogwild_matches_legacy_shape() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { threads: 4, ..opts() };
+    for repl in [Replication::PerMachine, Replication::PerNode { nodes: 2 }, Replication::PerCore] {
+        let cfg = Configuration::new(
+            DeviceKind::CpuPar,
+            Strategy::ReplicatedHogwild { replication: repl },
+        );
+        let engine = Engine::run(&cfg, &task, &batch, 0.2, &o);
+        let legacy = run_replicated_hogwild(&task, &batch, 4, 0.2, repl, &o);
+        assert_same_shape(&engine, &legacy);
+    }
+}

@@ -3,8 +3,7 @@
 //! quantitative comparison).
 
 use sgd_study::core::{
-    run_gpu_hogwild, run_hogwild_modeled, run_sync, run_sync_modeled, CpuModelConfig, DeviceKind,
-    GpuAsyncOptions, RunOptions,
+    Configuration, CpuModelConfig, DeviceKind, Engine, RunOptions, Strategy, Timing,
 };
 use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
 use sgd_study::models::{lr, Batch, Examples};
@@ -26,6 +25,17 @@ fn mc(threads: usize) -> CpuModelConfig {
     mc
 }
 
+/// Modeled-CPU corner: one thread is the sequential device, more is the
+/// parallel one.
+fn modeled(threads: usize, strategy: Strategy) -> Configuration {
+    let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
+    Configuration::new(device, strategy).with_timing(Timing::Modeled(mc(threads)))
+}
+
+fn gpu(strategy: Strategy) -> Configuration {
+    Configuration::new(DeviceKind::Gpu, strategy)
+}
+
 /// Finding 1 (Table II): for synchronous SGD, GPU beats parallel CPU in
 /// time per iteration on the dense dataset.
 #[test]
@@ -35,9 +45,9 @@ fn sync_gpu_beats_parallel_cpu_on_dense_data() {
     let batch = Batch::new(Examples::Dense(&dense), &ds.y);
     let task = lr(ds.d());
     let o = run_opts(4);
-    let gpu = run_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o);
-    let par = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o);
-    let seq = run_sync_modeled(&task, &batch, &mc(1), 0.1, &o);
+    let gpu = Engine::run(&gpu(Strategy::Sync), &task, &batch, 0.1, &o);
+    let par = Engine::run(&modeled(56, Strategy::Sync), &task, &batch, 0.1, &o);
+    let seq = Engine::run(&modeled(1, Strategy::Sync), &task, &batch, 0.1, &o);
     assert!(
         gpu.time_per_epoch() < par.time_per_epoch(),
         "gpu {} vs cpu-par {}",
@@ -59,8 +69,8 @@ fn hogwild_parallelism_helps_sparse_hurts_dense() {
     let dm = dense.x.to_dense();
     let db = Batch::new(Examples::Dense(&dm), &dense.y);
     let task_d = lr(dense.d());
-    let seq = run_hogwild_modeled(&task_d, &db, &mc(1), 0.1, &o);
-    let par = run_hogwild_modeled(&task_d, &db, &mc(56), 0.1, &o);
+    let seq = Engine::run(&modeled(1, Strategy::Hogwild), &task_d, &db, 0.1, &o);
+    let par = Engine::run(&modeled(56, Strategy::Hogwild), &task_d, &db, 0.1, &o);
     assert!(
         par.time_per_epoch() > seq.time_per_epoch(),
         "dense: par {} should exceed seq {}",
@@ -71,8 +81,8 @@ fn hogwild_parallelism_helps_sparse_hurts_dense() {
     let sparse = generate(&DatasetProfile::news().scaled(0.05), &GenOptions::default());
     let sb = Batch::new(Examples::Sparse(&sparse.x), &sparse.y);
     let task_s = lr(sparse.d());
-    let seq = run_hogwild_modeled(&task_s, &sb, &mc(1), 0.1, &o);
-    let par = run_hogwild_modeled(&task_s, &sb, &mc(56), 0.1, &o);
+    let seq = Engine::run(&modeled(1, Strategy::Hogwild), &task_s, &sb, 0.1, &o);
+    let par = Engine::run(&modeled(56, Strategy::Hogwild), &task_s, &sb, 0.1, &o);
     let speedup = seq.time_per_epoch() / par.time_per_epoch();
     assert!(speedup > 2.0, "sparse speedup {speedup}");
 }
@@ -88,17 +98,19 @@ fn async_gpu_statistical_penalty_on_dense_data() {
     let task = lr(ds.d());
     let o = run_opts(3);
     let alpha = 0.02;
-    let seq = run_hogwild_modeled(&task, &batch, &mc(1), alpha, &o);
-    let gpu = run_gpu_hogwild(&task, &batch, alpha, &o, &GpuAsyncOptions::default());
+    let seq = Engine::run(&modeled(1, Strategy::Hogwild), &task, &batch, alpha, &o);
+    let gpu = Engine::run(&gpu(Strategy::Hogwild), &task, &batch, alpha, &o);
     let l0 = seq.trace.points()[0].1;
     let progress_seq = l0 - seq.trace.points()[3].1;
     let progress_gpu = l0 - gpu.trace.points()[3].1;
     assert!(progress_seq > 0.0);
-    assert!(
-        progress_gpu < 0.5 * progress_seq,
-        "gpu progress {progress_gpu} vs seq {progress_seq}"
+    assert!(progress_gpu < 0.5 * progress_seq, "gpu progress {progress_gpu} vs seq {progress_seq}");
+    assert!(gpu.update_conflicts().expect("recorded") > 0);
+    // The per-epoch instrumentation carries the same counters.
+    assert_eq!(
+        gpu.metrics.epochs.iter().map(|e| e.update_conflicts).sum::<u64>(),
+        gpu.update_conflicts().expect("recorded")
     );
-    assert!(gpu.update_conflicts.expect("recorded") > 0);
 }
 
 /// Finding 4 (Fig. 8 direction): our sync GPU speedup over parallel CPU is
@@ -109,17 +121,13 @@ fn ours_matches_or_beats_bidmach_speedup_on_sparse() {
     let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
     let task = lr(ds.d());
     let o = run_opts(4);
-    let ours_gpu = run_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o).time_per_epoch();
-    let bid_gpu =
-        sgd_study::frameworks::run_bidmach_sync(&task, &batch, DeviceKind::Gpu, 0.1, &o)
-            .time_per_epoch();
-    let cpu = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o).time_per_epoch();
+    let ours_gpu = Engine::run(&gpu(Strategy::Sync), &task, &batch, 0.1, &o).time_per_epoch();
+    let bid_gpu = sgd_study::frameworks::run_bidmach(&gpu(Strategy::Sync), &task, &batch, 0.1, &o)
+        .time_per_epoch();
+    let cpu = Engine::run(&modeled(56, Strategy::Sync), &task, &batch, 0.1, &o).time_per_epoch();
     let ours_speedup = cpu / ours_gpu;
     let bid_speedup = cpu / bid_gpu;
-    assert!(
-        ours_speedup >= bid_speedup * 0.99,
-        "ours {ours_speedup} vs bidmach {bid_speedup}"
-    );
+    assert!(ours_speedup >= bid_speedup * 0.99, "ours {ours_speedup} vs bidmach {bid_speedup}");
 }
 
 /// Finding 5 (Fig. 6 direction): the parallel-CPU speedup for MLP training
@@ -129,7 +137,8 @@ fn ours_matches_or_beats_bidmach_speedup_on_sparse() {
 fn mlp_cpu_speedup_grows_with_architecture() {
     use sgd_study::models::MlpTask;
     let ds = generate(&DatasetProfile::real_sim().scaled(0.01), &GenOptions::default());
-    let grouped = sgd_study::datagen::normalize_rows(&sgd_study::datagen::group_features(&ds, 50).x);
+    let grouped =
+        sgd_study::datagen::normalize_rows(&sgd_study::datagen::group_features(&ds, 50).x);
     let x = grouped.to_dense();
     let (y, _) = sgd_study::datagen::plant_labels(&grouped, 3, 0.02);
     let batch = Batch::new(Examples::Dense(&x), &y);
@@ -137,14 +146,12 @@ fn mlp_cpu_speedup_grows_with_architecture() {
 
     let speedup = |layers: Vec<usize>| {
         let task = MlpTask::new(layers, 42);
-        let seq = run_sync_modeled(&task, &batch, &mc(1), 0.1, &o).time_per_epoch();
-        let par = run_sync_modeled(&task, &batch, &mc(56), 0.1, &o).time_per_epoch();
+        let seq = Engine::run(&modeled(1, Strategy::Sync), &task, &batch, 0.1, &o).time_per_epoch();
+        let par =
+            Engine::run(&modeled(56, Strategy::Sync), &task, &batch, 0.1, &o).time_per_epoch();
         seq / par
     };
     let small = speedup(vec![50, 10, 5, 2]);
     let large = speedup(vec![50, 500, 250, 2]);
-    assert!(
-        large > 1.5 * small,
-        "speedup should grow with net size: small {small}, large {large}"
-    );
+    assert!(large > 1.5 * small, "speedup should grow with net size: small {small}, large {large}");
 }
