@@ -1,0 +1,6 @@
+//! Robustness sweep: fault intensity x strategy (see DESIGN.md).
+
+fn main() {
+    let cfg = sgd_bench::cli::config_from_env();
+    print!("{}", sgd_bench::faults::render(&cfg));
+}

@@ -1,0 +1,240 @@
+//! Robustness sweep — fault intensity against strategy choice.
+//!
+//! Not a paper figure: this experiment stresses the paper's central
+//! sync-vs-async trade-off under injected faults. A synchronous barrier
+//! waits for its slowest worker, so one straggler dilates the whole epoch
+//! by the full slowdown; asynchronous workers only lose the straggler's
+//! own share of throughput (the harmonic-mean dilation). Update-level
+//! faults (drops, stale reads, corruption, a dead worker) are absorbed by
+//! the async corners and surface as counters, while a dead worker stalls
+//! a synchronous barrier forever and aborts the run.
+
+use sgd_core::{reference_optimum, DeviceKind, Engine, FaultPlan, Strategy};
+
+use crate::cli::ExperimentConfig;
+use crate::prep::prepare_all;
+use crate::render::{fmt_opt_secs, mark_diverged, ratio};
+
+/// The three cube corners the sweep compares: the synchronous parallel
+/// CPU (barrier per mini-batch round), asynchronous Hogwild on the same
+/// cores, and the GPU warp-Hogwild kernel.
+pub const CORNERS: [(&str, DeviceKind, Strategy); 3] = [
+    ("sync-cpu", DeviceKind::CpuPar, Strategy::Sync),
+    ("hogwild-cpu", DeviceKind::CpuPar, Strategy::Hogwild),
+    ("hogwild-gpu", DeviceKind::Gpu, Strategy::Hogwild),
+];
+
+/// The fault plans swept per corner, from clean baseline to worker death.
+pub fn plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::default()),
+        ("straggler-2x", FaultPlan::default().with_straggler(0, 2.0)),
+        ("straggler-4x", FaultPlan::default().with_straggler(0, 4.0)),
+        ("straggler-8x", FaultPlan::default().with_straggler(0, 8.0)),
+        ("lossy-5%", FaultPlan::default().with_seed(13).with_drops(0.05).with_stale_reads(0.05)),
+        ("noisy-10%", FaultPlan::default().with_seed(17).with_corruption(0.10, 0.5)),
+        ("death@2", FaultPlan::default().with_worker_death(1, 2)),
+    ]
+}
+
+/// One cell of the sweep: a (dataset, corner, fault plan) run.
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Corner name from [`CORNERS`].
+    pub corner: &'static str,
+    /// Fault-plan name from [`plans`].
+    pub plan: &'static str,
+    /// Supervisor outcome label (`converged`, `fault-aborted@k`, ...).
+    pub outcome: String,
+    /// Epochs the run completed before the supervisor stopped it.
+    pub epochs: usize,
+    /// Time to 1 % convergence (`None` = never reached).
+    pub ttc: Option<f64>,
+    /// Time per epoch in milliseconds.
+    pub tpe_ms: f64,
+    /// Time-per-epoch degradation relative to this corner's clean run.
+    pub degradation: f64,
+    /// Total injected fault events the run absorbed.
+    pub fault_events: u64,
+    /// Modeled seconds lost waiting on stragglers.
+    pub straggler_delay_secs: f64,
+    /// `true` when the run's outcome is `Diverged`.
+    pub diverged: bool,
+}
+
+/// Runs the full sweep: every fault plan on every corner, for the first
+/// two selected datasets (one sparse, one dense by default).
+pub fn rows(cfg: &ExperimentConfig) -> Vec<FaultCell> {
+    let mut out = Vec::new();
+    for p in prepare_all(cfg).iter().take(2) {
+        let task = sgd_models::lr(p.ds.d());
+        let batch = p.linear_batch();
+        let optimum = reference_optimum(&task, &batch, cfg.optimum_epochs);
+        let mut opts = cfg.run_options();
+        opts.target_loss = Some(optimum);
+        for (cname, device, strategy) in CORNERS {
+            let corner = cfg.configuration(device, strategy);
+            // Grid the step size once per corner on the clean plan; every
+            // fault plan then reruns at that fixed step size so the cells
+            // differ only in the injected faults.
+            let alpha =
+                Engine::grid_search(&corner, &task, &batch, optimum, &cfg.grid, &opts).step_size;
+            let mut clean_tpe = f64::NAN;
+            for (pname, plan) in plans() {
+                let mut fopts = opts.clone();
+                fopts.faults = plan;
+                let rep = Engine::run(&corner, &task, &batch, alpha, &fopts);
+                let tpe = rep.time_per_epoch();
+                if pname == "clean" {
+                    clean_tpe = tpe;
+                }
+                let totals = rep.metrics.total_faults();
+                out.push(FaultCell {
+                    dataset: p.name().to_string(),
+                    corner: cname,
+                    plan: pname,
+                    outcome: rep.outcome.label(),
+                    epochs: rep.trace.epochs(),
+                    ttc: rep.summarize(optimum).time_to_1pct(),
+                    tpe_ms: tpe * 1e3,
+                    degradation: ratio(tpe, clean_tpe),
+                    fault_events: totals.total_events(),
+                    straggler_delay_secs: totals.straggler_delay_secs,
+                    diverged: rep.diverged(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders the sweep plus a headline sync-vs-async degradation summary.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    let cells = rows(cfg);
+    let mut out = String::new();
+    out.push_str("Fault sweep: fault intensity x strategy (LR), degradation vs clean run\n");
+    out.push_str(&format!(
+        "{:<9} {:<11} {:<13} | {:<18} {:>6} | {:>10} {:>10} {:>7} | {:>7} {:>10}\n",
+        "dataset",
+        "corner",
+        "plan",
+        "outcome",
+        "epochs",
+        "ttc",
+        "tpe-ms",
+        "degrad",
+        "events",
+        "stall-s"
+    ));
+    for c in &cells {
+        out.push_str(&format!(
+            "{:<9} {:<11} {:<13} | {:<18} {:>6} | {:>10} {:>10.3} {:>6.2}x | {:>7} {:>10.4}\n",
+            c.dataset,
+            c.corner,
+            c.plan,
+            mark_diverged(c.outcome.clone(), c.diverged),
+            c.epochs,
+            fmt_opt_secs(c.ttc),
+            c.tpe_ms,
+            c.degradation,
+            c.fault_events,
+            c.straggler_delay_secs,
+        ));
+    }
+    out.push('\n');
+    for (sync_c, hog_c) in straggler_comparison(&cells) {
+        out.push_str(&format!(
+            "{} / {}: sync degrades {:.2}x, Hogwild degrades {:.2}x (barrier pays the full \
+             slowdown; async pays the harmonic mean)\n",
+            sync_c.dataset, sync_c.plan, sync_c.degradation, hog_c.degradation,
+        ));
+    }
+    out
+}
+
+/// Pairs each straggler plan's sync cell with the matching CPU Hogwild
+/// cell on the same dataset, for the headline comparison.
+pub fn straggler_comparison(cells: &[FaultCell]) -> Vec<(&FaultCell, &FaultCell)> {
+    let mut out = Vec::new();
+    for c in cells {
+        if c.corner != "sync-cpu" || !c.plan.starts_with("straggler") {
+            continue;
+        }
+        if let Some(h) = cells
+            .iter()
+            .find(|h| h.corner == "hogwild-cpu" && h.plan == c.plan && h.dataset == c.dataset)
+        {
+            out.push((c, h));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_pays_full_straggler_cost_hogwild_strictly_less() {
+        let cfg = ExperimentConfig::smoke();
+        let cells = rows(&cfg);
+        let pairs = straggler_comparison(&cells);
+        assert_eq!(pairs.len(), 3, "three straggler intensities on one dataset");
+        for (sync_c, hog_c) in pairs {
+            let slowdown: f64 = match sync_c.plan {
+                "straggler-2x" => 2.0,
+                "straggler-4x" => 4.0,
+                "straggler-8x" => 8.0,
+                other => panic!("unexpected plan {other}"),
+            };
+            // The barrier stalls on the slowest worker: sync degrades by
+            // the full slowdown under modeled timing.
+            assert!(
+                (sync_c.degradation - slowdown).abs() < 1e-6,
+                "{}: sync degradation {} != {}",
+                sync_c.plan,
+                sync_c.degradation,
+                slowdown
+            );
+            // Async absorbs the straggler: strictly less degradation.
+            assert!(
+                hog_c.degradation < sync_c.degradation,
+                "{}: hogwild {} !< sync {}",
+                sync_c.plan,
+                hog_c.degradation,
+                sync_c.degradation
+            );
+        }
+    }
+
+    #[test]
+    fn dead_worker_aborts_sync_but_not_async() {
+        let cfg = ExperimentConfig::smoke();
+        let cells = rows(&cfg);
+        let cell = |corner: &str, plan: &str| {
+            cells
+                .iter()
+                .find(|c| c.corner == corner && c.plan == plan)
+                .unwrap_or_else(|| panic!("missing cell {corner}/{plan}"))
+        };
+        assert!(
+            cell("sync-cpu", "death@2").outcome.starts_with("fault-aborted"),
+            "sync barrier cannot outlive a dead worker"
+        );
+        for corner in ["hogwild-cpu", "hogwild-gpu"] {
+            let c = cell(corner, "death@2");
+            assert!(!c.outcome.starts_with("fault-aborted"), "{corner} absorbs the death");
+            assert!(c.fault_events > 0, "{corner} counts the dead worker");
+        }
+    }
+
+    #[test]
+    fn render_smoke_has_headline_comparison() {
+        let out = render(&ExperimentConfig::smoke());
+        assert!(out.contains("sync degrades"));
+        assert!(out.contains("straggler-4x"));
+        assert!(out.contains("clean"));
+    }
+}

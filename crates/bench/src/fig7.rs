@@ -5,7 +5,7 @@
 //! This is essentially batch GD (sync GPU) against stochastic GD (async
 //! CPU), so the winner is task- and dataset-dependent.
 
-use sgd_core::{reference_optimum, DeviceKind, Engine, RunReport, Strategy};
+use sgd_core::{reference_optimum, DeviceKind, Engine, RunOutcome, RunReport, Strategy};
 use sgd_models::Batch;
 
 use crate::cli::ExperimentConfig;
@@ -25,6 +25,35 @@ pub struct Fig7Panel {
     pub sync_gpu: Vec<(f64, f64)>,
     /// `(seconds, loss)` for asynchronous parallel CPU.
     pub async_cpu: Vec<(f64, f64)>,
+    /// Outcome of the synchronous GPU run.
+    pub sync_outcome: RunOutcome,
+    /// Outcome of the asynchronous CPU run.
+    pub async_outcome: RunOutcome,
+}
+
+/// NaN-safe final loss of a curve: a diverged run never wins the panel no
+/// matter what its (possibly NaN) tail looks like.
+fn final_loss(curve: &[(f64, f64)], outcome: RunOutcome) -> f64 {
+    if outcome.is_diverged() {
+        return f64::INFINITY;
+    }
+    match curve.last() {
+        Some(&(_, l)) if l.is_finite() => l,
+        _ => f64::INFINITY,
+    }
+}
+
+/// Winner label for one panel, robust to diverged/NaN curves.
+pub fn winner(p: &Fig7Panel) -> &'static str {
+    let s = final_loss(&p.sync_gpu, p.sync_outcome);
+    let a = final_loss(&p.async_cpu, p.async_outcome);
+    if s.is_infinite() && a.is_infinite() {
+        "neither (both diverged)"
+    } else if s < a {
+        "sync-gpu"
+    } else {
+        "async-cpu"
+    }
 }
 
 fn curve(r: &RunReport, max_points: usize) -> Vec<(f64, f64)> {
@@ -58,6 +87,8 @@ fn linear_panel<L: sgd_models::LinearLoss>(
         optimum,
         sync_gpu: curve(&sync, 40),
         async_cpu: curve(&asyn, 40),
+        sync_outcome: sync.outcome,
+        async_outcome: asyn.outcome,
     }
 }
 
@@ -84,6 +115,8 @@ fn mlp_panel(p: &Prepared, cfg: &ExperimentConfig) -> Fig7Panel {
         optimum,
         sync_gpu: curve(&sync, 40),
         async_cpu: curve(&asyn, 40),
+        sync_outcome: sync.outcome,
+        async_outcome: asyn.outcome,
     }
 }
 
@@ -104,18 +137,16 @@ pub fn render(cfg: &ExperimentConfig) -> String {
     out.push_str("Fig. 7: time to convergence, synchronous GPU vs asynchronous CPU\n");
     for p in panels(cfg) {
         out.push_str(&format!("\n== {} / {} (optimum {:.6}) ==\n", p.task, p.dataset, p.optimum));
-        out.push_str("  sync-gpu:  ");
+        out.push_str(&format!("  sync-gpu [{}]:  ", p.sync_outcome.label()));
         for (t, l) in &p.sync_gpu {
             out.push_str(&format!("({t:.4},{l:.4}) "));
         }
-        out.push_str("\n  async-cpu: ");
+        out.push_str(&format!("\n  async-cpu [{}]: ", p.async_outcome.label()));
         for (t, l) in &p.async_cpu {
             out.push_str(&format!("({t:.4},{l:.4}) "));
         }
         out.push('\n');
-        let w = |c: &Vec<(f64, f64)>| c.last().map(|&(_, l)| l).unwrap_or(f64::INFINITY);
-        let winner = if w(&p.sync_gpu) < w(&p.async_cpu) { "sync-gpu" } else { "async-cpu" };
-        out.push_str(&format!("  lower final loss: {winner}\n"));
+        out.push_str(&format!("  lower final loss: {}\n", winner(&p)));
     }
     out
 }
@@ -153,9 +184,33 @@ mod tests {
             trace,
             timed_out: false,
             metrics: sgd_core::RunMetrics::default(),
+            outcome: RunOutcome::BudgetExhausted,
+            best_model: None,
         };
         let c = curve(&rep, 10);
         assert!(c.len() <= 12);
         assert_eq!(c.last().expect("nonempty").0, 99.0);
+    }
+
+    #[test]
+    fn diverged_curves_never_win_a_panel() {
+        // A diverged run's NaN tail used to beat any finite loss because
+        // `NaN < x` is false; the winner must be outcome-aware.
+        let panel = |sync_o, async_o, sync_last: f64, async_last: f64| Fig7Panel {
+            task: "LR",
+            dataset: "t".into(),
+            optimum: 0.0,
+            sync_gpu: vec![(0.0, 1.0), (1.0, sync_last)],
+            async_cpu: vec![(0.0, 1.0), (1.0, async_last)],
+            sync_outcome: sync_o,
+            async_outcome: async_o,
+        };
+        let b = RunOutcome::BudgetExhausted;
+        let d = RunOutcome::Diverged { epoch: 1 };
+        assert_eq!(winner(&panel(b, d, 0.5, f64::NAN)), "sync-gpu");
+        assert_eq!(winner(&panel(d, b, f64::NAN, 0.5)), "async-cpu");
+        assert_eq!(winner(&panel(d, d, f64::NAN, f64::NAN)), "neither (both diverged)");
+        assert_eq!(winner(&panel(b, b, 0.2, 0.5)), "sync-gpu");
+        assert_eq!(winner(&panel(b, b, 0.5, 0.2)), "async-cpu");
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod ablation;
 pub mod cli;
+pub mod faults;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;

@@ -19,6 +19,27 @@ pub(crate) fn fmt_opt_secs(v: Option<f64>) -> String {
     }
 }
 
+/// Marks a cell whose run diverged: the value is kept for forensics but
+/// flagged so a blown-up run can never masquerade as a fast one.
+pub(crate) fn mark_diverged(cell: String, diverged: bool) -> String {
+    if diverged {
+        format!("{cell}†div")
+    } else {
+        cell
+    }
+}
+
+#[cfg(test)]
+mod render_fault_tests {
+    use super::*;
+
+    #[test]
+    fn diverged_cells_are_marked() {
+        assert_eq!(mark_diverged("1.0".into(), false), "1.0");
+        assert_eq!(mark_diverged("1.0".into(), true), "1.0†div");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,7 +5,7 @@ use sgd_models::{Batch, Task};
 
 use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
-use crate::render::{fmt_opt_secs, ratio};
+use crate::render::{fmt_opt_secs, mark_diverged, ratio};
 
 /// One (task, dataset) block of Table II. Device order follows the paper:
 /// `[gpu, cpu-seq, cpu-par]`.
@@ -27,6 +27,9 @@ pub struct Table2Row {
     pub speedup_seq_over_par: f64,
     /// Hardware-efficiency speedup of GPU over parallel CPU.
     pub speedup_par_over_gpu: f64,
+    /// Per-device divergence flags (`[gpu, cpu-seq, cpu-par]`); diverged
+    /// cells are marked in the rendered table.
+    pub diverged: [bool; 3],
 }
 
 /// Runs the synchronous cell for one task/batch: grid-searches the step
@@ -60,6 +63,7 @@ pub fn sync_cell<T: Task>(
         epochs: par.summarize(optimum).epochs_to_1pct(),
         speedup_seq_over_par: ratio(tpi[1], tpi[2]),
         speedup_par_over_gpu: ratio(tpi[2], tpi[0]),
+        diverged: [gpu.diverged(), seq.diverged(), par.diverged()],
     }
 }
 
@@ -112,9 +116,9 @@ pub fn render(cfg: &ExperimentConfig) -> String {
             "{:<4} {:<9} | {:>10} {:>10} {:>10} | {:>10.3} {:>10.3} {:>10.3} | {:>7} | {:>8.2} {:>8.2}\n",
             r.task,
             r.dataset,
-            fmt_opt_secs(r.ttc[0]),
-            fmt_opt_secs(r.ttc[1]),
-            fmt_opt_secs(r.ttc[2]),
+            mark_diverged(fmt_opt_secs(r.ttc[0]), r.diverged[0]),
+            mark_diverged(fmt_opt_secs(r.ttc[1]), r.diverged[1]),
+            mark_diverged(fmt_opt_secs(r.ttc[2]), r.diverged[2]),
             r.tpi_ms[0],
             r.tpi_ms[1],
             r.tpi_ms[2],

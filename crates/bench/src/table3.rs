@@ -5,7 +5,7 @@ use sgd_models::{Batch, LinearLoss, LinearTask, Task};
 
 use crate::cli::ExperimentConfig;
 use crate::prep::{prepare_all, Prepared};
-use crate::render::{fmt_opt_secs, ratio};
+use crate::render::{fmt_opt_secs, mark_diverged, ratio};
 
 /// The paper fixes the Hogbatch mini-batch size to 512 for all datasets.
 pub const HOGBATCH_SIZE: usize = 512;
@@ -33,6 +33,11 @@ pub struct Table3Row {
     pub speedup_gpu_over_par: f64,
     /// Intra-warp update conflicts recorded by the GPU kernel.
     pub gpu_conflicts: Option<u64>,
+    /// Per-device divergence flags (`[gpu, cpu-seq, cpu-par]`); diverged
+    /// cells are marked in the rendered table. `grid_search` retries
+    /// diverged cells at halved step sizes, so a flag here means even the
+    /// rescue pass blew up.
+    pub diverged: [bool; 3],
 }
 
 fn build_row(
@@ -59,6 +64,7 @@ fn build_row(
         speedup_seq_over_par: ratio(tpi[1], tpi[2]),
         speedup_gpu_over_par: ratio(tpi[0], tpi[2]),
         gpu_conflicts: gpu.update_conflicts(),
+        diverged: [gpu.diverged(), seq.diverged(), par.diverged()],
     }
 }
 
@@ -137,9 +143,9 @@ pub fn render(cfg: &ExperimentConfig) -> String {
             "{:<4} {:<9} | {:>10} {:>10} {:>10} | {:>10.3} {:>10.3} {:>10.3} | {:>6} {:>6} {:>6} | {:>8.2} {:>8.2} | {:>10}\n",
             r.task,
             r.dataset,
-            fmt_opt_secs(r.ttc[0]),
-            fmt_opt_secs(r.ttc[1]),
-            fmt_opt_secs(r.ttc[2]),
+            mark_diverged(fmt_opt_secs(r.ttc[0]), r.diverged[0]),
+            mark_diverged(fmt_opt_secs(r.ttc[1]), r.diverged[1]),
+            mark_diverged(fmt_opt_secs(r.ttc[2]), r.diverged[2]),
             r.tpi_ms[0],
             r.tpi_ms[1],
             r.tpi_ms[2],

@@ -46,6 +46,10 @@ pub struct RunOptions {
     /// `window` epochs (`(window, rel_tol)`); `None` disables. A plateaued
     /// run that had a convergence target counts as not converged (∞).
     pub plateau: Option<(usize, f64)>,
+    /// Deterministic fault schedule injected by every runner; the default
+    /// (empty) plan leaves all code paths bit-identical to a fault-free
+    /// run.
+    pub faults: crate::faults::FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -58,6 +62,7 @@ impl Default for RunOptions {
             seed: 42,
             gpu_spec: None,
             plateau: Some((50, 1e-4)),
+            faults: crate::faults::FaultPlan::default(),
         }
     }
 }

@@ -25,9 +25,11 @@ use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::faults::{FaultCounters, FaultPlan};
 use crate::hogwild::shuffled_order;
 use crate::metrics::{EpochMetrics, EpochObserver, GpuEpochProbe, NullObserver, Recorder};
 use crate::report::RunReport;
+use crate::supervisor::Supervisor;
 
 /// Options specific to the GPU asynchronous kernels.
 #[derive(Clone, Debug)]
@@ -53,8 +55,11 @@ const F64: u64 = std::mem::size_of::<Scalar>() as u64;
 const U32: u64 = std::mem::size_of::<u32>() as u64;
 
 /// Processes one warp of examples functionally, optionally reporting its
-/// memory/compute behaviour to a tracing context. Returns the number of
-/// updates lost to (or serialized by) intra-warp conflicts.
+/// memory/compute behaviour to a tracing context. `stale_from` redirects
+/// the phase-1 model reads to a stale snapshot (fault injection);
+/// `dropped` discards the warp's phase-2 store after the gradient work is
+/// done. Returns the number of updates lost to (or serialized by)
+/// intra-warp conflicts.
 #[allow(clippy::too_many_arguments)]
 fn process_warp(
     loss: &dyn PointwiseLoss,
@@ -64,32 +69,47 @@ fn process_warp(
     lanes: &[u32],
     atomic: bool,
     ctx: &mut Option<&mut WarpCtx<'_>>,
+    addrs: TraceAddrs,
+    stale_from: Option<&[Scalar]>,
+    dropped: bool,
 ) -> u64 {
     // Phase 1: lockstep gradient computation — every lane's margin is
-    // computed against the model as it stood when the warp arrived.
+    // computed against the model as it stood when the warp arrived (or a
+    // stale snapshot of it, when the fault plan says so).
     let mut coeffs: Vec<Scalar> = Vec::with_capacity(lanes.len());
+    let rw: &[Scalar] = match stale_from {
+        Some(s) => s,
+        None => w,
+    };
     match batch.x {
         Examples::Sparse(m) => {
             for &i in lanes {
                 let row = m.row(i as usize);
                 let margin: Scalar =
-                    row.cols.iter().zip(row.vals).map(|(&c, &v)| v * w[c as usize]).sum();
+                    row.cols.iter().zip(row.vals).map(|(&c, &v)| v * rw[c as usize]).sum();
                 coeffs.push(loss.dloss_at(margin, batch.y[i as usize]));
             }
             if let Some(ctx) = ctx.as_deref_mut() {
-                trace_sparse_pass(m, w, lanes, ctx);
+                trace_sparse_pass(m, lanes, ctx, addrs);
             }
         }
         Examples::Dense(m) => {
             for &i in lanes {
                 let row = m.row(i as usize);
-                let margin: Scalar = row.iter().zip(w.iter()).map(|(&v, &wj)| v * wj).sum();
+                let margin: Scalar = row.iter().zip(rw.iter()).map(|(&v, &wj)| v * wj).sum();
                 coeffs.push(loss.dloss_at(margin, batch.y[i as usize]));
             }
             if let Some(ctx) = ctx.as_deref_mut() {
-                trace_dense_pass(m, w, lanes, ctx);
+                trace_dense_pass(m, lanes, ctx, addrs);
             }
         }
+    }
+    if dropped {
+        // The gradient work happened but the warp's store phase is lost.
+        if let Some(ctx) = ctx.as_deref_mut() {
+            ctx.record_conflicts(0);
+        }
+        return 0;
     }
 
     // Phase 2: lockstep unsynchronized updates. Without atomics, lanes that
@@ -140,18 +160,83 @@ fn process_warp(
     conflicts
 }
 
+/// Resolves the fault plan's per-warp decisions (the warp index is the
+/// async worker id), tallies them, and runs the warp with the resulting
+/// effects applied.
+#[allow(clippy::too_many_arguments)]
+fn process_faulty_warp(
+    loss: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    w: &mut [Scalar],
+    alpha: f64,
+    lanes: &[u32],
+    atomic: bool,
+    ctx: &mut Option<&mut WarpCtx<'_>>,
+    addrs: TraceAddrs,
+    plan: &FaultPlan,
+    epoch: usize,
+    wi: usize,
+    epoch_start: &[Scalar],
+    fc: &mut FaultCounters,
+) -> u64 {
+    let mut a = alpha;
+    if let Some(f) = plan.corrupt_factor(epoch, wi) {
+        a *= f;
+        fc.corrupted_updates += 1;
+    }
+    let stale = plan.stale_read(epoch, wi);
+    if stale {
+        fc.stale_reads += 1;
+    }
+    let dropped = plan.drops_update(epoch, wi);
+    if dropped {
+        fc.dropped_updates += 1;
+    }
+    let stale_from = if stale { Some(epoch_start) } else { None };
+    process_warp(loss, batch, w, a, lanes, atomic, ctx, addrs, stale_from, dropped)
+}
+
+/// Simulated device addresses of the buffers a traced warp touches,
+/// resolved once per run through the device's deterministic buffer
+/// registry (host pointer values must never reach the cost model: their
+/// run-to-run placement would make simulated cycles irreproducible).
+/// Stale reads trace against the model's device buffer — the host-side
+/// staleness snapshot is a modelling artifact with no device presence.
+#[derive(Clone, Copy)]
+struct TraceAddrs {
+    /// Values array (sparse) or the row-major example matrix (dense).
+    x: u64,
+    /// Column-index array; unused for dense batches.
+    cols: u64,
+    /// The shared model vector.
+    w: u64,
+}
+
+impl TraceAddrs {
+    fn resolve(dev: &mut sgd_gpusim::GpuDevice, batch: &Batch<'_>, w: &[Scalar]) -> TraceAddrs {
+        match batch.x {
+            Examples::Sparse(m) => TraceAddrs {
+                x: dev.buffer_addr(m.values()),
+                cols: dev.buffer_addr(m.col_idx()),
+                w: dev.buffer_addr(w),
+            },
+            Examples::Dense(m) => {
+                TraceAddrs { x: dev.buffer_addr(m.as_slice()), cols: 0, w: dev.buffer_addr(w) }
+            }
+        }
+    }
+}
+
 /// Memory/divergence trace of one warp's pass over sparse rows
 /// (thread-per-example layout: value/index loads scatter across rows, the
 /// model gather scatters across coordinates, trip count is the warp max).
 fn trace_sparse_pass(
     m: &sgd_linalg::CsrMatrix,
-    w: &[Scalar],
     lanes: &[u32],
     ctx: &mut WarpCtx<'_>,
+    addrs: TraceAddrs,
 ) {
-    let vals_p = m.values().as_ptr() as u64;
-    let cols_p = m.col_idx().as_ptr() as u64;
-    let w_p = w.as_ptr() as u64;
+    let TraceAddrs { x: vals_p, cols: cols_p, w: w_p } = addrs;
     let trips: Vec<u64> = lanes.iter().map(|&i| m.row_nnz(i as usize) as u64).collect();
     let max_trip = trips.iter().copied().max().unwrap_or(0);
     let mut acc: Vec<(u64, u32)> = Vec::with_capacity(lanes.len());
@@ -191,9 +276,13 @@ fn trace_sparse_pass(
 /// Memory trace for dense rows: lanes stride by the row pitch (32
 /// transactions per element column), the model access is a broadcast (one
 /// transaction), updates store to the same broadcast coordinate.
-fn trace_dense_pass(m: &sgd_linalg::Matrix, w: &[Scalar], lanes: &[u32], ctx: &mut WarpCtx<'_>) {
-    let x_p = m.as_slice().as_ptr() as u64;
-    let w_p = w.as_ptr() as u64;
+fn trace_dense_pass(
+    m: &sgd_linalg::Matrix,
+    lanes: &[u32],
+    ctx: &mut WarpCtx<'_>,
+    addrs: TraceAddrs,
+) {
+    let TraceAddrs { x: x_p, w: w_p, .. } = addrs;
     let d = m.cols() as u64;
     let mut acc: Vec<(u64, u32)> = Vec::with_capacity(lanes.len());
     for k in 0..d {
@@ -242,50 +331,131 @@ pub(crate) fn gpu_hogwild_observed<T: Task>(
     let mut w = task.init_model();
     let mut eval = CpuExec::par();
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let initial_loss = task.loss(&mut eval, batch, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
     let mut probe = GpuEpochProbe::new();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let mut epoch_start: Vec<Scalar> = Vec::new();
+    let addrs = TraceAddrs::resolve(&mut dev, batch, &w);
 
-    let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut conflicts_total: u64 = 0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        let mut fc = FaultCounters::default();
         probe.begin(&dev);
         let epoch_conflicts: u64;
-        if epoch < 2 {
-            let t0 = dev.elapsed_secs();
-            let w_cell = &mut w;
-            let mut conflicts = 0u64;
-            dev.run_kernel(warps.len(), |wi, ctx| {
-                let mut c = Some(ctx);
-                conflicts += process_warp(
-                    loss_fn,
-                    batch,
-                    w_cell,
-                    alpha,
-                    warps[wi],
-                    gopts.atomic_updates,
-                    &mut c,
-                );
-            });
-            epoch_conflicts = conflicts;
-            warm_cost = dev.elapsed_secs() - t0;
-        } else {
-            let mut conflicts = 0u64;
-            for lanes in &warps {
-                conflicts += process_warp(
-                    loss_fn,
-                    batch,
-                    &mut w,
-                    alpha,
-                    lanes,
-                    gopts.atomic_updates,
-                    &mut None,
-                );
+        match faults {
+            None => {
+                if epoch < 2 {
+                    let t0 = dev.elapsed_secs();
+                    let w_cell = &mut w;
+                    let mut conflicts = 0u64;
+                    dev.run_kernel(warps.len(), |wi, ctx| {
+                        let mut c = Some(ctx);
+                        conflicts += process_warp(
+                            loss_fn,
+                            batch,
+                            w_cell,
+                            alpha,
+                            warps[wi],
+                            gopts.atomic_updates,
+                            &mut c,
+                            addrs,
+                            None,
+                            false,
+                        );
+                    });
+                    epoch_conflicts = conflicts;
+                    warm_cost = dev.elapsed_secs() - t0;
+                } else {
+                    let mut conflicts = 0u64;
+                    for lanes in &warps {
+                        conflicts += process_warp(
+                            loss_fn,
+                            batch,
+                            &mut w,
+                            alpha,
+                            lanes,
+                            gopts.atomic_updates,
+                            &mut None,
+                            addrs,
+                            None,
+                            false,
+                        );
+                    }
+                    epoch_conflicts = conflicts;
+                    dev.advance_secs(warm_cost);
+                }
             }
-            epoch_conflicts = conflicts;
-            dev.advance_secs(warm_cost);
+            Some(plan) => {
+                // One warp = one asynchronous worker: dead warps are
+                // removed from the launch list (the device absorbs the
+                // loss of work), stale/corrupt/drop decisions hash on the
+                // warp index, and a straggler stretches the epoch by the
+                // harmonic dilation instead of stalling a barrier.
+                let epoch_t0 = dev.elapsed_secs();
+                if plan.stale_rate > 0.0 {
+                    epoch_start.resize(w.len(), 0.0);
+                    epoch_start.copy_from_slice(&w);
+                }
+                let live: Vec<usize> =
+                    (0..warps.len()).filter(|&wi| !plan.worker_dead(wi, epoch)).collect();
+                fc.dead_workers = (warps.len() - live.len()) as u64;
+                let mut conflicts = 0u64;
+                if epoch < 2 {
+                    let t0 = dev.elapsed_secs();
+                    let w_cell = &mut w;
+                    let snap = &epoch_start;
+                    let fcr = &mut fc;
+                    let live_ref = &live;
+                    dev.run_kernel(live.len(), |k, ctx| {
+                        let wi = live_ref[k];
+                        let mut c = Some(ctx);
+                        conflicts += process_faulty_warp(
+                            loss_fn,
+                            batch,
+                            w_cell,
+                            alpha,
+                            warps[wi],
+                            gopts.atomic_updates,
+                            &mut c,
+                            addrs,
+                            plan,
+                            epoch,
+                            wi,
+                            snap,
+                            fcr,
+                        );
+                    });
+                    warm_cost = dev.elapsed_secs() - t0;
+                } else {
+                    for &wi in &live {
+                        conflicts += process_faulty_warp(
+                            loss_fn,
+                            batch,
+                            &mut w,
+                            alpha,
+                            warps[wi],
+                            gopts.atomic_updates,
+                            &mut None,
+                            addrs,
+                            plan,
+                            epoch,
+                            wi,
+                            &epoch_start,
+                            &mut fc,
+                        );
+                    }
+                    dev.advance_secs(warm_cost);
+                }
+                epoch_conflicts = conflicts;
+                let es = dev.elapsed_secs() - epoch_t0;
+                let dil = plan.async_dilation(warps.len());
+                fc.straggler_delay_secs = es * (dil - 1.0);
+                dev.advance_secs(fc.straggler_delay_secs);
+            }
         }
         conflicts_total += epoch_conflicts;
         let (cycles, l2) = probe.end(&dev);
@@ -295,22 +465,14 @@ pub(crate) fn gpu_hogwild_observed<T: Task>(
             update_conflicts: epoch_conflicts,
             simulated_cycles: cycles,
             l2_hit_ratio: l2,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     rec.set_update_conflicts(conflicts_total);
     RunReport {
         label: format!("{} async gpu (warp-hogwild)", task.name()),
@@ -318,8 +480,10 @@ pub(crate) fn gpu_hogwild_observed<T: Task>(
         step_size: alpha,
         trace,
         opt_seconds: dev.elapsed_secs(),
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -355,33 +519,113 @@ pub(crate) fn gpu_hogbatch_observed<T: Task>(
     let mut g = vec![0.0; task.dim()];
     let mut eval = CpuExec::par();
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, full, &w));
+    let initial_loss = task.loss(&mut eval, full, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
     let mut probe = GpuEpochProbe::new();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let mut epoch_start: Vec<Scalar> = Vec::new();
 
-    let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
-    let mut timed_out = true;
     let mut cpu = CpuExec::seq();
     for epoch in 0..opts.max_epochs {
+        let mut fc = FaultCounters::default();
         probe.begin(&dev);
-        if epoch == 0 {
-            let t0 = dev.elapsed_secs();
-            for b in batches {
-                let k0 = dev.stats().kernels_launched;
-                let mut e = GpuExec::new(&mut dev);
-                task.gradient(&mut e, b, &w, &mut g);
-                e.axpy(-alpha, &g, &mut w);
-                let launches = dev.stats().kernels_launched - k0;
-                dev.advance_secs(gopts.host_sync_overhead_secs * launches as f64);
+        match faults {
+            None => {
+                if epoch == 0 {
+                    let t0 = dev.elapsed_secs();
+                    for b in batches {
+                        let k0 = dev.stats().kernels_launched;
+                        let mut e = GpuExec::new(&mut dev);
+                        task.gradient(&mut e, b, &w, &mut g);
+                        e.axpy(-alpha, &g, &mut w);
+                        let launches = dev.stats().kernels_launched - k0;
+                        dev.advance_secs(gopts.host_sync_overhead_secs * launches as f64);
+                    }
+                    warm_cost = dev.elapsed_secs() - t0;
+                } else {
+                    for b in batches {
+                        task.gradient(&mut cpu, b, &w, &mut g);
+                        cpu.axpy(-alpha, &g, &mut w);
+                    }
+                    dev.advance_secs(warm_cost);
+                }
             }
-            warm_cost = dev.elapsed_secs() - t0;
-        } else {
-            for b in batches {
-                task.gradient(&mut cpu, b, &w, &mut g);
-                cpu.axpy(-alpha, &g, &mut w);
+            Some(plan) => {
+                // Batches are enqueued round-robin by `opts.threads` host
+                // workers: a dead worker's batches never launch, decisions
+                // hash on the batch index, a straggling enqueuer stretches
+                // the serialized stream by the harmonic dilation.
+                let epoch_t0 = dev.elapsed_secs();
+                let workers = opts.threads.max(1);
+                if plan.has_dead_worker(workers, epoch) {
+                    fc.dead_workers = 1;
+                }
+                if plan.stale_rate > 0.0 {
+                    epoch_start.resize(w.len(), 0.0);
+                    epoch_start.copy_from_slice(&w);
+                }
+                if epoch == 0 {
+                    let t0 = dev.elapsed_secs();
+                    for (bi, b) in batches.iter().enumerate() {
+                        if plan.worker_dead(bi % workers, epoch) {
+                            continue;
+                        }
+                        let k0 = dev.stats().kernels_launched;
+                        let mut e = GpuExec::new(&mut dev);
+                        let read: &[Scalar] = if plan.stale_read(epoch, bi) {
+                            fc.stale_reads += 1;
+                            &epoch_start
+                        } else {
+                            &w
+                        };
+                        task.gradient(&mut e, b, read, &mut g);
+                        let mut a = alpha;
+                        if let Some(f) = plan.corrupt_factor(epoch, bi) {
+                            a *= f;
+                            fc.corrupted_updates += 1;
+                        }
+                        if plan.drops_update(epoch, bi) {
+                            fc.dropped_updates += 1;
+                        } else {
+                            e.axpy(-a, &g, &mut w);
+                        }
+                        let launches = dev.stats().kernels_launched - k0;
+                        dev.advance_secs(gopts.host_sync_overhead_secs * launches as f64);
+                    }
+                    warm_cost = dev.elapsed_secs() - t0;
+                } else {
+                    for (bi, b) in batches.iter().enumerate() {
+                        if plan.worker_dead(bi % workers, epoch) {
+                            continue;
+                        }
+                        let read: &[Scalar] = if plan.stale_read(epoch, bi) {
+                            fc.stale_reads += 1;
+                            &epoch_start
+                        } else {
+                            &w
+                        };
+                        task.gradient(&mut cpu, b, read, &mut g);
+                        let mut a = alpha;
+                        if let Some(f) = plan.corrupt_factor(epoch, bi) {
+                            a *= f;
+                            fc.corrupted_updates += 1;
+                        }
+                        if plan.drops_update(epoch, bi) {
+                            fc.dropped_updates += 1;
+                        } else {
+                            cpu.axpy(-a, &g, &mut w);
+                        }
+                    }
+                    dev.advance_secs(warm_cost);
+                }
+                let es = dev.elapsed_secs() - epoch_t0;
+                let dil = plan.async_dilation(workers);
+                fc.straggler_delay_secs = es * (dil - 1.0);
+                dev.advance_secs(fc.straggler_delay_secs);
             }
-            dev.advance_secs(warm_cost);
         }
         let (cycles, l2) = probe.end(&dev);
         let loss = task.loss(&mut eval, full, &w);
@@ -389,22 +633,14 @@ pub(crate) fn gpu_hogbatch_observed<T: Task>(
         rec.record(EpochMetrics {
             simulated_cycles: cycles,
             l2_hit_ratio: l2,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     // The serialized kernel stream loses no updates.
     rec.set_update_conflicts(0);
     RunReport {
@@ -413,8 +649,10 @@ pub(crate) fn gpu_hogbatch_observed<T: Task>(
         step_size: alpha,
         trace,
         opt_seconds: dev.elapsed_secs(),
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -566,6 +804,90 @@ mod tests {
         for (p, q) in cpu.trace.points().iter().zip(gpu.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-9, "{} vs {}", p.1, q.1);
         }
+    }
+
+    #[test]
+    fn gpu_straggler_dilates_async_time_by_the_harmonic_mean() {
+        let (x, y) = dense_data(128, 4);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions { max_epochs: 4, plateau: None, ..Default::default() };
+        let clean = run_gpu_hogwild(&task, &b, 0.1, &opts, &GpuAsyncOptions::default());
+        let lag_opts =
+            RunOptions { faults: FaultPlan::default().with_straggler(0, 4.0), ..opts.clone() };
+        let lag = run_gpu_hogwild(&task, &b, 0.1, &lag_opts, &GpuAsyncOptions::default());
+        // A straggler-only plan changes no updates: same trajectory.
+        assert_eq!(clean.trace.epochs(), lag.trace.epochs());
+        for (p, q) in clean.trace.points().iter().zip(lag.trace.points()) {
+            assert_eq!(p.1, q.1);
+        }
+        // 128 examples / 32-lane warps = 4 async workers; one 4x straggler
+        // dilates time by 4/(3 + 1/4), far below the 4x a barrier pays.
+        let dil = lag_opts.faults.async_dilation(4);
+        assert!(dil > 1.0 && dil < 4.0, "dilation {dil}");
+        let ratio = lag.opt_seconds / clean.opt_seconds;
+        assert!((ratio - dil).abs() < 1e-9, "ratio {ratio} vs dilation {dil}");
+    }
+
+    #[test]
+    fn gpu_warp_hogwild_absorbs_update_faults() {
+        let (x, y) = dense_data(256, 8);
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(8);
+        let opts = RunOptions {
+            max_epochs: 8,
+            plateau: None,
+            faults: FaultPlan::default()
+                .with_seed(5)
+                .with_drops(0.2)
+                .with_stale_reads(0.2)
+                .with_corruption(0.2, 0.5)
+                .with_worker_death(0, 1),
+            ..Default::default()
+        };
+        let rep = run_gpu_hogwild(&task, &b, 0.02, &opts, &GpuAsyncOptions::default());
+        assert!(
+            !matches!(rep.outcome, crate::report::RunOutcome::FaultAborted { .. }),
+            "async gpu must absorb a dead warp, got {:?}",
+            rep.outcome
+        );
+        let totals = rep.metrics.total_faults();
+        assert!(totals.dropped_updates > 0, "drops never fired");
+        assert!(totals.stale_reads > 0, "stale reads never fired");
+        assert!(totals.corrupted_updates > 0, "corruption never fired");
+        assert!(totals.dead_workers > 0, "death never registered");
+    }
+
+    #[test]
+    fn gpu_hogbatch_supervises_faults() {
+        let (x, y) = dense_data(96, 6);
+        let task = lr(6);
+        let owned = make_batches(&x, &y, 8);
+        let batches: Vec<Batch<'_>> =
+            owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
+        let full = Batch::new(Examples::Dense(&x), &y);
+        let opts = RunOptions {
+            max_epochs: 10,
+            threads: 4,
+            plateau: None,
+            faults: FaultPlan::default()
+                .with_seed(11)
+                .with_drops(0.2)
+                .with_corruption(0.2, 0.5)
+                .with_worker_death(1, 2),
+            ..Default::default()
+        };
+        let rep = run_gpu_hogbatch(&task, &full, &batches, 0.5, &opts, &GpuAsyncOptions::default());
+        assert!(
+            !matches!(rep.outcome, crate::report::RunOutcome::FaultAborted { .. }),
+            "serialized gpu stream must absorb a dead enqueuer, got {:?}",
+            rep.outcome
+        );
+        let totals = rep.metrics.total_faults();
+        assert!(totals.dropped_updates > 0, "drops never fired");
+        assert!(totals.corrupted_updates > 0, "corruption never fired");
+        assert!(totals.dead_workers > 0, "death never registered");
+        assert!(rep.best_loss() < rep.trace.points()[0].1, "still makes progress");
     }
 
     #[test]

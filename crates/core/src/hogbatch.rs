@@ -14,9 +14,11 @@ use sgd_models::{Batch, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::faults::{FaultCounters, FaultTally};
 use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
+use crate::supervisor::Supervisor;
 
 /// Splits `full` (dense examples required for MLP) into owned mini-batch
 /// matrices of `batch_size` rows. Returns `(matrices, label_slices)` to
@@ -74,67 +76,125 @@ pub(crate) fn hogbatch_observed<T: Task>(
     let mut trace = LossTrace::new();
     let mut snapshot = vec![0.0; dim];
     model.snapshot_into(&mut snapshot);
-    trace.push(0.0, task.loss(&mut eval, full, &snapshot));
+    let initial_loss = task.loss(&mut eval, full, &snapshot);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let tally = FaultTally::new();
 
-    let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        let mut fc = FaultCounters::default();
         let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let model = &model;
-                s.spawn(move || {
-                    let mut e = CpuExec::seq();
-                    let mut w = vec![0.0; dim];
-                    let mut g = vec![0.0; dim];
-                    let mut b = t;
-                    while b < batches.len() {
-                        // Stale snapshot, gradient, lock-free scatter.
-                        model.snapshot_into(&mut w);
-                        task.gradient(&mut e, &batches[b], &w, &mut g);
-                        for (j, &gj) in g.iter().enumerate() {
-                            if gj != 0.0 {
-                                model.add(j, -alpha * gj);
+        match faults {
+            None => {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        let model = &model;
+                        s.spawn(move || {
+                            let mut e = CpuExec::seq();
+                            let mut w = vec![0.0; dim];
+                            let mut g = vec![0.0; dim];
+                            let mut b = t;
+                            while b < batches.len() {
+                                // Stale snapshot, gradient, lock-free scatter.
+                                model.snapshot_into(&mut w);
+                                task.gradient(&mut e, &batches[b], &w, &mut g);
+                                for (j, &gj) in g.iter().enumerate() {
+                                    if gj != 0.0 {
+                                        model.add(j, -alpha * gj);
+                                    }
+                                }
+                                b += threads;
                             }
-                        }
-                        b += threads;
+                        });
                     }
                 });
             }
-        });
-        opt_seconds += t0.elapsed().as_secs_f64();
+            Some(plan) => {
+                // `snapshot` still holds the epoch-start model (refreshed
+                // only after the epoch): the stale-read target. A dead
+                // worker's batches are skipped; the rest carry on.
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        if plan.worker_dead(t, epoch) {
+                            fc.dead_workers += 1;
+                            continue;
+                        }
+                        let model = &model;
+                        let epoch_start = &snapshot;
+                        let tally = &tally;
+                        s.spawn(move || {
+                            let mut e = CpuExec::seq();
+                            let mut w = vec![0.0; dim];
+                            let mut g = vec![0.0; dim];
+                            let (mut dropped, mut stale_n, mut corrupted) = (0u64, 0u64, 0u64);
+                            let mut b = t;
+                            while b < batches.len() {
+                                model.snapshot_into(&mut w);
+                                let stale = plan.stale_read(epoch, b);
+                                let read: &[Scalar] = if stale {
+                                    stale_n += 1;
+                                    epoch_start
+                                } else {
+                                    &w
+                                };
+                                task.gradient(&mut e, &batches[b], read, &mut g);
+                                let mut a = alpha;
+                                if let Some(f) = plan.corrupt_factor(epoch, b) {
+                                    a *= f;
+                                    corrupted += 1;
+                                }
+                                if plan.drops_update(epoch, b) {
+                                    dropped += 1;
+                                } else {
+                                    for (j, &gj) in g.iter().enumerate() {
+                                        if gj != 0.0 {
+                                            model.add(j, -a * gj);
+                                        }
+                                    }
+                                }
+                                b += threads;
+                            }
+                            tally.add(dropped, stale_n, corrupted);
+                        });
+                    }
+                });
+            }
+        }
+        let mut epoch_secs = t0.elapsed().as_secs_f64();
+        if let Some(plan) = faults {
+            tally.drain_into(&mut fc);
+            let dil = plan.async_dilation(threads);
+            fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+            epoch_secs *= dil;
+        }
+        opt_seconds += epoch_secs;
 
         model.snapshot_into(&mut snapshot);
         let loss = task.loss(&mut eval, full, &snapshot); // untimed
         trace.push(opt_seconds, loss);
         rec.record(EpochMetrics {
             staleness_rounds,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     RunReport {
         label: format!("{} async {} (hogbatch)", task.name(), device.label()),
         device,
         step_size: alpha,
         trace,
         opt_seconds,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 

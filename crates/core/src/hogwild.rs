@@ -17,10 +17,12 @@ use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::faults::{FaultCounters, FaultPlan, FaultTally};
 use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::modeled::batch_stats;
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
+use crate::supervisor::Supervisor;
 
 /// Deterministic Fisher–Yates shuffle of `0..n` (the single random pass
 /// order shared by all epochs; DimmWitted's data access strategy).
@@ -80,6 +82,96 @@ pub(crate) fn hogwild_worker<L: PointwiseLoss + ?Sized>(
     }
 }
 
+/// [`hogwild_worker`] with per-example fault injection: stale margins are
+/// computed against the epoch-start model, corrupted steps are scaled by
+/// the plan's noise factor, and dropped updates are computed but never
+/// written back (the Hogwild failure mode HOGWILD! claims to tolerate).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hogwild_worker_faulty<L: PointwiseLoss + ?Sized>(
+    loss: &L,
+    batch: &Batch<'_>,
+    model: &SharedModel,
+    alpha: f64,
+    part: &[u32],
+    plan: &FaultPlan,
+    epoch: usize,
+    stale_model: &[Scalar],
+    tally: &FaultTally,
+) {
+    let (mut dropped, mut stale_n, mut corrupted) = (0u64, 0u64, 0u64);
+    match batch.x {
+        Examples::Sparse(m) => {
+            for &i in part {
+                let i = i as usize;
+                let row = m.row(i);
+                let stale = plan.stale_read(epoch, i);
+                let mut margin = 0.0;
+                if stale {
+                    stale_n += 1;
+                    for (&c, &v) in row.cols.iter().zip(row.vals) {
+                        margin += v * stale_model[c as usize];
+                    }
+                } else {
+                    for (&c, &v) in row.cols.iter().zip(row.vals) {
+                        margin += v * model.read(c as usize);
+                    }
+                }
+                let s = loss.dloss_at(margin, batch.y[i]);
+                if s != 0.0 {
+                    let mut step = -alpha * s;
+                    if let Some(f) = plan.corrupt_factor(epoch, i) {
+                        step *= f;
+                        corrupted += 1;
+                    }
+                    if plan.drops_update(epoch, i) {
+                        dropped += 1;
+                        continue;
+                    }
+                    for (&c, &v) in row.cols.iter().zip(row.vals) {
+                        model.add(c as usize, step * v);
+                    }
+                }
+            }
+        }
+        Examples::Dense(m) => {
+            for &i in part {
+                let i = i as usize;
+                let row = m.row(i);
+                let stale = plan.stale_read(epoch, i);
+                let mut margin = 0.0;
+                if stale {
+                    stale_n += 1;
+                    for (j, &v) in row.iter().enumerate() {
+                        margin += v * stale_model[j];
+                    }
+                } else {
+                    for (j, &v) in row.iter().enumerate() {
+                        margin += v * model.read(j);
+                    }
+                }
+                let s = loss.dloss_at(margin, batch.y[i]);
+                if s != 0.0 {
+                    let mut step = -alpha * s;
+                    if let Some(f) = plan.corrupt_factor(epoch, i) {
+                        step *= f;
+                        corrupted += 1;
+                    }
+                    if plan.drops_update(epoch, i) {
+                        dropped += 1;
+                        continue;
+                    }
+                    for (j, &v) in row.iter().enumerate() {
+                        if v != 0.0 {
+                            model.add(j, step * v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    tally.add(dropped, stale_n, corrupted);
+}
+
 /// Runs Hogwild over `batch` with `threads` concurrent workers
 /// (`threads == 1` is exactly sequential incremental SGD, the paper's
 /// `cpu-seq` asynchronous baseline).
@@ -125,25 +217,73 @@ pub(crate) fn hogwild_observed<T: Task>(
     let mut trace = LossTrace::new();
     let mut snapshot: Vec<Scalar> = vec![0.0; task.dim()];
     model.snapshot_into(&mut snapshot);
-    trace.push(0.0, task.loss(&mut eval, batch, &snapshot));
+    let initial_loss = task.loss(&mut eval, batch, &snapshot);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let tally = FaultTally::new();
 
-    let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        let mut fc = FaultCounters::default();
         let t0 = Instant::now();
-        if threads == 1 {
-            hogwild_worker(loss_fn, batch, &model, alpha, &order);
-        } else {
-            std::thread::scope(|s| {
-                for part in order.chunks(chunk.max(1)) {
-                    let model = &model;
-                    s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
+        match faults {
+            None => {
+                if threads == 1 {
+                    hogwild_worker(loss_fn, batch, &model, alpha, &order);
+                } else {
+                    std::thread::scope(|s| {
+                        for part in order.chunks(chunk.max(1)) {
+                            let model = &model;
+                            s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
+                        }
+                    });
                 }
-            });
+            }
+            Some(plan) => {
+                // `snapshot` still holds the epoch-start model here (it is
+                // refreshed only after the epoch) — reuse it as the stale
+                // target. A dead worker's partition is simply skipped: the
+                // surviving workers carry on (graceful degradation).
+                if threads == 1 {
+                    if plan.worker_dead(0, epoch) {
+                        fc.dead_workers = 1;
+                    } else {
+                        hogwild_worker_faulty(
+                            loss_fn, batch, &model, alpha, &order, plan, epoch, &snapshot, &tally,
+                        );
+                    }
+                } else {
+                    std::thread::scope(|s| {
+                        for (t, part) in order.chunks(chunk.max(1)).enumerate() {
+                            if plan.worker_dead(t, epoch) {
+                                fc.dead_workers += 1;
+                                continue;
+                            }
+                            let model = &model;
+                            let stale = &snapshot;
+                            let tally = &tally;
+                            s.spawn(move || {
+                                hogwild_worker_faulty(
+                                    loss_fn, batch, model, alpha, part, plan, epoch, stale, tally,
+                                )
+                            });
+                        }
+                    });
+                }
+            }
         }
-        opt_seconds += t0.elapsed().as_secs_f64();
+        let mut epoch_secs = t0.elapsed().as_secs_f64();
+        if let Some(plan) = faults {
+            tally.drain_into(&mut fc);
+            // Independent workers absorb a straggler: only its throughput
+            // share is lost, never the whole barrier.
+            let dil = plan.async_dilation(threads);
+            fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+            epoch_secs *= dil;
+        }
+        opt_seconds += epoch_secs;
 
         model.snapshot_into(&mut snapshot);
         let loss = task.loss(&mut eval, batch, &snapshot); // untimed
@@ -151,30 +291,24 @@ pub(crate) fn hogwild_observed<T: Task>(
         rec.record(EpochMetrics {
             staleness_rounds,
             coherency_conflicts: coherency_per_epoch,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     RunReport {
         label: format!("{} async {}", task.name(), device.label()),
         device,
         step_size: alpha,
         trace,
         opt_seconds,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -297,5 +431,47 @@ mod tests {
         let opts = RunOptions { max_epochs: 3, target_loss: Some(1e-12), ..Default::default() };
         let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
         assert!(rep.timed_out, "must report the paper's ∞");
+    }
+
+    #[test]
+    fn hogwild_survives_a_dead_worker() {
+        // One of four workers dies at epoch 1; the async run degrades
+        // gracefully instead of aborting (unlike a synchronous barrier).
+        let (x, y) = sparse_separable(512, 64);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(64);
+        let opts = RunOptions {
+            max_epochs: 80,
+            faults: crate::FaultPlan::default().with_worker_death(1, 1),
+            ..Default::default()
+        };
+        let rep = run_hogwild(&task, &b, 4, 0.5, &opts);
+        assert!(!matches!(rep.outcome, crate::RunOutcome::FaultAborted { .. }));
+        assert!(rep.best_loss() < 0.3, "loss {}", rep.best_loss());
+        assert!(rep.metrics.total_faults().dead_workers > 0);
+    }
+
+    #[test]
+    fn hogwild_counts_injected_update_faults() {
+        let (x, y) = sparse_separable(256, 32);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(32);
+        let opts = RunOptions {
+            max_epochs: 10,
+            plateau: None,
+            faults: crate::FaultPlan::default()
+                .with_seed(9)
+                .with_drops(0.1)
+                .with_stale_reads(0.1)
+                .with_corruption(0.1, 0.5),
+            ..Default::default()
+        };
+        let rep = run_hogwild(&task, &b, 2, 0.5, &opts);
+        let total = rep.metrics.total_faults();
+        assert!(total.dropped_updates > 0);
+        assert!(total.stale_reads > 0);
+        assert!(total.corrupted_updates > 0);
+        // A 10% fault mix must not destroy convergence on separable data.
+        assert!(rep.best_loss() < 0.5, "loss {}", rep.best_loss());
     }
 }

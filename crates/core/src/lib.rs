@@ -49,6 +49,7 @@
 mod config;
 mod convergence;
 mod engine;
+mod faults;
 mod gpu_async;
 mod hogbatch;
 mod hogwild;
@@ -58,11 +59,13 @@ pub mod pool;
 mod replication;
 mod report;
 mod shared_model;
+mod supervisor;
 mod sync;
 
 pub use config::{DeviceKind, RunOptions};
 pub use convergence::{reference_optimum, ConvergenceSummary, LossTrace, THRESHOLDS};
 pub use engine::{Configuration, Engine, EngineError, Sparsity, Strategy, Timing, TimingMode};
+pub use faults::{FaultCounters, FaultPlan, Straggler, WorkerDeath};
 pub use gpu_async::GpuAsyncOptions;
 #[allow(deprecated)]
 pub use gpu_async::{run_gpu_hogbatch, run_gpu_hogwild};
@@ -78,7 +81,8 @@ pub use modeled::{run_hogbatch_modeled, run_hogwild_modeled, run_sync_modeled};
 #[allow(deprecated)]
 pub use replication::run_replicated_hogwild;
 pub use replication::Replication;
-pub use report::{grid_search, step_size_grid, RunReport};
+pub use report::{grid_search, step_size_grid, RunOutcome, RunReport};
 pub use shared_model::SharedModel;
+pub use supervisor::LOSS_EXPLOSION_FACTOR;
 #[allow(deprecated)]
 pub use sync::run_sync;

@@ -33,6 +33,9 @@ pub struct EpochMetrics {
     /// model cachelines) during the epoch, from the CPU cost model's
     /// conflict rate. Fractional because it is an expectation.
     pub coherency_conflicts: f64,
+    /// Faults injected during the epoch by the run's
+    /// [`crate::FaultPlan`] (all-zero for fault-free runs).
+    pub faults: crate::faults::FaultCounters,
 }
 
 impl EpochMetrics {
@@ -47,6 +50,7 @@ impl EpochMetrics {
             l2_hit_ratio: f64::NAN,
             staleness_rounds: 0,
             coherency_conflicts: 0.0,
+            faults: crate::faults::FaultCounters::default(),
         }
     }
 }
@@ -70,6 +74,15 @@ impl RunMetrics {
     /// Sum of per-epoch expected coherency conflicts.
     pub fn total_coherency_conflicts(&self) -> f64 {
         self.epochs.iter().map(|e| e.coherency_conflicts).sum()
+    }
+
+    /// Aggregate of the per-epoch injected-fault counters.
+    pub fn total_faults(&self) -> crate::faults::FaultCounters {
+        let mut total = crate::faults::FaultCounters::default();
+        for e in &self.epochs {
+            total.merge(&e.faults);
+        }
+        total
     }
 
     /// Sum of per-epoch simulated cycles (`None` when no epoch had a

@@ -18,9 +18,11 @@ use sgd_models::{Batch, Examples, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::faults::{sync_epoch_faults, FaultCounters, FaultPlan, SyncFaultDecision};
 use crate::hogwild::shuffled_order;
 use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::report::RunReport;
+use crate::supervisor::Supervisor;
 
 /// Which machine the CPU model describes and how many threads to model.
 #[derive(Clone, Debug)]
@@ -84,36 +86,64 @@ pub(crate) fn sync_modeled_observed<T: Task>(
     let mut eval = CpuExec::seq();
     let mut w = task.init_model();
     let mut g = vec![0.0; task.dim()];
+    // Last applied gradient, kept for stale-gradient-replay faults.
+    let mut prev_g = vec![0.0; task.dim()];
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let initial_loss = task.loss(&mut eval, batch, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
-    let stop = opts.stop_loss();
-    let mut timed_out = stop.is_some();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let workers = mc.threads.max(1);
+    // Straggler stalls charged on top of the cost model's own clock.
+    let mut extra = 0.0;
+    let mut model_secs_at_epoch_start = 0.0;
     for epoch in 0..opts.max_epochs {
+        if let Some(plan) = faults {
+            if plan.barrier_stalled(workers, epoch) {
+                sup.abort(epoch + 1);
+                break;
+            }
+        }
+        let mut fc = FaultCounters::default();
         task.gradient(&mut e, batch, &w, &mut g);
-        e.axpy(-alpha, &g, &mut w);
+        let d = match faults {
+            Some(plan) => sync_epoch_faults(plan, epoch, &mut fc),
+            None => SyncFaultDecision::none(),
+        };
+        if !d.dropped {
+            let step = if d.stale { &prev_g } else { &g };
+            e.axpy(-alpha * d.alpha_factor, step, &mut w);
+        }
+        if !d.stale {
+            std::mem::swap(&mut g, &mut prev_g);
+        }
+        if let Some(plan) = faults {
+            // The modeled barrier waits for the slowest straggler.
+            let dil = plan.sync_dilation(workers);
+            fc.straggler_delay_secs = (e.elapsed_secs() - model_secs_at_epoch_start) * (dil - 1.0);
+            extra += fc.straggler_delay_secs;
+        }
+        model_secs_at_epoch_start = e.elapsed_secs();
+        let elapsed = e.elapsed_secs() + extra;
         let loss = task.loss(&mut eval, batch, &w); // untimed
-        trace.push(e.elapsed_secs(), loss);
-        rec.record(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if e.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+        trace.push(elapsed, loss);
+        rec.record(EpochMetrics { faults: fc, ..EpochMetrics::new(epoch + 1, elapsed, loss) });
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
             break;
         }
     }
+    let verdict = sup.finish();
     RunReport {
         label: format!("{} sync {} (modeled)", task.name(), mc.device().label()),
         device: mc.device(),
         step_size: alpha,
         trace,
-        opt_seconds: e.elapsed_secs(),
-        timed_out,
+        opt_seconds: e.elapsed_secs() + extra,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -177,6 +207,93 @@ pub(crate) fn staleness_epoch<L: PointwiseLoss + ?Sized>(
     }
 }
 
+/// [`staleness_epoch`] with per-example fault injection. Each lane of a
+/// round is one modeled worker: a dead lane's examples are skipped, stale
+/// reads come from the epoch-start model, corrupted steps are scaled, and
+/// dropped updates never land. Decisions hash on the example index, so the
+/// schedule is independent of the round size.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn staleness_epoch_faulty<L: PointwiseLoss + ?Sized>(
+    loss: &L,
+    batch: &Batch<'_>,
+    w: &mut [Scalar],
+    alpha: f64,
+    order: &[u32],
+    round: usize,
+    plan: &FaultPlan,
+    epoch: usize,
+    epoch_start: &[Scalar],
+    fc: &mut FaultCounters,
+) {
+    let round = round.max(1);
+    let mut pending: Vec<(u32, Scalar)> = Vec::with_capacity(round * 8);
+    for chunk in order.chunks(round) {
+        pending.clear();
+        for (lane, &i) in chunk.iter().enumerate() {
+            if plan.worker_dead(lane, epoch) {
+                continue;
+            }
+            let i = i as usize;
+            let stale = plan.stale_read(epoch, i);
+            if stale {
+                fc.stale_reads += 1;
+            }
+            let s = match batch.x {
+                Examples::Sparse(m) => {
+                    let row = m.row(i);
+                    let read = if stale { epoch_start } else { &*w };
+                    let margin: Scalar =
+                        row.cols.iter().zip(row.vals).map(|(&c, &v)| v * read[c as usize]).sum();
+                    loss.dloss_at(margin, batch.y[i])
+                }
+                Examples::Dense(m) => {
+                    let row = m.row(i);
+                    let read = if stale { epoch_start } else { &*w };
+                    let margin: Scalar = row.iter().zip(read.iter()).map(|(&v, &wj)| v * wj).sum();
+                    loss.dloss_at(margin, batch.y[i])
+                }
+            };
+            if s == 0.0 {
+                continue;
+            }
+            let mut step = -alpha * s;
+            if let Some(f) = plan.corrupt_factor(epoch, i) {
+                step *= f;
+                fc.corrupted_updates += 1;
+            }
+            if plan.drops_update(epoch, i) {
+                fc.dropped_updates += 1;
+                continue;
+            }
+            match batch.x {
+                Examples::Sparse(m) => {
+                    let row = m.row(i);
+                    if round == 1 {
+                        for (&c, &v) in row.cols.iter().zip(row.vals) {
+                            w[c as usize] += step * v;
+                        }
+                    } else {
+                        pending.extend(row.cols.iter().zip(row.vals).map(|(&c, &v)| (c, step * v)));
+                    }
+                }
+                Examples::Dense(m) => {
+                    let row = m.row(i);
+                    if round == 1 {
+                        for (j, &v) in row.iter().enumerate() {
+                            w[j] += step * v;
+                        }
+                    } else {
+                        pending.extend(row.iter().enumerate().map(|(j, &v)| (j as u32, step * v)));
+                    }
+                }
+            }
+        }
+        for &(c, d) in &pending {
+            w[c as usize] += d;
+        }
+    }
+}
+
 /// Batch shape statistics the Hogwild cost model needs.
 pub(crate) fn batch_stats(batch: &Batch<'_>) -> (usize, f64, usize, usize) {
     match batch.x {
@@ -224,40 +341,69 @@ pub(crate) fn hogwild_modeled_observed<T: Task>(
     let mut w = task.init_model();
     let mut eval = CpuExec::seq();
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let initial_loss = task.loss(&mut eval, batch, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
-    let stop = opts.stop_loss();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let mut epoch_start: Vec<Scalar> = Vec::new();
     let mut elapsed = 0.0;
-    let mut timed_out = stop.is_some();
     for epoch in 0..opts.max_epochs {
-        staleness_epoch(loss_fn, batch, &mut w, alpha, &order, mc.threads);
-        elapsed += epoch_secs;
+        let mut fc = FaultCounters::default();
+        let mut secs = epoch_secs;
+        match faults {
+            None => staleness_epoch(loss_fn, batch, &mut w, alpha, &order, mc.threads),
+            Some(plan) => {
+                if epoch_start.len() == w.len() {
+                    epoch_start.copy_from_slice(&w);
+                } else {
+                    epoch_start = w.clone();
+                }
+                if plan.has_dead_worker(mc.threads, epoch) {
+                    fc.dead_workers = 1;
+                }
+                staleness_epoch_faulty(
+                    loss_fn,
+                    batch,
+                    &mut w,
+                    alpha,
+                    &order,
+                    mc.threads,
+                    plan,
+                    epoch,
+                    &epoch_start,
+                    &mut fc,
+                );
+                // Independent modeled workers absorb the straggler.
+                let dil = plan.async_dilation(mc.threads);
+                fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+                secs = epoch_secs * dil;
+            }
+        }
+        elapsed += secs;
         let loss = task.loss(&mut eval, batch, &w);
         trace.push(elapsed, loss);
         rec.record(EpochMetrics {
             staleness_rounds,
             coherency_conflicts: coherency_per_epoch,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, elapsed, loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if elapsed > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
             break;
         }
     }
+    let verdict = sup.finish();
     RunReport {
         label: format!("{} async {} (modeled)", task.name(), mc.device().label()),
         device: mc.device(),
         step_size: alpha,
         trace,
         opt_seconds: elapsed,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -330,51 +476,101 @@ pub(crate) fn hogbatch_modeled_observed<T: Task>(
         + if mc.threads > 1 { mc.spec.fork_join_secs } else { 0.0 };
 
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, full, &w));
+    let initial_loss = task.loss(&mut eval, full, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
-    let stop = opts.stop_loss();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let workers = mc.threads.max(1);
+    let mut epoch_start: Vec<Scalar> = Vec::new();
     let mut elapsed = 0.0;
-    let mut timed_out = stop.is_some();
     let mut cpu = CpuExec::seq();
     let mut snapshot = vec![0.0; dim];
     for epoch in 0..opts.max_epochs {
-        // Rounds of `threads` batches share a stale snapshot.
-        for group in batches.chunks(mc.threads.max(1)) {
-            snapshot.copy_from_slice(&w);
-            for b in group {
-                task.gradient(&mut cpu, b, &snapshot, &mut g);
-                for (wj, &gj) in w.iter_mut().zip(&g) {
-                    *wj -= alpha * gj;
+        let mut fc = FaultCounters::default();
+        let mut secs = epoch_secs;
+        match faults {
+            None => {
+                // Rounds of `threads` batches share a stale snapshot.
+                for group in batches.chunks(workers) {
+                    snapshot.copy_from_slice(&w);
+                    for b in group {
+                        task.gradient(&mut cpu, b, &snapshot, &mut g);
+                        for (wj, &gj) in w.iter_mut().zip(&g) {
+                            *wj -= alpha * gj;
+                        }
+                    }
                 }
             }
+            Some(plan) => {
+                if epoch_start.len() == w.len() {
+                    epoch_start.copy_from_slice(&w);
+                } else {
+                    epoch_start = w.clone();
+                }
+                if plan.has_dead_worker(workers, epoch) {
+                    fc.dead_workers = 1;
+                }
+                // Lane index within a round = modeled worker id; fault
+                // decisions hash on the global batch index.
+                let mut idx = 0usize;
+                for group in batches.chunks(workers) {
+                    snapshot.copy_from_slice(&w);
+                    for (lane, b) in group.iter().enumerate() {
+                        let bi = idx;
+                        idx += 1;
+                        if plan.worker_dead(lane, epoch) {
+                            continue;
+                        }
+                        let stale = plan.stale_read(epoch, bi);
+                        if stale {
+                            fc.stale_reads += 1;
+                        }
+                        let read: &[Scalar] = if stale { &epoch_start } else { &snapshot };
+                        task.gradient(&mut cpu, b, read, &mut g);
+                        let mut a = alpha;
+                        if let Some(f) = plan.corrupt_factor(epoch, bi) {
+                            a *= f;
+                            fc.corrupted_updates += 1;
+                        }
+                        if plan.drops_update(epoch, bi) {
+                            fc.dropped_updates += 1;
+                            continue;
+                        }
+                        for (wj, &gj) in w.iter_mut().zip(&g) {
+                            *wj -= a * gj;
+                        }
+                    }
+                }
+                let dil = plan.async_dilation(workers);
+                fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+                secs = epoch_secs * dil;
+            }
         }
-        elapsed += epoch_secs;
+        elapsed += secs;
         let loss = task.loss(&mut eval, full, &w);
         trace.push(elapsed, loss);
         rec.record(EpochMetrics {
             staleness_rounds,
             coherency_conflicts: coherency_per_epoch,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, elapsed, loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if elapsed > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
             break;
         }
     }
+    let verdict = sup.finish();
     RunReport {
         label: format!("{} async {} (hogbatch, modeled)", task.name(), mc.device().label()),
         device: mc.device(),
         step_size: alpha,
         trace,
         opt_seconds: elapsed,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -526,6 +722,34 @@ mod tests {
         // Both make progress on the loss.
         assert!(seq.best_loss() < seq.trace.points()[0].1);
         assert!(par.best_loss() < par.trace.points()[0].1);
+    }
+
+    #[test]
+    fn modeled_straggler_hits_sync_harder_than_hogwild() {
+        // The paper-level claim the faults bench quantifies: a 4x straggler
+        // stalls the synchronous barrier by the full 4x, while 8
+        // independent Hogwild workers only lose its throughput share.
+        let (x, y) = sparse_data(128, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let mc = CpuModelConfig::paper_machine(8);
+        let clean = RunOptions { max_epochs: 4, plateau: None, ..Default::default() };
+        let faulty = RunOptions {
+            faults: crate::FaultPlan::default().with_straggler(0, 4.0),
+            ..clean.clone()
+        };
+        let sc = run_sync_modeled(&task, &b, &mc, 0.5, &clean);
+        let sf = run_sync_modeled(&task, &b, &mc, 0.5, &faulty);
+        let hc = run_hogwild_modeled(&task, &b, &mc, 0.2, &clean);
+        let hf = run_hogwild_modeled(&task, &b, &mc, 0.2, &faulty);
+        assert_eq!(sc.trace.epochs(), sf.trace.epochs(), "straggler leaves statistics alone");
+        assert_eq!(hc.trace.epochs(), hf.trace.epochs());
+        let sync_ratio = sf.opt_seconds / sc.opt_seconds;
+        let async_ratio = hf.opt_seconds / hc.opt_seconds;
+        assert!((sync_ratio - 4.0).abs() < 1e-9, "sync dilation {sync_ratio}");
+        let expected = 8.0 / (7.0 + 0.25);
+        assert!((async_ratio - expected).abs() < 1e-9, "async dilation {async_ratio}");
+        assert!(async_ratio < sync_ratio, "async absorbs the straggler");
     }
 
     #[test]

@@ -16,11 +16,13 @@ use sgd_models::{Batch, LinearLoss, LinearTask, PointwiseLoss, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
-use crate::hogwild::{hogwild_worker, shuffled_order};
+use crate::faults::{FaultCounters, FaultTally};
+use crate::hogwild::{hogwild_worker, hogwild_worker_faulty, shuffled_order};
 use crate::metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder};
 use crate::modeled::batch_stats;
 use crate::report::RunReport;
 use crate::shared_model::SharedModel;
+use crate::supervisor::Supervisor;
 
 /// Model-replication strategy (DimmWitted's axis).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,20 +116,56 @@ pub(crate) fn replicated_observed<T: Task>(
     let mut eval = sgd_linalg::CpuExec::par();
     let mut trace = LossTrace::new();
     let mut avg = init.clone();
-    trace.push(0.0, task.loss(&mut eval, batch, &avg));
+    let initial_loss = task.loss(&mut eval, batch, &avg);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let tally = FaultTally::new();
 
-    let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        let mut fc = FaultCounters::default();
         let t0 = Instant::now();
-        std::thread::scope(|s| {
-            for (t, part) in parts.iter().enumerate() {
-                let model = &replicas[t % n_replicas];
-                s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
+        match faults {
+            None => {
+                std::thread::scope(|s| {
+                    for (t, part) in parts.iter().enumerate() {
+                        let model = &replicas[t % n_replicas];
+                        s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
+                    }
+                });
             }
-        });
+            Some(plan) => {
+                // `avg` still holds the epoch-start averaged model (every
+                // replica was reset to it at the previous boundary): the
+                // stale-read target. Dead workers' partitions are skipped.
+                std::thread::scope(|s| {
+                    for (t, part) in parts.iter().enumerate() {
+                        if plan.worker_dead(t, epoch) {
+                            fc.dead_workers += 1;
+                            continue;
+                        }
+                        let model = &replicas[t % n_replicas];
+                        let stale_model = &avg;
+                        let tally = &tally;
+                        s.spawn(move || {
+                            hogwild_worker_faulty(
+                                loss_fn,
+                                batch,
+                                model,
+                                alpha,
+                                part,
+                                plan,
+                                epoch,
+                                stale_model,
+                                tally,
+                            )
+                        });
+                    }
+                });
+            }
+        }
 
         // Epoch-boundary averaging (counted in optimization time: it is
         // part of the algorithm, unlike loss evaluation).
@@ -135,29 +173,28 @@ pub(crate) fn replicated_observed<T: Task>(
         for r in &replicas {
             r.store_from(&avg);
         }
-        opt_seconds += t0.elapsed().as_secs_f64();
+        let mut epoch_secs = t0.elapsed().as_secs_f64();
+        if let Some(plan) = faults {
+            tally.drain_into(&mut fc);
+            let dil = plan.async_dilation(threads);
+            fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+            epoch_secs *= dil;
+        }
+        opt_seconds += epoch_secs;
 
         let loss = task.loss(&mut eval, batch, &avg);
         trace.push(opt_seconds, loss);
         rec.record(EpochMetrics {
             staleness_rounds,
             coherency_conflicts: coherency_per_epoch,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &avg, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
     RunReport {
         label: format!("{} async {} [{}]", task.name(), device.label(), replication.label()),
@@ -165,8 +202,10 @@ pub(crate) fn replicated_observed<T: Task>(
         step_size: alpha,
         trace,
         opt_seconds,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -247,6 +286,32 @@ mod tests {
         for (p, q) in a.trace.points().iter().zip(h.trace.points()) {
             assert!((p.1 - q.1).abs() < 1e-12, "{} vs {}", p.1, q.1);
         }
+    }
+
+    #[test]
+    fn replicated_hogwild_degrades_gracefully_under_faults() {
+        let (x, y) = data(256, 16);
+        let b = Batch::new(Examples::Sparse(&x), &y);
+        let task = lr(16);
+        let opts = RunOptions {
+            max_epochs: 60,
+            faults: crate::faults::FaultPlan::default()
+                .with_seed(7)
+                .with_drops(0.05)
+                .with_worker_death(1, 2),
+            ..Default::default()
+        };
+        let rep =
+            run_replicated_hogwild(&task, &b, 4, 0.5, Replication::PerNode { nodes: 2 }, &opts);
+        assert!(
+            !matches!(rep.outcome, crate::report::RunOutcome::FaultAborted { .. }),
+            "async replication must absorb a dead worker, got {:?}",
+            rep.outcome
+        );
+        let totals = rep.metrics.total_faults();
+        assert!(totals.dead_workers > 0, "death never registered");
+        assert!(totals.dropped_updates > 0, "drops never fired");
+        assert!(rep.best_loss() < 0.4, "loss {}", rep.best_loss());
     }
 
     #[test]

@@ -1,8 +1,64 @@
 //! Run reports and step-size grid search.
 
+use sgd_linalg::Scalar;
+
 use crate::config::DeviceKind;
 use crate::convergence::{ConvergenceSummary, LossTrace};
 use crate::metrics::RunMetrics;
+
+/// Why an optimizer run's epoch loop ended.
+///
+/// Before this taxonomy existed every runner silently `break`ed on a
+/// non-finite loss, making a diverged run indistinguishable from a
+/// converged short one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Reached the configured convergence target.
+    Converged,
+    /// Ran out of epochs, wall-clock/simulated seconds, or plateaued
+    /// before reaching a target (or had no target at all).
+    BudgetExhausted,
+    /// The loss went non-finite (or exploded past the supervisor's
+    /// explosion limit) after `epoch` completed epochs.
+    Diverged {
+        /// 1-based epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// An injected fault made further progress impossible (e.g. a dead
+    /// worker stalling a synchronous barrier) at `epoch`.
+    FaultAborted {
+        /// 1-based epoch at which the run aborted.
+        epoch: usize,
+    },
+}
+
+impl RunOutcome {
+    /// `true` for [`RunOutcome::Diverged`].
+    pub fn is_diverged(&self) -> bool {
+        matches!(self, RunOutcome::Diverged { .. })
+    }
+
+    /// Human-readable tag for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            RunOutcome::Converged => "converged".into(),
+            RunOutcome::BudgetExhausted => "budget-exhausted".into(),
+            RunOutcome::Diverged { epoch } => format!("diverged@{epoch}"),
+            RunOutcome::FaultAborted { epoch } => format!("fault-aborted@{epoch}"),
+        }
+    }
+
+    /// Classifies a legacy epoch loop that tracked only "diverged at" and
+    /// "reached target" flags (used by the external-framework
+    /// comparators, which do not run under the supervisor).
+    pub fn classify(diverged_at: Option<usize>, converged: bool) -> RunOutcome {
+        match diverged_at {
+            Some(epoch) => RunOutcome::Diverged { epoch },
+            None if converged => RunOutcome::Converged,
+            None => RunOutcome::BudgetExhausted,
+        }
+    }
+}
 
 /// The outcome of one optimizer run: everything needed to fill one cell
 /// block of the paper's Tables II/III.
@@ -25,6 +81,12 @@ pub struct RunReport {
     /// Per-epoch hardware and staleness counters (see
     /// [`crate::EpochMetrics`]).
     pub metrics: RunMetrics,
+    /// Why the epoch loop ended.
+    pub outcome: RunOutcome,
+    /// Best finite-loss model the supervisor checkpointed; `None` when no
+    /// epoch improved on the initial model (including legacy shims that
+    /// predate the supervisor).
+    pub best_model: Option<Vec<Scalar>>,
 }
 
 impl RunReport {
@@ -55,6 +117,11 @@ impl RunReport {
     pub fn update_conflicts(&self) -> Option<u64> {
         self.metrics.update_conflicts
     }
+
+    /// `true` when the run ended in [`RunOutcome::Diverged`].
+    pub fn diverged(&self) -> bool {
+        self.outcome.is_diverged()
+    }
 }
 
 /// The paper's step-size grid: powers of ten from `1e-6` to `1e2`.
@@ -62,15 +129,57 @@ pub fn step_size_grid() -> Vec<f64> {
     (-6..=2).map(|e| 10f64.powi(e)).collect()
 }
 
+/// Halvings of α a diverged grid cell is retried at before the cell is
+/// written off.
+const GRID_BACKOFF_RETRIES: usize = 2;
+
+/// Halvings of the smallest grid α the rescue pass tries when *every*
+/// cell diverged. `2^-40` of the smallest α drives the update toward a
+/// no-op, whose loss stays at the finite initial value, so the rescue
+/// essentially always finds a non-diverged report.
+const GRID_RESCUE_HALVINGS: usize = 40;
+
+/// Reruns a diverged cell at halved step sizes, up to
+/// [`GRID_BACKOFF_RETRIES`] times.
+fn run_with_backoff(alpha: f64, run: &mut impl FnMut(f64) -> RunReport) -> RunReport {
+    let mut rep = run(alpha);
+    let mut a = alpha;
+    for _ in 0..GRID_BACKOFF_RETRIES {
+        if !rep.diverged() {
+            break;
+        }
+        a *= 0.5;
+        rep = run(a);
+    }
+    rep
+}
+
 /// Runs `run` at every step size in `grid` and returns the report with the
 /// fastest time to 1 % above `optimum`; when no step size converges, the
-/// report with the lowest final loss is returned (it carries
+/// non-diverged report with the lowest final loss is returned (it carries
 /// `timed_out`/`∞` semantics for the tables).
+///
+/// Diverged cells never win: a cell whose run ends in
+/// [`RunOutcome::Diverged`] is retried at halved α (step-size backoff) and
+/// excluded from the comparison if it still diverges. If *every* cell
+/// diverges even after backoff, a rescue pass keeps halving the smallest
+/// grid α until a run survives; only if that also fails (pathological
+/// tasks whose loss is non-finite at the initial model) is a diverged
+/// report returned.
 pub fn grid_search(optimum: f64, grid: &[f64], mut run: impl FnMut(f64) -> RunReport) -> RunReport {
     assert!(!grid.is_empty(), "empty step-size grid");
     let mut best: Option<(Option<f64>, f64, RunReport)> = None;
+    let mut diverged_fallback: Option<RunReport> = None;
+    let mut min_alpha = f64::INFINITY;
     for &alpha in grid {
-        let rep = run(alpha);
+        min_alpha = min_alpha.min(alpha);
+        let rep = run_with_backoff(alpha, &mut run);
+        if rep.diverged() {
+            if diverged_fallback.is_none() {
+                diverged_fallback = Some(rep);
+            }
+            continue;
+        }
         let t = rep.summarize(optimum).time_to_1pct();
         let loss = rep.best_loss();
         let better = match &best {
@@ -86,7 +195,18 @@ pub fn grid_search(optimum: f64, grid: &[f64], mut run: impl FnMut(f64) -> RunRe
             best = Some((t, loss, rep));
         }
     }
-    best.expect("non-empty grid produced at least one report").2
+    if let Some((_, _, rep)) = best {
+        return rep;
+    }
+    let mut alpha = min_alpha;
+    for _ in 0..GRID_RESCUE_HALVINGS {
+        alpha *= 0.5;
+        let rep = run(alpha);
+        if !rep.diverged() {
+            return rep;
+        }
+    }
+    diverged_fallback.expect("non-empty grid produced at least one report")
 }
 
 #[cfg(test)]
@@ -106,7 +226,14 @@ mod tests {
             trace,
             timed_out: false,
             metrics: RunMetrics::default(),
+            outcome: RunOutcome::BudgetExhausted,
+            best_model: None,
         }
+    }
+
+    fn diverged(alpha: f64, times_losses: &[(f64, f64)]) -> RunReport {
+        let epoch = times_losses.len().saturating_sub(1);
+        RunReport { outcome: RunOutcome::Diverged { epoch }, ..report(alpha, times_losses) }
     }
 
     #[test]
@@ -166,5 +293,72 @@ mod tests {
     #[should_panic(expected = "empty step-size grid")]
     fn empty_grid_rejected() {
         let _ = grid_search(0.0, &[], |a| report(a, &[(0.0, 1.0)]));
+    }
+
+    #[test]
+    fn outcome_labels() {
+        assert_eq!(RunOutcome::Converged.label(), "converged");
+        assert_eq!(RunOutcome::Diverged { epoch: 3 }.label(), "diverged@3");
+        assert_eq!(RunOutcome::FaultAborted { epoch: 2 }.label(), "fault-aborted@2");
+        assert!(RunOutcome::Diverged { epoch: 1 }.is_diverged());
+        assert!(!RunOutcome::BudgetExhausted.is_diverged());
+    }
+
+    #[test]
+    fn classify_maps_legacy_flags() {
+        assert_eq!(RunOutcome::classify(Some(4), false), RunOutcome::Diverged { epoch: 4 });
+        assert_eq!(RunOutcome::classify(None, true), RunOutcome::Converged);
+        assert_eq!(RunOutcome::classify(None, false), RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn grid_search_never_selects_a_diverged_cell() {
+        // The diverged cell has a (bogus) low intermediate loss AND a fast
+        // time-to-threshold — the old comparison would have picked it.
+        let best = grid_search(1.0, &[0.1, 10.0], |alpha| {
+            if alpha >= 10.0 * 0.5f64.powi(GRID_BACKOFF_RETRIES as i32) {
+                diverged(alpha, &[(0.0, 2.0), (0.1, 1.001), (0.2, f64::INFINITY)])
+            } else {
+                report(alpha, &[(0.0, 2.0), (1.0, 1.5)])
+            }
+        });
+        assert_eq!(best.step_size, 0.1);
+        assert!(!best.diverged());
+    }
+
+    #[test]
+    fn grid_search_backoff_rescues_a_diverged_cell_at_halved_alpha() {
+        // α = 4 diverges; one halving (α = 2) converges — faster than the
+        // stable α = 0.1 cell, so the backoff result must win the grid.
+        let best = grid_search(1.0, &[0.1, 4.0], |alpha| {
+            if alpha >= 4.0 {
+                diverged(alpha, &[(0.0, 2.0), (0.1, f64::NAN)])
+            } else if alpha >= 2.0 {
+                report(alpha, &[(0.0, 2.0), (0.5, 1.005)])
+            } else {
+                report(alpha, &[(0.0, 2.0), (3.0, 1.005)])
+            }
+        });
+        assert_eq!(best.step_size, 2.0);
+        assert_eq!(best.outcome, RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn grid_search_rescue_halves_below_the_grid_when_everything_diverges() {
+        let mut calls = 0usize;
+        // Backoff halves each cell only GRID_BACKOFF_RETRIES times, so with
+        // everything above 0.1 diverging (0.5 → 0.25 → 0.125 all diverge)
+        // only the rescue pass can reach a surviving α.
+        let best = grid_search(0.0, &[0.5, 1.0], |alpha| {
+            calls += 1;
+            if alpha > 0.1 {
+                diverged(alpha, &[(0.0, 2.0), (0.1, f64::INFINITY)])
+            } else {
+                report(alpha, &[(0.0, 2.0), (1.0, 1.9)])
+            }
+        });
+        assert!(best.step_size <= 0.1, "rescued at α = {}", best.step_size);
+        assert!(!best.diverged());
+        assert!(calls > 2, "backoff and rescue reran the closure");
     }
 }

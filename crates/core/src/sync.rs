@@ -14,9 +14,11 @@ use sgd_models::{Batch, Task};
 
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
+use crate::faults::{sync_epoch_faults, FaultCounters, SyncFaultDecision};
 use crate::metrics::{EpochMetrics, EpochObserver, GpuEpochProbe, NullObserver, Recorder};
 use crate::pool::with_threads;
 use crate::report::RunReport;
+use crate::supervisor::Supervisor;
 
 /// Runs synchronous (batch) gradient descent for `task` over `batch` on
 /// the given device with step size `alpha`.
@@ -68,42 +70,65 @@ fn cpu_run<T: Task>(
 ) -> RunReport {
     let mut w = task.init_model();
     let mut g = vec![0.0; task.dim()];
+    // Last applied gradient, kept for stale-gradient-replay faults.
+    let mut prev_g = vec![0.0; task.dim()];
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut e, batch, &w));
+    let initial_loss = task.loss(&mut e, batch, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
-    let stop = opts.stop_loss();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let workers = opts.threads.max(1);
     let mut opt_seconds = 0.0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        if let Some(plan) = faults {
+            if plan.barrier_stalled(workers, epoch) {
+                // A dead worker never reaches the barrier: the epoch can
+                // never complete.
+                sup.abort(epoch + 1);
+                break;
+            }
+        }
+        let mut fc = FaultCounters::default();
         let t0 = Instant::now();
         task.gradient(&mut e, batch, &w, &mut g);
-        e.axpy(-alpha, &g, &mut w);
-        opt_seconds += t0.elapsed().as_secs_f64();
+        let d = match faults {
+            Some(plan) => sync_epoch_faults(plan, epoch, &mut fc),
+            None => SyncFaultDecision::none(),
+        };
+        if !d.dropped {
+            let step = if d.stale { &prev_g } else { &g };
+            e.axpy(-alpha * d.alpha_factor, step, &mut w);
+        }
+        if !d.stale {
+            std::mem::swap(&mut g, &mut prev_g);
+        }
+        let mut epoch_secs = t0.elapsed().as_secs_f64();
+        if let Some(plan) = faults {
+            // The barrier waits for the slowest straggler.
+            let dil = plan.sync_dilation(workers);
+            fc.straggler_delay_secs = epoch_secs * (dil - 1.0);
+            epoch_secs *= dil;
+        }
+        opt_seconds += epoch_secs;
         let loss = task.loss(&mut e, batch, &w); // excluded from timing
         trace.push(opt_seconds, loss);
-        rec.record(EpochMetrics::new(epoch + 1, opt_seconds, loss));
-        if !loss.is_finite() {
-            break; // diverged; grid search will discard this step size
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if opt_seconds > opts.max_secs || opts.plateaued(&trace) {
+        rec.record(EpochMetrics { faults: fc, ..EpochMetrics::new(epoch + 1, opt_seconds, loss) });
+        if sup.observe(epoch + 1, opt_seconds, loss, &w, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     RunReport {
         label: label(task, device),
         device,
         step_size: alpha,
         trace,
         opt_seconds,
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -118,28 +143,60 @@ fn gpu_run<T: Task>(
     let mut eval = CpuExec::seq();
     let mut w = task.init_model();
     let mut g = vec![0.0; task.dim()];
+    // Last applied gradient, kept for stale-gradient-replay faults.
+    let mut prev_g = vec![0.0; task.dim()];
     let mut trace = LossTrace::new();
-    trace.push(0.0, task.loss(&mut eval, batch, &w));
+    let initial_loss = task.loss(&mut eval, batch, &w);
+    trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
     let mut probe = GpuEpochProbe::new();
-    let stop = opts.stop_loss();
+    let mut sup = Supervisor::new(opts, initial_loss);
+    let faults = opts.faults.active();
+    let workers = opts.threads.max(1);
     let mut warm_epoch_cost = 0.0;
-    let mut timed_out = true;
     for epoch in 0..opts.max_epochs {
+        if let Some(plan) = faults {
+            if plan.barrier_stalled(workers, epoch) {
+                sup.abort(epoch + 1);
+                break;
+            }
+        }
+        let mut fc = FaultCounters::default();
+        let d = match faults {
+            Some(plan) => sync_epoch_faults(plan, epoch, &mut fc),
+            None => SyncFaultDecision::none(),
+        };
         probe.begin(&dev);
+        let epoch_start = dev.elapsed_secs();
         if epoch < 2 {
             // Trace the real kernel stream (epoch 0 cold, epoch 1 warm L2).
             let t0 = dev.elapsed_secs();
             let mut e = GpuExec::new(&mut dev);
             task.gradient(&mut e, batch, &w, &mut g);
-            e.axpy(-alpha, &g, &mut w);
+            if !d.dropped {
+                let step = if d.stale { &prev_g } else { &g };
+                e.axpy(-alpha * d.alpha_factor, step, &mut w);
+            }
             warm_epoch_cost = dev.elapsed_secs() - t0;
         } else {
             // Identical access pattern: replay the warm-epoch cost while
             // computing the numerically identical update on the host.
             task.gradient(&mut eval, batch, &w, &mut g);
-            eval.axpy(-alpha, &g, &mut w);
+            if !d.dropped {
+                let step = if d.stale { &prev_g } else { &g };
+                eval.axpy(-alpha * d.alpha_factor, step, &mut w);
+            }
             dev.advance_secs(warm_epoch_cost);
+        }
+        if !d.stale {
+            std::mem::swap(&mut g, &mut prev_g);
+        }
+        if let Some(plan) = faults {
+            // The device stream stalls until the slowest participant of
+            // the synchronous step has finished.
+            let dil = plan.sync_dilation(workers);
+            fc.straggler_delay_secs = (dev.elapsed_secs() - epoch_start) * (dil - 1.0);
+            dev.advance_secs(fc.straggler_delay_secs);
         }
         let (cycles, l2) = probe.end(&dev);
         let loss = task.loss(&mut eval, batch, &w);
@@ -147,30 +204,24 @@ fn gpu_run<T: Task>(
         rec.record(EpochMetrics {
             simulated_cycles: cycles,
             l2_hit_ratio: l2,
+            faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if !loss.is_finite() {
-            break;
-        }
-        if stop.is_some_and(|s| loss <= s) {
-            timed_out = false;
-            break;
-        }
-        if dev.elapsed_secs() > opts.max_secs || opts.plateaued(&trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
             break;
         }
     }
-    if stop.is_none() {
-        timed_out = false;
-    }
+    let verdict = sup.finish();
     RunReport {
         label: label(task, DeviceKind::Gpu),
         device: DeviceKind::Gpu,
         step_size: alpha,
         trace,
         opt_seconds: dev.elapsed_secs(),
-        timed_out,
+        timed_out: verdict.timed_out,
         metrics: rec.finish(),
+        outcome: verdict.outcome,
+        best_model: verdict.best_model,
     }
 }
 
@@ -268,6 +319,65 @@ mod tests {
         // The run must terminate without reporting convergence to ~0 loss.
         assert!(rep.summarize(0.0).time_to_1pct().is_none());
         assert!(rep.trace.epochs() <= 50);
+        // Divergence is no longer a silent break: it is classified.
+        assert!(rep.diverged(), "outcome: {:?}", rep.outcome);
+    }
+
+    #[test]
+    fn straggler_stalls_the_sync_barrier_by_its_full_slowdown() {
+        // Simulated GPU time is deterministic, so the dilation is exact:
+        // a 3x straggler stretches every synchronous epoch by 3x.
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let clean = RunOptions { max_epochs: 6, plateau: None, ..Default::default() };
+        let faulty = RunOptions {
+            faults: crate::FaultPlan::default().with_straggler(0, 3.0),
+            ..clean.clone()
+        };
+        let rc = run_sync(&task, &b, DeviceKind::Gpu, 0.5, &clean);
+        let rf = run_sync(&task, &b, DeviceKind::Gpu, 0.5, &faulty);
+        assert_eq!(rc.trace.epochs(), rf.trace.epochs(), "statistics unchanged");
+        assert!(
+            (rf.opt_seconds - 3.0 * rc.opt_seconds).abs() < 1e-9 * rc.opt_seconds.max(1.0),
+            "{} vs 3 x {}",
+            rf.opt_seconds,
+            rc.opt_seconds
+        );
+        let delay = rf.metrics.total_faults().straggler_delay_secs;
+        assert!((delay - 2.0 * rc.opt_seconds).abs() < 1e-9 * rc.opt_seconds.max(1.0));
+    }
+
+    #[test]
+    fn worker_death_aborts_the_sync_barrier() {
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions {
+            max_epochs: 10,
+            faults: crate::FaultPlan::default().with_worker_death(0, 2),
+            ..Default::default()
+        };
+        let rep = run_sync(&task, &b, DeviceKind::CpuSeq, 0.5, &opts);
+        assert_eq!(rep.outcome, crate::RunOutcome::FaultAborted { epoch: 3 });
+        assert_eq!(rep.trace.epochs(), 2, "epochs 0 and 1 completed before the death");
+    }
+
+    #[test]
+    fn dropped_and_stale_updates_are_counted() {
+        let (x, y) = separable();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(4);
+        let opts = RunOptions {
+            max_epochs: 40,
+            plateau: None,
+            faults: crate::FaultPlan::default().with_seed(3).with_drops(0.3).with_stale_reads(0.3),
+            ..Default::default()
+        };
+        let rep = run_sync(&task, &b, DeviceKind::CpuSeq, 0.5, &opts);
+        let total = rep.metrics.total_faults();
+        assert!(total.dropped_updates > 0, "40 epochs at 30% drop rate");
+        assert!(total.stale_reads > 0, "40 epochs at 30% stale rate");
     }
 
     #[test]

@@ -22,6 +22,7 @@ mod transform;
 
 pub use dataset::Dataset;
 pub use generator::{generate, plant_labels, GenOptions};
+pub use libsvm::ParseError;
 pub use profiles::{all_profiles, DatasetProfile};
 pub use stats::{table1_row, Table1Row};
 pub use transform::{group_features, normalize_rows};

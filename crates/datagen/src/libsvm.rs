@@ -5,6 +5,7 @@
 //! [`read_file`]; the writer exists so synthetic datasets can be exported
 //! for cross-checking against other systems.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -13,10 +14,106 @@ use sgd_linalg::{CsrMatrix, Scalar};
 
 use crate::dataset::Dataset;
 
+/// Structured parse failure from the LIBSVM reader. Every in-line variant
+/// carries the 1-based line number of the offending record so malformed
+/// multi-gigabyte dumps can be fixed without bisecting them by hand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// The leading label token did not parse as a number.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The label parsed but is NaN or infinite — it would poison every
+    /// loss evaluation downstream.
+    NonFiniteLabel {
+        /// 1-based line number.
+        line: usize,
+        /// The parsed non-finite value.
+        value: f64,
+    },
+    /// A feature token was not of the `idx:val` form.
+    MalformedPair {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// The index half of a pair did not parse as an integer.
+    BadIndex {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// LIBSVM indices are 1-based; an explicit `0:` index is malformed.
+    ZeroIndex {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The value half of a pair did not parse as a number.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A feature value parsed but is NaN or infinite.
+    NonFiniteValue {
+        /// 1-based line number.
+        line: usize,
+        /// The parsed non-finite value.
+        value: f64,
+    },
+    /// An index exceeds the caller-declared feature-space width.
+    IndexOutOfRange {
+        /// Largest 1-based index seen in the data.
+        index: usize,
+        /// The declared width it exceeds.
+        features: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLabel { line, token } => {
+                write!(f, "line {line}: bad label: '{token}' is not a number")
+            }
+            ParseError::NonFiniteLabel { line, value } => {
+                write!(f, "line {line}: non-finite label {value}")
+            }
+            ParseError::MalformedPair { line, token } => {
+                write!(f, "line {line}: expected idx:val, got '{token}'")
+            }
+            ParseError::BadIndex { line, token } => {
+                write!(f, "line {line}: bad index: '{token}' is not an integer")
+            }
+            ParseError::ZeroIndex { line } => {
+                write!(f, "line {line}: LIBSVM indices are 1-based")
+            }
+            ParseError::BadValue { line, token } => {
+                write!(f, "line {line}: bad value: '{token}' is not a number")
+            }
+            ParseError::NonFiniteValue { line, value } => {
+                write!(f, "line {line}: non-finite value {value}")
+            }
+            ParseError::IndexOutOfRange { index, features } => {
+                write!(f, "index {index} exceeds declared features {features}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parses LIBSVM text. `features` forces the feature-space width; pass 0 to
 /// infer it from the data. Labels are mapped to `±1` (`<= 0` and the
-/// common `0/1` and `1/2` encodings become `-1/+1`).
-pub fn parse_str(name: &str, text: &str, features: usize) -> Result<Dataset, String> {
+/// common `0/1` and `1/2` encodings become `-1/+1`). Non-finite labels and
+/// values are rejected with the offending line number.
+pub fn parse_str(name: &str, text: &str, features: usize) -> Result<Dataset, ParseError> {
     let mut entries: Vec<Vec<(u32, Scalar)>> = Vec::new();
     let mut raw_labels: Vec<f64> = Vec::new();
     let mut max_col = 0usize;
@@ -25,24 +122,33 @@ pub fn parse_str(name: &str, text: &str, features: usize) -> Result<Dataset, Str
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        let lineno = lineno + 1;
         let mut parts = line.split_whitespace();
-        let label: f64 = parts
-            .next()
-            .expect("non-empty line has a first token")
+        let Some(first) = parts.next() else { continue };
+        let label: f64 = first
             .parse()
-            .map_err(|e| format!("line {}: bad label: {e}", lineno + 1))?;
+            .map_err(|_| ParseError::BadLabel { line: lineno, token: first.to_string() })?;
+        if !label.is_finite() {
+            return Err(ParseError::NonFiniteLabel { line: lineno, value: label });
+        }
         let mut row: Vec<(u32, Scalar)> = Vec::new();
         for tok in parts {
-            let (idx, val) = tok
-                .split_once(':')
-                .ok_or_else(|| format!("line {}: expected idx:val, got '{tok}'", lineno + 1))?;
-            let idx: usize =
-                idx.parse().map_err(|e| format!("line {}: bad index: {e}", lineno + 1))?;
+            let (idx, val) = tok.split_once(':').ok_or_else(|| ParseError::MalformedPair {
+                line: lineno,
+                token: tok.to_string(),
+            })?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| ParseError::BadIndex { line: lineno, token: idx.to_string() })?;
             if idx == 0 {
-                return Err(format!("line {}: LIBSVM indices are 1-based", lineno + 1));
+                return Err(ParseError::ZeroIndex { line: lineno });
             }
-            let val: Scalar =
-                val.parse().map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+            let val: Scalar = val
+                .parse()
+                .map_err(|_| ParseError::BadValue { line: lineno, token: val.to_string() })?;
+            if !val.is_finite() {
+                return Err(ParseError::NonFiniteValue { line: lineno, value: val });
+            }
             max_col = max_col.max(idx);
             row.push((idx as u32 - 1, val));
         }
@@ -52,7 +158,7 @@ pub fn parse_str(name: &str, text: &str, features: usize) -> Result<Dataset, Str
 
     let d = if features > 0 {
         if max_col > features {
-            return Err(format!("index {max_col} exceeds declared features {features}"));
+            return Err(ParseError::IndexOutOfRange { index: max_col, features });
         }
         features
     } else {
@@ -126,17 +232,64 @@ mod tests {
 
     #[test]
     fn rejects_zero_index() {
-        assert!(parse_str("t", "+1 0:1\n", 0).unwrap_err().contains("1-based"));
+        let err = parse_str("t", "+1 0:1\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::ZeroIndex { line: 1 });
+        assert!(err.to_string().contains("1-based"));
     }
 
     #[test]
     fn rejects_malformed_pair() {
-        assert!(parse_str("t", "+1 abc\n", 0).unwrap_err().contains("idx:val"));
+        let err = parse_str("t", "+1 abc\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::MalformedPair { line: 1, token: "abc".into() });
+        assert!(err.to_string().contains("idx:val"));
     }
 
     #[test]
     fn rejects_overflowing_index() {
-        assert!(parse_str("t", "+1 5:1\n", 3).unwrap_err().contains("exceeds"));
+        let err = parse_str("t", "+1 5:1\n", 3).unwrap_err();
+        assert_eq!(err, ParseError::IndexOutOfRange { index: 5, features: 3 });
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn rejects_bad_label_and_bad_tokens_with_line_numbers() {
+        // Comments and blank lines still count toward the reported line
+        // number, so it matches what an editor shows.
+        let err = parse_str("t", "# header\n+1 1:1\nxyz 1:1\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::BadLabel { line: 3, token: "xyz".into() });
+
+        let err = parse_str("t", "+1 a:1\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::BadIndex { line: 1, token: "a".into() });
+
+        let err = parse_str("t", "+1 1:x\n", 0).unwrap_err();
+        assert_eq!(err, ParseError::BadValue { line: 1, token: "x".into() });
+    }
+
+    #[test]
+    fn rejects_non_finite_values_and_labels() {
+        let err = parse_str("t", "+1 1:1\n-1 2:nan\n", 0).unwrap_err();
+        assert!(
+            matches!(err, ParseError::NonFiniteValue { line: 2, value } if value.is_nan()),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_str("t", "+1 1:inf\n", 0).unwrap_err();
+        assert!(matches!(err, ParseError::NonFiniteValue { line: 1, .. }), "{err:?}");
+
+        let err = parse_str("t", "inf 1:1\n", 0).unwrap_err();
+        assert!(matches!(err, ParseError::NonFiniteLabel { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn parse_error_converts_to_io_error_through_read_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sgd_study_libsvm_bad_test.svm");
+        std::fs::write(&path, "+1 1:nan\n").expect("write");
+        let err = read_file(&path, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-finite value"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

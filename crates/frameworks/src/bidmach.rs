@@ -11,8 +11,8 @@
 use std::time::Instant;
 
 use sgd_core::{
-    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunReport,
-    Strategy, Timing,
+    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunOutcome,
+    RunReport, Strategy, Timing,
 };
 use sgd_gpusim::kernels::GpuExec;
 use sgd_linalg::CpuExec;
@@ -90,6 +90,7 @@ fn cpu_loop<L: LinearLoss>(
     let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
@@ -100,6 +101,7 @@ fn cpu_loop<L: LinearLoss>(
         trace.push(opt_seconds, loss);
         metrics.epochs.push(EpochMetrics::new(epoch + 1, opt_seconds, loss));
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -110,7 +112,18 @@ fn cpu_loop<L: LinearLoss>(
             break;
         }
     }
-    RunReport { label, device, step_size: alpha, trace, opt_seconds, timed_out, metrics }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
+    RunReport {
+        label,
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        metrics,
+        outcome,
+        best_model: None,
+    }
 }
 
 fn gpu_loop<L: LinearLoss>(
@@ -129,6 +142,7 @@ fn gpu_loop<L: LinearLoss>(
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         let cycles0 = dev.elapsed_cycles();
@@ -152,6 +166,7 @@ fn gpu_loop<L: LinearLoss>(
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -162,6 +177,7 @@ fn gpu_loop<L: LinearLoss>(
             break;
         }
     }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
     RunReport {
         label,
         device: DeviceKind::Gpu,
@@ -170,6 +186,8 @@ fn gpu_loop<L: LinearLoss>(
         opt_seconds: dev.elapsed_secs(),
         timed_out,
         metrics,
+        outcome,
+        best_model: None,
     }
 }
 
@@ -202,6 +220,7 @@ fn sync_modeled<L: LinearLoss>(
     trace.push(0.0, task.loss(&mut eval, batch, &w));
     let stop = opts.stop_loss();
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         task.gradient(&mut e, batch, &w, &mut g);
@@ -210,6 +229,7 @@ fn sync_modeled<L: LinearLoss>(
         trace.push(e.elapsed_secs(), loss);
         metrics.epochs.push(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -220,6 +240,7 @@ fn sync_modeled<L: LinearLoss>(
             break;
         }
     }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
     RunReport {
         label: format!("BIDMach {} sync {} (modeled)", task.name(), mc.device().label()),
         device: mc.device(),
@@ -228,6 +249,8 @@ fn sync_modeled<L: LinearLoss>(
         opt_seconds: e.elapsed_secs(),
         timed_out,
         metrics,
+        outcome,
+        best_model: None,
     }
 }
 

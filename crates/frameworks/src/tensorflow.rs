@@ -16,8 +16,8 @@
 use std::time::Instant;
 
 use sgd_core::{
-    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunReport,
-    Strategy, Timing,
+    Configuration, DeviceKind, EpochMetrics, LossTrace, RunMetrics, RunOptions, RunOutcome,
+    RunReport, Strategy, Timing,
 };
 use sgd_gpusim::kernels::GpuExec;
 use sgd_linalg::{Backend, CpuExec, Matrix, Scalar};
@@ -133,6 +133,7 @@ fn cpu_loop(
     let stop = opts.stop_loss();
     let mut opt_seconds = 0.0;
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         let t0 = Instant::now();
@@ -143,6 +144,7 @@ fn cpu_loop(
         trace.push(opt_seconds, loss);
         metrics.epochs.push(EpochMetrics::new(epoch + 1, opt_seconds, loss));
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -153,7 +155,18 @@ fn cpu_loop(
             break;
         }
     }
-    RunReport { label, device, step_size: alpha, trace, opt_seconds, timed_out, metrics }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
+    RunReport {
+        label,
+        device,
+        step_size: alpha,
+        trace,
+        opt_seconds,
+        timed_out,
+        metrics,
+        outcome,
+        best_model: None,
+    }
 }
 
 fn gpu_loop(
@@ -171,6 +184,7 @@ fn gpu_loop(
     let stop = opts.stop_loss();
     let mut warm_cost = 0.0;
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         let cycles0 = dev.elapsed_cycles();
@@ -195,6 +209,7 @@ fn gpu_loop(
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -205,6 +220,7 @@ fn gpu_loop(
             break;
         }
     }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
     RunReport {
         label,
         device: DeviceKind::Gpu,
@@ -213,6 +229,8 @@ fn gpu_loop(
         opt_seconds: dev.elapsed_secs(),
         timed_out,
         metrics,
+        outcome,
+        best_model: None,
     }
 }
 
@@ -248,6 +266,7 @@ fn sync_modeled(
     trace.push(0.0, sess.loss(&mut eval, x, &classes));
     let stop = opts.stop_loss();
     let mut timed_out = stop.is_some();
+    let mut diverged_at = None;
     let mut metrics = RunMetrics::default();
     for epoch in 0..opts.max_epochs {
         let grads = sess.gradients(&mut e, x, &classes);
@@ -256,6 +275,7 @@ fn sync_modeled(
         trace.push(e.elapsed_secs(), loss);
         metrics.epochs.push(EpochMetrics::new(epoch + 1, e.elapsed_secs(), loss));
         if !loss.is_finite() {
+            diverged_at = Some(epoch + 1);
             break;
         }
         if stop.is_some_and(|s| loss <= s) {
@@ -266,6 +286,7 @@ fn sync_modeled(
             break;
         }
     }
+    let outcome = RunOutcome::classify(diverged_at, stop.is_some() && !timed_out);
     RunReport {
         label: format!("TF MLP sync {} (modeled)", mc.device().label()),
         device: mc.device(),
@@ -274,6 +295,8 @@ fn sync_modeled(
         opt_seconds: e.elapsed_secs(),
         timed_out,
         metrics,
+        outcome,
+        best_model: None,
     }
 }
 

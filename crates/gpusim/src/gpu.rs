@@ -21,6 +21,7 @@ pub struct GpuDevice {
     stats: GpuStats,
     elapsed_cycles: f64,
     alloc_cursor: u64,
+    buffers: std::collections::HashMap<(usize, usize), u64>,
 }
 
 impl GpuDevice {
@@ -34,6 +35,7 @@ impl GpuDevice {
             stats: GpuStats::default(),
             elapsed_cycles: 0.0,
             alloc_cursor: 0,
+            buffers: std::collections::HashMap::new(),
             spec,
         }
     }
@@ -83,6 +85,24 @@ impl GpuDevice {
     pub fn alloc(&mut self, bytes: u64) -> u64 {
         let base = self.alloc_cursor;
         self.alloc_cursor += (bytes + 255) & !255;
+        base
+    }
+
+    /// Stable simulated device address for a host-side buffer.
+    ///
+    /// The first touch [`GpuDevice::alloc`]s a region; later touches of
+    /// the same buffer return the same base, so cache reuse is modelled
+    /// faithfully. Bases depend only on first-touch *order* — never on
+    /// host pointer values — so a deterministic kernel sequence traces
+    /// identical simulated addresses (and cycles) on every run, which the
+    /// host allocator cannot guarantee.
+    pub fn buffer_addr<T>(&mut self, slice: &[T]) -> u64 {
+        let key = (slice.as_ptr() as usize, std::mem::size_of_val(slice));
+        if let Some(&base) = self.buffers.get(&key) {
+            return base;
+        }
+        let base = self.alloc(std::mem::size_of_val(slice).max(1) as u64);
+        self.buffers.insert(key, base);
         base
     }
 

@@ -6,9 +6,10 @@
 //! data-dependent behaviour the paper studies (divergence from the nnz
 //! distribution, non-coalesced gathers through L2).
 //!
-//! Simulated addresses are the host addresses of the backing slices: they
-//! are stable across calls (cache reuse is modelled faithfully) and
-//! distinct across arrays.
+//! Simulated addresses come from the device's buffer registry
+//! ([`GpuDevice::buffer_addr`]): stable across calls (cache reuse is
+//! modelled faithfully), distinct across arrays, and — unlike raw host
+//! addresses — reproducible across runs.
 //!
 //! [`GpuExec`] packages the kernels behind the [`Exec`] trait so the models
 //! in `sgd-models` run unchanged on the simulated device.
@@ -122,10 +123,10 @@ pub fn zip<F>(
 pub fn spmv_warp_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     let w = dev.spec().warp_size;
     let (vals_p, cols_p, x_p, y_p) = (
-        a.values().as_ptr() as u64,
-        a.col_idx().as_ptr() as u64,
-        x.as_ptr() as u64,
-        y.as_ptr() as u64,
+        dev.buffer_addr(a.values()),
+        dev.buffer_addr(a.col_idx()),
+        dev.buffer_addr(x),
+        dev.buffer_addr(y),
     );
     let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);
     dev.run_kernel(a.rows(), |row, ctx| {
@@ -168,10 +169,10 @@ pub fn spmv_thread_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: 
     let w = dev.spec().warp_size;
     let n_warps = a.rows().div_ceil(w);
     let (vals_p, cols_p, x_p, y_p) = (
-        a.values().as_ptr() as u64,
-        a.col_idx().as_ptr() as u64,
-        x.as_ptr() as u64,
-        y.as_ptr() as u64,
+        dev.buffer_addr(a.values()),
+        dev.buffer_addr(a.col_idx()),
+        dev.buffer_addr(x),
+        dev.buffer_addr(y),
     );
     let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);
     dev.run_kernel(n_warps, |warp, ctx| {
@@ -222,10 +223,10 @@ pub fn spmv_thread_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: 
 pub fn spmv_t_warp_per_row(dev: &mut GpuDevice, a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     let w = dev.spec().warp_size;
     let (vals_p, cols_p, x_p, y_p) = (
-        a.values().as_ptr() as u64,
-        a.col_idx().as_ptr() as u64,
-        x.as_ptr() as u64,
-        y.as_ptr() as u64,
+        dev.buffer_addr(a.values()),
+        dev.buffer_addr(a.col_idx()),
+        dev.buffer_addr(x),
+        dev.buffer_addr(y),
     );
     y.fill(0.0);
     let mut acc: Vec<LaneAccess> = Vec::with_capacity(w);

@@ -13,8 +13,8 @@
 use sgd_study::core::{
     make_batches, run_gpu_hogbatch, run_gpu_hogwild, run_hogbatch, run_hogbatch_modeled,
     run_hogwild, run_hogwild_modeled, run_replicated_hogwild, run_sync, run_sync_modeled,
-    Configuration, CpuModelConfig, DeviceKind, Engine, GpuAsyncOptions, Replication, RunOptions,
-    RunReport, Strategy, Timing,
+    Configuration, CpuModelConfig, DeviceKind, Engine, FaultPlan, GpuAsyncOptions, Replication,
+    RunOptions, RunReport, Strategy, Timing,
 };
 use sgd_study::linalg::{CsrMatrix, Matrix};
 use sgd_study::models::{lr, Batch, Examples, MlpTask};
@@ -49,6 +49,7 @@ fn assert_identical(engine: &RunReport, legacy: &RunReport) {
         assert_eq!(e.1, l.1, "loss diverged: {} vs {}", e.1, l.1);
     }
     assert_eq!(engine.metrics.epochs.len(), engine.trace.epochs());
+    assert_eq!(engine.outcome, legacy.outcome);
 }
 
 /// Shape-only comparison for racy wall-clock corners.
@@ -208,6 +209,59 @@ fn gpu_hogbatch_matches_legacy() {
         owned.iter().map(|(m, l)| Batch::new(Examples::Dense(m), l)).collect();
     let legacy = run_gpu_hogbatch(&task, &full, &batches, 0.5, &o, &gopts);
     assert_identical(&engine, &legacy);
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_on_every_deterministic_corner() {
+    // A plan that configures nothing harmful — even with a custom seed
+    // and a 1.0x "straggler" — must route every runner through its
+    // unmodified code path: times, losses, and outcomes bit-identical to
+    // a run with default options.
+    let noop = FaultPlan::default().with_seed(1234).with_straggler(0, 1.0);
+    assert!(noop.is_empty());
+    let o = opts();
+    let fo = RunOptions { faults: noop, ..opts() };
+
+    // `det_time`: wall-clock CPU corners time real execution, so only
+    // losses are comparable across two runs; modeled/simulated corners
+    // must also reproduce their clocks exactly.
+    let check = |run: &dyn Fn(&RunOptions) -> RunReport, det_time: bool| {
+        let clean = run(&o);
+        let gated = run(&fo);
+        assert_identical(&clean, &gated);
+        if det_time {
+            assert_eq!(clean.opt_seconds, gated.opt_seconds, "{}", clean.label);
+            for (c, g) in clean.trace.points().iter().zip(gated.trace.points()) {
+                assert_eq!(c.0, g.0, "epoch time drifted under an empty plan");
+            }
+        }
+        assert_eq!(gated.metrics.total_faults().total_events(), 0);
+    };
+
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    for device in [DeviceKind::CpuSeq, DeviceKind::CpuPar, DeviceKind::Gpu] {
+        let cfg = Configuration::new(device, Strategy::Sync);
+        check(&|ro| Engine::run(&cfg, &task, &batch, 0.5, ro), device == DeviceKind::Gpu);
+    }
+    let mc = CpuModelConfig::paper_machine(4);
+    for strategy in [Strategy::Sync, Strategy::Hogwild] {
+        let cfg =
+            Configuration::new(mc.device(), strategy).with_timing(Timing::Modeled(mc.clone()));
+        check(&|ro| Engine::run(&cfg, &task, &batch, 0.2, ro), true);
+    }
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild);
+    check(&|ro| Engine::run(&cfg, &task, &batch, 0.2, ro), true);
+
+    let (x, yd) = dense();
+    let full = Batch::new(Examples::Dense(&x), &yd);
+    let dtask = lr(6);
+    let cfg = Configuration::new(mc.device(), Strategy::Hogbatch { batch_size: 16 })
+        .with_timing(Timing::Modeled(mc.clone()));
+    check(&|ro| Engine::run(&cfg, &dtask, &full, 0.2, ro), true);
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogbatch { batch_size: 16 });
+    check(&|ro| Engine::run(&cfg, &dtask, &full, 0.2, ro), true);
 }
 
 #[test]

@@ -1,0 +1,119 @@
+//! Fault plans are deterministic: the same seed under modeled (or
+//! simulated-GPU) timing reproduces the exact run — times, losses,
+//! outcome, and every fault counter — bit for bit. Without this property
+//! a fault sweep would not be an experiment, it would be weather.
+
+use sgd_study::core::{
+    Configuration, CpuModelConfig, DeviceKind, Engine, FaultPlan, RunOptions, RunReport, Strategy,
+    Timing,
+};
+use sgd_study::linalg::CsrMatrix;
+use sgd_study::models::{lr, Batch, Examples};
+
+fn sparse() -> (CsrMatrix, Vec<f64>) {
+    let entries: Vec<Vec<(u32, f64)>> =
+        (0..64).map(|i| vec![((i % 16) as u32, if i % 2 == 0 { 1.0 } else { -1.0 })]).collect();
+    let y = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (CsrMatrix::from_row_entries(64, 16, &entries), y)
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::default()
+        .with_seed(99)
+        .with_straggler(0, 3.0)
+        .with_drops(0.1)
+        .with_stale_reads(0.1)
+        .with_corruption(0.1, 0.5)
+        .with_worker_death(2, 5)
+}
+
+fn assert_bit_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.step_size, b.step_size);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.opt_seconds, b.opt_seconds, "{}", a.label);
+    assert_eq!(a.trace.epochs(), b.trace.epochs());
+    for (pa, pb) in a.trace.points().iter().zip(b.trace.points()) {
+        assert_eq!(pa.0, pb.0, "{}: epoch time not reproduced", a.label);
+        assert_eq!(pa.1, pb.1, "{}: loss not reproduced", a.label);
+    }
+    let (fa, fb) = (a.metrics.total_faults(), b.metrics.total_faults());
+    assert_eq!(fa.dropped_updates, fb.dropped_updates);
+    assert_eq!(fa.stale_reads, fb.stale_reads);
+    assert_eq!(fa.corrupted_updates, fb.corrupted_updates);
+    assert_eq!(fa.dead_workers, fb.dead_workers);
+    assert_eq!(fa.straggler_delay_secs, fb.straggler_delay_secs);
+    assert_eq!(a.best_model, b.best_model);
+    assert!(fa.total_events() > 0, "{}: the plan must actually inject faults", a.label);
+}
+
+#[test]
+fn modeled_hogwild_fault_runs_are_bit_identical() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { max_epochs: 10, plateau: None, faults: plan(), ..Default::default() };
+    let mc = CpuModelConfig::paper_machine(4);
+    let cfg =
+        Configuration::new(mc.device(), Strategy::Hogwild).with_timing(Timing::Modeled(mc.clone()));
+    let a = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let b = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    assert_bit_identical(&a, &b);
+}
+
+#[test]
+fn gpu_async_fault_runs_are_bit_identical() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { max_epochs: 10, plateau: None, faults: plan(), ..Default::default() };
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild);
+    let a = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let b = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    assert_bit_identical(&a, &b);
+    assert_eq!(a.update_conflicts(), b.update_conflicts());
+}
+
+#[test]
+fn clean_gpu_async_runs_are_bit_identical() {
+    // The simulated device must not leak host allocator state into its
+    // clock: two clean runs trace identical simulated addresses and land
+    // on identical simulated seconds (the buffer registry assigns device
+    // addresses by first-touch order, never by host pointer value).
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let o = RunOptions { max_epochs: 8, plateau: None, ..Default::default() };
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild);
+    let a = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let b = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    assert_eq!(a.opt_seconds, b.opt_seconds);
+    for (pa, pb) in a.trace.points().iter().zip(b.trace.points()) {
+        assert_eq!(pa.0, pb.0);
+        assert_eq!(pa.1, pb.1);
+    }
+}
+
+#[test]
+fn different_fault_seeds_change_the_run() {
+    let (xs, y) = sparse();
+    let batch = Batch::new(Examples::Sparse(&xs), &y);
+    let task = lr(16);
+    let mk = |seed: u64| {
+        let faults = FaultPlan::default().with_seed(seed).with_drops(0.3).with_corruption(0.3, 0.5);
+        let o = RunOptions { max_epochs: 10, plateau: None, faults, ..Default::default() };
+        let mc = CpuModelConfig::paper_machine(4);
+        let cfg = Configuration::new(mc.device(), Strategy::Hogwild)
+            .with_timing(Timing::Modeled(mc.clone()));
+        Engine::run(&cfg, &task, &batch, 0.2, &o)
+    };
+    let (a, b) = (mk(1), mk(2));
+    let same_losses = a.trace.points().iter().zip(b.trace.points()).all(|(pa, pb)| pa.1 == pb.1);
+    let (fa, fb) = (a.metrics.total_faults(), b.metrics.total_faults());
+    assert!(
+        !same_losses
+            || fa.dropped_updates != fb.dropped_updates
+            || fa.corrupted_updates != fb.corrupted_updates,
+        "different seeds must draw different fault decisions"
+    );
+}
