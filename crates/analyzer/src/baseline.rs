@@ -1,0 +1,320 @@
+//! The ratchet baseline: `analyzer-baseline.toml`.
+//!
+//! Grandfathered findings are keyed by `(pass, file, snippet)` with a
+//! count — deliberately *not* by line number, so unrelated edits that
+//! shift lines never break the gate, while any *new* occurrence of a
+//! banned construct (count exceeded) fails immediately. The file is a
+//! strict TOML subset parsed in-tree (the container is offline; no toml
+//! crate), written and read only by this module:
+//!
+//! ```toml
+//! [[finding]]
+//! pass = "determinism"
+//! file = "crates/core/src/gpu_async.rs"
+//! snippet = "use std::collections::HashMap;"
+//! count = 1
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::passes::Finding;
+
+/// `(pass, file, snippet)` → allowed occurrence count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+/// A baseline entry no live finding matched — the debt was paid down and
+/// the entry should be deleted (or the snippet drifted and the gate is
+/// now stricter than intended).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    pub pass: String,
+    pub file: String,
+    pub snippet: String,
+}
+
+/// Line/reason for a baseline file that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Parses the strict TOML subset described in the module docs.
+    /// Unknown keys, malformed strings, and entries missing a field are
+    /// hard errors — a silently ignored entry would un-grandfather a
+    /// finding and break the build confusingly far from the cause.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<PartialEntry> = None;
+        for (line0, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = line0 + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                if let Some(p) = cur.take() {
+                    let (key, count) = p.finish()?;
+                    *entries.entry(key).or_insert(0) += count;
+                }
+                cur = Some(PartialEntry::new(lineno));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected `key = value` or `[[finding]]`, got `{line}`"),
+                });
+            };
+            let Some(p) = cur.as_mut() else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "key/value before the first [[finding]] header".to_string(),
+                });
+            };
+            p.set(key.trim(), value.trim(), lineno)?;
+        }
+        if let Some(p) = cur.take() {
+            let (key, count) = p.finish()?;
+            *entries.entry(key).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders findings as a fresh baseline file (the `baseline`
+    /// subcommand). Deterministic order: BTreeMap key order.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.pass.to_string(), f.file.clone(), f.snippet.clone())).or_insert(0) +=
+                1;
+        }
+        let mut out = String::from(
+            "# sgd-analyzer baseline — grandfathered findings.\n\
+             # Ratchet-only: entries may be removed as debt is paid down, never added.\n\
+             # Regenerate with `cargo run -p sgd-analyzer -- baseline` (then review the diff).\n",
+        );
+        for ((pass, file, snippet), count) in &counts {
+            let _ = write!(
+                out,
+                "\n[[finding]]\npass = \"{}\"\nfile = \"{}\"\nsnippet = \"{}\"\ncount = {}\n",
+                escape(pass),
+                escape(file),
+                escape(snippet),
+                count
+            );
+        }
+        out
+    }
+
+    /// Splits `findings` into `(new, baselined)` and reports stale
+    /// entries. Each baseline entry absorbs up to `count` matching
+    /// findings; the rest are new.
+    pub fn split(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>, Vec<StaleEntry>) {
+        let mut remaining = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut grandfathered = Vec::new();
+        for f in findings {
+            let key = (f.pass.to_string(), f.file.clone(), f.snippet.clone());
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    grandfathered.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        let stale = remaining
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((pass, file, snippet), _)| StaleEntry { pass, file, snippet })
+            .collect();
+        (fresh, grandfathered, stale)
+    }
+}
+
+struct PartialEntry {
+    header_line: usize,
+    pass: Option<String>,
+    file: Option<String>,
+    snippet: Option<String>,
+    count: Option<usize>,
+}
+
+impl PartialEntry {
+    fn new(header_line: usize) -> PartialEntry {
+        PartialEntry { header_line, pass: None, file: None, snippet: None, count: None }
+    }
+
+    fn set(&mut self, key: &str, value: &str, lineno: usize) -> Result<(), BaselineError> {
+        match key {
+            "pass" => self.pass = Some(parse_string(value, lineno)?),
+            "file" => self.file = Some(parse_string(value, lineno)?),
+            "snippet" => self.snippet = Some(parse_string(value, lineno)?),
+            "count" => {
+                self.count = Some(value.parse().map_err(|_| BaselineError {
+                    line: lineno,
+                    message: format!("count must be a non-negative integer, got `{value}`"),
+                })?)
+            }
+            other => {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected pass/file/snippet/count)"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<((String, String, String), usize), BaselineError> {
+        let missing = |what: &str| BaselineError {
+            line: self.header_line,
+            message: format!("[[finding]] at this line is missing `{what}`"),
+        };
+        let pass = self.pass.clone().ok_or_else(|| missing("pass"))?;
+        let file = self.file.clone().ok_or_else(|| missing("file"))?;
+        let snippet = self.snippet.clone().ok_or_else(|| missing("snippet"))?;
+        Ok(((pass, file, snippet), self.count.unwrap_or(1)))
+    }
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, BaselineError> {
+    let err = |message: String| BaselineError { line: lineno, message };
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(format!("expected a double-quoted string, got `{value}`")))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            if c == '"' {
+                return Err(err("unescaped `\"` inside string".to_string()));
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(err(format!("unsupported escape `\\{}`", other.unwrap_or(' '))));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(pass: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            pass,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let findings = vec![
+            f("determinism", "crates/a.rs", "use std::collections::HashMap;"),
+            f("determinism", "crates/a.rs", "use std::collections::HashMap;"),
+            f("panic-freedom", "crates/b.rs", "let x = y.unwrap(); // \"quoted\" \\ backslash"),
+        ];
+        let text = Baseline::render(&findings);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        let (fresh, grandfathered, stale) = parsed.split(findings);
+        assert!(fresh.is_empty());
+        assert_eq!(grandfathered.len(), 3);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn empty_file_is_empty_baseline() {
+        let b = Baseline::parse("# only comments\n\n").unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn count_exceeded_findings_are_new() {
+        let text = "[[finding]]\npass = \"determinism\"\nfile = \"a.rs\"\n\
+                    snippet = \"HashMap\"\ncount = 1\n";
+        let b = Baseline::parse(text).unwrap();
+        let (fresh, grandfathered, stale) =
+            b.split(vec![f("determinism", "a.rs", "HashMap"), f("determinism", "a.rs", "HashMap")]);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(grandfathered.len(), 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let text = "[[finding]]\npass = \"determinism\"\nfile = \"gone.rs\"\n\
+                    snippet = \"HashMap\"\ncount = 1\n";
+        let b = Baseline::parse(text).unwrap();
+        let (fresh, _, stale) = b.split(vec![]);
+        assert!(fresh.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let text = "[[finding]]\npass = \"determinism\"\ncount = 1\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let text = "[[finding]]\npass = \"x\"\nfile = \"y\"\nsnippet = \"z\"\nline = 3\n";
+        assert!(Baseline::parse(text).unwrap_err().message.contains("unknown key"));
+    }
+
+    #[test]
+    fn orphan_key_is_an_error() {
+        assert!(Baseline::parse("pass = \"x\"\n").unwrap_err().message.contains("before"));
+    }
+}

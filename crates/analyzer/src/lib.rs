@@ -1,0 +1,67 @@
+//! `sgd-analyzer` — in-tree static enforcement of the repo's
+//! concurrency, determinism, and panic-freedom contracts.
+//!
+//! The paper's asynchronous corners (Hogwild-style lock-free updates)
+//! are only sound as an *experiment* if a handful of hand-rolled
+//! invariants hold; this crate turns them from reviewer memory into a
+//! machine-checked gate. Zero dependencies: the container is offline,
+//! so the scanner in [`source`] is a purpose-built comment/string/
+//! `cfg(test)` stripper, not a real parser — precise enough for the
+//! five line-level passes in [`passes`], and honest about being a
+//! heuristic (every rule has the `// analyzer: allow(<pass>) -- <reason>`
+//! escape hatch).
+//!
+//! Entry points: [`run_check`] (the CI gate) and the `sgd-analyzer`
+//! binary (`cargo run -p sgd-analyzer -- check`).
+
+pub mod baseline;
+pub mod passes;
+pub mod source;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+use baseline::{Baseline, StaleEntry};
+use passes::Finding;
+
+/// Outcome of a full workspace check.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub fresh: Vec<Finding>,
+    /// Findings absorbed by baseline entries (enumerated, not failing).
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries nothing matched — stale debt to delete.
+    pub stale: Vec<StaleEntry>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// The gate: clean means no fresh findings. Stale entries warn but
+    /// do not fail (deleting them is a follow-up, not an emergency).
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty()
+    }
+}
+
+/// Scans every in-scope workspace file with every pass and splits the
+/// findings against `baseline`.
+pub fn run_check(root: &Path, baseline: &Baseline) -> io::Result<CheckReport> {
+    let findings = scan(root)?;
+    let files_scanned = workspace::source_files(root)?.len();
+    let (fresh, grandfathered, stale) = baseline.split(findings);
+    Ok(CheckReport { fresh, grandfathered, stale, files_scanned })
+}
+
+/// Raw findings for the whole workspace (pre-baseline), in file order.
+pub fn scan(root: &Path) -> io::Result<Vec<Finding>> {
+    let passes = passes::all_passes();
+    let mut findings = Vec::new();
+    for rel in workspace::source_files(root)? {
+        let sf = source::SourceFile::load(root, &rel)?;
+        findings.extend(passes::analyze_file(&sf, &passes));
+    }
+    Ok(findings)
+}

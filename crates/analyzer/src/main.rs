@@ -1,0 +1,182 @@
+//! `sgd-analyzer` CLI.
+//!
+//! ```text
+//! cargo run -p sgd-analyzer -- check              # the CI gate
+//! cargo run -p sgd-analyzer -- check --verbose    # also enumerate grandfathered findings
+//! cargo run -p sgd-analyzer -- baseline           # print a fresh baseline to stdout
+//! cargo run -p sgd-analyzer -- passes             # list the pass roster
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or baseline unreadable), 2 usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sgd_analyzer::baseline::Baseline;
+use sgd_analyzer::passes::{all_passes, Finding};
+use sgd_analyzer::workspace;
+
+const USAGE: &str = "\
+sgd-analyzer: static invariant checks for the sgd-modern-hardware workspace
+
+USAGE:
+    sgd-analyzer <check|baseline|passes> [--root <dir>] [--baseline <file>] [--verbose]
+
+SUBCOMMANDS:
+    check       scan the workspace; exit 1 on any non-baselined finding
+    baseline    print a baseline file grandfathering all current findings
+    passes      list the pass roster
+
+OPTIONS:
+    --root <dir>        workspace root (default: auto-detect from cwd)
+    --baseline <file>   baseline path (default: <root>/analyzer-baseline.toml)
+    --verbose           check: also enumerate grandfathered findings
+";
+
+struct Args {
+    cmd: String,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        return Err("missing subcommand".to_string());
+    };
+    let mut args = Args { cmd, root: None, baseline: None, verbose: false };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--root" => {
+                args.root = Some(argv.next().ok_or("--root requires a directory argument")?.into());
+            }
+            "--baseline" => {
+                args.baseline =
+                    Some(argv.next().ok_or("--baseline requires a file argument")?.into());
+            }
+            "--verbose" => args.verbose = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args
+        .root
+        .clone()
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| workspace::find_root(&cwd)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate a workspace root; pass --root <dir>");
+            return ExitCode::from(2);
+        }
+    };
+    match args.cmd.as_str() {
+        "check" => cmd_check(&args, &root),
+        "baseline" => cmd_baseline(&root),
+        "passes" => cmd_passes(),
+        other => {
+            eprintln!("error: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_check(args: &Args, root: &std::path::Path) -> ExitCode {
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| root.join("analyzer-baseline.toml"));
+    let baseline = if baseline_path.exists() {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", baseline_path.display());
+                return ExitCode::from(1);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {}: {e}", baseline_path.display());
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let report = match sgd_analyzer::run_check(root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: scanning workspace: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if args.verbose && !report.grandfathered.is_empty() {
+        println!("grandfathered findings ({}):", report.grandfathered.len());
+        for f in &report.grandfathered {
+            print_finding(f, "  ~");
+        }
+    }
+    for s in &report.stale {
+        eprintln!(
+            "warning: stale baseline entry (pass={}, file={}, snippet={:?}) — nothing matches \
+             it; delete it from analyzer-baseline.toml",
+            s.pass, s.file, s.snippet
+        );
+    }
+    if report.is_clean() {
+        println!(
+            "sgd-analyzer: clean — {} files scanned, {} finding(s) grandfathered, {} stale \
+             baseline entr(ies)",
+            report.files_scanned,
+            report.grandfathered.len(),
+            report.stale.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("sgd-analyzer: {} new finding(s):", report.fresh.len());
+    for f in &report.fresh {
+        print_finding(f, "  !");
+    }
+    eprintln!(
+        "\nFix the findings, add `// analyzer: allow(<pass>) -- <reason>` with a justification, \
+         or (last resort) grandfather them via `cargo run -p sgd-analyzer -- baseline`."
+    );
+    ExitCode::from(1)
+}
+
+fn print_finding(f: &Finding, prefix: &str) {
+    eprintln!("{prefix} {}:{} [{}] {}", f.file, f.line, f.pass, f.message);
+    eprintln!("{}     > {}", " ".repeat(prefix.len() - 1), f.snippet);
+}
+
+fn cmd_baseline(root: &std::path::Path) -> ExitCode {
+    match sgd_analyzer::scan(root) {
+        Ok(findings) => {
+            print!("{}", Baseline::render(&findings));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: scanning workspace: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_passes() -> ExitCode {
+    for p in all_passes() {
+        println!("{:20} {}", p.id(), p.description());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,115 @@
+//! Pass 1: atomics discipline.
+//!
+//! The Hogwild runners are only Rust-sound because every benign race goes
+//! through `SharedModel`'s `Relaxed` `AtomicU64` cells (the paper's
+//! lock-free update model, Niu et al. 2011). Letting atomics leak into
+//! other modules would scatter the memory-model reasoning across the
+//! codebase, so:
+//!
+//! * `Atomic*` types and `Ordering::` arguments may appear only in the
+//!   allowlisted modules (`shared_model.rs`, `faults.rs`, `pool.rs`);
+//! * `SeqCst` is banned everywhere — the repo's contracts are all
+//!   `Relaxed`-based, and a stray `SeqCst` usually means someone papered
+//!   over a race they did not understand;
+//! * read-modify-write operations (`fetch_add`, `compare_exchange`, …)
+//!   belong to `SharedModel` alone, where lossy-vs-lossless update
+//!   semantics are the documented point of the type.
+
+use super::{basename_in, finding, ident_occurrences, Finding, Pass};
+use crate::source::SourceFile;
+
+/// Modules allowed to mention atomics at all.
+const ALLOWED_MODULES: [&str; 3] = ["shared_model.rs", "faults.rs", "pool.rs"];
+
+/// The only module allowed to perform atomic read-modify-writes.
+const RMW_MODULE: &str = "shared_model.rs";
+
+/// Atomic RMW method calls. Checked only on lines that also name an
+/// `Ordering::`, so `Vec::swap`/`mem::swap` never false-positive.
+const RMW_TOKENS: [&str; 8] = [
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_and(",
+    ".fetch_or(",
+    ".fetch_xor(",
+    ".fetch_update(",
+    ".compare_exchange",
+    ".swap(",
+];
+
+pub struct Atomics;
+
+impl Pass for Atomics {
+    fn id(&self) -> &'static str {
+        "atomics-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomics confined to shared_model.rs/faults.rs/pool.rs; no SeqCst; RMW only in SharedModel"
+    }
+
+    fn in_scope(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        if !ident_occurrences(code, "SeqCst").is_empty() {
+            out.push(finding(
+                self.id(),
+                sf,
+                line0,
+                "SeqCst ordering is banned: the repo's lock-free contracts are Relaxed-based \
+                 (see DESIGN.md, Concurrency & determinism invariants)"
+                    .to_string(),
+            ));
+        }
+
+        let in_allowed = basename_in(&sf.rel_path, &ALLOWED_MODULES);
+        let mentions_ordering = code.contains("Ordering::");
+        if !in_allowed && (mentions_ordering || atomic_type_on(code)) {
+            out.push(finding(
+                self.id(),
+                sf,
+                line0,
+                format!(
+                    "atomic use outside the allowlisted modules ({}): route shared state \
+                     through sgd_core::SharedModel instead",
+                    ALLOWED_MODULES.join(", ")
+                ),
+            ));
+        }
+
+        if mentions_ordering && !basename_in(&sf.rel_path, &[RMW_MODULE]) {
+            for tok in RMW_TOKENS {
+                if code.contains(tok) {
+                    out.push(finding(
+                        self.id(),
+                        sf,
+                        line0,
+                        format!(
+                            "atomic read-modify-write (`{}`) outside SharedModel: lossy-vs-\
+                             lossless update semantics must stay in one audited type",
+                            tok.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Any `Atomic`-prefixed type name at an identifier boundary
+/// (`AtomicU64`, `AtomicUsize`, `AtomicBool`, …).
+fn atomic_type_on(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    let pat: Vec<char> = "Atomic".chars().collect();
+    for i in 0..chars.len().saturating_sub(pat.len()) {
+        if chars[i..i + pat.len()] == pat[..]
+            && (i == 0 || !super::is_ident_char(chars[i - 1]))
+            && chars.get(i + pat.len()).copied().is_some_and(|c| c.is_ascii_uppercase())
+        {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,73 @@
+//! Pass 2: determinism.
+//!
+//! `tests/fault_determinism.rs` pins the modeled/simulated corners of the
+//! configuration cube bit-for-bit: same seed, same fault plan, same
+//! metrics. That guarantee dies the moment iteration-order- or
+//! wall-clock-dependent state enters those paths, so inside the pinned
+//! modules this pass bans:
+//!
+//! * `HashMap`/`HashSet` (`RandomState` seeds differ per process — even
+//!   a single debug print of an iteration exposes the nondeterminism);
+//! * `Instant::now`/`SystemTime` (simulated time comes from the cycle
+//!   model, never the host clock).
+//!
+//! Wall-clock runners (`hogwild.rs`, `sync.rs`, the benches) are
+//! deliberately out of scope: they measure real elapsed time, which is
+//! the point of the paper's CPU measurements.
+
+use super::{basename_in, finding, ident_occurrences, Finding, Pass};
+use crate::source::SourceFile;
+
+/// Modules whose outputs are pinned bit-for-bit.
+const PINNED_FILES: [&str; 3] = ["modeled.rs", "gpu_async.rs", "faults.rs"];
+
+/// Identifier tokens banned in pinned modules.
+const BANNED_IDENTS: [&str; 4] = ["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+/// Call tokens banned in pinned modules.
+const BANNED_CALLS: [&str; 3] = ["Instant::now", "SystemTime", "UNIX_EPOCH"];
+
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet/host-clock reads in bit-pinned modules (sgd-gpusim, modeled paths)"
+    }
+
+    fn in_scope(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/gpusim/src/") || basename_in(rel_path, &PINNED_FILES)
+    }
+
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        for tok in BANNED_IDENTS {
+            if !ident_occurrences(code, tok).is_empty() {
+                out.push(finding(
+                    self.id(),
+                    sf,
+                    line0,
+                    format!(
+                        "`{tok}` in a bit-pinned module: iteration order is seeded per process; \
+                         use BTreeMap/BTreeSet or an index-keyed Vec"
+                    ),
+                ));
+            }
+        }
+        for tok in BANNED_CALLS {
+            if code.contains(tok) {
+                out.push(finding(
+                    self.id(),
+                    sf,
+                    line0,
+                    format!(
+                        "`{tok}` in a bit-pinned module: simulated paths must derive time from \
+                         the cycle model, never the host clock"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Pass 4: float discipline.
+//!
+//! Convergence decisions and report aggregation feed the paper's
+//! headline tables. Two classes of silent wrongness are banned there:
+//!
+//! * `==`/`!=` between float-ish operands — loss values travel through
+//!   reductions whose rounding differs across the 2×2×2 cube, so exact
+//!   comparison is either vacuously false or accidentally true; compare
+//!   against thresholds (`(a - b).abs() < eps`) or bit patterns
+//!   (`to_bits`) explicitly;
+//! * `partial_cmp(..).unwrap()` — NaN turns this into a panic in the
+//!   middle of a grid search; use `total_cmp` or handle the `None`.
+
+use super::{basename_in, finding, Finding, Pass};
+use crate::source::SourceFile;
+
+/// Convergence/report modules where float comparisons decide outcomes.
+const SCOPED_FILES: [&str; 4] = ["convergence.rs", "report.rs", "supervisor.rs", "render.rs"];
+
+pub struct FloatDiscipline;
+
+impl Pass for FloatDiscipline {
+    fn id(&self) -> &'static str {
+        "float-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= on floats or NaN-unsafe comparisons in convergence/report code"
+    }
+
+    fn in_scope(&self, rel_path: &str) -> bool {
+        basename_in(rel_path, &SCOPED_FILES)
+    }
+
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        if let Some(op) = float_eq_compare(code) {
+            out.push(finding(
+                self.id(),
+                sf,
+                line0,
+                format!(
+                    "`{op}` on a float operand in convergence/report code: compare against a \
+                     threshold or via to_bits(), never exact equality"
+                ),
+            ));
+        }
+        if code.contains("partial_cmp") && code.contains(".unwrap()") {
+            out.push(finding(
+                self.id(),
+                sf,
+                line0,
+                "`partial_cmp(..).unwrap()` panics on NaN: use total_cmp or handle None"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Reports `==`/`!=` when either side of the operator looks float-ish: a
+/// float literal (`0.01`, `1e-6`, `1.0`), `f64::`/`f32::` consts, or an
+/// explicitly float-named binding (`loss`, `eps`). Integer and enum
+/// comparisons pass untouched.
+fn float_eq_compare(code: &str) -> Option<&'static str> {
+    let chars: Vec<char> = code.chars().collect();
+    for i in 0..chars.len().saturating_sub(1) {
+        let op = match (chars[i], chars[i + 1]) {
+            ('=', '=') => "==",
+            ('!', '=') => "!=",
+            _ => continue,
+        };
+        // Skip `<=`, `>=`, `=>`, `===`-style runs and assignment `=`.
+        if i > 0 && matches!(chars[i - 1], '<' | '>' | '=' | '!') {
+            continue;
+        }
+        if chars.get(i + 2) == Some(&'=') {
+            continue;
+        }
+        let left: String = chars[..i].iter().collect();
+        let right: String = chars[i + 2..].iter().collect();
+        let left_tok = left.rsplit([' ', '(', ',']).find(|t| !t.is_empty()).unwrap_or("");
+        let right_tok = right.split([' ', ')', ',', ';']).find(|t| !t.is_empty()).unwrap_or("");
+        if looks_floatish(left_tok) || looks_floatish(right_tok) {
+            return Some(op);
+        }
+    }
+    None
+}
+
+fn looks_floatish(tok: &str) -> bool {
+    let tok = tok.trim();
+    if tok.contains("f64::") || tok.contains("f32::") {
+        return true;
+    }
+    // Float literal: digits with a decimal point or exponent (`0.01`,
+    // `1e-6`, `2.5e3`), possibly with a trailing type suffix.
+    let mut saw_digit = false;
+    let mut saw_point_or_exp = false;
+    for c in tok.chars() {
+        match c {
+            '0'..='9' | '_' => saw_digit = true,
+            '.' => saw_point_or_exp = saw_digit,
+            'e' | 'E' if saw_digit => saw_point_or_exp = true,
+            '-' | '+' => {}
+            'f' if saw_digit => {} // 1.0f64 / 2.5f32 suffix
+            _ => return false,
+        }
+    }
+    saw_digit && saw_point_or_exp
+}

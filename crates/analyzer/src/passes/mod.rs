@@ -1,0 +1,140 @@
+//! The pass framework and the five invariant passes.
+//!
+//! Each pass is a line-level checker over a [`SourceFile`]'s code view
+//! (comments and literals already blanked). The driver walks every
+//! non-test line of every in-scope file, collects [`Finding`]s, and then
+//! filters the ones suppressed by `// analyzer: allow(<pass>) -- <reason>`
+//! annotations.
+
+mod atomics;
+mod determinism;
+mod float_discipline;
+mod panic_freedom;
+mod threads;
+
+pub use atomics::Atomics;
+pub use determinism::Determinism;
+pub use float_discipline::FloatDiscipline;
+pub use panic_freedom::PanicFreedom;
+pub use threads::ThreadDiscipline;
+
+use crate::source::SourceFile;
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass id, e.g. `determinism`.
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// The trimmed source line (also the baseline identity, so findings
+    /// survive unrelated line-number drift).
+    pub snippet: String,
+}
+
+/// A line-level invariant checker.
+pub trait Pass {
+    /// Stable identifier used in `allow` annotations and the baseline.
+    fn id(&self) -> &'static str;
+    /// One-line human description for `--help`/docs.
+    fn description(&self) -> &'static str;
+    /// Does this pass inspect the file at `rel_path`?
+    fn in_scope(&self, rel_path: &str) -> bool;
+    /// Checks one code-view line (`line0` is 0-based).
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>);
+}
+
+/// The full pass roster, in report order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(Atomics),
+        Box::new(Determinism),
+        Box::new(PanicFreedom),
+        Box::new(FloatDiscipline),
+        Box::new(ThreadDiscipline),
+    ]
+}
+
+/// Runs every in-scope pass over the file, honoring test-code exemption
+/// and `allow` annotations, and reporting malformed annotations.
+pub fn analyze_file(sf: &SourceFile, passes: &[Box<dyn Pass>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let scoped: Vec<&Box<dyn Pass>> = passes.iter().filter(|p| p.in_scope(&sf.rel_path)).collect();
+    for (line0, code) in sf.code.iter().enumerate() {
+        if sf.is_test(line0) {
+            continue;
+        }
+        for pass in &scoped {
+            let mut raw_findings = Vec::new();
+            pass.check_line(sf, line0, code, &mut raw_findings);
+            out.extend(raw_findings.into_iter().filter(|f| !sf.allows(line0, f.pass)));
+        }
+    }
+    for &line0 in &sf.bad_annotations {
+        out.push(finding(
+            "allow-syntax",
+            sf,
+            line0,
+            "malformed analyzer annotation: expected `// analyzer: allow(<pass>) -- <reason>` \
+             (the reason is mandatory)"
+                .to_string(),
+        ));
+    }
+    out
+}
+
+/// Builds a finding for the 0-based line.
+pub(crate) fn finding(
+    pass: &'static str,
+    sf: &SourceFile,
+    line0: usize,
+    message: String,
+) -> Finding {
+    Finding {
+        pass,
+        file: sf.rel_path.clone(),
+        line: line0 + 1,
+        message,
+        snippet: sf.raw.get(line0).map(|l| l.trim().to_string()).unwrap_or_default(),
+    }
+}
+
+/// Is `needle` present at an identifier boundary (not embedded in a longer
+/// identifier)? Returns the positions of every boundary occurrence.
+pub(crate) fn ident_occurrences(code: &str, needle: &str) -> Vec<usize> {
+    let cb: Vec<char> = code.chars().collect();
+    let nb: Vec<char> = needle.chars().collect();
+    let mut hits = Vec::new();
+    if nb.is_empty() || cb.len() < nb.len() {
+        return hits;
+    }
+    for i in 0..=cb.len() - nb.len() {
+        if cb[i..i + nb.len()] != nb[..] {
+            continue;
+        }
+        let before_ok = i == 0 || !is_ident_char(cb[i - 1]);
+        let after = cb.get(i + nb.len()).copied();
+        let after_ok = match nb.last() {
+            Some(c) if is_ident_char(*c) => after.is_none_or(|a| !is_ident_char(a)),
+            _ => true,
+        };
+        if before_ok && after_ok {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// `true` when the path's final component is one of `names`.
+pub(crate) fn basename_in(rel_path: &str, names: &[&str]) -> bool {
+    let base = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    names.contains(&base)
+}

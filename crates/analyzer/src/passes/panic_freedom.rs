@@ -1,0 +1,93 @@
+//! Pass 3: panic freedom.
+//!
+//! A worker that panics mid-epoch poisons the scoped-thread join and
+//! takes the whole run (and under the supervisor, the whole grid) down
+//! with it. PR 2's fault-injection layer exists precisely to convert
+//! failures into typed outcomes, so panicking shortcuts are banned in
+//! `sgd-core` runner/engine code and in the LIBSVM parser (the one place
+//! that consumes *user* data):
+//!
+//! * `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!` — convert to typed errors, or annotate with
+//!   `// analyzer: allow(panic-freedom) -- <why it cannot fire>`;
+//! * in `libsvm.rs` only, `[idx]` indexing into parsed fields — user
+//!   input must flow through `get`/iterators, never trusted offsets.
+
+use super::{basename_in, finding, Finding, Pass};
+use crate::source::SourceFile;
+
+const PANIC_TOKENS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// The user-data parser where indexing itself is also banned.
+const PARSER_FILE: &str = "libsvm.rs";
+
+pub struct PanicFreedom;
+
+impl Pass for PanicFreedom {
+    fn id(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic! in sgd-core runner paths or the LIBSVM parser"
+    }
+
+    fn in_scope(&self, rel_path: &str) -> bool {
+        (rel_path.starts_with("crates/core/src/") && rel_path.ends_with(".rs"))
+            || basename_in(rel_path, &[PARSER_FILE])
+    }
+
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        for tok in PANIC_TOKENS {
+            if code.contains(tok) {
+                out.push(finding(
+                    self.id(),
+                    sf,
+                    line0,
+                    format!(
+                        "`{tok}` in a panic-free zone: convert to a typed error (EngineError/\
+                         ParseError) or justify with an allow annotation"
+                    ),
+                ));
+            }
+        }
+        if basename_in(&sf.rel_path, &[PARSER_FILE]) {
+            if let Some(col) = user_data_index(code) {
+                out.push(finding(
+                    self.id(),
+                    sf,
+                    line0,
+                    format!(
+                        "direct `[..]` indexing at column {} in the LIBSVM parser: user input \
+                         must go through `get`/iterators so malformed rows surface as ParseError",
+                        col + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Detects `ident[expr]` / `)[expr]` indexing (a panic site on bad input),
+/// while letting through type positions (`[Scalar]`, `Vec<[u8; 4]>`),
+/// array literals (`= [0; n]`), and attribute lines (`#[derive(...)]`).
+fn user_data_index(code: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    if chars.iter().find(|c| !c.is_whitespace()) == Some(&'#') {
+        return None;
+    }
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        // Indexing has an expression (ident, `)` or `]`) directly before
+        // the bracket; type ascriptions (`: [u8; 4]`), slices-of (`&[T]`),
+        // array literals (`= [...]`), and macros (`vec![..]`) do not.
+        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace()).copied();
+        if matches!(prev, Some(p) if super::is_ident_char(p) || p == ')' || p == ']') {
+            return Some(i);
+        }
+    }
+    None
+}

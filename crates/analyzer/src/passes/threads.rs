@@ -1,0 +1,51 @@
+//! Pass 5: thread-spawn discipline.
+//!
+//! Detached `thread::spawn` threads outlive the run that created them:
+//! they keep mutating the shared model after the supervisor declared an
+//! outcome, and their panics vanish instead of failing the run. Every
+//! spawn must therefore go through the audited channels:
+//!
+//! * `pool.rs` (the pinned worker pools, which own affinity and join
+//!   semantics), or
+//! * `std::thread::scope` (joins are structural — the borrow checker
+//!   proves no worker outlives the epoch).
+
+use super::{basename_in, finding, Finding, Pass};
+use crate::source::SourceFile;
+
+/// The modules that own raw spawns.
+const ALLOWED_MODULES: [&str; 1] = ["pool.rs"];
+
+pub struct ThreadDiscipline;
+
+impl Pass for ThreadDiscipline {
+    fn id(&self) -> &'static str {
+        "thread-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "all thread spawns via pool.rs or std::thread::scope"
+    }
+
+    fn in_scope(&self, rel_path: &str) -> bool {
+        !basename_in(rel_path, &ALLOWED_MODULES)
+    }
+
+    fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        // `s.spawn(...)` inside a scope is fine; only free-standing
+        // `thread::spawn` / `thread::Builder` escapes structured join.
+        for tok in ["thread::spawn", "thread::Builder"] {
+            if code.contains(tok) {
+                out.push(finding(
+                    self.id(),
+                    sf,
+                    line0,
+                    format!(
+                        "`{tok}` outside pool.rs: unscoped threads escape the run's join/outcome \
+                         contract; use sgd_linalg::pool or std::thread::scope"
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Source model: a lightweight Rust scanner good enough to enforce
+//! line-level invariants without a full parser.
+//!
+//! A [`SourceFile`] carries, per line: the raw text, a *code view* with
+//! comments and string/char-literal contents blanked out (so tokens inside
+//! docs or format strings never trigger a pass), whether the line sits
+//! inside a `#[cfg(test)]` item (test code is exempt from every pass), and
+//! the set of pass ids suppressed by `// analyzer: allow(<pass>) -- <reason>`
+//! annotations.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One scanned Rust source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Raw lines as read from disk.
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char-literal bodies blanked.
+    pub code: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]` item.
+    test: Vec<bool>,
+    /// Per line: pass ids an `allow` annotation suppresses on it.
+    allows: Vec<Vec<String>>,
+    /// 0-based lines carrying a malformed or reason-less annotation.
+    pub bad_annotations: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Scans `text` as the file at `rel_path`.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let (stripped, comment_abs) = strip(text);
+        let code: Vec<String> = stripped.lines().map(str::to_string).collect();
+        debug_assert_eq!(raw.len(), code.len(), "{rel_path}: stripping must preserve lines");
+        let test = mark_tests(&code);
+        let comment_col = comment_columns(text, raw.len(), &comment_abs);
+        let (allows, bad_annotations) = collect_allows(&raw, &code, &comment_col);
+        SourceFile { rel_path: rel_path.to_string(), raw, code, test, allows, bad_annotations }
+    }
+
+    /// Reads and scans `root/rel_path`.
+    pub fn load(root: &Path, rel_path: &str) -> io::Result<SourceFile> {
+        let text = fs::read_to_string(root.join(rel_path))?;
+        Ok(SourceFile::parse(rel_path, &text))
+    }
+
+    /// Is the 0-based line inside a `#[cfg(test)]` item?
+    pub fn is_test(&self, line0: usize) -> bool {
+        self.test.get(line0).copied().unwrap_or(false)
+    }
+
+    /// Does an annotation suppress `pass` on the 0-based line?
+    pub fn allows(&self, line0: usize, pass: &str) -> bool {
+        self.allows.get(line0).is_some_and(|v| v.iter().any(|p| p == pass))
+    }
+}
+
+/// Blanks comments and string/char-literal contents, preserving the line
+/// structure exactly (every `\n` survives; stripped characters become
+/// spaces). Handles line comments, nested block comments, plain and raw
+/// strings, char literals, and leaves lifetimes (`'a`) alone.
+///
+/// Also returns the absolute char index of every line comment's `//`,
+/// straight from the state machine — so annotation parsing never
+/// mistakes a `//` inside a string literal for a comment.
+fn strip(text: &str) -> (String, Vec<usize>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        CharLit,
+    }
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut comment_starts = Vec::new();
+    let mut st = St::Code;
+    let mut i = 0usize;
+    let at = |k: usize| b.get(k).copied().unwrap_or('\0');
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => {
+                if c == '/' && at(i + 1) == '/' {
+                    st = St::LineComment;
+                    comment_starts.push(i);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && at(i + 1) == '*' {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == 'r'
+                    && (at(i + 1) == '"' || at(i + 1) == '#')
+                    && (i == 0 || !is_ident(at(i - 1)))
+                {
+                    // Raw string r"..." / r#"..."# — count the hashes.
+                    let mut h = 0u32;
+                    let mut j = i + 1;
+                    while at(j) == '#' {
+                        h += 1;
+                        j += 1;
+                    }
+                    if at(j) == '"' {
+                        st = St::RawStr(h);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push('"');
+                    i += 1;
+                } else if c == '\'' {
+                    // Lifetime (`'a`, `'static`, `'_`) vs char literal: a
+                    // lifetime's next char starts an identifier and the one
+                    // after is not a closing quote.
+                    if (is_ident(at(i + 1)) && at(i + 2) != '\'') && at(i + 1) != '\\' {
+                        out.push(c);
+                        i += 1;
+                    } else {
+                        st = St::CharLit;
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(d) => {
+                if c == '/' && at(i + 1) == '*' {
+                    st = St::BlockComment(d + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && at(i + 1) == '/' {
+                    st = if d == 1 { St::Code } else { St::BlockComment(d - 1) };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    out.push(if at(i + 1) == '\n' { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(h) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut k = 0u32;
+                    while k < h && at(j) == '#' {
+                        k += 1;
+                        j += 1;
+                    }
+                    if k == h {
+                        st = St::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    (out, comment_starts)
+}
+
+/// Converts absolute char indices of `//` starts into a per-line column
+/// (char offset within the line), `None` for comment-free lines.
+fn comment_columns(text: &str, n_lines: usize, comment_abs: &[usize]) -> Vec<Option<usize>> {
+    let mut line_starts = vec![0usize];
+    for (ci, c) in text.chars().enumerate() {
+        if c == '\n' {
+            line_starts.push(ci + 1);
+        }
+    }
+    let mut cols = vec![None; n_lines];
+    for &abs in comment_abs {
+        let line = match line_starts.binary_search(&abs) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        if line < n_lines && cols[line].is_none() {
+            cols[line] = Some(abs - line_starts[line]);
+        }
+    }
+    cols
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks the lines of every `#[cfg(test)]` item (attribute through the
+/// matching close brace, or through `;` for brace-less items).
+fn mark_tests(code: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code.len()];
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'item: while j < code.len() {
+            test[j] = true;
+            for ch in code[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened => break 'item,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    test
+}
+
+const TAG: &str = "analyzer:";
+
+/// Extracts `// analyzer: allow(<pass>) -- <reason>` annotations. A
+/// trailing annotation suppresses its own line; a whole-line annotation
+/// suppresses the next line that has code on it. A reason is mandatory —
+/// annotations without one are reported, not honored. The tag must open
+/// the comment; prose *mentioning* the grammar (like this doc comment)
+/// is never an annotation.
+fn collect_allows(
+    raw: &[String],
+    code: &[String],
+    comment_col: &[Option<usize>],
+) -> (Vec<Vec<String>>, Vec<usize>) {
+    let mut allows: Vec<Vec<String>> = vec![Vec::new(); raw.len()];
+    let mut bad = Vec::new();
+    for (idx, line) in raw.iter().enumerate() {
+        let Some(col) = comment_col.get(idx).copied().flatten() else { continue };
+        let comment: String = line.chars().skip(col).collect();
+        // Strip the `//` marker (and doc markers `///`/`//!`), then the
+        // comment must *begin* with the tag to count as an annotation.
+        let body = comment.trim_start_matches('/');
+        let body = body.strip_prefix('!').unwrap_or(body).trim_start();
+        let Some(rest) = body.strip_prefix(TAG) else { continue };
+        let Some(parsed) = parse_allow(rest.trim()) else {
+            bad.push(idx);
+            continue;
+        };
+        let own_line_has_code = !code[idx].trim().is_empty();
+        let target = if own_line_has_code {
+            idx
+        } else {
+            match (idx + 1..raw.len()).find(|&j| !code[j].trim().is_empty()) {
+                Some(j) => j,
+                None => {
+                    bad.push(idx);
+                    continue;
+                }
+            }
+        };
+        allows[target].push(parsed);
+    }
+    (allows, bad)
+}
+
+/// Parses `allow(<pass>) -- <reason>`; returns the pass id.
+fn parse_allow(body: &str) -> Option<String> {
+    let rest = body.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let pass = rest[..close].trim();
+    if pass.is_empty() || !pass.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(pass.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_preserving_lines() {
+        let src =
+            "let a = 1; // HashMap here\nlet s = \"Ordering::SeqCst\";\n/* panic!\n*/ let b = 2;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.raw.len(), f.code.len());
+        assert!(!f.code[0].contains("HashMap"));
+        assert!(!f.code[1].contains("SeqCst"));
+        assert!(!f.code[2].contains("panic"));
+        assert!(f.code[3].contains("let b"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_kept() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\\''; let r = r#\"panic!\"#; }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.code[0].contains("<'a>"), "{}", f.code[0]);
+        assert!(!f.code[0].contains("panic"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test(0));
+        assert!(f.is_test(1));
+        assert!(f.is_test(3));
+        assert!(f.is_test(4));
+        assert!(!f.is_test(5));
+    }
+
+    #[test]
+    fn trailing_allow_hits_its_own_line() {
+        let src = "x.unwrap(); // analyzer: allow(panic-freedom) -- startup path\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(0, "panic-freedom"));
+        assert!(!f.allows(0, "determinism"));
+        assert!(f.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn whole_line_allow_hits_the_next_code_line() {
+        let src = "// analyzer: allow(determinism) -- lookup-only map\n\nuse std::collections::HashMap;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allows(0, "determinism"));
+        assert!(f.allows(2, "determinism"));
+    }
+
+    #[test]
+    fn reasonless_annotation_is_malformed() {
+        let src = "x.unwrap(); // analyzer: allow(panic-freedom)\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allows(0, "panic-freedom"));
+        assert_eq!(f.bad_annotations, vec![0]);
+    }
+
+    #[test]
+    fn annotation_inside_string_is_ignored() {
+        let src = "let s = \"// analyzer: allow(x) -- nope\"; y.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allows(0, "x"));
+        assert!(f.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mentioning_the_grammar_is_not_an_annotation() {
+        let src = "//! grammar: `// analyzer: allow(<pass>) -- <reason>`\n\
+                   /// see `// analyzer: allow(x)` for details\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allows(2, "x"));
+        assert!(f.bad_annotations.is_empty(), "{:?}", f.bad_annotations);
+    }
+
+    #[test]
+    fn string_spanning_lines_does_not_register_comments() {
+        // A `//`-bearing string whose line ends inside the literal (via
+        // `\` continuation) must not look like a comment.
+        let src = "let s = \"add `// analyzer: allow(p) -- r` here \\\n   rest\";\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.allows(0, "p"));
+        assert!(!f.allows(1, "p"));
+        assert!(f.bad_annotations.is_empty());
+    }
+}

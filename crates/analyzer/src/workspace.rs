@@ -1,0 +1,96 @@
+//! Workspace file discovery.
+//!
+//! The analyzer's contract covers *shipped library/binary code*: every
+//! `.rs` file under `crates/<name>/src/` and the workspace-root `src/`
+//! (if present). Integration tests, benches, and examples are out of
+//! scope — test code is allowed to unwrap, spawn, and compare floats —
+//! and in-file `#[cfg(test)]` regions are exempted by the scanner.
+//!
+//! Paths are returned sorted, `/`-separated, and workspace-relative so
+//! findings and the baseline are byte-identical across machines.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lists all in-scope `.rs` files, workspace-relative, sorted.
+pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), root, &mut out)?;
+        }
+    }
+    collect_rs(&root.join("src"), root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (no-op if absent).
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(
+                rel.components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the workspace root (the first directory
+/// whose `Cargo.toml` declares `[workspace]`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_lists_itself() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root above the analyzer crate");
+        let files = source_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/analyzer/src/workspace.rs"), "{files:?}");
+        assert!(files.iter().any(|f| f == "crates/core/src/engine.rs"), "{files:?}");
+        // Integration tests are out of scope.
+        assert!(files.iter().all(|f| !f.starts_with("tests/")), "{files:?}");
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "listing must be sorted");
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: loaded by tests/passes.rs under a non-allowlisted path
+// (crates/core/src/sync.rs). Every construct here must trigger
+// atomics-discipline.
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Leaked {
+    hits: AtomicUsize,
+}
+
+impl Leaked {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read_seqcst(&self) -> usize {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    pub fn reset(&self, cell: &AtomicU64) -> u64 {
+        cell.swap(0, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: loaded by tests/passes.rs under the allowlisted path
+// crates/core/src/shared_model.rs — identical constructs, zero findings
+// (minus SeqCst, which is banned everywhere).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Model {
+    cells: Vec<AtomicU64>,
+}
+
+impl Model {
+    pub fn add(&self, i: usize, delta: f64) {
+        let cell = &self.cells[i];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn add_lossless(&self, i: usize, delta: f64) {
+        let r = self.cells[i].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+            Some((f64::from_bits(b) + delta).to_bits())
+        });
+        let _ = r;
+    }
+
+    pub fn non_atomic_swap(&self, a: &mut Vec<f64>, b: &mut Vec<f64>) {
+        // `mem::swap` without an Ordering:: on the line is not an atomic
+        // RMW and must not trip the pass anywhere.
+        std::mem::swap(a, b);
+    }
+}

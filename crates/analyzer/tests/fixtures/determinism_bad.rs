@@ -1,0 +1,18 @@
+// Fixture: loaded by tests/passes.rs under a bit-pinned path
+// (crates/gpusim/src/gpu.rs). Every construct here must trigger the
+// determinism pass.
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub struct Device {
+    buffers: HashMap<(usize, usize), u64>,
+    seen: HashSet<u64>,
+}
+
+impl Device {
+    pub fn stamp(&mut self) -> f64 {
+        let t0 = Instant::now();
+        let _wall = SystemTime::now();
+        t0.elapsed().as_secs_f64()
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: loaded by tests/passes.rs under the same bit-pinned path as
+// determinism_bad.rs — the deterministic equivalents produce no findings.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Device {
+    buffers: BTreeMap<(usize, usize), u64>,
+    seen: BTreeSet<u64>,
+    cycles: u64,
+}
+
+impl Device {
+    pub fn stamp(&mut self) -> f64 {
+        // Simulated time comes from the cycle model, not the host clock.
+        self.cycles += 1;
+        self.cycles as f64 * 1.0e-9
+    }
+}

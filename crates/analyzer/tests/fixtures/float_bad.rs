@@ -1,0 +1,20 @@
+// Fixture: loaded by tests/passes.rs under convergence/report code
+// (crates/core/src/convergence.rs). Every comparison here must trigger
+// float-discipline.
+pub fn reached(loss: f64, target: f64) -> bool {
+    loss == 1.01 * target
+}
+
+pub fn stalled(prev: f64, cur: f64) -> bool {
+    0.0 != cur - prev
+}
+
+pub fn best(xs: &[f64]) -> f64 {
+    let mut best = xs[0];
+    for &x in xs {
+        if x.partial_cmp(&best).unwrap() == std::cmp::Ordering::Less {
+            best = x;
+        }
+    }
+    best
+}

@@ -1,0 +1,24 @@
+// Fixture: loaded by tests/passes.rs under the same path as
+// float_bad.rs — threshold and bit-pattern comparisons are clean, and so
+// are integer/enum equality.
+pub fn reached(loss: f64, target: f64, eps: f64) -> bool {
+    (loss - 1.01 * target).abs() < eps
+}
+
+pub fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+pub fn epochs_match(a: usize, b: usize) -> bool {
+    a == b
+}
+
+pub fn best(xs: &[f64]) -> f64 {
+    let mut best = xs[0];
+    for &x in xs {
+        if x.total_cmp(&best).is_lt() {
+            best = x;
+        }
+    }
+    best
+}

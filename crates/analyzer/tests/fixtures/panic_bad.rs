@@ -1,0 +1,14 @@
+// Fixture: loaded by tests/passes.rs under a runner hot path
+// (crates/core/src/hogwild.rs). Every construct here must trigger
+// panic-freedom.
+pub fn epoch(weights: &mut [f64], grads: Option<&[f64]>) -> f64 {
+    let g = grads.unwrap();
+    let first = g.first().expect("non-empty gradient");
+    if weights.is_empty() {
+        panic!("empty model");
+    }
+    match first {
+        f if f.is_finite() => *f,
+        _ => unreachable!("gradients are finite"),
+    }
+}

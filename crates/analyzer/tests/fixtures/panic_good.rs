@@ -1,0 +1,31 @@
+// Fixture: loaded by tests/passes.rs under the same hot path as
+// panic_bad.rs — the typed-error / annotated equivalents are clean.
+pub enum EngineError {
+    EmptyModel,
+    MissingGradient,
+}
+
+pub fn epoch(weights: &mut [f64], grads: Option<&[f64]>) -> Result<f64, EngineError> {
+    let g = grads.ok_or(EngineError::MissingGradient)?;
+    let Some(first) = g.first() else {
+        return Err(EngineError::MissingGradient);
+    };
+    if weights.is_empty() {
+        return Err(EngineError::EmptyModel);
+    }
+    Ok(*first)
+}
+
+pub fn startup(path: &str) -> String {
+    // analyzer: allow(panic-freedom) -- startup path, before any worker exists
+    std::fs::read_to_string(path).expect("config file")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: loaded by tests/passes.rs under a runner path
+// (crates/core/src/hogwild.rs). Both spawn forms must trigger
+// thread-discipline.
+use std::thread;
+
+pub fn fire_and_forget(n: usize) {
+    for i in 0..n {
+        thread::spawn(move || {
+            let _ = i * 2;
+        });
+    }
+}
+
+pub fn named_detached() -> std::io::Result<()> {
+    let b = thread::Builder::new().name("worker".into());
+    b.spawn(|| {})?;
+    Ok(())
+}

@@ -1,0 +1,19 @@
+// Fixture: loaded by tests/passes.rs under the same runner path as
+// threads_bad.rs — scoped spawns join structurally and are clean.
+use std::thread;
+
+pub fn scoped_epoch(chunks: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|c| s.spawn(move || c.iter().sum::<f64>()))
+            .collect();
+        for h in handles {
+            if let Ok(part) = h.join() {
+                total += part;
+            }
+        }
+    });
+    total
+}

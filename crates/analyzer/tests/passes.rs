@@ -1,0 +1,212 @@
+//! Golden fixture tests: one known-bad and one known-good snippet per
+//! pass, loaded under synthetic workspace-relative paths so the scoping
+//! rules engage exactly as they would on the live tree — plus the gate
+//! tests: the live workspace must be clean modulo the committed
+//! baseline, and reintroducing a banned construct must produce a fresh
+//! (non-baselined) finding.
+
+use std::path::Path;
+
+use sgd_analyzer::baseline::Baseline;
+use sgd_analyzer::passes::{all_passes, analyze_file, Finding};
+use sgd_analyzer::source::SourceFile;
+use sgd_analyzer::workspace;
+
+/// Scans `text` as if it lived at `rel_path`, returning findings for
+/// `pass` only (fixtures may legitimately trip other passes too).
+fn findings_for(rel_path: &str, text: &str, pass: &str) -> Vec<Finding> {
+    let sf = SourceFile::parse(rel_path, text);
+    analyze_file(&sf, &all_passes()).into_iter().filter(|f| f.pass == pass).collect()
+}
+
+#[test]
+fn atomics_bad_fixture_triggers() {
+    let hits = findings_for(
+        "crates/core/src/sync.rs",
+        include_str!("fixtures/atomics_bad.rs"),
+        "atomics-discipline",
+    );
+    assert!(hits.len() >= 4, "expected leaked atomics, SeqCst, and RMW findings: {hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("SeqCst")), "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("read-modify-write")), "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("outside the allowlisted")), "{hits:#?}");
+}
+
+#[test]
+fn atomics_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/core/src/shared_model.rs",
+        include_str!("fixtures/atomics_good.rs"),
+        "atomics-discipline",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn determinism_bad_fixture_triggers() {
+    let hits = findings_for(
+        "crates/gpusim/src/gpu.rs",
+        include_str!("fixtures/determinism_bad.rs"),
+        "determinism",
+    );
+    assert!(hits.len() >= 4, "{hits:#?}");
+    for needle in ["HashMap", "HashSet", "Instant::now", "SystemTime"] {
+        assert!(hits.iter().any(|f| f.message.contains(needle)), "missing {needle}: {hits:#?}");
+    }
+}
+
+#[test]
+fn determinism_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/gpusim/src/gpu.rs",
+        include_str!("fixtures/determinism_good.rs"),
+        "determinism",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn determinism_pass_ignores_wall_clock_runners() {
+    // The same banned tokens are fine in a wall-clock runner: it is not
+    // a bit-pinned module, so the pass is out of scope there.
+    let hits = findings_for(
+        "crates/core/src/hogwild.rs",
+        include_str!("fixtures/determinism_bad.rs"),
+        "determinism",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn panic_bad_fixture_triggers() {
+    let hits = findings_for(
+        "crates/core/src/hogwild.rs",
+        include_str!("fixtures/panic_bad.rs"),
+        "panic-freedom",
+    );
+    assert_eq!(hits.len(), 4, "unwrap, expect, panic!, unreachable!: {hits:#?}");
+}
+
+#[test]
+fn panic_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/core/src/hogwild.rs",
+        include_str!("fixtures/panic_good.rs"),
+        "panic-freedom",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn libsvm_indexing_triggers_and_iterators_do_not() {
+    let bad = "pub fn label(ds: &Dataset, i: usize) -> f64 {\n    ds.y[i]\n}\n";
+    let hits = findings_for("crates/datagen/src/libsvm.rs", bad, "panic-freedom");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("indexing"), "{hits:#?}");
+
+    let good = "pub fn labels(ds: &Dataset) -> Vec<f64> {\n    ds.y.iter().copied().collect()\n}\n";
+    let hits = findings_for("crates/datagen/src/libsvm.rs", good, "panic-freedom");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn float_bad_fixture_triggers() {
+    let hits = findings_for(
+        "crates/core/src/convergence.rs",
+        include_str!("fixtures/float_bad.rs"),
+        "float-discipline",
+    );
+    assert!(hits.len() >= 3, "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("`==`")), "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("`!=`")), "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("partial_cmp")), "{hits:#?}");
+}
+
+#[test]
+fn float_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/core/src/convergence.rs",
+        include_str!("fixtures/float_good.rs"),
+        "float-discipline",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn threads_bad_fixture_triggers() {
+    let hits = findings_for(
+        "crates/core/src/hogwild.rs",
+        include_str!("fixtures/threads_bad.rs"),
+        "thread-discipline",
+    );
+    assert_eq!(hits.len(), 2, "thread::spawn and thread::Builder: {hits:#?}");
+}
+
+#[test]
+fn threads_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/core/src/hogwild.rs",
+        include_str!("fixtures/threads_good.rs"),
+        "thread-discipline",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn thread_spawn_is_fine_inside_pool() {
+    let hits = findings_for(
+        "crates/linalg/src/pool.rs",
+        include_str!("fixtures/threads_bad.rs"),
+        "thread-discipline",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn reasonless_allow_is_reported_not_honored() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // analyzer: allow(panic-freedom)\n    x.unwrap()\n}\n";
+    let sf = SourceFile::parse("crates/core/src/engine.rs", src);
+    let all = analyze_file(&sf, &all_passes());
+    assert!(all.iter().any(|f| f.pass == "allow-syntax"), "{all:#?}");
+    assert!(all.iter().any(|f| f.pass == "panic-freedom"), "not suppressed: {all:#?}");
+}
+
+fn repo_root() -> std::path::PathBuf {
+    workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+}
+
+fn committed_baseline(root: &Path) -> Baseline {
+    let path = root.join("analyzer-baseline.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Baseline::parse(&text).expect("committed baseline parses"),
+        Err(_) => Baseline::default(),
+    }
+}
+
+/// The gate itself: the live tree must be clean modulo the committed
+/// baseline (exactly what CI's `analyze` job enforces).
+#[test]
+fn live_workspace_is_clean_modulo_baseline() {
+    let root = repo_root();
+    let report = sgd_analyzer::run_check(&root, &committed_baseline(&root)).expect("scan");
+    assert!(report.files_scanned > 50, "suspiciously small scan: {}", report.files_scanned);
+    assert!(report.is_clean(), "new analyzer findings on the live tree:\n{:#?}", report.fresh);
+}
+
+/// Acceptance check from the issue: reintroducing a `HashMap` into
+/// sgd-gpusim or an `unwrap()` into a runner hot path must come out as a
+/// *fresh* finding against the committed baseline, i.e. fail CI.
+#[test]
+fn reintroduced_violations_are_not_grandfathered() {
+    let baseline = committed_baseline(&repo_root());
+
+    let gpusim = "pub struct D {\n    m: std::collections::HashMap<u64, u64>,\n}\n";
+    let sf = SourceFile::parse("crates/gpusim/src/gpu.rs", gpusim);
+    let (fresh, _, _) = baseline.split(analyze_file(&sf, &all_passes()));
+    assert!(fresh.iter().any(|f| f.pass == "determinism"), "{fresh:#?}");
+
+    let runner = "pub fn epoch(g: Option<f64>) -> f64 {\n    g.unwrap()\n}\n";
+    let sf = SourceFile::parse("crates/core/src/hogwild.rs", runner);
+    let (fresh, _, _) = baseline.split(analyze_file(&sf, &all_passes()));
+    assert!(fresh.iter().any(|f| f.pass == "panic-freedom"), "{fresh:#?}");
+}

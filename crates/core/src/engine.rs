@@ -198,6 +198,7 @@ impl Engine {
         opts: &RunOptions,
     ) -> RunReport {
         Self::try_run(cfg, task, batch, alpha, opts)
+            // analyzer: allow(panic-freedom) -- documented panicking API; try_run is the Result form
             .unwrap_or_else(|e| panic!("invalid SGD configuration: {e}"))
     }
 
@@ -222,6 +223,7 @@ impl Engine {
         obs: &mut dyn EpochObserver,
     ) -> RunReport {
         Self::try_run_observed(cfg, task, batch, alpha, opts, obs)
+            // analyzer: allow(panic-freedom) -- documented panicking API; try_run_observed is the Result form
             .unwrap_or_else(|e| panic!("invalid SGD configuration: {e}"))
     }
 
@@ -235,7 +237,7 @@ impl Engine {
         obs: &mut dyn EpochObserver,
     ) -> Result<RunReport, EngineError> {
         validate(cfg, task, batch)?;
-        Ok(dispatch(cfg, task, batch, alpha, opts, obs))
+        dispatch(cfg, task, batch, alpha, opts, obs)
     }
 
     /// Grid-searches the step size for one configuration: runs every value
@@ -250,11 +252,8 @@ impl Engine {
         grid: &[f64],
         opts: &RunOptions,
     ) -> RunReport {
-        if let Err(e) = validate(cfg, task, batch) {
-            panic!("invalid SGD configuration: {e}");
-        }
         crate::report::grid_search(optimum, grid, |alpha| {
-            dispatch(cfg, task, batch, alpha, opts, &mut NullObserver)
+            Engine::run(cfg, task, batch, alpha, opts)
         })
     }
 }
@@ -330,20 +329,24 @@ fn dispatch<T: Task>(
     alpha: f64,
     opts: &RunOptions,
     obs: &mut dyn EpochObserver,
-) -> RunReport {
-    // `validate` runs first, so the unreachable corners below really are
-    // unreachable and the pointwise loss exists where it is taken.
+) -> Result<RunReport, EngineError> {
+    // `validate` runs first, so the error arms below are unreachable in
+    // practice — but they stay typed errors, not panics, so a future
+    // validate/dispatch drift degrades to an Err instead of poisoning a
+    // run mid-grid-search.
     let cpu_threads = |device: DeviceKind| match device {
         DeviceKind::CpuSeq => 1,
         _ => opts.threads.max(2),
     };
-    match &cfg.strategy {
+    let report = match &cfg.strategy {
         Strategy::Sync => match &cfg.timing {
             Timing::Wall => sync_observed(task, batch, cfg.device, alpha, opts, obs),
             Timing::Modeled(mc) => sync_modeled_observed(task, batch, mc, alpha, opts, obs),
         },
         Strategy::Hogwild => {
-            let loss = task.pointwise_loss().expect("validated");
+            let Some(loss) = task.pointwise_loss() else {
+                return Err(EngineError::StrategyRequiresPointwiseLoss);
+            };
             match (&cfg.timing, cfg.device) {
                 (Timing::Wall, DeviceKind::Gpu) => {
                     gpu_hogwild_observed(task, loss, batch, alpha, opts, &cfg.gpu_async, obs)
@@ -357,7 +360,9 @@ fn dispatch<T: Task>(
             }
         }
         Strategy::ReplicatedHogwild { replication } => {
-            let loss = task.pointwise_loss().expect("validated");
+            let Some(loss) = task.pointwise_loss() else {
+                return Err(EngineError::StrategyRequiresPointwiseLoss);
+            };
             replicated_observed(
                 task,
                 loss,
@@ -370,7 +375,11 @@ fn dispatch<T: Task>(
             )
         }
         Strategy::Hogbatch { batch_size } => {
-            let Examples::Dense(x) = batch.x else { unreachable!("validated") };
+            let Examples::Dense(x) = batch.x else {
+                return Err(EngineError::UnsupportedConfiguration {
+                    detail: "Hogbatch mini-batches require dense examples".into(),
+                });
+            };
             let size = (*batch_size).min(batch.n()).max(1);
             let owned = make_batches(x, batch.y, size);
             let batches: Vec<Batch<'_>> =
@@ -387,7 +396,8 @@ fn dispatch<T: Task>(
                 }
             }
         }
-    }
+    };
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -272,16 +272,25 @@ impl FaultTally {
         FaultTally::default()
     }
 
+    // The three tallies below are plain event counters, not model state:
+    // losing or reordering a count would miscount faults, so they use
+    // lossless RMWs rather than SharedModel's lossy `add`.
     pub(crate) fn add(&self, dropped: u64, stale: u64, corrupted: u64) {
+        // analyzer: allow(atomics-discipline) -- lossless event counter, not model state
         self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        // analyzer: allow(atomics-discipline) -- lossless event counter, not model state
         self.stale.fetch_add(stale, Ordering::Relaxed);
+        // analyzer: allow(atomics-discipline) -- lossless event counter, not model state
         self.corrupted.fetch_add(corrupted, Ordering::Relaxed);
     }
 
     /// Moves the tallied counts into `fc`, resetting the tally.
     pub(crate) fn drain_into(&self, fc: &mut FaultCounters) {
+        // analyzer: allow(atomics-discipline) -- atomic drain-and-reset of an event counter
         fc.dropped_updates += self.dropped.swap(0, Ordering::Relaxed);
+        // analyzer: allow(atomics-discipline) -- atomic drain-and-reset of an event counter
         fc.stale_reads += self.stale.swap(0, Ordering::Relaxed);
+        // analyzer: allow(atomics-discipline) -- atomic drain-and-reset of an event counter
         fc.corrupted_updates += self.corrupted.swap(0, Ordering::Relaxed);
     }
 }

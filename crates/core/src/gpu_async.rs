@@ -16,7 +16,7 @@
 //!   sequential — statistical efficiency matches sequential mini-batch SGD
 //!   and each small kernel pays a host dispatch/synchronization overhead.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sgd_gpusim::kernels::GpuExec;
 use sgd_gpusim::WarpCtx;
@@ -114,8 +114,10 @@ fn process_warp(
 
     // Phase 2: lockstep unsynchronized updates. Without atomics, lanes that
     // touch the same coordinate all start from the pre-warp value and the
-    // last store wins (lost updates).
-    let mut pre: HashMap<u32, Scalar> = HashMap::new();
+    // last store wins (lost updates). BTreeMap, not HashMap: this path is
+    // pinned bit-for-bit by tests/fault_determinism.rs, and ordered
+    // containers keep iteration-order nondeterminism out by construction.
+    let mut pre: BTreeMap<u32, Scalar> = BTreeMap::new();
     let mut touches: u64 = 0;
     for (lane, &i) in lanes.iter().enumerate() {
         let s = coeffs[lane];

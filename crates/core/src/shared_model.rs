@@ -163,4 +163,55 @@ mod tests {
     fn store_from_checks_len() {
         SharedModel::from_slice(&[0.0; 2]).store_from(&[1.0]);
     }
+
+    #[test]
+    fn add_and_fetch_add_agree_bit_for_bit_single_threaded() {
+        // Uncontended, the lossy plain RMW and the CAS loop must walk the
+        // exact same float trajectory — same rounding at every step.
+        let lossy = SharedModel::from_slice(&[0.25, -3.0]);
+        let lossless = SharedModel::from_slice(&[0.25, -3.0]);
+        let mut delta = 0.1;
+        for k in 0..1000 {
+            let i = k % 2;
+            lossy.add(i, delta);
+            lossless.fetch_add(i, delta);
+            delta = -delta * 0.999;
+        }
+        for i in 0..2 {
+            assert_eq!(
+                lossy.read(i).to_bits(),
+                lossless.read(i).to_bits(),
+                "coordinate {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_bit_pattern() {
+        // snapshot/store_from must be bit-transparent, including the values
+        // float arithmetic would normalize away: NaN payloads, -0.0,
+        // denormals, and infinities.
+        let specials = [
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with a payload
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // denormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0e300,
+            -2.5,
+        ];
+        let m = SharedModel::from_slice(&specials);
+        let snap = m.snapshot();
+        for (orig, got) in specials.iter().zip(&snap) {
+            assert_eq!(orig.to_bits(), got.to_bits(), "snapshot changed bits");
+        }
+        let m2 = SharedModel::from_slice(&[0.0; 8]);
+        m2.store_from(&snap);
+        let mut buf = [0.0; 8];
+        m2.snapshot_into(&mut buf);
+        for (orig, got) in specials.iter().zip(&buf) {
+            assert_eq!(orig.to_bits(), got.to_bits(), "store_from/snapshot_into changed bits");
+        }
+    }
 }

@@ -190,9 +190,8 @@ pub fn read_file(path: &Path, features: usize) -> io::Result<Dataset> {
 /// Serializes a dataset to LIBSVM text.
 pub fn to_string(ds: &Dataset) -> String {
     let mut out = String::new();
-    for i in 0..ds.n() {
-        let label = if ds.y[i] > 0.0 { "+1" } else { "-1" };
-        out.push_str(label);
+    for (i, &label) in ds.y.iter().enumerate().take(ds.n()) {
+        out.push_str(if label > 0.0 { "+1" } else { "-1" });
         let row = ds.x.row(i);
         for (&c, &v) in row.cols.iter().zip(row.vals) {
             out.push_str(&format!(" {}:{}", c + 1, v));

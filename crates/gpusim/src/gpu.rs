@@ -21,7 +21,7 @@ pub struct GpuDevice {
     stats: GpuStats,
     elapsed_cycles: f64,
     alloc_cursor: u64,
-    buffers: std::collections::HashMap<(usize, usize), u64>,
+    buffers: std::collections::BTreeMap<(usize, usize), u64>,
 }
 
 impl GpuDevice {
@@ -35,7 +35,7 @@ impl GpuDevice {
             stats: GpuStats::default(),
             elapsed_cycles: 0.0,
             alloc_cursor: 0,
-            buffers: std::collections::HashMap::new(),
+            buffers: std::collections::BTreeMap::new(),
             spec,
         }
     }

@@ -7,7 +7,7 @@ use sgd_study::core::{
     Configuration, CpuModelConfig, DeviceKind, Engine, FaultPlan, RunOptions, RunReport, Strategy,
     Timing,
 };
-use sgd_study::linalg::CsrMatrix;
+use sgd_study::linalg::{CsrMatrix, Matrix};
 use sgd_study::models::{lr, Batch, Examples};
 
 fn sparse() -> (CsrMatrix, Vec<f64>) {
@@ -15,6 +15,15 @@ fn sparse() -> (CsrMatrix, Vec<f64>) {
         (0..64).map(|i| vec![((i % 16) as u32, if i % 2 == 0 { 1.0 } else { -1.0 })]).collect();
     let y = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
     (CsrMatrix::from_row_entries(64, 16, &entries), y)
+}
+
+fn dense() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(64, 6, |i, j| {
+        let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+        s * (((i * 3 + j) % 5) as f64 + 1.0) / 5.0
+    });
+    let y = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (x, y)
 }
 
 fn plan() -> FaultPlan {
@@ -92,6 +101,38 @@ fn clean_gpu_async_runs_are_bit_identical() {
         assert_eq!(pa.0, pb.0);
         assert_eq!(pa.1, pb.1);
     }
+}
+
+#[test]
+fn dense_gpu_warp_conflict_metrics_are_bit_identical() {
+    // Dense rows make every warp lane touch every coordinate, so the
+    // per-warp pre-update map (a BTreeMap precisely so this test can
+    // exist) is heavily exercised and the conflict counter is nonzero.
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = RunOptions { max_epochs: 10, plateau: None, faults: plan(), ..Default::default() };
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogwild);
+    let a = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let b = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    assert_bit_identical(&a, &b);
+    assert_eq!(a.update_conflicts(), b.update_conflicts());
+    assert!(a.update_conflicts() > Some(0), "dense warps must collide on coordinates");
+}
+
+#[test]
+fn gpu_hogbatch_fault_runs_are_bit_identical() {
+    // Hogbatch on the simulated GPU launches one kernel per mini-batch,
+    // so the device's buffer registry (host-ptr-keyed, BTreeMap) sees
+    // many distinct buffers; simulated times must still reproduce.
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = RunOptions { max_epochs: 10, plateau: None, faults: plan(), ..Default::default() };
+    let cfg = Configuration::new(DeviceKind::Gpu, Strategy::Hogbatch { batch_size: 8 });
+    let a = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    let b = Engine::run(&cfg, &task, &batch, 0.2, &o);
+    assert_bit_identical(&a, &b);
 }
 
 #[test]
