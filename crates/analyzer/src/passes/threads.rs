@@ -2,18 +2,20 @@
 //!
 //! Detached `thread::spawn` threads outlive the run that created them:
 //! they keep mutating the shared model after the supervisor declared an
-//! outcome, and their panics vanish instead of failing the run. Every
-//! spawn must therefore go through the audited channels:
-//!
-//! * `pool.rs` (the pinned worker pools, which own affinity and join
-//!   semantics), or
-//! * `std::thread::scope` (joins are structural — the borrow checker
-//!   proves no worker outlives the epoch).
+//! outcome, and their panics vanish instead of failing the run. And
+//! since the persistent worker pool landed, ad-hoc `thread::scope`
+//! fork-join is banned too: scoped workers start with a fresh
+//! thread-local context, so they silently drop the caller's
+//! `with_threads` width (the oversubscription bug the pool fixed) and
+//! bypass the pool's panic-propagation contract. Every form of thread
+//! creation must therefore live in `pool.rs` (the persistent pool plus
+//! its measured fork-join baseline), and everything else routes work
+//! through `sgd_linalg::pool::{run, with_threads}`.
 
 use super::{basename_in, finding, Finding, Pass};
 use crate::source::SourceFile;
 
-/// The modules that own raw spawns.
+/// The modules that own thread creation.
 const ALLOWED_MODULES: [&str; 1] = ["pool.rs"];
 
 pub struct ThreadDiscipline;
@@ -24,7 +26,7 @@ impl Pass for ThreadDiscipline {
     }
 
     fn description(&self) -> &'static str {
-        "all thread spawns via pool.rs or std::thread::scope"
+        "all thread creation (spawn/Builder/scope) confined to pool.rs"
     }
 
     fn in_scope(&self, rel_path: &str) -> bool {
@@ -32,17 +34,16 @@ impl Pass for ThreadDiscipline {
     }
 
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
-        // `s.spawn(...)` inside a scope is fine; only free-standing
-        // `thread::spawn` / `thread::Builder` escapes structured join.
-        for tok in ["thread::spawn", "thread::Builder"] {
+        for tok in ["thread::spawn", "thread::Builder", "thread::scope"] {
             if code.contains(tok) {
                 out.push(finding(
                     self.id(),
                     sf,
                     line0,
                     format!(
-                        "`{tok}` outside pool.rs: unscoped threads escape the run's join/outcome \
-                         contract; use sgd_linalg::pool or std::thread::scope"
+                        "`{tok}` outside pool.rs: ad-hoc threads bypass the persistent pool's \
+                         width-inheritance and panic contract; route work through \
+                         sgd_linalg::pool (run/with_threads)"
                     ),
                 ));
             }

@@ -1,6 +1,6 @@
 // Fixture: loaded by tests/passes.rs under a runner path
-// (crates/core/src/hogwild.rs). Both spawn forms must trigger
-// thread-discipline.
+// (crates/core/src/hogwild.rs). All three thread-creation forms must
+// trigger thread-discipline.
 use std::thread;
 
 pub fn fire_and_forget(n: usize) {
@@ -15,4 +15,18 @@ pub fn named_detached() -> std::io::Result<()> {
     let b = thread::Builder::new().name("worker".into());
     b.spawn(|| {})?;
     Ok(())
+}
+
+pub fn ad_hoc_fork_join(chunks: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    thread::scope(|s| {
+        let handles: Vec<_> =
+            chunks.iter().map(|c| s.spawn(move || c.iter().sum::<f64>())).collect();
+        for h in handles {
+            if let Ok(part) = h.join() {
+                total += part;
+            }
+        }
+    });
+    total
 }

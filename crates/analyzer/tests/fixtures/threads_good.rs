@@ -1,19 +1,18 @@
 // Fixture: loaded by tests/passes.rs under the same runner path as
-// threads_bad.rs — scoped spawns join structurally and are clean.
-use std::thread;
+// threads_bad.rs — work routed through the persistent pool helpers
+// creates no threads of its own and is clean.
+use std::sync::Mutex;
 
-pub fn scoped_epoch(chunks: &[Vec<f64>]) -> f64 {
-    let mut total = 0.0;
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|c| s.spawn(move || c.iter().sum::<f64>()))
-            .collect();
-        for h in handles {
-            if let Ok(part) = h.join() {
-                total += part;
-            }
+pub fn pooled_epoch(chunks: &[Vec<f64>]) -> f64 {
+    let partials: Vec<Mutex<f64>> = chunks.iter().map(|_| Mutex::new(0.0)).collect();
+    sgd_linalg::pool::run(chunks.len(), |i| {
+        if let Ok(mut p) = partials[i].lock() {
+            *p = chunks[i].iter().sum::<f64>();
         }
     });
-    total
+    partials.into_iter().filter_map(|m| m.into_inner().ok()).sum()
+}
+
+pub fn scoped_width(chunks: &[Vec<f64>]) -> f64 {
+    sgd_linalg::pool::with_threads(2, || pooled_epoch(chunks))
 }

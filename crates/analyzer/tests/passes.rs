@@ -139,7 +139,7 @@ fn threads_bad_fixture_triggers() {
         include_str!("fixtures/threads_bad.rs"),
         "thread-discipline",
     );
-    assert_eq!(hits.len(), 2, "thread::spawn and thread::Builder: {hits:#?}");
+    assert_eq!(hits.len(), 3, "thread::spawn, thread::Builder, and thread::scope: {hits:#?}");
 }
 
 #[test]

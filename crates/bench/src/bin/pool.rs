@@ -1,0 +1,59 @@
+//! Pool dispatch sweep: persistent pool vs fork-join (see DESIGN.md).
+//!
+//! `--check` runs the CI smoke mode (bit-equal losses across dispatch
+//! modes on a tiny dataset) instead of the timed sweep; `--out PATH`
+//! overrides where the JSON lands (default `BENCH_pool.json`).
+
+use sgd_bench::cli::ExperimentConfig;
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_pool.json");
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let mut cfg = match ExperimentConfig::from_args(rest) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}\nextra flags: [--check] [--out PATH]");
+            std::process::exit(2);
+        }
+    };
+
+    if check {
+        cfg.datasets = vec!["w8a".into()];
+        match sgd_bench::pool::check(&cfg) {
+            Ok(()) => println!("pool --check: dispatch modes bit-equal"),
+            Err(msg) => {
+                eprintln!("pool --check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Default to the paper's dense profile plus its widest sparse one.
+    if cfg.datasets.is_empty() {
+        cfg.datasets = vec!["covtype".into(), "rcv1".into()];
+    }
+    let rows = sgd_bench::pool::rows(&cfg);
+    print!("{}", sgd_bench::pool::render(&rows));
+    let json = sgd_bench::pool::to_json(&rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

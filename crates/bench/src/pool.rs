@@ -1,0 +1,186 @@
+//! Pool-dispatch microbench — persistent worker pool vs fork-join.
+//!
+//! Not a paper figure: this experiment justifies the persistent worker
+//! pool in `sgd_linalg::pool` by measuring synchronous-SGD wall-clock
+//! time per epoch under both dispatch modes across thread counts, on the
+//! paper's dense profile (covtype) and its widest sparse one (rcv1).
+//! Fork-join pays a thread spawn per kernel invocation; the pool parks
+//! its workers once and hands chunks over a condvar, so the gap is pure
+//! dispatch overhead. Both modes split work into identical chunks, so
+//! their loss trajectories are bit-equal — `check` pins exactly that and
+//! runs in CI as a smoke test.
+
+use sgd_core::{Configuration, DeviceKind, Engine, RunOptions, Strategy, Timing};
+use sgd_linalg::pool::{with_dispatch, Dispatch};
+
+use crate::cli::ExperimentConfig;
+use crate::prep::{prepare_all, Prepared};
+
+/// Thread counts swept per profile (the paper varies CPU threads the
+/// same way; 8 is the acceptance point for pool <= fork-join).
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One (profile, thread-count) comparison cell.
+#[derive(Clone, Debug)]
+pub struct PoolRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Requested kernel width.
+    pub threads: usize,
+    /// Epochs both runs completed.
+    pub epochs: usize,
+    /// Wall-clock time per epoch under fork-join dispatch, milliseconds.
+    pub forkjoin_tpe_ms: f64,
+    /// Wall-clock time per epoch on the persistent pool, milliseconds.
+    pub pool_tpe_ms: f64,
+    /// Fork-join time over pool time (>1 means the pool wins).
+    pub speedup: f64,
+}
+
+fn bench_options(cfg: &ExperimentConfig, threads: usize) -> RunOptions {
+    RunOptions {
+        threads,
+        // Fixed epoch budget: no target, no plateau, so both dispatch
+        // modes time exactly the same amount of arithmetic.
+        target_loss: None,
+        plateau: None,
+        ..cfg.run_options()
+    }
+}
+
+fn timed_epoch_ms(p: &Prepared, opts: &RunOptions, dispatch: Dispatch) -> (usize, f64) {
+    let task = sgd_models::lr(p.ds.d());
+    let batch = p.linear_batch();
+    // Wall timing regardless of `--timing`: dispatch overhead is real
+    // time, a modeled clock would hide it.
+    let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Sync).with_timing(Timing::Wall);
+    let rep = with_dispatch(dispatch, || Engine::run(&cfg, &task, &batch, 0.1, opts));
+    (rep.trace.epochs(), rep.time_per_epoch() * 1e3)
+}
+
+/// Runs the sweep: every selected profile at every thread count, timing
+/// one synchronous-SGD run per dispatch mode.
+pub fn rows(cfg: &ExperimentConfig) -> Vec<PoolRow> {
+    let mut out = Vec::new();
+    for p in prepare_all(cfg) {
+        for threads in THREAD_COUNTS {
+            let opts = bench_options(cfg, threads);
+            let (epochs, forkjoin_tpe_ms) = timed_epoch_ms(&p, &opts, Dispatch::ForkJoin);
+            let (_, pool_tpe_ms) = timed_epoch_ms(&p, &opts, Dispatch::Pool);
+            out.push(PoolRow {
+                dataset: p.name().to_string(),
+                threads,
+                epochs,
+                forkjoin_tpe_ms,
+                pool_tpe_ms,
+                speedup: if pool_tpe_ms > 0.0 { forkjoin_tpe_ms / pool_tpe_ms } else { 1.0 },
+            });
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON for `BENCH_pool.json` (the repo carries no JSON
+/// dependency; every float the sweep emits is finite).
+pub fn to_json(rows: &[PoolRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"pool-vs-forkjoin\",\n  \"unit\": \"ms per epoch\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"threads\": {}, \"epochs\": {}, \
+             \"forkjoin_tpe_ms\": {:.4}, \"pool_tpe_ms\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.dataset,
+            r.threads,
+            r.epochs,
+            r.forkjoin_tpe_ms,
+            r.pool_tpe_ms,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable table for stdout.
+pub fn render(rows: &[PoolRow]) -> String {
+    let mut out =
+        String::from("Pool dispatch sweep: fork-join vs persistent pool (sync SGD, LR)\n");
+    out.push_str(&format!(
+        "{:<9} {:>7} {:>7} | {:>12} {:>12} {:>8}\n",
+        "dataset", "threads", "epochs", "forkjoin-ms", "pool-ms", "speedup"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:>7} {:>7} | {:>12.4} {:>12.4} {:>7.2}x\n",
+            r.dataset, r.threads, r.epochs, r.forkjoin_tpe_ms, r.pool_tpe_ms, r.speedup
+        ));
+    }
+    out
+}
+
+/// CI smoke mode: on a tiny dataset, the two dispatch modes must produce
+/// bit-equal loss trajectories (identical chunking makes every float the
+/// same), and the sweep plumbing must produce a full grid of rows.
+pub fn check(cfg: &ExperimentConfig) -> Result<(), String> {
+    for p in prepare_all(cfg) {
+        let task = sgd_models::lr(p.ds.d());
+        let batch = p.linear_batch();
+        let corner =
+            Configuration::new(DeviceKind::CpuPar, Strategy::Sync).with_timing(Timing::Wall);
+        for threads in [2usize, 4] {
+            let opts = RunOptions { threads, max_epochs: 5, ..bench_options(cfg, threads) };
+            let pooled =
+                with_dispatch(Dispatch::Pool, || Engine::run(&corner, &task, &batch, 0.1, &opts));
+            let forked = with_dispatch(Dispatch::ForkJoin, || {
+                Engine::run(&corner, &task, &batch, 0.1, &opts)
+            });
+            if pooled.trace.epochs() != forked.trace.epochs() {
+                return Err(format!(
+                    "{} @ {threads} threads: epoch counts diverged ({} vs {})",
+                    p.name(),
+                    pooled.trace.epochs(),
+                    forked.trace.epochs()
+                ));
+            }
+            for (e, ((_, lp), (_, lf))) in
+                pooled.trace.points().iter().zip(forked.trace.points()).enumerate()
+            {
+                if lp.to_bits() != lf.to_bits() {
+                    return Err(format!(
+                        "{} @ {threads} threads, epoch {e}: loss diverged across dispatch \
+                         modes ({lp} vs {lf})",
+                        p.name()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_passes_on_the_smoke_config() {
+        check(&ExperimentConfig::smoke()).expect("dispatch modes must agree bitwise");
+    }
+
+    #[test]
+    fn sweep_produces_a_full_grid_and_valid_json() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.max_epochs = 3;
+        let rows = rows(&cfg);
+        assert_eq!(rows.len(), THREAD_COUNTS.len(), "one dataset x four thread counts");
+        for r in &rows {
+            assert!(r.epochs > 0);
+            assert!(r.forkjoin_tpe_ms.is_finite() && r.pool_tpe_ms.is_finite());
+        }
+        let json = to_json(&rows);
+        assert!(json.contains("\"pool-vs-forkjoin\""));
+        assert_eq!(json.matches("\"threads\"").count(), rows.len());
+        let table = render(&rows);
+        assert!(table.contains("speedup"));
+    }
+}

@@ -65,6 +65,22 @@ pub(crate) fn hogbatch_observed<T: Task>(
 ) -> RunReport {
     assert!(!batches.is_empty(), "at least one mini-batch required");
     let threads = threads.max(1);
+    // Pin the ambient kernel width to the worker count for the whole run
+    // (inherited by the pooled workers and the untimed loss evaluations).
+    crate::pool::with_threads(threads, || {
+        hogbatch_run(task, full, batches, threads, alpha, opts, obs)
+    })
+}
+
+fn hogbatch_run<T: Task>(
+    task: &T,
+    full: &Batch<'_>,
+    batches: &[Batch<'_>],
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
     let dim = task.dim();
     let model = SharedModel::from_slice(&task.init_model());
@@ -89,77 +105,72 @@ pub(crate) fn hogbatch_observed<T: Task>(
         let t0 = Instant::now();
         match faults {
             None => {
-                std::thread::scope(|s| {
-                    for t in 0..threads {
-                        let model = &model;
-                        s.spawn(move || {
-                            let mut e = CpuExec::seq();
-                            let mut w = vec![0.0; dim];
-                            let mut g = vec![0.0; dim];
-                            let mut b = t;
-                            while b < batches.len() {
-                                // Stale snapshot, gradient, lock-free scatter.
-                                model.snapshot_into(&mut w);
-                                task.gradient(&mut e, &batches[b], &w, &mut g);
-                                for (j, &gj) in g.iter().enumerate() {
-                                    if gj != 0.0 {
-                                        model.add(j, -alpha * gj);
-                                    }
-                                }
-                                b += threads;
+                crate::pool::run_workers(threads, |t| {
+                    let mut e = CpuExec::seq();
+                    let mut w = vec![0.0; dim];
+                    let mut g = vec![0.0; dim];
+                    let mut b = t;
+                    while b < batches.len() {
+                        // Stale snapshot, gradient, lock-free scatter.
+                        model.snapshot_into(&mut w);
+                        task.gradient(&mut e, &batches[b], &w, &mut g);
+                        for (j, &gj) in g.iter().enumerate() {
+                            if gj != 0.0 {
+                                model.add(j, -alpha * gj);
                             }
-                        });
+                        }
+                        b += threads;
                     }
                 });
             }
             Some(plan) => {
                 // `snapshot` still holds the epoch-start model (refreshed
-                // only after the epoch): the stale-read target. A dead
-                // worker's batches are skipped; the rest carry on.
-                std::thread::scope(|s| {
-                    for t in 0..threads {
-                        if plan.worker_dead(t, epoch) {
-                            fc.dead_workers += 1;
-                            continue;
-                        }
-                        let model = &model;
-                        let epoch_start = &snapshot;
-                        let tally = &tally;
-                        s.spawn(move || {
-                            let mut e = CpuExec::seq();
-                            let mut w = vec![0.0; dim];
-                            let mut g = vec![0.0; dim];
-                            let (mut dropped, mut stale_n, mut corrupted) = (0u64, 0u64, 0u64);
-                            let mut b = t;
-                            while b < batches.len() {
-                                model.snapshot_into(&mut w);
-                                let stale = plan.stale_read(epoch, b);
-                                let read: &[Scalar] = if stale {
-                                    stale_n += 1;
-                                    epoch_start
-                                } else {
-                                    &w
-                                };
-                                task.gradient(&mut e, &batches[b], read, &mut g);
-                                let mut a = alpha;
-                                if let Some(f) = plan.corrupt_factor(epoch, b) {
-                                    a *= f;
-                                    corrupted += 1;
-                                }
-                                if plan.drops_update(epoch, b) {
-                                    dropped += 1;
-                                } else {
-                                    for (j, &gj) in g.iter().enumerate() {
-                                        if gj != 0.0 {
-                                            model.add(j, -a * gj);
-                                        }
-                                    }
-                                }
-                                b += threads;
-                            }
-                            tally.add(dropped, stale_n, corrupted);
-                        });
+                // only after the epoch): the stale-read target. Death
+                // decisions key on the worker index, so they are taken
+                // here before dispatch; a dead worker's batches are
+                // skipped and the rest carry on.
+                let mut alive: Vec<usize> = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    if plan.worker_dead(t, epoch) {
+                        fc.dead_workers += 1;
+                    } else {
+                        alive.push(t);
                     }
+                }
+                crate::pool::run_workers(alive.len(), |i| {
+                    let t = alive[i];
+                    let mut e = CpuExec::seq();
+                    let mut w = vec![0.0; dim];
+                    let mut g = vec![0.0; dim];
+                    let (mut dropped, mut stale_n, mut corrupted) = (0u64, 0u64, 0u64);
+                    let mut b = t;
+                    while b < batches.len() {
+                        model.snapshot_into(&mut w);
+                        let stale = plan.stale_read(epoch, b);
+                        let read: &[Scalar] = if stale {
+                            stale_n += 1;
+                            &snapshot
+                        } else {
+                            &w
+                        };
+                        task.gradient(&mut e, &batches[b], read, &mut g);
+                        let mut a = alpha;
+                        if let Some(f) = plan.corrupt_factor(epoch, b) {
+                            a *= f;
+                            corrupted += 1;
+                        }
+                        if plan.drops_update(epoch, b) {
+                            dropped += 1;
+                        } else {
+                            for (j, &gj) in g.iter().enumerate() {
+                                if gj != 0.0 {
+                                    model.add(j, -a * gj);
+                                }
+                            }
+                        }
+                        b += threads;
+                    }
+                    tally.add(dropped, stale_n, corrupted);
                 });
             }
         }

@@ -196,10 +196,28 @@ pub(crate) fn hogwild_observed<T: Task>(
     obs: &mut dyn EpochObserver,
 ) -> RunReport {
     let threads = threads.max(1);
+    // Pin the ambient kernel width to the worker count for the whole run:
+    // pool tasks inherit it, so neither the per-partition workers nor the
+    // (untimed) loss evaluations ever fan out to machine width.
+    crate::pool::with_threads(threads, || {
+        hogwild_run(task, loss_fn, batch, threads, alpha, opts, obs)
+    })
+}
+
+fn hogwild_run<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let device = if threads == 1 { DeviceKind::CpuSeq } else { DeviceKind::CpuPar };
     let n = batch.n();
     let order = shuffled_order(n, opts.seed);
     let chunk = n.div_ceil(threads);
+    let parts: Vec<&[u32]> = order.chunks(chunk.max(1)).collect();
 
     // Per-epoch instrumentation: rounds of concurrent (potentially stale)
     // updates, and the cost model's *expected* cross-core invalidation
@@ -233,11 +251,8 @@ pub(crate) fn hogwild_observed<T: Task>(
                 if threads == 1 {
                     hogwild_worker(loss_fn, batch, &model, alpha, &order);
                 } else {
-                    std::thread::scope(|s| {
-                        for part in order.chunks(chunk.max(1)) {
-                            let model = &model;
-                            s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
-                        }
+                    crate::pool::run_workers(parts.len(), |t| {
+                        hogwild_worker(loss_fn, batch, &model, alpha, parts[t])
                     });
                 }
             }
@@ -255,21 +270,21 @@ pub(crate) fn hogwild_observed<T: Task>(
                         );
                     }
                 } else {
-                    std::thread::scope(|s| {
-                        for (t, part) in order.chunks(chunk.max(1)).enumerate() {
-                            if plan.worker_dead(t, epoch) {
-                                fc.dead_workers += 1;
-                                continue;
-                            }
-                            let model = &model;
-                            let stale = &snapshot;
-                            let tally = &tally;
-                            s.spawn(move || {
-                                hogwild_worker_faulty(
-                                    loss_fn, batch, model, alpha, part, plan, epoch, stale, tally,
-                                )
-                            });
+                    // Death decisions key on the partition index, so they
+                    // are taken here before dispatch; only the surviving
+                    // partitions are handed to the pool.
+                    let mut alive: Vec<&[u32]> = Vec::with_capacity(parts.len());
+                    for (t, part) in parts.iter().enumerate() {
+                        if plan.worker_dead(t, epoch) {
+                            fc.dead_workers += 1;
+                        } else {
+                            alive.push(part);
                         }
+                    }
+                    crate::pool::run_workers(alive.len(), |t| {
+                        hogwild_worker_faulty(
+                            loss_fn, batch, &model, alpha, alive[t], plan, epoch, &snapshot, &tally,
+                        )
                     });
                 }
             }

@@ -1,11 +1,27 @@
-//! Thread-pool helper for the parallel CPU configurations.
+//! Thread-pool helpers for the parallel CPU configurations.
 
 /// Runs `f` with the parallel backend limited to `n` threads, so every
 /// `Backend::par()` primitive invoked within uses exactly that degree of
 /// parallelism (the study's equivalent of setting `OMP_NUM_THREADS`).
-/// Delegates to [`sgd_linalg::pool::with_threads`].
+/// The width is inherited by pool tasks submitted inside the scope, so
+/// kernels invoked from a runner's workers honor it too. Delegates to
+/// [`sgd_linalg::pool::with_threads`].
 pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     sgd_linalg::pool::with_threads(n, f)
+}
+
+/// Runs `f(0)`, …, `f(workers - 1)` concurrently on the persistent worker
+/// pool and blocks until every invocation returns. Runner epochs
+/// (Hogwild, Hogbatch, replicated) dispatch their per-partition workers
+/// through this instead of forking scoped threads every epoch. A
+/// panicking worker propagates to the caller after the surviving workers
+/// finish, so a run never deadlocks on a failed partition. Delegates to
+/// [`sgd_linalg::pool::run`].
+pub fn run_workers<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    sgd_linalg::pool::run(workers, f)
 }
 
 #[cfg(test)]
@@ -27,5 +43,55 @@ mod tests {
     #[test]
     fn returns_closure_value() {
         assert_eq!(with_threads(2, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn workers_inherit_the_runner_width() {
+        use std::sync::Mutex;
+        let widths = Mutex::new(Vec::new());
+        with_threads(2, || {
+            run_workers(3, |_| {
+                widths.lock().unwrap().push(sgd_linalg::pool::current_num_threads());
+            });
+        });
+        let widths = widths.into_inner().unwrap();
+        assert_eq!(widths.len(), 3);
+        assert!(widths.iter().all(|&w| w == 2), "{widths:?}");
+    }
+
+    #[test]
+    fn engine_runs_never_execute_kernels_beyond_the_requested_width() {
+        use crate::config::{DeviceKind, RunOptions};
+        use crate::engine::{Configuration, Engine, Strategy};
+        use sgd_linalg::{Matrix, Scalar, MIN_PARALLEL_LEN};
+        use sgd_models::{Batch, Examples};
+
+        // Enough rows that the eval/gradient kernels actually cross the
+        // parallel threshold: an un-inherited width would show up as a
+        // machine-width submission.
+        let n = MIN_PARALLEL_LEN + 101;
+        let x = Matrix::from_fn(n, 4, |i, j| {
+            let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+            s * (((i * 7 + j * 3) % 5 + 1) as Scalar) / 5.0
+        });
+        let y: Vec<Scalar> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let task = sgd_models::lr(4);
+        let opts = RunOptions { max_epochs: 2, threads: 2, ..Default::default() };
+
+        let stats = sgd_linalg::pool::PoolStats::new();
+        sgd_linalg::pool::with_stats(&stats, || {
+            for strategy in [Strategy::Sync, Strategy::Hogwild] {
+                let cfg = Configuration::new(DeviceKind::CpuPar, strategy);
+                let rep = Engine::run(&cfg, &task, &b, 0.5, &opts);
+                assert!(rep.best_loss().is_finite());
+            }
+        });
+        assert!(stats.submissions() > 0, "large kernels must dispatch to the pool");
+        assert!(
+            stats.max_width() <= 2,
+            "kernel ran at width {} under threads = 2 (ambient width leak)",
+            stats.max_width()
+        );
     }
 }

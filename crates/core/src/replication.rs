@@ -92,6 +92,24 @@ pub(crate) fn replicated_observed<T: Task>(
     obs: &mut dyn EpochObserver,
 ) -> RunReport {
     let threads = threads.max(1);
+    // Pin the ambient kernel width to the worker count for the whole run
+    // (inherited by the pooled workers and the untimed loss evaluations).
+    crate::pool::with_threads(threads, || {
+        replicated_run(task, loss_fn, batch, threads, alpha, replication, opts, obs)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replicated_run<T: Task>(
+    task: &T,
+    loss_fn: &dyn PointwiseLoss,
+    batch: &Batch<'_>,
+    threads: usize,
+    alpha: f64,
+    replication: Replication,
+    opts: &RunOptions,
+    obs: &mut dyn EpochObserver,
+) -> RunReport {
     let n_replicas = replication.replicas(threads);
     let init = task.init_model();
     let replicas: Vec<SharedModel> =
@@ -129,40 +147,38 @@ pub(crate) fn replicated_observed<T: Task>(
         let t0 = Instant::now();
         match faults {
             None => {
-                std::thread::scope(|s| {
-                    for (t, part) in parts.iter().enumerate() {
-                        let model = &replicas[t % n_replicas];
-                        s.spawn(move || hogwild_worker(loss_fn, batch, model, alpha, part));
-                    }
+                crate::pool::run_workers(parts.len(), |t| {
+                    hogwild_worker(loss_fn, batch, &replicas[t % n_replicas], alpha, parts[t])
                 });
             }
             Some(plan) => {
                 // `avg` still holds the epoch-start averaged model (every
                 // replica was reset to it at the previous boundary): the
-                // stale-read target. Dead workers' partitions are skipped.
-                std::thread::scope(|s| {
-                    for (t, part) in parts.iter().enumerate() {
-                        if plan.worker_dead(t, epoch) {
-                            fc.dead_workers += 1;
-                            continue;
-                        }
-                        let model = &replicas[t % n_replicas];
-                        let stale_model = &avg;
-                        let tally = &tally;
-                        s.spawn(move || {
-                            hogwild_worker_faulty(
-                                loss_fn,
-                                batch,
-                                model,
-                                alpha,
-                                part,
-                                plan,
-                                epoch,
-                                stale_model,
-                                tally,
-                            )
-                        });
+                // stale-read target. Death decisions key on the partition
+                // index, so they are taken here before dispatch; dead
+                // workers' partitions are skipped, and the survivors keep
+                // their original replica assignment (`t % n_replicas`).
+                let mut alive: Vec<usize> = Vec::with_capacity(parts.len());
+                for t in 0..parts.len() {
+                    if plan.worker_dead(t, epoch) {
+                        fc.dead_workers += 1;
+                    } else {
+                        alive.push(t);
                     }
+                }
+                crate::pool::run_workers(alive.len(), |i| {
+                    let t = alive[i];
+                    hogwild_worker_faulty(
+                        loss_fn,
+                        batch,
+                        &replicas[t % n_replicas],
+                        alpha,
+                        parts[t],
+                        plan,
+                        epoch,
+                        &avg,
+                        &tally,
+                    )
                 });
             }
         }

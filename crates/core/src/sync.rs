@@ -48,6 +48,9 @@ pub(crate) fn sync_observed<T: Task>(
 ) -> RunReport {
     match device {
         DeviceKind::CpuSeq => cpu_run(task, batch, CpuExec::seq(), device, alpha, opts, obs),
+        // The width installed here is inherited by persistent-pool tasks,
+        // so every kernel of the run — including ones executing on pool
+        // workers — honors `opts.threads` instead of machine width.
         DeviceKind::CpuPar => with_threads(opts.threads, || {
             cpu_run(task, batch, CpuExec::par(), device, alpha, opts, obs)
         }),

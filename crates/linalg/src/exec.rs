@@ -3,9 +3,11 @@
 //! The paper's synchronous SGD is written once against ViennaCL's primitive
 //! API and compiled for CPU or GPU. `Exec` is our equivalent: the models in
 //! `sgd-models` compute losses and gradients generically over an `Exec`,
-//! and the study harness instantiates them with [`CpuExec`] (sequential or
-//! rayon-parallel) or with the GPU simulator's executor (which performs the
-//! same arithmetic while charging simulated cycles).
+//! and the study harness instantiates them with [`CpuExec`] (sequential,
+//! or parallel on the persistent worker pool at the ambient
+//! [`crate::pool::with_threads`] width — inherited even when the executor
+//! runs inside a pool task) or with the GPU simulator's executor (which
+//! performs the same arithmetic while charging simulated cycles).
 //!
 //! Element-wise operations carry an explicit `flops_per_elem` so a
 //! cost-accounting executor knows the arithmetic intensity without

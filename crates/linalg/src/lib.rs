@@ -33,6 +33,7 @@ pub use backend::{Backend, DEFAULT_GEMM_PARALLEL_THRESHOLD};
 pub use csr::{CsrMatrix, CsrRow};
 pub use dense::Matrix;
 pub use exec::{softmax_xent_reference, CpuExec, Exec};
+pub use par::MIN_PARALLEL_LEN;
 
 /// Scalar type used throughout the study.
 ///

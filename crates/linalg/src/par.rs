@@ -1,16 +1,22 @@
 //! Thread-parallel implementations of the primitives.
 //!
-//! All kernels fork-join scoped `std::thread`s sized by the ambient width
-//! from [`crate::pool`], so the study harness can control the degree of
-//! parallelism by wrapping work in [`crate::pool::with_threads`] (the
-//! paper varies CPU thread counts the same way through OpenMP).
+//! All kernels split work into contiguous chunks sized by the ambient
+//! width from [`crate::pool`] and execute them on the persistent worker
+//! pool ([`crate::pool::run`]), so the study harness controls the degree
+//! of parallelism by wrapping work in [`crate::pool::with_threads`] (the
+//! paper varies CPU thread counts the same way through OpenMP). Chunk
+//! assignment depends only on the requested width, never on which pool
+//! worker executes a chunk, so results are bit-identical across pool
+//! sizes and dispatch modes.
+
+use std::sync::Mutex;
 
 use crate::{pool, seq, CsrMatrix, Matrix, Scalar};
 
 /// Below this many elements a parallel element-wise kernel is not worth the
-/// fork-join overhead and we fall back to the sequential implementation.
-/// ViennaCL's OpenMP backend has the same kind of guard.
-const MIN_PARALLEL_LEN: usize = 4096;
+/// parallel-dispatch overhead and we fall back to the sequential
+/// implementation. ViennaCL's OpenMP backend has the same kind of guard.
+pub const MIN_PARALLEL_LEN: usize = 4096;
 
 /// Contiguous chunk size splitting `len` elements across the ambient
 /// thread count, or `None` when the sequential path should run instead.
@@ -24,35 +30,39 @@ fn chunk_len(len: usize) -> Option<usize> {
 }
 
 /// Splits `data` into `chunk`-sized contiguous pieces and runs
-/// `f(base_index, piece)` on scoped worker threads.
+/// `f(base_index, piece)` as tasks on the persistent worker pool. Task
+/// `i` owns piece `i`; the per-piece `Mutex` is uncontended and exists
+/// only to hand the `&mut` across the pool safely.
 fn for_chunks_mut<F>(data: &mut [Scalar], chunk: usize, f: F)
 where
     F: Fn(usize, &mut [Scalar]) + Sync,
 {
-    std::thread::scope(|s| {
-        let f = &f;
-        for (ci, piece) in data.chunks_mut(chunk).enumerate() {
-            s.spawn(move || f(ci * chunk, piece));
-        }
+    let pieces: Vec<Mutex<(usize, &mut [Scalar])>> =
+        data.chunks_mut(chunk).enumerate().map(|(ci, p)| Mutex::new((ci * chunk, p))).collect();
+    pool::run(pieces.len(), |i| {
+        let mut piece = pieces[i].lock().expect("unshared chunk mutex");
+        let (base, ys) = &mut *piece;
+        f(*base, ys);
     });
 }
 
-/// Maps `f(base_index, piece)` over `chunk`-sized pieces of `data` on
-/// scoped worker threads, collecting the per-chunk results in order.
+/// Maps `f(base_index, piece)` over `chunk`-sized pieces of `data` on the
+/// persistent worker pool, collecting the per-chunk results in order
+/// (slot `i` holds chunk `i`'s result, independent of execution order).
 fn map_chunks<R, F>(data: &[Scalar], chunk: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize, &[Scalar]) -> R + Sync,
 {
-    std::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = data
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, piece)| s.spawn(move || f(ci * chunk, piece)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel kernel worker panicked")).collect()
-    })
+    let pieces: Vec<&[Scalar]> = data.chunks(chunk).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..pieces.len()).map(|_| Mutex::new(None)).collect();
+    pool::run(pieces.len(), |i| {
+        *slots[i].lock().expect("unshared result slot") = Some(f(i * chunk, pieces[i]));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("unshared result slot").expect("pool ran every chunk"))
+        .collect()
 }
 
 pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
@@ -134,13 +144,15 @@ where
 }
 
 pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
+    // Guarded like every other element-wise kernel: an MLP-sized product
+    // (~100 output rows) is pure dispatch overhead when parallelized.
     match chunk_len(y.len()) {
-        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| {
+        Some(chunk) if y.len() >= MIN_PARALLEL_LEN => for_chunks_mut(y, chunk, |base, ys| {
             for (off, yi) in ys.iter_mut().enumerate() {
                 *yi = seq::dot(a.row(base + off), x);
             }
         }),
-        None => seq::gemv(a, x, y),
+        _ => seq::gemv(a, x, y),
     }
 }
 
@@ -156,7 +168,10 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
         return seq::gemv_t(a, x, y);
     }
     let cols = a.cols();
-    let chunk = (x.len() / t).max(1);
+    // `div_ceil`, not `len / t`: flooring yields up to `t + 1` chunks
+    // (len 9, t 8 -> nine partials), breaking the MAX_SCATTER_PARTIALS
+    // memory cap on wide outputs.
+    let chunk = x.len().div_ceil(t).max(1);
     let partials = map_chunks(x, chunk, |base, xs| {
         let mut acc = vec![0.0; cols];
         for (off, &xi) in xs.iter().enumerate() {
@@ -249,7 +264,8 @@ pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
         return seq::spmv_t(a, x, y);
     }
     let cols = a.cols();
-    let chunk = (x.len() / t).max(1);
+    // Same `div_ceil` fix as `gemv_t`: never exceed `t` partials.
+    let chunk = x.len().div_ceil(t).max(1);
     let partials = map_chunks(x, chunk, |base, xs| {
         let mut acc = vec![0.0; cols];
         for (off, &xi) in xs.iter().enumerate() {
@@ -320,6 +336,46 @@ mod tests {
         }
         assert!(approx_eq_slice(&a1, &a2, 1e-12));
         assert!((sum(&a1) - a2.iter().sum::<Scalar>()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_gemv_is_sequential_and_exact() {
+        // Regression: `gemv` was the only element-wise-guarded kernel
+        // missing the MIN_PARALLEL_LEN check, forking threads for
+        // MLP-sized (~100-row) products. A tiny gemv must now match
+        // seq::gemv bitwise without submitting any pool work.
+        let a = Matrix::from_fn(100, 37, |i, j| ((i * 7 + j * 3) % 11) as Scalar - 5.0);
+        let x: Vec<Scalar> = (0..37).map(|i| (i % 5) as Scalar * 0.5 - 1.0).collect();
+        let mut got = vec![0.0; 100];
+        let mut expect = vec![0.0; 100];
+        let stats = pool::PoolStats::new();
+        pool::with_stats(&stats, || pool::with_threads(4, || gemv(&a, &x, &mut got)));
+        seq::gemv(&a, &x, &mut expect);
+        assert_eq!(got, expect, "guarded gemv must be exactly the sequential kernel");
+        assert_eq!(stats.submissions(), 0, "tiny gemv must not dispatch to the pool");
+    }
+
+    #[test]
+    fn gemv_t_partial_count_never_exceeds_the_scatter_cap() {
+        // Regression: `(len / t).max(1)` yields up to `t + 1` chunks
+        // (len 9, t 8 -> nine partials), violating MAX_SCATTER_PARTIALS.
+        let a = Matrix::from_fn(9, 4, |i, j| (i * 4 + j) as Scalar);
+        let x: Vec<Scalar> = (0..9).map(|i| i as Scalar).collect();
+        let mut got = vec![0.0; 4];
+        let stats = pool::PoolStats::new();
+        pool::with_stats(&stats, || {
+            pool::with_threads(MAX_SCATTER_PARTIALS, || gemv_t(&a, &x, &mut got))
+        });
+        assert!(
+            stats.max_tasks() <= MAX_SCATTER_PARTIALS,
+            "{} partials exceed the cap of {MAX_SCATTER_PARTIALS}",
+            stats.max_tasks()
+        );
+        // div_ceil(9, 8) = 2 -> five chunks, each a full-width partial.
+        assert_eq!(stats.max_tasks(), 5);
+        let mut expect = vec![0.0; 4];
+        seq::gemv_t(&a, &x, &mut expect);
+        assert!(approx_eq_slice(&got, &expect, 1e-12));
     }
 
     #[test]

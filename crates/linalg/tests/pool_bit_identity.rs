@@ -1,0 +1,216 @@
+//! Bit-identity suite for the persistent-pool kernels.
+//!
+//! Two guarantees are pinned here, kernel by kernel, across widths 1..=8
+//! and deliberately uneven lengths (`MIN_PARALLEL_LEN * 2 + 17` leaves a
+//! ragged tail chunk at every width):
+//!
+//! 1. **par == seq, bitwise.** Kernels whose parallel decomposition
+//!    preserves the sequential accumulation order (element-wise and
+//!    per-row kernels) match `Backend::seq` exactly on *any* data.
+//!    Chunked reductions (`dot`, `sum`, `gemv_t`, `spmv_t`) reassociate
+//!    the sum, so they are pinned on integer-valued data, where every
+//!    intermediate is exactly representable and reassociation is lossless.
+//! 2. **pool == fork-join, bitwise, on any data.** Chunk assignment
+//!    depends only on the requested width, never on the dispatch
+//!    mechanism, so flipping `Dispatch` can never change a single bit.
+
+use sgd_linalg::pool::{self, Dispatch};
+use sgd_linalg::{Backend, CsrMatrix, Matrix, Scalar, MIN_PARALLEL_LEN};
+
+/// Uneven on purpose: not a multiple of any width in 1..=8.
+const N: usize = MIN_PARALLEL_LEN * 2 + 17;
+
+/// Integer-valued scalars: exactly representable, sums stay well inside
+/// the 2^53 exact-integer range, so any summation order gives equal bits.
+fn int_data(n: usize, seed: usize) -> Vec<Scalar> {
+    (0..n).map(|i| ((i * 31 + seed * 7 + 11) % 23) as Scalar - 11.0).collect()
+}
+
+/// Fractional scalars whose sums genuinely depend on association order —
+/// the data that would expose any chunking mismatch between modes.
+fn frac_data(n: usize, seed: usize) -> Vec<Scalar> {
+    (0..n).map(|i| ((i * 13 + seed * 5 + 3) % 97) as Scalar * 0.013 - 0.61).collect()
+}
+
+fn int_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| ((i * 17 + j * 5 + seed) % 19) as Scalar - 9.0)
+}
+
+fn frac_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| ((i * 29 + j * 11 + seed) % 83) as Scalar * 0.021 - 0.85)
+}
+
+/// Sparse-ish matrix (roughly one nonzero in four).
+fn sparse_matrix(rows: usize, cols: usize, frac: bool) -> CsrMatrix {
+    let d = Matrix::from_fn(rows, cols, |i, j| {
+        if (i * 3 + j) % 4 == 0 {
+            let v = ((i * 7 + j * 13) % 21) as Scalar - 10.0;
+            if frac {
+                v * 0.037
+            } else {
+                v
+            }
+        } else {
+            0.0
+        }
+    });
+    CsrMatrix::from_dense(&d)
+}
+
+const WIDTHS: std::ops::RangeInclusive<usize> = 1..=8;
+
+#[test]
+fn reduction_kernels_match_seq_bitwise_on_integer_data() {
+    let seq = Backend::seq();
+    let par = Backend::par();
+    let x = int_data(N, 1);
+    let y = int_data(N, 2);
+    let a = int_matrix(N, 13, 3);
+    let s = sparse_matrix(N, 17, false);
+
+    let expect_dot = seq.dot(&x, &y);
+    let expect_sum = seq.sum(&x);
+    let mut expect_gemv_t = vec![0.0; 13];
+    seq.gemv_t(&a, &x, &mut expect_gemv_t);
+    let mut expect_spmv_t = vec![0.0; 17];
+    seq.spmv_t(&s, &x, &mut expect_spmv_t);
+
+    for w in WIDTHS {
+        pool::with_threads(w, || {
+            assert_eq!(par.dot(&x, &y), expect_dot, "dot at width {w}");
+            assert_eq!(par.sum(&x), expect_sum, "sum at width {w}");
+
+            let mut got = vec![0.0; 13];
+            par.gemv_t(&a, &x, &mut got);
+            assert_eq!(got, expect_gemv_t, "gemv_t at width {w}");
+
+            let mut got = vec![0.0; 17];
+            par.spmv_t(&s, &x, &mut got);
+            assert_eq!(got, expect_spmv_t, "spmv_t at width {w}");
+        });
+    }
+}
+
+#[test]
+fn order_preserving_kernels_match_seq_bitwise_on_any_data() {
+    let seq = Backend::seq();
+    let par = Backend::par();
+    // gemm variants go through par_unconditional to bypass the
+    // result-size threshold with matrices small enough to test quickly.
+    let par_mm = Backend::par_unconditional();
+
+    let x = frac_data(N, 1);
+    let a_tall = frac_matrix(N, 7, 2);
+    let xs = frac_data(7, 3);
+    let s = sparse_matrix(N, 7, true);
+
+    let a = frac_matrix(61, 9, 4);
+    let b = frac_matrix(9, 13, 5);
+    let bt = Matrix::from_fn(13, 9, |i, j| b.at(j, i));
+    let at = Matrix::from_fn(9, 61, |i, j| a.at(j, i));
+
+    // Sequential ground truth, computed once outside any width scope.
+    let mut y_axpy = frac_data(N, 6);
+    seq.axpy(0.37, &x, &mut y_axpy);
+    let mut y_scale = x.clone();
+    seq.scale(-1.73, &mut y_scale);
+    let mut y_gemv = vec![0.0; N];
+    seq.gemv(&a_tall, &xs, &mut y_gemv);
+    let mut y_spmv = vec![0.0; N];
+    seq.spmv(&s, &xs, &mut y_spmv);
+    let mut c_mm = Matrix::zeros(61, 13);
+    seq.gemm(&a, &b, &mut c_mm);
+    let mut c_nt = Matrix::zeros(61, 13);
+    seq.gemm_nt(&a, &bt, &mut c_nt);
+    let mut c_tn = Matrix::zeros(61, 13);
+    seq.gemm_tn(&at, &b, &mut c_tn);
+
+    for w in WIDTHS {
+        pool::with_threads(w, || {
+            let mut y = frac_data(N, 6);
+            par.axpy(0.37, &x, &mut y);
+            assert_eq!(y, y_axpy, "axpy at width {w}");
+
+            let mut y = x.clone();
+            par.scale(-1.73, &mut y);
+            assert_eq!(y, y_scale, "scale at width {w}");
+
+            let mut y = vec![0.0; N];
+            par.gemv(&a_tall, &xs, &mut y);
+            assert_eq!(y, y_gemv, "gemv at width {w}");
+
+            let mut y = vec![0.0; N];
+            par.spmv(&s, &xs, &mut y);
+            assert_eq!(y, y_spmv, "spmv at width {w}");
+
+            let mut c = Matrix::zeros(61, 13);
+            par_mm.gemm(&a, &b, &mut c);
+            assert_eq!(c.as_slice(), c_mm.as_slice(), "gemm at width {w}");
+
+            let mut c = Matrix::zeros(61, 13);
+            par_mm.gemm_nt(&a, &bt, &mut c);
+            assert_eq!(c.as_slice(), c_nt.as_slice(), "gemm_nt at width {w}");
+
+            let mut c = Matrix::zeros(61, 13);
+            par_mm.gemm_tn(&at, &b, &mut c);
+            assert_eq!(c.as_slice(), c_tn.as_slice(), "gemm_tn at width {w}");
+        });
+    }
+}
+
+/// Runs every parallel kernel once on fractional data and returns all
+/// outputs concatenated — a single fingerprint for dispatch comparison.
+fn kernel_fingerprint() -> Vec<Scalar> {
+    let par = Backend::par();
+    let par_mm = Backend::par_unconditional();
+    let x = frac_data(N, 1);
+    let y = frac_data(N, 2);
+    let a_tall = frac_matrix(N, 13, 3);
+    let xs = frac_data(13, 4);
+    let s = sparse_matrix(N, 13, true);
+    let a = frac_matrix(61, 9, 5);
+    let b = frac_matrix(9, 13, 6);
+    let bt = Matrix::from_fn(13, 9, |i, j| b.at(j, i));
+    let at = Matrix::from_fn(9, 61, |i, j| a.at(j, i));
+
+    let mut out = vec![par.dot(&x, &y), par.sum(&x)];
+    let mut v = y.clone();
+    par.axpy(0.91, &x, &mut v);
+    out.extend_from_slice(&v);
+    let mut v = x.clone();
+    par.scale(1.31, &mut v);
+    out.extend_from_slice(&v);
+    let mut v = vec![0.0; N];
+    par.gemv(&a_tall, &xs, &mut v);
+    out.extend_from_slice(&v);
+    let mut v = vec![0.0; 13];
+    par.gemv_t(&a_tall, &x, &mut v);
+    out.extend_from_slice(&v);
+    let mut v = vec![0.0; N];
+    par.spmv(&s, &xs, &mut v);
+    out.extend_from_slice(&v);
+    let mut v = vec![0.0; 13];
+    par.spmv_t(&s, &x, &mut v);
+    out.extend_from_slice(&v);
+    let mut c = Matrix::zeros(61, 13);
+    par_mm.gemm(&a, &b, &mut c);
+    out.extend_from_slice(c.as_slice());
+    let mut c = Matrix::zeros(61, 13);
+    par_mm.gemm_nt(&a, &bt, &mut c);
+    out.extend_from_slice(c.as_slice());
+    let mut c = Matrix::zeros(61, 13);
+    par_mm.gemm_tn(&at, &b, &mut c);
+    out.extend_from_slice(c.as_slice());
+    out
+}
+
+#[test]
+fn pool_and_fork_join_dispatch_agree_bitwise_on_any_data() {
+    for w in WIDTHS {
+        pool::with_threads(w, || {
+            let pooled = pool::with_dispatch(Dispatch::Pool, kernel_fingerprint);
+            let forked = pool::with_dispatch(Dispatch::ForkJoin, kernel_fingerprint);
+            assert_eq!(pooled, forked, "dispatch modes diverged at width {w}");
+        });
+    }
+}

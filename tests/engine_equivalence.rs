@@ -280,3 +280,31 @@ fn replicated_hogwild_matches_legacy_shape() {
         assert_same_shape(&engine, &legacy);
     }
 }
+
+#[test]
+fn dispatch_modes_agree_bitwise_on_a_deterministic_parallel_corner() {
+    // The persistent pool and the measured fork-join baseline split work
+    // into identical chunks (assignment depends only on the requested
+    // width, never on the dispatch mechanism), so a deterministic corner
+    // whose kernels cross MIN_PARALLEL_LEN must produce bit-identical
+    // reports under either dispatch mode.
+    use sgd_study::linalg::pool::{with_dispatch, Dispatch};
+    use sgd_study::linalg::MIN_PARALLEL_LEN;
+
+    let n = MIN_PARALLEL_LEN + 101;
+    let x = Matrix::from_fn(n, 6, |i, j| {
+        let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+        s * (((i * 3 + j) % 5) as f64 + 1.0) / 5.0
+    });
+    let y: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Sync);
+    for threads in [2usize, 4] {
+        let o = RunOptions { threads, max_epochs: 4, plateau: None, ..Default::default() };
+        let pooled = with_dispatch(Dispatch::Pool, || Engine::run(&cfg, &task, &batch, 0.5, &o));
+        let forked =
+            with_dispatch(Dispatch::ForkJoin, || Engine::run(&cfg, &task, &batch, 0.5, &o));
+        assert_identical(&pooled, &forked);
+    }
+}
