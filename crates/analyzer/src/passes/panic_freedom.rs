@@ -4,14 +4,17 @@
 //! takes the whole run (and under the supervisor, the whole grid) down
 //! with it. PR 2's fault-injection layer exists precisely to convert
 //! failures into typed outcomes, so panicking shortcuts are banned in
-//! `sgd-core` runner/engine code and in the LIBSVM parser (the one place
-//! that consumes *user* data):
+//! `sgd-core` runner/engine code, in the whole serving crate (a panic
+//! there takes the endpoint down mid-request), and in the parsers that
+//! consume *untrusted* bytes:
 //!
 //! * `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`,
 //!   `unimplemented!` — convert to typed errors, or annotate with
 //!   `// analyzer: allow(panic-freedom) -- <why it cannot fire>`;
-//! * in `libsvm.rs` only, `[idx]` indexing into parsed fields — user
-//!   input must flow through `get`/iterators, never trusted offsets.
+//! * in the untrusted-byte parsers (`libsvm.rs`, and the serving crate's
+//!   `checkpoint.rs` and `wire.rs`), `[idx]` indexing into parsed fields
+//!   — wire/file input must flow through `get`/iterators, never trusted
+//!   offsets.
 
 use super::{basename_in, finding, Finding, Pass};
 use crate::source::SourceFile;
@@ -19,8 +22,9 @@ use crate::source::SourceFile;
 const PANIC_TOKENS: [&str; 6] =
     [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
 
-/// The user-data parser where indexing itself is also banned.
-const PARSER_FILE: &str = "libsvm.rs";
+/// The untrusted-byte parsers where indexing itself is also banned:
+/// LIBSVM text (datagen), checkpoint bytes and wire lines (serve).
+const PARSER_FILES: [&str; 3] = ["libsvm.rs", "checkpoint.rs", "wire.rs"];
 
 pub struct PanicFreedom;
 
@@ -30,12 +34,13 @@ impl Pass for PanicFreedom {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic! in sgd-core runner paths or the LIBSVM parser"
+        "no unwrap/expect/panic! in sgd-core runners, sgd-serve, or the untrusted-byte parsers"
     }
 
     fn in_scope(&self, rel_path: &str) -> bool {
-        (rel_path.starts_with("crates/core/src/") && rel_path.ends_with(".rs"))
-            || basename_in(rel_path, &[PARSER_FILE])
+        let core = rel_path.starts_with("crates/core/src/");
+        let serve = rel_path.starts_with("crates/serve/src/");
+        ((core || serve) && rel_path.ends_with(".rs")) || basename_in(rel_path, &PARSER_FILES)
     }
 
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
@@ -52,15 +57,16 @@ impl Pass for PanicFreedom {
                 ));
             }
         }
-        if basename_in(&sf.rel_path, &[PARSER_FILE]) {
+        if basename_in(&sf.rel_path, &PARSER_FILES) {
             if let Some(col) = user_data_index(code) {
                 out.push(finding(
                     self.id(),
                     sf,
                     line0,
                     format!(
-                        "direct `[..]` indexing at column {} in the LIBSVM parser: user input \
-                         must go through `get`/iterators so malformed rows surface as ParseError",
+                        "direct `[..]` indexing at column {} in an untrusted-byte parser: \
+                         wire/file input must go through `get`/iterators so malformed data \
+                         surfaces as a typed error",
                         col + 1
                     ),
                 ));
@@ -84,10 +90,27 @@ fn user_data_index(code: &str) -> Option<usize> {
         // Indexing has an expression (ident, `)` or `]`) directly before
         // the bracket; type ascriptions (`: [u8; 4]`), slices-of (`&[T]`),
         // array literals (`= [...]`), and macros (`vec![..]`) do not.
-        let prev = chars[..i].iter().rev().find(|c| !c.is_whitespace()).copied();
-        if matches!(prev, Some(p) if super::is_ident_char(p) || p == ')' || p == ']') {
-            return Some(i);
+        let Some(j) = chars[..i].iter().rposition(|c| !c.is_whitespace()) else {
+            continue;
+        };
+        let p = chars[j];
+        if !(super::is_ident_char(p) || p == ')' || p == ']') {
+            continue;
         }
+        // A lifetime before the bracket (`&'a [u8]`) is a type position,
+        // not an indexed expression: skip back over the identifier and
+        // look for the leading tick.
+        if super::is_ident_char(p) {
+            let start = chars[..j + 1]
+                .iter()
+                .rposition(|c| !super::is_ident_char(*c))
+                .map(|k| k + 1)
+                .unwrap_or(0);
+            if start > 0 && chars.get(start.wrapping_sub(1)) == Some(&'\'') {
+                continue;
+            }
+        }
+        return Some(i);
     }
     None
 }

@@ -11,12 +11,22 @@
 //! creation must therefore live in `pool.rs` (the persistent pool plus
 //! its measured fork-join baseline), and everything else routes work
 //! through `sgd_linalg::pool::{run, with_threads}`.
+//!
+//! One carve-out: the serving crate may use `thread::scope` (and only
+//! `thread::scope`) for connection handling — scoped joins keep every
+//! serve thread's panic attached to its caller, while detached
+//! `thread::spawn` would let a request thread outlive the registry it
+//! borrows from. Compute inside those threads still routes through the
+//! pool.
 
 use super::{basename_in, finding, Finding, Pass};
 use crate::source::SourceFile;
 
 /// The modules that own thread creation.
 const ALLOWED_MODULES: [&str; 1] = ["pool.rs"];
+
+/// The crate allowed to use scoped (joined) threads for serving I/O.
+const SCOPE_ALLOWED_PREFIX: &str = "crates/serve/src/";
 
 pub struct ThreadDiscipline;
 
@@ -26,7 +36,7 @@ impl Pass for ThreadDiscipline {
     }
 
     fn description(&self) -> &'static str {
-        "all thread creation (spawn/Builder/scope) confined to pool.rs"
+        "all thread creation confined to pool.rs (serve may use thread::scope)"
     }
 
     fn in_scope(&self, rel_path: &str) -> bool {
@@ -34,7 +44,11 @@ impl Pass for ThreadDiscipline {
     }
 
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
+        let scope_ok = sf.rel_path.starts_with(SCOPE_ALLOWED_PREFIX);
         for tok in ["thread::spawn", "thread::Builder", "thread::scope"] {
+            if tok == "thread::scope" && scope_ok {
+                continue;
+            }
             if code.contains(tok) {
                 out.push(finding(
                     self.id(),
@@ -43,7 +57,8 @@ impl Pass for ThreadDiscipline {
                     format!(
                         "`{tok}` outside pool.rs: ad-hoc threads bypass the persistent pool's \
                          width-inheritance and panic contract; route work through \
-                         sgd_linalg::pool (run/with_threads)"
+                         sgd_linalg::pool (run/with_threads), or scoped threads in \
+                         crates/serve for connection handling"
                     ),
                 ));
             }

@@ -110,6 +110,30 @@ fn libsvm_indexing_triggers_and_iterators_do_not() {
 }
 
 #[test]
+fn serve_crate_is_in_panic_freedom_scope() {
+    let hits = findings_for(
+        "crates/serve/src/registry.rs",
+        include_str!("fixtures/panic_bad.rs"),
+        "panic-freedom",
+    );
+    assert_eq!(hits.len(), 4, "serve request paths are panic-free zones: {hits:#?}");
+}
+
+#[test]
+fn serve_parsers_ban_indexing_like_libsvm() {
+    let bad = "fn word(fields: &[&str], i: usize) -> String {\n    fields[i].to_string()\n}\n";
+    for path in ["crates/serve/src/checkpoint.rs", "crates/serve/src/wire.rs"] {
+        let hits = findings_for(path, bad, "panic-freedom");
+        assert_eq!(hits.len(), 1, "{path}: {hits:#?}");
+        assert!(hits.iter().any(|f| f.message.contains("indexing")), "{path}: {hits:#?}");
+    }
+    // Other serve modules ban panics but not indexing (they operate on
+    // data the crate itself constructed, not wire bytes).
+    let hits = findings_for("crates/serve/src/batcher.rs", bad, "panic-freedom");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
 fn float_bad_fixture_triggers() {
     let hits = findings_for(
         "crates/core/src/convergence.rs",
@@ -160,6 +184,19 @@ fn thread_spawn_is_fine_inside_pool() {
         "thread-discipline",
     );
     assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn serve_may_scope_but_not_spawn() {
+    // The serve carve-out: scoped (joined) threads are fine for
+    // connection handling, detached spawn and Builder are still banned.
+    let hits = findings_for(
+        "crates/serve/src/wire.rs",
+        include_str!("fixtures/threads_bad.rs"),
+        "thread-discipline",
+    );
+    assert_eq!(hits.len(), 2, "spawn and Builder only; scope allowed: {hits:#?}");
+    assert!(hits.iter().all(|f| !f.message.contains("thread::scope")), "{hits:#?}");
 }
 
 #[test]

@@ -470,7 +470,7 @@ pub(crate) fn gpu_hogwild_observed<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace, &mut rec) {
             break;
         }
     }
@@ -638,7 +638,7 @@ pub(crate) fn gpu_hogbatch_observed<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace, &mut rec) {
             break;
         }
     }

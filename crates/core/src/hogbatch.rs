@@ -191,7 +191,7 @@ fn hogbatch_run<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace, &mut rec) {
             break;
         }
     }

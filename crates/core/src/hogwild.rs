@@ -309,7 +309,7 @@ fn hogwild_run<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &snapshot, &trace, &mut rec) {
             break;
         }
     }

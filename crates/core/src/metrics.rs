@@ -107,6 +107,17 @@ impl RunMetrics {
 pub trait EpochObserver {
     /// Called once per completed epoch, in order.
     fn on_epoch(&mut self, m: &EpochMetrics);
+
+    /// Called whenever an epoch improves on the best finite loss seen so
+    /// far in the run, with the model that achieved it — the same
+    /// checkpoint the supervisor keeps for
+    /// [`crate::RunReport::best_model`]. Fires *before* the corresponding
+    /// [`Self::on_epoch`], at epoch granularity, so a serving layer can
+    /// publish best-so-far snapshots while the run continues. The default
+    /// does nothing.
+    fn on_best_model(&mut self, epoch: usize, loss: f64, model: &[sgd_linalg::Scalar]) {
+        let _ = (epoch, loss, model);
+    }
 }
 
 /// Observer that discards everything (the default).
@@ -132,6 +143,10 @@ impl<'a> Recorder<'a> {
     pub(crate) fn record(&mut self, m: EpochMetrics) {
         self.observer.on_epoch(&m);
         self.metrics.epochs.push(m);
+    }
+
+    pub(crate) fn on_best_model(&mut self, epoch: usize, loss: f64, model: &[sgd_linalg::Scalar]) {
+        self.observer.on_best_model(epoch, loss, model);
     }
 
     pub(crate) fn set_update_conflicts(&mut self, total: u64) {

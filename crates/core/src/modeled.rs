@@ -129,7 +129,7 @@ pub(crate) fn sync_modeled_observed<T: Task>(
         let loss = task.loss(&mut eval, batch, &w); // untimed
         trace.push(elapsed, loss);
         rec.record(EpochMetrics { faults: fc, ..EpochMetrics::new(epoch + 1, elapsed, loss) });
-        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace, &mut rec) {
             break;
         }
     }
@@ -389,7 +389,7 @@ pub(crate) fn hogwild_modeled_observed<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, elapsed, loss)
         });
-        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace, &mut rec) {
             break;
         }
     }
@@ -556,7 +556,7 @@ pub(crate) fn hogbatch_modeled_observed<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, elapsed, loss)
         });
-        if sup.observe(epoch + 1, elapsed, loss, &w, &trace) {
+        if sup.observe(epoch + 1, elapsed, loss, &w, &trace, &mut rec) {
             break;
         }
     }

@@ -206,7 +206,7 @@ fn replicated_run<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, opt_seconds, loss)
         });
-        if sup.observe(epoch + 1, opt_seconds, loss, &avg, &trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &avg, &trace, &mut rec) {
             break;
         }
     }

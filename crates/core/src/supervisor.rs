@@ -12,6 +12,7 @@ use sgd_linalg::Scalar;
 
 use crate::config::RunOptions;
 use crate::convergence::LossTrace;
+use crate::metrics::Recorder;
 use crate::report::RunOutcome;
 
 /// A finite loss this many times the initial loss counts as diverged even
@@ -61,6 +62,9 @@ impl Supervisor {
     /// Observes one completed epoch; returns `true` when the run must
     /// stop. The check order replicates the legacy epoch loop exactly:
     /// divergence, then convergence target, then time/plateau budgets.
+    /// When the epoch improves on the best loss so far, the improvement is
+    /// forwarded to the run's observer through `rec` (the serving layer's
+    /// publish hook) before the stop decision.
     pub(crate) fn observe(
         &mut self,
         epoch: usize,
@@ -68,6 +72,7 @@ impl Supervisor {
         loss: f64,
         model: &[Scalar],
         trace: &LossTrace,
+        rec: &mut Recorder<'_>,
     ) -> bool {
         if loss.is_finite() && loss < self.best_loss {
             self.best_loss = loss;
@@ -75,6 +80,7 @@ impl Supervisor {
                 Some(m) => m.copy_from_slice(model),
                 None => self.best_model = Some(model.to_vec()),
             }
+            rec.on_best_model(epoch, loss, model);
         }
         if !loss.is_finite() || loss > self.explosion_limit {
             self.decided = Some(RunOutcome::Diverged { epoch });
@@ -110,6 +116,7 @@ impl Supervisor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::{EpochMetrics, EpochObserver, NullObserver};
 
     fn opts(target: Option<f64>) -> RunOptions {
         RunOptions { target_loss: target, max_secs: 10.0, plateau: None, ..Default::default() }
@@ -126,8 +133,10 @@ mod tests {
     #[test]
     fn non_finite_loss_is_diverged() {
         let mut sup = Supervisor::new(&opts(None), 1.0);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0, f64::NAN]);
-        assert!(sup.observe(1, 0.1, f64::NAN, &[0.0], &t));
+        assert!(sup.observe(1, 0.1, f64::NAN, &[0.0], &t, &mut rec));
         let v = sup.finish();
         assert_eq!(v.outcome, RunOutcome::Diverged { epoch: 1 });
         assert!(!v.timed_out, "no target was set");
@@ -137,17 +146,21 @@ mod tests {
     fn finite_explosion_is_diverged() {
         let mut sup = Supervisor::new(&opts(None), 1.0);
         let bad = 2.0 * LOSS_EXPLOSION_FACTOR;
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0, bad]);
-        assert!(sup.observe(1, 0.1, bad, &[0.0], &t));
+        assert!(sup.observe(1, 0.1, bad, &[0.0], &t, &mut rec));
         assert_eq!(sup.finish().outcome, RunOutcome::Diverged { epoch: 1 });
     }
 
     #[test]
     fn reaching_target_is_converged() {
         let mut sup = Supervisor::new(&opts(Some(0.5)), 1.0);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0, 0.4]);
-        assert!(!sup.observe(1, 0.1, 0.9, &[0.0], &t));
-        assert!(sup.observe(2, 0.2, 0.4, &[0.1], &t));
+        assert!(!sup.observe(1, 0.1, 0.9, &[0.0], &t, &mut rec));
+        assert!(sup.observe(2, 0.2, 0.4, &[0.1], &t, &mut rec));
         let v = sup.finish();
         assert_eq!(v.outcome, RunOutcome::Converged);
         assert!(!v.timed_out);
@@ -156,8 +169,10 @@ mod tests {
     #[test]
     fn time_budget_is_budget_exhausted_and_times_out_with_target() {
         let mut sup = Supervisor::new(&opts(Some(0.01)), 1.0);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0, 0.9]);
-        assert!(sup.observe(1, 11.0, 0.9, &[0.0], &t));
+        assert!(sup.observe(1, 11.0, 0.9, &[0.0], &t, &mut rec));
         let v = sup.finish();
         assert_eq!(v.outcome, RunOutcome::BudgetExhausted);
         assert!(v.timed_out, "target set but unreached");
@@ -166,8 +181,10 @@ mod tests {
     #[test]
     fn epoch_cap_without_decision_is_budget_exhausted() {
         let mut sup = Supervisor::new(&opts(None), 1.0);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0, 0.9]);
-        assert!(!sup.observe(1, 0.1, 0.9, &[0.0], &t));
+        assert!(!sup.observe(1, 0.1, 0.9, &[0.0], &t, &mut rec));
         let v = sup.finish();
         assert_eq!(v.outcome, RunOutcome::BudgetExhausted);
         assert!(!v.timed_out);
@@ -185,10 +202,12 @@ mod tests {
     #[test]
     fn best_model_tracks_lowest_finite_loss() {
         let mut sup = Supervisor::new(&opts(None), 1.0);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[1.0]);
-        sup.observe(1, 0.1, 0.5, &[1.0, 1.0], &t);
-        sup.observe(2, 0.2, 0.8, &[2.0, 2.0], &t); // worse: not checkpointed
-        sup.observe(3, 0.3, f64::INFINITY, &[9.0, 9.0], &t);
+        sup.observe(1, 0.1, 0.5, &[1.0, 1.0], &t, &mut rec);
+        sup.observe(2, 0.2, 0.8, &[2.0, 2.0], &t, &mut rec); // worse: not checkpointed
+        sup.observe(3, 0.3, f64::INFINITY, &[9.0, 9.0], &t, &mut rec);
         let v = sup.finish();
         assert_eq!(v.best_model.as_deref(), Some(&[1.0, 1.0][..]));
         assert_eq!(v.outcome, RunOutcome::Diverged { epoch: 3 });
@@ -197,8 +216,33 @@ mod tests {
     #[test]
     fn best_model_is_none_when_initial_loss_never_beaten() {
         let mut sup = Supervisor::new(&opts(None), 0.1);
+        let mut obs = NullObserver;
+        let mut rec = Recorder::new(&mut obs);
         let t = trace_with(&[0.1]);
-        sup.observe(1, 0.1, 0.5, &[1.0], &t);
+        sup.observe(1, 0.1, 0.5, &[1.0], &t, &mut rec);
         assert!(sup.finish().best_model.is_none());
+    }
+
+    #[test]
+    fn improvements_notify_the_observer() {
+        struct Capture(Vec<(usize, f64, Vec<Scalar>)>);
+        impl EpochObserver for Capture {
+            fn on_epoch(&mut self, _m: &EpochMetrics) {}
+            fn on_best_model(&mut self, epoch: usize, loss: f64, model: &[Scalar]) {
+                self.0.push((epoch, loss, model.to_vec()));
+            }
+        }
+        let mut sup = Supervisor::new(&opts(None), 1.0);
+        let mut obs = Capture(Vec::new());
+        {
+            let mut rec = Recorder::new(&mut obs);
+            let t = trace_with(&[1.0]);
+            sup.observe(1, 0.1, 0.5, &[1.0, 2.0], &t, &mut rec);
+            sup.observe(2, 0.2, 0.8, &[3.0, 4.0], &t, &mut rec); // no improvement
+            sup.observe(3, 0.3, 0.25, &[5.0, 6.0], &t, &mut rec);
+        }
+        assert_eq!(obs.0.len(), 2, "only improving epochs publish");
+        assert_eq!(obs.0.first(), Some(&(1, 0.5, vec![1.0, 2.0])));
+        assert_eq!(obs.0.get(1), Some(&(3, 0.25, vec![5.0, 6.0])));
     }
 }

@@ -117,7 +117,7 @@ fn cpu_run<T: Task>(
         let loss = task.loss(&mut e, batch, &w); // excluded from timing
         trace.push(opt_seconds, loss);
         rec.record(EpochMetrics { faults: fc, ..EpochMetrics::new(epoch + 1, opt_seconds, loss) });
-        if sup.observe(epoch + 1, opt_seconds, loss, &w, &trace) {
+        if sup.observe(epoch + 1, opt_seconds, loss, &w, &trace, &mut rec) {
             break;
         }
     }
@@ -210,7 +210,7 @@ fn gpu_run<T: Task>(
             faults: fc,
             ..EpochMetrics::new(epoch + 1, dev.elapsed_secs(), loss)
         });
-        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace) {
+        if sup.observe(epoch + 1, dev.elapsed_secs(), loss, &w, &trace, &mut rec) {
             break;
         }
     }

@@ -121,6 +121,28 @@ impl<L: LinearLoss> LinearTask<L> {
     pub fn pointwise(&self) -> &L {
         &self.loss
     }
+
+    /// Batched decision values `p = X w` (one margin per example), the
+    /// inference-side half of [`Task::gradient`]'s first pass. `sgd-serve`
+    /// dispatches this through whichever executor backs a request batch,
+    /// so serving exercises the same gemv/spmv corners as training.
+    pub fn decision_values<E: Exec>(
+        &self,
+        e: &mut E,
+        x: &Examples<'_>,
+        w: &[Scalar],
+        out: &mut [Scalar],
+    ) {
+        assert_eq!(w.len(), self.dim, "model dimension mismatch");
+        assert_eq!(out.len(), x.n(), "one decision value per example");
+        if out.is_empty() {
+            return;
+        }
+        match x {
+            Examples::Dense(m) => e.gemv(m, w, out),
+            Examples::Sparse(m) => e.spmv(m, w, out),
+        }
+    }
 }
 
 /// Logistic regression over `d` features.

@@ -44,6 +44,11 @@ impl MlpTask {
         &self.layers
     }
 
+    /// Initialization seed (identifies the configuration in checkpoints).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Architecture string like `54-10-5-2`.
     pub fn arch_string(&self) -> String {
         self.layers.iter().map(|u| u.to_string()).collect::<Vec<_>>().join("-")
@@ -97,6 +102,29 @@ impl MlpTask {
             }
         }
         unreachable!("an MLP has at least one link");
+    }
+
+    /// Output logits for a dense batch (one row per example), the
+    /// inference-side forward pass used by `sgd-serve`.
+    pub fn logits<E: Exec>(&self, e: &mut E, input: &Matrix, w: &[Scalar]) -> Matrix {
+        assert_eq!(w.len(), self.dim(), "model dimension mismatch");
+        assert_eq!(input.cols(), self.layers[0], "input width mismatch");
+        if input.rows() == 0 {
+            return Matrix::zeros(0, *self.layers.last().expect("nonempty"));
+        }
+        let (_, logits) = self.forward(e, input, w);
+        logits
+    }
+
+    /// Batched decision values: `logit(class 1) - logit(class 0)` per
+    /// example, so the sign picks the class exactly as a linear margin
+    /// does — the serving layer scores every task through one scalar.
+    pub fn decision_values<E: Exec>(&self, e: &mut E, input: &Matrix, w: &[Scalar]) -> Vec<Scalar> {
+        let logits = self.logits(e, input, w);
+        logits
+            .rows_iter()
+            .map(|r| r.get(1).copied().unwrap_or(0.0) - r.first().copied().unwrap_or(0.0))
+            .collect()
     }
 
     fn dense_input(batch: &Batch<'_>) -> Matrix {

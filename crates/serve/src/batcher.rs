@@ -1,0 +1,587 @@
+//! Request micro-batcher: admission queue, batching policy, and batched
+//! dispatch through every backend.
+//!
+//! Single-example predict requests enter an admission queue; the batcher
+//! coalesces them into batches under a policy (max batch size `B`, max
+//! wait `W`) and dispatches each batch as *one* gemv/spmv/gemm stream on
+//! the configured backend. `B = 1, W = 0` degenerates to unbatched
+//! per-request dispatch — the baseline the bench compares against.
+//!
+//! Queueing is simulated as a deterministic discrete-event system over
+//! request arrival timestamps: given identical arrivals, policy, and a
+//! modeled service clock, every latency in the outcome is bit-identical
+//! across runs. The batch trigger rule is the classic one: a batch
+//! launches when `B` requests are pending or the oldest pending request
+//! has waited `W`, whichever comes first, and never before the server is
+//! free again.
+//!
+//! Service time comes from a [`ServeTiming`]: `Modeled` charges an
+//! analytic per-batch dispatch overhead plus per-flop cost (bit-exact
+//! across runs; the serving-side analog of `Timing::Modeled` in the
+//! engine), `Wall` measures the real computation with `Instant`. The
+//! simulated GPU always uses its own simulated clock, which charges a
+//! per-kernel launch overhead — exactly the term micro-batching
+//! amortizes, mirroring the paper's kernel-launch argument for dense
+//! batched SGD on GPUs.
+
+use std::time::Instant;
+
+use sgd_gpusim::kernels::GpuExec;
+use sgd_gpusim::GpuDevice;
+use sgd_linalg::{pool, CpuExec, Scalar};
+use sgd_models::Examples;
+
+use crate::loadgen::RequestPool;
+use crate::model::ServableModel;
+use crate::stats::LatencySummary;
+
+/// Per-batch dispatch overhead charged by the modeled clock on the
+/// sequential CPU backend (queue pop + call, seconds).
+pub const CPU_SEQ_DISPATCH_SECS: f64 = 2.0e-6;
+
+/// Per-batch dispatch overhead on the parallel CPU backend (persistent
+/// pool hand-off + wake, seconds; the pool bench measures this order).
+pub const CPU_PAR_DISPATCH_SECS: f64 = 8.0e-6;
+
+/// Modeled per-core floating-point rate of the CPU backends, flops/s.
+pub const CPU_FLOPS_PER_CORE: f64 = 4.0e9;
+
+/// Parallel efficiency of the pooled CPU backend's extra cores.
+pub const CPU_PAR_EFFICIENCY: f64 = 0.85;
+
+/// Batching policy of the admission queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are pending (>= 1).
+    pub max_batch: usize,
+    /// Dispatch once the oldest pending request has waited this many
+    /// seconds, even if the batch is not full.
+    pub max_wait: f64,
+}
+
+impl BatchPolicy {
+    /// A policy coalescing up to `max_batch` requests within `max_wait`
+    /// seconds. A zero `max_batch` is treated as 1.
+    pub fn new(max_batch: usize, max_wait: f64) -> Self {
+        BatchPolicy { max_batch: max_batch.max(1), max_wait: max_wait.max(0.0) }
+    }
+
+    /// The unbatched baseline: every request dispatches alone.
+    pub fn unbatched() -> Self {
+        BatchPolicy { max_batch: 1, max_wait: 0.0 }
+    }
+}
+
+/// Which executor scores a batch — the serving-side backend axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// Sequential CPU kernels.
+    CpuSeq,
+    /// Parallel CPU kernels on the persistent worker pool.
+    CpuPar {
+        /// Kernel width (worker threads).
+        threads: usize,
+    },
+    /// The simulated GPU.
+    GpuSim,
+}
+
+impl ServeBackend {
+    /// Stable label for reports and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            ServeBackend::CpuSeq => "cpu-seq".to_string(),
+            ServeBackend::CpuPar { threads } => format!("cpu-par{threads}"),
+            ServeBackend::GpuSim => "gpu-sim".to_string(),
+        }
+    }
+}
+
+/// Where service time comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeTiming {
+    /// Analytic cost model — bit-deterministic across runs.
+    Modeled,
+    /// Real `Instant` measurements around the computation (CPU backends
+    /// only; the simulated GPU always uses its simulated clock).
+    Wall,
+}
+
+/// A serving endpoint: one backend plus its service clock.
+///
+/// Each GPU dispatch traces a *cold* simulated device: the simulator
+/// keys cache state on host buffer identity, and serving assembles a
+/// fresh batch matrix per dispatch, so a warm device's trace would
+/// depend on host allocator reuse — not deterministic across runs. A
+/// cold trace still charges per-kernel launch overhead, which is the
+/// cost batching amortizes.
+pub struct Server {
+    backend: ServeBackend,
+    timing: ServeTiming,
+}
+
+impl Server {
+    /// A server on `backend` with the given service clock.
+    pub fn new(backend: ServeBackend, timing: ServeTiming) -> Self {
+        Server { backend, timing }
+    }
+
+    /// The backend this server dispatches to.
+    pub fn backend(&self) -> ServeBackend {
+        self.backend
+    }
+
+    /// Scores one batch: returns each example's decision value and the
+    /// service time in seconds under this server's clock.
+    pub fn predict(&mut self, model: &ServableModel, x: &Examples<'_>) -> (Vec<Scalar>, f64) {
+        match self.backend {
+            ServeBackend::GpuSim => {
+                let mut dev = GpuDevice::tesla_k80();
+                let out = {
+                    let mut e = GpuExec::new(&mut dev);
+                    model.predict_batch(&mut e, x)
+                };
+                let secs = dev.elapsed_secs();
+                (out, secs)
+            }
+            ServeBackend::CpuSeq => {
+                let wall = Instant::now();
+                let out = model.predict_batch(&mut CpuExec::seq(), x);
+                let secs = match self.timing {
+                    ServeTiming::Wall => wall.elapsed().as_secs_f64(),
+                    ServeTiming::Modeled => {
+                        CPU_SEQ_DISPATCH_SECS + predict_flops(model, x) / CPU_FLOPS_PER_CORE
+                    }
+                };
+                (out, secs)
+            }
+            ServeBackend::CpuPar { threads } => {
+                let width = threads.max(1);
+                let wall = Instant::now();
+                let out = pool::with_threads(width, || model.predict_batch(&mut CpuExec::par(), x));
+                let secs = match self.timing {
+                    ServeTiming::Wall => wall.elapsed().as_secs_f64(),
+                    ServeTiming::Modeled => {
+                        let rate = CPU_FLOPS_PER_CORE
+                            * (1.0 + CPU_PAR_EFFICIENCY * (width.saturating_sub(1)) as f64);
+                        CPU_PAR_DISPATCH_SECS + predict_flops(model, x) / rate
+                    }
+                };
+                (out, secs)
+            }
+        }
+    }
+}
+
+/// Floating-point operation estimate of one batched predict, the unit
+/// the modeled CPU clock charges for.
+pub fn predict_flops(model: &ServableModel, x: &Examples<'_>) -> f64 {
+    match model {
+        ServableModel::Lr { .. } | ServableModel::Svm { .. } => match x {
+            Examples::Dense(m) => 2.0 * (m.rows() * m.cols()) as f64,
+            Examples::Sparse(s) => 2.0 * s.nnz() as f64,
+        },
+        ServableModel::Mlp { task, .. } => {
+            let n = x.n() as f64;
+            let mut per_example = 0.0;
+            for pair in task.layers().windows(2) {
+                if let (Some(&a), Some(&b)) = (pair.first(), pair.get(1)) {
+                    // gemm + bias + activation per link.
+                    per_example += (2 * a * b + 5 * b) as f64;
+                }
+            }
+            n * per_example
+        }
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Per-request latency (completion − arrival), seconds. Open loop:
+    /// indexed by arrival order. Closed loop: completion order.
+    pub latencies: Vec<f64>,
+    /// Per-request decision values, same order as `latencies`.
+    pub decisions: Vec<Scalar>,
+    /// Number of batches dispatched.
+    pub batches: usize,
+    /// Largest batch dispatched.
+    pub max_batch_seen: usize,
+    /// Total server busy time, seconds.
+    pub service_secs: f64,
+    /// First arrival to last completion, seconds.
+    pub makespan: f64,
+    /// Latency/throughput summary.
+    pub summary: LatencySummary,
+}
+
+impl ServeOutcome {
+    fn finish(
+        latencies: Vec<f64>,
+        decisions: Vec<Scalar>,
+        batches: usize,
+        max_batch_seen: usize,
+        service_secs: f64,
+        first_arrival: f64,
+        last_finish: f64,
+    ) -> Self {
+        let makespan = (last_finish - first_arrival).max(0.0);
+        let summary = LatencySummary::from_latencies(&latencies, makespan);
+        ServeOutcome {
+            latencies,
+            decisions,
+            batches,
+            max_batch_seen,
+            service_secs,
+            makespan,
+            summary,
+        }
+    }
+}
+
+/// Runs an open-loop workload: request `i` (features = pool row
+/// `i % pool.len()`) arrives at `arrivals[i]` regardless of server
+/// progress. Returns per-request latencies in arrival order.
+pub fn run_open_loop(
+    server: &mut Server,
+    model: &ServableModel,
+    requests: &RequestPool,
+    policy: &BatchPolicy,
+    arrivals: &[f64],
+) -> ServeOutcome {
+    let n = arrivals.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (ta, tb) = (arrivals.get(a), arrivals.get(b));
+        match (ta, tb) {
+            (Some(x), Some(y)) => x.total_cmp(y).then(a.cmp(&b)),
+            _ => a.cmp(&b),
+        }
+    });
+
+    let mut latencies = vec![0.0; n];
+    let mut decisions = vec![0.0; n];
+    let mut batches = 0;
+    let mut max_batch_seen = 0;
+    let mut service_secs = 0.0;
+    let mut t_free = 0.0f64;
+    let mut last_finish = 0.0f64;
+    let first_arrival = order.first().and_then(|&i| arrivals.get(i)).copied().unwrap_or(0.0);
+
+    let mut idx = 0;
+    while idx < n {
+        let Some(&first_id) = order.get(idx) else { break };
+        let t_first = arrivals.get(first_id).copied().unwrap_or(0.0);
+        // Trigger: B pending, or the oldest has waited W.
+        let deadline = t_first + policy.max_wait;
+        let t_full = order
+            .get(idx + policy.max_batch.saturating_sub(1))
+            .and_then(|&i| arrivals.get(i))
+            .copied()
+            .unwrap_or(f64::INFINITY);
+        let trigger = deadline.min(t_full);
+        let start = t_free.max(trigger);
+        // Everything that has arrived by the start joins, up to B.
+        let mut count = 0;
+        while count < policy.max_batch {
+            match order.get(idx + count).and_then(|&i| arrivals.get(i)) {
+                Some(&t) if t <= start => count += 1,
+                _ => break,
+            }
+        }
+        let count = count.max(1);
+        let ids: Vec<usize> = order.iter().skip(idx).take(count).copied().collect();
+        let rows: Vec<usize> = ids.iter().map(|&i| i % requests.len().max(1)).collect();
+        let batch = requests.assemble(&rows);
+        let (out, secs) = server.predict(model, &batch.examples());
+        let finish = start + secs;
+        for (k, &id) in ids.iter().enumerate() {
+            if let (Some(l), Some(d)) = (latencies.get_mut(id), decisions.get_mut(id)) {
+                *l = finish - arrivals.get(id).copied().unwrap_or(0.0);
+                *d = out.get(k).copied().unwrap_or(f64::NAN);
+            }
+        }
+        batches += 1;
+        max_batch_seen = max_batch_seen.max(count);
+        service_secs += secs;
+        t_free = finish;
+        last_finish = last_finish.max(finish);
+        idx += count;
+    }
+    ServeOutcome::finish(
+        latencies,
+        decisions,
+        batches,
+        max_batch_seen,
+        service_secs,
+        first_arrival,
+        last_finish,
+    )
+}
+
+/// Runs a closed-loop workload: `clients` concurrent clients each issue
+/// `per_client` requests, re-issuing `think` seconds after each
+/// completion. Latencies are reported in completion order.
+pub fn run_closed_loop(
+    server: &mut Server,
+    model: &ServableModel,
+    requests: &RequestPool,
+    policy: &BatchPolicy,
+    clients: usize,
+    per_client: usize,
+    think: f64,
+) -> ServeOutcome {
+    // (arrival, client, row) — every pending request. New arrivals only
+    // ever appear after a completion, so at each dispatch decision the
+    // pending set is complete: the event simulation is exact.
+    let mut pending: Vec<(f64, usize, usize)> = Vec::with_capacity(clients);
+    let mut remaining = vec![per_client; clients];
+    let mut issued = 0usize;
+    for c in 0..clients {
+        if let Some(r) = remaining.get_mut(c) {
+            if *r > 0 {
+                *r -= 1;
+                pending.push((0.0, c, issued % requests.len().max(1)));
+                issued += 1;
+            }
+        }
+    }
+
+    let mut latencies = Vec::with_capacity(clients * per_client);
+    let mut decisions = Vec::with_capacity(clients * per_client);
+    let mut batches = 0;
+    let mut max_batch_seen = 0;
+    let mut service_secs = 0.0;
+    let mut t_free = 0.0f64;
+    let mut last_finish = 0.0f64;
+
+    while !pending.is_empty() {
+        pending.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let t_first = pending.first().map(|p| p.0).unwrap_or(0.0);
+        let deadline = t_first + policy.max_wait;
+        let t_full =
+            pending.get(policy.max_batch.saturating_sub(1)).map(|p| p.0).unwrap_or(f64::INFINITY);
+        let start = t_free.max(deadline.min(t_full));
+        let mut count = 0;
+        while count < policy.max_batch {
+            match pending.get(count) {
+                Some(&(t, _, _)) if t <= start => count += 1,
+                _ => break,
+            }
+        }
+        let count = count.max(1).min(pending.len());
+        let batch_reqs: Vec<(f64, usize, usize)> = pending.drain(..count).collect();
+        let rows: Vec<usize> = batch_reqs.iter().map(|&(_, _, r)| r).collect();
+        let assembled = requests.assemble(&rows);
+        let (out, secs) = server.predict(model, &assembled.examples());
+        let finish = start + secs;
+        for (k, &(arrival, client, _)) in batch_reqs.iter().enumerate() {
+            latencies.push(finish - arrival);
+            decisions.push(out.get(k).copied().unwrap_or(f64::NAN));
+            if let Some(r) = remaining.get_mut(client) {
+                if *r > 0 {
+                    *r -= 1;
+                    pending.push((finish + think, client, issued % requests.len().max(1)));
+                    issued += 1;
+                }
+            }
+        }
+        batches += 1;
+        max_batch_seen = max_batch_seen.max(count);
+        service_secs += secs;
+        t_free = finish;
+        last_finish = last_finish.max(finish);
+    }
+    ServeOutcome::finish(
+        latencies,
+        decisions,
+        batches,
+        max_batch_seen,
+        service_secs,
+        0.0,
+        last_finish,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpoint;
+    use crate::model::TaskDescriptor;
+    use sgd_linalg::Matrix;
+
+    fn lr_model(dim: usize) -> ServableModel {
+        let w: Vec<Scalar> = (0..dim).map(|i| 0.1 * (i as Scalar + 1.0)).collect();
+        let ck = Checkpoint::new(TaskDescriptor::LogisticRegression { dim: dim as u64 }, w)
+            .expect("dims");
+        ServableModel::from_checkpoint(&ck).expect("valid")
+    }
+
+    fn toy_pool() -> RequestPool {
+        RequestPool::dense(Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, -1.0, 0.5],
+            &[3.0, 1.0, 0.0],
+        ]))
+    }
+
+    #[test]
+    fn unbatched_policy_serves_one_request_per_batch() {
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let model = lr_model(3);
+        let arrivals: Vec<f64> = (0..6).map(|i| i as f64 * 1e-3).collect();
+        let out =
+            run_open_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::unbatched(), &arrivals);
+        assert_eq!(out.batches, 6);
+        assert_eq!(out.max_batch_seen, 1);
+        assert_eq!(out.summary.n, 6);
+        assert!(out.latencies.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn saturating_arrivals_coalesce_into_full_batches() {
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let model = lr_model(3);
+        // All 8 requests arrive at t=0: the first dispatches alone or the
+        // batch fills instantly, depending on policy.
+        let arrivals = vec![0.0; 8];
+        let out =
+            run_open_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::new(4, 1.0), &arrivals);
+        assert_eq!(out.batches, 2, "8 simultaneous requests at B=4 is 2 batches");
+        assert_eq!(out.max_batch_seen, 4);
+    }
+
+    #[test]
+    fn max_wait_flushes_partial_batches() {
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let model = lr_model(3);
+        // One early request, one far later: W must flush the first alone.
+        let arrivals = vec![0.0, 1.0];
+        let out =
+            run_open_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::new(64, 0.01), &arrivals);
+        assert_eq!(out.batches, 2);
+        // First request waited W, then service.
+        let l0 = out.latencies.first().copied().unwrap_or(0.0);
+        assert!(l0 >= 0.01, "flush waited max_wait ({l0})");
+        assert!(l0 < 0.02, "but not much longer ({l0})");
+    }
+
+    #[test]
+    fn decisions_match_direct_computation_in_arrival_order() {
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let model = lr_model(3);
+        let pool = toy_pool();
+        let arrivals = vec![0.0; 5];
+        let out = run_open_loop(&mut srv, &model, &pool, &BatchPolicy::new(3, 1e-3), &arrivals);
+        // Request i uses pool row i % 3; compare to a direct single-row
+        // predict on the same backend.
+        for i in 0..5 {
+            let direct = run_open_loop(
+                &mut Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled),
+                &model,
+                &pool.slice_rows(&[i % 3]),
+                &BatchPolicy::unbatched(),
+                &[0.0],
+            );
+            assert_eq!(
+                out.decisions.get(i).copied().map(f64::to_bits),
+                direct.decisions.first().copied().map(f64::to_bits),
+                "request {i} decision must match a direct predict bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn modeled_timing_is_bit_deterministic() {
+        let model = lr_model(3);
+        let arrivals: Vec<f64> = (0..40).map(|i| i as f64 * 1e-6).collect();
+        let run = || {
+            let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+            run_open_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::new(8, 1e-4), &arrivals)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.latencies.len(), b.latencies.len());
+        for (x, y) in a.latencies.iter().zip(&b.latencies) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.decisions.iter().zip(&b.decisions) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn gpu_sim_service_time_is_deterministic_and_amortizes_launches() {
+        let model = lr_model(3);
+        let arrivals = vec![0.0; 32];
+        let serve = |policy: BatchPolicy| {
+            let mut srv = Server::new(ServeBackend::GpuSim, ServeTiming::Modeled);
+            run_open_loop(&mut srv, &model, &toy_pool(), &policy, &arrivals)
+        };
+        let unbatched = serve(BatchPolicy::unbatched());
+        let unbatched2 = serve(BatchPolicy::unbatched());
+        assert_eq!(
+            unbatched.service_secs.to_bits(),
+            unbatched2.service_secs.to_bits(),
+            "simulated clock is deterministic"
+        );
+        let batched = serve(BatchPolicy::new(32, 1e-3));
+        assert!(batched.batches < unbatched.batches);
+        assert!(
+            batched.service_secs < unbatched.service_secs,
+            "batching amortizes per-kernel launch overhead: {} vs {}",
+            batched.service_secs,
+            unbatched.service_secs
+        );
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let model = lr_model(3);
+        let out =
+            run_closed_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::new(4, 1e-4), 3, 5, 0.0);
+        assert_eq!(out.summary.n, 15);
+        assert_eq!(out.latencies.len(), 15);
+        assert!(out.batches >= 5, "at most `clients` requests per batch");
+        assert!(out.max_batch_seen <= 3);
+        assert!(out.summary.throughput > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_is_deterministic() {
+        let model = lr_model(3);
+        let run = || {
+            let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+            run_closed_loop(&mut srv, &model, &toy_pool(), &BatchPolicy::new(2, 1e-5), 4, 6, 1e-6)
+        };
+        let (a, b) = (run(), run());
+        for (x, y) in a.latencies.iter().zip(&b.latencies) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn cpu_par_backend_matches_seq_decisions() {
+        let model = lr_model(3);
+        let arrivals = vec![0.0; 9];
+        let pol = BatchPolicy::new(3, 1e-4);
+        let seq = run_open_loop(
+            &mut Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled),
+            &model,
+            &toy_pool(),
+            &pol,
+            &arrivals,
+        );
+        let par = run_open_loop(
+            &mut Server::new(ServeBackend::CpuPar { threads: 4 }, ServeTiming::Modeled),
+            &model,
+            &toy_pool(),
+            &pol,
+            &arrivals,
+        );
+        for (s, p) in seq.decisions.iter().zip(&par.decisions) {
+            assert_eq!(s.to_bits(), p.to_bits(), "backends agree bitwise");
+        }
+    }
+}

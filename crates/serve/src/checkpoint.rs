@@ -1,0 +1,508 @@
+//! The checkpoint format: a versioned, checksummed binary container for
+//! trained models.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8  b"SGDCKPT\0"
+//! version  4  format version (currently 1)
+//! task     1  0 = logistic regression, 1 = linear SVM, 2 = MLP
+//! body     …  task descriptor (see below)
+//! fprint   8  FNV-1a fingerprint of the descriptor bytes
+//! n        8  weight count
+//! weights  8n f64 *bit patterns* (to_bits/from_bits — round trips are
+//!             bit-exact, including NaN payloads, -0.0, and subnormals)
+//! crc      4  CRC-32 (IEEE) over everything before it
+//! ```
+//!
+//! Linear descriptors are `dim: u64`; MLP descriptors are `seed: u64,
+//! n_layers: u32, widths: u32 × n_layers`.
+//!
+//! Everything here treats the byte stream as untrusted wire data: reads
+//! go through a bounds-checked [`Cursor`] (no slice indexing), and every
+//! failure mode — truncation, corruption, a future version, an impossible
+//! descriptor — surfaces as a typed [`CheckpointError`], never a panic.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use sgd_linalg::Scalar;
+
+use crate::model::TaskDescriptor;
+
+/// First eight bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"SGDCKPT\0";
+
+/// The format version this build writes and the only one it reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be decoded (or a model could not be
+/// encoded). The reader never panics on hostile bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The bytes actually found (up to eight).
+        found: Vec<u8>,
+    },
+    /// The version field names a format this build does not speak.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The buffer ended before a field could be read in full.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// The CRC trailer does not match the bytes preceding it.
+    ChecksumMismatch {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the received bytes.
+        computed: u32,
+    },
+    /// The task tag byte is not a known task kind.
+    UnknownTask {
+        /// The tag found.
+        tag: u8,
+    },
+    /// The descriptor decodes but describes an impossible model (zero
+    /// layer width, too few MLP layers, an absurd dimension, …).
+    BadDescriptor {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The stored fingerprint disagrees with the descriptor bytes — the
+    /// header was tampered with or mis-written.
+    FingerprintMismatch {
+        /// Fingerprint stored in the header.
+        stored: u64,
+        /// Fingerprint recomputed from the descriptor.
+        computed: u64,
+    },
+    /// The weight count does not match the descriptor's model dimension.
+    DimensionMismatch {
+        /// Dimension the descriptor implies.
+        expected: usize,
+        /// Weights actually stored.
+        found: usize,
+    },
+    /// Bytes remained after the CRC trailer.
+    TrailingBytes {
+        /// How many bytes followed the trailer.
+        extra: usize,
+    },
+    /// An I/O failure while reading or writing a checkpoint file.
+    Io {
+        /// The failing operation's error, stringified (io::Error is not
+        /// `Clone`/`PartialEq`).
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic { found } => {
+                write!(f, "not a checkpoint: magic bytes {found:02x?} != {MAGIC:02x?}")
+            }
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "checkpoint version {found} unsupported (this build reads {FORMAT_VERSION})"
+                )
+            }
+            CheckpointError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "truncated checkpoint: next field needs {needed} bytes, {remaining} remain"
+                )
+            }
+            CheckpointError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            CheckpointError::UnknownTask { tag } => write!(f, "unknown task tag {tag}"),
+            CheckpointError::BadDescriptor { detail } => write!(f, "bad descriptor: {detail}"),
+            CheckpointError::FingerprintMismatch { stored, computed } => {
+                write!(f, "fingerprint mismatch: stored {stored:#018x}, computed {computed:#018x}")
+            }
+            CheckpointError::DimensionMismatch { expected, found } => {
+                write!(f, "weight count {found} does not match model dimension {expected}")
+            }
+            CheckpointError::TrailingBytes { extra } => {
+                write!(f, "{extra} bytes of trailing garbage after the CRC trailer")
+            }
+            CheckpointError::Io { detail } => write!(f, "checkpoint I/O: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io { detail: e.to_string() }
+    }
+}
+
+/// A decoded (or to-be-encoded) model checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// What model the weights parameterize.
+    pub descriptor: TaskDescriptor,
+    /// The flat model vector, bit-exact.
+    pub weights: Vec<Scalar>,
+}
+
+impl Checkpoint {
+    /// Builds a checkpoint, validating the weight count against the
+    /// descriptor's model dimension.
+    pub fn new(descriptor: TaskDescriptor, weights: Vec<Scalar>) -> Result<Self, CheckpointError> {
+        let expected = descriptor.model_dim()?;
+        if weights.len() != expected {
+            return Err(CheckpointError::DimensionMismatch { expected, found: weights.len() });
+        }
+        Ok(Checkpoint { descriptor, weights })
+    }
+
+    /// Serializes the checkpoint to its binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let desc = self.descriptor.encode();
+        let mut out = Vec::with_capacity(8 + 4 + desc.len() + 16 + 8 * self.weights.len() + 4);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&desc);
+        out.extend_from_slice(&fingerprint(&desc).to_le_bytes());
+        out.extend_from_slice(&(self.weights.len() as u64).to_le_bytes());
+        for w in &self.weights {
+            out.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a checkpoint from bytes, verifying magic, version, CRC,
+    /// fingerprint, and dimensions.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        // CRC first: everything else assumes intact bytes.
+        let body_len = bytes.len().checked_sub(4).ok_or(CheckpointError::Truncated {
+            needed: MAGIC.len() + 4,
+            remaining: bytes.len(),
+        })?;
+        let (body, trailer) = bytes.split_at(body_len);
+        let mut cur = Cursor::new(trailer);
+        let stored_crc = cur.u32()?;
+        let computed_crc = crc32(body);
+        let mut cur = Cursor::new(body);
+        let magic = cur.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic.to_vec() });
+        }
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion { found: version });
+        }
+        if stored_crc != computed_crc {
+            return Err(CheckpointError::ChecksumMismatch {
+                stored: stored_crc,
+                computed: computed_crc,
+            });
+        }
+        let desc_start = cur.pos();
+        let descriptor = TaskDescriptor::decode(&mut cur)?;
+        let desc_bytes = body
+            .get(desc_start..cur.pos())
+            .ok_or(CheckpointError::Truncated { needed: cur.pos(), remaining: body.len() })?;
+        let stored_fprint = cur.u64()?;
+        let computed_fprint = fingerprint(desc_bytes);
+        if stored_fprint != computed_fprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                stored: stored_fprint,
+                computed: computed_fprint,
+            });
+        }
+        let n = cur.u64()?;
+        let expected = descriptor.model_dim()?;
+        if n != expected as u64 {
+            return Err(CheckpointError::DimensionMismatch {
+                expected,
+                found: usize::try_from(n).unwrap_or(usize::MAX),
+            });
+        }
+        let mut weights = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            weights.push(Scalar::from_bits(cur.u64()?));
+        }
+        let extra = cur.remaining();
+        if extra > 0 {
+            return Err(CheckpointError::TrailingBytes { extra });
+        }
+        Ok(Checkpoint { descriptor, weights })
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// A bounds-checked read cursor over untrusted bytes: every read is via
+/// `get`, so malformed input surfaces as [`CheckpointError::Truncated`],
+/// never an out-of-bounds panic.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a byte buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Current offset into the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(CheckpointError::Truncated { needed: n, remaining: self.remaining() })?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated { needed: n, remaining: self.remaining() })?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?.iter().copied().next().unwrap_or(0))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut v: u32 = 0;
+        for (i, b) in self.take(4)?.iter().enumerate() {
+            v |= u32::from(*b) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let mut v: u64 = 0;
+        for (i, b) in self.take(8)?.iter().enumerate() {
+            v |= u64::from(*b) << (8 * i);
+        }
+        Ok(v)
+    }
+}
+
+/// FNV-1a over the descriptor bytes — the header's config fingerprint.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFFFFFF`) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xff) as usize;
+        let entry = table.get(idx).copied().unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
+    }
+    crc ^ 0xffff_ffff
+}
+
+/// The 256-entry CRC-32 lookup table (computed once, no statics needed —
+/// the table is tiny and checkpoint I/O is off any hot path).
+fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *slot = c;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TaskDescriptor;
+
+    fn lr_ckpt(weights: Vec<f64>) -> Checkpoint {
+        let d = weights.len() as u64;
+        Checkpoint::new(TaskDescriptor::LogisticRegression { dim: d }, weights)
+            .expect("dim matches")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic "123456789" check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trips_ordinary_weights() {
+        let ck = lr_ckpt(vec![0.5, -1.25, 3.0e-5, 1e300]);
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("round trip");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_for_pathological_floats() {
+        let nan_payload = f64::from_bits(0x7ff8_0000_dead_beef);
+        let neg_zero = -0.0f64;
+        let subnormal = f64::from_bits(1); // smallest positive subnormal
+        let ck = lr_ckpt(vec![nan_payload, neg_zero, subnormal, f64::INFINITY, f64::NEG_INFINITY]);
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("round trip");
+        for (a, b) in ck.weights.iter().zip(&back.weights) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_detected() {
+        let bytes = lr_ckpt(vec![1.0, 2.0, 3.0]).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let err = Checkpoint::from_bytes(&bad).expect_err("corruption must be caught");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::ChecksumMismatch { .. }
+                        | CheckpointError::BadMagic { .. }
+                        | CheckpointError::UnsupportedVersion { .. }
+                ),
+                "byte {i}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = lr_ckpt(vec![1.0, 2.0]).to_bytes();
+        for len in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..len]).expect_err("truncation");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. } | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "len {len}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_before_payload() {
+        // Re-encode with version 2 and a recomputed CRC so only the
+        // version differs.
+        let mut bytes = lr_ckpt(vec![1.0]).to_bytes();
+        bytes[8] = 2;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let err = Checkpoint::from_bytes(&bytes).expect_err("version gate");
+        assert_eq!(err, CheckpointError::UnsupportedVersion { found: 2 });
+    }
+
+    #[test]
+    fn bad_magic_is_reported_with_found_bytes() {
+        let mut bytes = lr_ckpt(vec![1.0]).to_bytes();
+        bytes[0] = b'X';
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let err = Checkpoint::from_bytes(&bytes).expect_err("magic gate");
+        assert!(matches!(err, CheckpointError::BadMagic { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let ck = lr_ckpt(vec![1.0]);
+        let mut bytes = ck.to_bytes();
+        // Splice garbage *before* the CRC and recompute it, so the only
+        // defect is the extra payload length.
+        let crc_at = bytes.len() - 4;
+        bytes.splice(crc_at..crc_at, [0u8; 3]);
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        let err = Checkpoint::from_bytes(&bytes).expect_err("trailing bytes");
+        // The weight count no longer matches the remaining payload, so
+        // either Truncated (mid-f64) or TrailingBytes is acceptable; with
+        // 3 extra bytes it is TrailingBytes... after n weights there are
+        // 3 bytes left.
+        assert!(
+            matches!(
+                err,
+                CheckpointError::TrailingBytes { extra: 3 } | CheckpointError::Truncated { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        let err = Checkpoint::new(TaskDescriptor::LinearSvm { dim: 4 }, vec![1.0; 3])
+            .expect_err("3 weights for dim 4");
+        assert_eq!(err, CheckpointError::DimensionMismatch { expected: 4, found: 3 });
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sgd_serve_ckpt_test.bin");
+        let ck = lr_ckpt(vec![0.25, -0.5, f64::from_bits(0x7ff8_0000_0000_0001)]);
+        ck.save(&path).expect("save");
+        let back = Checkpoint::load(&path).expect("load");
+        for (a, b) in ck.weights.iter().zip(&back.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/sgd_serve_nope.bin"))
+            .expect_err("missing file");
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err:?}");
+    }
+}

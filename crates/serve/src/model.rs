@@ -1,0 +1,390 @@
+//! Task descriptors and the servable model they reconstruct.
+//!
+//! A [`TaskDescriptor`] is the checkpoint header's answer to "what do
+//! these weights parameterize": enough to rebuild the exact task object
+//! (`lr`/`svm`/[`MlpTask`]) in a fresh process, so a reloaded model
+//! computes bit-identical predictions to the one that was trained.
+
+use sgd_linalg::{Exec, Matrix, Scalar};
+use sgd_models::{lr, svm, Examples, MlpTask};
+
+use crate::checkpoint::{Checkpoint, CheckpointError, Cursor};
+
+/// Upper bound on model dimensions a checkpoint may declare; anything
+/// larger is treated as a corrupt/hostile header rather than attempted
+/// as an allocation.
+pub const MAX_MODEL_DIM: usize = 1 << 32;
+
+/// What model a flat weight vector parameterizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskDescriptor {
+    /// Logistic regression over `dim` features.
+    LogisticRegression {
+        /// Feature-space width.
+        dim: u64,
+    },
+    /// Linear SVM over `dim` features.
+    LinearSvm {
+        /// Feature-space width.
+        dim: u64,
+    },
+    /// Fully-connected MLP (tanh hidden, softmax output).
+    Mlp {
+        /// Layer widths `[input, hidden.., output]`.
+        layers: Vec<u32>,
+        /// Initialization seed (part of the config fingerprint: two runs
+        /// with different seeds are different configurations even at
+        /// identical architecture).
+        seed: u64,
+    },
+}
+
+/// Task tag bytes in the checkpoint header.
+const TAG_LR: u8 = 0;
+const TAG_SVM: u8 = 1;
+const TAG_MLP: u8 = 2;
+
+impl TaskDescriptor {
+    /// Short label for registries and logs.
+    pub fn label(&self) -> String {
+        match self {
+            TaskDescriptor::LogisticRegression { dim } => format!("LR(d={dim})"),
+            TaskDescriptor::LinearSvm { dim } => format!("SVM(d={dim})"),
+            TaskDescriptor::Mlp { layers, .. } => {
+                let arch: Vec<String> = layers.iter().map(|u| u.to_string()).collect();
+                format!("MLP({})", arch.join("-"))
+            }
+        }
+    }
+
+    /// Width of the feature space this model consumes.
+    pub fn input_dim(&self) -> Result<usize, CheckpointError> {
+        match self {
+            TaskDescriptor::LogisticRegression { dim } | TaskDescriptor::LinearSvm { dim } => {
+                checked_dim(*dim)
+            }
+            TaskDescriptor::Mlp { layers, .. } => match layers.first() {
+                Some(&w) => checked_dim(u64::from(w)),
+                None => Err(CheckpointError::BadDescriptor { detail: "MLP with no layers".into() }),
+            },
+        }
+    }
+
+    /// Length of the flat weight vector this descriptor implies.
+    pub fn model_dim(&self) -> Result<usize, CheckpointError> {
+        match self {
+            TaskDescriptor::LogisticRegression { dim } | TaskDescriptor::LinearSvm { dim } => {
+                checked_dim(*dim)
+            }
+            TaskDescriptor::Mlp { layers, .. } => {
+                self.validate_mlp()?;
+                let mut total: usize = 0;
+                for pair in layers.windows(2) {
+                    let (a, b) = match (pair.first(), pair.get(1)) {
+                        (Some(&a), Some(&b)) => (a as usize, b as usize),
+                        _ => continue,
+                    };
+                    let link =
+                        a.checked_mul(b).and_then(|w| w.checked_add(b)).ok_or_else(|| {
+                            CheckpointError::BadDescriptor {
+                                detail: "MLP dimension overflows".into(),
+                            }
+                        })?;
+                    total = total.checked_add(link).ok_or_else(|| {
+                        CheckpointError::BadDescriptor { detail: "MLP dimension overflows".into() }
+                    })?;
+                }
+                if total > MAX_MODEL_DIM {
+                    return Err(CheckpointError::BadDescriptor {
+                        detail: format!("model dimension {total} exceeds the {MAX_MODEL_DIM} cap"),
+                    });
+                }
+                Ok(total)
+            }
+        }
+    }
+
+    /// Checks the MLP architecture invariants [`MlpTask::new`] would
+    /// otherwise assert on: these come from wire data, so violations must
+    /// be typed errors, not panics.
+    fn validate_mlp(&self) -> Result<(), CheckpointError> {
+        let TaskDescriptor::Mlp { layers, .. } = self else {
+            return Ok(());
+        };
+        if layers.len() < 2 {
+            return Err(CheckpointError::BadDescriptor {
+                detail: format!("an MLP needs >= 2 layers, descriptor has {}", layers.len()),
+            });
+        }
+        if layers.contains(&0) {
+            return Err(CheckpointError::BadDescriptor { detail: "zero-width MLP layer".into() });
+        }
+        if layers.last().is_some_and(|&w| w < 2) {
+            return Err(CheckpointError::BadDescriptor {
+                detail: "MLP softmax output needs >= 2 units".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the descriptor body (tag + fields, little-endian).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            TaskDescriptor::LogisticRegression { dim } => {
+                out.push(TAG_LR);
+                out.extend_from_slice(&dim.to_le_bytes());
+            }
+            TaskDescriptor::LinearSvm { dim } => {
+                out.push(TAG_SVM);
+                out.extend_from_slice(&dim.to_le_bytes());
+            }
+            TaskDescriptor::Mlp { layers, seed } => {
+                out.push(TAG_MLP);
+                out.extend_from_slice(&seed.to_le_bytes());
+                out.extend_from_slice(&(layers.len() as u32).to_le_bytes());
+                for w in layers {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a descriptor body from untrusted bytes.
+    pub fn decode(cur: &mut Cursor<'_>) -> Result<Self, CheckpointError> {
+        let tag = cur.u8()?;
+        let desc = match tag {
+            TAG_LR => TaskDescriptor::LogisticRegression { dim: cur.u64()? },
+            TAG_SVM => TaskDescriptor::LinearSvm { dim: cur.u64()? },
+            TAG_MLP => {
+                let seed = cur.u64()?;
+                let n_layers = cur.u32()? as usize;
+                // Cap before allocating: a hostile length field must not
+                // drive a huge reservation.
+                if n_layers > 1024 {
+                    return Err(CheckpointError::BadDescriptor {
+                        detail: format!("{n_layers} MLP layers exceeds the 1024 cap"),
+                    });
+                }
+                let mut layers = Vec::with_capacity(n_layers);
+                for _ in 0..n_layers {
+                    layers.push(cur.u32()?);
+                }
+                TaskDescriptor::Mlp { layers, seed }
+            }
+            other => return Err(CheckpointError::UnknownTask { tag: other }),
+        };
+        // Validate eagerly so every consumer sees a well-formed model.
+        desc.model_dim()?;
+        Ok(desc)
+    }
+}
+
+fn checked_dim(dim: u64) -> Result<usize, CheckpointError> {
+    let d = usize::try_from(dim).unwrap_or(usize::MAX);
+    if d == 0 || d > MAX_MODEL_DIM {
+        return Err(CheckpointError::BadDescriptor {
+            detail: format!("model dimension {dim} outside (0, {MAX_MODEL_DIM}]"),
+        });
+    }
+    Ok(d)
+}
+
+/// A model reconstructed from a checkpoint, ready to predict.
+///
+/// Predictions are *decision values*: the margin `x·w` for the linear
+/// tasks, `logit(+1) − logit(−1)` for the MLP — sign gives the class,
+/// and the same weights produce the same bits on every backend that
+/// executes the sequential kernel order.
+#[derive(Clone, Debug)]
+pub enum ServableModel {
+    /// Logistic regression.
+    Lr {
+        /// The reconstructed task.
+        task: sgd_models::LinearTask<sgd_models::LogisticLoss>,
+        /// Flat weights.
+        weights: Vec<Scalar>,
+    },
+    /// Linear SVM.
+    Svm {
+        /// The reconstructed task.
+        task: sgd_models::LinearTask<sgd_models::HingeLoss>,
+        /// Flat weights.
+        weights: Vec<Scalar>,
+    },
+    /// Multi-layer perceptron.
+    Mlp {
+        /// The reconstructed task.
+        task: MlpTask,
+        /// Flat weights.
+        weights: Vec<Scalar>,
+    },
+}
+
+impl ServableModel {
+    /// Reconstructs the model a checkpoint describes.
+    pub fn from_checkpoint(ck: &Checkpoint) -> Result<Self, CheckpointError> {
+        let expected = ck.descriptor.model_dim()?;
+        if ck.weights.len() != expected {
+            return Err(CheckpointError::DimensionMismatch { expected, found: ck.weights.len() });
+        }
+        Ok(match &ck.descriptor {
+            TaskDescriptor::LogisticRegression { .. } => {
+                ServableModel::Lr { task: lr(expected), weights: ck.weights.clone() }
+            }
+            TaskDescriptor::LinearSvm { .. } => {
+                ServableModel::Svm { task: svm(expected), weights: ck.weights.clone() }
+            }
+            TaskDescriptor::Mlp { layers, seed } => {
+                ck.descriptor.validate_mlp()?;
+                let widths: Vec<usize> = layers.iter().map(|&w| w as usize).collect();
+                // validate_mlp upheld MlpTask::new's preconditions.
+                ServableModel::Mlp {
+                    task: MlpTask::new(widths, *seed),
+                    weights: ck.weights.clone(),
+                }
+            }
+        })
+    }
+
+    /// The descriptor this model round-trips to.
+    pub fn descriptor(&self) -> TaskDescriptor {
+        match self {
+            ServableModel::Lr { weights, .. } => {
+                TaskDescriptor::LogisticRegression { dim: weights.len() as u64 }
+            }
+            ServableModel::Svm { weights, .. } => {
+                TaskDescriptor::LinearSvm { dim: weights.len() as u64 }
+            }
+            ServableModel::Mlp { task, .. } => TaskDescriptor::Mlp {
+                layers: task.layers().iter().map(|&w| w as u32).collect(),
+                seed: task.seed(),
+            },
+        }
+    }
+
+    /// Re-checkpoints the live model (e.g. after the registry received a
+    /// fresher publication).
+    pub fn to_checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::new(self.descriptor(), self.weights().to_vec())
+    }
+
+    /// The flat weight vector.
+    pub fn weights(&self) -> &[Scalar] {
+        match self {
+            ServableModel::Lr { weights, .. }
+            | ServableModel::Svm { weights, .. }
+            | ServableModel::Mlp { weights, .. } => weights,
+        }
+    }
+
+    /// Feature-space width of one input example.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            ServableModel::Lr { weights, .. } | ServableModel::Svm { weights, .. } => weights.len(),
+            ServableModel::Mlp { task, .. } => task.layers().first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Human-readable model label.
+    pub fn label(&self) -> String {
+        self.descriptor().label()
+    }
+
+    /// Batched decision values for `x` (one per row), computed through
+    /// the given executor — the serving-side mirror of training's
+    /// device-generic loss/gradient path.
+    pub fn predict_batch<E: Exec>(&self, e: &mut E, x: &Examples<'_>) -> Vec<Scalar> {
+        match self {
+            ServableModel::Lr { task, weights } => {
+                let mut out = vec![0.0; x.n()];
+                task.decision_values(e, x, weights, &mut out);
+                out
+            }
+            ServableModel::Svm { task, weights } => {
+                let mut out = vec![0.0; x.n()];
+                task.decision_values(e, x, weights, &mut out);
+                out
+            }
+            ServableModel::Mlp { task, weights } => match x {
+                Examples::Dense(m) => task.decision_values(e, m, weights),
+                Examples::Sparse(s) => {
+                    // The MLP's gemm path consumes dense inputs; requests
+                    // arriving sparse are densified at admission.
+                    let dense: Matrix = s.to_dense();
+                    task.decision_values(e, &dense, weights)
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgd_models::Task;
+
+    #[test]
+    fn descriptor_encode_decode_round_trips() {
+        let descs = [
+            TaskDescriptor::LogisticRegression { dim: 300 },
+            TaskDescriptor::LinearSvm { dim: 7 },
+            TaskDescriptor::Mlp { layers: vec![54, 10, 5, 2], seed: 99 },
+        ];
+        for d in descs {
+            let bytes = d.encode();
+            let mut cur = Cursor::new(&bytes);
+            let back = TaskDescriptor::decode(&mut cur).expect("round trip");
+            assert_eq!(d, back);
+            assert_eq!(cur.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn mlp_model_dim_matches_task() {
+        let d = TaskDescriptor::Mlp { layers: vec![4, 3, 2], seed: 0 };
+        assert_eq!(d.model_dim().expect("valid"), MlpTask::new(vec![4, 3, 2], 0).dim());
+    }
+
+    #[test]
+    fn hostile_descriptors_are_typed_errors() {
+        let zero = TaskDescriptor::LogisticRegression { dim: 0 };
+        assert!(matches!(zero.model_dim(), Err(CheckpointError::BadDescriptor { .. })));
+
+        let thin = TaskDescriptor::Mlp { layers: vec![4], seed: 0 };
+        assert!(matches!(thin.model_dim(), Err(CheckpointError::BadDescriptor { .. })));
+
+        let zero_layer = TaskDescriptor::Mlp { layers: vec![4, 0, 2], seed: 0 };
+        assert!(matches!(zero_layer.model_dim(), Err(CheckpointError::BadDescriptor { .. })));
+
+        let one_out = TaskDescriptor::Mlp { layers: vec![4, 3, 1], seed: 0 };
+        assert!(matches!(one_out.model_dim(), Err(CheckpointError::BadDescriptor { .. })));
+
+        let huge = TaskDescriptor::Mlp { layers: vec![u32::MAX, u32::MAX, 2], seed: 0 };
+        assert!(matches!(huge.model_dim(), Err(CheckpointError::BadDescriptor { .. })));
+    }
+
+    #[test]
+    fn unknown_tag_is_typed() {
+        let bytes = [9u8, 0, 0, 0, 0, 0, 0, 0, 0];
+        let mut cur = Cursor::new(&bytes);
+        assert!(matches!(
+            TaskDescriptor::decode(&mut cur),
+            Err(CheckpointError::UnknownTask { tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn servable_round_trips_through_checkpoint() {
+        let task = MlpTask::new(vec![4, 3, 2], 7);
+        let w = task.init_model();
+        let ck = Checkpoint::new(TaskDescriptor::Mlp { layers: vec![4, 3, 2], seed: 7 }, w.clone())
+            .expect("dims");
+        let model = ServableModel::from_checkpoint(&ck).expect("reconstruct");
+        assert_eq!(model.weights(), &w[..]);
+        assert_eq!(model.input_dim(), 4);
+        let ck2 = model.to_checkpoint().expect("re-encode");
+        assert_eq!(ck, ck2);
+    }
+}

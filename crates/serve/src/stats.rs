@@ -1,0 +1,106 @@
+//! Latency accounting: percentile and throughput summaries.
+
+/// Summary statistics of one serving run's per-request latencies.
+///
+/// Percentiles use the nearest-rank method on the full sample (no
+/// interpolation), so equal inputs always summarize to equal bits —
+/// the determinism contract of the modeled-timing bench.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of completed requests.
+    pub n: usize,
+    /// Mean latency, seconds.
+    pub mean: f64,
+    /// Median latency, seconds.
+    pub p50: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99: f64,
+    /// Worst observed latency, seconds.
+    pub max: f64,
+    /// Completed requests per second of makespan (first arrival to last
+    /// completion).
+    pub throughput: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes `latencies` (seconds per request, any order) over a
+    /// run that spanned `makespan` seconds.
+    pub fn from_latencies(latencies: &[f64], makespan: f64) -> Self {
+        let n = latencies.len();
+        if n == 0 {
+            return LatencySummary {
+                n: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+                throughput: 0.0,
+            };
+        }
+        let mut sorted: Vec<f64> = latencies.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let max = sorted.last().copied().unwrap_or(0.0);
+        let throughput = if makespan > 0.0 { n as f64 / makespan } else { 0.0 };
+        LatencySummary {
+            n,
+            mean,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            max,
+            throughput,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted nonempty sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted.get(rank - 1).copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_all_zero() {
+        let s = LatencySummary::from_latencies(&[], 1.0);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.throughput, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_sample() {
+        // 1..=100 milliseconds: p50 = 50 ms, p95 = 95 ms, p99 = 99 ms.
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64 * 1e-3).collect();
+        let s = LatencySummary::from_latencies(&lat, 2.0);
+        assert_eq!(s.n, 100);
+        assert!((s.p50 - 0.050).abs() < 1e-12);
+        assert!((s.p95 - 0.095).abs() < 1e-12);
+        assert!((s.p99 - 0.099).abs() < 1e-12);
+        assert!((s.max - 0.100).abs() < 1e-12);
+        assert!((s.throughput - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse() {
+        let s = LatencySummary::from_latencies(&[0.25], 0.5);
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p99, 0.25);
+        assert_eq!(s.mean, 0.25);
+        assert_eq!(s.throughput, 2.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = LatencySummary::from_latencies(&[0.3, 0.1, 0.2], 1.0);
+        let b = LatencySummary::from_latencies(&[0.1, 0.2, 0.3], 1.0);
+        assert_eq!(a, b);
+    }
+}

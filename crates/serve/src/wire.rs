@@ -1,0 +1,185 @@
+//! Loopback TCP front-end speaking LIBSVM-formatted request lines.
+//!
+//! Protocol: one request per line, in LIBSVM format
+//! (`<label> <idx>:<val> ...` — the label is carried but ignored for
+//! scoring); one response line per request, `OK <decision>` on success
+//! or `ERR <detail>` when the line fails to parse or no model is
+//! published. Requests are scored against the *current* registry
+//! snapshot, so a hot-swap publication mid-connection takes effect on
+//! the very next line.
+//!
+//! All wire bytes flow through `sgd-datagen`'s typed
+//! [`ParseError`](sgd_datagen::libsvm::ParseError) path — a malformed
+//! line is an `ERR` response, never a panic, and this file is in the
+//! analyzer's panic-freedom and indexing-ban scope.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use sgd_datagen::libsvm;
+use sgd_linalg::CpuExec;
+use sgd_models::Examples;
+
+use crate::registry::ModelRegistry;
+
+/// A front-end serving one named registry entry over a TCP listener.
+pub struct WireServer<'a> {
+    registry: &'a ModelRegistry,
+    model_name: String,
+}
+
+impl<'a> WireServer<'a> {
+    /// A server scoring requests against `model_name` in `registry`.
+    pub fn new(registry: &'a ModelRegistry, model_name: &str) -> Self {
+        WireServer { registry, model_name: model_name.to_string() }
+    }
+
+    /// Serves one accepted connection to completion (client EOF).
+    /// Returns the number of request lines handled.
+    pub fn handle(&self, stream: TcpStream) -> std::io::Result<usize> {
+        let reader = BufReader::new(stream.try_clone()?);
+        self.serve_lines(reader, stream)
+    }
+
+    /// Accepts and serves `connections` sequential connections from the
+    /// listener — enough for a loopback smoke without a thread-per-client
+    /// accept loop. Returns total request lines handled.
+    pub fn serve_connections(
+        &self,
+        listener: &TcpListener,
+        connections: usize,
+    ) -> std::io::Result<usize> {
+        let mut handled = 0;
+        for _ in 0..connections {
+            let (stream, _addr) = listener.accept()?;
+            handled += self.handle(stream)?;
+        }
+        Ok(handled)
+    }
+
+    /// The transport-agnostic core: reads request lines from `reader`,
+    /// writes one response line each to `writer`.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<usize> {
+        let mut handled = 0;
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.score_line(&line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            handled += 1;
+        }
+        Ok(handled)
+    }
+
+    /// Scores one request line against the current snapshot.
+    fn score_line(&self, line: &str) -> String {
+        let Some(snap) = self.registry.get(&self.model_name) else {
+            return format!("ERR no model published under '{}'", self.model_name);
+        };
+        let dim = snap.model.input_dim();
+        let ds = match libsvm::parse_str("wire", line, dim) {
+            Ok(ds) => ds,
+            Err(e) => return format!("ERR {e}"),
+        };
+        if ds.x.rows() != 1 {
+            return format!("ERR expected exactly one example per line, got {}", ds.x.rows());
+        }
+        let scores = snap.model.predict_batch(&mut CpuExec::seq(), &Examples::Sparse(&ds.x));
+        match scores.first() {
+            Some(d) => format!("OK {d}"),
+            None => "ERR empty prediction".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::Checkpoint;
+    use crate::model::{ServableModel, TaskDescriptor};
+    use std::io::{BufWriter, Read};
+
+    fn registry_with_lr(weights: Vec<f64>) -> ModelRegistry {
+        let reg = ModelRegistry::new();
+        let dim = weights.len() as u64;
+        let ck =
+            Checkpoint::new(TaskDescriptor::LogisticRegression { dim }, weights).expect("dims");
+        reg.publish("m", ServableModel::from_checkpoint(&ck).expect("valid"), 0, 0.5);
+        reg
+    }
+
+    #[test]
+    fn serve_lines_scores_and_reports_errors_in_order() {
+        let reg = registry_with_lr(vec![1.0, 2.0, 3.0]);
+        let srv = WireServer::new(&reg, "m");
+        let input = "+1 1:1 3:2\n-1 2:0.5\nnot-a-label 1:1\n+1 99:1\n\n+1 1:0\n";
+        let mut out = Vec::new();
+        let handled = srv
+            .serve_lines(BufReader::new(input.as_bytes()), BufWriter::new(&mut out))
+            .expect("io");
+        assert_eq!(handled, 5, "blank line skipped");
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        // 1*1 + 3*2 = 7; 2*0.5 = 1.
+        assert_eq!(lines.first().copied(), Some("OK 7"));
+        assert_eq!(lines.get(1).copied(), Some("OK 1"));
+        assert!(lines.get(2).is_some_and(|l| l.starts_with("ERR ")), "bad label is typed");
+        assert!(lines.get(3).is_some_and(|l| l.starts_with("ERR ")), "index out of range");
+        assert_eq!(lines.get(4).copied(), Some("OK 0"));
+    }
+
+    #[test]
+    fn unpublished_model_is_an_error_not_a_panic() {
+        let reg = ModelRegistry::new();
+        let srv = WireServer::new(&reg, "ghost");
+        let mut out = Vec::new();
+        srv.serve_lines(BufReader::new("+1 1:1\n".as_bytes()), &mut out).expect("io");
+        assert!(String::from_utf8(out).expect("utf8").starts_with("ERR "));
+    }
+
+    #[test]
+    fn loopback_tcp_round_trip_with_hot_swap() {
+        let reg = registry_with_lr(vec![1.0, 0.0]);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server = s.spawn(|| {
+                WireServer::new(&reg, "m").serve_connections(&listener, 1).expect("serve")
+            });
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut line = String::new();
+
+            conn.write_all(b"+1 1:2\n").expect("write");
+            reader.read_line(&mut line).expect("read");
+            assert_eq!(line.trim(), "OK 2");
+
+            // Hot-swap the model mid-connection: the next request sees it.
+            let ck =
+                Checkpoint::new(TaskDescriptor::LogisticRegression { dim: 2 }, vec![10.0, 0.0])
+                    .expect("dims");
+            reg.publish("m", ServableModel::from_checkpoint(&ck).expect("valid"), 1, 0.1);
+
+            line.clear();
+            conn.write_all(b"+1 1:2\n").expect("write");
+            reader.read_line(&mut line).expect("read");
+            assert_eq!(line.trim(), "OK 20", "hot-swapped weights serve immediately");
+
+            // The reader holds a cloned FD, so dropping `conn` alone
+            // would not deliver EOF to the server — shut down the socket's
+            // write half explicitly.
+            conn.shutdown(std::net::Shutdown::Write).expect("shutdown");
+            let mut rest = String::new();
+            reader.read_to_string(&mut rest).ok();
+            assert_eq!(server.join().expect("no panic"), 2);
+        });
+    }
+}

@@ -1,5 +1,7 @@
 //! Quickstart: generate a dataset, train logistic regression with
-//! synchronous SGD and with Hogwild, and print the convergence behaviour.
+//! synchronous SGD and with Hogwild, print the convergence behaviour,
+//! then checkpoint the trained model, reload it from disk, and serve it
+//! — verifying the round trip is bit-exact.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,8 +10,10 @@
 use sgd_study::core::{
     reference_optimum, step_size_grid, Configuration, DeviceKind, Engine, RunOptions, Strategy,
 };
-use sgd_study::datagen::{generate, DatasetProfile, GenOptions};
+use sgd_study::datagen::{generate, Dataset, DatasetProfile, GenOptions};
+use sgd_study::linalg::CpuExec;
 use sgd_study::models::{lr, Batch, Examples};
+use sgd_study::serve::{Checkpoint, CheckpointPublisher, ModelRegistry, TaskDescriptor};
 
 fn main() {
     // A scaled-down copy of the paper's `w8a` dataset: 300 features,
@@ -45,9 +49,50 @@ fn main() {
 
     // Asynchronous (Hogwild) SGD: lock-free concurrent updates.
     let cfg = Configuration::new(DeviceKind::CpuPar, Strategy::Hogwild);
-    let async_opts = RunOptions { threads: 4, ..opts };
+    let async_opts = RunOptions { threads: 4, ..opts.clone() };
     let rep = Engine::grid_search(&cfg, &task, &batch, optimum, &grid, &async_opts);
     report(&rep.label, rep.summarize(optimum).time_to_1pct(), rep.time_per_epoch());
+
+    // Train-to-serve: publish best-so-far checkpoints at epoch
+    // boundaries, persist the final one, reload it from disk, and check
+    // the served scores match the in-memory model bit-for-bit.
+    serve_round_trip(&ds, &opts);
+}
+
+fn serve_round_trip(ds: &Dataset, opts: &RunOptions) {
+    let task = lr(ds.d());
+    let batch = Batch::new(Examples::Sparse(&ds.x), &ds.y);
+    let registry = ModelRegistry::new();
+    let dir = std::env::temp_dir();
+    let mut publisher = CheckpointPublisher::new(
+        &registry,
+        "quickstart",
+        TaskDescriptor::LogisticRegression { dim: ds.d() as u64 },
+    )
+    .with_directory(&dir);
+    let cfg = Configuration::new(DeviceKind::CpuSeq, Strategy::Sync);
+    let train_opts = RunOptions { max_epochs: 20, target_loss: None, ..opts.clone() };
+    Engine::run_observed(&cfg, &task, &batch, 0.1, &train_opts, &mut publisher);
+
+    let snap = registry.get("quickstart").expect("training published a model");
+    println!(
+        "published rev {} at epoch {} (loss {:.6}), checkpoints: {}",
+        snap.revision, snap.epoch, snap.loss, publisher.published
+    );
+
+    let path = dir.join("quickstart.ckpt");
+    let reloaded = Checkpoint::load(&path).expect("checkpoint reloads");
+    std::fs::remove_file(&path).ok();
+    let served = sgd_study::serve::ServableModel::from_checkpoint(&reloaded)
+        .expect("reloaded checkpoint is servable");
+
+    let x = Examples::Sparse(&ds.x);
+    let live = snap.model.predict_batch(&mut CpuExec::seq(), &x);
+    let cold = served.predict_batch(&mut CpuExec::seq(), &x);
+    let bit_equal =
+        live.len() == cold.len() && live.iter().zip(&cold).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_equal, "disk round trip must serve bitwise-identical scores");
+    println!("serve round trip: {} scores, disk == memory bit-for-bit", cold.len());
 }
 
 fn report(label: &str, ttc: Option<f64>, tpe: f64) {

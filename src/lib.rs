@@ -10,3 +10,4 @@ pub use sgd_frameworks as frameworks;
 pub use sgd_gpusim as gpusim;
 pub use sgd_linalg as linalg;
 pub use sgd_models as models;
+pub use sgd_serve as serve;
