@@ -12,8 +12,17 @@
 //!   model, never the host clock).
 //!
 //! Wall-clock runners (`hogwild.rs`, `sync.rs`, the benches) are
-//! deliberately out of scope: they measure real elapsed time, which is
-//! the point of the paper's CPU measurements.
+//! deliberately out of scope for those rules: they measure real elapsed
+//! time, which is the point of the paper's CPU measurements.
+//!
+//! One rule is workspace-wide: `as_ptr` may not be used outside the one
+//! blessed virtual-address allocator (`GpuDevice` in
+//! `crates/gpusim/src/gpu.rs`). Host pointer values are whatever the
+//! allocator handed out this run, so any cache/map keyed on them — the
+//! pre-PR-6 serving path did exactly this — silently breaks bit-pinned
+//! traces whenever an allocation moves. Code that needs stable buffer
+//! identity must go through `GpuDevice::bind_buffer` / transient scopes
+//! instead.
 
 use super::{basename_in, finding, ident_occurrences, Finding, Pass};
 use crate::source::SourceFile;
@@ -27,7 +36,20 @@ const BANNED_IDENTS: [&str; 4] = ["HashMap", "HashSet", "RandomState", "DefaultH
 /// Call tokens banned in pinned modules.
 const BANNED_CALLS: [&str; 3] = ["Instant::now", "SystemTime", "UNIX_EPOCH"];
 
+/// The one file allowed to look at host pointer values: the allocator
+/// that converts them into stable virtual addresses.
+const BLESSED_ALLOCATOR: &str = "crates/gpusim/src/gpu.rs";
+
+/// The pointer-identity token banned everywhere else.
+const PTR_TOKEN: &str = "as_ptr";
+
 pub struct Determinism;
+
+/// `true` for files whose whole contents are bit-pinned (the original,
+/// narrow scope of this pass).
+fn bit_pinned(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/gpusim/src/") || basename_in(rel_path, &PINNED_FILES)
+}
 
 impl Pass for Determinism {
     fn id(&self) -> &'static str {
@@ -35,39 +57,56 @@ impl Pass for Determinism {
     }
 
     fn description(&self) -> &'static str {
-        "no HashMap/HashSet/host-clock reads in bit-pinned modules (sgd-gpusim, modeled paths)"
+        "no HashMap/HashSet/host-clock reads in bit-pinned modules (sgd-gpusim, modeled paths); \
+         no `as_ptr` outside the blessed virtual-address allocator"
     }
 
-    fn in_scope(&self, rel_path: &str) -> bool {
-        rel_path.starts_with("crates/gpusim/src/") || basename_in(rel_path, &PINNED_FILES)
+    fn in_scope(&self, _rel_path: &str) -> bool {
+        // The pointer-identity rule is workspace-wide; the clock/hash
+        // rules gate on the pinned scope inside `check_line`.
+        true
     }
 
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
-        for tok in BANNED_IDENTS {
-            if !ident_occurrences(code, tok).is_empty() {
-                out.push(finding(
-                    self.id(),
-                    sf,
-                    line0,
-                    format!(
-                        "`{tok}` in a bit-pinned module: iteration order is seeded per process; \
-                         use BTreeMap/BTreeSet or an index-keyed Vec"
-                    ),
-                ));
+        if bit_pinned(&sf.rel_path) {
+            for tok in BANNED_IDENTS {
+                if !ident_occurrences(code, tok).is_empty() {
+                    out.push(finding(
+                        self.id(),
+                        sf,
+                        line0,
+                        format!(
+                            "`{tok}` in a bit-pinned module: iteration order is seeded per \
+                             process; use BTreeMap/BTreeSet or an index-keyed Vec"
+                        ),
+                    ));
+                }
+            }
+            for tok in BANNED_CALLS {
+                if code.contains(tok) {
+                    out.push(finding(
+                        self.id(),
+                        sf,
+                        line0,
+                        format!(
+                            "`{tok}` in a bit-pinned module: simulated paths must derive time \
+                             from the cycle model, never the host clock"
+                        ),
+                    ));
+                }
             }
         }
-        for tok in BANNED_CALLS {
-            if code.contains(tok) {
-                out.push(finding(
-                    self.id(),
-                    sf,
-                    line0,
-                    format!(
-                        "`{tok}` in a bit-pinned module: simulated paths must derive time from \
-                         the cycle model, never the host clock"
-                    ),
-                ));
-            }
+        if sf.rel_path != BLESSED_ALLOCATOR && !ident_occurrences(code, PTR_TOKEN).is_empty() {
+            out.push(finding(
+                self.id(),
+                sf,
+                line0,
+                format!(
+                    "`{PTR_TOKEN}` outside the blessed virtual-address allocator \
+                     ({BLESSED_ALLOCATOR}): host pointer values are not stable identities; \
+                     key simulated state on `GpuDevice::bind_buffer` names or transient scopes"
+                ),
+            ));
         }
     }
 }

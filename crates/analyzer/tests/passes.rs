@@ -78,6 +78,26 @@ fn determinism_pass_ignores_wall_clock_runners() {
 }
 
 #[test]
+fn pointer_identity_keying_is_banned_outside_the_allocator() {
+    // Keying simulated state on a host pointer is the bug PR 6 removed
+    // from the serving path; the pass bans it workspace-wide.
+    let bad = "pub fn cache_key<T>(s: &[T]) -> usize {\n    s.as_ptr() as usize\n}\n";
+    let hits = findings_for("crates/serve/src/batcher.rs", bad, "determinism");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits.iter().all(|f| f.message.contains("as_ptr")), "{hits:#?}");
+    // Wall-clock runners are not exempt from the pointer rule.
+    let hits = findings_for("crates/core/src/hogwild.rs", bad, "determinism");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+}
+
+#[test]
+fn the_blessed_allocator_may_read_pointers() {
+    let bad = "pub fn cache_key<T>(s: &[T]) -> usize {\n    s.as_ptr() as usize\n}\n";
+    let hits = findings_for("crates/gpusim/src/gpu.rs", bad, "determinism");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
 fn panic_bad_fixture_triggers() {
     let hits = findings_for(
         "crates/core/src/hogwild.rs",

@@ -18,6 +18,7 @@ pub mod fig9;
 pub mod pool;
 pub mod prep;
 mod render;
+pub mod router;
 pub mod serve;
 pub mod table1;
 pub mod table2;

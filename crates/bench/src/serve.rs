@@ -98,8 +98,8 @@ pub fn request_pool(p: &Prepared) -> RequestPool {
 }
 
 /// Unbatched single-request service time on a fresh server — the probe
-/// that anchors the offered load.
-fn probe_service_secs(backend: ServeBackend, model: &ServableModel, pool: &RequestPool) -> f64 {
+/// that anchors the offered load (shared with the router sweep).
+pub fn probe_service_secs(backend: ServeBackend, model: &ServableModel, pool: &RequestPool) -> f64 {
     let mut srv = Server::new(backend, ServeTiming::Modeled);
     let out = run_open_loop(&mut srv, model, pool, &BatchPolicy::unbatched(), &[0.0]);
     out.service_secs.max(1e-9)
@@ -209,7 +209,11 @@ pub fn render(rows: &[ServeRow]) -> String {
 ///    baseline on throughput at equal-or-better p99;
 /// 3. a model trained through the engine, checkpointed to disk,
 ///    reloaded, and served returns bitwise-identical decisions to the
-///    in-memory model.
+///    in-memory model;
+/// 4. the cost-model router holds its CI gate on the mixed workload
+///    (see [`crate::router::check`]): deterministic, within 5% of the
+///    best fixed backend in every cell, strictly better than the best
+///    single fixed backend in at least one.
 pub fn check(cfg: &ExperimentConfig) -> Result<(), String> {
     // (1) Determinism: two full sweeps must agree bitwise.
     let a = rows(cfg);
@@ -280,6 +284,9 @@ pub fn check(cfg: &ExperimentConfig) -> Result<(), String> {
             }
         }
     }
+
+    // (4) The router gate, on its own mixed sparse + dense workload.
+    crate::router::check(cfg)?;
     Ok(())
 }
 

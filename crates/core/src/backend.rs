@@ -1,0 +1,450 @@
+//! The unified compute-backend layer: one execution axis for training
+//! *and* serving (see DESIGN.md, "Backend layer").
+//!
+//! The paper's thesis is that hardware choice (multi-core CPU vs GPU)
+//! is a swappable axis. This module makes it one value — a
+//! [`ComputeBackend`] — with one dispatch implementation shared by the
+//! training runners and the serving batcher:
+//!
+//! * [`ComputeBackend::dispatch`] runs an [`ExecTask`] on the chosen
+//!   executor (sequential CPU, persistent-pool parallel CPU, or the
+//!   simulated GPU) and returns the result plus what the dispatch cost
+//!   under each clock (wall seconds always; simulated seconds and cache
+//!   counters when the GPU ran).
+//! * [`BackendSession`] owns the state a backend keeps *between*
+//!   dispatches — today, the persistent simulated [`GpuDevice`], so
+//!   consecutive dispatches see a warm L2 instead of a cold device per
+//!   call.
+//! * [`CostModel`] is the one home of the modeled dispatch-overhead /
+//!   flops-rate / parallel-efficiency constants (previously duplicated
+//!   in the serving batcher) plus the gpusim roofline; its
+//!   [`CostModel::estimate_secs`] answers "how long would this
+//!   [`Workload`] take on that backend" — the question the batch router
+//!   asks per batch.
+
+use std::time::Instant;
+
+use sgd_gpusim::kernels::GpuExec;
+use sgd_gpusim::{DeviceSpec, GpuDevice};
+use sgd_linalg::{CpuExec, Exec};
+
+use crate::config::DeviceKind;
+use crate::pool::with_threads;
+
+/// Per-batch dispatch overhead charged by the modeled clock on the
+/// sequential CPU backend (queue pop + call, seconds).
+pub const CPU_SEQ_DISPATCH_SECS: f64 = 2.0e-6;
+
+/// Per-batch dispatch overhead on the parallel CPU backend (persistent
+/// pool hand-off + wake, seconds; the pool bench measures this order).
+pub const CPU_PAR_DISPATCH_SECS: f64 = 8.0e-6;
+
+/// Modeled per-core floating-point rate of the CPU backends, flops/s.
+pub const CPU_FLOPS_PER_CORE: f64 = 4.0e9;
+
+/// Parallel efficiency of the pooled CPU backend's extra cores.
+pub const CPU_PAR_EFFICIENCY: f64 = 0.85;
+
+/// One executable backend — the hardware axis of the paper's cube as a
+/// runtime value, shared by training and serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComputeBackend {
+    /// Sequential CPU kernels.
+    CpuSeq,
+    /// Parallel CPU kernels on the persistent worker pool.
+    CpuPar {
+        /// Kernel width (worker threads).
+        threads: usize,
+    },
+    /// The simulated GPU.
+    GpuSim,
+}
+
+impl ComputeBackend {
+    /// Stable label for reports and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            ComputeBackend::CpuSeq => "cpu-seq".to_string(),
+            ComputeBackend::CpuPar { threads } => format!("cpu-par{threads}"),
+            ComputeBackend::GpuSim => "gpu-sim".to_string(),
+        }
+    }
+
+    /// The backend a training device maps to (`threads` is only read for
+    /// the parallel CPU).
+    pub fn from_device(device: DeviceKind, threads: usize) -> Self {
+        match device {
+            DeviceKind::CpuSeq => ComputeBackend::CpuSeq,
+            DeviceKind::CpuPar => ComputeBackend::CpuPar { threads: threads.max(1) },
+            DeviceKind::Gpu => ComputeBackend::GpuSim,
+        }
+    }
+
+    /// The training device this backend corresponds to.
+    pub fn device_kind(&self) -> DeviceKind {
+        match self {
+            ComputeBackend::CpuSeq => DeviceKind::CpuSeq,
+            ComputeBackend::CpuPar { .. } => DeviceKind::CpuPar,
+            ComputeBackend::GpuSim => DeviceKind::Gpu,
+        }
+    }
+
+    /// Kernel width this backend executes with.
+    pub fn threads(&self) -> usize {
+        match self {
+            ComputeBackend::CpuPar { threads } => (*threads).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The standard fixed-backend sweep (seq, pooled `threads`-wide par,
+    /// simulated GPU) — the candidate set benches and the router default
+    /// to.
+    pub fn fixed_set(threads: usize) -> [ComputeBackend; 3] {
+        [
+            ComputeBackend::CpuSeq,
+            ComputeBackend::CpuPar { threads: threads.max(1) },
+            ComputeBackend::GpuSim,
+        ]
+    }
+
+    /// Runs `job` on this backend.
+    ///
+    /// The same kernel stream backs every backend: `CpuSeq` runs it
+    /// sequentially, `CpuPar` installs its width on the persistent pool
+    /// for the duration of the job (so every kernel inside — on the
+    /// caller or on pool workers — chunks identically for a given
+    /// width), and `GpuSim` traces it on the session's persistent device
+    /// inside a fresh transient buffer scope, so per-dispatch scratch
+    /// traces deterministic virtual addresses.
+    pub fn dispatch<J: ExecTask>(
+        &self,
+        session: &mut BackendSession,
+        job: &mut J,
+    ) -> Dispatch<J::Out> {
+        match *self {
+            ComputeBackend::CpuSeq => {
+                let t0 = Instant::now();
+                let out = job.run(&mut CpuExec::seq());
+                Dispatch { out, wall_secs: t0.elapsed().as_secs_f64(), gpu: None }
+            }
+            ComputeBackend::CpuPar { threads } => {
+                let t0 = Instant::now();
+                let out = with_threads(threads, || job.run(&mut CpuExec::par()));
+                Dispatch { out, wall_secs: t0.elapsed().as_secs_f64(), gpu: None }
+            }
+            ComputeBackend::GpuSim => {
+                let dev = session.gpu_device();
+                dev.begin_transient_scope();
+                let cycles0 = dev.elapsed_cycles();
+                let before = dev.stats().clone();
+                let t0 = Instant::now();
+                let out = job.run(&mut GpuExec::new(dev));
+                let wall_secs = t0.elapsed().as_secs_f64();
+                let cycles = dev.elapsed_cycles() - cycles0;
+                let after = dev.stats();
+                let gpu = GpuDispatch {
+                    sim_secs: dev.spec().cycles_to_secs(cycles),
+                    cycles,
+                    kernels: after.kernels_launched - before.kernels_launched,
+                    l2_hits: after.l2_hits - before.l2_hits,
+                    l2_misses: after.l2_misses - before.l2_misses,
+                };
+                Dispatch { out, wall_secs, gpu: Some(gpu) }
+            }
+        }
+    }
+}
+
+/// A unit of work expressed over the [`Exec`] kernel vocabulary, so one
+/// definition runs on every backend. (The trait is needed because
+/// [`Exec`] itself is not object-safe: its `map`/`zip` combinators are
+/// generic.)
+pub trait ExecTask {
+    /// What the job returns.
+    type Out;
+    /// Runs the job's kernel stream on `e`.
+    fn run<E: Exec>(&mut self, e: &mut E) -> Self::Out;
+}
+
+/// What one [`ComputeBackend::dispatch`] produced and cost.
+#[derive(Clone, Debug)]
+pub struct Dispatch<T> {
+    /// The job's result.
+    pub out: T,
+    /// Real elapsed seconds around the computation.
+    pub wall_secs: f64,
+    /// Simulated-device accounting; `None` on the CPU backends.
+    pub gpu: Option<GpuDispatch>,
+}
+
+/// Simulated-clock deltas of one GPU dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuDispatch {
+    /// Simulated seconds the dispatch took.
+    pub sim_secs: f64,
+    /// Simulated cycles the dispatch took.
+    pub cycles: f64,
+    /// Kernels launched.
+    pub kernels: u64,
+    /// L2 hits of the dispatch's traced accesses.
+    pub l2_hits: u64,
+    /// L2 misses of the dispatch's traced accesses.
+    pub l2_misses: u64,
+}
+
+impl GpuDispatch {
+    /// Fraction of traced L2 accesses that hit (NaN when the dispatch
+    /// traced none — analytic kernels report no cache behaviour).
+    pub fn l2_hit_ratio(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.l2_hits as f64 / total as f64
+    }
+}
+
+/// Backend state persisting across dispatches.
+///
+/// CPU backends are stateless here (the worker pool is process-global);
+/// the simulated GPU device, with its clock and L2 contents, lives in
+/// the session — so a serving process accumulates warm cache state over
+/// batches exactly like a training run accumulates it over epochs,
+/// fixing the cold-device-per-dispatch behaviour PR 5 noted.
+#[derive(Default)]
+pub struct BackendSession {
+    gpu_spec: Option<DeviceSpec>,
+    gpu: Option<GpuDevice>,
+}
+
+impl BackendSession {
+    /// A session whose GPU (if used) is the paper's Tesla K80 die.
+    pub fn new() -> Self {
+        BackendSession::default()
+    }
+
+    /// A session whose GPU is built from `spec` (`None` = Tesla K80).
+    pub fn with_gpu_spec(spec: Option<DeviceSpec>) -> Self {
+        BackendSession { gpu_spec: spec, gpu: None }
+    }
+
+    /// The session's persistent simulated device, constructed lazily on
+    /// first use.
+    pub fn gpu_device(&mut self) -> &mut GpuDevice {
+        let spec = &self.gpu_spec;
+        self.gpu.get_or_insert_with(|| match spec {
+            Some(s) => GpuDevice::new(s.clone()),
+            None => GpuDevice::tesla_k80(),
+        })
+    }
+
+    /// Consumes the session, yielding its (lazily built) device — the
+    /// construction path for code that manages a device directly.
+    pub fn into_gpu_device(mut self) -> GpuDevice {
+        self.gpu_device();
+        match self.gpu {
+            Some(dev) => dev,
+            None => GpuDevice::tesla_k80(),
+        }
+    }
+}
+
+/// How much work one dispatch carries — the currency of
+/// [`CostModel::estimate_secs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Workload {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes of global traffic (GPU roofline term).
+    pub bytes: f64,
+    /// Kernel launches (each pays the GPU launch overhead).
+    pub kernels: f64,
+}
+
+/// The shared analytic cost model: modeled CPU rates and the gpusim
+/// roofline behind one estimate, so the batcher, the router, and any
+/// future heterogeneous scheduler all price work identically.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Per-dispatch overhead of the sequential CPU backend, seconds.
+    pub cpu_seq_dispatch_secs: f64,
+    /// Per-dispatch overhead of the pooled parallel CPU backend, seconds.
+    pub cpu_par_dispatch_secs: f64,
+    /// Modeled per-core floating-point rate, flops/s.
+    pub cpu_flops_per_core: f64,
+    /// Parallel efficiency of the pool's extra cores.
+    pub cpu_par_efficiency: f64,
+    gpu: sgd_gpusim::CostModel,
+}
+
+impl CostModel {
+    /// The shared model over the given GPU spec and the default CPU
+    /// constants.
+    pub fn new(gpu_spec: DeviceSpec) -> Self {
+        CostModel {
+            cpu_seq_dispatch_secs: CPU_SEQ_DISPATCH_SECS,
+            cpu_par_dispatch_secs: CPU_PAR_DISPATCH_SECS,
+            cpu_flops_per_core: CPU_FLOPS_PER_CORE,
+            cpu_par_efficiency: CPU_PAR_EFFICIENCY,
+            gpu: sgd_gpusim::CostModel::new(gpu_spec),
+        }
+    }
+
+    /// The GPU-side roofline model.
+    pub fn gpu(&self) -> &sgd_gpusim::CostModel {
+        &self.gpu
+    }
+
+    /// Modeled aggregate flop rate of a `threads`-wide CPU backend.
+    pub fn cpu_rate(&self, threads: usize) -> f64 {
+        self.cpu_flops_per_core
+            * (1.0 + self.cpu_par_efficiency * (threads.max(1).saturating_sub(1)) as f64)
+    }
+
+    /// Modeled seconds `backend` would take to dispatch `w`.
+    pub fn estimate_secs(&self, backend: &ComputeBackend, w: &Workload) -> f64 {
+        match *backend {
+            ComputeBackend::CpuSeq => self.cpu_seq_dispatch_secs + w.flops / self.cpu_rate(1),
+            ComputeBackend::CpuPar { threads } => {
+                self.cpu_par_dispatch_secs + w.flops / self.cpu_rate(threads)
+            }
+            ComputeBackend::GpuSim => self.gpu.dispatch_secs(w.kernels, w.flops, w.bytes),
+        }
+    }
+
+    /// The backend among `candidates` this model predicts fastest for
+    /// `w` (first wins ties; `None` only for an empty candidate list) —
+    /// the router's whole policy.
+    pub fn fastest<'a, I>(&self, candidates: I, w: &Workload) -> Option<ComputeBackend>
+    where
+        I: IntoIterator<Item = &'a ComputeBackend>,
+    {
+        let mut best: Option<(ComputeBackend, f64)> = None;
+        for b in candidates {
+            let secs = self.estimate_secs(b, w);
+            let better = match best {
+                Some((_, s)) => secs < s,
+                None => true,
+            };
+            if better {
+                best = Some((*b, secs));
+            }
+        }
+        best.map(|(b, _)| b)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::new(DeviceSpec::tesla_k80())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use sgd_linalg::Matrix;
+
+    struct GemvJob<'a> {
+        a: &'a Matrix,
+        x: &'a [f64],
+    }
+
+    impl ExecTask for GemvJob<'_> {
+        type Out = Vec<f64>;
+        fn run<E: Exec>(&mut self, e: &mut E) -> Vec<f64> {
+            let mut y = vec![0.0; self.a.rows()];
+            e.gemv(self.a, self.x, &mut y);
+            y
+        }
+    }
+
+    #[test]
+    fn labels_and_device_round_trip() {
+        for (backend, device) in [
+            (ComputeBackend::CpuSeq, DeviceKind::CpuSeq),
+            (ComputeBackend::CpuPar { threads: 4 }, DeviceKind::CpuPar),
+            (ComputeBackend::GpuSim, DeviceKind::Gpu),
+        ] {
+            assert_eq!(backend.device_kind(), device);
+            assert_eq!(ComputeBackend::from_device(device, 4), backend);
+        }
+        assert_eq!(ComputeBackend::CpuPar { threads: 4 }.label(), "cpu-par4");
+        assert_eq!(ComputeBackend::GpuSim.label(), "gpu-sim");
+        let set = ComputeBackend::fixed_set(0);
+        assert_eq!(set[1], ComputeBackend::CpuPar { threads: 1 });
+    }
+
+    #[test]
+    fn every_backend_computes_the_same_bits() {
+        let a = Matrix::from_fn(33, 7, |i, j| ((i * 7 + j * 3) as f64).sin());
+        let x: Vec<f64> = (0..7).map(|i| (i as f64 * 0.5).cos()).collect();
+        let mut sess = BackendSession::new();
+        let mut job = GemvJob { a: &a, x: &x };
+        let seq = ComputeBackend::CpuSeq.dispatch(&mut sess, &mut job).out;
+        let par = ComputeBackend::CpuPar { threads: 2 }.dispatch(&mut sess, &mut job).out;
+        let gpu = ComputeBackend::GpuSim.dispatch(&mut sess, &mut job).out;
+        assert_eq!(seq.len(), par.len());
+        for ((s, p), g) in seq.iter().zip(&par).zip(&gpu) {
+            assert_eq!(s.to_bits(), p.to_bits(), "par row disagrees");
+            assert_eq!(s.to_bits(), g.to_bits(), "gpu row disagrees");
+        }
+    }
+
+    #[test]
+    fn gpu_dispatch_accounts_on_the_simulated_clock() {
+        let a = Matrix::from_fn(8, 8, |i, j| (i + j) as f64);
+        let x = vec![2.0; 8];
+        let mut sess = BackendSession::new();
+        let mut job = GemvJob { a: &a, x: &x };
+        let d1 = ComputeBackend::GpuSim.dispatch(&mut sess, &mut job);
+        let g1 = d1.gpu.expect("gpu dispatch has device accounting");
+        assert!(g1.sim_secs > 0.0);
+        assert!(g1.kernels >= 1);
+        // The session's device persists: the clock keeps advancing.
+        let d2 = ComputeBackend::GpuSim.dispatch(&mut sess, &mut job);
+        let g2 = d2.gpu.expect("second dispatch accounted");
+        assert_eq!(g1.cycles.to_bits(), g2.cycles.to_bits(), "identical work, identical cost");
+        assert!(sess.gpu_device().elapsed_secs() >= g1.sim_secs + g2.sim_secs - 1e-12);
+        let d = ComputeBackend::CpuSeq.dispatch(&mut sess, &mut job);
+        assert!(d.gpu.is_none());
+    }
+
+    #[test]
+    fn cost_model_reproduces_the_serving_constants() {
+        let m = CostModel::default();
+        let w = Workload { flops: 1.2e6, bytes: 9.6e6, kernels: 1.0 };
+        let seq = m.estimate_secs(&ComputeBackend::CpuSeq, &w);
+        assert_eq!(seq, CPU_SEQ_DISPATCH_SECS + w.flops / CPU_FLOPS_PER_CORE);
+        let par = m.estimate_secs(&ComputeBackend::CpuPar { threads: 4 }, &w);
+        let rate = CPU_FLOPS_PER_CORE * (1.0 + CPU_PAR_EFFICIENCY * 3.0);
+        assert_eq!(par, CPU_PAR_DISPATCH_SECS + w.flops / rate);
+        let gpu = m.estimate_secs(&ComputeBackend::GpuSim, &w);
+        assert_eq!(gpu, m.gpu().dispatch_secs(1.0, w.flops, w.bytes));
+    }
+
+    #[test]
+    fn fastest_picks_cpu_for_tiny_and_gpu_for_huge_batches() {
+        let m = CostModel::default();
+        let set = ComputeBackend::fixed_set(4);
+        // One request, 300 features: launch overhead dwarfs the work.
+        let tiny = Workload { flops: 600.0, bytes: 4.8e3, kernels: 1.0 };
+        assert_eq!(m.fastest(&set, &tiny), Some(ComputeBackend::CpuSeq));
+        // A large dense batch: the GPU's rate wins despite the launch.
+        let huge = Workload { flops: 2.0e8, bytes: 8.0e7, kernels: 1.0 };
+        assert_eq!(m.fastest(&set, &huge), Some(ComputeBackend::GpuSim));
+        assert_eq!(m.fastest(&[], &tiny), None);
+    }
+
+    #[test]
+    fn session_spec_reaches_the_device() {
+        let spec = DeviceSpec::small_gpu();
+        let name = spec.name;
+        let mut sess = BackendSession::with_gpu_spec(Some(spec));
+        assert_eq!(sess.gpu_device().spec().name, name);
+        let dev = BackendSession::with_gpu_spec(None).into_gpu_device();
+        assert_eq!(dev.spec().name, GpuDevice::tesla_k80().spec().name);
+    }
+}

@@ -78,12 +78,14 @@ impl RunOptions {
         self.plateau.is_some_and(|(w, tol)| trace.plateaued(w, tol))
     }
 
-    /// The GPU to simulate.
+    /// The GPU to simulate (one construction path: the backend session).
     pub fn gpu_device(&self) -> sgd_gpusim::GpuDevice {
-        match &self.gpu_spec {
-            Some(spec) => sgd_gpusim::GpuDevice::new(spec.clone()),
-            None => sgd_gpusim::GpuDevice::tesla_k80(),
-        }
+        crate::backend::BackendSession::with_gpu_spec(self.gpu_spec.clone()).into_gpu_device()
+    }
+
+    /// A backend session simulating this configuration's GPU.
+    pub fn backend_session(&self) -> crate::backend::BackendSession {
+        crate::backend::BackendSession::with_gpu_spec(self.gpu_spec.clone())
     }
 }
 

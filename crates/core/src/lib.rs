@@ -46,6 +46,7 @@
 //! internals; new code should dispatch through [`Engine::run`] (or
 //! [`Engine::grid_search`] with the convergence utilities on top).
 
+mod backend;
 mod config;
 mod convergence;
 mod engine;
@@ -62,6 +63,10 @@ mod shared_model;
 mod supervisor;
 mod sync;
 
+pub use backend::{
+    BackendSession, ComputeBackend, CostModel, Dispatch, ExecTask, GpuDispatch, Workload,
+    CPU_FLOPS_PER_CORE, CPU_PAR_DISPATCH_SECS, CPU_PAR_EFFICIENCY, CPU_SEQ_DISPATCH_SECS,
+};
 pub use config::{DeviceKind, RunOptions};
 pub use convergence::{reference_optimum, ConvergenceSummary, LossTrace, THRESHOLDS};
 pub use engine::{Configuration, Engine, EngineError, Sparsity, Strategy, Timing, TimingMode};

@@ -6,17 +6,15 @@
 //! across devices — only hardware efficiency differs. The identical task
 //! code runs on all three devices through the `Exec` abstraction.
 
-use std::time::Instant;
-
 use sgd_gpusim::kernels::GpuExec;
 use sgd_linalg::{CpuExec, Exec};
 use sgd_models::{Batch, Task};
 
+use crate::backend::{BackendSession, ComputeBackend, ExecTask};
 use crate::config::{DeviceKind, RunOptions};
 use crate::convergence::LossTrace;
-use crate::faults::{sync_epoch_faults, FaultCounters, SyncFaultDecision};
+use crate::faults::{sync_epoch_faults, FaultCounters, FaultPlan, SyncFaultDecision};
 use crate::metrics::{EpochMetrics, EpochObserver, GpuEpochProbe, NullObserver, Recorder};
-use crate::pool::with_threads;
 use crate::report::RunReport;
 use crate::supervisor::Supervisor;
 
@@ -46,15 +44,13 @@ pub(crate) fn sync_observed<T: Task>(
     opts: &RunOptions,
     obs: &mut dyn EpochObserver,
 ) -> RunReport {
-    match device {
-        DeviceKind::CpuSeq => cpu_run(task, batch, CpuExec::seq(), device, alpha, opts, obs),
-        // The width installed here is inherited by persistent-pool tasks,
-        // so every kernel of the run — including ones executing on pool
-        // workers — honors `opts.threads` instead of machine width.
-        DeviceKind::CpuPar => with_threads(opts.threads, || {
-            cpu_run(task, batch, CpuExec::par(), device, alpha, opts, obs)
-        }),
-        DeviceKind::Gpu => gpu_run(task, batch, alpha, opts, obs),
+    match ComputeBackend::from_device(device, opts.threads) {
+        ComputeBackend::GpuSim => gpu_run(task, batch, alpha, opts, obs),
+        // Both CPU corners collapse into one arm: the backend owns the
+        // seq-vs-pooled-par distinction (including installing the kernel
+        // width on the persistent pool around every dispatch, so kernels
+        // running on pool workers honor `opts.threads`).
+        backend => cpu_run(task, batch, backend, alpha, opts, obs),
     }
 }
 
@@ -62,21 +58,69 @@ fn label<T: Task>(task: &T, device: DeviceKind) -> String {
     format!("{} sync {}", task.name(), device.label())
 }
 
+/// Full-batch loss evaluation as a backend job.
+struct LossJob<'a, T: Task> {
+    task: &'a T,
+    batch: &'a Batch<'a>,
+    w: &'a [f64],
+}
+
+impl<T: Task> ExecTask for LossJob<'_, T> {
+    type Out = f64;
+    fn run<E: Exec>(&mut self, e: &mut E) -> f64 {
+        self.task.loss(e, self.batch, self.w)
+    }
+}
+
+/// One synchronous epoch (gradient + fault-adjusted update) as a backend
+/// job; the kernel stream is identical on every backend, which is what
+/// makes the loss trajectory device-independent.
+struct SyncEpochJob<'a, T: Task> {
+    task: &'a T,
+    batch: &'a Batch<'a>,
+    alpha: f64,
+    epoch: usize,
+    faults: Option<&'a FaultPlan>,
+    w: &'a mut Vec<f64>,
+    g: &'a mut Vec<f64>,
+    prev_g: &'a mut Vec<f64>,
+    fc: &'a mut FaultCounters,
+}
+
+impl<T: Task> ExecTask for SyncEpochJob<'_, T> {
+    type Out = ();
+    fn run<E: Exec>(&mut self, e: &mut E) {
+        self.task.gradient(e, self.batch, self.w, self.g);
+        let d = match self.faults {
+            Some(plan) => sync_epoch_faults(plan, self.epoch, self.fc),
+            None => SyncFaultDecision::none(),
+        };
+        if !d.dropped {
+            let step = if d.stale { &*self.prev_g } else { &*self.g };
+            e.axpy(-self.alpha * d.alpha_factor, step, self.w);
+        }
+        if !d.stale {
+            std::mem::swap(self.g, self.prev_g);
+        }
+    }
+}
+
 fn cpu_run<T: Task>(
     task: &T,
     batch: &Batch<'_>,
-    mut e: CpuExec,
-    device: DeviceKind,
+    backend: ComputeBackend,
     alpha: f64,
     opts: &RunOptions,
     obs: &mut dyn EpochObserver,
 ) -> RunReport {
+    let device = backend.device_kind();
+    let mut sess = BackendSession::new();
     let mut w = task.init_model();
     let mut g = vec![0.0; task.dim()];
     // Last applied gradient, kept for stale-gradient-replay faults.
     let mut prev_g = vec![0.0; task.dim()];
     let mut trace = LossTrace::new();
-    let initial_loss = task.loss(&mut e, batch, &w);
+    let initial_loss = backend.dispatch(&mut sess, &mut LossJob { task, batch, w: &w }).out;
     trace.push(0.0, initial_loss);
     let mut rec = Recorder::new(obs);
     let mut sup = Supervisor::new(opts, initial_loss);
@@ -93,20 +137,18 @@ fn cpu_run<T: Task>(
             }
         }
         let mut fc = FaultCounters::default();
-        let t0 = Instant::now();
-        task.gradient(&mut e, batch, &w, &mut g);
-        let d = match faults {
-            Some(plan) => sync_epoch_faults(plan, epoch, &mut fc),
-            None => SyncFaultDecision::none(),
+        let mut job = SyncEpochJob {
+            task,
+            batch,
+            alpha,
+            epoch,
+            faults,
+            w: &mut w,
+            g: &mut g,
+            prev_g: &mut prev_g,
+            fc: &mut fc,
         };
-        if !d.dropped {
-            let step = if d.stale { &prev_g } else { &g };
-            e.axpy(-alpha * d.alpha_factor, step, &mut w);
-        }
-        if !d.stale {
-            std::mem::swap(&mut g, &mut prev_g);
-        }
-        let mut epoch_secs = t0.elapsed().as_secs_f64();
+        let mut epoch_secs = backend.dispatch(&mut sess, &mut job).wall_secs;
         if let Some(plan) = faults {
             // The barrier waits for the slowest straggler.
             let dil = plan.sync_dilation(workers);
@@ -114,7 +156,8 @@ fn cpu_run<T: Task>(
             epoch_secs *= dil;
         }
         opt_seconds += epoch_secs;
-        let loss = task.loss(&mut e, batch, &w); // excluded from timing
+        // Loss evaluation is excluded from timing.
+        let loss = backend.dispatch(&mut sess, &mut LossJob { task, batch, w: &w }).out;
         trace.push(opt_seconds, loss);
         rec.record(EpochMetrics { faults: fc, ..EpochMetrics::new(epoch + 1, opt_seconds, loss) });
         if sup.observe(epoch + 1, opt_seconds, loss, &w, &trace, &mut rec) {

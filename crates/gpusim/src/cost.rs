@@ -40,6 +40,24 @@ impl CostModel {
         self.spec.cycles_to_secs(self.kernel_cycles(flops, bytes))
     }
 
+    /// Cycles for a whole *dispatch* of `kernels` launches jointly
+    /// performing `flops` floating-point operations over `bytes` of
+    /// coalesced traffic: every launch pays the fixed overhead, the work
+    /// itself is one roofline term. This is the estimate the batch router
+    /// queries — the per-launch overhead is exactly what micro-batching
+    /// amortizes.
+    pub fn dispatch_cycles(&self, kernels: f64, flops: f64, bytes: f64) -> f64 {
+        let s = &self.spec;
+        let compute = flops / (s.total_cores() as f64 * s.flops_per_core_cycle);
+        let memory = bytes / s.bytes_per_cycle();
+        kernels.max(1.0) * s.launch_overhead_cycles as f64 + compute.max(memory)
+    }
+
+    /// Seconds for the same dispatch.
+    pub fn dispatch_secs(&self, kernels: f64, flops: f64, bytes: f64) -> f64 {
+        self.spec.cycles_to_secs(self.dispatch_cycles(kernels, flops, bytes))
+    }
+
     /// Arithmetic intensity (FLOPs per byte) at which the device flips from
     /// memory bound to compute bound.
     pub fn ridge_point(&self) -> f64 {
@@ -74,6 +92,19 @@ mod tests {
         let spec = DeviceSpec::tesla_k80();
         let m = CostModel::new(spec.clone());
         assert_eq!(m.kernel_cycles(0.0, 0.0), spec.launch_overhead_cycles as f64);
+    }
+
+    #[test]
+    fn dispatch_scales_overhead_with_kernel_count() {
+        let m = CostModel::new(DeviceSpec::tesla_k80());
+        let one = m.dispatch_cycles(1.0, 1e6, 1e6);
+        let three = m.dispatch_cycles(3.0, 1e6, 1e6);
+        let overhead = m.spec().launch_overhead_cycles as f64;
+        assert!((three - one - 2.0 * overhead).abs() < 1e-9);
+        // A zero-kernel dispatch still pays one launch.
+        assert_eq!(m.dispatch_cycles(0.0, 0.0, 0.0), overhead);
+        // One kernel degenerates to the single-kernel roofline.
+        assert_eq!(m.dispatch_cycles(1.0, 2e9, 5e6), m.kernel_cycles(2e9, 5e6));
     }
 
     #[test]

@@ -22,7 +22,31 @@ pub struct GpuDevice {
     elapsed_cycles: f64,
     alloc_cursor: u64,
     buffers: std::collections::BTreeMap<(usize, usize), u64>,
+    named: std::collections::BTreeMap<String, NamedBuffer>,
+    transient: Option<TransientArena>,
 }
+
+/// A logical buffer with a stable virtual address, rebindable to a new
+/// host allocation without moving on the device.
+#[derive(Clone, Debug)]
+struct NamedBuffer {
+    base: u64,
+    capacity: u64,
+    host: (usize, usize),
+}
+
+/// Per-dispatch scratch arena: virtual addresses depend only on
+/// first-touch *order within the dispatch*, never on host pointers.
+#[derive(Debug, Default)]
+struct TransientArena {
+    cursor: u64,
+    map: std::collections::BTreeMap<(usize, usize), u64>,
+}
+
+/// Base virtual address of the transient scratch arena — far above
+/// anything [`GpuDevice::alloc`] hands out, so scratch regions never
+/// collide with persistent ones.
+const TRANSIENT_BASE: u64 = 1 << 40;
 
 impl GpuDevice {
     /// Builds a device from a spec.
@@ -36,6 +60,8 @@ impl GpuDevice {
             elapsed_cycles: 0.0,
             alloc_cursor: 0,
             buffers: std::collections::BTreeMap::new(),
+            named: std::collections::BTreeMap::new(),
+            transient: None,
             spec,
         }
     }
@@ -88,20 +114,74 @@ impl GpuDevice {
         base
     }
 
+    /// Binds `slice` to the logical buffer `name`, returning its stable
+    /// virtual address.
+    ///
+    /// The address belongs to the *name*, not the host allocation: rebinding
+    /// the same name to a fresh host buffer of equal (or smaller) size keeps
+    /// the virtual address, so the L2 model sees the same lines — a warm
+    /// cache — even though the host allocator moved the data. Growing a
+    /// binding reallocates the device region (the old lines go cold, as a
+    /// real realloc would). This is the identity serving uses for weights
+    /// and batch buffers; training buffers, which live for a whole run, can
+    /// keep relying on first-touch identity via [`GpuDevice::buffer_addr`].
+    pub fn bind_buffer<T>(&mut self, name: &str, slice: &[T]) -> u64 {
+        let len_bytes = std::mem::size_of_val(slice);
+        let bytes = len_bytes.max(1) as u64;
+        let host = (slice.as_ptr() as usize, len_bytes);
+        let reusable = self.named.get(name).filter(|nb| nb.capacity >= bytes);
+        let (base, capacity) = match reusable {
+            Some(nb) => (nb.base, nb.capacity),
+            None => (self.alloc(bytes), bytes),
+        };
+        self.named.insert(name.to_string(), NamedBuffer { base, capacity, host });
+        base
+    }
+
+    /// Opens a fresh transient scope: until the next call, unnamed buffers
+    /// first touched by kernels draw virtual addresses from a scratch arena
+    /// that restarts at a fixed base.
+    ///
+    /// Dispatch-scoped scratch (an output vector, a densified batch) then
+    /// traces the *same* addresses on every dispatch that runs the same
+    /// kernel sequence — deterministic cycles, and warm L2 across equally
+    /// shaped batches — instead of addresses keyed on whatever the host
+    /// allocator returned.
+    pub fn begin_transient_scope(&mut self) {
+        self.transient = Some(TransientArena { cursor: TRANSIENT_BASE, map: Default::default() });
+    }
+
     /// Stable simulated device address for a host-side buffer.
     ///
-    /// The first touch [`GpuDevice::alloc`]s a region; later touches of
-    /// the same buffer return the same base, so cache reuse is modelled
-    /// faithfully. Bases depend only on first-touch *order* — never on
-    /// host pointer values — so a deterministic kernel sequence traces
-    /// identical simulated addresses (and cycles) on every run, which the
-    /// host allocator cannot guarantee.
+    /// Resolution order: a named binding for this exact host buffer
+    /// ([`GpuDevice::bind_buffer`]) wins; otherwise an active transient
+    /// scope allocates from the scratch arena in first-touch order;
+    /// otherwise the first touch [`GpuDevice::alloc`]s a persistent region
+    /// and later touches of the same buffer return the same base, so cache
+    /// reuse is modelled faithfully. In every mode, bases depend only on
+    /// binding names and first-touch *order* — never on host pointer
+    /// values — so a deterministic kernel sequence traces identical
+    /// simulated addresses (and cycles) on every run, which the host
+    /// allocator cannot guarantee.
     pub fn buffer_addr<T>(&mut self, slice: &[T]) -> u64 {
-        let key = (slice.as_ptr() as usize, std::mem::size_of_val(slice));
+        let len_bytes = std::mem::size_of_val(slice);
+        let key = (slice.as_ptr() as usize, len_bytes);
+        if let Some(nb) = self.named.values().find(|nb| nb.host == key) {
+            return nb.base;
+        }
+        if let Some(arena) = self.transient.as_mut() {
+            if let Some(&base) = arena.map.get(&key) {
+                return base;
+            }
+            let base = arena.cursor;
+            arena.cursor += (len_bytes.max(1) as u64 + 255) & !255;
+            arena.map.insert(key, base);
+            return base;
+        }
         if let Some(&base) = self.buffers.get(&key) {
             return base;
         }
-        let base = self.alloc(std::mem::size_of_val(slice).max(1) as u64);
+        let base = self.alloc(len_bytes.max(1) as u64);
         self.buffers.insert(key, base);
         base
     }
@@ -201,5 +281,58 @@ mod tests {
     #[should_panic(expected = "backwards")]
     fn advance_rejects_negative() {
         GpuDevice::tesla_k80().advance_secs(-1.0);
+    }
+
+    #[test]
+    fn rebinding_a_name_keeps_the_virtual_address() {
+        let mut dev = GpuDevice::tesla_k80();
+        let a: Vec<f64> = vec![1.0; 64];
+        let base = dev.bind_buffer("w", &a);
+        // A different host allocation of the same size: same device base.
+        let b: Vec<f64> = vec![2.0; 64];
+        assert_eq!(dev.bind_buffer("w", &b), base);
+        assert_eq!(dev.buffer_addr(&b), base, "bound host buffer resolves to the name");
+        // Shrinking reuses the region; growing reallocates.
+        let small: Vec<f64> = vec![0.0; 8];
+        assert_eq!(dev.bind_buffer("w", &small), base);
+        let big: Vec<f64> = vec![0.0; 128];
+        assert_ne!(dev.bind_buffer("w", &big), base);
+    }
+
+    #[test]
+    fn transient_scope_restarts_the_scratch_arena() {
+        let mut dev = GpuDevice::tesla_k80();
+        dev.begin_transient_scope();
+        let x: Vec<f64> = vec![0.0; 16];
+        let y: Vec<f64> = vec![0.0; 16];
+        let (bx, by) = (dev.buffer_addr(&x), dev.buffer_addr(&y));
+        assert_eq!(bx, TRANSIENT_BASE);
+        assert!(by > bx);
+        assert_eq!(dev.buffer_addr(&x), bx, "repeat touches are stable inside a scope");
+        // Fresh host allocations in a fresh scope retrace the same bases.
+        dev.begin_transient_scope();
+        let x2: Vec<f64> = vec![1.0; 16];
+        let y2: Vec<f64> = vec![1.0; 16];
+        assert_eq!(dev.buffer_addr(&x2), bx);
+        assert_eq!(dev.buffer_addr(&y2), by);
+    }
+
+    #[test]
+    fn named_bindings_shadow_the_transient_arena() {
+        let mut dev = GpuDevice::tesla_k80();
+        let w: Vec<f64> = vec![1.0; 32];
+        let base = dev.bind_buffer("w", &w);
+        dev.begin_transient_scope();
+        assert_eq!(dev.buffer_addr(&w), base, "named identity survives the scope");
+        assert!(base < TRANSIENT_BASE);
+    }
+
+    #[test]
+    fn first_touch_identity_is_untouched_without_a_scope() {
+        let mut dev = GpuDevice::tesla_k80();
+        let x: Vec<f64> = vec![0.0; 16];
+        let a = dev.buffer_addr(&x);
+        assert_eq!(dev.buffer_addr(&x), a);
+        assert!(a < TRANSIENT_BASE);
     }
 }

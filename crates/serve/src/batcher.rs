@@ -1,10 +1,11 @@
 //! Request micro-batcher: admission queue, batching policy, and batched
-//! dispatch through every backend.
+//! dispatch through the unified backend layer.
 //!
 //! Single-example predict requests enter an admission queue; the batcher
 //! coalesces them into batches under a policy (max batch size `B`, max
-//! wait `W`) and dispatches each batch as *one* gemv/spmv/gemm stream on
-//! the configured backend. `B = 1, W = 0` degenerates to unbatched
+//! wait `W`) and dispatches each batch as *one* gemv/spmv/gemm stream
+//! through [`sgd_core::ComputeBackend`] — the same dispatch
+//! implementation training uses. `B = 1, W = 0` degenerates to unbatched
 //! per-request dispatch — the baseline the bench compares against.
 //!
 //! Queueing is simulated as a deterministic discrete-event system over
@@ -15,39 +16,31 @@
 //! has waited `W`, whichever comes first, and never before the server is
 //! free again.
 //!
-//! Service time comes from a [`ServeTiming`]: `Modeled` charges an
-//! analytic per-batch dispatch overhead plus per-flop cost (bit-exact
-//! across runs; the serving-side analog of `Timing::Modeled` in the
-//! engine), `Wall` measures the real computation with `Instant`. The
-//! simulated GPU always uses its own simulated clock, which charges a
-//! per-kernel launch overhead — exactly the term micro-batching
-//! amortizes, mirroring the paper's kernel-launch argument for dense
-//! batched SGD on GPUs.
+//! Service time comes from a [`ServeTiming`]: `Modeled` charges the
+//! shared [`CostModel`] estimate (bit-exact across runs; the
+//! serving-side analog of `Timing::Modeled` in the engine), `Wall`
+//! measures the real computation with `Instant`. The simulated GPU
+//! always uses its simulated clock — and because the server's
+//! [`sgd_core::BackendSession`] holds one persistent device whose batch
+//! buffers are bound to stable logical names, consecutive GPU batches
+//! trace a *warm* L2 (the PR-5 cold-device bug) while staying
+//! bit-deterministic across runs.
+//!
+//! A server can also be built with [`Server::routed`]: it then picks the
+//! backend per batch from the shared cost model (dense/large → gpu-sim,
+//! small/sparse → cpu), turning the paper's guidance table into a live
+//! scheduling policy.
 
-use std::time::Instant;
-
-use sgd_gpusim::kernels::GpuExec;
-use sgd_gpusim::GpuDevice;
-use sgd_linalg::{pool, CpuExec, Scalar};
+use sgd_core::{BackendSession, ComputeBackend, CostModel, ExecTask, GpuDispatch, Workload};
+use sgd_linalg::{Exec, Scalar};
 use sgd_models::Examples;
 
 use crate::loadgen::RequestPool;
 use crate::model::ServableModel;
 use crate::stats::LatencySummary;
 
-/// Per-batch dispatch overhead charged by the modeled clock on the
-/// sequential CPU backend (queue pop + call, seconds).
-pub const CPU_SEQ_DISPATCH_SECS: f64 = 2.0e-6;
-
-/// Per-batch dispatch overhead on the parallel CPU backend (persistent
-/// pool hand-off + wake, seconds; the pool bench measures this order).
-pub const CPU_PAR_DISPATCH_SECS: f64 = 8.0e-6;
-
-/// Modeled per-core floating-point rate of the CPU backends, flops/s.
-pub const CPU_FLOPS_PER_CORE: f64 = 4.0e9;
-
-/// Parallel efficiency of the pooled CPU backend's extra cores.
-pub const CPU_PAR_EFFICIENCY: f64 = 0.85;
+/// The serving backend *is* the training backend: one enum, one axis.
+pub type ServeBackend = ComputeBackend;
 
 /// Batching policy of the admission queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -72,31 +65,6 @@ impl BatchPolicy {
     }
 }
 
-/// Which executor scores a batch — the serving-side backend axis.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ServeBackend {
-    /// Sequential CPU kernels.
-    CpuSeq,
-    /// Parallel CPU kernels on the persistent worker pool.
-    CpuPar {
-        /// Kernel width (worker threads).
-        threads: usize,
-    },
-    /// The simulated GPU.
-    GpuSim,
-}
-
-impl ServeBackend {
-    /// Stable label for reports and JSON.
-    pub fn label(&self) -> String {
-        match self {
-            ServeBackend::CpuSeq => "cpu-seq".to_string(),
-            ServeBackend::CpuPar { threads } => format!("cpu-par{threads}"),
-            ServeBackend::GpuSim => "gpu-sim".to_string(),
-        }
-    }
-}
-
 /// Where service time comes from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServeTiming {
@@ -107,92 +75,178 @@ pub enum ServeTiming {
     Wall,
 }
 
-/// A serving endpoint: one backend plus its service clock.
-///
-/// Each GPU dispatch traces a *cold* simulated device: the simulator
-/// keys cache state on host buffer identity, and serving assembles a
-/// fresh batch matrix per dispatch, so a warm device's trace would
-/// depend on host allocator reuse — not deterministic across runs. A
-/// cold trace still charges per-kernel launch overhead, which is the
-/// cost batching amortizes.
+/// How the server picks a backend for each batch.
+enum Route {
+    /// Every batch goes to one fixed backend.
+    Fixed(ComputeBackend),
+    /// Each batch goes to whichever candidate the shared cost model
+    /// predicts fastest for that batch's workload.
+    Routed(Vec<ComputeBackend>),
+}
+
+/// One batched predict as a backend job.
+struct PredictJob<'a> {
+    model: &'a ServableModel,
+    x: &'a Examples<'a>,
+}
+
+impl ExecTask for PredictJob<'_> {
+    type Out = Vec<Scalar>;
+    fn run<E: Exec>(&mut self, e: &mut E) -> Vec<Scalar> {
+        self.model.predict_batch(e, self.x)
+    }
+}
+
+/// A serving endpoint: a backend route, a service clock, and the
+/// session state (persistent simulated GPU) dispatches accumulate in.
 pub struct Server {
-    backend: ServeBackend,
+    route: Route,
     timing: ServeTiming,
+    session: BackendSession,
+    cost: CostModel,
+    last_backend: ComputeBackend,
+    last_gpu: Option<GpuDispatch>,
 }
 
 impl Server {
-    /// A server on `backend` with the given service clock.
+    /// A server on the fixed `backend` with the given service clock.
     pub fn new(backend: ServeBackend, timing: ServeTiming) -> Self {
-        Server { backend, timing }
+        Server {
+            route: Route::Fixed(backend),
+            timing,
+            session: BackendSession::new(),
+            cost: CostModel::default(),
+            last_backend: backend,
+            last_gpu: None,
+        }
     }
 
-    /// The backend this server dispatches to.
+    /// A router server: each batch goes to whichever of `candidates` the
+    /// shared cost model predicts fastest (empty candidate lists fall
+    /// back to the sequential CPU).
+    pub fn routed(candidates: Vec<ServeBackend>, timing: ServeTiming) -> Self {
+        let first = candidates.first().copied().unwrap_or(ComputeBackend::CpuSeq);
+        Server {
+            route: Route::Routed(candidates),
+            timing,
+            session: BackendSession::new(),
+            cost: CostModel::default(),
+            last_backend: first,
+            last_gpu: None,
+        }
+    }
+
+    /// The backend this server dispatches to — for a router, the backend
+    /// the most recent batch was routed to.
     pub fn backend(&self) -> ServeBackend {
-        self.backend
+        match &self.route {
+            Route::Fixed(b) => *b,
+            Route::Routed(_) => self.last_backend,
+        }
+    }
+
+    /// The shared cost model pricing this server's dispatches.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulated-device accounting of the most recent batch (`None`
+    /// until a batch runs on the GPU backend).
+    pub fn last_gpu_dispatch(&self) -> Option<&GpuDispatch> {
+        self.last_gpu.as_ref()
+    }
+
+    /// The backend the route selects for this batch (the router's
+    /// decision, made before dispatch; a fixed server always answers its
+    /// one backend).
+    pub fn route(&self, model: &ServableModel, x: &Examples<'_>) -> ServeBackend {
+        match &self.route {
+            Route::Fixed(b) => *b,
+            Route::Routed(cands) => self
+                .cost
+                .fastest(cands.iter(), &predict_workload(model, x))
+                .unwrap_or(ComputeBackend::CpuSeq),
+        }
     }
 
     /// Scores one batch: returns each example's decision value and the
     /// service time in seconds under this server's clock.
     pub fn predict(&mut self, model: &ServableModel, x: &Examples<'_>) -> (Vec<Scalar>, f64) {
-        match self.backend {
-            ServeBackend::GpuSim => {
-                let mut dev = GpuDevice::tesla_k80();
-                let out = {
-                    let mut e = GpuExec::new(&mut dev);
-                    model.predict_batch(&mut e, x)
-                };
-                let secs = dev.elapsed_secs();
-                (out, secs)
+        let backend = self.route(model, x);
+        self.last_backend = backend;
+        if backend == ComputeBackend::GpuSim {
+            // Stable logical identity for the serving buffers: each batch
+            // is a fresh host allocation, but binding it to a fixed name
+            // keeps the virtual address — the device L2 stays warm across
+            // batches and the trace never depends on the host allocator.
+            let dev = self.session.gpu_device();
+            dev.bind_buffer("serve.weights", model.weights());
+            match x {
+                Examples::Dense(m) => {
+                    dev.bind_buffer("serve.batch", m.as_slice());
+                }
+                Examples::Sparse(s) => {
+                    dev.bind_buffer("serve.batch.vals", s.values());
+                    dev.bind_buffer("serve.batch.cols", s.col_idx());
+                }
             }
-            ServeBackend::CpuSeq => {
-                let wall = Instant::now();
-                let out = model.predict_batch(&mut CpuExec::seq(), x);
-                let secs = match self.timing {
-                    ServeTiming::Wall => wall.elapsed().as_secs_f64(),
-                    ServeTiming::Modeled => {
-                        CPU_SEQ_DISPATCH_SECS + predict_flops(model, x) / CPU_FLOPS_PER_CORE
-                    }
-                };
-                (out, secs)
+        }
+        let mut job = PredictJob { model, x };
+        let d = backend.dispatch(&mut self.session, &mut job);
+        self.last_gpu = d.gpu.or(self.last_gpu);
+        let secs = match (backend, self.timing) {
+            // The simulated GPU always answers with its own clock.
+            (ComputeBackend::GpuSim, _) => d.gpu.map(|g| g.sim_secs).unwrap_or(0.0),
+            (_, ServeTiming::Wall) => d.wall_secs,
+            (b, ServeTiming::Modeled) => self.cost.estimate_secs(&b, &predict_workload(model, x)),
+        };
+        (d.out, secs)
+    }
+}
+
+/// Workload estimate of one batched predict — the unit the modeled CPU
+/// clock charges for and the router prices backends against.
+pub fn predict_workload(model: &ServableModel, x: &Examples<'_>) -> Workload {
+    match model {
+        ServableModel::Lr { .. } | ServableModel::Svm { .. } => match x {
+            Examples::Dense(m) => {
+                let (n, d) = (m.rows() as f64, m.cols() as f64);
+                // One fused gemv: stream the batch, read the model, write
+                // the decisions.
+                Workload { flops: 2.0 * n * d, bytes: 8.0 * (n * d + d + n), kernels: 1.0 }
             }
-            ServeBackend::CpuPar { threads } => {
-                let width = threads.max(1);
-                let wall = Instant::now();
-                let out = pool::with_threads(width, || model.predict_batch(&mut CpuExec::par(), x));
-                let secs = match self.timing {
-                    ServeTiming::Wall => wall.elapsed().as_secs_f64(),
-                    ServeTiming::Modeled => {
-                        let rate = CPU_FLOPS_PER_CORE
-                            * (1.0 + CPU_PAR_EFFICIENCY * (width.saturating_sub(1)) as f64);
-                        CPU_PAR_DISPATCH_SECS + predict_flops(model, x) / rate
-                    }
-                };
-                (out, secs)
+            Examples::Sparse(s) => {
+                let nnz = s.nnz() as f64;
+                let n = s.rows() as f64;
+                // CSR streams values+indices; model gathers are
+                // uncoalesced, so charge a pessimistic line per nnz.
+                Workload {
+                    flops: 2.0 * nnz,
+                    bytes: 12.0 * nnz + 32.0 * nnz + 8.0 * n,
+                    kernels: 1.0,
+                }
             }
+        },
+        ServableModel::Mlp { task, .. } => {
+            let n = x.n() as f64;
+            let mut w = Workload::default();
+            for pair in task.layers().windows(2) {
+                if let (Some(&a), Some(&b)) = (pair.first(), pair.get(1)) {
+                    // gemm + bias + activation per link.
+                    w.flops += n * (2 * a * b + 5 * b) as f64;
+                    w.bytes += 8.0 * (n * (a + b) as f64 + (a * b + b) as f64);
+                    w.kernels += 3.0;
+                }
+            }
+            w.kernels = w.kernels.max(1.0);
+            w
         }
     }
 }
 
-/// Floating-point operation estimate of one batched predict, the unit
-/// the modeled CPU clock charges for.
+/// Floating-point operation estimate of one batched predict.
 pub fn predict_flops(model: &ServableModel, x: &Examples<'_>) -> f64 {
-    match model {
-        ServableModel::Lr { .. } | ServableModel::Svm { .. } => match x {
-            Examples::Dense(m) => 2.0 * (m.rows() * m.cols()) as f64,
-            Examples::Sparse(s) => 2.0 * s.nnz() as f64,
-        },
-        ServableModel::Mlp { task, .. } => {
-            let n = x.n() as f64;
-            let mut per_example = 0.0;
-            for pair in task.layers().windows(2) {
-                if let (Some(&a), Some(&b)) = (pair.first(), pair.get(1)) {
-                    // gemm + bias + activation per link.
-                    per_example += (2 * a * b + 5 * b) as f64;
-                }
-            }
-            n * per_example
-        }
-    }
+    predict_workload(model, x).flops
 }
 
 /// Everything one serving run produced.
@@ -207,6 +261,9 @@ pub struct ServeOutcome {
     pub batches: usize,
     /// Largest batch dispatched.
     pub max_batch_seen: usize,
+    /// Backend label each batch was dispatched to, in dispatch order
+    /// (constant for a fixed server; the router's per-batch decisions).
+    pub batch_backends: Vec<String>,
     /// Total server busy time, seconds.
     pub service_secs: f64,
     /// First arrival to last completion, seconds.
@@ -216,11 +273,13 @@ pub struct ServeOutcome {
 }
 
 impl ServeOutcome {
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         latencies: Vec<f64>,
         decisions: Vec<Scalar>,
         batches: usize,
         max_batch_seen: usize,
+        batch_backends: Vec<String>,
         service_secs: f64,
         first_arrival: f64,
         last_finish: f64,
@@ -232,6 +291,7 @@ impl ServeOutcome {
             decisions,
             batches,
             max_batch_seen,
+            batch_backends,
             service_secs,
             makespan,
             summary,
@@ -263,6 +323,7 @@ pub fn run_open_loop(
     let mut decisions = vec![0.0; n];
     let mut batches = 0;
     let mut max_batch_seen = 0;
+    let mut batch_backends = Vec::new();
     let mut service_secs = 0.0;
     let mut t_free = 0.0f64;
     let mut last_finish = 0.0f64;
@@ -303,6 +364,7 @@ pub fn run_open_loop(
         }
         batches += 1;
         max_batch_seen = max_batch_seen.max(count);
+        batch_backends.push(server.backend().label());
         service_secs += secs;
         t_free = finish;
         last_finish = last_finish.max(finish);
@@ -313,6 +375,7 @@ pub fn run_open_loop(
         decisions,
         batches,
         max_batch_seen,
+        batch_backends,
         service_secs,
         first_arrival,
         last_finish,
@@ -351,6 +414,7 @@ pub fn run_closed_loop(
     let mut decisions = Vec::with_capacity(clients * per_client);
     let mut batches = 0;
     let mut max_batch_seen = 0;
+    let mut batch_backends = Vec::new();
     let mut service_secs = 0.0;
     let mut t_free = 0.0f64;
     let mut last_finish = 0.0f64;
@@ -388,6 +452,7 @@ pub fn run_closed_loop(
         }
         batches += 1;
         max_batch_seen = max_batch_seen.max(count);
+        batch_backends.push(server.backend().label());
         service_secs += secs;
         t_free = finish;
         last_finish = last_finish.max(finish);
@@ -397,6 +462,7 @@ pub fn run_closed_loop(
         decisions,
         batches,
         max_batch_seen,
+        batch_backends,
         service_secs,
         0.0,
         last_finish,
@@ -436,6 +502,8 @@ mod tests {
         assert_eq!(out.max_batch_seen, 1);
         assert_eq!(out.summary.n, 6);
         assert!(out.latencies.iter().all(|&l| l > 0.0));
+        assert_eq!(out.batch_backends.len(), 6);
+        assert!(out.batch_backends.iter().all(|b| b == "cpu-seq"));
     }
 
     #[test]
@@ -545,6 +613,7 @@ mod tests {
         assert!(out.batches >= 5, "at most `clients` requests per batch");
         assert!(out.max_batch_seen <= 3);
         assert!(out.summary.throughput > 0.0);
+        assert_eq!(out.batch_backends.len(), out.batches);
     }
 
     #[test]
@@ -582,6 +651,63 @@ mod tests {
         );
         for (s, p) in seq.decisions.iter().zip(&par.decisions) {
             assert_eq!(s.to_bits(), p.to_bits(), "backends agree bitwise");
+        }
+    }
+
+    #[test]
+    fn modeled_cpu_clock_charges_the_shared_cost_model() {
+        // The old local constants moved into sgd_core::CostModel; the
+        // modeled service time must equal its estimate exactly.
+        let model = lr_model(3);
+        let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+        let pool = toy_pool();
+        let batch = pool.assemble(&[0, 1]);
+        let x = batch.examples();
+        let (_, secs) = srv.predict(&model, &x);
+        let expect =
+            srv.cost_model().estimate_secs(&ComputeBackend::CpuSeq, &predict_workload(&model, &x));
+        assert_eq!(secs.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn router_prefers_cpu_for_tiny_batches_and_gpu_for_large_dense() {
+        let model = lr_model(64);
+        let wide = Matrix::from_fn(256, 64, |i, j| ((i + j) % 7) as f64 - 3.0);
+        let pool = RequestPool::dense(wide);
+        let mut srv = Server::routed(ComputeBackend::fixed_set(4).to_vec(), ServeTiming::Modeled);
+        let one = pool.assemble(&[0]);
+        assert_eq!(srv.route(&model, &one.examples()), ComputeBackend::CpuSeq);
+        let big = pool.assemble(&(0..256).collect::<Vec<_>>());
+        assert_eq!(srv.route(&model, &big.examples()), ComputeBackend::GpuSim);
+        // Dispatch updates `backend()` to the routed choice.
+        let _ = srv.predict(&model, &big.examples());
+        assert_eq!(srv.backend(), ComputeBackend::GpuSim);
+    }
+
+    #[test]
+    fn routed_server_is_deterministic_and_matches_fixed_decisions() {
+        let model = lr_model(3);
+        let arrivals: Vec<f64> = (0..24).map(|i| i as f64 * 3e-6).collect();
+        let pol = BatchPolicy::new(8, 1e-4);
+        let run = || {
+            let mut srv =
+                Server::routed(ComputeBackend::fixed_set(4).to_vec(), ServeTiming::Modeled);
+            run_open_loop(&mut srv, &model, &toy_pool(), &pol, &arrivals)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.batch_backends, b.batch_backends, "same arrivals, same routing");
+        for (x, y) in a.latencies.iter().zip(&b.latencies) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let fixed = run_open_loop(
+            &mut Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled),
+            &model,
+            &toy_pool(),
+            &pol,
+            &arrivals,
+        );
+        for (r, f) in a.decisions.iter().zip(&fixed.decisions) {
+            assert_eq!(r.to_bits(), f.to_bits(), "routing never changes the math");
         }
     }
 }

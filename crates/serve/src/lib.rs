@@ -36,7 +36,8 @@ pub mod stats;
 pub mod wire;
 
 pub use batcher::{
-    run_closed_loop, run_open_loop, BatchPolicy, ServeBackend, ServeOutcome, ServeTiming, Server,
+    predict_workload, run_closed_loop, run_open_loop, BatchPolicy, ServeBackend, ServeOutcome,
+    ServeTiming, Server,
 };
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
 pub use loadgen::{open_loop_arrivals, AssembledBatch, RequestPool};

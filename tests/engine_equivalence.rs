@@ -282,6 +282,49 @@ fn replicated_hogwild_matches_legacy_shape() {
 }
 
 #[test]
+fn sync_training_through_the_backend_replays_exactly_on_every_device() {
+    // PR 6 folds the sync runner's cpu-seq / cpu-par / gpu-sim arms into
+    // one `ComputeBackend::dispatch` path. Per device, two runs through
+    // that path must produce bit-identical loss trajectories (the legacy
+    // comparison above already pins dispatch ≡ pre-refactor bitwise);
+    // across devices the trajectories agree at the tolerances the core
+    // suite has always pinned — bitwise is not promised there because
+    // parallel gradient reductions may legally reorder by an ULP.
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let o = RunOptions { threads: 4, ..opts() };
+    let run =
+        |d: DeviceKind| Engine::run(&Configuration::new(d, Strategy::Sync), &task, &batch, 0.5, &o);
+    let seq = run(DeviceKind::CpuSeq);
+    for device in [DeviceKind::CpuSeq, DeviceKind::CpuPar, DeviceKind::Gpu] {
+        let a = run(device);
+        let b = run(device);
+        assert_eq!(a.trace.epochs(), b.trace.epochs(), "{}", a.label);
+        for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+            assert_eq!(
+                p.1.to_bits(),
+                q.1.to_bits(),
+                "{}: loss not bit-deterministic across runs ({} vs {})",
+                a.label,
+                p.1,
+                q.1
+            );
+        }
+        assert_eq!(seq.trace.epochs(), a.trace.epochs(), "{}", a.label);
+        for (p, q) in seq.trace.points().iter().zip(a.trace.points()) {
+            assert!(
+                (p.1 - q.1).abs() < 1e-9,
+                "{}: loss drifted from cpu-seq ({} vs {})",
+                a.label,
+                p.1,
+                q.1
+            );
+        }
+    }
+}
+
+#[test]
 fn dispatch_modes_agree_bitwise_on_a_deterministic_parallel_corner() {
     // The persistent pool and the measured fork-join baseline split work
     // into identical chunks (assignment depends only on the requested
