@@ -1,4 +1,4 @@
-//! The pass framework and the five invariant passes.
+//! The pass framework and the six invariant passes.
 //!
 //! Each pass is a line-level checker over a [`SourceFile`]'s code view
 //! (comments and literals already blanked). The driver walks every
@@ -10,12 +10,14 @@ mod atomics;
 mod determinism;
 mod float_discipline;
 mod panic_freedom;
+mod queue_discipline;
 mod threads;
 
 pub use atomics::Atomics;
 pub use determinism::Determinism;
 pub use float_discipline::FloatDiscipline;
 pub use panic_freedom::PanicFreedom;
+pub use queue_discipline::QueueDiscipline;
 pub use threads::ThreadDiscipline;
 
 use crate::source::SourceFile;
@@ -56,6 +58,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(PanicFreedom),
         Box::new(FloatDiscipline),
         Box::new(ThreadDiscipline),
+        Box::new(QueueDiscipline),
     ]
 }
 

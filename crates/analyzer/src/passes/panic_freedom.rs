@@ -12,9 +12,11 @@
 //!   `unimplemented!` — convert to typed errors, or annotate with
 //!   `// analyzer: allow(panic-freedom) -- <why it cannot fire>`;
 //! * in the untrusted-byte parsers (`libsvm.rs`, and the serving crate's
-//!   `checkpoint.rs` and `wire.rs`), `[idx]` indexing into parsed fields
-//!   — wire/file input must flow through `get`/iterators, never trusted
-//!   offsets.
+//!   `checkpoint.rs` and `wire.rs`) and in the overload decision paths
+//!   (`admission.rs`, whose shed/reject/deadline branches run exactly
+//!   when the system is already degraded), `[idx]` indexing into parsed
+//!   fields — wire/file input and queue state must flow through
+//!   `get`/iterators, never trusted offsets.
 
 use super::{basename_in, finding, Finding, Pass};
 use crate::source::SourceFile;
@@ -22,9 +24,12 @@ use crate::source::SourceFile;
 const PANIC_TOKENS: [&str; 6] =
     [".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
 
-/// The untrusted-byte parsers where indexing itself is also banned:
-/// LIBSVM text (datagen), checkpoint bytes and wire lines (serve).
-const PARSER_FILES: [&str; 3] = ["libsvm.rs", "checkpoint.rs", "wire.rs"];
+/// The files where indexing itself is also banned: the untrusted-byte
+/// parsers — LIBSVM text (datagen), checkpoint bytes and wire lines
+/// (serve) — plus the overload decision paths in `admission.rs`, which
+/// run exactly when the system is already degraded and must not add a
+/// panic to an overload.
+const PARSER_FILES: [&str; 4] = ["libsvm.rs", "checkpoint.rs", "wire.rs", "admission.rs"];
 
 pub struct PanicFreedom;
 
@@ -97,9 +102,10 @@ fn user_data_index(code: &str) -> Option<usize> {
         if !(super::is_ident_char(p) || p == ')' || p == ']') {
             continue;
         }
-        // A lifetime before the bracket (`&'a [u8]`) is a type position,
-        // not an indexed expression: skip back over the identifier and
-        // look for the leading tick.
+        // A lifetime before the bracket (`&'a [u8]`) or a keyword
+        // (`&mut [f64]`, `dyn [..]`, `in [..]`, `return [..]`) is a type
+        // position or fresh expression, not an indexed one: skip back
+        // over the identifier and inspect it.
         if super::is_ident_char(p) {
             let start = chars[..j + 1]
                 .iter()
@@ -107,6 +113,12 @@ fn user_data_index(code: &str) -> Option<usize> {
                 .map(|k| k + 1)
                 .unwrap_or(0);
             if start > 0 && chars.get(start.wrapping_sub(1)) == Some(&'\'') {
+                continue;
+            }
+            let ident: String = chars[start..j + 1].iter().collect();
+            if ["mut", "dyn", "in", "as", "return", "break", "else", "match"]
+                .contains(&ident.as_str())
+            {
                 continue;
             }
         }

@@ -1,0 +1,21 @@
+// Fixture: unbounded queue growth in a serving queue module — every
+// line here should trip the queue-discipline pass.
+
+pub struct Mailbox {
+    queue: std::collections::VecDeque<usize>,
+    pending: Vec<usize>,
+}
+
+impl Mailbox {
+    pub fn enqueue_unchecked(&mut self, id: usize) {
+        self.queue.push_back(id);
+    }
+
+    pub fn defer(&mut self, id: usize) {
+        self.pending.push(id);
+    }
+
+    pub fn backlog_grow(backlog: &mut Vec<usize>, id: usize) {
+        backlog.push(id);
+    }
+}

@@ -1,0 +1,23 @@
+// Fixture: queue growth done right — result buffers may grow freely
+// (they are bounded by admitted work), and the one true enqueue carries
+// an allow annotation naming its bound.
+
+pub struct Tiers {
+    queue: std::collections::VecDeque<usize>,
+}
+
+impl Tiers {
+    pub fn admit(&mut self, id: usize, cap: usize) -> bool {
+        if self.queue.len() >= cap {
+            return false;
+        }
+        // analyzer: allow(queue-discipline) -- the one admission-checked enqueue
+        self.queue.push_back(id);
+        true
+    }
+
+    pub fn account(latencies: &mut Vec<f64>, decisions: &mut Vec<f64>, l: f64) {
+        latencies.push(l);
+        decisions.push(l);
+    }
+}

@@ -220,6 +220,50 @@ fn serve_may_scope_but_not_spawn() {
 }
 
 #[test]
+fn queue_bad_fixture_triggers_in_both_queue_modules() {
+    for path in ["crates/serve/src/batcher.rs", "crates/serve/src/admission.rs"] {
+        let hits = findings_for(path, include_str!("fixtures/queue_bad.rs"), "queue-discipline");
+        assert_eq!(hits.len(), 3, "push_back + pending.push + backlog.push: {path}: {hits:#?}");
+        assert!(hits.iter().any(|f| f.message.contains("push_back")), "{hits:#?}");
+        assert!(hits.iter().any(|f| f.message.contains("pending")), "{hits:#?}");
+    }
+}
+
+#[test]
+fn queue_good_fixture_is_clean() {
+    let hits = findings_for(
+        "crates/serve/src/admission.rs",
+        include_str!("fixtures/queue_good.rs"),
+        "queue-discipline",
+    );
+    assert!(hits.is_empty(), "annotated enqueue and result buffers pass: {hits:#?}");
+}
+
+#[test]
+fn queue_pass_is_scoped_to_the_serving_queue_modules() {
+    // The same growth patterns are fine elsewhere: training code and the
+    // wire front-end have their own disciplines.
+    for path in ["crates/core/src/hogwild.rs", "crates/serve/src/wire.rs"] {
+        let hits = findings_for(path, include_str!("fixtures/queue_bad.rs"), "queue-discipline");
+        assert!(hits.is_empty(), "{path}: {hits:#?}");
+    }
+}
+
+#[test]
+fn admission_module_bans_indexing_like_the_parsers() {
+    // Overload decision paths run exactly when the system is degraded;
+    // an out-of-bounds panic there turns shedding into an outage.
+    let bad = "fn tier(caps: &[usize], t: usize) -> usize {\n    caps[t]\n}\n";
+    let hits = findings_for("crates/serve/src/admission.rs", bad, "panic-freedom");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("indexing")), "{hits:#?}");
+    // `&mut [T]` parameters are type positions, not indexing.
+    let good = "fn fill(out: &mut [f64]) {\n    for v in out.iter_mut() { *v = 0.0; }\n}\n";
+    let hits = findings_for("crates/serve/src/admission.rs", good, "panic-freedom");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
 fn reasonless_allow_is_reported_not_honored() {
     let src = "pub fn f(x: Option<u32>) -> u32 {\n    // analyzer: allow(panic-freedom)\n    x.unwrap()\n}\n";
     let sf = SourceFile::parse("crates/core/src/engine.rs", src);

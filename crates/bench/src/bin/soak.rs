@@ -1,0 +1,64 @@
+//! Overload soak: hardened admission control vs the unhardened baseline
+//! at ~10^6 modeled requests (see DESIGN.md, "Overload & graceful
+//! degradation").
+//!
+//! `--check` runs the CI smoke mode (bit-determinism of shed decisions,
+//! conservation, and the bounded-tail/divergent-baseline contrast on a
+//! tiny dataset) instead of the full soak; `--out PATH` overrides where
+//! the JSON lands (default `BENCH_soak.json`).
+
+use sgd_bench::cli::ExperimentConfig;
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_soak.json");
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(arg),
+        }
+    }
+    let mut cfg = match ExperimentConfig::from_args(rest) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}\nextra flags: [--check] [--out PATH]");
+            std::process::exit(2);
+        }
+    };
+
+    if check {
+        cfg.datasets = vec!["w8a".into()];
+        match sgd_bench::soak::check(&cfg) {
+            Ok(()) => println!(
+                "soak --check: deterministic shed decisions, conservation holds, \
+                 hardened tail bounded while the baseline diverges"
+            ),
+            Err(msg) => {
+                eprintln!("soak --check failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if cfg.datasets.is_empty() {
+        cfg.datasets = vec!["w8a".into()];
+    }
+    let rows = sgd_bench::soak::rows(&cfg);
+    print!("{}", sgd_bench::soak::render(&rows));
+    let json = sgd_bench::soak::to_json(&rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

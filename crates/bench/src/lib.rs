@@ -20,6 +20,7 @@ pub mod prep;
 mod render;
 pub mod router;
 pub mod serve;
+pub mod soak;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -29,6 +29,7 @@ use sgd_gpusim::{DeviceSpec, GpuDevice};
 use sgd_linalg::{CpuExec, Exec};
 
 use crate::config::DeviceKind;
+use crate::faults::FaultPlan;
 use crate::pool::with_threads;
 
 /// Per-batch dispatch overhead charged by the modeled clock on the
@@ -108,6 +109,16 @@ impl ComputeBackend {
         ]
     }
 
+    /// The fault-plan worker slot this backend occupies (see
+    /// [`DispatchFaults`]): `cpu-seq` = 0, `cpu-par` = 1, `gpu-sim` = 2.
+    pub fn fault_worker(&self) -> usize {
+        match self {
+            ComputeBackend::CpuSeq => 0,
+            ComputeBackend::CpuPar { .. } => 1,
+            ComputeBackend::GpuSim => 2,
+        }
+    }
+
     /// Runs `job` on this backend.
     ///
     /// The same kernel stream backs every backend: `CpuSeq` runs it
@@ -117,6 +128,11 @@ impl ComputeBackend {
     /// width), and `GpuSim` traces it on the session's persistent device
     /// inside a fresh transient buffer scope, so per-dispatch scratch
     /// traces deterministic virtual addresses.
+    ///
+    /// This entry point ignores any installed fault gate (it is the
+    /// training engine's unconditional path); serving front-ends that
+    /// must surface injected faults as typed errors go through
+    /// [`ComputeBackend::try_dispatch`].
     pub fn dispatch<J: ExecTask>(
         &self,
         session: &mut BackendSession,
@@ -126,12 +142,22 @@ impl ComputeBackend {
             ComputeBackend::CpuSeq => {
                 let t0 = Instant::now();
                 let out = job.run(&mut CpuExec::seq());
-                Dispatch { out, wall_secs: t0.elapsed().as_secs_f64(), gpu: None }
+                Dispatch {
+                    out,
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                    gpu: None,
+                    fault_dilation: 1.0,
+                }
             }
             ComputeBackend::CpuPar { threads } => {
                 let t0 = Instant::now();
                 let out = with_threads(threads, || job.run(&mut CpuExec::par()));
-                Dispatch { out, wall_secs: t0.elapsed().as_secs_f64(), gpu: None }
+                Dispatch {
+                    out,
+                    wall_secs: t0.elapsed().as_secs_f64(),
+                    gpu: None,
+                    fault_dilation: 1.0,
+                }
             }
             ComputeBackend::GpuSim => {
                 let dev = session.gpu_device();
@@ -150,9 +176,111 @@ impl ComputeBackend {
                     l2_hits: after.l2_hits - before.l2_hits,
                     l2_misses: after.l2_misses - before.l2_misses,
                 };
-                Dispatch { out, wall_secs, gpu: Some(gpu) }
+                Dispatch { out, wall_secs, gpu: Some(gpu), fault_dilation: 1.0 }
             }
         }
+    }
+
+    /// Runs `job` on this backend through the session's fault gate.
+    ///
+    /// With no gate installed this is exactly [`ComputeBackend::dispatch`]
+    /// and never fails. With a [`DispatchFaults`] gate, each call draws
+    /// one decision from the deterministic [`FaultPlan`] stream keyed on
+    /// the session-wide dispatch sequence number: a dead backend returns
+    /// a typed [`BackendFault`] *without running the job* (the serving
+    /// front-end's `ERR` path), and a straggling backend runs the job but
+    /// reports its cost dilated by the straggler factor (on the wall
+    /// clock, the simulated GPU clock, and [`Dispatch::fault_dilation`]
+    /// for modeled-clock callers). Same seed, same dispatch order ⇒
+    /// bit-identical fault decisions.
+    pub fn try_dispatch<J: ExecTask>(
+        &self,
+        session: &mut BackendSession,
+        job: &mut J,
+    ) -> Result<Dispatch<J::Out>, BackendFault> {
+        let dilation = match session.faults.as_mut() {
+            Some(gate) => gate.next(self)?,
+            None => 1.0,
+        };
+        let mut d = self.dispatch(session, job);
+        if dilation > 1.0 {
+            d.wall_secs *= dilation;
+            d.fault_dilation = dilation;
+            if let Some(g) = d.gpu.as_mut() {
+                g.sim_secs *= dilation;
+            }
+        }
+        Ok(d)
+    }
+}
+
+/// Typed failure of a fault-gated backend dispatch — the serving
+/// analog of training's `RunOutcome::FaultAborted`: the request fails
+/// with a typed error instead of hanging on hardware that is gone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendFault {
+    /// The backend's fault-plan worker is dead at this point in the
+    /// dispatch sequence; the job was not run.
+    BackendDown {
+        /// Session-wide dispatch sequence number the death surfaced at.
+        dispatch: u64,
+    },
+}
+
+impl std::fmt::Display for BackendFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendFault::BackendDown { dispatch } => {
+                write!(f, "backend down (dispatch {dispatch})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendFault {}
+
+/// Deterministic per-dispatch fault gate built from the training
+/// layer's [`FaultPlan`], reusing its worker vocabulary: each backend
+/// occupies one worker slot ([`ComputeBackend::fault_worker`]), the
+/// session-wide dispatch sequence number plays the role of the epoch,
+/// so `FaultPlan::with_worker_death(2, 100)` kills the simulated GPU
+/// from the 100th gated dispatch onward and
+/// `FaultPlan::with_straggler(0, 4.0)` makes every sequential-CPU
+/// dispatch report 4× its healthy cost.
+#[derive(Clone, Debug)]
+pub struct DispatchFaults {
+    plan: FaultPlan,
+    dispatches: u64,
+}
+
+impl DispatchFaults {
+    /// A gate drawing decisions from `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        DispatchFaults { plan, dispatches: 0 }
+    }
+
+    /// The plan the gate draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Dispatches gated so far (dead ones included — a rejected dispatch
+    /// still consumes a sequence number, keeping replay deterministic).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Draws the decision for the next dispatch on `backend`: `Err` when
+    /// the backend is dead, otherwise the straggler dilation (`1.0` =
+    /// healthy).
+    fn next(&mut self, backend: &ComputeBackend) -> Result<f64, BackendFault> {
+        let seq = self.dispatches;
+        self.dispatches += 1;
+        let worker = backend.fault_worker();
+        if self.plan.worker_dead(worker, usize::try_from(seq).unwrap_or(usize::MAX)) {
+            return Err(BackendFault::BackendDown { dispatch: seq });
+        }
+        Ok(self.plan.slowdown_of(worker))
     }
 }
 
@@ -172,10 +300,16 @@ pub trait ExecTask {
 pub struct Dispatch<T> {
     /// The job's result.
     pub out: T,
-    /// Real elapsed seconds around the computation.
+    /// Real elapsed seconds around the computation (already dilated by
+    /// any straggler fault).
     pub wall_secs: f64,
     /// Simulated-device accounting; `None` on the CPU backends.
     pub gpu: Option<GpuDispatch>,
+    /// Straggler dilation an installed fault gate charged this dispatch
+    /// (`1.0` = healthy or no gate). Callers on a *modeled* clock must
+    /// multiply their own estimate by this — the wall and simulated
+    /// clocks above are already dilated.
+    pub fault_dilation: f64,
 }
 
 /// Simulated-clock deltas of one GPU dispatch.
@@ -216,6 +350,7 @@ impl GpuDispatch {
 pub struct BackendSession {
     gpu_spec: Option<DeviceSpec>,
     gpu: Option<GpuDevice>,
+    faults: Option<DispatchFaults>,
 }
 
 impl BackendSession {
@@ -226,7 +361,20 @@ impl BackendSession {
 
     /// A session whose GPU is built from `spec` (`None` = Tesla K80).
     pub fn with_gpu_spec(spec: Option<DeviceSpec>) -> Self {
-        BackendSession { gpu_spec: spec, gpu: None }
+        BackendSession { gpu_spec: spec, gpu: None, faults: None }
+    }
+
+    /// Installs a fault gate on the session; every subsequent
+    /// [`ComputeBackend::try_dispatch`] draws one decision from `plan`.
+    /// Replaces any previously installed gate (and resets its dispatch
+    /// sequence number).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(DispatchFaults::new(plan));
+    }
+
+    /// The installed fault gate, if any.
+    pub fn faults(&self) -> Option<&DispatchFaults> {
+        self.faults.as_ref()
     }
 
     /// The session's persistent simulated device, constructed lazily on
@@ -436,6 +584,51 @@ mod tests {
         let huge = Workload { flops: 2.0e8, bytes: 8.0e7, kernels: 1.0 };
         assert_eq!(m.fastest(&set, &huge), Some(ComputeBackend::GpuSim));
         assert_eq!(m.fastest(&[], &tiny), None);
+    }
+
+    #[test]
+    fn try_dispatch_without_a_gate_never_fails() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let x = vec![1.0; 4];
+        let mut sess = BackendSession::new();
+        let mut job = GemvJob { a: &a, x: &x };
+        let d =
+            ComputeBackend::CpuSeq.try_dispatch(&mut sess, &mut job).expect("no gate installed");
+        assert_eq!(d.fault_dilation, 1.0);
+        assert!(sess.faults().is_none());
+    }
+
+    #[test]
+    fn fault_gate_kills_and_dilates_deterministically() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let x = vec![1.0; 4];
+        let run = || {
+            let mut sess = BackendSession::new();
+            sess.install_faults(
+                FaultPlan::default().with_seed(7).with_worker_death(0, 2).with_straggler(2, 4.0),
+            );
+            let mut job = GemvJob { a: &a, x: &x };
+            // Dispatches 0 and 1 on the straggling GPU slot succeed with
+            // a 4x dilation on both clocks.
+            let d0 = ComputeBackend::GpuSim
+                .try_dispatch(&mut sess, &mut job)
+                .expect("straggler still completes");
+            assert_eq!(d0.fault_dilation, 4.0);
+            let g = d0.gpu.as_ref().expect("gpu accounting survives dilation");
+            assert!(g.sim_secs > 0.0);
+            let d1 = ComputeBackend::CpuSeq
+                .try_dispatch(&mut sess, &mut job)
+                .expect("cpu-seq alive before its death epoch");
+            assert_eq!(d1.fault_dilation, 1.0);
+            // From dispatch 2 onward the cpu-seq slot is dead.
+            let err = ComputeBackend::CpuSeq
+                .try_dispatch(&mut sess, &mut job)
+                .expect_err("cpu-seq dead from dispatch 2");
+            assert_eq!(err, BackendFault::BackendDown { dispatch: 2 });
+            assert_eq!(sess.faults().map(|f| f.dispatches()), Some(3));
+            (d0.gpu.map(|g| g.sim_secs.to_bits()), err)
+        };
+        assert_eq!(run(), run(), "same plan, same dispatch order, same bits");
     }
 
     #[test]

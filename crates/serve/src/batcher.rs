@@ -31,10 +31,14 @@
 //! small/sparse → cpu), turning the paper's guidance table into a live
 //! scheduling policy.
 
-use sgd_core::{BackendSession, ComputeBackend, CostModel, ExecTask, GpuDispatch, Workload};
+use sgd_core::{
+    BackendFault, BackendSession, ComputeBackend, CostModel, ExecTask, FaultPlan, GpuDispatch,
+    Workload,
+};
 use sgd_linalg::{Exec, Scalar};
 use sgd_models::Examples;
 
+use crate::admission::{OutcomeCounts, RequestOutcome};
 use crate::loadgen::RequestPool;
 use crate::model::ServableModel;
 use crate::stats::LatencySummary;
@@ -169,38 +173,92 @@ impl Server {
         }
     }
 
+    /// Installs a fault gate on the server's backend session: every
+    /// subsequent [`Server::try_predict`] draws one decision from `plan`
+    /// (see [`sgd_core::DispatchFaults`]). The ungated [`Server::predict`]
+    /// path ignores the gate entirely.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.session.install_faults(plan);
+    }
+
+    /// Binds the batch's buffers to stable logical names before a GPU
+    /// dispatch: each batch is a fresh host allocation, but a fixed name
+    /// keeps the virtual address — the device L2 stays warm across
+    /// batches and the trace never depends on the host allocator.
+    fn bind_gpu_buffers(&mut self, model: &ServableModel, x: &Examples<'_>) {
+        let dev = self.session.gpu_device();
+        dev.bind_buffer("serve.weights", model.weights());
+        match x {
+            Examples::Dense(m) => {
+                dev.bind_buffer("serve.batch", m.as_slice());
+            }
+            Examples::Sparse(s) => {
+                dev.bind_buffer("serve.batch.vals", s.values());
+                dev.bind_buffer("serve.batch.cols", s.col_idx());
+            }
+        }
+    }
+
+    /// Service seconds of a finished dispatch under this server's clock.
+    /// The modeled CPU estimate is dilated by the dispatch's fault factor
+    /// (1.0 on the ungated path); the wall and simulated-GPU clocks are
+    /// already dilated by the gate itself.
+    fn service_secs(
+        &self,
+        backend: ComputeBackend,
+        model: &ServableModel,
+        x: &Examples<'_>,
+        wall_secs: f64,
+        gpu: Option<GpuDispatch>,
+        fault_dilation: f64,
+    ) -> f64 {
+        match (backend, self.timing) {
+            // The simulated GPU always answers with its own clock.
+            (ComputeBackend::GpuSim, _) => gpu.map(|g| g.sim_secs).unwrap_or(0.0),
+            (_, ServeTiming::Wall) => wall_secs,
+            (b, ServeTiming::Modeled) => {
+                self.cost.estimate_secs(&b, &predict_workload(model, x)) * fault_dilation
+            }
+        }
+    }
+
     /// Scores one batch: returns each example's decision value and the
-    /// service time in seconds under this server's clock.
+    /// service time in seconds under this server's clock. This is the
+    /// unconditional path — any installed fault gate is bypassed; fault-
+    /// surfacing front-ends go through [`Server::try_predict`].
     pub fn predict(&mut self, model: &ServableModel, x: &Examples<'_>) -> (Vec<Scalar>, f64) {
         let backend = self.route(model, x);
         self.last_backend = backend;
         if backend == ComputeBackend::GpuSim {
-            // Stable logical identity for the serving buffers: each batch
-            // is a fresh host allocation, but binding it to a fixed name
-            // keeps the virtual address — the device L2 stays warm across
-            // batches and the trace never depends on the host allocator.
-            let dev = self.session.gpu_device();
-            dev.bind_buffer("serve.weights", model.weights());
-            match x {
-                Examples::Dense(m) => {
-                    dev.bind_buffer("serve.batch", m.as_slice());
-                }
-                Examples::Sparse(s) => {
-                    dev.bind_buffer("serve.batch.vals", s.values());
-                    dev.bind_buffer("serve.batch.cols", s.col_idx());
-                }
-            }
+            self.bind_gpu_buffers(model, x);
         }
         let mut job = PredictJob { model, x };
         let d = backend.dispatch(&mut self.session, &mut job);
         self.last_gpu = d.gpu.or(self.last_gpu);
-        let secs = match (backend, self.timing) {
-            // The simulated GPU always answers with its own clock.
-            (ComputeBackend::GpuSim, _) => d.gpu.map(|g| g.sim_secs).unwrap_or(0.0),
-            (_, ServeTiming::Wall) => d.wall_secs,
-            (b, ServeTiming::Modeled) => self.cost.estimate_secs(&b, &predict_workload(model, x)),
-        };
+        let secs = self.service_secs(backend, model, x, d.wall_secs, d.gpu, 1.0);
         (d.out, secs)
+    }
+
+    /// Scores one batch through the session's fault gate: a dead backend
+    /// surfaces as a typed [`BackendFault`] (the job never runs), a
+    /// straggling one completes with its service time dilated. Without
+    /// an installed gate this is exactly [`Server::predict`] and never
+    /// fails.
+    pub fn try_predict(
+        &mut self,
+        model: &ServableModel,
+        x: &Examples<'_>,
+    ) -> Result<(Vec<Scalar>, f64), BackendFault> {
+        let backend = self.route(model, x);
+        self.last_backend = backend;
+        if backend == ComputeBackend::GpuSim {
+            self.bind_gpu_buffers(model, x);
+        }
+        let mut job = PredictJob { model, x };
+        let d = backend.try_dispatch(&mut self.session, &mut job)?;
+        self.last_gpu = d.gpu.or(self.last_gpu);
+        let secs = self.service_secs(backend, model, x, d.wall_secs, d.gpu, d.fault_dilation);
+        Ok((d.out, secs))
     }
 }
 
@@ -270,6 +328,13 @@ pub struct ServeOutcome {
     pub makespan: f64,
     /// Latency/throughput summary.
     pub summary: LatencySummary,
+    /// How each offered request resolved, indexed by request id (the
+    /// legacy loops never shed, so every entry is `Completed`; the
+    /// admission-controlled runner records the full taxonomy). Never a
+    /// silent drop: `outcomes.len() == counts.offered()`.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The conservation ledger over `outcomes`.
+    pub counts: OutcomeCounts,
 }
 
 impl ServeOutcome {
@@ -286,6 +351,9 @@ impl ServeOutcome {
     ) -> Self {
         let makespan = (last_finish - first_arrival).max(0.0);
         let summary = LatencySummary::from_latencies(&latencies, makespan);
+        let outcomes: Vec<RequestOutcome> =
+            latencies.iter().map(|&l| RequestOutcome::Completed { latency: l }).collect();
+        let counts = OutcomeCounts::all_completed(outcomes.len());
         ServeOutcome {
             latencies,
             decisions,
@@ -295,6 +363,8 @@ impl ServeOutcome {
             service_secs,
             makespan,
             summary,
+            outcomes,
+            counts,
         }
     }
 }
@@ -404,6 +474,7 @@ pub fn run_closed_loop(
         if let Some(r) = remaining.get_mut(c) {
             if *r > 0 {
                 *r -= 1;
+                // analyzer: allow(queue-discipline) -- unhardened baseline the soak measures against
                 pending.push((0.0, c, issued % requests.len().max(1)));
                 issued += 1;
             }
@@ -445,6 +516,7 @@ pub fn run_closed_loop(
             if let Some(r) = remaining.get_mut(client) {
                 if *r > 0 {
                     *r -= 1;
+                    // analyzer: allow(queue-discipline) -- unhardened baseline the soak measures against
                     pending.push((finish + think, client, issued % requests.len().max(1)));
                     issued += 1;
                 }

@@ -19,14 +19,21 @@
 //!   kernels training uses, on cpu-seq, cpu-par (persistent pool), or
 //!   the simulated GPU. Dense BLAS batches amortize dispatch overhead
 //!   exactly as the paper's synchronous SGD amortizes kernel launches.
+//! - [`admission`]: overload hardening for the batcher — bounded
+//!   per-tier queues, backpressure, deadlines — where every offered
+//!   request deterministically resolves to a typed [`RequestOutcome`]
+//!   (completed, shed, or rejected; never a silent drop).
 //! - [`loadgen`]: deterministic open- and closed-loop load generation
-//!   with p50/p95/p99 + throughput accounting, feeding the `serve`
-//!   bench.
+//!   with p50/p95/p99/p999 + throughput/goodput accounting, feeding the
+//!   `serve` and `soak` benches.
 //! - [`wire`]: an optional `std::net` loopback TCP front-end speaking
-//!   LIBSVM-formatted lines through `sgd-datagen`'s typed parser.
+//!   LIBSVM-formatted lines through `sgd-datagen`'s typed parser, with
+//!   bounded line buffers, read timeouts, an in-flight bound answering
+//!   `ERR BUSY retry_after=`, and typed backend-fault surfacing.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batcher;
 pub mod checkpoint;
 pub mod loadgen;
@@ -35,13 +42,17 @@ pub mod registry;
 pub mod stats;
 pub mod wire;
 
+pub use admission::{
+    run_admitted, AdmissionPolicy, BatchService, ClosedClients, ComputeService, ModeledService,
+    OfferedRequest, OutcomeCounts, RequestOutcome,
+};
 pub use batcher::{
     predict_workload, run_closed_loop, run_open_loop, BatchPolicy, ServeBackend, ServeOutcome,
     ServeTiming, Server,
 };
 pub use checkpoint::{Checkpoint, CheckpointError, FORMAT_VERSION, MAGIC};
-pub use loadgen::{open_loop_arrivals, AssembledBatch, RequestPool};
+pub use loadgen::{offered_requests, open_loop_arrivals, AssembledBatch, RequestPool};
 pub use model::{ServableModel, TaskDescriptor};
 pub use registry::{CheckpointPublisher, ModelRegistry, PublishedModel};
 pub use stats::LatencySummary;
-pub use wire::WireServer;
+pub use wire::{WireClient, WireConfig, WireServer};

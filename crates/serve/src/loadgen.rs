@@ -13,6 +13,8 @@ use sgd_datagen::Dataset;
 use sgd_linalg::{CsrMatrix, Matrix, Scalar};
 use sgd_models::Examples;
 
+use crate::admission::OfferedRequest;
+
 /// The feature vectors requests draw from — request `i` scores row
 /// `i % len`. Dense pools assemble dense batches (gemv/gemm path),
 /// sparse pools assemble CSR batches (spmv path), so a serve run
@@ -143,6 +145,35 @@ pub fn open_loop_arrivals(rate: f64, n: usize, seed: u64) -> Vec<f64> {
     out
 }
 
+/// `n` open-loop [`OfferedRequest`]s at `rate` requests/second: Poisson
+/// arrivals from [`open_loop_arrivals`] plus a deterministic priority
+/// tier in `0..tiers` per request (a seeded splitmix64 draw, independent
+/// of the arrival stream), request `i` scoring pool row `i`. The input
+/// of the admission-controlled runner and the soak bench: same `(rate,
+/// n, seed, tiers)` ⇒ bit-identical offered load.
+pub fn offered_requests(rate: f64, n: usize, seed: u64, tiers: usize) -> Vec<OfferedRequest> {
+    let tiers = tiers.max(1) as u64;
+    open_loop_arrivals(rate, n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| OfferedRequest {
+            arrival,
+            priority: (mix64(seed ^ 0x9d71_f255_u64.wrapping_mul(i as u64 + 1)) % tiers) as usize,
+            row: i,
+        })
+        .collect()
+}
+
+/// splitmix64 finalizer: a stateless, seed-stable hash for priority
+/// assignment (deliberately independent of the arrival RNG stream so
+/// changing `tiers` never perturbs arrival times).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +192,22 @@ mod tests {
         assert!((mean_gap - 1e-3).abs() < 3e-4, "mean gap {mean_gap}");
         let c = open_loop_arrivals(1000.0, 500, 43);
         assert!(a.iter().zip(&c).any(|(x, y)| x != y), "seed changes the process");
+    }
+
+    #[test]
+    fn offered_requests_are_deterministic_with_stable_arrivals_across_tiers() {
+        let a = offered_requests(500.0, 200, 7, 3);
+        let b = offered_requests(500.0, 200, 7, 3);
+        assert_eq!(a, b, "same inputs, same offered load");
+        assert!(a.iter().all(|r| r.priority < 3));
+        assert!((0..3).all(|t| a.iter().any(|r| r.priority == t)), "every tier appears");
+        // Priorities come from an independent hash stream: changing the
+        // tier count never perturbs arrival times.
+        let c = offered_requests(500.0, 200, 7, 1);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+        }
+        assert!(c.iter().all(|r| r.priority == 0));
     }
 
     #[test]

@@ -268,6 +268,72 @@ mod tests {
     }
 
     #[test]
+    fn hot_swap_publication_proceeds_while_the_server_sheds() {
+        use crate::admission::{
+            run_admitted, AdmissionPolicy, ClosedClients, ComputeService, OfferedRequest,
+        };
+        use crate::batcher::{BatchPolicy, ServeBackend, ServeTiming, Server};
+        use crate::loadgen::RequestPool;
+        use sgd_linalg::Matrix;
+
+        let reg = ModelRegistry::new();
+        reg.publish("m", toy_model(1.0), 0, 1.0);
+        let snap = reg.get("m").expect("published");
+        let (counts, final_rev) = std::thread::scope(|s| {
+            // A publisher hot-swapping revisions as fast as it can...
+            let publisher = s.spawn(|| {
+                let mut last = 0;
+                for i in 0..50 {
+                    last = reg.publish("m", toy_model(i as Scalar + 2.0), i, 0.5);
+                }
+                last
+            });
+            // ...while this thread serves an overload burst from its
+            // resolved snapshot, shedding most of it. Neither side
+            // blocks the other: the reader owns an immutable Arc.
+            let pool = RequestPool::dense(Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]));
+            let mut srv = Server::new(ServeBackend::CpuSeq, ServeTiming::Modeled);
+            let mut svc = ComputeService::new(&mut srv, &snap.model, &pool);
+            let open: Vec<OfferedRequest> =
+                (0..64).map(|i| OfferedRequest { arrival: 0.0, priority: 0, row: i }).collect();
+            let out = run_admitted(
+                &mut svc,
+                &BatchPolicy::unbatched(),
+                &AdmissionPolicy::new(4, usize::MAX, f64::INFINITY, 1),
+                &open,
+                &ClosedClients::none(),
+            );
+            (out.counts, publisher.join().expect("publisher lives"))
+        });
+        assert_eq!(counts.offered(), 64, "every request resolved during the swap storm");
+        assert!(counts.completed > 0 && counts.shed_admission > 0);
+        // The serving snapshot never moved; the registry did.
+        assert_eq!(snap.model.weights(), &[1.0, 2.0, -1.0]);
+        let fresh = reg.get("m").expect("still published");
+        assert_eq!(fresh.revision, final_rev);
+        assert_eq!(fresh.model.weights(), &[51.0, 102.0, -51.0]);
+    }
+
+    #[test]
+    fn poisoned_lock_from_a_panicking_scorer_does_not_take_serving_down() {
+        let reg = ModelRegistry::new();
+        reg.publish("m", toy_model(1.0), 0, 1.0);
+        // A scoring thread panics while holding the registry's write
+        // lock (the worst case: mid-publish), poisoning it.
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = reg.state.write().expect("not yet poisoned");
+            panic!("scoring thread dies mid-request");
+        }));
+        assert!(died.is_err(), "the panic fired");
+        assert!(reg.state.is_poisoned(), "the lock really is poisoned");
+        // Reads and publishes keep working through the poison.
+        assert_eq!(reg.get("m").expect("read survives").model.weights(), &[1.0, 2.0, -1.0]);
+        let r2 = reg.publish("m", toy_model(3.0), 1, 0.2);
+        assert_eq!(reg.get("m").expect("publish survives").revision, r2);
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+    }
+
+    #[test]
     fn concurrent_reads_and_publishes_stay_consistent() {
         let reg = ModelRegistry::new();
         reg.publish("m", toy_model(1.0), 0, 1.0);

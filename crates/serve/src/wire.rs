@@ -1,12 +1,30 @@
-//! Loopback TCP front-end speaking LIBSVM-formatted request lines.
+//! Loopback TCP front-end speaking LIBSVM-formatted request lines, with
+//! overload hardening.
 //!
 //! Protocol: one request per line, in LIBSVM format
 //! (`<label> <idx>:<val> ...` — the label is carried but ignored for
-//! scoring); one response line per request, `OK <decision>` on success
-//! or `ERR <detail>` when the line fails to parse or no model is
-//! published. Requests are scored against the *current* registry
-//! snapshot, so a hot-swap publication mid-connection takes effect on
-//! the very next line.
+//! scoring); one response line per request:
+//!
+//! * `OK <decision>` — scored against the *current* registry snapshot,
+//!   so a hot-swap publication mid-connection takes effect on the very
+//!   next line;
+//! * `ERR BUSY retry_after=<secs>` — the server is over its in-flight
+//!   bound ([`WireConfig::max_inflight`]); the client should back off;
+//! * `ERR line too long (max <n> bytes)` — the request exceeded
+//!   [`WireConfig::max_line_bytes`]; the oversized line is drained and
+//!   the connection keeps serving;
+//! * `ERR backend down (dispatch <n>); retry` — an injected backend
+//!   fault ([`WireServer::install_faults`]) surfaced as a typed error
+//!   instead of a hang;
+//! * `ERR <detail>` — parse or registry failures.
+//!
+//! Hardening against hostile or stalled clients: request lines are read
+//! through a *bounded* buffer (a client that never sends `\n` can no
+//! longer grow server memory without limit), accepted connections get a
+//! read timeout (a silent client ends its connection instead of
+//! pinning a worker), and [`WireServer::serve_connections`] serves a
+//! small bounded pool of scoped worker threads so one stalled client
+//! cannot block every later connection.
 //!
 //! All wire bytes flow through `sgd-datagen`'s typed
 //! [`ParseError`](sgd_datagen::libsvm::ParseError) path — a malformed
@@ -15,62 +33,259 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
+use sgd_core::{BackendSession, ComputeBackend, ExecTask, FaultPlan};
 use sgd_datagen::libsvm;
-use sgd_linalg::CpuExec;
+use sgd_linalg::{Exec, Scalar};
 use sgd_models::Examples;
 
+use crate::model::ServableModel;
 use crate::registry::ModelRegistry;
+
+/// Overload limits of a [`WireServer`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireConfig {
+    /// Requests allowed in flight (being scored) at once before the
+    /// server answers `ERR BUSY`.
+    pub max_inflight: usize,
+    /// Longest accepted request line, bytes; longer lines get a typed
+    /// `ERR` and are drained without buffering.
+    pub max_line_bytes: usize,
+    /// Read timeout installed on accepted connections; a connection
+    /// idle past it is closed (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Back-off hint advertised in `ERR BUSY retry_after=<secs>`.
+    pub retry_after_secs: f64,
+    /// Scoped worker threads accepting connections concurrently in
+    /// [`WireServer::serve_connections`].
+    pub workers: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig {
+            max_inflight: 64,
+            max_line_bytes: 64 * 1024,
+            read_timeout: Some(Duration::from_secs(5)),
+            retry_after_secs: 0.05,
+            workers: 4,
+        }
+    }
+}
+
+/// Scoring one parsed request as a backend job, so injected faults gate
+/// it exactly like any other dispatch.
+struct ScoreJob<'a> {
+    model: &'a ServableModel,
+    x: &'a Examples<'a>,
+}
+
+impl ExecTask for ScoreJob<'_> {
+    type Out = Vec<Scalar>;
+    fn run<E: Exec>(&mut self, e: &mut E) -> Vec<Scalar> {
+        self.model.predict_batch(e, self.x)
+    }
+}
 
 /// A front-end serving one named registry entry over a TCP listener.
 pub struct WireServer<'a> {
     registry: &'a ModelRegistry,
     model_name: String,
+    config: WireConfig,
+    inflight: Mutex<usize>,
+    session: Mutex<BackendSession>,
+}
+
+/// Decrements the in-flight count when a request finishes, even if the
+/// scoring path unwinds.
+struct InflightGuard<'a> {
+    counter: &'a Mutex<usize>,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let mut n = lock_tolerant(self.counter);
+        *n = n.saturating_sub(1);
+    }
+}
+
+/// Poison-tolerant mutex lock: a panicking scorer thread must not wedge
+/// the counter or the session for every later request (the registry's
+/// discipline, applied to the front-end).
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One bounded-buffer line read.
+enum LineRead {
+    /// A complete line (terminator stripped) within the byte bound.
+    Line(String),
+    /// The line exceeded the bound; its bytes were drained, not kept.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line through the reader's own buffer,
+/// never holding more than `max_bytes` of it: past the bound the rest
+/// of the line is consumed and discarded. `Ok(None)` is EOF.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> std::io::Result<Option<LineRead>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflow {
+            if buf.len().saturating_add(take) > max_bytes {
+                overflow = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk.get(..take).unwrap_or(&[]));
+            }
+        }
+        let eat = take + usize::from(newline.is_some());
+        reader.consume(eat);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if overflow {
+        Ok(Some(LineRead::TooLong))
+    } else {
+        Ok(Some(LineRead::Line(String::from_utf8_lossy(&buf).into_owned())))
+    }
+}
+
+/// `true` for the error kinds a read timeout surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
 impl<'a> WireServer<'a> {
-    /// A server scoring requests against `model_name` in `registry`.
+    /// A server scoring requests against `model_name` in `registry`,
+    /// with default overload limits.
     pub fn new(registry: &'a ModelRegistry, model_name: &str) -> Self {
-        WireServer { registry, model_name: model_name.to_string() }
+        WireServer::with_config(registry, model_name, WireConfig::default())
     }
 
-    /// Serves one accepted connection to completion (client EOF).
-    /// Returns the number of request lines handled.
+    /// A server with explicit overload limits.
+    pub fn with_config(registry: &'a ModelRegistry, model_name: &str, config: WireConfig) -> Self {
+        WireServer {
+            registry,
+            model_name: model_name.to_string(),
+            config,
+            inflight: Mutex::new(0),
+            session: Mutex::new(BackendSession::new()),
+        }
+    }
+
+    /// Installs a deterministic fault gate on the scoring backend:
+    /// subsequent requests draw one decision each from `plan` (see
+    /// [`sgd_core::DispatchFaults`]) — a dead backend answers
+    /// `ERR backend down ...; retry`, a straggler completes slowly.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        lock_tolerant(&self.session).install_faults(plan);
+    }
+
+    /// Serves one accepted connection to completion (client EOF, or the
+    /// configured read timeout). Returns the number of request lines
+    /// handled.
     pub fn handle(&self, stream: TcpStream) -> std::io::Result<usize> {
+        stream.set_read_timeout(self.config.read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         self.serve_lines(reader, stream)
     }
 
-    /// Accepts and serves `connections` sequential connections from the
-    /// listener — enough for a loopback smoke without a thread-per-client
+    /// Accepts `connections` connections and serves them on a small
+    /// bounded pool of scoped worker threads ([`WireConfig::workers`]),
+    /// so a stalled client occupies one worker instead of blocking the
     /// accept loop. Returns total request lines handled.
     pub fn serve_connections(
         &self,
         listener: &TcpListener,
         connections: usize,
     ) -> std::io::Result<usize> {
-        let mut handled = 0;
-        for _ in 0..connections {
-            let (stream, _addr) = listener.accept()?;
-            handled += self.handle(stream)?;
-        }
-        Ok(handled)
+        let workers = self.config.workers.max(1).min(connections.max(1));
+        let handled = Mutex::new(0usize);
+        let claimed = Mutex::new(0usize);
+        let first_err: Mutex<Option<std::io::Error>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    {
+                        let mut n = lock_tolerant(&claimed);
+                        if *n >= connections {
+                            break;
+                        }
+                        *n += 1;
+                    }
+                    match listener.accept().and_then(|(stream, _addr)| self.handle(stream)) {
+                        Ok(h) => *lock_tolerant(&handled) += h,
+                        Err(e) => {
+                            let mut slot = lock_tolerant(&first_err);
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let outcome = match lock_tolerant(&first_err).take() {
+            Some(e) => Err(e),
+            None => Ok(*lock_tolerant(&handled)),
+        };
+        outcome
     }
 
-    /// The transport-agnostic core: reads request lines from `reader`,
-    /// writes one response line each to `writer`.
+    /// The transport-agnostic core: reads request lines from `reader`
+    /// through a bounded buffer, writes one response line each to
+    /// `writer`. A read timeout ends the connection cleanly (`Ok`);
+    /// other I/O errors propagate.
     pub fn serve_lines<R: BufRead, W: Write>(
         &self,
-        reader: R,
+        mut reader: R,
         mut writer: W,
     ) -> std::io::Result<usize> {
         let mut handled = 0;
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let response = self.score_line(&line);
+        loop {
+            let read = match read_bounded_line(&mut reader, self.config.max_line_bytes) {
+                Ok(r) => r,
+                Err(e) if is_timeout(&e) => break,
+                Err(e) => return Err(e),
+            };
+            let response = match read {
+                None => break,
+                Some(LineRead::TooLong) => {
+                    format!("ERR line too long (max {} bytes)", self.config.max_line_bytes)
+                }
+                Some(LineRead::Line(line)) => {
+                    let line = line.trim_end_matches('\r');
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match self.try_acquire() {
+                        None => format!("ERR BUSY retry_after={}", self.config.retry_after_secs),
+                        Some(_inflight) => self.score_line(line),
+                    }
+                }
+            };
             writer.write_all(response.as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
@@ -79,7 +294,18 @@ impl<'a> WireServer<'a> {
         Ok(handled)
     }
 
-    /// Scores one request line against the current snapshot.
+    /// Claims an in-flight slot, or `None` past the bound.
+    fn try_acquire(&self) -> Option<InflightGuard<'_>> {
+        let mut n = lock_tolerant(&self.inflight);
+        if *n >= self.config.max_inflight {
+            return None;
+        }
+        *n += 1;
+        Some(InflightGuard { counter: &self.inflight })
+    }
+
+    /// Scores one request line against the current snapshot through the
+    /// fault-gated backend dispatch.
     fn score_line(&self, line: &str) -> String {
         let Some(snap) = self.registry.get(&self.model_name) else {
             return format!("ERR no model published under '{}'", self.model_name);
@@ -92,12 +318,119 @@ impl<'a> WireServer<'a> {
         if ds.x.rows() != 1 {
             return format!("ERR expected exactly one example per line, got {}", ds.x.rows());
         }
-        let scores = snap.model.predict_batch(&mut CpuExec::seq(), &Examples::Sparse(&ds.x));
-        match scores.first() {
-            Some(d) => format!("OK {d}"),
-            None => "ERR empty prediction".to_string(),
+        let x = Examples::Sparse(&ds.x);
+        let mut job = ScoreJob { model: &snap.model, x: &x };
+        let mut session = lock_tolerant(&self.session);
+        match ComputeBackend::CpuSeq.try_dispatch(&mut session, &mut job) {
+            Ok(d) => match d.out.first() {
+                Some(v) => format!("OK {v}"),
+                None => "ERR empty prediction".to_string(),
+            },
+            Err(fault) => format!("ERR {fault}; retry"),
         }
     }
+}
+
+/// One parsed wire response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResponse {
+    /// `OK <decision>`.
+    Ok(f64),
+    /// `ERR BUSY retry_after=<secs>` — back off and retry.
+    Busy {
+        /// Server-advertised back-off, seconds.
+        retry_after: f64,
+    },
+    /// Any other `ERR <detail>`; `retryable` is set for transient
+    /// backend faults (`ERR backend down ...; retry`).
+    Err {
+        /// The server's error detail.
+        detail: String,
+        /// Whether the server marked the failure transient.
+        retryable: bool,
+    },
+}
+
+/// A loadgen client: scores lines over a wire connection, with a
+/// retry-with-backoff mode that honors `ERR BUSY retry_after=` hints
+/// and retries transient backend faults.
+pub struct WireClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Retries [`WireClient::score_with_retry`] attempts past the first.
+    pub max_retries: usize,
+    /// Base back-off between fault retries (doubles each attempt);
+    /// `ERR BUSY` responses use the server's hint instead.
+    pub backoff: Duration,
+}
+
+impl WireClient {
+    /// Connects to a wire server.
+    pub fn connect(addr: std::net::SocketAddr) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(WireClient { writer, reader, max_retries: 3, backoff: Duration::from_millis(10) })
+    }
+
+    /// Sends one LIBSVM request line, returns the parsed response.
+    pub fn score(&mut self, line: &str) -> std::io::Result<WireResponse> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        Ok(parse_response(response.trim_end()))
+    }
+
+    /// Sends one request, retrying `ERR BUSY` (after the server's
+    /// advertised `retry_after`) and transient backend faults (after an
+    /// exponential back-off) up to `max_retries` times. Returns the
+    /// final response and how many retries were spent.
+    pub fn score_with_retry(&mut self, line: &str) -> std::io::Result<(WireResponse, usize)> {
+        let mut backoff = self.backoff;
+        let mut retries = 0;
+        loop {
+            let response = self.score(line)?;
+            let wait = match &response {
+                WireResponse::Busy { retry_after } => {
+                    // A hostile server can advertise NaN; clamp passes NaN
+                    // through and Duration::from_secs_f64 would panic on it.
+                    let hint = if retry_after.is_finite() { *retry_after } else { 0.0 };
+                    Some(Duration::from_secs_f64(hint.clamp(0.0, 1.0)))
+                }
+                WireResponse::Err { retryable: true, .. } => Some(backoff),
+                _ => None,
+            };
+            match wait {
+                Some(d) if retries < self.max_retries => {
+                    std::thread::sleep(d);
+                    backoff = backoff.saturating_mul(2);
+                    retries += 1;
+                }
+                _ => return Ok((response, retries)),
+            }
+        }
+    }
+}
+
+/// Parses one response line into a [`WireResponse`].
+fn parse_response(line: &str) -> WireResponse {
+    if let Some(rest) = line.strip_prefix("OK ") {
+        return match rest.trim().parse::<f64>() {
+            Ok(v) => WireResponse::Ok(v),
+            Err(_) => WireResponse::Err {
+                detail: format!("unparseable OK payload: {rest}"),
+                retryable: false,
+            },
+        };
+    }
+    if let Some(rest) = line.strip_prefix("ERR BUSY retry_after=") {
+        let retry_after = rest.trim().parse::<f64>().unwrap_or(0.05);
+        return WireResponse::Busy { retry_after };
+    }
+    let detail = line.strip_prefix("ERR ").unwrap_or(line).to_string();
+    let retryable = detail.starts_with("backend down");
+    WireResponse::Err { detail, retryable }
 }
 
 #[cfg(test)]
@@ -143,6 +476,151 @@ mod tests {
         let mut out = Vec::new();
         srv.serve_lines(BufReader::new("+1 1:1\n".as_bytes()), &mut out).expect("io");
         assert!(String::from_utf8(out).expect("utf8").starts_with("ERR "));
+    }
+
+    #[test]
+    fn oversized_line_is_typed_and_bounded_not_buffered() {
+        let reg = registry_with_lr(vec![1.0, 2.0]);
+        let cfg = WireConfig { max_line_bytes: 32, ..WireConfig::default() };
+        let srv = WireServer::with_config(&reg, "m", cfg);
+        // A line far over the cap, then a normal request: the oversized
+        // one gets a typed ERR and the connection keeps serving.
+        let long = "a".repeat(10_000);
+        let input = format!("{long}\n+1 1:2\n");
+        let mut out = Vec::new();
+        let handled = srv
+            .serve_lines(BufReader::new(input.as_bytes()), BufWriter::new(&mut out))
+            .expect("io");
+        assert_eq!(handled, 2);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.first().copied(), Some("ERR line too long (max 32 bytes)"));
+        assert_eq!(lines.get(1).copied(), Some("OK 2"));
+    }
+
+    #[test]
+    fn zero_inflight_budget_answers_busy_with_retry_hint() {
+        let reg = registry_with_lr(vec![1.0]);
+        let cfg = WireConfig { max_inflight: 0, retry_after_secs: 0.25, ..WireConfig::default() };
+        let srv = WireServer::with_config(&reg, "m", cfg);
+        let mut out = Vec::new();
+        srv.serve_lines(BufReader::new("+1 1:1\n".as_bytes()), &mut out).expect("io");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.trim_end(), "ERR BUSY retry_after=0.25");
+        assert_eq!(parse_response(text.trim_end()), WireResponse::Busy { retry_after: 0.25 });
+    }
+
+    #[test]
+    fn injected_backend_death_surfaces_as_typed_retryable_err() {
+        let reg = registry_with_lr(vec![1.0, 2.0]);
+        let srv = WireServer::new(&reg, "m");
+        // cpu-seq occupies fault worker slot 0; dead from dispatch 1.
+        srv.install_faults(FaultPlan::default().with_seed(3).with_worker_death(0, 1));
+        let mut out = Vec::new();
+        let handled =
+            srv.serve_lines(BufReader::new("+1 1:1\n+1 1:1\n".as_bytes()), &mut out).expect("io");
+        assert_eq!(handled, 2);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.first().copied(), Some("OK 1"), "first dispatch is healthy");
+        let second = lines.get(1).copied().unwrap_or("");
+        assert!(second.starts_with("ERR backend down"), "typed fault, got {second}");
+        assert!(second.ends_with("; retry"));
+        let parsed = parse_response(second);
+        assert!(
+            matches!(parsed, WireResponse::Err { retryable: true, .. }),
+            "fault is marked transient"
+        );
+    }
+
+    #[test]
+    fn read_timeout_ends_a_silent_connection_cleanly() {
+        let reg = registry_with_lr(vec![1.0]);
+        let cfg =
+            WireConfig { read_timeout: Some(Duration::from_millis(50)), ..WireConfig::default() };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server =
+                s.spawn(|| WireServer::with_config(&reg, "m", cfg).serve_connections(&listener, 1));
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            conn.write_all(b"+1 1:3\n").expect("write");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            assert_eq!(line.trim(), "OK 3");
+            // Send nothing more: the server must time out and return Ok
+            // instead of pinning the worker forever.
+            assert_eq!(server.join().expect("no panic").expect("clean timeout"), 1);
+        });
+    }
+
+    #[test]
+    fn concurrent_workers_serve_past_a_stalled_connection() {
+        let reg = registry_with_lr(vec![1.0]);
+        let cfg = WireConfig {
+            workers: 2,
+            read_timeout: Some(Duration::from_millis(500)),
+            ..WireConfig::default()
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server =
+                s.spawn(|| WireServer::with_config(&reg, "m", cfg).serve_connections(&listener, 2));
+            // First client connects and stalls silently.
+            let stalled = TcpStream::connect(addr).expect("connect stalled");
+            // Second client must still get served while the first stalls.
+            let mut client = WireClient::connect(addr).expect("connect live");
+            let resp = client.score("+1 1:4").expect("score");
+            assert_eq!(resp, WireResponse::Ok(4.0));
+            drop(client);
+            drop(stalled);
+            let handled = server.join().expect("no panic").expect("serve");
+            assert_eq!(handled, 1, "one line served; the stalled client timed out");
+        });
+    }
+
+    #[test]
+    fn client_retries_busy_then_gives_up_with_the_last_response() {
+        let reg = registry_with_lr(vec![1.0]);
+        let cfg = WireConfig { max_inflight: 0, retry_after_secs: 0.001, ..WireConfig::default() };
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server =
+                s.spawn(|| WireServer::with_config(&reg, "m", cfg).serve_connections(&listener, 1));
+            let mut client = WireClient::connect(addr).expect("connect");
+            client.max_retries = 2;
+            let (resp, retries) = client.score_with_retry("+1 1:1").expect("score");
+            assert_eq!(resp, WireResponse::Busy { retry_after: 0.001 });
+            assert_eq!(retries, 2, "both retries spent against a saturated server");
+            drop(client);
+            let handled = server.join().expect("no panic").expect("serve");
+            assert_eq!(handled, 3, "initial attempt plus two retries all answered");
+        });
+    }
+
+    #[test]
+    fn client_retry_rides_out_a_transient_backend_fault() {
+        let reg = registry_with_lr(vec![2.0]);
+        let srv = WireServer::new(&reg, "m");
+        // Dead only for dispatch 0 is not expressible (death is an
+        // epoch onset), so invert: straggler first, healthy math — the
+        // retry path is exercised by the BUSY test; here we pin that a
+        // straggling backend still answers OK through the client.
+        srv.install_faults(FaultPlan::default().with_seed(9).with_straggler(0, 8.0));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::scope(|s| {
+            let server = s.spawn(|| srv.serve_connections(&listener, 1));
+            let mut client = WireClient::connect(addr).expect("connect");
+            let (resp, retries) = client.score_with_retry("+1 1:3").expect("score");
+            assert_eq!(resp, WireResponse::Ok(6.0), "straggler completes, slowly");
+            assert_eq!(retries, 0);
+            drop(client);
+            server.join().expect("no panic").expect("serve");
+        });
     }
 
     #[test]
