@@ -16,6 +16,7 @@
 
 pub mod baseline;
 pub mod passes;
+pub mod semantic;
 pub mod source;
 pub mod workspace;
 
@@ -23,7 +24,7 @@ use std::io;
 use std::path::Path;
 
 use baseline::{Baseline, StaleEntry};
-use passes::Finding;
+use passes::{AllowedFinding, Finding};
 
 /// Outcome of a full workspace check.
 #[derive(Debug, Default)]
@@ -34,6 +35,9 @@ pub struct CheckReport {
     pub grandfathered: Vec<Finding>,
     /// Baseline entries nothing matched — stale debt to delete.
     pub stale: Vec<StaleEntry>,
+    /// Findings suppressed by `allow` annotations, with their reasons —
+    /// the audit trail `--json` exposes.
+    pub allowed: Vec<AllowedFinding>,
     /// How many files were scanned.
     pub files_scanned: usize,
 }
@@ -44,24 +48,116 @@ impl CheckReport {
     pub fn is_clean(&self) -> bool {
         self.fresh.is_empty()
     }
-}
 
-/// Scans every in-scope workspace file with every pass and splits the
-/// findings against `baseline`.
-pub fn run_check(root: &Path, baseline: &Baseline) -> io::Result<CheckReport> {
-    let findings = scan(root)?;
-    let files_scanned = workspace::source_files(root)?.len();
-    let (fresh, grandfathered, stale) = baseline.split(findings);
-    Ok(CheckReport { fresh, grandfathered, stale, files_scanned })
-}
-
-/// Raw findings for the whole workspace (pre-baseline), in file order.
-pub fn scan(root: &Path) -> io::Result<Vec<Finding>> {
-    let passes = passes::all_passes();
-    let mut findings = Vec::new();
-    for rel in workspace::source_files(root)? {
-        let sf = source::SourceFile::load(root, &rel)?;
-        findings.extend(passes::analyze_file(&sf, &passes));
+    /// Machine-readable rendering for `check --json` (the CI artifact).
+    /// Hand-rolled — the container is offline, so no serde — but
+    /// escaping-complete for the strings this tree produces.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        let finding_obj = |f: &Finding, extra: &str| {
+            format!(
+                "{{\"pass\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \
+                 \"snippet\": {}{extra}}}",
+                json_str(f.pass),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.snippet),
+            )
+        };
+        let list = |name: &str, items: &[Finding], last: bool| {
+            let body: Vec<String> =
+                items.iter().map(|f| format!("    {}", finding_obj(f, ""))).collect();
+            format!("  \"{name}\": [\n{}\n  ]{}\n", body.join(",\n"), if last { "" } else { "," })
+        };
+        if self.fresh.is_empty() {
+            s.push_str("  \"fresh\": [],\n");
+        } else {
+            s.push_str(&list("fresh", &self.fresh, false));
+        }
+        if self.grandfathered.is_empty() {
+            s.push_str("  \"grandfathered\": [],\n");
+        } else {
+            s.push_str(&list("grandfathered", &self.grandfathered, false));
+        }
+        if self.allowed.is_empty() {
+            s.push_str("  \"allowed\": [],\n");
+        } else {
+            let body: Vec<String> = self
+                .allowed
+                .iter()
+                .map(|a| {
+                    format!(
+                        "    {}",
+                        finding_obj(
+                            &a.finding,
+                            &format!(", \"allow_reason\": {}", json_str(&a.reason))
+                        )
+                    )
+                })
+                .collect();
+            s.push_str(&format!("  \"allowed\": [\n{}\n  ],\n", body.join(",\n")));
+        }
+        if self.stale.is_empty() {
+            s.push_str("  \"stale\": []\n");
+        } else {
+            let body: Vec<String> = self
+                .stale
+                .iter()
+                .map(|e| {
+                    format!(
+                        "    {{\"pass\": {}, \"file\": {}, \"snippet\": {}}}",
+                        json_str(&e.pass),
+                        json_str(&e.file),
+                        json_str(&e.snippet),
+                    )
+                })
+                .collect();
+            s.push_str(&format!("  \"stale\": [\n{}\n  ]\n", body.join(",\n")));
+        }
+        s.push_str("}\n");
+        s
     }
-    Ok(findings)
+}
+
+/// JSON string literal with full control/quote/backslash escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Scans every in-scope workspace file with every pass — line passes
+/// per file, model passes once over the whole workspace — and splits
+/// the findings against `baseline`.
+pub fn run_check(root: &Path, baseline: &Baseline) -> io::Result<CheckReport> {
+    let analysis = scan(root)?;
+    let files_scanned = workspace::source_files(root)?.len();
+    let (fresh, grandfathered, stale) = baseline.split(analysis.findings);
+    Ok(CheckReport { fresh, grandfathered, stale, allowed: analysis.allowed, files_scanned })
+}
+
+/// Raw analysis for the whole workspace (pre-baseline), in file order.
+pub fn scan(root: &Path) -> io::Result<passes::Analysis> {
+    let passes = passes::all_passes();
+    let mut files = Vec::new();
+    for rel in workspace::source_files(root)? {
+        files.push(source::SourceFile::load(root, &rel)?);
+    }
+    let deps = workspace::crate_deps(root)?;
+    Ok(passes::analyze_workspace(&files, &passes, deps))
 }

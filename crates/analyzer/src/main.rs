@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p sgd-analyzer -- check              # the CI gate
 //! cargo run -p sgd-analyzer -- check --verbose    # also enumerate grandfathered findings
+//! cargo run -p sgd-analyzer -- check --json       # machine-readable report on stdout
 //! cargo run -p sgd-analyzer -- baseline           # print a fresh baseline to stdout
 //! cargo run -p sgd-analyzer -- passes             # list the pass roster
 //! ```
@@ -31,6 +32,8 @@ OPTIONS:
     --root <dir>        workspace root (default: auto-detect from cwd)
     --baseline <file>   baseline path (default: <root>/analyzer-baseline.toml)
     --verbose           check: also enumerate grandfathered findings
+    --json              check: print a machine-readable report to stdout
+                        (exit codes unchanged; human prose goes to stderr)
 ";
 
 struct Args {
@@ -38,6 +41,7 @@ struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     verbose: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let Some(cmd) = argv.next() else {
         return Err("missing subcommand".to_string());
     };
-    let mut args = Args { cmd, root: None, baseline: None, verbose: false };
+    let mut args = Args { cmd, root: None, baseline: None, verbose: false, json: false };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--root" => {
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(argv.next().ok_or("--baseline requires a file argument")?.into());
             }
             "--verbose" => args.verbose = true,
+            "--json" => args.json = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -122,6 +127,16 @@ fn cmd_check(args: &Args, root: &std::path::Path) -> ExitCode {
         }
     };
 
+    if args.json {
+        // The artifact: machine-readable report on stdout, same exit
+        // codes as the human mode.
+        print!("{}", report.to_json());
+        if report.is_clean() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("sgd-analyzer: {} new finding(s) (see JSON report)", report.fresh.len());
+        return ExitCode::from(1);
+    }
     if args.verbose && !report.grandfathered.is_empty() {
         println!("grandfathered findings ({}):", report.grandfathered.len());
         for f in &report.grandfathered {
@@ -163,8 +178,8 @@ fn print_finding(f: &Finding, prefix: &str) {
 
 fn cmd_baseline(root: &std::path::Path) -> ExitCode {
     match sgd_analyzer::scan(root) {
-        Ok(findings) => {
-            print!("{}", Baseline::render(&findings));
+        Ok(analysis) => {
+            print!("{}", Baseline::render(&analysis.findings));
             ExitCode::SUCCESS
         }
         Err(e) => {

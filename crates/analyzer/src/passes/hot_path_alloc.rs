@@ -1,0 +1,112 @@
+//! Pass 8: hot-path allocation (call-graph-transitive).
+//!
+//! PR 7's overload claim is that the shed/reject paths are
+//! allocation-bounded — the server does *less* work per request as load
+//! rises, not more. And the kernels' claim (the paper's subject) is
+//! that the inner loops run at memory bandwidth, which a stray
+//! `format!` or `Vec::new` per element quietly breaks. This pass makes
+//! both claims machine-checked: functions annotated
+//! `// analyzer: root(hot-path-alloc) -- <reason>` (admission
+//! enqueue/shed/reject, wire reply formatting, kernel inner loops) seed
+//! a walk over the conservative call graph, and every reachable
+//! function is scanned for allocation tokens:
+//!
+//! * flagged anywhere: `format!(`, `vec![`, `Vec::new(`,
+//!   `String::new(`, `Box::new(`, `.to_string()`, `.to_vec()`,
+//!   `.to_owned()`, `.clone()`;
+//! * flagged only inside a `for`/`while`/`loop` body (amortized-growth
+//!   calls that are fine once but hot in a loop): `.push(`,
+//!   `.with_capacity(`, `.extend(`, `.extend_from_slice(`,
+//!   `.insert(`, `.collect()`.
+//!
+//! An `allow(hot-path-alloc)` on a *call line* prunes the walk through
+//! that call (a vetted boundary — e.g. a batch-bounded predict); on an
+//! allocation line it suppresses that site. Messages carry the call
+//! chain from the root so a finding three hops deep is still
+//! actionable. The analyzer's own sources are excluded — name-based
+//! resolution would otherwise chase workspace-wide names (`run`,
+//! `scan`) into this crate, which serves no request.
+
+use std::collections::BTreeSet;
+
+use super::{Finding, Pass};
+use crate::semantic::SemanticModel;
+use crate::source::SourceFile;
+
+/// Tokens that allocate every time they execute.
+const ALWAYS: [&str; 9] = [
+    "format!(",
+    "vec![",
+    "Vec::new(",
+    "String::new(",
+    "Box::new(",
+    ".to_string()",
+    ".to_vec()",
+    ".to_owned()",
+    ".clone()",
+];
+
+/// Tokens that are amortized-fine once but allocation-hot in a loop.
+const IN_LOOP: [&str; 6] =
+    [".push(", ".with_capacity(", ".extend(", ".extend_from_slice(", ".insert(", ".collect()"];
+
+pub struct HotPathAlloc;
+
+impl Pass for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "no allocation reachable from annotated hot-path roots (shed paths, kernels)"
+    }
+
+    /// Model-only pass: the line hook never fires.
+    fn in_scope(&self, _rel_path: &str) -> bool {
+        false
+    }
+
+    fn check_line(&self, _sf: &SourceFile, _line0: usize, _code: &str, _out: &mut Vec<Finding>) {}
+
+    fn check_model(&self, model: &SemanticModel<'_>, out: &mut Vec<Finding>) {
+        let roots = model.roots_for(self.id());
+        let reached = model.reachable_from(&roots, self.id());
+        // One finding per line even when several fns overlap it (nested
+        // items share span lines with their parent).
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (r, chain) in &reached {
+            let sf = &model.files[r.file];
+            if sf.rel_path.starts_with("crates/analyzer/") {
+                continue;
+            }
+            let Some(item) = model.item(*r) else { continue };
+            if item.is_test {
+                continue;
+            }
+            let syntax = &model.syntax[r.file];
+            for line0 in item.start_line..=item.end_line.min(sf.code.len().saturating_sub(1)) {
+                if !seen.insert((r.file, line0)) {
+                    continue;
+                }
+                let code = &sf.code[line0];
+                let in_loop = syntax.loop_depth.get(line0).copied().unwrap_or(0) > 0;
+                let hit = ALWAYS.iter().find(|tok| code.contains(*tok)).or_else(|| {
+                    in_loop.then(|| IN_LOOP.iter().find(|tok| code.contains(*tok))).flatten()
+                });
+                if let Some(tok) = hit {
+                    out.push(super::finding(
+                        self.id(),
+                        sf,
+                        line0,
+                        format!(
+                            "`{tok}` allocates on a hot path (reachable as {}): preallocate \
+                             or reuse a caller-owned buffer, or justify the bound with an \
+                             allow annotation",
+                            chain.join(" -> "),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,14 +1,20 @@
-//! The pass framework and the six invariant passes.
+//! The pass framework and the eight invariant passes.
 //!
 //! Each pass is a line-level checker over a [`SourceFile`]'s code view
-//! (comments and literals already blanked). The driver walks every
-//! non-test line of every in-scope file, collects [`Finding`]s, and then
-//! filters the ones suppressed by `// analyzer: allow(<pass>) -- <reason>`
-//! annotations.
+//! (comments and literals already blanked), optionally with a
+//! workspace-level hook ([`Pass::check_model`]) that sees the
+//! [`SemanticModel`] — the call graph and lock-guard liveness spans.
+//! The driver walks every non-test line of every in-scope file, runs
+//! the model hooks once over the whole workspace, collects
+//! [`Finding`]s, and then filters the ones suppressed by
+//! `// analyzer: allow(<pass>) -- <reason>` annotations (recording the
+//! suppressed ones with their reasons for the `--json` audit trail).
 
 mod atomics;
 mod determinism;
 mod float_discipline;
+mod hot_path_alloc;
+mod lock_discipline;
 mod panic_freedom;
 mod queue_discipline;
 mod threads;
@@ -16,10 +22,13 @@ mod threads;
 pub use atomics::Atomics;
 pub use determinism::Determinism;
 pub use float_discipline::FloatDiscipline;
+pub use hot_path_alloc::HotPathAlloc;
+pub use lock_discipline::LockDiscipline;
 pub use panic_freedom::PanicFreedom;
 pub use queue_discipline::QueueDiscipline;
 pub use threads::ThreadDiscipline;
 
+use crate::semantic::SemanticModel;
 use crate::source::SourceFile;
 
 /// One rule violation at a specific source line.
@@ -38,7 +47,7 @@ pub struct Finding {
     pub snippet: String,
 }
 
-/// A line-level invariant checker.
+/// An invariant checker: line-level, workspace-level, or both.
 pub trait Pass {
     /// Stable identifier used in `allow` annotations and the baseline.
     fn id(&self) -> &'static str;
@@ -46,8 +55,19 @@ pub trait Pass {
     fn description(&self) -> &'static str;
     /// Does this pass inspect the file at `rel_path`?
     fn in_scope(&self, rel_path: &str) -> bool;
+    /// Does this pass also apply to `examples/` files? Most invariants
+    /// guard *shipped library code*; examples are user-facing idiom
+    /// demos with their own, looser contract.
+    fn applies_to_examples(&self) -> bool {
+        false
+    }
     /// Checks one code-view line (`line0` is 0-based).
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>);
+    /// Checks the whole workspace through the semantic model (call
+    /// graph, guard liveness). Default: line-level only.
+    fn check_model(&self, model: &SemanticModel<'_>, out: &mut Vec<Finding>) {
+        let _ = (model, out);
+    }
 }
 
 /// The full pass roster, in report order.
@@ -59,14 +79,45 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(FloatDiscipline),
         Box::new(ThreadDiscipline),
         Box::new(QueueDiscipline),
+        Box::new(LockDiscipline),
+        Box::new(HotPathAlloc),
     ]
+}
+
+/// A finding an `allow` annotation suppressed, with its stated reason —
+/// enumerated (not failing) so `--json` can emit the audit trail.
+#[derive(Clone, Debug)]
+pub struct AllowedFinding {
+    /// The suppressed finding.
+    pub finding: Finding,
+    /// The reason from the annotation.
+    pub reason: String,
+}
+
+/// Everything one analysis produced.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Violations (pre-baseline).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `allow` annotations, with reasons.
+    pub allowed: Vec<AllowedFinding>,
 }
 
 /// Runs every in-scope pass over the file, honoring test-code exemption
 /// and `allow` annotations, and reporting malformed annotations.
 pub fn analyze_file(sf: &SourceFile, passes: &[Box<dyn Pass>]) -> Vec<Finding> {
-    let mut out = Vec::new();
-    let scoped: Vec<&Box<dyn Pass>> = passes.iter().filter(|p| p.in_scope(&sf.rel_path)).collect();
+    let mut analysis = Analysis::default();
+    analyze_file_into(sf, passes, &mut analysis);
+    analysis.findings
+}
+
+/// Line-pass half of the analysis, accumulating into `out`.
+fn analyze_file_into(sf: &SourceFile, passes: &[Box<dyn Pass>], out: &mut Analysis) {
+    let example = sf.rel_path.starts_with("examples/");
+    let scoped: Vec<&Box<dyn Pass>> = passes
+        .iter()
+        .filter(|p| p.in_scope(&sf.rel_path) && (!example || p.applies_to_examples()))
+        .collect();
     for (line0, code) in sf.code.iter().enumerate() {
         if sf.is_test(line0) {
             continue;
@@ -74,18 +125,65 @@ pub fn analyze_file(sf: &SourceFile, passes: &[Box<dyn Pass>]) -> Vec<Finding> {
         for pass in &scoped {
             let mut raw_findings = Vec::new();
             pass.check_line(sf, line0, code, &mut raw_findings);
-            out.extend(raw_findings.into_iter().filter(|f| !sf.allows(line0, f.pass)));
+            for f in raw_findings {
+                match sf.allow_reason(line0, f.pass) {
+                    Some(reason) => {
+                        out.allowed.push(AllowedFinding { finding: f, reason: reason.to_string() })
+                    }
+                    None => out.findings.push(f),
+                }
+            }
         }
     }
     for &line0 in &sf.bad_annotations {
-        out.push(finding(
+        out.findings.push(finding(
             "allow-syntax",
             sf,
             line0,
             "malformed analyzer annotation: expected `// analyzer: allow(<pass>) -- <reason>` \
-             (the reason is mandatory)"
+             or `// analyzer: root(<pass>) -- <reason>` (the reason is mandatory)"
                 .to_string(),
         ));
+    }
+}
+
+/// Runs the full analysis over a set of files: line passes per file,
+/// then every pass's workspace-level [`Pass::check_model`] hook over the
+/// [`SemanticModel`] built from all of them, with the same test-code and
+/// `allow` filtering applied to model findings. `deps` is the crate
+/// dependency closure from [`crate::workspace::crate_deps`] (pass an
+/// empty map to allow every cross-crate call edge).
+pub fn analyze_workspace(
+    files: &[SourceFile],
+    passes: &[Box<dyn Pass>],
+    deps: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+) -> Analysis {
+    let mut out = Analysis::default();
+    for sf in files {
+        analyze_file_into(sf, passes, &mut out);
+    }
+    let model = SemanticModel::build_with_deps(files, deps);
+    for pass in passes {
+        let mut raw = Vec::new();
+        pass.check_model(&model, &mut raw);
+        for f in raw {
+            if f.file.starts_with("examples/") && !pass.applies_to_examples() {
+                continue;
+            }
+            let Some(sf) = files.iter().find(|s| s.rel_path == f.file) else {
+                continue;
+            };
+            let line0 = f.line.saturating_sub(1);
+            if sf.is_test(line0) {
+                continue;
+            }
+            match sf.allow_reason(line0, f.pass) {
+                Some(reason) => {
+                    out.allowed.push(AllowedFinding { finding: f, reason: reason.to_string() })
+                }
+                None => out.findings.push(f),
+            }
+        }
     }
     out
 }

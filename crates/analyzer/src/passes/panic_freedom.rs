@@ -19,6 +19,7 @@
 //!   `get`/iterators, never trusted offsets.
 
 use super::{basename_in, finding, Finding, Pass};
+use crate::semantic::SemanticModel;
 use crate::source::SourceFile;
 
 const PANIC_TOKENS: [&str; 6] =
@@ -75,6 +76,48 @@ impl Pass for PanicFreedom {
                         col + 1
                     ),
                 ));
+            }
+        }
+    }
+
+    /// Transitive upgrade: the file list above covers where panics are
+    /// *written*; this covers where they are *reachable from*. Functions
+    /// annotated `// analyzer: root(panic-freedom) -- …` (the wire
+    /// request entry points) seed a call-graph walk, and panic tokens in
+    /// any reached function are flagged — but only in files the line
+    /// scope does not already cover, so nothing is reported twice. The
+    /// analyzer's own sources are excluded (name-based resolution would
+    /// chase ubiquitous names like `run` into this crate, which no
+    /// request reaches).
+    fn check_model(&self, model: &SemanticModel<'_>, out: &mut Vec<Finding>) {
+        let roots = model.roots_for(self.id());
+        let reached = model.reachable_from(&roots, self.id());
+        for (r, chain) in &reached {
+            let sf = &model.files[r.file];
+            if self.in_scope(&sf.rel_path) || sf.rel_path.starts_with("crates/analyzer/") {
+                continue;
+            }
+            let Some(item) = model.item(*r) else { continue };
+            if item.is_test {
+                continue;
+            }
+            for line0 in item.start_line..=item.end_line.min(sf.code.len().saturating_sub(1)) {
+                let code = &sf.code[line0];
+                for tok in PANIC_TOKENS {
+                    if code.contains(tok) {
+                        out.push(finding(
+                            self.id(),
+                            sf,
+                            line0,
+                            format!(
+                                "`{tok}` is reachable from a wire entry point (as {}): a \
+                                 panic here takes a request-serving thread down — convert \
+                                 to a typed error or justify with an allow annotation",
+                                chain.join(" -> "),
+                            ),
+                        ));
+                    }
+                }
             }
         }
     }

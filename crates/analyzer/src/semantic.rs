@@ -1,0 +1,804 @@
+//! Semantic model: a conservative intra-workspace view of `fn` items,
+//! call sites, lock-guard bindings, and the name-based call graph.
+//!
+//! The scanner below is a *token-level* pass over the blanked code view
+//! of every [`SourceFile`] — still not a parser, but enough structure
+//! for interprocedural passes:
+//!
+//! * **`fn` items** with their body's line span (brace matching),
+//! * **call sites** (`foo(…)`, `path::foo(…)`, `.method(…)`) attributed
+//!   to the innermost enclosing `fn`,
+//! * **lock-guard bindings** (`let g = ….lock()/.read()/.write()` and
+//!   the repo's poison-tolerant helpers) with the line span the guard
+//!   stays live over (to the end of its innermost block, or an explicit
+//!   `drop(g)`),
+//! * per-line **loop depth** (`for`/`while`/`loop` body nesting).
+//!
+//! On top of the per-file syntax, [`SemanticModel`] builds a symbol
+//! table (fn name → every definition workspace-wide) and resolves calls
+//! *by name alone*: a call to `foo` edges to every `fn foo` in the
+//! workspace. That is deliberately conservative — over-approximating
+//! reachability never hides a finding — with two documented limits:
+//! trait/std methods that no workspace `fn` defines produce no edge,
+//! and a short list of ubiquitous method names ([`UBIQUITOUS`]) is
+//! never traversed (a `.get(…)` would otherwise edge into every
+//! container in the tree). Allow annotations on a *call line* prune
+//! traversal through that call, so a justified boundary stops the walk.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::source::SourceFile;
+
+/// One `fn` item and everything scanned out of its body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The item's name (no path; methods and free fns look alike).
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 0-based line of the body's closing brace (== `start_line` for
+    /// bodyless trait-method declarations).
+    pub end_line: usize,
+    /// Calls made inside the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Whether the item sits inside `#[cfg(test)]` code.
+    pub is_test: bool,
+}
+
+/// One call site inside a `fn` body.
+#[derive(Debug)]
+pub struct CallSite {
+    /// Callee name — the last path segment (`pool::run` → `run`).
+    pub callee: String,
+    /// 0-based line of the call.
+    pub line: usize,
+    /// `true` for `.method(…)` receiver calls.
+    pub is_method: bool,
+}
+
+/// One `let` binding whose initializer acquires a lock guard.
+#[derive(Debug)]
+pub struct GuardBinding {
+    /// The bound name (`let mut g = …` → `g`).
+    pub name: String,
+    /// 0-based line of the `let`.
+    pub line: usize,
+    /// The initializer text (code view), for lock classification.
+    pub init: String,
+    /// 0-based line of the innermost enclosing block's closing brace —
+    /// the last line the guard can be live on (see [`GuardBinding::live_end`]).
+    pub scope_end: usize,
+    /// Index into [`FileSyntax::fns`] of the enclosing fn, if any.
+    pub fn_index: Option<usize>,
+}
+
+impl GuardBinding {
+    /// The last live line: `scope_end`, or the first `drop(<name>)` in
+    /// the scope if the code releases the guard early.
+    pub fn live_end(&self, sf: &SourceFile) -> usize {
+        let drop_tok = format!("drop({})", self.name);
+        for line0 in self.line + 1..=self.scope_end.min(sf.code.len().saturating_sub(1)) {
+            if sf.code.get(line0).is_some_and(|c| c.contains(&drop_tok)) {
+                return line0;
+            }
+        }
+        self.scope_end
+    }
+}
+
+/// Token-level syntax scanned out of one file.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// Every `fn` item, in source order.
+    pub fns: Vec<FnItem>,
+    /// Every lock-guard binding, in source order.
+    pub guards: Vec<GuardBinding>,
+    /// Per 0-based line: how many `for`/`while`/`loop` bodies enclose it.
+    pub loop_depth: Vec<u32>,
+}
+
+/// A `fn` item addressed across the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index into the model's file slice.
+    pub file: usize,
+    /// Index into that file's [`FileSyntax::fns`].
+    pub item: usize,
+}
+
+/// Method/function names so ubiquitous that name-based resolution would
+/// edge a call into every container/constructor in the workspace; the
+/// call graph does not traverse them. Token-level rules still see the
+/// *call line itself* in the caller, so e.g. a literal `Vec::new(` is
+/// caught where it is written.
+pub const UBIQUITOUS: [&str; 26] = [
+    "new",
+    "default",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "iter",
+    "iter_mut",
+    "next",
+    "clone",
+    "fmt",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "clear",
+    "contains",
+    "as_slice",
+    "label",
+    "rows",
+    "cols",
+    "map",
+    "sum",
+];
+
+/// Keywords that look like `ident(` call sites but are not.
+const KEYWORDS: [&str; 14] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "move", "in", "as",
+    "where", "impl",
+];
+
+/// The workspace-wide semantic model handed to call-graph passes
+/// alongside the per-file line view.
+pub struct SemanticModel<'a> {
+    /// The scanned files, exactly as handed to [`SemanticModel::build`].
+    pub files: &'a [SourceFile],
+    /// Per-file token-level syntax, parallel to `files`.
+    pub syntax: Vec<FileSyntax>,
+    /// fn name → every definition, workspace-wide.
+    symbols: BTreeMap<String, Vec<FnRef>>,
+    /// Transitive intra-workspace Cargo dependencies (crate dir name →
+    /// reachable crate dir names). Empty = no information: every edge
+    /// is allowed, which fixture-level tests rely on.
+    deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl<'a> SemanticModel<'a> {
+    /// Scans every file and assembles the symbol table, with no crate
+    /// dependency information (every cross-crate edge allowed).
+    pub fn build(files: &'a [SourceFile]) -> SemanticModel<'a> {
+        SemanticModel::build_with_deps(files, BTreeMap::new())
+    }
+
+    /// [`SemanticModel::build`], plus [`crate_deps`](crate::workspace::crate_deps)
+    /// output: name-resolved call edges that run *against* the Cargo
+    /// dependency direction (e.g. serve → bench, when bench depends on
+    /// serve) are refused — linkable code cannot make them.
+    pub fn build_with_deps(
+        files: &'a [SourceFile],
+        deps: BTreeMap<String, BTreeSet<String>>,
+    ) -> SemanticModel<'a> {
+        let syntax: Vec<FileSyntax> = files.iter().map(scan_file).collect();
+        let mut symbols: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, fs) in syntax.iter().enumerate() {
+            for (ii, f) in fs.fns.iter().enumerate() {
+                symbols.entry(f.name.clone()).or_default().push(FnRef { file: fi, item: ii });
+            }
+        }
+        SemanticModel { files, syntax, symbols, deps }
+    }
+
+    /// Can code in `from_file` link against a symbol in `to_file`?
+    /// Same crate: always. Into an example or the root binary: never
+    /// (they are link roots, nothing calls into them). Cross-crate:
+    /// only along the transitive Cargo dependency direction — unless no
+    /// dependency information was provided at all.
+    fn edge_allowed(&self, from_file: usize, to_file: usize) -> bool {
+        if from_file == to_file {
+            return true;
+        }
+        let to_path = &self.files[to_file].rel_path;
+        if to_path.starts_with("examples/") || to_path.starts_with("src/") {
+            return false;
+        }
+        let (from_crate, to_crate) = (crate_of(&self.files[from_file].rel_path), crate_of(to_path));
+        match (from_crate, to_crate) {
+            (Some(a), Some(b)) if a == b => true,
+            (_, Some(b)) => {
+                if self.deps.is_empty() {
+                    return true;
+                }
+                match from_crate {
+                    // Examples/root binaries may call any workspace crate.
+                    None => true,
+                    Some(a) => self.deps.get(a).is_some_and(|set| set.contains(b)),
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// The item a reference points at, if the ref is in range.
+    pub fn item(&self, r: FnRef) -> Option<&FnItem> {
+        self.syntax.get(r.file).and_then(|fs| fs.fns.get(r.item))
+    }
+
+    /// Every definition of `name`, workspace-wide.
+    pub fn fns_named(&self, name: &str) -> &[FnRef] {
+        self.symbols.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every fn carrying a `// analyzer: root(<pass>) -- …` annotation.
+    pub fn roots_for(&self, pass: &str) -> Vec<FnRef> {
+        let mut out = Vec::new();
+        for (fi, fs) in self.syntax.iter().enumerate() {
+            for (ii, f) in fs.fns.iter().enumerate() {
+                if self.files[fi].is_root(f.start_line, pass) {
+                    out.push(FnRef { file: fi, item: ii });
+                }
+            }
+        }
+        out
+    }
+
+    /// Conservative reachability: BFS over name-resolved call edges from
+    /// `roots`. Returns each reached fn with the call chain that first
+    /// reached it (root first). Traversal skips test fns, the
+    /// [`UBIQUITOUS`] names, and calls on lines carrying an
+    /// `allow(<pass>)` annotation — an annotated call line is a vetted
+    /// boundary for that pass.
+    pub fn reachable_from(&self, roots: &[FnRef], pass: &str) -> BTreeMap<FnRef, Vec<String>> {
+        let mut reached: BTreeMap<FnRef, Vec<String>> = BTreeMap::new();
+        let mut queue: VecDeque<FnRef> = VecDeque::new();
+        for &r in roots {
+            if let Some(f) = self.syntax.get(r.file).and_then(|fs| fs.fns.get(r.item)) {
+                reached.entry(r).or_insert_with(|| vec![f.name.clone()]);
+                queue.push_back(r);
+            }
+        }
+        while let Some(r) = queue.pop_front() {
+            let Some(f) = self.syntax.get(r.file).and_then(|fs| fs.fns.get(r.item)) else {
+                continue;
+            };
+            let chain = reached.get(&r).cloned().unwrap_or_default();
+            for call in &f.calls {
+                if UBIQUITOUS.contains(&call.callee.as_str()) {
+                    continue;
+                }
+                if self.files[r.file].allows(call.line, pass) {
+                    continue;
+                }
+                for &target in self.fns_named(&call.callee) {
+                    if !self.edge_allowed(r.file, target.file) {
+                        continue;
+                    }
+                    let tf = &self.syntax[target.file].fns[target.item];
+                    if tf.is_test || reached.contains_key(&target) {
+                        continue;
+                    }
+                    let mut c = chain.clone();
+                    c.push(tf.name.clone());
+                    reached.insert(target, c);
+                    queue.push_back(target);
+                }
+            }
+        }
+        reached
+    }
+}
+
+/// The crate dir name of a `crates/<dir>/src/…` path (`None` for the
+/// workspace-root `src/`, `examples/`, or anything else).
+pub fn crate_of(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (dir, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(dir)
+}
+
+/// Scans one file's code view into [`FileSyntax`].
+fn scan_file(sf: &SourceFile) -> FileSyntax {
+    Scanner::new(sf).run()
+}
+
+/// One open brace on the scanner's stack.
+enum Frame {
+    /// A `fn` body (index into `fns`).
+    Fn(usize),
+    /// A `for`/`while`/`loop` body.
+    Loop,
+    /// Any other block; carries the guard bindings opened inside it.
+    Other,
+}
+
+struct Scanner<'s> {
+    sf: &'s SourceFile,
+    out: FileSyntax,
+    /// Open braces, innermost last. Each frame carries the indices of
+    /// guard bindings whose scope it closes.
+    stack: Vec<(Frame, Vec<usize>)>,
+    /// Enclosing fn indices, innermost last (nested fns).
+    fn_stack: Vec<usize>,
+    loop_count: u32,
+    /// `fn` keyword seen; waiting for the name.
+    pending_fn_kw: bool,
+    /// fn name + line seen; waiting for `{` (body) or `;` (declaration).
+    pending_fn: Option<(String, usize)>,
+    /// `for`/`while`/`loop` seen; the next `{` opens a loop body.
+    pending_loop: bool,
+    /// `let` statement state: Some((bound name, let line)) while the
+    /// initializer is still being collected (until `;` at depth 0).
+    pending_let: Option<LetState>,
+    paren_depth: i32,
+}
+
+struct LetState {
+    name: Option<String>,
+    line: usize,
+    /// Initializer text accumulates here once `=` is seen.
+    init: Option<String>,
+    /// Paren/bracket depth when the `let` started, so the closing `;`
+    /// is matched at the same level (not one inside `[u8; 4]`).
+    base_paren: i32,
+}
+
+impl<'s> Scanner<'s> {
+    fn new(sf: &'s SourceFile) -> Scanner<'s> {
+        Scanner {
+            sf,
+            out: FileSyntax { loop_depth: vec![0; sf.code.len()], ..FileSyntax::default() },
+            stack: Vec::new(),
+            fn_stack: Vec::new(),
+            loop_count: 0,
+            pending_fn_kw: false,
+            pending_fn: None,
+            pending_loop: false,
+            pending_let: None,
+            paren_depth: 0,
+        }
+    }
+
+    fn run(mut self) -> FileSyntax {
+        for line0 in 0..self.sf.code.len() {
+            self.out.loop_depth[line0] = self.loop_count;
+            let line = self.sf.code[line0].clone();
+            self.scan_line(line0, &line);
+            // A loop body opened mid-line counts for that line too.
+            if self.loop_count > self.out.loop_depth[line0] {
+                self.out.loop_depth[line0] = self.loop_count;
+            }
+        }
+        // EOF closes whatever is still open (truncated input).
+        let last = self.sf.code.len().saturating_sub(1);
+        while let Some((frame, guards)) = self.stack.pop() {
+            self.close_frame(frame, guards, last);
+        }
+        self.out
+    }
+
+    fn close_frame(&mut self, frame: Frame, guards: Vec<usize>, line0: usize) {
+        for g in guards {
+            if let Some(b) = self.out.guards.get_mut(g) {
+                b.scope_end = line0;
+            }
+        }
+        match frame {
+            Frame::Fn(idx) => {
+                if let Some(f) = self.out.fns.get_mut(idx) {
+                    f.end_line = line0;
+                }
+                self.fn_stack.pop();
+            }
+            Frame::Loop => self.loop_count = self.loop_count.saturating_sub(1),
+            Frame::Other => {}
+        }
+    }
+
+    fn scan_line(&mut self, line0: usize, line: &str) {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let next_non_ws = chars[i..].iter().find(|c| !c.is_whitespace()).copied();
+                self.on_ident(line0, &word, start, next_non_ws, &chars, i);
+                continue;
+            }
+            match c {
+                '{' => self.on_open_brace(line0),
+                '}' => {
+                    if let Some((frame, guards)) = self.stack.pop() {
+                        self.close_frame(frame, guards, line0);
+                    }
+                }
+                '(' | '[' => self.paren_depth += 1,
+                ')' | ']' => self.paren_depth -= 1,
+                ';' => self.on_semicolon(line0),
+                '=' => self.on_equals(line0, &chars, i),
+                _ => {}
+            }
+            if let Some(st) = self.pending_let.as_mut() {
+                if let Some(init) = st.init.as_mut() {
+                    init.push(c);
+                }
+            }
+            i += 1;
+        }
+        // Statement text continues on the next line.
+        if let Some(st) = self.pending_let.as_mut() {
+            if let Some(init) = st.init.as_mut() {
+                init.push(' ');
+            }
+        }
+    }
+
+    fn on_ident(
+        &mut self,
+        line0: usize,
+        word: &str,
+        _start: usize,
+        next_non_ws: Option<char>,
+        chars: &[char],
+        end: usize,
+    ) {
+        // Accumulate initializer text before interpreting (so the lock
+        // tokens land in `init`).
+        if let Some(st) = self.pending_let.as_mut() {
+            if let Some(init) = st.init.as_mut() {
+                init.push_str(word);
+            }
+        }
+        if self.pending_fn_kw {
+            self.pending_fn_kw = false;
+            // `fn(` is a fn-pointer type, not an item.
+            if word != "fn" {
+                self.pending_fn = Some((word.to_string(), line0));
+                return;
+            }
+        }
+        match word {
+            "fn" => {
+                // `fn` directly followed by `(` is a fn-pointer type.
+                if next_non_ws != Some('(') {
+                    self.pending_fn_kw = true;
+                    self.pending_loop = false;
+                }
+            }
+            "for" => {
+                // `for<'a>` in a higher-ranked bound is a type, not a loop.
+                if next_non_ws != Some('<') {
+                    self.pending_loop = true;
+                }
+            }
+            "while" | "loop" => self.pending_loop = true,
+            "let" => {
+                if self.pending_let.is_none() {
+                    self.pending_let = Some(LetState {
+                        name: None,
+                        line: line0,
+                        init: None,
+                        base_paren: self.paren_depth,
+                    });
+                }
+            }
+            "mut" => {}
+            _ => {
+                // Bind the first plain ident after `let` as the name;
+                // tuple/struct patterns (`let (a, b)`, `let Some(x)`) are
+                // skipped — guards live in simple bindings in this tree.
+                if let Some(st) = self.pending_let.as_mut() {
+                    if st.name.is_none() && st.init.is_none() {
+                        if word.chars().next().is_some_and(|c| c.is_uppercase()) || word == "_" {
+                            self.pending_let = None;
+                        } else {
+                            st.name = Some(word.to_string());
+                        }
+                        return;
+                    }
+                }
+                // A call site: ident directly followed by `(` (allowing
+                // whitespace), not a macro (`ident!`), not a keyword,
+                // not an uppercase constructor (`Some(…)`).
+                let directly_called = chars.get(end).copied() == Some('(');
+                if directly_called
+                    && !KEYWORDS.contains(&word)
+                    && !word.chars().next().is_some_and(|c| c.is_uppercase())
+                {
+                    let is_method = preceding_punct(chars, _start) == Some('.');
+                    if let Some(&fn_idx) = self.fn_stack.last() {
+                        if let Some(f) = self.out.fns.get_mut(fn_idx) {
+                            f.calls.push(CallSite {
+                                callee: word.to_string(),
+                                line: line0,
+                                is_method,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_equals(&mut self, _line0: usize, chars: &[char], i: usize) {
+        // `=` (not `==`, `=>`, `<=`, `>=`, `!=`, `+=` …) starts the
+        // initializer.
+        let prev = if i > 0 { chars.get(i - 1).copied() } else { None };
+        let next = chars.get(i + 1).copied();
+        let is_plain = next != Some('=')
+            && next != Some('>')
+            && !matches!(
+                prev,
+                Some('=')
+                    | Some('<')
+                    | Some('>')
+                    | Some('!')
+                    | Some('+')
+                    | Some('-')
+                    | Some('*')
+                    | Some('/')
+                    | Some('%')
+                    | Some('&')
+                    | Some('|')
+                    | Some('^')
+            );
+        if is_plain {
+            if let Some(st) = self.pending_let.as_mut() {
+                if st.name.is_some() && st.init.is_none() {
+                    st.init = Some(String::new());
+                }
+            }
+        }
+    }
+
+    fn on_semicolon(&mut self, line0: usize) {
+        // A `;` at the statement level ends a bodyless trait-method
+        // declaration (`fn f(&self) -> T;`) — but not one inside an
+        // array type in the return position (`-> [u8; 4]`).
+        if self.paren_depth <= 0 {
+            self.pending_fn = None;
+            self.pending_fn_kw = false;
+        }
+        let Some(st) = self.pending_let.take() else { return };
+        if self.paren_depth > st.base_paren {
+            // `;` inside an array type `[u8; 4]` — statement continues.
+            self.pending_let = Some(st);
+            return;
+        }
+        self.finish_let(st);
+        let _ = line0;
+    }
+
+    /// Ends a `let` statement: records a guard binding when the
+    /// initializer collected so far acquires one.
+    fn finish_let(&mut self, st: LetState) {
+        let (Some(name), Some(init)) = (st.name, st.init) else { return };
+        if !acquires_guard(&init) {
+            return;
+        }
+        let idx = self.out.guards.len();
+        self.out.guards.push(GuardBinding {
+            name,
+            line: st.line,
+            init,
+            // Filled in when the enclosing frame closes; EOF fallback.
+            scope_end: self.sf.code.len().saturating_sub(1),
+            fn_index: self.fn_stack.last().copied(),
+        });
+        if let Some((_, guards)) = self.stack.last_mut() {
+            guards.push(idx);
+        }
+    }
+
+    fn on_open_brace(&mut self, line0: usize) {
+        // A `{` while a let-initializer is open starts a block/struct/
+        // match expression (`let x = { … };`, `let x = match y { … };`).
+        // Decide guard-ness from the text before the block — an
+        // acquisition *inside* the block is scoped to the block and dies
+        // there — and let any `let` inside the block register normally.
+        if let Some(st) = self.pending_let.take() {
+            if st.init.is_some() {
+                self.finish_let(st);
+            }
+            // `let Pat { .. } = v;` destructuring (init is None): drop.
+        }
+        if let Some((name, start)) = self.pending_fn.take() {
+            let idx = self.out.fns.len();
+            self.out.fns.push(FnItem {
+                name,
+                start_line: start,
+                end_line: start,
+                calls: Vec::new(),
+                is_test: self.sf.is_test(start),
+            });
+            self.fn_stack.push(idx);
+            self.stack.push((Frame::Fn(idx), Vec::new()));
+            self.pending_loop = false;
+        } else if self.pending_loop {
+            self.pending_loop = false;
+            self.loop_count += 1;
+            self.stack.push((Frame::Loop, Vec::new()));
+        } else {
+            self.stack.push((Frame::Other, Vec::new()));
+        }
+        let _ = line0;
+    }
+}
+
+/// The punct char directly before `start`, skipping whitespace.
+fn preceding_punct(chars: &[char], start: usize) -> Option<char> {
+    chars[..start].iter().rev().find(|c| !c.is_whitespace()).copied()
+}
+
+/// Does a `let` initializer acquire a lock guard? Matches the std guard
+/// constructors (`.lock()`, `.read()`, `.write()` — exact, no-arg, so
+/// `io::Write::write(buf)` does not match) and the repo's poison-tolerant
+/// helpers (`lock_tolerant(…)`, `read_lock(…)`, `write_lock(…)`, and the
+/// pool's bare `lock(…)`).
+pub fn acquires_guard(init: &str) -> bool {
+    if init.contains(".lock()") || init.contains(".read()") || init.contains(".write()") {
+        return true;
+    }
+    for helper in ["lock_tolerant", "read_lock", "write_lock", "lock"] {
+        for pos in crate::passes::ident_occurrences(init, helper) {
+            if init[pos..].chars().nth(helper.len()) == Some('(') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(text: &str) -> (Vec<SourceFile>, FileSyntax) {
+        let sf = SourceFile::parse("crates/x/src/a.rs", text);
+        let syn = scan_file(&sf);
+        (vec![sf], syn)
+    }
+
+    #[test]
+    fn fn_items_and_spans_are_found() {
+        let src = "pub fn alpha() {\n    beta();\n}\n\nfn beta() {\n    let x = 1;\n}\n";
+        let (_, syn) = model_of(src);
+        assert_eq!(syn.fns.len(), 2, "{:#?}", syn.fns);
+        assert_eq!(syn.fns[0].name, "alpha");
+        assert_eq!((syn.fns[0].start_line, syn.fns[0].end_line), (0, 2));
+        assert_eq!(syn.fns[1].name, "beta");
+        assert_eq!((syn.fns[1].start_line, syn.fns[1].end_line), (4, 6));
+    }
+
+    #[test]
+    fn calls_are_attributed_to_the_enclosing_fn() {
+        let src = "fn a() {\n    helper();\n    x.method(1);\n    pool::run(|| {});\n}\n";
+        let (_, syn) = model_of(src);
+        let calls: Vec<(&str, bool)> =
+            syn.fns[0].calls.iter().map(|c| (c.callee.as_str(), c.is_method)).collect();
+        assert!(calls.contains(&("helper", false)), "{calls:?}");
+        assert!(calls.contains(&("method", true)), "{calls:?}");
+        assert!(calls.contains(&("run", false)), "{calls:?}");
+    }
+
+    #[test]
+    fn keywords_constructors_and_macros_are_not_calls() {
+        let src = "fn a() {\n    if x(1) { }\n    let y = Some(2);\n    let z = vec![3];\n    match (w) { _ => {} }\n}\n";
+        let (_, syn) = model_of(src);
+        let names: Vec<&str> = syn.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["x"], "{names:?}");
+    }
+
+    #[test]
+    fn guard_bindings_and_scopes() {
+        let src = "fn a(m: &std::sync::Mutex<u32>) {\n    {\n        let mut g = m.lock().unwrap();\n        *g += 1;\n    }\n    other();\n}\n";
+        let (files, syn) = model_of(src);
+        assert_eq!(syn.guards.len(), 1, "{:#?}", syn.guards);
+        let g = &syn.guards[0];
+        assert_eq!(g.name, "g");
+        assert_eq!(g.line, 2);
+        assert_eq!(g.scope_end, 4, "guard dies at the inner block's close brace");
+        assert_eq!(g.live_end(&files[0]), 4);
+    }
+
+    #[test]
+    fn explicit_drop_ends_liveness_early() {
+        let src = "fn a(m: &std::sync::Mutex<u32>) {\n    let g = m.lock().unwrap();\n    use_it(&g);\n    drop(g);\n    later();\n}\n";
+        let (files, syn) = model_of(src);
+        assert_eq!(syn.guards[0].scope_end, 5);
+        assert_eq!(syn.guards[0].live_end(&files[0]), 3, "drop(g) releases at line 3");
+    }
+
+    #[test]
+    fn helper_acquisitions_are_guards_io_write_is_not() {
+        assert!(acquires_guard("lock_tolerant(&self.session)"));
+        assert!(acquires_guard("read_lock(&self.state)"));
+        assert!(acquires_guard("lock(&shared.queue)"));
+        assert!(acquires_guard("state.write()"));
+        assert!(!acquires_guard("writer.write(buf)"));
+        assert!(!acquires_guard("file.read_to_string(&mut s)"));
+        assert!(!acquires_guard("block(&x)"));
+    }
+
+    #[test]
+    fn loop_depth_tracks_nesting() {
+        let src = "fn a() {\n    for i in 0..3 {\n        while x {\n            body();\n        }\n    }\n    tail();\n}\n";
+        let (_, syn) = model_of(src);
+        assert_eq!(syn.loop_depth[0], 0);
+        // A header line (`for … {` / `while … {`) counts as inside the
+        // body it opens — conservative for in-loop token rules.
+        assert_eq!(syn.loop_depth[1], 1);
+        assert_eq!(syn.loop_depth[2], 2);
+        assert_eq!(syn.loop_depth[3], 2);
+        assert_eq!(syn.loop_depth[6], 0);
+    }
+
+    #[test]
+    fn name_based_reachability_walks_across_files() {
+        let a = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "// analyzer: root(hot-path-alloc) -- test root\nfn entry() {\n    shared_helper();\n}\n",
+        );
+        let b = SourceFile::parse(
+            "crates/y/src/b.rs",
+            "fn shared_helper() {\n    deep();\n}\nfn deep() {}\nfn unrelated() {}\n",
+        );
+        let files = vec![a, b];
+        let model = SemanticModel::build(&files);
+        let roots = model.roots_for("hot-path-alloc");
+        assert_eq!(roots.len(), 1);
+        let reached = model.reachable_from(&roots, "hot-path-alloc");
+        let names: Vec<String> =
+            reached.keys().map(|r| model.syntax[r.file].fns[r.item].name.clone()).collect();
+        assert!(names.contains(&"entry".to_string()), "{names:?}");
+        assert!(names.contains(&"shared_helper".to_string()), "{names:?}");
+        assert!(names.contains(&"deep".to_string()), "{names:?}");
+        assert!(!names.contains(&"unrelated".to_string()), "{names:?}");
+        // The chain that reached `deep` goes root → helper → deep.
+        let deep = reached
+            .iter()
+            .find(|(r, _)| model.syntax[r.file].fns[r.item].name == "deep")
+            .map(|(_, chain)| chain.clone())
+            .unwrap_or_default();
+        assert_eq!(deep, vec!["entry", "shared_helper", "deep"]);
+    }
+
+    #[test]
+    fn allow_on_a_call_line_prunes_traversal() {
+        let a = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "// analyzer: root(hot-path-alloc) -- test root\nfn entry() {\n    vetted(); // analyzer: allow(hot-path-alloc) -- bounded\n}\nfn vetted() {}\n",
+        );
+        let files = vec![a];
+        let model = SemanticModel::build(&files);
+        let reached = model.reachable_from(&model.roots_for("hot-path-alloc"), "hot-path-alloc");
+        let names: Vec<String> =
+            reached.keys().map(|r| model.syntax[r.file].fns[r.item].name.clone()).collect();
+        assert!(!names.contains(&"vetted".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn ubiquitous_names_are_not_traversed() {
+        let a = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "// analyzer: root(panic-freedom) -- test root\nfn entry() {\n    thing.get(0);\n}\nfn get() {}\n",
+        );
+        let files = vec![a];
+        let model = SemanticModel::build(&files);
+        let reached = model.reachable_from(&model.roots_for("panic-freedom"), "panic-freedom");
+        assert_eq!(reached.len(), 1, "only the root itself");
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_traversal() {
+        let a = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "// analyzer: root(panic-freedom) -- test root\nfn entry() {\n    helper();\n}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        );
+        let files = vec![a];
+        let model = SemanticModel::build(&files);
+        let reached = model.reachable_from(&model.roots_for("panic-freedom"), "panic-freedom");
+        assert_eq!(reached.len(), 1, "the cfg(test) helper is not walked");
+    }
+}

@@ -7,6 +7,15 @@
 //! inside a `#[cfg(test)]` item (test code is exempt from every pass), and
 //! the set of pass ids suppressed by `// analyzer: allow(<pass>) -- <reason>`
 //! annotations.
+//!
+//! Two annotation forms share the `// analyzer:` tag:
+//!
+//! * `allow(<pass>) -- <reason>` suppresses `pass` on the annotated line
+//!   (and, for call-graph passes, stops traversal through calls made on
+//!   that line);
+//! * `root(<pass>) -- <reason>` marks the next `fn` item as an entry
+//!   point the call-graph pass `pass` walks from (hot-path roots, wire
+//!   request entries).
 
 use std::fs;
 use std::io;
@@ -22,8 +31,11 @@ pub struct SourceFile {
     pub code: Vec<String>,
     /// `true` for lines inside a `#[cfg(test)]` item.
     test: Vec<bool>,
-    /// Per line: pass ids an `allow` annotation suppresses on it.
-    allows: Vec<Vec<String>>,
+    /// Per line: `(pass, reason)` pairs `allow` annotations attach to it.
+    allows: Vec<Vec<(String, String)>>,
+    /// Per line: pass ids a `root` annotation attaches to it (the line is
+    /// expected to open a `fn` item).
+    roots: Vec<Vec<String>>,
     /// 0-based lines carrying a malformed or reason-less annotation.
     pub bad_annotations: Vec<usize>,
 }
@@ -37,8 +49,16 @@ impl SourceFile {
         debug_assert_eq!(raw.len(), code.len(), "{rel_path}: stripping must preserve lines");
         let test = mark_tests(&code);
         let comment_col = comment_columns(text, raw.len(), &comment_abs);
-        let (allows, bad_annotations) = collect_allows(&raw, &code, &comment_col);
-        SourceFile { rel_path: rel_path.to_string(), raw, code, test, allows, bad_annotations }
+        let (allows, roots, bad_annotations) = collect_allows(&raw, &code, &comment_col);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            raw,
+            code,
+            test,
+            allows,
+            roots,
+            bad_annotations,
+        }
     }
 
     /// Reads and scans `root/rel_path`.
@@ -54,14 +74,35 @@ impl SourceFile {
 
     /// Does an annotation suppress `pass` on the 0-based line?
     pub fn allows(&self, line0: usize, pass: &str) -> bool {
-        self.allows.get(line0).is_some_and(|v| v.iter().any(|p| p == pass))
+        self.allows.get(line0).is_some_and(|v| v.iter().any(|(p, _)| p == pass))
+    }
+
+    /// The reason attached to the `allow(pass)` annotation on the
+    /// 0-based line, if one is in effect there.
+    pub fn allow_reason(&self, line0: usize, pass: &str) -> Option<&str> {
+        self.allows.get(line0)?.iter().find(|(p, _)| p == pass).map(|(_, reason)| reason.as_str())
+    }
+
+    /// Every `(line0, pass, reason)` allow annotation in the file, in
+    /// line order — the audit trail the `--json` report emits.
+    pub fn allow_entries(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.allows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, v)| v.iter().map(move |(p, r)| (i, p.as_str(), r.as_str())))
+    }
+
+    /// Does a `root(pass)` annotation target the 0-based line?
+    pub fn is_root(&self, line0: usize, pass: &str) -> bool {
+        self.roots.get(line0).is_some_and(|v| v.iter().any(|p| p == pass))
     }
 }
 
 /// Blanks comments and string/char-literal contents, preserving the line
 /// structure exactly (every `\n` survives; stripped characters become
-/// spaces). Handles line comments, nested block comments, plain and raw
-/// strings, char literals, and leaves lifetimes (`'a`) alone.
+/// spaces). Handles line comments, nested block comments, plain, raw,
+/// byte, and raw byte strings (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`), char
+/// and byte literals, and leaves lifetimes (`'a`) alone.
 ///
 /// Also returns the absolute char index of every line comment's `//`,
 /// straight from the state machine — so annotation parsing never
@@ -95,13 +136,18 @@ fn strip(text: &str) -> (String, Vec<usize>) {
                     st = St::BlockComment(1);
                     out.push_str("  ");
                     i += 2;
-                } else if c == 'r'
-                    && (at(i + 1) == '"' || at(i + 1) == '#')
+                } else if (c == 'r' || (c == 'b' && at(i + 1) == 'r'))
                     && (i == 0 || !is_ident(at(i - 1)))
+                    && {
+                        let after_r = if c == 'r' { i + 1 } else { i + 2 };
+                        at(after_r) == '"' || at(after_r) == '#'
+                    }
                 {
-                    // Raw string r"..." / r#"..."# — count the hashes.
+                    // Raw string r"..." / r#"..."# (optionally with a `b`
+                    // byte prefix — raw semantics, no escapes either way):
+                    // count the hashes.
                     let mut h = 0u32;
-                    let mut j = i + 1;
+                    let mut j = if c == 'r' { i + 1 } else { i + 2 };
                     while at(j) == '#' {
                         h += 1;
                         j += 1;
@@ -116,8 +162,15 @@ fn strip(text: &str) -> (String, Vec<usize>) {
                         out.push(c);
                         i += 1;
                     }
-                } else if c == '"' {
+                } else if c == '"'
+                    || (c == 'b' && at(i + 1) == '"' && (i == 0 || !is_ident(at(i - 1))))
+                {
+                    // Plain or byte string — escape semantics either way.
                     st = St::Str;
+                    if c == 'b' {
+                        out.push(' ');
+                        i += 1;
+                    }
                     out.push('"');
                     i += 1;
                 } else if c == '\'' {
@@ -162,8 +215,12 @@ fn strip(text: &str) -> (String, Vec<usize>) {
             }
             St::Str => {
                 if c == '\\' {
+                    // The escaped char may be absent at EOF (truncated
+                    // input): emit exactly as many chars as are consumed.
                     out.push(' ');
-                    out.push(if at(i + 1) == '\n' { '\n' } else { ' ' });
+                    if i + 1 < b.len() {
+                        out.push(if at(i + 1) == '\n' { '\n' } else { ' ' });
+                    }
                     i += 2;
                 } else if c == '"' {
                     st = St::Code;
@@ -196,7 +253,10 @@ fn strip(text: &str) -> (String, Vec<usize>) {
             }
             St::CharLit => {
                 if c == '\\' {
-                    out.push_str("  ");
+                    out.push(' ');
+                    if i + 1 < b.len() {
+                        out.push(if at(i + 1) == '\n' { '\n' } else { ' ' });
+                    }
                     i += 2;
                 } else if c == '\'' {
                     st = St::Code;
@@ -276,18 +336,30 @@ fn mark_tests(code: &[String]) -> Vec<bool> {
 
 const TAG: &str = "analyzer:";
 
-/// Extracts `// analyzer: allow(<pass>) -- <reason>` annotations. A
-/// trailing annotation suppresses its own line; a whole-line annotation
-/// suppresses the next line that has code on it. A reason is mandatory —
-/// annotations without one are reported, not honored. The tag must open
-/// the comment; prose *mentioning* the grammar (like this doc comment)
-/// is never an annotation.
+/// A parsed `// analyzer: …` annotation body.
+enum Annotation {
+    /// `allow(<pass>) -- <reason>`.
+    Allow(String, String),
+    /// `root(<pass>) -- <reason>`.
+    Root(String),
+}
+
+/// Extracts `// analyzer: allow(<pass>) -- <reason>` and
+/// `// analyzer: root(<pass>) -- <reason>` annotations. A trailing
+/// annotation attaches to its own line; a whole-line annotation attaches
+/// to the next line that has code on it (for `root`, that is expected to
+/// be the `fn` item it marks). A reason is mandatory — annotations
+/// without one are reported, not honored. The tag must open the comment;
+/// prose *mentioning* the grammar (like this doc comment) is never an
+/// annotation.
+#[allow(clippy::type_complexity)]
 fn collect_allows(
     raw: &[String],
     code: &[String],
     comment_col: &[Option<usize>],
-) -> (Vec<Vec<String>>, Vec<usize>) {
-    let mut allows: Vec<Vec<String>> = vec![Vec::new(); raw.len()];
+) -> (Vec<Vec<(String, String)>>, Vec<Vec<String>>, Vec<usize>) {
+    let mut allows: Vec<Vec<(String, String)>> = vec![Vec::new(); raw.len()];
+    let mut roots: Vec<Vec<String>> = vec![Vec::new(); raw.len()];
     let mut bad = Vec::new();
     for (idx, line) in raw.iter().enumerate() {
         let Some(col) = comment_col.get(idx).copied().flatten() else { continue };
@@ -297,7 +369,7 @@ fn collect_allows(
         let body = comment.trim_start_matches('/');
         let body = body.strip_prefix('!').unwrap_or(body).trim_start();
         let Some(rest) = body.strip_prefix(TAG) else { continue };
-        let Some(parsed) = parse_allow(rest.trim()) else {
+        let Some(parsed) = parse_annotation(rest.trim()) else {
             bad.push(idx);
             continue;
         };
@@ -313,14 +385,23 @@ fn collect_allows(
                 }
             }
         };
-        allows[target].push(parsed);
+        match parsed {
+            Annotation::Allow(pass, reason) => allows[target].push((pass, reason)),
+            Annotation::Root(pass) => roots[target].push(pass),
+        }
     }
-    (allows, bad)
+    (allows, roots, bad)
 }
 
-/// Parses `allow(<pass>) -- <reason>`; returns the pass id.
-fn parse_allow(body: &str) -> Option<String> {
-    let rest = body.strip_prefix("allow(")?;
+/// Parses `allow(<pass>) -- <reason>` or `root(<pass>) -- <reason>`.
+fn parse_annotation(body: &str) -> Option<Annotation> {
+    let (kind, rest) = if let Some(r) = body.strip_prefix("allow(") {
+        ("allow", r)
+    } else if let Some(r) = body.strip_prefix("root(") {
+        ("root", r)
+    } else {
+        return None;
+    };
     let close = rest.find(')')?;
     let pass = rest[..close].trim();
     if pass.is_empty() || !pass.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
@@ -331,7 +412,10 @@ fn parse_allow(body: &str) -> Option<String> {
     if reason.is_empty() {
         return None;
     }
-    Some(pass.to_string())
+    Some(match kind {
+        "allow" => Annotation::Allow(pass.to_string(), reason.to_string()),
+        _ => Annotation::Root(pass.to_string()),
+    })
 }
 
 #[cfg(test)]
@@ -409,6 +493,86 @@ mod tests {
         let f = SourceFile::parse("x.rs", src);
         assert!(!f.allows(2, "x"));
         assert!(f.bad_annotations.is_empty(), "{:?}", f.bad_annotations);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        // `br#"…"#` has raw semantics (no escapes); `b"…"` has escape
+        // semantics. Both previously fell into the plain-string state at
+        // the `b`, leaking contents and desynchronizing on `\"`.
+        let src =
+            "let a = br#\"panic! \"q\" unwrap\"#; let b = b\"todo! \\\" more\"; x.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.code[0].contains("panic"), "{}", f.code[0]);
+        assert!(!f.code[0].contains("todo"), "{}", f.code[0]);
+        assert!(!f.code[0].contains("more"), "{}", f.code[0]);
+        assert!(f.code[0].contains(".unwrap()"), "code after the literals: {}", f.code[0]);
+    }
+
+    #[test]
+    fn raw_byte_string_with_interior_quote_does_not_desync() {
+        let src = "let a = br\"C:\\\"; y.unwrap();\nz.expect(\"later\");\n";
+        let f = SourceFile::parse("x.rs", src);
+        // The raw byte string ends at its first `"` — `\` is not an
+        // escape — so the unwrap on the same line stays visible.
+        assert!(f.code[0].contains(".unwrap()"), "{}", f.code[0]);
+        assert!(f.code[1].contains(".expect("), "{}", f.code[1]);
+    }
+
+    #[test]
+    fn truncated_escape_at_eof_keeps_lines_aligned() {
+        // A string whose trailing `\` is the file's last char used to
+        // emit more chars than it consumed, desynchronizing raw vs code.
+        let f = SourceFile::parse("x.rs", "let s = \"abc\\");
+        assert_eq!(f.raw.len(), f.code.len());
+        let f = SourceFile::parse("x.rs", "let c = '\\");
+        assert_eq!(f.raw.len(), f.code.len());
+    }
+
+    #[test]
+    fn nested_block_comments_resync_exactly() {
+        let src = "/* outer /* inner */ still comment panic! */ x.unwrap();\n/*/* a */*/ y.expect(\"b\");\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.code[0].contains("panic"), "{}", f.code[0]);
+        assert!(f.code[0].contains(".unwrap()"), "{}", f.code[0]);
+        assert!(f.code[1].contains(".expect("), "{}", f.code[1]);
+    }
+
+    #[test]
+    fn multiline_raw_string_is_blanked_line_by_line() {
+        let src = "let q = r#\"line one unwrap\nline two panic!\n\"#; z.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.code[0].contains("unwrap"), "{}", f.code[0]);
+        assert!(!f.code[1].contains("panic"), "{}", f.code[1]);
+        assert!(f.code[2].contains(".unwrap()"), "{}", f.code[2]);
+    }
+
+    #[test]
+    fn allow_reasons_are_recorded() {
+        let src = "x.unwrap(); // analyzer: allow(panic-freedom) -- startup path\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allow_reason(0, "panic-freedom"), Some("startup path"));
+        assert_eq!(f.allow_reason(0, "determinism"), None);
+        let entries: Vec<_> = f.allow_entries().collect();
+        assert_eq!(entries, vec![(0, "panic-freedom", "startup path")]);
+    }
+
+    #[test]
+    fn root_annotation_targets_the_next_fn_line() {
+        let src = "// analyzer: root(hot-path-alloc) -- shed path\npub fn admit() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_root(0, "hot-path-alloc"));
+        assert!(f.is_root(1, "hot-path-alloc"));
+        assert!(!f.is_root(1, "panic-freedom"));
+        assert!(f.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn reasonless_root_is_malformed() {
+        let src = "// analyzer: root(hot-path-alloc)\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_root(1, "hot-path-alloc"));
+        assert_eq!(f.bad_annotations, vec![0]);
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! The analyzer's contract covers *shipped library/binary code*: every
 //! `.rs` file under `crates/<name>/src/` and the workspace-root `src/`
-//! (if present). Integration tests, benches, and examples are out of
-//! scope — test code is allowed to unwrap, spawn, and compare floats —
-//! and in-file `#[cfg(test)]` regions are exempted by the scanner.
+//! (if present), plus the workspace-root `examples/` — user-facing
+//! idiom demos with their own, looser contract, which only passes
+//! opting in via `Pass::applies_to_examples` inspect. Integration
+//! tests and benches are out of scope — test code is allowed to
+//! unwrap, spawn, and compare floats — and in-file `#[cfg(test)]`
+//! regions are exempted by the scanner.
 //!
 //! Paths are returned sorted, `/`-separated, and workspace-relative so
 //! findings and the baseline are byte-identical across machines.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +33,7 @@ pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
         }
     }
     collect_rs(&root.join("src"), root, &mut out)?;
+    collect_rs(&root.join("examples"), root, &mut out)?;
     out.sort();
     Ok(out)
 }
@@ -60,6 +65,121 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> 
     Ok(())
 }
 
+/// Parses every `crates/<dir>/Cargo.toml` into the *transitive*
+/// intra-workspace dependency closure: crate dir name → every crate dir
+/// it can reach through `[dependencies]` `path = "../<dir>"` entries.
+/// The call graph uses this to refuse edges that run against the
+/// dependency direction — `sgd-serve` cannot call into `sgd-bench` no
+/// matter what a function there is named, because bench depends on
+/// serve, not the other way round.
+pub fn crate_deps(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    // Package name → crate dir, from `[workspace.dependencies]`
+    // `pkg = { path = "crates/<dir>" }` entries in the root manifest.
+    let names = match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(text) => workspace_dep_dirs(&text),
+        Err(_) => BTreeMap::new(),
+    };
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            let Some(name) = dir.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            let manifest = dir.join("Cargo.toml");
+            if !dir.is_dir() || !manifest.is_file() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&manifest)?;
+            direct.insert(name, manifest_path_deps(&text, &names));
+        }
+    }
+    // Transitive closure by iteration (the graph is tiny and acyclic).
+    let mut closed = direct.clone();
+    loop {
+        let mut grew = false;
+        for name in direct.keys() {
+            let reach: Vec<String> =
+                closed.get(name).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+            for dep in reach {
+                let indirect: Vec<String> =
+                    closed.get(&dep).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+                let set = closed.entry(name.clone()).or_default();
+                for d in indirect {
+                    grew |= set.insert(d);
+                }
+            }
+        }
+        if !grew {
+            return Ok(closed);
+        }
+    }
+}
+
+/// Package name → crate dir from `[workspace.dependencies]`
+/// `pkg = { path = "crates/<dir>" }` entries.
+fn workspace_dep_dirs(manifest: &str) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_section = t == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let (Some(pkg), Some(dir)) = (entry_key(t), quoted_path_dir(t)) else { continue };
+        out.insert(pkg.to_string(), dir.to_string());
+    }
+    out
+}
+
+/// Crate dir names a manifest's `[dependencies]` section references —
+/// by direct `path = "../<dir>"`, or by `pkg.workspace = true` /
+/// `pkg = { workspace = true }` resolved through `names`.
+/// Dev-dependencies are not linked into the shipped library, so they do
+/// not open call edges.
+fn manifest_path_deps(manifest: &str, names: &BTreeMap<String, String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_deps = t == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if let Some(dir) = quoted_path_dir(t) {
+            out.insert(dir.to_string());
+        } else if t.contains("workspace") {
+            if let Some(dir) = entry_key(t).and_then(|pkg| names.get(pkg)) {
+                out.insert(dir.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The dependency key of a manifest line: the token before the first
+/// `.` or `=` (`sgd-core.workspace = true` → `sgd-core`).
+fn entry_key(line: &str) -> Option<&str> {
+    let key = line.split(['.', '=']).next()?.trim();
+    (!key.is_empty()).then_some(key)
+}
+
+/// The final component of a `path = "…"` value on the line, if any.
+fn quoted_path_dir(line: &str) -> Option<&str> {
+    let rest = line.split("path").nth(1)?;
+    let q = rest.split('"').nth(1)?;
+    let dir = q.rsplit('/').next()?;
+    (!dir.is_empty()).then_some(dir)
+}
+
 /// Walks upward from `start` to the workspace root (the first directory
 /// whose `Cargo.toml` declares `[workspace]`).
 pub fn find_root(start: &Path) -> Option<PathBuf> {
@@ -87,6 +207,8 @@ mod tests {
         let files = source_files(&root).unwrap();
         assert!(files.iter().any(|f| f == "crates/analyzer/src/workspace.rs"), "{files:?}");
         assert!(files.iter().any(|f| f == "crates/core/src/engine.rs"), "{files:?}");
+        // Examples are scanned (example-scoped passes only).
+        assert!(files.iter().any(|f| f.starts_with("examples/")), "{files:?}");
         // Integration tests are out of scope.
         assert!(files.iter().all(|f| !f.starts_with("tests/")), "{files:?}");
         let mut sorted = files.clone();

@@ -1,0 +1,19 @@
+//! Known-bad hot-path allocation: the shed/busy reply formats a fresh
+//! string per rejected request — exactly the overload-path bug the
+//! hot-path-alloc pass exists to catch, both directly in a root and one
+//! call-graph hop away.
+
+// analyzer: root(hot-path-alloc) -- fixture: overload reply path
+pub fn busy_reply(limit: usize) -> String {
+    format!("ERR BUSY retry_after={limit}")
+}
+
+// analyzer: root(hot-path-alloc) -- fixture: shed path
+pub fn shed(out: &mut Vec<u8>, limit: usize) {
+    let reply = render_reply(limit);
+    out.extend_from_slice(reply.as_bytes());
+}
+
+fn render_reply(limit: usize) -> String {
+    format!("ERR BUSY retry_after={limit}")
+}

@@ -1,0 +1,21 @@
+//! Known-good shed path: replies are formatted once at construction and
+//! reused; the per-request path only appends into caller-owned buffers.
+
+pub struct Replies {
+    busy: String,
+}
+
+impl Replies {
+    pub fn new(limit: usize) -> Replies {
+        Replies { busy: build_busy(limit) }
+    }
+}
+
+fn build_busy(limit: usize) -> String {
+    format!("ERR BUSY retry_after={limit}")
+}
+
+// analyzer: root(hot-path-alloc) -- fixture: shed path
+pub fn shed(replies: &Replies, out: &mut String) {
+    out.push_str(&replies.busy);
+}

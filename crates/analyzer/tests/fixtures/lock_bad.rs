@@ -1,0 +1,27 @@
+//! Known-bad lock usage: guards held across blocking calls, a canonical
+//! order inversion, and a self-deadlocking re-acquisition. Loaded under
+//! a serve path so the lock-discipline scope engages.
+
+pub fn dispatch_under_session_lock(srv: &Server, job: &mut ScoreJob) -> f64 {
+    let mut session = srv.session.lock().unwrap();
+    let d = ComputeBackend::CpuSeq.dispatch(&mut session, job);
+    d.out[0]
+}
+
+pub fn write_under_wire_lock(srv: &Server, stream: &mut TcpStream) {
+    let mut inflight = srv.inflight.lock().unwrap();
+    stream.write_all(b"OK 1.0\n").unwrap();
+    *inflight -= 1;
+}
+
+pub fn registry_under_session_lock(srv: &Server) -> usize {
+    let session = srv.session.lock().unwrap();
+    let snap = srv.registry.read().unwrap();
+    session.epoch + snap.len()
+}
+
+pub fn reacquire_session(srv: &Server) {
+    let first = srv.session.lock().unwrap();
+    let second = srv.session.lock().unwrap();
+    drop((first, second));
+}

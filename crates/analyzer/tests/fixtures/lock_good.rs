@@ -1,0 +1,20 @@
+//! Known-good lock usage: guards scoped tightly in their own blocks,
+//! blocking work done lock-free, acquisitions in canonical order
+//! (registry < wire < session < pool).
+
+pub fn dispatch_outside_session_lock(srv: &Server, job: &mut ScoreJob) -> f64 {
+    let dilation = {
+        let mut session = srv.session.lock().unwrap();
+        session.draw_fault()
+    };
+    let mut scratch = BackendSession::new();
+    let d = ComputeBackend::CpuSeq.dispatch(&mut scratch, job);
+    d.out[0] * dilation
+}
+
+pub fn canonical_order(srv: &Server) -> usize {
+    let snap = srv.registry.read().unwrap();
+    let mut inflight = srv.inflight.lock().unwrap();
+    *inflight += 1;
+    snap.len()
+}

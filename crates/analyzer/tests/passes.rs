@@ -8,7 +8,7 @@
 use std::path::Path;
 
 use sgd_analyzer::baseline::Baseline;
-use sgd_analyzer::passes::{all_passes, analyze_file, Finding};
+use sgd_analyzer::passes::{all_passes, analyze_file, analyze_workspace, Finding};
 use sgd_analyzer::source::SourceFile;
 use sgd_analyzer::workspace;
 
@@ -17,6 +17,16 @@ use sgd_analyzer::workspace;
 fn findings_for(rel_path: &str, text: &str, pass: &str) -> Vec<Finding> {
     let sf = SourceFile::parse(rel_path, text);
     analyze_file(&sf, &all_passes()).into_iter().filter(|f| f.pass == pass).collect()
+}
+
+/// Workspace-level variant for the semantic-model passes
+/// (lock-discipline, hot-path-alloc, call-graph panic-freedom): builds a
+/// synthetic workspace from `(rel_path, text)` pairs with no crate
+/// dependency constraints and returns findings for `pass` only.
+fn model_findings_for(files: &[(&str, &str)], pass: &str) -> Vec<Finding> {
+    let parsed: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
+    let analysis = analyze_workspace(&parsed, &all_passes(), Default::default());
+    analysis.findings.into_iter().filter(|f| f.pass == pass).collect()
 }
 
 #[test]
@@ -264,6 +274,74 @@ fn admission_module_bans_indexing_like_the_parsers() {
 }
 
 #[test]
+fn lock_bad_fixture_triggers() {
+    let hits = model_findings_for(
+        &[("crates/serve/src/wire.rs", include_str!("fixtures/lock_bad.rs"))],
+        "lock-discipline",
+    );
+    assert!(hits.len() >= 4, "dispatch, write_all, inversion, re-acquisition: {hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains(".dispatch(")), "{hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains(".write_all(")), "{hits:#?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("inverts the canonical lock order")),
+        "{hits:#?}"
+    );
+    assert!(hits.iter().any(|f| f.message.contains("re-acquiring")), "{hits:#?}");
+}
+
+#[test]
+fn lock_good_fixture_is_clean() {
+    let hits = model_findings_for(
+        &[("crates/serve/src/wire.rs", include_str!("fixtures/lock_good.rs"))],
+        "lock-discipline",
+    );
+    assert!(hits.is_empty(), "scoped guards and canonical order pass: {hits:#?}");
+}
+
+#[test]
+fn lock_pass_is_scoped_to_the_lock_sharing_modules() {
+    // The same patterns outside serve/core/pool concern locks the table
+    // does not rank; the pass stays silent rather than guessing.
+    let hits = model_findings_for(
+        &[("crates/datagen/src/libsvm.rs", include_str!("fixtures/lock_bad.rs"))],
+        "lock-discipline",
+    );
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn hotpath_bad_fixture_triggers() {
+    let hits = model_findings_for(
+        &[("crates/serve/src/wire.rs", include_str!("fixtures/hotpath_bad.rs"))],
+        "hot-path-alloc",
+    );
+    assert!(hits.len() >= 2, "direct root format! and one-hop format!: {hits:#?}");
+    assert!(hits.iter().any(|f| f.message.contains("busy_reply")), "{hits:#?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("shed -> render_reply")),
+        "reaching chain must name the path from the root: {hits:#?}"
+    );
+}
+
+#[test]
+fn hotpath_good_fixture_is_clean() {
+    let hits = model_findings_for(
+        &[("crates/serve/src/wire.rs", include_str!("fixtures/hotpath_good.rs"))],
+        "hot-path-alloc",
+    );
+    assert!(hits.is_empty(), "construction-time formatting and push_str pass: {hits:#?}");
+}
+
+#[test]
+fn hotpath_pass_needs_a_root_annotation() {
+    // Without a root annotation nothing is reachable: the pass only
+    // polices paths the code has explicitly marked hot.
+    let unrooted = "pub fn reply(limit: usize) -> String {\n    format!(\"ERR BUSY {limit}\")\n}\n";
+    let hits = model_findings_for(&[("crates/serve/src/wire.rs", unrooted)], "hot-path-alloc");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
 fn reasonless_allow_is_reported_not_honored() {
     let src = "pub fn f(x: Option<u32>) -> u32 {\n    // analyzer: allow(panic-freedom)\n    x.unwrap()\n}\n";
     let sf = SourceFile::parse("crates/core/src/engine.rs", src);
@@ -310,4 +388,35 @@ fn reintroduced_violations_are_not_grandfathered() {
     let sf = SourceFile::parse("crates/core/src/hogwild.rs", runner);
     let (fresh, _, _) = baseline.split(analyze_file(&sf, &all_passes()));
     assert!(fresh.iter().any(|f| f.pass == "panic-freedom"), "{fresh:#?}");
+}
+
+/// Acceptance check from the issue, semantic-pass edition: a guard held
+/// across dispatch or a shed-path `format!` in fixture-mirrored form
+/// must come out as a *fresh* finding against the committed baseline.
+#[test]
+fn reintroduced_semantic_violations_are_not_grandfathered() {
+    let baseline = committed_baseline(&repo_root());
+    let fresh_for = |text: &str, pass: &str| -> Vec<Finding> {
+        let parsed = vec![SourceFile::parse("crates/serve/src/wire.rs", text)];
+        let analysis = analyze_workspace(&parsed, &all_passes(), Default::default());
+        let (fresh, _, _) = baseline.split(analysis.findings);
+        fresh.into_iter().filter(|f| f.pass == pass).collect()
+    };
+
+    let fresh = fresh_for(include_str!("fixtures/lock_bad.rs"), "lock-discipline");
+    assert!(!fresh.is_empty(), "guard-across-dispatch must fail the gate");
+
+    let fresh = fresh_for(include_str!("fixtures/hotpath_bad.rs"), "hot-path-alloc");
+    assert!(!fresh.is_empty(), "shed-path allocation must fail the gate");
+}
+
+/// The live-tree gate covers the semantic passes too: they must be
+/// registered in `all_passes`, so `live_workspace_is_clean_modulo_baseline`
+/// really does gate them.
+#[test]
+fn semantic_passes_are_registered() {
+    let ids: Vec<&str> = all_passes().iter().map(|p| p.id()).collect();
+    for id in ["lock-discipline", "hot-path-alloc", "panic-freedom"] {
+        assert!(ids.contains(&id), "{id} missing from all_passes: {ids:?}");
+    }
 }

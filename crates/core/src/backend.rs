@@ -198,18 +198,9 @@ impl ComputeBackend {
         session: &mut BackendSession,
         job: &mut J,
     ) -> Result<Dispatch<J::Out>, BackendFault> {
-        let dilation = match session.faults.as_mut() {
-            Some(gate) => gate.next(self)?,
-            None => 1.0,
-        };
+        let dilation = session.draw_fault(self)?;
         let mut d = self.dispatch(session, job);
-        if dilation > 1.0 {
-            d.wall_secs *= dilation;
-            d.fault_dilation = dilation;
-            if let Some(g) = d.gpu.as_mut() {
-                g.sim_secs *= dilation;
-            }
-        }
+        apply_dilation(&mut d, dilation);
         Ok(d)
     }
 }
@@ -312,6 +303,20 @@ pub struct Dispatch<T> {
     pub fault_dilation: f64,
 }
 
+/// Applies a straggler dilation drawn by [`BackendSession::draw_fault`]
+/// to a finished dispatch: the wall clock, the simulated GPU clock, and
+/// [`Dispatch::fault_dilation`] all pick up the factor. No-op for a
+/// healthy draw (`1.0`).
+pub fn apply_dilation<T>(d: &mut Dispatch<T>, dilation: f64) {
+    if dilation > 1.0 {
+        d.wall_secs *= dilation;
+        d.fault_dilation = dilation;
+        if let Some(g) = d.gpu.as_mut() {
+            g.sim_secs *= dilation;
+        }
+    }
+}
+
 /// Simulated-clock deltas of one GPU dispatch.
 #[derive(Clone, Copy, Debug)]
 pub struct GpuDispatch {
@@ -375,6 +380,23 @@ impl BackendSession {
     /// The installed fault gate, if any.
     pub fn faults(&self) -> Option<&DispatchFaults> {
         self.faults.as_ref()
+    }
+
+    /// Draws one fault decision for a dispatch on `backend` without
+    /// running anything: `Err` when the plan kills the backend at this
+    /// point in the sequence, otherwise the straggler dilation to apply
+    /// via [`apply_dilation`] (`1.0` = healthy or no gate installed).
+    ///
+    /// This is the session-state half of [`ComputeBackend::try_dispatch`],
+    /// split out so callers that guard the session with a lock can draw
+    /// the (serialized, deterministic) decision under a short critical
+    /// section and run the dispatch itself outside it — holding a mutex
+    /// across a dispatch serializes all scoring behind one request.
+    pub fn draw_fault(&mut self, backend: &ComputeBackend) -> Result<f64, BackendFault> {
+        match self.faults.as_mut() {
+            Some(gate) => gate.next(backend),
+            None => Ok(1.0),
+        }
     }
 
     /// The session's persistent simulated device, constructed lazily on

@@ -140,6 +140,7 @@ impl CsrMatrix {
     pub fn validate(&self) {
         assert_eq!(self.row_ptr.len(), self.rows + 1, "row_ptr length");
         assert_eq!(self.row_ptr[0], 0, "row_ptr must start at 0");
+        // analyzer: allow(panic-freedom) -- row_ptr is asserted nonempty (rows + 1 entries) two lines up
         assert_eq!(*self.row_ptr.last().unwrap(), self.values.len(), "row_ptr must end at nnz");
         assert_eq!(self.col_idx.len(), self.values.len(), "col/val length mismatch");
         for w in self.row_ptr.windows(2) {

@@ -40,6 +40,7 @@ where
     let pieces: Vec<Mutex<(usize, &mut [Scalar])>> =
         data.chunks_mut(chunk).enumerate().map(|(ci, p)| Mutex::new((ci * chunk, p))).collect();
     pool::run(pieces.len(), |i| {
+        // analyzer: allow(panic-freedom) -- each chunk mutex is touched by exactly one worker; it cannot be poisoned or contended
         let mut piece = pieces[i].lock().expect("unshared chunk mutex");
         let (base, ys) = &mut *piece;
         f(*base, ys);
@@ -57,10 +58,12 @@ where
     let pieces: Vec<&[Scalar]> = data.chunks(chunk).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..pieces.len()).map(|_| Mutex::new(None)).collect();
     pool::run(pieces.len(), |i| {
+        // analyzer: allow(panic-freedom) -- each result slot is touched by exactly one worker; it cannot be poisoned or contended
         *slots[i].lock().expect("unshared result slot") = Some(f(i * chunk, pieces[i]));
     });
     slots
         .into_iter()
+        // analyzer: allow(panic-freedom) -- pool::run executed every index, so every unshared slot is filled
         .map(|s| s.into_inner().expect("unshared result slot").expect("pool ran every chunk"))
         .collect()
 }
@@ -161,6 +164,7 @@ pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
 /// (news: 1.35 M columns), like a two-level tree reduction would.
 const MAX_SCATTER_PARTIALS: usize = 8;
 
+// analyzer: root(hot-path-alloc) -- parallel scatter kernel: per-step hot path, only the bounded per-chunk partials may allocate
 pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     // Scatter along rows races on y; accumulate per-chunk partials and add.
     let t = pool::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS);
@@ -173,6 +177,7 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     // memory cap on wide outputs.
     let chunk = x.len().div_ceil(t).max(1);
     let partials = map_chunks(x, chunk, |base, xs| {
+        // analyzer: allow(hot-path-alloc) -- one dense partial per chunk, capped at MAX_SCATTER_PARTIALS allocations per call
         let mut acc = vec![0.0; cols];
         for (off, &xi) in xs.iter().enumerate() {
             seq::axpy(xi, a.row(base + off), &mut acc);
@@ -185,6 +190,7 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     }
 }
 
+// analyzer: root(hot-path-alloc) -- parallel matmul: per-step hot path, only the chunk scaffolding may allocate
 pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k, m) = (a.cols(), b.cols());
     let rows = a.rows();
@@ -258,6 +264,7 @@ pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     }
 }
 
+// analyzer: root(hot-path-alloc) -- parallel sparse scatter kernel: per-step hot path, only the bounded per-chunk partials may allocate
 pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     let t = pool::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS);
     if t <= 1 {
@@ -267,6 +274,7 @@ pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     // Same `div_ceil` fix as `gemv_t`: never exceed `t` partials.
     let chunk = x.len().div_ceil(t).max(1);
     let partials = map_chunks(x, chunk, |base, xs| {
+        // analyzer: allow(hot-path-alloc) -- one dense partial per chunk, capped at MAX_SCATTER_PARTIALS allocations per call
         let mut acc = vec![0.0; cols];
         for (off, &xi) in xs.iter().enumerate() {
             if xi != 0.0 {

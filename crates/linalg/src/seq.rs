@@ -21,6 +21,7 @@ pub(crate) fn scale(a: Scalar, x: &mut [Scalar]) {
     }
 }
 
+// analyzer: root(hot-path-alloc) -- dense matrix-vector inner loop: per-example hot path of the linear models
 pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     for (i, yi) in y.iter_mut().enumerate() {
         *yi = dot(a.row(i), x);
@@ -34,6 +35,7 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     }
 }
 
+// analyzer: root(hot-path-alloc) -- dense matmul inner loop: every SGD step runs through here, allocation would dominate small batches
 pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (n, k, m) = (a.rows(), a.cols(), b.cols());
     c.fill_zero();
@@ -81,6 +83,7 @@ pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     }
 }
 
+// analyzer: root(hot-path-alloc) -- sparse matrix-vector inner loop: per-example hot path on the paper's sparse datasets
 pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     for (i, yi) in y.iter_mut().enumerate() {
         *yi = a.row(i).dot(x);

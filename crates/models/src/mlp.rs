@@ -101,6 +101,7 @@ impl MlpTask {
                 return (acts, z);
             }
         }
+        // analyzer: allow(panic-freedom) -- the loop returns on the last link; construction validates at least one link
         unreachable!("an MLP has at least one link");
     }
 
@@ -110,6 +111,7 @@ impl MlpTask {
         assert_eq!(w.len(), self.dim(), "model dimension mismatch");
         assert_eq!(input.cols(), self.layers[0], "input width mismatch");
         if input.rows() == 0 {
+            // analyzer: allow(panic-freedom) -- layers is validated nonempty at construction
             return Matrix::zeros(0, *self.layers.last().expect("nonempty"));
         }
         let (_, logits) = self.forward(e, input, w);
@@ -130,6 +132,7 @@ impl MlpTask {
     fn dense_input(batch: &Batch<'_>) -> Matrix {
         match batch.x {
             Examples::Dense(m) => m.clone(),
+            // analyzer: allow(panic-freedom) -- training task contract: the serving path densifies sparse input before prediction and never reaches here
             Examples::Sparse(_) => panic!(
                 "MlpTask consumes dense batches; densify the (feature-grouped) dataset first"
             ),

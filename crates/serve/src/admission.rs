@@ -339,6 +339,7 @@ impl TierQueues {
     /// Enqueues an already-admission-checked request. The sole growth
     /// site of the queue structures: callers must have applied the
     /// backpressure and tier-cap checks first.
+    // analyzer: root(hot-path-alloc) -- admission enqueue runs per offered request; it must not allocate beyond the queue's own growth
     fn admit(&mut self, tier: usize, req: QueuedRequest) {
         if let Some(q) = self.tiers.get_mut(tier) {
             // analyzer: allow(queue-discipline) -- the one admission-checked enqueue
@@ -406,6 +407,7 @@ fn next_arrival(
 }
 
 /// Records `id`'s resolution exactly once.
+// analyzer: root(hot-path-alloc) -- shed/reject resolution runs once per offered request, including under overload; it must stay allocation-free
 fn resolve(
     outcomes: &mut [Option<RequestOutcome>],
     counts: &mut OutcomeCounts,
@@ -422,6 +424,7 @@ fn resolve(
 
 /// Schedules closed client `client`'s next issue at `at` (or parks it
 /// if the client has no requests left).
+// analyzer: root(hot-path-alloc) -- reissue scheduling runs on every shed and completion; it must stay allocation-free
 fn schedule_reissue(next_issue: &mut [f64], remaining: &[usize], client: usize, at: f64) {
     if let (Some(slot), Some(&rem)) = (next_issue.get_mut(client), remaining.get(client)) {
         *slot = if rem > 0 { at } else { f64::INFINITY };

@@ -185,6 +185,7 @@ fn checked_dim(dim: u64) -> Result<usize, CheckpointError> {
     let d = usize::try_from(dim).unwrap_or(usize::MAX);
     if d == 0 || d > MAX_MODEL_DIM {
         return Err(CheckpointError::BadDescriptor {
+            // analyzer: allow(hot-path-alloc) -- rejection branch only: a published model's dimension was validated at load, requests never take it
             detail: format!("model dimension {dim} outside (0, {MAX_MODEL_DIM}]"),
         });
     }

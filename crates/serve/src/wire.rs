@@ -36,7 +36,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
-use sgd_core::{BackendSession, ComputeBackend, ExecTask, FaultPlan};
+use sgd_core::{apply_dilation, BackendSession, ComputeBackend, ExecTask, FaultPlan};
 use sgd_datagen::libsvm;
 use sgd_linalg::{Exec, Scalar};
 use sgd_models::Examples;
@@ -84,6 +84,7 @@ struct ScoreJob<'a> {
 
 impl ExecTask for ScoreJob<'_> {
     type Out = Vec<Scalar>;
+    // analyzer: root(panic-freedom) -- backend job callback: the dispatch trait edge runs against the crate dependency direction, so traversal re-anchors here
     fn run<E: Exec>(&mut self, e: &mut E) -> Vec<Scalar> {
         self.model.predict_batch(e, self.x)
     }
@@ -96,6 +97,11 @@ pub struct WireServer<'a> {
     config: WireConfig,
     inflight: Mutex<usize>,
     session: Mutex<BackendSession>,
+    /// Shed replies, formatted once at construction: under overload the
+    /// server must do *less* work per request, so the BUSY and
+    /// line-too-long paths write prebuilt bytes instead of allocating.
+    busy_reply: String,
+    too_long_reply: String,
 }
 
 /// Decrements the in-flight count when a request finishes, even if the
@@ -123,20 +129,23 @@ fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// One bounded-buffer line read.
 enum LineRead {
-    /// A complete line (terminator stripped) within the byte bound.
-    Line(String),
+    /// A complete line (terminator stripped) within the byte bound; its
+    /// bytes are in the caller's buffer.
+    Line,
     /// The line exceeded the bound; its bytes were drained, not kept.
     TooLong,
 }
 
-/// Reads one `\n`-terminated line through the reader's own buffer,
-/// never holding more than `max_bytes` of it: past the bound the rest
-/// of the line is consumed and discarded. `Ok(None)` is EOF.
+/// Reads one `\n`-terminated line through the reader's own buffer into
+/// `buf` (cleared first, capacity reused across calls), never holding
+/// more than `max_bytes` of it: past the bound the rest of the line is
+/// consumed and discarded. `Ok(None)` is EOF.
 fn read_bounded_line<R: BufRead>(
     reader: &mut R,
     max_bytes: usize,
+    buf: &mut Vec<u8>,
 ) -> std::io::Result<Option<LineRead>> {
-    let mut buf: Vec<u8> = Vec::new();
+    buf.clear();
     let mut overflow = false;
     let mut saw_any = false;
     loop {
@@ -155,6 +164,7 @@ fn read_bounded_line<R: BufRead>(
                 overflow = true;
                 buf.clear();
             } else {
+                // analyzer: allow(hot-path-alloc) -- growth bounded by max_line_bytes; capacity reused across requests
                 buf.extend_from_slice(chunk.get(..take).unwrap_or(&[]));
             }
         }
@@ -167,7 +177,7 @@ fn read_bounded_line<R: BufRead>(
     if overflow {
         Ok(Some(LineRead::TooLong))
     } else {
-        Ok(Some(LineRead::Line(String::from_utf8_lossy(&buf).into_owned())))
+        Ok(Some(LineRead::Line))
     }
 }
 
@@ -188,9 +198,11 @@ impl<'a> WireServer<'a> {
         WireServer {
             registry,
             model_name: model_name.to_string(),
-            config,
             inflight: Mutex::new(0),
             session: Mutex::new(BackendSession::new()),
+            busy_reply: format!("ERR BUSY retry_after={}", config.retry_after_secs),
+            too_long_reply: format!("ERR line too long (max {} bytes)", config.max_line_bytes),
+            config,
         }
     }
 
@@ -205,6 +217,7 @@ impl<'a> WireServer<'a> {
     /// Serves one accepted connection to completion (client EOF, or the
     /// configured read timeout). Returns the number of request lines
     /// handled.
+    // analyzer: root(panic-freedom) -- wire request entry point: every byte a client sends flows through here
     pub fn handle(&self, stream: TcpStream) -> std::io::Result<usize> {
         stream.set_read_timeout(self.config.read_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -215,6 +228,7 @@ impl<'a> WireServer<'a> {
     /// bounded pool of scoped worker threads ([`WireConfig::workers`]),
     /// so a stalled client occupies one worker instead of blocking the
     /// accept loop. Returns total request lines handled.
+    // analyzer: root(panic-freedom) -- wire request entry point: the accept loop serving untrusted connections
     pub fn serve_connections(
         &self,
         listener: &TcpListener,
@@ -258,34 +272,42 @@ impl<'a> WireServer<'a> {
     /// through a bounded buffer, writes one response line each to
     /// `writer`. A read timeout ends the connection cleanly (`Ok`);
     /// other I/O errors propagate.
+    // analyzer: root(panic-freedom) -- wire request entry point: the per-line protocol core
+    // analyzer: root(hot-path-alloc) -- per-request reply path: shed/busy replies must not allocate under overload
     pub fn serve_lines<R: BufRead, W: Write>(
         &self,
         mut reader: R,
         mut writer: W,
     ) -> std::io::Result<usize> {
         let mut handled = 0;
+        // Per-connection scratch, reused across every request line.
+        // analyzer: allow(hot-path-alloc) -- one buffer per connection, reused across requests
+        let mut line_buf: Vec<u8> = Vec::new();
+        // analyzer: allow(hot-path-alloc) -- one response buffer per connection, reused across requests
+        let mut response = String::new();
         loop {
-            let read = match read_bounded_line(&mut reader, self.config.max_line_bytes) {
-                Ok(r) => r,
-                Err(e) if is_timeout(&e) => break,
-                Err(e) => return Err(e),
-            };
-            let response = match read {
+            let read =
+                match read_bounded_line(&mut reader, self.config.max_line_bytes, &mut line_buf) {
+                    Ok(r) => r,
+                    Err(e) if is_timeout(&e) => break,
+                    Err(e) => return Err(e),
+                };
+            response.clear();
+            match read {
                 None => break,
-                Some(LineRead::TooLong) => {
-                    format!("ERR line too long (max {} bytes)", self.config.max_line_bytes)
-                }
-                Some(LineRead::Line(line)) => {
+                Some(LineRead::TooLong) => response.push_str(&self.too_long_reply),
+                Some(LineRead::Line) => {
+                    let line = String::from_utf8_lossy(&line_buf);
                     let line = line.trim_end_matches('\r');
                     if line.trim().is_empty() {
                         continue;
                     }
                     match self.try_acquire() {
-                        None => format!("ERR BUSY retry_after={}", self.config.retry_after_secs),
-                        Some(_inflight) => self.score_line(line),
+                        None => response.push_str(&self.busy_reply),
+                        Some(_inflight) => self.score_line_into(line, &mut response),
                     }
                 }
-            };
+            }
             writer.write_all(response.as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
@@ -304,29 +326,56 @@ impl<'a> WireServer<'a> {
         Some(InflightGuard { counter: &self.inflight })
     }
 
-    /// Scores one request line against the current snapshot through the
-    /// fault-gated backend dispatch.
-    fn score_line(&self, line: &str) -> String {
+    /// Scores one request line against the current snapshot, writing the
+    /// response into `out` (cleared by the caller, capacity reused).
+    ///
+    /// Fault gating is split around the session lock: the decision draw
+    /// (serialized, deterministic) happens under a short critical
+    /// section, and the dispatch itself runs on a scratch session with
+    /// no lock held — `CpuSeq` reads no session state, and holding the
+    /// mutex across the dispatch would serialize all scoring behind one
+    /// request.
+    fn score_line_into(&self, line: &str, out: &mut String) {
+        use std::fmt::Write as _;
         let Some(snap) = self.registry.get(&self.model_name) else {
-            return format!("ERR no model published under '{}'", self.model_name);
+            let _ = write!(out, "ERR no model published under '{}'", self.model_name);
+            return;
         };
         let dim = snap.model.input_dim();
+        // analyzer: allow(hot-path-alloc) -- parse output is bounded by max_line_bytes, freed per request
         let ds = match libsvm::parse_str("wire", line, dim) {
             Ok(ds) => ds,
-            Err(e) => return format!("ERR {e}"),
+            Err(e) => {
+                let _ = write!(out, "ERR {e}");
+                return;
+            }
         };
         if ds.x.rows() != 1 {
-            return format!("ERR expected exactly one example per line, got {}", ds.x.rows());
+            let _ = write!(out, "ERR expected exactly one example per line, got {}", ds.x.rows());
+            return;
         }
         let x = Examples::Sparse(&ds.x);
         let mut job = ScoreJob { model: &snap.model, x: &x };
-        let mut session = lock_tolerant(&self.session);
-        match ComputeBackend::CpuSeq.try_dispatch(&mut session, &mut job) {
-            Ok(d) => match d.out.first() {
-                Some(v) => format!("OK {v}"),
-                None => "ERR empty prediction".to_string(),
-            },
-            Err(fault) => format!("ERR {fault}; retry"),
+        let drawn = {
+            let mut session = lock_tolerant(&self.session);
+            session.draw_fault(&ComputeBackend::CpuSeq)
+        };
+        let dilation = match drawn {
+            Ok(d) => d,
+            Err(fault) => {
+                let _ = write!(out, "ERR {fault}; retry");
+                return;
+            }
+        };
+        let mut scratch = BackendSession::new();
+        // analyzer: allow(hot-path-alloc) -- scoring allocates the one-row output batch; bounded per admitted request
+        let mut d = ComputeBackend::CpuSeq.dispatch(&mut scratch, &mut job);
+        apply_dilation(&mut d, dilation);
+        match d.out.first() {
+            Some(v) => {
+                let _ = write!(out, "OK {v}");
+            }
+            None => out.push_str("ERR empty prediction"),
         }
     }
 }

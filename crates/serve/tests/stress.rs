@@ -1,0 +1,148 @@
+//! Schedule-perturbation stress: registry hot-swap racing the wire
+//! front-end's scoped worker pool.
+//!
+//! Four clients hammer a live TCP server while a publisher thread
+//! hot-swaps (and occasionally unpublishes) the served model. A seeded
+//! LCG drives per-iteration schedule perturbation — yield, spin, or
+//! proceed — so reruns explore different interleavings from the same
+//! deterministic decision stream. Run under `--test-threads=8` in CI's
+//! flake-catcher, the invariants are:
+//!
+//! * every request line gets exactly one response line, in order;
+//! * every `OK` score equals a weight vector that was actually
+//!   published at some point (no torn or half-swapped model is ever
+//!   observable);
+//! * unpublish windows surface as typed `ERR`, never a panic or a
+//!   dropped connection;
+//! * the server's handled count equals the total lines sent.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use sgd_serve::checkpoint::Checkpoint;
+use sgd_serve::model::{ServableModel, TaskDescriptor};
+use sgd_serve::registry::ModelRegistry;
+use sgd_serve::wire::{WireConfig, WireServer};
+
+const CLIENTS: usize = 4;
+const LINES_PER_CLIENT: usize = 50;
+/// The two weight vectors the publisher alternates between. A request
+/// `+1 1:1` scores exactly `w[0]`, so every `OK` response must read
+/// back as one of these leading weights.
+const WEIGHTS_A: [f64; 2] = [1.0, 2.0];
+const WEIGHTS_B: [f64; 2] = [10.0, 2.0];
+
+fn lr_model(weights: &[f64]) -> ServableModel {
+    let ck = Checkpoint::new(
+        TaskDescriptor::LogisticRegression { dim: weights.len() as u64 },
+        weights.to_vec(),
+    )
+    .expect("valid dims");
+    ServableModel::from_checkpoint(&ck).expect("valid checkpoint")
+}
+
+/// Deterministic schedule perturbation: a splitmix-style step whose low
+/// bits pick between proceeding, yielding, and a short spin.
+fn perturb(state: &mut u64) {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    match (*state >> 60) & 0b11 {
+        0 => std::thread::yield_now(),
+        1 => {
+            for _ in 0..((*state >> 32) & 0xff) {
+                std::hint::spin_loop();
+            }
+        }
+        _ => {}
+    }
+}
+
+#[test]
+fn hot_swap_races_wire_serving_without_torn_reads() {
+    let reg = ModelRegistry::new();
+    reg.publish("m", lr_model(&WEIGHTS_A), 0, 0.5);
+
+    let cfg = WireConfig {
+        workers: CLIENTS,
+        read_timeout: Some(Duration::from_secs(30)),
+        ..WireConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().expect("addr");
+    let done = AtomicBool::new(false);
+
+    let handled = std::thread::scope(|s| {
+        let server = s.spawn(|| {
+            WireServer::with_config(&reg, "m", cfg).serve_connections(&listener, CLIENTS)
+        });
+
+        // Publisher: hot-swap the served model as fast as the schedule
+        // allows, with a brief unpublish window every 16th iteration.
+        let publisher = s.spawn(|| {
+            let mut rng = 0x9e3779b97f4a7c15u64;
+            let mut epoch = 1;
+            while !done.load(Ordering::Acquire) {
+                let w = if epoch % 2 == 0 { &WEIGHTS_A } else { &WEIGHTS_B };
+                if epoch % 16 == 0 {
+                    reg.remove("m");
+                    perturb(&mut rng);
+                }
+                reg.publish("m", lr_model(w), epoch, 0.5);
+                epoch += 1;
+                perturb(&mut rng);
+            }
+            epoch
+        });
+
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut rng = 0xD1B54A32D192ED03u64 ^ (c as u64);
+                    let conn = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+                    let mut writer = conn;
+                    let mut line = String::new();
+                    for i in 0..LINES_PER_CLIENT {
+                        writer.write_all(b"+1 1:1\n").expect("request write");
+                        perturb(&mut rng);
+                        line.clear();
+                        let n = reader.read_line(&mut line).expect("response read");
+                        assert!(n > 0, "client {c}: connection died at request {i}");
+                        let reply = line.trim_end();
+                        if let Some(score) = reply.strip_prefix("OK ") {
+                            let v: f64 = score.parse().expect("numeric score");
+                            assert!(
+                                v == WEIGHTS_A[0] || v == WEIGHTS_B[0],
+                                "client {c}: torn read, score {v} matches no published model"
+                            );
+                        } else {
+                            assert!(
+                                reply.starts_with("ERR "),
+                                "client {c}: malformed reply {reply:?}"
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for client in clients {
+            client.join().expect("client thread");
+        }
+        done.store(true, Ordering::Release);
+        let swaps = publisher.join().expect("publisher thread");
+        assert!(swaps > 1, "publisher never ran");
+        server.join().expect("server thread").expect("serve_connections")
+    });
+
+    assert_eq!(handled, CLIENTS * LINES_PER_CLIENT, "every request line answered");
+
+    // The registry must still serve after the race: republish and score
+    // one more request through a fresh connectionless pass.
+    reg.publish("m", lr_model(&WEIGHTS_A), usize::MAX, 0.1);
+    let srv = WireServer::new(&reg, "m");
+    let mut out = Vec::new();
+    srv.serve_lines(BufReader::new("+1 1:1\n".as_bytes()), &mut out).expect("io");
+    assert_eq!(String::from_utf8(out).expect("utf8").trim_end(), "OK 1");
+}
