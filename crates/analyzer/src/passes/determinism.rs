@@ -15,14 +15,17 @@
 //! deliberately out of scope for those rules: they measure real elapsed
 //! time, which is the point of the paper's CPU measurements.
 //!
-//! One rule is workspace-wide: `as_ptr` may not be used outside the one
-//! blessed virtual-address allocator (`GpuDevice` in
-//! `crates/gpusim/src/gpu.rs`). Host pointer values are whatever the
-//! allocator handed out this run, so any cache/map keyed on them — the
-//! pre-PR-6 serving path did exactly this — silently breaks bit-pinned
-//! traces whenever an allocation moves. Code that needs stable buffer
-//! identity must go through `GpuDevice::bind_buffer` / transient scopes
-//! instead.
+//! One rule is workspace-wide: `as_ptr` may not be used outside a short
+//! blessed list. Host pointer values are whatever the allocator handed
+//! out this run, so any cache/map keyed on them — the pre-PR-6 serving
+//! path did exactly this — silently breaks bit-pinned traces whenever an
+//! allocation moves. Code that needs stable buffer identity must go
+//! through `GpuDevice::bind_buffer` / transient scopes instead. The
+//! blessed files are the virtual-address allocator (`GpuDevice` in
+//! `crates/gpusim/src/gpu.rs`, which *converts* pointers into stable
+//! names) and the SIMD kernel tier (`crates/linalg/src/simd.rs`, whose
+//! intrinsics take pointers as load/store addresses for data that is
+//! immediately dereferenced — never retained or compared as identity).
 
 use super::{basename_in, finding, ident_occurrences, Finding, Pass};
 use crate::source::SourceFile;
@@ -36,9 +39,11 @@ const BANNED_IDENTS: [&str; 4] = ["HashMap", "HashSet", "RandomState", "DefaultH
 /// Call tokens banned in pinned modules.
 const BANNED_CALLS: [&str; 3] = ["Instant::now", "SystemTime", "UNIX_EPOCH"];
 
-/// The one file allowed to look at host pointer values: the allocator
-/// that converts them into stable virtual addresses.
-const BLESSED_ALLOCATOR: &str = "crates/gpusim/src/gpu.rs";
+/// The files allowed to look at host pointer values: the allocator that
+/// converts them into stable virtual addresses, and the SIMD kernels
+/// whose intrinsics dereference pointers immediately (loads/stores and
+/// gathers) without ever treating the address as an identity.
+const BLESSED_PTR_FILES: [&str; 2] = ["crates/gpusim/src/gpu.rs", "crates/linalg/src/simd.rs"];
 
 /// The pointer-identity token banned everywhere else.
 const PTR_TOKEN: &str = "as_ptr";
@@ -58,7 +63,7 @@ impl Pass for Determinism {
 
     fn description(&self) -> &'static str {
         "no HashMap/HashSet/host-clock reads in bit-pinned modules (sgd-gpusim, modeled paths); \
-         no `as_ptr` outside the blessed virtual-address allocator"
+         no `as_ptr` outside the blessed pointer users (allocator, SIMD kernels)"
     }
 
     fn in_scope(&self, _rel_path: &str) -> bool {
@@ -96,15 +101,18 @@ impl Pass for Determinism {
                 }
             }
         }
-        if sf.rel_path != BLESSED_ALLOCATOR && !ident_occurrences(code, PTR_TOKEN).is_empty() {
+        if !BLESSED_PTR_FILES.contains(&sf.rel_path.as_str())
+            && !ident_occurrences(code, PTR_TOKEN).is_empty()
+        {
             out.push(finding(
                 self.id(),
                 sf,
                 line0,
                 format!(
-                    "`{PTR_TOKEN}` outside the blessed virtual-address allocator \
-                     ({BLESSED_ALLOCATOR}): host pointer values are not stable identities; \
-                     key simulated state on `GpuDevice::bind_buffer` names or transient scopes"
+                    "`{PTR_TOKEN}` outside the blessed pointer users ({}): host pointer \
+                     values are not stable identities; key simulated state on \
+                     `GpuDevice::bind_buffer` names or transient scopes",
+                    BLESSED_PTR_FILES.join(", ")
                 ),
             ));
         }

@@ -1,6 +1,14 @@
 //! The execution backend: one primitive API, two execution strategies.
+//!
+//! Orthogonal to the `Seq`/`Par` axis, the ambient [`KernelTier`]
+//! (scoped via [`crate::pool::with_tier`]) selects the per-chunk
+//! instruction stream: the scalar reference loops or the explicitly
+//! vectorized tier. `Par` decides *where* work splits; the tier decides
+//! *how* each piece executes — the two compose freely.
+//!
+//! [`KernelTier`]: crate::KernelTier
 
-use crate::{par, seq, CsrMatrix, Matrix, Scalar};
+use crate::{par, seq, simd, CsrMatrix, Matrix, Scalar};
 
 /// ViennaCL does not parallelize a matrix product whose *result* has fewer
 /// than roughly this many entries; below the threshold the kernel runs on a
@@ -56,7 +64,7 @@ impl Backend {
     pub fn dot(&self, x: &[Scalar], y: &[Scalar]) -> Scalar {
         assert_eq!(x.len(), y.len(), "dot length mismatch");
         match self {
-            Backend::Seq => seq::dot(x, y),
+            Backend::Seq => simd::dot(x, y),
             Backend::Par { .. } => par::dot(x, y),
         }
     }
@@ -65,7 +73,7 @@ impl Backend {
     pub fn axpy(&self, a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
         assert_eq!(x.len(), y.len(), "axpy length mismatch");
         match self {
-            Backend::Seq => seq::axpy(a, x, y),
+            Backend::Seq => simd::axpy(a, x, y),
             Backend::Par { .. } => par::axpy(a, x, y),
         }
     }
@@ -73,7 +81,7 @@ impl Backend {
     /// `x *= a`.
     pub fn scale(&self, a: Scalar, x: &mut [Scalar]) {
         match self {
-            Backend::Seq => seq::scale(a, x),
+            Backend::Seq => simd::scale(a, x),
             Backend::Par { .. } => par::scale(a, x),
         }
     }
@@ -122,7 +130,7 @@ impl Backend {
         assert_eq!(a.cols(), x.len(), "gemv inner dimension");
         assert_eq!(a.rows(), y.len(), "gemv outer dimension");
         match self {
-            Backend::Seq => seq::gemv(a, x, y),
+            Backend::Seq => simd::gemv(a, x, y),
             Backend::Par { .. } => par::gemv(a, x, y),
         }
     }
@@ -132,7 +140,7 @@ impl Backend {
         assert_eq!(a.rows(), x.len(), "gemv_t inner dimension");
         assert_eq!(a.cols(), y.len(), "gemv_t outer dimension");
         match self {
-            Backend::Seq => seq::gemv_t(a, x, y),
+            Backend::Seq => simd::gemv_t(a, x, y),
             Backend::Par { .. } => par::gemv_t(a, x, y),
         }
     }
@@ -141,6 +149,32 @@ impl Backend {
     ///
     /// Under `Par`, the product runs sequentially when
     /// `C.len() < gemm_parallel_threshold` (the ViennaCL quirk).
+    ///
+    /// # Zero-skip contract
+    ///
+    /// `gemm` and [`Backend::gemm_tn`] treat exact-zero entries of A
+    /// (either sign, including `-0.0`) as *structural* zeros: the
+    /// corresponding row of B is skipped entirely. Consequences, pinned
+    /// by `tests/kernel_semantics.rs` and identical across `Seq`/`Par`
+    /// and every [`crate::KernelTier`]:
+    ///
+    /// * NaN or ±inf in a row of B multiplied only by zero entries of A
+    ///   does **not** propagate into C (strict IEEE `0 * NaN = NaN`
+    ///   would);
+    /// * an output whose every contribution is skipped is `+0.0` even
+    ///   when the strict IEEE sum of `0 * b` terms would be `-0.0`;
+    /// * with no zero entries in A, results are the strict IEEE
+    ///   accumulation (NaN payloads and infinities propagate normally).
+    ///   One caveat: when an output combines *multiple* invalid
+    ///   contributions (two NaNs meeting in one add, or `inf - inf`),
+    ///   IEEE leaves which payload survives unspecified and hardware
+    ///   picks by operand order — so across tiers only NaN-*ness* is
+    ///   pinned there, not the payload bits.
+    ///
+    /// [`Backend::gemm_nt`] is dot-product-based and performs *no* skip:
+    /// it propagates NaN/±inf from B unconditionally. This asymmetry is
+    /// deliberate and also pinned — sparse-aware skipping is only worth
+    /// its branch on the rank-1-update (axpy) formulations.
     pub fn gemm(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
         assert_eq!(a.cols(), b.rows(), "gemm inner dimension");
         assert_eq!(a.rows(), c.rows(), "gemm rows");
@@ -200,7 +234,7 @@ impl Backend {
         assert_eq!(a.cols(), x.len(), "spmv inner dimension");
         assert_eq!(a.rows(), y.len(), "spmv outer dimension");
         match self {
-            Backend::Seq => seq::spmv(a, x, y),
+            Backend::Seq => simd::spmv(a, x, y),
             Backend::Par { .. } => par::spmv(a, x, y),
         }
     }

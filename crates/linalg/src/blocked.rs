@@ -1,0 +1,341 @@
+//! Cache-blocked operand layouts for the bandwidth-bound kernels.
+//!
+//! The paper's CPU-vs-GPU crossover is decided by how close each side
+//! runs to its memory-bandwidth roofline, and for `gemv`/`spmv` the
+//! limiting stream is the dense `x` vector: a row-major sweep touches
+//! all of `x` per row, so once `x` outgrows a cache level every row
+//! pays DRAM latency for it. Both layouts here partition *columns* into
+//! blocks sized so one block of `x` stays cache-resident across the
+//! whole row sweep, trading one extra pass over `y` per block for
+//! cache-resident gathers.
+//!
+//! ## Block sizes vs the cpusim cache tiers
+//!
+//! `sgd-cpusim`'s `CpuSpec` models 32 KiB L1d and 256 KiB L2 per core,
+//! and its `cache_fit_multiplier` grants the 8x/4x bandwidth tiers to
+//! working sets that *fit* those levels. The defaults here target half
+//! a level (the other half holds the operand rows streaming by):
+//!
+//! * [`L1_BLOCK_ELEMS`] = 2048 f64 = 16 KiB — half of L1d; default for
+//!   dense [`SoaMatrix`] panels, whose row segments stream sequentially.
+//! * [`L2_BLOCK_ELEMS`] = 16384 f64 = 128 KiB — half of L2; default for
+//!   [`BlockedCsr`], whose gathers hit random offsets within the block
+//!   and therefore want the larger level.
+//!
+//! `sgd-linalg` deliberately does not depend on `sgd-cpusim` (the
+//! dependency runs the other way), so the correspondence is by
+//! documented constant, checked by a unit test against the literal
+//! byte sizes.
+//!
+//! ## Determinism
+//!
+//! Block-major accumulation reassociates each row's dot product (block
+//! partials sum in ascending column order), so blocked results are
+//! bitwise equal to `seq` on integer data and run-to-run / cross-tier
+//! bitwise deterministic on any data — the same class as the reduction
+//! kernels in the SIMD tier.
+
+use crate::{simd, CsrMatrix, CsrRow, Matrix, Scalar};
+
+/// Default column-block width for dense panels: 16 KiB of f64, half of
+/// the modeled 32 KiB L1d (see module docs).
+pub const L1_BLOCK_ELEMS: usize = 2048;
+
+/// Default column-block width for sparse blocks: 128 KiB of f64, half of
+/// the modeled 256 KiB per-core L2 (see module docs).
+pub const L2_BLOCK_ELEMS: usize = 16384;
+
+/// One column panel: columns `col0 .. col0 + width` of every row, stored
+/// row-major and contiguous (structure-of-arrays across panels).
+struct Panel {
+    col0: usize,
+    width: usize,
+    /// `rows * width` values, row-major within the panel.
+    data: Vec<Scalar>,
+}
+
+/// A dense matrix re-laid-out as contiguous column panels for
+/// cache-blocked `gemv`.
+///
+/// Row segments within a panel are contiguous, so the inner dot streams
+/// exactly like the row-major kernel — but every row's segment reads the
+/// *same* `block`-element slice of `x`, which stays cache-resident.
+pub struct SoaMatrix {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    panels: Vec<Panel>,
+}
+
+impl SoaMatrix {
+    /// Re-lays `m` out in panels of the default L1-resident width.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self::with_block(m, L1_BLOCK_ELEMS)
+    }
+
+    /// Re-lays `m` out in panels of `block` columns (the last panel may
+    /// be narrower).
+    ///
+    /// # Panics
+    /// Panics if `block` is zero.
+    pub fn with_block(m: &Matrix, block: usize) -> Self {
+        assert!(block > 0, "panel width must be positive");
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut panels = Vec::with_capacity(cols.div_ceil(block.max(1)));
+        let mut col0 = 0;
+        while col0 < cols {
+            let width = block.min(cols - col0);
+            let mut data = Vec::with_capacity(rows * width);
+            for i in 0..rows {
+                data.extend_from_slice(&m.row(i)[col0..col0 + width]);
+            }
+            panels.push(Panel { col0, width, data });
+            col0 += width;
+        }
+        SoaMatrix { rows, cols, block, panels }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Configured panel width in columns.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Cache-blocked `y = A x` under the ambient [`crate::KernelTier`].
+    ///
+    /// Panels accumulate in ascending column order; each panel's row
+    /// segment reduces with the tier's pinned tree (see `simd` module
+    /// docs), so the result is deterministic and integer-exact.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    // analyzer: root(hot-path-alloc) -- blocked matrix-vector inner loop: per-example hot path, must not allocate
+    pub fn gemv(&self, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(self.cols, x.len(), "blocked gemv inner dimension");
+        assert_eq!(self.rows, y.len(), "blocked gemv outer dimension");
+        y.fill(0.0);
+        for panel in &self.panels {
+            let xb = &x[panel.col0..panel.col0 + panel.width];
+            for (i, yi) in y.iter_mut().enumerate() {
+                let seg = &panel.data[i * panel.width..(i + 1) * panel.width];
+                *yi += simd::dot(seg, xb);
+            }
+        }
+    }
+}
+
+/// One column block of a CSR matrix: a CSR sub-matrix over columns
+/// `col0 .. col0 + width` with indices rebased to the block.
+struct CsrBlock {
+    col0: usize,
+    width: usize,
+    matrix: CsrMatrix,
+}
+
+/// A CSR matrix partitioned into column blocks for cache-blocked `spmv`.
+///
+/// The sparse gather `x[col]` is the random-access stream; restricting
+/// each sweep to a `block`-column window keeps the touched slice of `x`
+/// inside one cache level. Blocks that contain no non-zeros are not
+/// stored, so fully-sparse column ranges cost nothing.
+pub struct BlockedCsr {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    blocks: Vec<CsrBlock>,
+}
+
+impl BlockedCsr {
+    /// Partitions `a` into blocks of the default L2-resident width.
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        Self::with_block(a, L2_BLOCK_ELEMS)
+    }
+
+    /// Partitions `a` into blocks of `block` columns (the last block may
+    /// be narrower).
+    ///
+    /// # Panics
+    /// Panics if `block` is zero.
+    pub fn with_block(a: &CsrMatrix, block: usize) -> Self {
+        assert!(block > 0, "block width must be positive");
+        let (rows, cols) = (a.rows(), a.cols());
+        let nblocks = cols.div_ceil(block.max(1));
+        // Per-block row-entry builders; rebase every entry's column into
+        // its block's window.
+        let mut entries: Vec<Vec<Vec<(u32, Scalar)>>> = vec![vec![Vec::new(); rows]; nblocks];
+        // `i` indexes into whichever per-block builder each entry's
+        // column selects, so no single iterator can replace the range.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..rows {
+            let r = a.row(i);
+            for (&c, &v) in r.cols.iter().zip(r.vals) {
+                let bi = c as usize / block;
+                entries[bi][i].push((c - (bi * block) as u32, v));
+            }
+        }
+        let mut blocks = Vec::new();
+        for (bi, rows_entries) in entries.iter().enumerate() {
+            if rows_entries.iter().all(Vec::is_empty) {
+                continue;
+            }
+            let col0 = bi * block;
+            let width = block.min(cols - col0);
+            blocks.push(CsrBlock {
+                col0,
+                width,
+                matrix: CsrMatrix::from_row_entries(rows, width, rows_entries),
+            });
+        }
+        BlockedCsr { rows, cols, block, blocks }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Configured block width in columns.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Stored non-zeros across all blocks (equals the source nnz).
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(|b| b.matrix.nnz()).sum()
+    }
+
+    /// Cache-blocked `y = A x` under the ambient [`crate::KernelTier`].
+    ///
+    /// Blocks accumulate in ascending column order; determinism class as
+    /// [`SoaMatrix::gemv`]. Because every rebased index is `< block`,
+    /// the SIMD gather path is always in `i32` range regardless of the
+    /// full matrix width.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    // analyzer: root(hot-path-alloc) -- blocked sparse matrix-vector inner loop: per-example hot path, must not allocate
+    pub fn spmv(&self, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(self.cols, x.len(), "blocked spmv inner dimension");
+        assert_eq!(self.rows, y.len(), "blocked spmv outer dimension");
+        y.fill(0.0);
+        for blk in &self.blocks {
+            let xb = &x[blk.col0..blk.col0 + blk.width];
+            for (i, yi) in y.iter_mut().enumerate() {
+                let row = blk.matrix.row(i);
+                if row.nnz() > 0 {
+                    *yi += row_dot(row, xb);
+                }
+            }
+        }
+    }
+}
+
+/// One rebased-row dot under the ambient tier.
+fn row_dot(row: CsrRow<'_>, xb: &[Scalar]) -> Scalar {
+    simd::csr_row_dot(row, xb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pool, seq, KernelTier};
+
+    #[test]
+    fn block_constants_match_the_documented_cache_budgets() {
+        // Half of cpusim's modeled 32 KiB L1d and 256 KiB per-core L2.
+        assert_eq!(L1_BLOCK_ELEMS * std::mem::size_of::<Scalar>(), 32 * 1024 / 2);
+        assert_eq!(L2_BLOCK_ELEMS * std::mem::size_of::<Scalar>(), 256 * 1024 / 2);
+    }
+
+    fn int_matrix(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 7) % 9) as Scalar - 4.0)
+    }
+
+    #[test]
+    fn blocked_gemv_matches_seq_bitwise_on_integer_data() {
+        // Widths straddling the panel boundary, including tails of 1..block.
+        for cols in [5, 7, 8, 9, 15, 16, 17] {
+            let m = int_matrix(13, cols);
+            let soa = SoaMatrix::with_block(&m, 8);
+            let x: Vec<Scalar> = (0..cols).map(|i| ((i % 5) as Scalar) - 2.0).collect();
+            let mut got = vec![0.0; 13];
+            let mut expect = vec![0.0; 13];
+            seq::gemv(&m, &x, &mut expect);
+            for tier in [KernelTier::Scalar, KernelTier::Simd, KernelTier::SimdPortable] {
+                pool::with_tier(tier, || soa.gemv(&x, &mut got));
+                assert_eq!(got, expect, "cols={cols} {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_spmv_matches_seq_bitwise_on_integer_data() {
+        let d = Matrix::from_fn(21, 53, |i, j| {
+            if (i * 17 + j * 3) % 4 == 0 {
+                ((i + 2 * j) % 11) as Scalar - 5.0
+            } else {
+                0.0
+            }
+        });
+        let s = CsrMatrix::from_dense(&d);
+        let blocked = BlockedCsr::with_block(&s, 16);
+        assert_eq!(blocked.nnz(), s.nnz());
+        let x: Vec<Scalar> = (0..53).map(|i| ((i % 7) as Scalar) - 3.0).collect();
+        let mut expect = vec![0.0; 21];
+        seq::spmv(&s, &x, &mut expect);
+        for tier in [KernelTier::Scalar, KernelTier::Simd, KernelTier::SimdPortable] {
+            let mut got = vec![0.0; 21];
+            pool::with_tier(tier, || blocked.spmv(&x, &mut got));
+            assert_eq!(got, expect, "{tier:?}");
+        }
+    }
+
+    #[test]
+    fn empty_column_blocks_are_not_stored() {
+        // Non-zeros only in columns 0..4 and 40..44 of a 64-wide matrix:
+        // with block 8, only two of eight blocks should materialize.
+        let d = Matrix::from_fn(6, 64, |i, j| {
+            if j < 4 || (40..44).contains(&j) {
+                (i + j + 1) as Scalar
+            } else {
+                0.0
+            }
+        });
+        let blocked = BlockedCsr::with_block(&CsrMatrix::from_dense(&d), 8);
+        assert_eq!(blocked.blocks.len(), 2);
+        let x: Vec<Scalar> = (0..64).map(|i| (i % 3) as Scalar).collect();
+        let mut got = vec![0.0; 6];
+        let mut expect = vec![0.0; 6];
+        blocked.spmv(&x, &mut got);
+        seq::spmv(&CsrMatrix::from_dense(&d), &x, &mut expect);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn blocked_results_are_run_to_run_deterministic_on_fractional_data() {
+        let m = Matrix::from_fn(9, 37, |i, j| ((i * 13 + j) % 101) as Scalar * 0.013 - 0.5);
+        let soa = SoaMatrix::with_block(&m, 8);
+        let x: Vec<Scalar> = (0..37).map(|i| (i as Scalar) * 0.07 - 1.1).collect();
+        let mut a = vec![0.0; 9];
+        let mut b = vec![0.0; 9];
+        pool::with_tier(KernelTier::Simd, || {
+            soa.gemv(&x, &mut a);
+            soa.gemv(&x, &mut b);
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -22,18 +22,22 @@
 //! ```
 
 mod backend;
+mod blocked;
 mod csr;
 mod dense;
 mod exec;
 mod par;
 pub mod pool;
 mod seq;
+mod simd;
 
 pub use backend::{Backend, DEFAULT_GEMM_PARALLEL_THRESHOLD};
+pub use blocked::{BlockedCsr, SoaMatrix, L1_BLOCK_ELEMS, L2_BLOCK_ELEMS};
 pub use csr::{CsrMatrix, CsrRow};
 pub use dense::Matrix;
 pub use exec::{softmax_xent_reference, CpuExec, Exec};
 pub use par::MIN_PARALLEL_LEN;
+pub use simd::{avx2_available, KernelTier, SIMD_LANES};
 
 /// Scalar type used throughout the study.
 ///

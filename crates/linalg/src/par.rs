@@ -11,22 +11,43 @@
 
 use std::sync::Mutex;
 
-use crate::{pool, seq, CsrMatrix, Matrix, Scalar};
+use crate::{pool, seq, simd, CsrMatrix, Matrix, Scalar};
 
-/// Below this many elements a parallel element-wise kernel is not worth the
+/// Below this much work a parallel kernel is not worth the
 /// parallel-dispatch overhead and we fall back to the sequential
 /// implementation. ViennaCL's OpenMP backend has the same kind of guard.
+/// Measured in elements for element-wise kernels and in element-ops
+/// (`len * work_per_elem`) for row-granular ones — see
+/// [`chunk_len_weighted`].
 pub const MIN_PARALLEL_LEN: usize = 4096;
 
 /// Contiguous chunk size splitting `len` elements across the ambient
 /// thread count, or `None` when the sequential path should run instead.
-fn chunk_len(len: usize) -> Option<usize> {
+///
+/// The dispatch floor lives *inside* this function so no kernel can
+/// forget it: PR 4 fixed the missing guard in `gemv` by adding a caller-
+/// side check, and `spmv` then shipped without one — the same bug again.
+/// Callers whose per-element work is more than one scalar op pass it as
+/// `work_per_elem` so the floor compares total work (a flops proxy), not
+/// row count, against [`MIN_PARALLEL_LEN`].
+///
+/// Deliberately *not* routed through here: `gemv_t` / `spmv_t`. Their
+/// partial-vector shape (chunk count = clamped thread count) is pinned
+/// by the bit-identity tests — adding a floor would change reduction
+/// order on fractional data and silently shift every recorded loss
+/// trajectory. Their guard is the `t <= 1` early-out they already have.
+fn chunk_len_weighted(len: usize, work_per_elem: usize) -> Option<usize> {
     let t = pool::current_num_threads();
-    if t <= 1 || len < 2 {
+    if t <= 1 || len < 2 || len.saturating_mul(work_per_elem.max(1)) < MIN_PARALLEL_LEN {
         None
     } else {
         Some(len.div_ceil(t))
     }
+}
+
+/// [`chunk_len_weighted`] for kernels doing ~one scalar op per element.
+fn chunk_len(len: usize) -> Option<usize> {
+    chunk_len_weighted(len, 1)
 }
 
 /// Splits `data` into `chunk`-sized contiguous pieces and runs
@@ -70,39 +91,35 @@ where
 
 pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
     match chunk_len(x.len()) {
-        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
-            map_chunks(x, chunk, |base, xs| seq::dot(xs, &y[base..base + xs.len()]))
-                .into_iter()
-                .sum()
-        }
-        _ => seq::dot(x, y),
+        Some(chunk) => map_chunks(x, chunk, |base, xs| simd::dot(xs, &y[base..base + xs.len()]))
+            .into_iter()
+            .sum(),
+        None => simd::dot(x, y),
     }
 }
 
 pub(crate) fn axpy(a: Scalar, x: &[Scalar], y: &mut [Scalar]) {
     match chunk_len(x.len()) {
-        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
-            for_chunks_mut(y, chunk, |base, ys| seq::axpy(a, &x[base..base + ys.len()], ys));
+        Some(chunk) => {
+            for_chunks_mut(y, chunk, |base, ys| simd::axpy(a, &x[base..base + ys.len()], ys));
         }
-        _ => seq::axpy(a, x, y),
+        None => simd::axpy(a, x, y),
     }
 }
 
 pub(crate) fn scale(a: Scalar, x: &mut [Scalar]) {
     match chunk_len(x.len()) {
-        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
-            for_chunks_mut(x, chunk, |_, xs| seq::scale(a, xs));
+        Some(chunk) => {
+            for_chunks_mut(x, chunk, |_, xs| simd::scale(a, xs));
         }
-        _ => seq::scale(a, x),
+        None => simd::scale(a, x),
     }
 }
 
 pub(crate) fn sum(x: &[Scalar]) -> Scalar {
     match chunk_len(x.len()) {
-        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
-            map_chunks(x, chunk, |_, xs| xs.iter().sum::<Scalar>()).into_iter().sum()
-        }
-        _ => x.iter().sum(),
+        Some(chunk) => map_chunks(x, chunk, |_, xs| xs.iter().sum::<Scalar>()).into_iter().sum(),
+        None => x.iter().sum(),
     }
 }
 
@@ -111,7 +128,7 @@ where
     F: Fn(Scalar) -> Scalar + Sync + Send,
 {
     match chunk_len(x.len()) {
-        Some(chunk) if x.len() >= MIN_PARALLEL_LEN => {
+        Some(chunk) => {
             for_chunks_mut(x, chunk, |_, xs| {
                 for v in xs.iter_mut() {
                     *v = f(*v);
@@ -131,7 +148,7 @@ where
     F: Fn(Scalar, Scalar) -> Scalar + Sync + Send,
 {
     match chunk_len(a.len()) {
-        Some(chunk) if a.len() >= MIN_PARALLEL_LEN => {
+        Some(chunk) => {
             for_chunks_mut(out, chunk, |base, os| {
                 for (off, o) in os.iter_mut().enumerate() {
                     *o = f(a[base + off], b[base + off]);
@@ -148,14 +165,12 @@ where
 
 pub(crate) fn gemv(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     // Guarded like every other element-wise kernel: an MLP-sized product
-    // (~100 output rows) is pure dispatch overhead when parallelized.
+    // (~100 output rows) is pure dispatch overhead when parallelized. The
+    // floor stays row-count-based (not flops-based) on purpose — it is
+    // the PR 4 behaviour the pool bench and the MLP trajectories pin.
     match chunk_len(y.len()) {
-        Some(chunk) if y.len() >= MIN_PARALLEL_LEN => for_chunks_mut(y, chunk, |base, ys| {
-            for (off, yi) in ys.iter_mut().enumerate() {
-                *yi = seq::dot(a.row(base + off), x);
-            }
-        }),
-        _ => seq::gemv(a, x, y),
+        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| simd::gemv_rows(a, x, base, ys)),
+        None => simd::gemv(a, x, y),
     }
 }
 
@@ -169,7 +184,7 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
     // Scatter along rows races on y; accumulate per-chunk partials and add.
     let t = pool::current_num_threads().clamp(1, MAX_SCATTER_PARTIALS);
     if t <= 1 {
-        return seq::gemv_t(a, x, y);
+        return simd::gemv_t(a, x, y);
     }
     let cols = a.cols();
     // `div_ceil`, not `len / t`: flooring yields up to `t + 1` chunks
@@ -180,13 +195,15 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
         // analyzer: allow(hot-path-alloc) -- one dense partial per chunk, capped at MAX_SCATTER_PARTIALS allocations per call
         let mut acc = vec![0.0; cols];
         for (off, &xi) in xs.iter().enumerate() {
-            seq::axpy(xi, a.row(base + off), &mut acc);
+            // Element-wise, so the tier swap cannot change bits relative
+            // to the scalar chunking (axpy is order-preserving per lane).
+            simd::axpy(xi, a.row(base + off), &mut acc);
         }
         acc
     });
     y.fill(0.0);
     for p in partials {
-        seq::axpy(1.0, &p, y);
+        simd::axpy(1.0, &p, y);
     }
 }
 
@@ -194,7 +211,13 @@ pub(crate) fn gemv_t(a: &Matrix, x: &[Scalar], y: &mut [Scalar]) {
 pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (k, m) = (a.cols(), b.cols());
     let rows = a.rows();
-    let rchunk = match chunk_len(rows) {
+    // Flops-based floor: each output row costs ~k*m multiply-adds, so a
+    // short-and-wide product still parallelizes while a genuinely tiny
+    // one (below MIN_PARALLEL_LEN element-ops total) stays sequential.
+    // This sits *below* the Backend-level ViennaCL result-size threshold
+    // and never re-serializes a product that threshold admits at its
+    // default — the paper's Fig. 6 anomaly reproduction is unaffected.
+    let rchunk = match chunk_len_weighted(rows, k.saturating_mul(m)) {
         Some(rc) if m > 0 => rc,
         _ => return seq::gemm(a, b, c),
     };
@@ -204,10 +227,14 @@ pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
             c_row.fill(0.0);
             let a_row = a.row(i);
             for (p, &aip) in a_row.iter().enumerate().take(k) {
+                // Zero-skip contract (see `Backend::gemm`): exact zeros of
+                // A are structural — identical in seq/par and every tier.
                 if aip == 0.0 {
                     continue;
                 }
-                seq::axpy(aip, b.row(p), c_row);
+                // axpy is element-wise (order-preserving), so the tier
+                // swap keeps gemm bitwise equal to `seq::gemm` on any data.
+                simd::axpy(aip, b.row(p), c_row);
             }
         }
     });
@@ -216,7 +243,8 @@ pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let m = b.rows();
     let rows = a.rows();
-    let rchunk = match chunk_len(rows) {
+    // Same flops-based floor as `gemm`: one output row = m dots of len k.
+    let rchunk = match chunk_len_weighted(rows, a.cols().saturating_mul(m)) {
         Some(rc) if m > 0 => rc,
         _ => return seq::gemm_nt(a, b, c),
     };
@@ -235,7 +263,9 @@ pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     // against all rows of B.
     let m = b.cols();
     let rows = a.cols();
-    let rchunk = match chunk_len(rows) {
+    // Same flops-based floor as `gemm`: one output row of C = A^T B costs
+    // ~a.rows() axpys of length m.
+    let rchunk = match chunk_len_weighted(rows, a.rows().saturating_mul(m)) {
         Some(rc) if m > 0 => rc,
         _ => return seq::gemm_tn(a, b, c),
     };
@@ -245,8 +275,9 @@ pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
             c_row.fill(0.0);
             for p in 0..a.rows() {
                 let api = a.at(p, i);
+                // Same zero-skip contract as `gemm`, same tier-safe axpy.
                 if api != 0.0 {
-                    seq::axpy(api, b.row(p), c_row);
+                    simd::axpy(api, b.row(p), c_row);
                 }
             }
         }
@@ -254,13 +285,16 @@ pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 }
 
 pub(crate) fn spmv(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
-    match chunk_len(y.len()) {
-        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| {
-            for (off, yi) in ys.iter_mut().enumerate() {
-                *yi = a.row(base + off).dot(x);
-            }
-        }),
-        None => seq::spmv(a, x, y),
+    // Regression fix: this kernel shipped with *no* dispatch floor (the
+    // bug PR 4 fixed in `gemv`), so a tiny sparse matvec paid a full pool
+    // submission for nothing. Work per row is the average nnz, making the
+    // floor a flops proxy (~total nnz) rather than a row count — a short
+    // but dense-rowed CSR still parallelizes. Row-granular chunking is
+    // order-preserving per row, so the guard cannot change bits.
+    let avg_nnz = a.nnz() / a.rows().max(1);
+    match chunk_len_weighted(y.len(), avg_nnz) {
+        Some(chunk) => for_chunks_mut(y, chunk, |base, ys| simd::spmv_rows(a, x, base, ys)),
+        None => simd::spmv(a, x, y),
     }
 }
 
@@ -285,7 +319,7 @@ pub(crate) fn spmv_t(a: &CsrMatrix, x: &[Scalar], y: &mut [Scalar]) {
     });
     y.fill(0.0);
     for p in partials {
-        seq::axpy(1.0, &p, y);
+        simd::axpy(1.0, &p, y);
     }
 }
 
@@ -387,23 +421,91 @@ mod tests {
     }
 
     #[test]
+    fn tiny_spmv_is_sequential_and_exact() {
+        // Regression: `spmv` parallelized with no dispatch floor at all —
+        // the same bug PR 4 fixed in `gemv`. A tiny sparse matvec must now
+        // match seq::spmv bitwise without submitting any pool work.
+        let d = Matrix::from_fn(60, 40, |i, j| {
+            if (i * 13 + j * 5) % 3 == 0 {
+                ((i + j) % 7) as Scalar - 3.0
+            } else {
+                0.0
+            }
+        });
+        let s = CsrMatrix::from_dense(&d);
+        let x: Vec<Scalar> = (0..40).map(|i| (i % 9) as Scalar * 0.5 - 2.0).collect();
+        let mut got = vec![0.0; 60];
+        let mut expect = vec![0.0; 60];
+        let stats = pool::PoolStats::new();
+        pool::with_stats(&stats, || pool::with_threads(8, || spmv(&s, &x, &mut got)));
+        seq::spmv(&s, &x, &mut expect);
+        assert_eq!(got, expect, "guarded spmv must be exactly the sequential kernel");
+        assert_eq!(stats.submissions(), 0, "tiny spmv must not dispatch to the pool");
+    }
+
+    #[test]
+    fn spmv_above_the_work_floor_still_parallelizes() {
+        // The floor is a flops proxy (total nnz), not a row count: a CSR
+        // whose nnz clears MIN_PARALLEL_LEN must still submit pool work.
+        let d = Matrix::from_fn(512, 24, |i, j| ((i * 3 + j) % 11) as Scalar - 5.0);
+        let s = CsrMatrix::from_dense(&d);
+        assert!(s.nnz() >= MIN_PARALLEL_LEN);
+        let x: Vec<Scalar> = (0..24).map(|i| i as Scalar).collect();
+        let mut got = vec![0.0; 512];
+        let stats = pool::PoolStats::new();
+        pool::with_stats(&stats, || pool::with_threads(4, || spmv(&s, &x, &mut got)));
+        assert!(stats.submissions() > 0, "large spmv must still use the pool");
+        let mut expect = vec![0.0; 512];
+        seq::spmv(&s, &x, &mut expect);
+        assert_eq!(got, expect, "row-granular chunking is order-preserving");
+    }
+
+    #[test]
+    fn tiny_gemm_variants_stay_below_the_flops_floor() {
+        // The gemm audit: rows alone cleared the old `len >= 2` gate, so a
+        // 16x4 * 4x4 product (256 element-ops) submitted pool tasks. The
+        // flops-based floor keeps it sequential even when the Backend-level
+        // ViennaCL threshold is disabled (par_unconditional).
+        let a = Matrix::from_fn(16, 4, |i, j| ((i + j) % 5) as Scalar - 2.0);
+        let b = Matrix::from_fn(4, 4, |i, j| ((i * 3 + j) % 7) as Scalar);
+        let stats = pool::PoolStats::new();
+        pool::with_stats(&stats, || {
+            pool::with_threads(8, || {
+                let mut c = Matrix::zeros(16, 4);
+                gemm(&a, &b, &mut c);
+                let bt = Matrix::from_fn(4, 4, |i, j| b.at(j, i));
+                let mut c_nt = Matrix::zeros(16, 4);
+                gemm_nt(&a, &bt, &mut c_nt);
+                let at = Matrix::from_fn(4, 16, |i, j| a.at(j, i));
+                let mut c_tn = Matrix::zeros(16, 4);
+                gemm_tn(&at, &b, &mut c_tn);
+            })
+        });
+        assert_eq!(stats.submissions(), 0, "sub-floor gemm variants must stay sequential");
+    }
+
+    #[test]
     fn gemm_variants_match_seq_under_forced_width() {
+        // 48 * (9 * 13) = 5616 element-ops: above the flops floor, so the
+        // parallel path genuinely runs (asserted via stats below).
         pool::with_threads(3, || {
-            let a = Matrix::from_fn(23, 7, |i, j| ((i * 5 + j) % 9) as Scalar - 4.0);
-            let b = Matrix::from_fn(7, 13, |i, j| ((i + j * 3) % 7) as Scalar - 3.0);
-            let mut got = Matrix::zeros(23, 13);
-            let mut expect = Matrix::zeros(23, 13);
-            gemm(&a, &b, &mut got);
+            let a = Matrix::from_fn(48, 9, |i, j| ((i * 5 + j) % 9) as Scalar - 4.0);
+            let b = Matrix::from_fn(9, 13, |i, j| ((i + j * 3) % 7) as Scalar - 3.0);
+            let mut got = Matrix::zeros(48, 13);
+            let mut expect = Matrix::zeros(48, 13);
+            let stats = pool::PoolStats::new();
+            pool::with_stats(&stats, || gemm(&a, &b, &mut got));
+            assert!(stats.submissions() > 0, "above-floor gemm must parallelize");
             seq::gemm(&a, &b, &mut expect);
             assert!(approx_eq_slice(got.as_slice(), expect.as_slice(), 1e-9));
 
-            let bt = Matrix::from_fn(13, 7, |i, j| b.at(j, i));
-            let mut got_nt = Matrix::zeros(23, 13);
+            let bt = Matrix::from_fn(13, 9, |i, j| b.at(j, i));
+            let mut got_nt = Matrix::zeros(48, 13);
             gemm_nt(&a, &bt, &mut got_nt);
             assert!(approx_eq_slice(got_nt.as_slice(), expect.as_slice(), 1e-9));
 
-            let at = Matrix::from_fn(7, 23, |i, j| a.at(j, i));
-            let mut got_tn = Matrix::zeros(23, 13);
+            let at = Matrix::from_fn(9, 48, |i, j| a.at(j, i));
+            let mut got_tn = Matrix::zeros(48, 13);
             gemm_tn(&at, &b, &mut got_tn);
             assert!(approx_eq_slice(got_tn.as_slice(), expect.as_slice(), 1e-9));
         });

@@ -34,6 +34,8 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::available_parallelism;
 
+use crate::simd::KernelTier;
+
 thread_local! {
     /// Requested kernel width; 0 means "machine width" (no scope active).
     static AMBIENT_THREADS: Cell<usize> = const { Cell::new(0) };
@@ -41,6 +43,8 @@ thread_local! {
     static AMBIENT_STATS: RefCell<Option<Arc<PoolStats>>> = const { RefCell::new(None) };
     /// Execution strategy for [`run`] on this thread.
     static AMBIENT_DISPATCH: Cell<Dispatch> = const { Cell::new(Dispatch::Pool) };
+    /// Kernel tier the linalg primitives dispatch to on this thread.
+    static AMBIENT_TIER: Cell<KernelTier> = const { Cell::new(KernelTier::Scalar) };
 }
 
 /// Degree of parallelism the `par` kernels use on this thread. Defaults to
@@ -67,6 +71,28 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
         }
     }
     let _restore = Restore(AMBIENT_THREADS.with(|t| t.replace(n.max(1))));
+    f()
+}
+
+/// The [`KernelTier`] the linalg primitives dispatch to on this thread.
+/// Defaults to [`KernelTier::Scalar`] outside any [`with_tier`] scope, so
+/// trajectories recorded before the SIMD tier existed stay bit-identical.
+pub fn current_tier() -> KernelTier {
+    AMBIENT_TIER.with(Cell::get)
+}
+
+/// Runs `f` with the linalg primitives dispatching to `tier`. Scoped and
+/// restored on unwind like [`with_threads`]; pool tasks submitted inside
+/// the scope inherit the tier, so chunked `par` kernels keep using it no
+/// matter which worker thread executes a chunk.
+pub fn with_tier<R>(tier: KernelTier, f: impl FnOnce() -> R) -> R {
+    struct Restore(KernelTier);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_TIER.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(AMBIENT_TIER.with(|t| t.replace(tier)));
     f()
 }
 
@@ -220,6 +246,7 @@ struct Task {
     closure: *const (dyn Fn(usize) + Sync),
     index: usize,
     width: usize,
+    tier: KernelTier,
     stats: Option<Arc<PoolStats>>,
     latch: Arc<Latch>,
 }
@@ -284,13 +311,15 @@ fn worker_loop(shared: &'static PoolShared) {
 /// even if the task panics.
 struct InstallCtx {
     prev_width: usize,
+    prev_tier: KernelTier,
     prev_stats: Option<Arc<PoolStats>>,
 }
 
 impl InstallCtx {
-    fn install(width: usize, stats: Option<Arc<PoolStats>>) -> InstallCtx {
+    fn install(width: usize, tier: KernelTier, stats: Option<Arc<PoolStats>>) -> InstallCtx {
         InstallCtx {
             prev_width: AMBIENT_THREADS.with(|t| t.replace(width)),
+            prev_tier: AMBIENT_TIER.with(|t| t.replace(tier)),
             prev_stats: AMBIENT_STATS.with(|s| s.replace(stats)),
         }
     }
@@ -299,13 +328,14 @@ impl InstallCtx {
 impl Drop for InstallCtx {
     fn drop(&mut self) {
         AMBIENT_THREADS.with(|t| t.set(self.prev_width));
+        AMBIENT_TIER.with(|t| t.set(self.prev_tier));
         AMBIENT_STATS.with(|s| *s.borrow_mut() = self.prev_stats.take());
     }
 }
 
 fn execute(task: Task) {
     // analyzer: allow(hot-path-alloc) -- Option<Arc> clone is a refcount bump, no heap allocation
-    let _ctx = InstallCtx::install(task.width, task.stats.clone());
+    let _ctx = InstallCtx::install(task.width, task.tier, task.stats.clone());
     // SAFETY: see `unsafe impl Send for Task` — the pointee stays alive
     // until the latch trips, which happens strictly after this call.
     let closure = unsafe { &*task.closure };
@@ -352,6 +382,7 @@ where
     let shared = pool();
     let latch = Latch::new(tasks);
     let width = AMBIENT_THREADS.with(Cell::get);
+    let tier = AMBIENT_TIER.with(Cell::get);
     // analyzer: allow(hot-path-alloc) -- Option<Arc> clone is a refcount bump, no heap allocation
     let stats = AMBIENT_STATS.with(|s| s.borrow().clone());
     // SAFETY (lifetime erasure): `run` does not return before
@@ -368,6 +399,7 @@ where
                 closure,
                 index,
                 width,
+                tier,
                 // analyzer: allow(hot-path-alloc) -- Option<Arc> clone is a refcount bump, no heap allocation
                 stats: stats.clone(),
                 latch: Arc::clone(&latch),
@@ -402,14 +434,18 @@ where
 /// bench can quantify both the handoff overhead and the width-inheritance
 /// fix. The dispatch *mode* propagates into the scoped workers so nested
 /// kernels stay on the baseline path, but the width deliberately does not:
-/// that is the legacy bug under measurement.
+/// that is the legacy bug under measurement. The kernel *tier* does
+/// propagate: it postdates the legacy dispatch, so there is no legacy
+/// behaviour to preserve, and inheriting it keeps pool and fork-join
+/// results bit-identical under any tier (see `pool_bit_identity.rs`).
 fn fork_join<F>(tasks: usize, f: &F)
 where
     F: Fn(usize) + Sync,
 {
+    let tier = AMBIENT_TIER.with(Cell::get);
     std::thread::scope(|s| {
         for index in 0..tasks {
-            s.spawn(move || with_dispatch(Dispatch::ForkJoin, || f(index)));
+            s.spawn(move || with_dispatch(Dispatch::ForkJoin, || with_tier(tier, || f(index))));
         }
     });
 }
@@ -511,6 +547,36 @@ mod tests {
         assert_eq!(stats.submissions(), 3);
         assert_eq!(stats.max_width(), 2);
         assert_eq!(stats.max_tasks(), 2);
+    }
+
+    #[test]
+    fn tier_is_scoped_and_inherited_by_pool_workers() {
+        assert_eq!(current_tier(), KernelTier::Scalar);
+        with_tier(KernelTier::Simd, || {
+            assert_eq!(current_tier(), KernelTier::Simd);
+            let seen = Mutex::new(Vec::new());
+            run(4, |_| seen.lock().unwrap().push(current_tier()));
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), 4);
+            assert!(seen.iter().all(|&t| t == KernelTier::Simd), "tier not inherited: {seen:?}");
+        });
+        assert_eq!(current_tier(), KernelTier::Scalar);
+    }
+
+    #[test]
+    fn tier_is_inherited_by_fork_join_workers() {
+        // Unlike the width (whose non-inheritance reproduces the legacy
+        // bug), the tier propagates into the baseline dispatch so the two
+        // modes stay bit-identical under any tier.
+        with_dispatch(Dispatch::ForkJoin, || {
+            with_tier(KernelTier::SimdPortable, || {
+                let seen = Mutex::new(Vec::new());
+                run(2, |_| seen.lock().unwrap().push(current_tier()));
+                for t in seen.into_inner().unwrap() {
+                    assert_eq!(t, KernelTier::SimdPortable);
+                }
+            });
+        });
     }
 
     #[test]

@@ -13,9 +13,16 @@
 //! 2. **pool == fork-join, bitwise, on any data.** Chunk assignment
 //!    depends only on the requested width, never on the dispatch
 //!    mechanism, so flipping `Dispatch` can never change a single bit.
+//! 3. **The SIMD tier obeys the same discipline.** Every guarantee above
+//!    holds at every [`KernelTier`]: integer-data equality is pinned
+//!    against the seq/Scalar reference across all tiers (the vector
+//!    kernels use fixed-lane accumulators with a pinned reduction tree,
+//!    so reassociation is the same lossless story as chunking), and the
+//!    AVX2 path is bitwise equal to its portable mirror on *any* data —
+//!    runtime feature detection can never change results.
 
 use sgd_linalg::pool::{self, Dispatch};
-use sgd_linalg::{Backend, CsrMatrix, Matrix, Scalar, MIN_PARALLEL_LEN};
+use sgd_linalg::{Backend, CsrMatrix, KernelTier, Matrix, Scalar, MIN_PARALLEL_LEN};
 
 /// Uneven on purpose: not a multiple of any width in 1..=8.
 const N: usize = MIN_PARALLEL_LEN * 2 + 17;
@@ -59,6 +66,8 @@ fn sparse_matrix(rows: usize, cols: usize, frac: bool) -> CsrMatrix {
 
 const WIDTHS: std::ops::RangeInclusive<usize> = 1..=8;
 
+const TIERS: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Simd, KernelTier::SimdPortable];
+
 #[test]
 fn reduction_kernels_match_seq_bitwise_on_integer_data() {
     let seq = Backend::seq();
@@ -68,6 +77,8 @@ fn reduction_kernels_match_seq_bitwise_on_integer_data() {
     let a = int_matrix(N, 13, 3);
     let s = sparse_matrix(N, 17, false);
 
+    // Ground truth at the default (Scalar) tier; integer data makes every
+    // reassociation — chunking *and* fixed-lane SIMD accumulators — exact.
     let expect_dot = seq.dot(&x, &y);
     let expect_sum = seq.sum(&x);
     let mut expect_gemv_t = vec![0.0; 13];
@@ -75,19 +86,23 @@ fn reduction_kernels_match_seq_bitwise_on_integer_data() {
     let mut expect_spmv_t = vec![0.0; 17];
     seq.spmv_t(&s, &x, &mut expect_spmv_t);
 
-    for w in WIDTHS {
-        pool::with_threads(w, || {
-            assert_eq!(par.dot(&x, &y), expect_dot, "dot at width {w}");
-            assert_eq!(par.sum(&x), expect_sum, "sum at width {w}");
+    for tier in TIERS {
+        for w in WIDTHS {
+            pool::with_threads(w, || {
+                pool::with_tier(tier, || {
+                    assert_eq!(par.dot(&x, &y), expect_dot, "dot at width {w} {tier:?}");
+                    assert_eq!(par.sum(&x), expect_sum, "sum at width {w} {tier:?}");
 
-            let mut got = vec![0.0; 13];
-            par.gemv_t(&a, &x, &mut got);
-            assert_eq!(got, expect_gemv_t, "gemv_t at width {w}");
+                    let mut got = vec![0.0; 13];
+                    par.gemv_t(&a, &x, &mut got);
+                    assert_eq!(got, expect_gemv_t, "gemv_t at width {w} {tier:?}");
 
-            let mut got = vec![0.0; 17];
-            par.spmv_t(&s, &x, &mut got);
-            assert_eq!(got, expect_spmv_t, "spmv_t at width {w}");
-        });
+                    let mut got = vec![0.0; 17];
+                    par.spmv_t(&s, &x, &mut got);
+                    assert_eq!(got, expect_spmv_t, "spmv_t at width {w} {tier:?}");
+                });
+            });
+        }
     }
 }
 
@@ -109,52 +124,123 @@ fn order_preserving_kernels_match_seq_bitwise_on_any_data() {
     let bt = Matrix::from_fn(13, 9, |i, j| b.at(j, i));
     let at = Matrix::from_fn(9, 61, |i, j| a.at(j, i));
 
-    // Sequential ground truth, computed once outside any width scope.
-    let mut y_axpy = frac_data(N, 6);
-    seq.axpy(0.37, &x, &mut y_axpy);
-    let mut y_scale = x.clone();
-    seq.scale(-1.73, &mut y_scale);
-    let mut y_gemv = vec![0.0; N];
-    seq.gemv(&a_tall, &xs, &mut y_gemv);
-    let mut y_spmv = vec![0.0; N];
-    seq.spmv(&s, &xs, &mut y_spmv);
-    let mut c_mm = Matrix::zeros(61, 13);
-    seq.gemm(&a, &b, &mut c_mm);
-    let mut c_nt = Matrix::zeros(61, 13);
-    seq.gemm_nt(&a, &bt, &mut c_nt);
-    let mut c_tn = Matrix::zeros(61, 13);
-    seq.gemm_tn(&at, &b, &mut c_tn);
-
-    for w in WIDTHS {
-        pool::with_threads(w, || {
-            let mut y = frac_data(N, 6);
-            par.axpy(0.37, &x, &mut y);
-            assert_eq!(y, y_axpy, "axpy at width {w}");
-
-            let mut y = x.clone();
-            par.scale(-1.73, &mut y);
-            assert_eq!(y, y_scale, "scale at width {w}");
-
-            let mut y = vec![0.0; N];
-            par.gemv(&a_tall, &xs, &mut y);
-            assert_eq!(y, y_gemv, "gemv at width {w}");
-
-            let mut y = vec![0.0; N];
-            par.spmv(&s, &xs, &mut y);
-            assert_eq!(y, y_spmv, "spmv at width {w}");
-
-            let mut c = Matrix::zeros(61, 13);
-            par_mm.gemm(&a, &b, &mut c);
-            assert_eq!(c.as_slice(), c_mm.as_slice(), "gemm at width {w}");
-
-            let mut c = Matrix::zeros(61, 13);
-            par_mm.gemm_nt(&a, &bt, &mut c);
-            assert_eq!(c.as_slice(), c_nt.as_slice(), "gemm_nt at width {w}");
-
-            let mut c = Matrix::zeros(61, 13);
-            par_mm.gemm_tn(&at, &b, &mut c);
-            assert_eq!(c.as_slice(), c_tn.as_slice(), "gemm_tn at width {w}");
+    for tier in TIERS {
+        // Per-tier sequential ground truth: a tier may legitimately change
+        // *reduction* bits on fractional data (gemv/spmv row dots), but
+        // within a tier the parallel decomposition must be invisible.
+        let (y_axpy, y_scale, y_gemv, y_spmv, c_mm, c_nt, c_tn) = pool::with_tier(tier, || {
+            let mut y_axpy = frac_data(N, 6);
+            seq.axpy(0.37, &x, &mut y_axpy);
+            let mut y_scale = x.clone();
+            seq.scale(-1.73, &mut y_scale);
+            let mut y_gemv = vec![0.0; N];
+            seq.gemv(&a_tall, &xs, &mut y_gemv);
+            let mut y_spmv = vec![0.0; N];
+            seq.spmv(&s, &xs, &mut y_spmv);
+            let mut c_mm = Matrix::zeros(61, 13);
+            seq.gemm(&a, &b, &mut c_mm);
+            let mut c_nt = Matrix::zeros(61, 13);
+            seq.gemm_nt(&a, &bt, &mut c_nt);
+            let mut c_tn = Matrix::zeros(61, 13);
+            seq.gemm_tn(&at, &b, &mut c_tn);
+            (y_axpy, y_scale, y_gemv, y_spmv, c_mm, c_nt, c_tn)
         });
+
+        for w in WIDTHS {
+            pool::with_threads(w, || {
+                pool::with_tier(tier, || {
+                    let mut y = frac_data(N, 6);
+                    par.axpy(0.37, &x, &mut y);
+                    assert_eq!(y, y_axpy, "axpy at width {w} {tier:?}");
+
+                    let mut y = x.clone();
+                    par.scale(-1.73, &mut y);
+                    assert_eq!(y, y_scale, "scale at width {w} {tier:?}");
+
+                    let mut y = vec![0.0; N];
+                    par.gemv(&a_tall, &xs, &mut y);
+                    assert_eq!(y, y_gemv, "gemv at width {w} {tier:?}");
+
+                    let mut y = vec![0.0; N];
+                    par.spmv(&s, &xs, &mut y);
+                    assert_eq!(y, y_spmv, "spmv at width {w} {tier:?}");
+
+                    let mut c = Matrix::zeros(61, 13);
+                    par_mm.gemm(&a, &b, &mut c);
+                    assert_eq!(c.as_slice(), c_mm.as_slice(), "gemm at width {w} {tier:?}");
+
+                    let mut c = Matrix::zeros(61, 13);
+                    par_mm.gemm_nt(&a, &bt, &mut c);
+                    assert_eq!(c.as_slice(), c_nt.as_slice(), "gemm_nt at width {w} {tier:?}");
+
+                    let mut c = Matrix::zeros(61, 13);
+                    par_mm.gemm_tn(&at, &b, &mut c);
+                    assert_eq!(c.as_slice(), c_tn.as_slice(), "gemm_tn at width {w} {tier:?}");
+                });
+            });
+        }
+    }
+}
+
+/// Every remainder-tail shape for the 4-lane / 2x-unrolled kernels: the
+/// SIMD main loop consumes 8 elements per iteration, so lengths spanning
+/// a full `8k .. 8k+8` window plus the tiny degenerate sizes exercise
+/// every (vector-iterations, tail-length) combination, including tails
+/// 1..lane-width. Integer data pins all three tiers to identical bits.
+#[test]
+fn simd_tiers_match_scalar_bitwise_on_integer_data_for_every_tail_shape() {
+    let seq = Backend::seq();
+    let lens: Vec<usize> = (0..=9)
+        .chain([15, 16, 17, 31, 32, 33, 63, 64, 65, 96, 97, 98, 99, 100, 101, 102, 103])
+        .collect();
+    for &n in &lens {
+        let x = int_data(n, 1);
+        let y = int_data(n, 2);
+
+        let expect_dot = seq.dot(&x, &y);
+        let mut expect_axpy = int_data(n, 3);
+        seq.axpy(3.0, &x, &mut expect_axpy);
+        let mut expect_scale = x.clone();
+        seq.scale(-2.0, &mut expect_scale);
+
+        // Row count fixed, column count = n: the tail lives in the dots.
+        let a_wide = int_matrix(5, n, 4);
+        let xs5 = int_data(5, 5);
+        let mut expect_gemv = vec![0.0; 5];
+        seq.gemv(&a_wide, &x, &mut expect_gemv);
+        let mut expect_gemv_t = vec![0.0; n];
+        seq.gemv_t(&a_wide, &xs5, &mut expect_gemv_t);
+
+        let s = sparse_matrix(5, n.max(1), false);
+        let sx = int_data(n.max(1), 6);
+        let mut expect_spmv = vec![0.0; 5];
+        seq.spmv(&s, &sx, &mut expect_spmv);
+
+        for tier in [KernelTier::Simd, KernelTier::SimdPortable] {
+            pool::with_tier(tier, || {
+                assert_eq!(seq.dot(&x, &y), expect_dot, "dot n={n} {tier:?}");
+
+                let mut got = int_data(n, 3);
+                seq.axpy(3.0, &x, &mut got);
+                assert_eq!(got, expect_axpy, "axpy n={n} {tier:?}");
+
+                let mut got = x.clone();
+                seq.scale(-2.0, &mut got);
+                assert_eq!(got, expect_scale, "scale n={n} {tier:?}");
+
+                let mut got = vec![0.0; 5];
+                seq.gemv(&a_wide, &x, &mut got);
+                assert_eq!(got, expect_gemv, "gemv n={n} {tier:?}");
+
+                let mut got = vec![0.0; n];
+                seq.gemv_t(&a_wide, &xs5, &mut got);
+                assert_eq!(got, expect_gemv_t, "gemv_t n={n} {tier:?}");
+
+                let mut got = vec![0.0; 5];
+                seq.spmv(&s, &sx, &mut got);
+                assert_eq!(got, expect_spmv, "spmv n={n} {tier:?}");
+            });
+        }
     }
 }
 
@@ -206,11 +292,33 @@ fn kernel_fingerprint() -> Vec<Scalar> {
 
 #[test]
 fn pool_and_fork_join_dispatch_agree_bitwise_on_any_data() {
+    for tier in TIERS {
+        for w in WIDTHS {
+            pool::with_threads(w, || {
+                pool::with_tier(tier, || {
+                    let pooled = pool::with_dispatch(Dispatch::Pool, kernel_fingerprint);
+                    let forked = pool::with_dispatch(Dispatch::ForkJoin, kernel_fingerprint);
+                    assert_eq!(pooled, forked, "dispatch modes diverged at width {w} {tier:?}");
+                });
+            });
+        }
+    }
+}
+
+/// The AVX2 kernels mirror the portable fixed-lane fallback exactly —
+/// same lane count, same unroll, same pinned reduction tree — so forcing
+/// either resolution must produce identical bits on fractional data whose
+/// sums are order-sensitive. This is what makes runtime feature detection
+/// safe: a machine without AVX2 reproduces an AVX2 machine bit-for-bit.
+#[test]
+fn forced_avx2_and_forced_portable_agree_bitwise_on_any_data() {
     for w in WIDTHS {
         pool::with_threads(w, || {
-            let pooled = pool::with_dispatch(Dispatch::Pool, kernel_fingerprint);
-            let forked = pool::with_dispatch(Dispatch::ForkJoin, kernel_fingerprint);
-            assert_eq!(pooled, forked, "dispatch modes diverged at width {w}");
+            let hw = pool::with_tier(KernelTier::Simd, kernel_fingerprint);
+            let portable = pool::with_tier(KernelTier::SimdPortable, kernel_fingerprint);
+            let b_hw: Vec<u64> = hw.iter().map(|v| v.to_bits()).collect();
+            let b_po: Vec<u64> = portable.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(b_hw, b_po, "SIMD resolutions diverged at width {w}");
         });
     }
 }

@@ -271,7 +271,14 @@ impl ModeledService {
             bytes: (w1.bytes - marginal.bytes).max(0.0),
             kernels: (w1.kernels - marginal.kernels).max(0.0),
         };
-        ModeledService { cost: CostModel::default(), candidates, fixed, marginal }
+        // Tier-aware pricing; the ambient default (Scalar) keeps this
+        // bit-identical to `CostModel::default()`.
+        ModeledService {
+            cost: CostModel::for_tier(sgd_linalg::pool::current_tier()),
+            candidates,
+            fixed,
+            marginal,
+        }
     }
 
     /// The workload this service charges for an `n`-request batch.

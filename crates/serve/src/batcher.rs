@@ -35,7 +35,7 @@ use sgd_core::{
     BackendFault, BackendSession, ComputeBackend, CostModel, ExecTask, FaultPlan, GpuDispatch,
     Workload,
 };
-use sgd_linalg::{Exec, Scalar};
+use sgd_linalg::{pool, Exec, Scalar};
 use sgd_models::Examples;
 
 use crate::admission::{OutcomeCounts, RequestOutcome};
@@ -119,7 +119,10 @@ impl Server {
             route: Route::Fixed(backend),
             timing,
             session: BackendSession::new(),
-            cost: CostModel::default(),
+            // At the ambient (default, Scalar) tier this is bit-identical
+            // to `CostModel::default()`; under a SIMD tier scope the
+            // model prices CPU arithmetic at the measured vector rate.
+            cost: CostModel::for_tier(pool::current_tier()),
             last_backend: backend,
             last_gpu: None,
         }
@@ -134,7 +137,7 @@ impl Server {
             route: Route::Routed(candidates),
             timing,
             session: BackendSession::new(),
-            cost: CostModel::default(),
+            cost: CostModel::for_tier(pool::current_tier()),
             last_backend: first,
             last_gpu: None,
         }
