@@ -1,6 +1,6 @@
 //! Pass 7: lock discipline (guard liveness × blocking calls × order).
 //!
-//! The serving stack now has four lock families with a deliberate
+//! The serving and distributed stacks now share five lock families with a deliberate
 //! nesting order, and the paper's latency story dies the moment a guard
 //! is held across something slow: a backend dispatch under the session
 //! mutex serializes *scoring* behind *fault bookkeeping*; a socket
@@ -24,13 +24,15 @@
 //! |------|------------|---------------------------------------------------------|
 //! | 0    | `registry` | `ModelRegistry` state (`state`, `registry`, `models`)   |
 //! | 1    | `wire`     | wire accounting (`inflight`, `claimed`, `handled`, `first_err`, `counter`) |
-//! | 2    | `session`  | the scoring `BackendSession` mutex (`session`)          |
-//! | 3    | `pool`     | worker-pool internals (`queue`, `stats`, `latch`, `inner`; everything in `pool.rs`) |
+//! | 2    | `server`   | the dist `ParamServer` mutex (`server`)                 |
+//! | 3    | `session`  | the scoring `BackendSession` mutex (`session`)          |
+//! | 4    | `pool`     | worker-pool internals (`queue`, `stats`, `latch`, `inner`; everything in `pool.rs`) |
 //!
 //! `Condvar::wait` is deliberately *not* a blocking token: it releases
 //! the mutex it waits on, which is the one correct way to sleep while
-//! "holding" a pool lock. Scope: the serving crate, `sgd-core`, and the
-//! linalg worker pool — the files that actually share these locks.
+//! "holding" a pool lock. Scope: the serving crate, the dist crate,
+//! `sgd-core`, and the linalg worker pool — the files that actually
+//! share these locks.
 
 use super::{Finding, Pass};
 use crate::semantic::{acquires_guard, GuardBinding, SemanticModel};
@@ -60,15 +62,16 @@ struct LockClass {
     fragments: &'static [&'static str],
 }
 
-const CLASSES: [LockClass; 4] = [
+const CLASSES: [LockClass; 5] = [
     LockClass { rank: 0, name: "registry", fragments: &["state", "registry", "models"] },
     LockClass {
         rank: 1,
         name: "wire",
         fragments: &["inflight", "claimed", "handled", "first_err", "counter"],
     },
-    LockClass { rank: 2, name: "session", fragments: &["session"] },
-    LockClass { rank: 3, name: "pool", fragments: &["queue", "stats", "latch", "inner"] },
+    LockClass { rank: 2, name: "server", fragments: &["server"] },
+    LockClass { rank: 3, name: "session", fragments: &["session"] },
+    LockClass { rank: 4, name: "pool", fragments: &["queue", "stats", "latch", "inner"] },
 ];
 
 /// A classified acquisition: which class, and which fragment matched.
@@ -82,7 +85,7 @@ struct Classified {
 /// by file for the pool, whose internals all share one family).
 fn classify(text: &str, rel_path: &str) -> Option<Classified> {
     if rel_path == "crates/linalg/src/pool.rs" {
-        return Some(Classified { rank: 3, class: "pool", fragment: "pool" });
+        return Some(Classified { rank: 4, class: "pool", fragment: "pool" });
     }
     for c in &CLASSES {
         for frag in c.fragments {
@@ -97,6 +100,7 @@ fn classify(text: &str, rel_path: &str) -> Option<Classified> {
 /// The serve/core/pool files that actually share the classified locks.
 fn lock_scope(rel_path: &str) -> bool {
     rel_path.starts_with("crates/serve/src/")
+        || rel_path.starts_with("crates/dist/src/")
         || rel_path.starts_with("crates/core/src/")
         || rel_path == "crates/linalg/src/pool.rs"
 }
@@ -168,7 +172,7 @@ impl LockDiscipline {
                     format!(
                         "acquiring `{}` (class `{}`, rank {}) while holding {held_desc} taken \
                          at line {} inverts the canonical lock order \
-                         (registry < wire < session < pool): restructure so the lower-rank \
+                         (registry < wire < server < session < pool): restructure so the lower-rank \
                          lock is taken first, or release `{}` before this acquisition",
                         inner.fragment,
                         inner.class,

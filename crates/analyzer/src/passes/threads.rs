@@ -12,12 +12,12 @@
 //! its measured fork-join baseline), and everything else routes work
 //! through `sgd_linalg::pool::{run, with_threads}`.
 //!
-//! One carve-out: the serving crate may use `thread::scope` (and only
-//! `thread::scope`) for connection handling — scoped joins keep every
-//! serve thread's panic attached to its caller, while detached
-//! `thread::spawn` would let a request thread outlive the registry it
-//! borrows from. Compute inside those threads still routes through the
-//! pool.
+//! One carve-out: the serving crate and the dist crate's wire module may
+//! use `thread::scope` (and only `thread::scope`) for connection
+//! handling — scoped joins keep every connection thread's panic attached
+//! to its caller, while detached `thread::spawn` would let a request
+//! thread outlive the registry (or parameter server) it borrows from.
+//! Compute inside those threads still routes through the pool.
 
 use super::{basename_in, finding, Finding, Pass};
 use crate::source::SourceFile;
@@ -25,8 +25,9 @@ use crate::source::SourceFile;
 /// The modules that own thread creation.
 const ALLOWED_MODULES: [&str; 1] = ["pool.rs"];
 
-/// The crate allowed to use scoped (joined) threads for serving I/O.
-const SCOPE_ALLOWED_PREFIX: &str = "crates/serve/src/";
+/// The modules allowed to use scoped (joined) threads for connection
+/// handling: the serving crate and the dist wire transport.
+const SCOPE_ALLOWED_PREFIXES: [&str; 2] = ["crates/serve/src/", "crates/dist/src/wire.rs"];
 
 pub struct ThreadDiscipline;
 
@@ -36,7 +37,7 @@ impl Pass for ThreadDiscipline {
     }
 
     fn description(&self) -> &'static str {
-        "all thread creation confined to pool.rs (serve may use thread::scope)"
+        "all thread creation confined to pool.rs (serve and dist wire may use thread::scope)"
     }
 
     fn in_scope(&self, rel_path: &str) -> bool {
@@ -44,7 +45,7 @@ impl Pass for ThreadDiscipline {
     }
 
     fn check_line(&self, sf: &SourceFile, line0: usize, code: &str, out: &mut Vec<Finding>) {
-        let scope_ok = sf.rel_path.starts_with(SCOPE_ALLOWED_PREFIX);
+        let scope_ok = SCOPE_ALLOWED_PREFIXES.iter().any(|p| sf.rel_path.starts_with(p));
         for tok in ["thread::spawn", "thread::Builder", "thread::scope"] {
             if tok == "thread::scope" && scope_ok {
                 continue;
@@ -58,7 +59,7 @@ impl Pass for ThreadDiscipline {
                         "`{tok}` outside pool.rs: ad-hoc threads bypass the persistent pool's \
                          width-inheritance and panic contract; route work through \
                          sgd_linalg::pool (run/with_threads), or scoped threads in \
-                         crates/serve for connection handling"
+                         crates/serve or the dist wire module for connection handling"
                     ),
                 ));
             }

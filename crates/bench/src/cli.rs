@@ -165,6 +165,7 @@ impl ExperimentConfig {
             gpu_spec: Some(sgd_gpusim::DeviceSpec::tesla_k80().scaled(self.scale)),
             plateau: Some((50, 1e-4)),
             faults: sgd_core::FaultPlan::default(),
+            tier: sgd_linalg::KernelTier::Scalar,
         }
     }
 

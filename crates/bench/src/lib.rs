@@ -18,6 +18,7 @@ pub mod fig9;
 pub mod kernels;
 pub mod pool;
 pub mod prep;
+pub mod ps;
 mod render;
 pub mod router;
 pub mod serve;

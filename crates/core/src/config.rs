@@ -50,6 +50,12 @@ pub struct RunOptions {
     /// (empty) plan leaves all code paths bit-identical to a fault-free
     /// run.
     pub faults: crate::faults::FaultPlan,
+    /// Kernel tier the run's linalg primitives dispatch to (the PR-9 SIMD
+    /// axis, now selectable per training run): the engine installs it as
+    /// the ambient tier around the whole dispatch, and backend dispatches
+    /// propagate it to pool workers. The default `Scalar` keeps every
+    /// existing trajectory bit-identical.
+    pub tier: sgd_linalg::KernelTier,
 }
 
 impl Default for RunOptions {
@@ -63,6 +69,7 @@ impl Default for RunOptions {
             gpu_spec: None,
             plateau: Some((50, 1e-4)),
             faults: crate::faults::FaultPlan::default(),
+            tier: sgd_linalg::KernelTier::Scalar,
         }
     }
 }

@@ -237,7 +237,10 @@ impl Engine {
         obs: &mut dyn EpochObserver,
     ) -> Result<RunReport, EngineError> {
         validate(cfg, task, batch)?;
-        dispatch(cfg, task, batch, alpha, opts, obs)
+        // The whole run executes under the configured kernel tier: seq
+        // kernels read the ambient tier directly, and every pooled
+        // dispatch installs it on the workers alongside the width.
+        sgd_linalg::pool::with_tier(opts.tier, || dispatch(cfg, task, batch, alpha, opts, obs))
     }
 
     /// Grid-searches the step size for one configuration: runs every value

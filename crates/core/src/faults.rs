@@ -39,6 +39,22 @@ pub struct WorkerDeath {
     pub epoch: usize,
 }
 
+/// A previously dead worker that comes back at `epoch` (0-based): the
+/// elastic-membership counterpart of [`WorkerDeath`]. With a rejoin
+/// configured, [`FaultPlan::worker_dead`] reports the worker dead only for
+/// epochs in `[death.epoch, rejoin.epoch)`. Single-node synchronous
+/// runners abort at the first stalled barrier, so a rejoin after the death
+/// epoch never rescues them; the distributed parameter-server layer keeps
+/// making progress on the surviving workers and readmits the worker at its
+/// rejoin epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerRejoin {
+    /// Worker index that rejoins (must match a [`WorkerDeath`]).
+    pub worker: usize,
+    /// First epoch the worker participates in again.
+    pub epoch: usize,
+}
+
 /// A seeded, deterministic fault schedule carried on
 /// [`crate::RunOptions`] and injected by every runner.
 ///
@@ -65,6 +81,8 @@ pub struct FaultPlan {
     pub corrupt_scale: f64,
     /// Optional worker death.
     pub worker_death: Option<WorkerDeath>,
+    /// Elastic rejoins (empty by default, keeping death permanent).
+    pub rejoins: Vec<WorkerRejoin>,
 }
 
 impl Default for FaultPlan {
@@ -77,6 +95,7 @@ impl Default for FaultPlan {
             corrupt_rate: 0.0,
             corrupt_scale: 0.5,
             worker_death: None,
+            rejoins: Vec::new(),
         }
     }
 }
@@ -152,6 +171,12 @@ impl FaultPlan {
         self
     }
 
+    /// Brings `worker` back at `epoch` (0-based); see [`WorkerRejoin`].
+    pub fn with_rejoin(mut self, worker: usize, epoch: usize) -> Self {
+        self.rejoins.push(WorkerRejoin { worker, epoch });
+        self
+    }
+
     /// Deterministic uniform draw in `[0, 1)` for one `(kind, epoch,
     /// index)` event.
     fn u01(&self, kind: u64, epoch: usize, idx: usize) -> f64 {
@@ -179,14 +204,26 @@ impl FaultPlan {
         }
     }
 
-    /// Is `worker` dead during `epoch`?
+    /// First epoch `worker` participates again after dying, if a rejoin is
+    /// configured for it.
+    fn rejoin_epoch(&self, worker: usize) -> Option<usize> {
+        self.rejoins.iter().filter(|r| r.worker == worker).map(|r| r.epoch).min()
+    }
+
+    /// Is `worker` dead during `epoch`? With a rejoin configured the dead
+    /// window is `[death.epoch, rejoin.epoch)`; without one it is
+    /// unbounded.
     pub fn worker_dead(&self, worker: usize, epoch: usize) -> bool {
-        self.worker_death.is_some_and(|d| d.worker == worker && epoch >= d.epoch)
+        self.worker_death.is_some_and(|d| {
+            d.worker == worker
+                && epoch >= d.epoch
+                && self.rejoin_epoch(worker).is_none_or(|r| epoch < r)
+        })
     }
 
     /// Is some worker in `0..workers` dead during `epoch`?
     pub fn has_dead_worker(&self, workers: usize, epoch: usize) -> bool {
-        self.worker_death.is_some_and(|d| d.worker < workers && epoch >= d.epoch)
+        self.worker_death.is_some_and(|d| d.worker < workers && self.worker_dead(d.worker, epoch))
     }
 
     /// `true` when a synchronous barrier over `workers` participants can
@@ -422,6 +459,25 @@ mod tests {
         assert!(!p.worker_dead(1, 9));
         assert!(p.barrier_stalled(4, 5));
         assert!(!p.barrier_stalled(2, 5), "dead worker outside the barrier set");
+    }
+
+    #[test]
+    fn rejoin_bounds_the_dead_window() {
+        let p = FaultPlan::default().with_worker_death(2, 5).with_rejoin(2, 8);
+        assert!(!p.worker_dead(2, 4));
+        assert!(p.worker_dead(2, 5));
+        assert!(p.worker_dead(2, 7));
+        assert!(!p.worker_dead(2, 8), "rejoined at its epoch");
+        assert!(!p.worker_dead(2, 20));
+        assert!(!p.has_dead_worker(4, 8));
+        assert!(p.has_dead_worker(4, 6));
+        // A rejoin for a different worker changes nothing.
+        let q = FaultPlan::default().with_worker_death(2, 5).with_rejoin(1, 8);
+        assert!(q.worker_dead(2, 9));
+        // Earliest rejoin wins when several are configured.
+        let r = FaultPlan::default().with_worker_death(0, 1).with_rejoin(0, 6).with_rejoin(0, 3);
+        assert!(r.worker_dead(0, 2));
+        assert!(!r.worker_dead(0, 3));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub use backend::{
 pub use config::{DeviceKind, RunOptions};
 pub use convergence::{reference_optimum, ConvergenceSummary, LossTrace, THRESHOLDS};
 pub use engine::{Configuration, Engine, EngineError, Sparsity, Strategy, Timing, TimingMode};
-pub use faults::{FaultCounters, FaultPlan, Straggler, WorkerDeath};
+pub use faults::{FaultCounters, FaultPlan, Straggler, WorkerDeath, WorkerRejoin};
 pub use gpu_async::GpuAsyncOptions;
 #[allow(deprecated)]
 pub use gpu_async::{run_gpu_hogbatch, run_gpu_hogwild};
@@ -80,7 +80,7 @@ pub use hogbatch::make_batches;
 pub use hogbatch::run_hogbatch;
 #[allow(deprecated)]
 pub use hogwild::run_hogwild;
-pub use metrics::{EpochMetrics, EpochObserver, NullObserver, RunMetrics};
+pub use metrics::{EpochMetrics, EpochObserver, NullObserver, Recorder, RunMetrics};
 pub use modeled::CpuModelConfig;
 #[allow(deprecated)]
 pub use modeled::{run_hogbatch_modeled, run_hogwild_modeled, run_sync_modeled};
@@ -89,6 +89,6 @@ pub use replication::run_replicated_hogwild;
 pub use replication::Replication;
 pub use report::{grid_search, step_size_grid, RunOutcome, RunReport};
 pub use shared_model::SharedModel;
-pub use supervisor::LOSS_EXPLOSION_FACTOR;
+pub use supervisor::{Supervisor, Verdict, LOSS_EXPLOSION_FACTOR};
 #[allow(deprecated)]
 pub use sync::run_sync;

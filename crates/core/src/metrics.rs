@@ -128,32 +128,34 @@ impl EpochObserver for NullObserver {
     fn on_epoch(&mut self, _m: &EpochMetrics) {}
 }
 
-/// Internal accumulator the runners write through: forwards each epoch to
-/// the observer and keeps the structured copy for the report.
-pub(crate) struct Recorder<'a> {
+/// Accumulator the runners write through: forwards each epoch to the
+/// observer and keeps the structured copy for the report. Public so
+/// out-of-crate runners (the distributed layer) can drive the same
+/// supervision pipeline.
+pub struct Recorder<'a> {
     metrics: RunMetrics,
     observer: &'a mut dyn EpochObserver,
 }
 
 impl<'a> Recorder<'a> {
-    pub(crate) fn new(observer: &'a mut dyn EpochObserver) -> Self {
+    pub fn new(observer: &'a mut dyn EpochObserver) -> Self {
         Recorder { metrics: RunMetrics::default(), observer }
     }
 
-    pub(crate) fn record(&mut self, m: EpochMetrics) {
+    pub fn record(&mut self, m: EpochMetrics) {
         self.observer.on_epoch(&m);
         self.metrics.epochs.push(m);
     }
 
-    pub(crate) fn on_best_model(&mut self, epoch: usize, loss: f64, model: &[sgd_linalg::Scalar]) {
+    pub fn on_best_model(&mut self, epoch: usize, loss: f64, model: &[sgd_linalg::Scalar]) {
         self.observer.on_best_model(epoch, loss, model);
     }
 
-    pub(crate) fn set_update_conflicts(&mut self, total: u64) {
+    pub fn set_update_conflicts(&mut self, total: u64) {
         self.metrics.update_conflicts = Some(total);
     }
 
-    pub(crate) fn finish(self) -> RunMetrics {
+    pub fn finish(self) -> RunMetrics {
         self.metrics
     }
 }

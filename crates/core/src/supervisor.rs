@@ -21,7 +21,7 @@ pub const LOSS_EXPLOSION_FACTOR: f64 = 1e4;
 
 /// Watches one epoch loop: decides when to stop and why, and checkpoints
 /// the best model.
-pub(crate) struct Supervisor {
+pub struct Supervisor {
     stop: Option<f64>,
     max_secs: f64,
     plateau: Option<(usize, f64)>,
@@ -32,7 +32,7 @@ pub(crate) struct Supervisor {
 }
 
 /// What the supervisor concluded once the loop ended.
-pub(crate) struct Verdict {
+pub struct Verdict {
     pub outcome: RunOutcome,
     /// Legacy flag: the run had a convergence target and did not reach it.
     pub timed_out: bool,
@@ -42,7 +42,7 @@ pub(crate) struct Verdict {
 }
 
 impl Supervisor {
-    pub(crate) fn new(opts: &RunOptions, initial_loss: f64) -> Self {
+    pub fn new(opts: &RunOptions, initial_loss: f64) -> Self {
         let explosion_limit = if initial_loss.is_finite() {
             LOSS_EXPLOSION_FACTOR * initial_loss.abs().max(1.0)
         } else {
@@ -65,7 +65,7 @@ impl Supervisor {
     /// When the epoch improves on the best loss so far, the improvement is
     /// forwarded to the run's observer through `rec` (the serving layer's
     /// publish hook) before the stop decision.
-    pub(crate) fn observe(
+    pub fn observe(
         &mut self,
         epoch: usize,
         secs: f64,
@@ -99,14 +99,14 @@ impl Supervisor {
 
     /// Records that a fault made further progress impossible (e.g. a dead
     /// worker stalling a synchronous barrier).
-    pub(crate) fn abort(&mut self, epoch: usize) {
+    pub fn abort(&mut self, epoch: usize) {
         self.decided = Some(RunOutcome::FaultAborted { epoch });
     }
 
     /// Concludes the run. A loop that ran out of `max_epochs` without any
     /// stop decision is a budget exhaustion; `timed_out` keeps the legacy
     /// meaning `target set && target not reached`.
-    pub(crate) fn finish(self) -> Verdict {
+    pub fn finish(self) -> Verdict {
         let outcome = self.decided.unwrap_or(RunOutcome::BudgetExhausted);
         let timed_out = self.stop.is_some() && outcome != RunOutcome::Converged;
         Verdict { outcome, timed_out, best_model: self.best_model }

@@ -1,0 +1,537 @@
+//! The parameter server: a passive, clock-free state machine.
+//!
+//! [`ParamServer`] owns the authoritative model and its version, the
+//! shard-lease table, and the consistency policy. It performs no I/O
+//! and reads no clock — every transition is a pure function of the
+//! request sequence, which is what lets the modeled-time driver replay
+//! a cluster bit-for-bit and the TCP front-end share the exact same
+//! trajectory. Both transports wrap one server in a `Mutex` (the
+//! `server` class of the analyzer's canonical lock order).
+//!
+//! ## Versioning protocol
+//!
+//! The model version starts at 0 and increments on every applied
+//! update. A worker pulls `(version, model)`, computes a gradient, and
+//! pushes it tagged with that version. In sync mode the tag must equal
+//! the current version (gradient freshness); in async mode the tag may
+//! trail by at most `max_staleness` applies.
+//!
+//! ## Shard leases
+//!
+//! Each epoch the shard table resets to `Pending` in a seeded order.
+//! `lease` hands the next pending shard to a worker (`Pending ->
+//! Leased(worker)`); an accepted push completes it (`-> Done`); a
+//! worker's departure revokes its leases (`Leased -> Pending`), making
+//! them available for reassignment. The epoch is data-complete when
+//! every shard is `Done`.
+
+use sgd_linalg::Scalar;
+
+/// How the server merges incoming gradients into the model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsistencyMode {
+    /// ElasticDL-style synchronous aggregation: average
+    /// `min(grads_to_wait, live workers)` fresh gradients per update;
+    /// stale-version pushes are rejected.
+    Sync {
+        /// Gradients to accumulate before applying (clamped to the live
+        /// worker count, so an elastic cluster never stalls).
+        grads_to_wait: usize,
+    },
+    /// Asynchronous parameter-server updates with bounded staleness.
+    Async {
+        /// Largest version lag an accepted push may have.
+        max_staleness: u64,
+        /// What happens to a push beyond the bound.
+        policy: StalePolicy,
+    },
+}
+
+impl ConsistencyMode {
+    /// Short label for reports (`sync-w2`, `async-s4-reject`).
+    pub fn label(&self) -> String {
+        match self {
+            ConsistencyMode::Sync { grads_to_wait } => format!("sync-w{grads_to_wait}"),
+            ConsistencyMode::Async { max_staleness, policy } => {
+                let p = match policy {
+                    StalePolicy::Reject => "reject",
+                    StalePolicy::DownWeight => "dw",
+                };
+                format!("async-s{max_staleness}-{p}")
+            }
+        }
+    }
+}
+
+/// Treatment of an async push whose staleness exceeds the bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StalePolicy {
+    /// Reject it; the worker recomputes against the fresh model.
+    Reject,
+    /// Apply it scaled by `1 / (1 + staleness)`.
+    DownWeight,
+}
+
+/// What happened to one pushed gradient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The push (alone or completing a sync quorum) updated the model;
+    /// carries the new version.
+    Applied {
+        /// Model version after the update.
+        version: u64,
+    },
+    /// Sync mode: accepted into the pending quorum, model unchanged.
+    Accumulated,
+    /// Rejected as stale; the shard lease stands and the worker must
+    /// recompute against the current version.
+    RejectedStale {
+        /// The version the worker should pull.
+        current: u64,
+    },
+    /// Async `DownWeight`: applied with weight `1 / (1 + staleness)`.
+    DownWeighted {
+        /// Model version after the (scaled) update.
+        version: u64,
+        /// The staleness that triggered the down-weighting.
+        staleness: u64,
+    },
+}
+
+/// Reply to a lease request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseGrant {
+    /// Work on this shard.
+    Shard(usize),
+    /// No pending shard right now (epoch drained or all leased); retry
+    /// after the next membership or epoch transition.
+    Drained,
+    /// The run is over; disconnect.
+    Shutdown,
+}
+
+/// Monotonic server-side counters (for reports and tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Model updates applied (sync quorums + async pushes).
+    pub applied: u64,
+    /// Sync pushes accepted into a quorum without applying yet.
+    pub accumulated: u64,
+    /// Pushes rejected for staleness.
+    pub rejected: u64,
+    /// Async pushes applied with a down-weight.
+    pub downweighted: u64,
+    /// Shard leases revoked by worker departures (reassignments).
+    pub reassigned: u64,
+    /// Workers admitted.
+    pub joins: u64,
+    /// Workers departed (voluntarily or by death).
+    pub leaves: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardState {
+    Pending,
+    Leased(usize),
+    Done,
+}
+
+/// Per-epoch shard-lease table (see the module docs for the state
+/// machine).
+struct ShardLeases {
+    state: Vec<ShardState>,
+    /// Lease order for the current epoch (a permutation of shard ids).
+    order: Vec<usize>,
+    done: usize,
+}
+
+impl ShardLeases {
+    fn new(count: usize) -> Self {
+        ShardLeases {
+            state: vec![ShardState::Done; count],
+            order: (0..count).collect(),
+            done: count,
+        }
+    }
+
+    fn reset(&mut self, order: &[usize]) {
+        debug_assert_eq!(order.len(), self.state.len());
+        self.order.clear();
+        self.order.extend_from_slice(order);
+        self.state.fill(ShardState::Pending);
+        self.done = 0;
+    }
+
+    fn lease(&mut self, worker: usize) -> Option<usize> {
+        for &s in &self.order {
+            if self.state.get(s).copied() == Some(ShardState::Pending) {
+                self.state[s] = ShardState::Leased(worker);
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn complete(&mut self, shard: usize) {
+        if let Some(st) = self.state.get_mut(shard) {
+            if *st != ShardState::Done {
+                *st = ShardState::Done;
+                self.done += 1;
+            }
+        }
+    }
+
+    fn revoke(&mut self, worker: usize) -> u64 {
+        let mut revoked = 0;
+        for st in &mut self.state {
+            if *st == ShardState::Leased(worker) {
+                *st = ShardState::Pending;
+                revoked += 1;
+            }
+        }
+        revoked
+    }
+
+    fn all_done(&self) -> bool {
+        self.done == self.state.len()
+    }
+}
+
+/// The authoritative model plus the consistency and membership state
+/// machines. See the module docs.
+pub struct ParamServer {
+    mode: ConsistencyMode,
+    alpha: f64,
+    version: u64,
+    w: Vec<Scalar>,
+    /// Sync-mode gradient accumulator (element sums of the pending
+    /// quorum) and its size.
+    acc: Vec<Scalar>,
+    pending: usize,
+    live: usize,
+    leases: ShardLeases,
+    stats: ServerStats,
+    shutdown: bool,
+}
+
+impl ParamServer {
+    /// A server owning `model` at version 0, updating with step size
+    /// `alpha` under `mode`, over `shards` data shards (the lease table
+    /// starts drained; call [`ParamServer::begin_epoch`]).
+    pub fn new(model: Vec<Scalar>, alpha: f64, mode: ConsistencyMode, shards: usize) -> Self {
+        let dim = model.len();
+        ParamServer {
+            mode,
+            alpha,
+            version: 0,
+            w: model,
+            acc: vec![0.0; dim],
+            pending: 0,
+            live: 0,
+            leases: ShardLeases::new(shards),
+            stats: ServerStats::default(),
+            shutdown: false,
+        }
+    }
+
+    /// Current model version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The authoritative model (borrow; transports copy it into
+    /// replies).
+    pub fn model(&self) -> &[Scalar] {
+        &self.w
+    }
+
+    /// Live (joined, not departed) worker count.
+    pub fn live_workers(&self) -> usize {
+        self.live
+    }
+
+    /// Server-side counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Admits a worker; returns the `(version, model)` it starts from.
+    pub fn join(&mut self, _worker: usize) -> (u64, &[Scalar]) {
+        self.live += 1;
+        self.stats.joins += 1;
+        (self.version, &self.w)
+    }
+
+    /// Removes a worker (voluntary leave or detected death) and returns
+    /// its outstanding leases to the pool for reassignment.
+    pub fn leave(&mut self, worker: usize) {
+        self.live = self.live.saturating_sub(1);
+        self.stats.leaves += 1;
+        let revoked = self.leases.revoke(worker);
+        self.stats.reassigned += revoked;
+        // A shrunken cluster must not stall a sync quorum sized for the
+        // old membership: if the pending set already satisfies the new
+        // effective quorum, apply it now.
+        if self.pending >= self.effective_wait() && self.pending > 0 {
+            self.apply_pending();
+        }
+    }
+
+    /// The current `(version, model)` snapshot.
+    pub fn pull(&self) -> (u64, &[Scalar]) {
+        (self.version, &self.w)
+    }
+
+    /// Hands `worker` the next pending shard, if any.
+    pub fn lease(&mut self, worker: usize) -> LeaseGrant {
+        if self.shutdown {
+            return LeaseGrant::Shutdown;
+        }
+        match self.leases.lease(worker) {
+            Some(s) => LeaseGrant::Shard(s),
+            None => LeaseGrant::Drained,
+        }
+    }
+
+    /// Starts an epoch: every shard becomes pending, leased in `order`
+    /// (a permutation of `0..shards`).
+    pub fn begin_epoch(&mut self, order: &[usize]) {
+        self.leases.reset(order);
+    }
+
+    /// `true` when every shard of the current epoch is done.
+    pub fn epoch_done(&self) -> bool {
+        self.leases.all_done()
+    }
+
+    /// Sync mode: applies a partial quorum at the epoch boundary (all
+    /// shards done but fewer than `grads_to_wait` gradients pending), so
+    /// no accepted gradient is ever lost. No-op when nothing is pending.
+    pub fn flush_pending(&mut self) {
+        if self.pending > 0 {
+            self.apply_pending();
+        }
+    }
+
+    /// Marks the run over: subsequent leases reply `Shutdown`.
+    pub fn initiate_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+
+    /// The elastic sync quorum: `min(grads_to_wait, live)`, at least 1.
+    fn effective_wait(&self) -> usize {
+        match self.mode {
+            ConsistencyMode::Sync { grads_to_wait } => grads_to_wait.min(self.live.max(1)).max(1),
+            ConsistencyMode::Async { .. } => 1,
+        }
+    }
+
+    /// One pushed gradient, tagged with the version it was computed
+    /// against. The server never allocates here: accumulation and
+    /// application are in-place over preallocated buffers.
+    // analyzer: root(hot-path-alloc) -- per-gradient hot path shared by both transports; accumulation and application must stay in-place
+    pub fn push(
+        &mut self,
+        _worker: usize,
+        version: u64,
+        shard: usize,
+        grad: &[Scalar],
+    ) -> PushOutcome {
+        match self.mode {
+            ConsistencyMode::Sync { .. } => {
+                if version != self.version {
+                    self.stats.rejected += 1;
+                    return PushOutcome::RejectedStale { current: self.version };
+                }
+                for (a, &g) in self.acc.iter_mut().zip(grad) {
+                    *a += g;
+                }
+                self.pending += 1;
+                self.leases.complete(shard);
+                if self.pending >= self.effective_wait() {
+                    self.apply_pending();
+                    PushOutcome::Applied { version: self.version }
+                } else {
+                    self.stats.accumulated += 1;
+                    PushOutcome::Accumulated
+                }
+            }
+            ConsistencyMode::Async { max_staleness, policy } => {
+                let staleness = self.version.saturating_sub(version);
+                if staleness > max_staleness {
+                    match policy {
+                        StalePolicy::Reject => {
+                            self.stats.rejected += 1;
+                            return PushOutcome::RejectedStale { current: self.version };
+                        }
+                        StalePolicy::DownWeight => {
+                            let scale = 1.0 / (1.0 + staleness as f64);
+                            let a = -self.alpha * scale;
+                            for (w, &g) in self.w.iter_mut().zip(grad) {
+                                *w += a * g;
+                            }
+                            self.version += 1;
+                            self.stats.downweighted += 1;
+                            self.stats.applied += 1;
+                            self.leases.complete(shard);
+                            return PushOutcome::DownWeighted { version: self.version, staleness };
+                        }
+                    }
+                }
+                let a = -self.alpha;
+                for (w, &g) in self.w.iter_mut().zip(grad) {
+                    *w += a * g;
+                }
+                self.version += 1;
+                self.stats.applied += 1;
+                self.leases.complete(shard);
+                PushOutcome::Applied { version: self.version }
+            }
+        }
+    }
+
+    /// Applies the pending sync quorum: `w -= alpha * mean(grads)`.
+    /// With a quorum of 1 the mean is the gradient bitwise (`x / 1.0 ==
+    /// x`), pinning the 1-worker trajectory to the single-node sync
+    /// runner's `axpy(-alpha, g, w)`.
+    fn apply_pending(&mut self) {
+        let n = self.pending as f64;
+        let a = -self.alpha;
+        for (w, acc) in self.w.iter_mut().zip(self.acc.iter_mut()) {
+            *w += a * (*acc / n);
+            *acc = 0.0;
+        }
+        self.pending = 0;
+        self.version += 1;
+        self.stats.applied += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(mode: ConsistencyMode, shards: usize) -> ParamServer {
+        ParamServer::new(vec![0.0; 4], 0.5, mode, shards)
+    }
+
+    fn order(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn sync_waits_for_the_quorum_then_averages() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 2 }, 2);
+        s.join(0);
+        s.join(1);
+        s.begin_epoch(&order(2));
+        assert_eq!(s.lease(0), LeaseGrant::Shard(0));
+        assert_eq!(s.lease(1), LeaseGrant::Shard(1));
+        assert_eq!(s.push(0, 0, 0, &[2.0, 0.0, 0.0, 0.0]), PushOutcome::Accumulated);
+        assert_eq!(s.version(), 0, "no apply before the quorum");
+        assert_eq!(s.push(1, 0, 1, &[0.0, 2.0, 0.0, 0.0]), PushOutcome::Applied { version: 1 });
+        // Mean of the two gradients, scaled by -alpha = -0.5.
+        assert_eq!(s.model(), &[-0.5, -0.5, 0.0, 0.0]);
+        assert!(s.epoch_done());
+    }
+
+    #[test]
+    fn sync_rejects_stale_versions_and_keeps_the_lease() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 1 }, 2);
+        s.join(0);
+        s.join(1);
+        s.begin_epoch(&order(2));
+        assert_eq!(s.lease(0), LeaseGrant::Shard(0));
+        assert_eq!(s.lease(1), LeaseGrant::Shard(1));
+        assert_eq!(s.push(0, 0, 0, &[1.0; 4]), PushOutcome::Applied { version: 1 });
+        // Worker 1 computed against version 0 -> rejected, shard 1 still
+        // its lease, epoch not done.
+        assert_eq!(s.push(1, 0, 1, &[1.0; 4]), PushOutcome::RejectedStale { current: 1 });
+        assert!(!s.epoch_done());
+        assert_eq!(s.stats().rejected, 1);
+        // Recompute at the fresh version lands.
+        assert_eq!(s.push(1, 1, 1, &[1.0; 4]), PushOutcome::Applied { version: 2 });
+        assert!(s.epoch_done());
+    }
+
+    #[test]
+    fn async_applies_immediately_and_bounds_staleness() {
+        let mut s =
+            server(ConsistencyMode::Async { max_staleness: 1, policy: StalePolicy::Reject }, 3);
+        s.join(0);
+        s.begin_epoch(&order(3));
+        assert_eq!(s.push(0, 0, 0, &[1.0; 4]), PushOutcome::Applied { version: 1 });
+        // Staleness 1 (computed at 0, current 1): within the bound.
+        assert_eq!(s.push(0, 0, 1, &[1.0; 4]), PushOutcome::Applied { version: 2 });
+        // Staleness 2: beyond the bound -> rejected.
+        assert_eq!(s.push(0, 0, 2, &[1.0; 4]), PushOutcome::RejectedStale { current: 2 });
+        assert_eq!(s.stats().rejected, 1);
+    }
+
+    #[test]
+    fn async_downweight_scales_by_staleness() {
+        let mut s =
+            server(ConsistencyMode::Async { max_staleness: 0, policy: StalePolicy::DownWeight }, 3);
+        s.join(0);
+        s.begin_epoch(&order(3));
+        assert_eq!(s.push(0, 0, 0, &[1.0; 4]), PushOutcome::Applied { version: 1 });
+        // Staleness 1 beyond bound 0: applied at weight 1/2.
+        let out = s.push(0, 0, 1, &[1.0; 4]);
+        assert_eq!(out, PushOutcome::DownWeighted { version: 2, staleness: 1 });
+        // -0.5 (full) + -0.25 (half) = -0.75.
+        assert_eq!(s.model(), &[-0.75; 4]);
+    }
+
+    #[test]
+    fn leave_revokes_leases_for_reassignment() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 1 }, 2);
+        s.join(0);
+        s.join(1);
+        s.begin_epoch(&order(2));
+        assert_eq!(s.lease(0), LeaseGrant::Shard(0));
+        assert_eq!(s.lease(1), LeaseGrant::Shard(1));
+        assert_eq!(s.lease(0), LeaseGrant::Drained, "everything leased");
+        s.leave(1);
+        assert_eq!(s.stats().reassigned, 1);
+        assert_eq!(s.lease(0), LeaseGrant::Shard(1), "revoked shard is pending again");
+        assert_eq!(s.live_workers(), 1);
+    }
+
+    #[test]
+    fn leave_shrinks_the_sync_quorum_and_releases_a_pending_group() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 2 }, 2);
+        s.join(0);
+        s.join(1);
+        s.begin_epoch(&order(2));
+        assert_eq!(s.lease(0), LeaseGrant::Shard(0));
+        assert_eq!(s.push(0, 0, 0, &[1.0; 4]), PushOutcome::Accumulated);
+        // The second quorum member dies: the survivor's gradient must not
+        // be stranded — the shrunken quorum (min(2, 1) = 1) applies it.
+        s.leave(1);
+        assert_eq!(s.version(), 1, "pending group applied on membership shrink");
+        assert_eq!(s.model(), &[-0.5; 4]);
+    }
+
+    #[test]
+    fn flush_applies_a_partial_quorum_at_epoch_end() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 3 }, 1);
+        s.join(0);
+        s.join(1);
+        s.join(2);
+        s.begin_epoch(&order(1));
+        assert_eq!(s.push(0, 0, 0, &[3.0; 4]), PushOutcome::Accumulated);
+        assert!(s.epoch_done(), "single shard done");
+        s.flush_pending();
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.model(), &[-1.5; 4], "partial mean over 1 gradient");
+    }
+
+    #[test]
+    fn shutdown_turns_leases_into_shutdown() {
+        let mut s = server(ConsistencyMode::Sync { grads_to_wait: 1 }, 1);
+        s.join(0);
+        s.begin_epoch(&order(1));
+        s.initiate_shutdown();
+        assert_eq!(s.lease(0), LeaseGrant::Shutdown);
+    }
+}

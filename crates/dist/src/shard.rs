@@ -1,0 +1,112 @@
+//! Data shards: contiguous row ranges of the training set.
+//!
+//! Shards are materialized once at setup (owned row-range copies of the
+//! dense or CSR examples), so a worker's gradient job reads exactly the
+//! bytes a remote worker would hold locally. Ranges are contiguous and
+//! built in row order, which keeps the 1-shard case bitwise identical to
+//! the full batch — the anchor of the single-node parity pin.
+
+use sgd_linalg::{CsrMatrix, Matrix, Scalar};
+use sgd_models::{Batch, Examples};
+
+/// One worker-sized slice of the training set.
+pub struct Shard {
+    x: ShardExamples,
+    y: Vec<Scalar>,
+    /// Row range `[lo, hi)` of the full batch this shard covers.
+    pub range: (usize, usize),
+}
+
+enum ShardExamples {
+    Dense(Matrix),
+    Sparse(CsrMatrix),
+}
+
+impl Shard {
+    /// The shard's examples as a borrowed batch.
+    pub fn batch(&self) -> Batch<'_> {
+        match &self.x {
+            ShardExamples::Dense(m) => Batch::new(Examples::Dense(m), &self.y),
+            ShardExamples::Sparse(m) => Batch::new(Examples::Sparse(m), &self.y),
+        }
+    }
+
+    /// Number of examples in the shard.
+    pub fn rows(&self) -> usize {
+        self.range.1 - self.range.0
+    }
+}
+
+/// Splits `batch` into `count` contiguous shards of near-equal row
+/// count (the first `n % count` shards get one extra row). `count` is
+/// clamped to `[1, n]`.
+pub fn make_shards(batch: &Batch<'_>, count: usize) -> Vec<Shard> {
+    let n = batch.n();
+    let count = count.clamp(1, n.max(1));
+    let base = n / count;
+    let extra = n % count;
+    let mut shards = Vec::with_capacity(count);
+    let mut lo = 0;
+    for s in 0..count {
+        let hi = lo + base + usize::from(s < extra);
+        let x = match batch.x {
+            Examples::Dense(m) => ShardExamples::Dense(m.row_range(lo, hi)),
+            Examples::Sparse(m) => ShardExamples::Sparse(m.row_range(lo, hi)),
+        };
+        shards.push(Shard { x, y: batch.y[lo..hi].to_vec(), range: (lo, hi) });
+        lo = hi;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_batch() -> (Matrix, Vec<Scalar>) {
+        let x = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as Scalar);
+        let y = (0..10).map(|i| i as Scalar).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn shards_partition_the_rows() {
+        let (x, y) = dense_batch();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let shards = make_shards(&b, 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards.iter().map(Shard::rows).collect::<Vec<_>>(), vec![4, 3, 3]);
+        let mut next = 0;
+        for s in &shards {
+            assert_eq!(s.range.0, next, "contiguous, in order");
+            next = s.range.1;
+            let sb = s.batch();
+            assert_eq!(sb.n(), s.rows());
+            // Rows and labels are bitwise copies of the original range.
+            if let Examples::Dense(m) = sb.x {
+                for r in 0..m.rows() {
+                    assert_eq!(m.row(r), x.row(s.range.0 + r));
+                }
+            }
+            assert_eq!(sb.y, &y[s.range.0..s.range.1]);
+        }
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_batch() {
+        let (x, y) = dense_batch();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        let shards = make_shards(&b, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].range, (0, 10));
+    }
+
+    #[test]
+    fn count_clamps_to_row_count() {
+        let (x, y) = dense_batch();
+        let b = Batch::new(Examples::Dense(&x), &y);
+        assert_eq!(make_shards(&b, 100).len(), 10, "no empty shards");
+        assert_eq!(make_shards(&b, 0).len(), 1, "at least one shard");
+    }
+}

@@ -1,0 +1,198 @@
+//! The worker-to-server message vocabulary and the in-process transport.
+//!
+//! Both transports speak the same five-verb protocol ([`Request`] /
+//! [`Reply`]); a [`DistWorker`](crate::DistWorker) is written against
+//! the [`Transport`] trait only, so its control flow is byte-identical
+//! whether the server is behind a mutex in the same process or behind a
+//! TCP socket. The in-process transport is the deterministic one — the
+//! modeled-time driver and the tests use it — while `wire.rs` provides
+//! the loopback-TCP counterpart.
+
+use std::sync::{Arc, Mutex};
+
+use sgd_linalg::Scalar;
+use sgd_serve::framing::lock_tolerant;
+
+use crate::server::{LeaseGrant, ParamServer, PushOutcome};
+
+/// A worker-originated message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit this worker and return the current model.
+    Join {
+        /// Stable worker id (unique per run).
+        worker: usize,
+    },
+    /// Snapshot the current `(version, model)`.
+    Pull,
+    /// Ask for the next pending shard.
+    Lease {
+        /// The requesting worker.
+        worker: usize,
+    },
+    /// Submit one gradient.
+    Push {
+        /// The pushing worker.
+        worker: usize,
+        /// Model version the gradient was computed against.
+        version: u64,
+        /// Shard the gradient covers.
+        shard: usize,
+        /// The gradient itself.
+        grad: Vec<Scalar>,
+    },
+    /// Depart; outstanding leases return to the pool.
+    Leave {
+        /// The departing worker.
+        worker: usize,
+    },
+}
+
+/// The server's answer to a [`Request`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to `Join` and `Pull`: the authoritative model snapshot.
+    Model {
+        /// Current model version.
+        version: u64,
+        /// Copy of the model at that version.
+        model: Vec<Scalar>,
+    },
+    /// Answer to `Lease`.
+    Lease(LeaseGrant),
+    /// Answer to `Push`.
+    Pushed(PushOutcome),
+    /// Answer to `Leave`.
+    Left,
+}
+
+/// A transport-level failure (connection loss, protocol violation).
+/// Consistency-level refusals (stale pushes, drained leases) are
+/// ordinary [`Reply`] values, not errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransportError(pub String);
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transport error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// One round trip to the parameter server.
+pub trait Transport {
+    /// Sends `req` and waits for the server's reply.
+    fn call(&mut self, req: Request) -> Result<Reply, TransportError>;
+}
+
+/// The in-process transport: a clone-able handle on the shared server
+/// mutex. Every call is one lock acquisition — the same critical
+/// section the TCP front-end takes per framed line.
+#[derive(Clone)]
+pub struct InProcTransport {
+    server: Arc<Mutex<ParamServer>>,
+}
+
+impl InProcTransport {
+    /// A transport speaking to `server`.
+    pub fn new(server: Arc<Mutex<ParamServer>>) -> Self {
+        InProcTransport { server }
+    }
+
+    /// The shared server handle (for drivers that also steer epochs).
+    pub fn server(&self) -> Arc<Mutex<ParamServer>> {
+        Arc::clone(&self.server)
+    }
+}
+
+/// Applies one request to the server state machine. Shared verbatim by
+/// the in-process transport and the TCP front-end so the two transports
+/// cannot drift semantically.
+pub(crate) fn serve_request(server: &Mutex<ParamServer>, req: Request) -> Reply {
+    let mut s = lock_tolerant(server);
+    match req {
+        Request::Join { worker } => {
+            let (version, model) = s.join(worker);
+            Reply::Model { version, model: model.to_vec() }
+        }
+        Request::Pull => {
+            let (version, model) = s.pull();
+            Reply::Model { version, model: model.to_vec() }
+        }
+        Request::Lease { worker } => Reply::Lease(s.lease(worker)),
+        Request::Push { worker, version, shard, grad } => {
+            Reply::Pushed(s.push(worker, version, shard, &grad))
+        }
+        Request::Leave { worker } => {
+            s.leave(worker);
+            Reply::Left
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn call(&mut self, req: Request) -> Result<Reply, TransportError> {
+        Ok(serve_request(&self.server, req))
+    }
+}
+
+/// What a push reply means for the worker's next move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PushVerdict {
+    /// Shard accepted (applied, accumulated, or down-weighted): lease
+    /// the next one.
+    Accepted,
+    /// Stale: re-pull the model and recompute the same shard.
+    Recompute,
+}
+
+impl PushOutcome {
+    pub(crate) fn verdict(&self) -> PushVerdict {
+        match self {
+            PushOutcome::Applied { .. }
+            | PushOutcome::Accumulated
+            | PushOutcome::DownWeighted { .. } => PushVerdict::Accepted,
+            PushOutcome::RejectedStale { .. } => PushVerdict::Recompute,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ConsistencyMode;
+
+    fn shared() -> Arc<Mutex<ParamServer>> {
+        let s = ParamServer::new(vec![0.0; 2], 1.0, ConsistencyMode::Sync { grads_to_wait: 1 }, 1);
+        Arc::new(Mutex::new(s))
+    }
+
+    #[test]
+    fn inproc_round_trips_the_protocol() {
+        let server = shared();
+        lock_tolerant(&server).begin_epoch(&[0]);
+        let mut t = InProcTransport::new(Arc::clone(&server));
+        let joined = t.call(Request::Join { worker: 0 }).expect("in-proc never fails");
+        assert_eq!(joined, Reply::Model { version: 0, model: vec![0.0, 0.0] });
+        assert_eq!(t.call(Request::Lease { worker: 0 }), Ok(Reply::Lease(LeaseGrant::Shard(0))));
+        assert_eq!(
+            t.call(Request::Push { worker: 0, version: 0, shard: 0, grad: vec![1.0, 2.0] }),
+            Ok(Reply::Pushed(PushOutcome::Applied { version: 1 }))
+        );
+        assert_eq!(t.call(Request::Pull), Ok(Reply::Model { version: 1, model: vec![-1.0, -2.0] }));
+        assert_eq!(t.call(Request::Leave { worker: 0 }), Ok(Reply::Left));
+        assert_eq!(lock_tolerant(&server).live_workers(), 0);
+    }
+
+    #[test]
+    fn push_verdicts_drive_the_worker_loop() {
+        assert_eq!(PushOutcome::Applied { version: 3 }.verdict(), PushVerdict::Accepted);
+        assert_eq!(PushOutcome::Accumulated.verdict(), PushVerdict::Accepted);
+        assert_eq!(
+            PushOutcome::DownWeighted { version: 3, staleness: 2 }.verdict(),
+            PushVerdict::Accepted
+        );
+        assert_eq!(PushOutcome::RejectedStale { current: 3 }.verdict(), PushVerdict::Recompute);
+    }
+}

@@ -1,0 +1,311 @@
+//! The distributed worker: pull, lease, compute, push.
+//!
+//! A [`DistWorker`] is written against the [`Transport`] trait only, so
+//! the same control flow drives the in-process deterministic cluster
+//! and the loopback-TCP one. Gradients run through the shared
+//! `ComputeBackend` dispatch ([`GradJob`]), so a distributed worker
+//! computes bit-for-bit the kernels a single-node run computes.
+
+use sgd_core::{BackendSession, ComputeBackend, ExecTask};
+use sgd_linalg::{Exec, Scalar};
+use sgd_models::Task;
+
+use crate::server::{LeaseGrant, PushOutcome};
+use crate::shard::Shard;
+use crate::transport::{PushVerdict, Reply, Request, Transport, TransportError};
+
+/// One minibatch-gradient computation over a shard, expressed as an
+/// [`ExecTask`] so it runs on any backend of the dispatch layer.
+pub struct GradJob<'a, T: Task> {
+    task: &'a T,
+    shard: &'a Shard,
+    w: &'a [Scalar],
+    g: &'a mut [Scalar],
+}
+
+impl<'a, T: Task> GradJob<'a, T> {
+    /// The gradient of `task` over `shard` at `w`, written into `g`.
+    pub fn new(task: &'a T, shard: &'a Shard, w: &'a [Scalar], g: &'a mut [Scalar]) -> Self {
+        GradJob { task, shard, w, g }
+    }
+}
+
+impl<T: Task> ExecTask for GradJob<'_, T> {
+    type Out = ();
+    fn run<E: Exec>(&mut self, e: &mut E) -> Self::Out {
+        self.task.gradient(e, &self.shard.batch(), self.w, self.g);
+    }
+}
+
+/// What one [`DistWorker::work_one`] call accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerStep {
+    /// Computed and landed a gradient for this shard, after this many
+    /// stale-rejection recomputes.
+    Worked {
+        /// The shard whose gradient was accepted.
+        shard: usize,
+        /// Recomputes forced by stale rejections (0 = first try landed).
+        recomputes: u32,
+    },
+    /// No pending shard right now.
+    Drained,
+    /// The server ended the run.
+    Shutdown,
+}
+
+/// Ceiling on stale-rejection recomputes of a single shard before the
+/// worker reports a transport error instead of livelocking.
+const MAX_RECOMPUTES: u32 = 1000;
+
+/// One elastic worker: a local model replica, a gradient buffer, and a
+/// transport to the server.
+pub struct DistWorker<C: Transport> {
+    id: usize,
+    transport: C,
+    backend: ComputeBackend,
+    session: BackendSession,
+    version: u64,
+    w: Vec<Scalar>,
+    g: Vec<Scalar>,
+}
+
+impl<C: Transport> DistWorker<C> {
+    /// A worker speaking over `transport`, computing on the sequential
+    /// CPU backend (the deterministic choice; see
+    /// [`DistWorker::with_backend`]).
+    pub fn new(id: usize, transport: C) -> Self {
+        DistWorker {
+            id,
+            transport,
+            backend: ComputeBackend::CpuSeq,
+            session: BackendSession::new(),
+            version: 0,
+            w: Vec::new(),
+            g: Vec::new(),
+        }
+    }
+
+    /// Same worker on a different compute backend.
+    pub fn with_backend(mut self, backend: ComputeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The model version of the local replica.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The local model replica (empty before [`DistWorker::join`]).
+    pub fn model(&self) -> &[Scalar] {
+        &self.w
+    }
+
+    /// The last computed gradient.
+    pub fn grad(&self) -> &[Scalar] {
+        &self.g
+    }
+
+    fn adopt(&mut self, version: u64, model: Vec<Scalar>) {
+        self.version = version;
+        if self.g.len() != model.len() {
+            self.g = vec![0.0; model.len()];
+        }
+        self.w = model;
+    }
+
+    /// Joins the cluster, adopting the server's current model.
+    pub fn join(&mut self) -> Result<(), TransportError> {
+        match self.transport.call(Request::Join { worker: self.id })? {
+            Reply::Model { version, model } => {
+                self.adopt(version, model);
+                Ok(())
+            }
+            other => Err(TransportError(format!("join answered {other:?}"))),
+        }
+    }
+
+    /// Refreshes the local replica to the server's current model.
+    pub fn pull(&mut self) -> Result<(), TransportError> {
+        match self.transport.call(Request::Pull)? {
+            Reply::Model { version, model } => {
+                self.adopt(version, model);
+                Ok(())
+            }
+            other => Err(TransportError(format!("pull answered {other:?}"))),
+        }
+    }
+
+    /// Asks for the next pending shard.
+    pub fn lease(&mut self) -> Result<LeaseGrant, TransportError> {
+        match self.transport.call(Request::Lease { worker: self.id })? {
+            Reply::Lease(grant) => Ok(grant),
+            other => Err(TransportError(format!("lease answered {other:?}"))),
+        }
+    }
+
+    /// Computes the gradient of `task` over `shard` at the local
+    /// replica, on this worker's backend.
+    pub fn compute<T: Task>(&mut self, task: &T, shard: &Shard) {
+        let mut job = GradJob::new(task, shard, &self.w, &mut self.g);
+        self.backend.dispatch(&mut self.session, &mut job);
+    }
+
+    /// Pushes the last computed gradient, tagged with the replica's
+    /// version, for `shard`.
+    pub fn push(&mut self, shard: usize) -> Result<PushOutcome, TransportError> {
+        let req =
+            Request::Push { worker: self.id, version: self.version, shard, grad: self.g.clone() };
+        match self.transport.call(req)? {
+            Reply::Pushed(outcome) => Ok(outcome),
+            other => Err(TransportError(format!("push answered {other:?}"))),
+        }
+    }
+
+    /// Departs the cluster (outstanding leases return to the pool).
+    pub fn leave(&mut self) -> Result<(), TransportError> {
+        match self.transport.call(Request::Leave { worker: self.id })? {
+            Reply::Left => Ok(()),
+            other => Err(TransportError(format!("leave answered {other:?}"))),
+        }
+    }
+
+    /// One full worker step: lease a shard, compute its gradient, push,
+    /// and on a stale rejection re-pull and recompute the *same* shard
+    /// until it lands.
+    pub fn work_one<T: Task>(
+        &mut self,
+        task: &T,
+        shards: &[Shard],
+    ) -> Result<WorkerStep, TransportError> {
+        let shard_id = match self.lease()? {
+            LeaseGrant::Shard(s) => s,
+            LeaseGrant::Drained => return Ok(WorkerStep::Drained),
+            LeaseGrant::Shutdown => return Ok(WorkerStep::Shutdown),
+        };
+        let shard = shards
+            .get(shard_id)
+            .ok_or_else(|| TransportError(format!("leased unknown shard {shard_id}")))?;
+        let mut recomputes = 0;
+        loop {
+            self.compute(task, shard);
+            match self.push(shard_id)?.verdict() {
+                PushVerdict::Accepted => {
+                    return Ok(WorkerStep::Worked { shard: shard_id, recomputes })
+                }
+                PushVerdict::Recompute => {
+                    recomputes += 1;
+                    if recomputes > MAX_RECOMPUTES {
+                        return Err(TransportError(format!(
+                            "shard {shard_id} rejected {recomputes} times"
+                        )));
+                    }
+                    self.pull()?;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::{Arc, Mutex};
+
+    use sgd_linalg::Matrix;
+    use sgd_models::{lr, Batch, Examples};
+    use sgd_serve::framing::lock_tolerant;
+
+    use super::*;
+    use crate::server::{ConsistencyMode, ParamServer};
+    use crate::shard::make_shards;
+    use crate::transport::InProcTransport;
+
+    fn fixture() -> (Matrix, Vec<Scalar>) {
+        let x = Matrix::from_fn(12, 3, |i, j| ((i * 3 + j) as Scalar * 0.37).sin());
+        let y = (0..12).map(|i| (i as Scalar * 0.21).cos()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn a_lone_worker_drains_an_epoch_and_improves_the_loss() {
+        let (x, y) = fixture();
+        let batch = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(3);
+        let shards = make_shards(&batch, 3);
+        let w0 = vec![0.0; 3];
+        let server = Arc::new(Mutex::new(ParamServer::new(
+            w0.clone(),
+            0.1,
+            ConsistencyMode::Sync { grads_to_wait: 1 },
+            shards.len(),
+        )));
+        lock_tolerant(&server).begin_epoch(&[0, 1, 2]);
+        let mut worker = DistWorker::new(0, InProcTransport::new(Arc::clone(&server)));
+        worker.join().expect("in-proc join");
+        let mut worked = 0;
+        loop {
+            match worker.work_one(&task, &shards).expect("in-proc step") {
+                WorkerStep::Worked { recomputes, .. } => {
+                    assert_eq!(recomputes, 0, "lone worker is never stale");
+                    worked += 1;
+                    worker.pull().expect("refresh after apply");
+                }
+                WorkerStep::Drained => break,
+                WorkerStep::Shutdown => unreachable!("no shutdown initiated"),
+            }
+        }
+        assert_eq!(worked, 3, "every shard landed once");
+        let s = lock_tolerant(&server);
+        assert!(s.epoch_done());
+        assert_eq!(s.version(), 3);
+        let mut e = sgd_linalg::CpuExec::seq();
+        let before = task.loss(&mut e, &batch, &w0);
+        let after = task.loss(&mut e, &batch, s.model());
+        assert!(after < before, "epoch of shard steps reduced the loss: {after} vs {before}");
+    }
+
+    #[test]
+    fn a_stale_worker_recomputes_the_same_shard() {
+        let (x, y) = fixture();
+        let batch = Batch::new(Examples::Dense(&x), &y);
+        let task = lr(3);
+        let shards = make_shards(&batch, 2);
+        let server = Arc::new(Mutex::new(ParamServer::new(
+            vec![0.0; 3],
+            0.1,
+            ConsistencyMode::Sync { grads_to_wait: 1 },
+            shards.len(),
+        )));
+        lock_tolerant(&server).begin_epoch(&[0, 1]);
+        let mut a = DistWorker::new(0, InProcTransport::new(Arc::clone(&server)));
+        let mut b = DistWorker::new(1, InProcTransport::new(Arc::clone(&server)));
+        a.join().expect("join a");
+        b.join().expect("join b");
+        // Both lease and compute at version 0; a pushes first (applies),
+        // so b's first push is stale and work_one must recompute.
+        let step = {
+            // Drive b's lease before a's push by interleaving manually.
+            let grant_b = b.lease().expect("lease b");
+            assert_eq!(grant_b, LeaseGrant::Shard(0));
+            b.compute(&task, &shards[0]);
+            let grant_a = a.lease().expect("lease a");
+            assert_eq!(grant_a, LeaseGrant::Shard(1));
+            a.compute(&task, &shards[1]);
+            assert_eq!(a.push(1).expect("push a"), PushOutcome::Applied { version: 1 });
+            // b is now one version behind.
+            let out = b.push(0).expect("push b");
+            assert_eq!(out, PushOutcome::RejectedStale { current: 1 });
+            b.pull().expect("re-pull");
+            b.compute(&task, &shards[0]);
+            b.push(0).expect("push b fresh")
+        };
+        assert_eq!(step, PushOutcome::Applied { version: 2 });
+        assert!(lock_tolerant(&server).epoch_done());
+    }
+}

@@ -172,9 +172,14 @@ impl Backend {
     ///   pinned there, not the payload bits.
     ///
     /// [`Backend::gemm_nt`] is dot-product-based and performs *no* skip:
-    /// it propagates NaN/±inf from B unconditionally. This asymmetry is
-    /// deliberate and also pinned — sparse-aware skipping is only worth
-    /// its branch on the rank-1-update (axpy) formulations.
+    /// it propagates NaN/±inf from B unconditionally, in every tier. This
+    /// asymmetry is deliberate and also pinned — sparse-aware skipping is
+    /// only worth its branch on the rank-1-update (axpy) formulations.
+    /// Precisely because nothing is skipped, `gemm_nt`'s inner dot is
+    /// free to route through the ambient tier: the only tier-visible
+    /// effect is reduction order, so it joins the reduction class
+    /// (bitwise equal to the scalar tier on integer-valued data, AVX2 ==
+    /// portable bitwise on any data — pinned in `kernel_semantics.rs`).
     pub fn gemm(&self, a: &Matrix, b: &Matrix, c: &mut Matrix) {
         assert_eq!(a.cols(), b.rows(), "gemm inner dimension");
         assert_eq!(a.rows(), c.rows(), "gemm rows");
@@ -199,10 +204,10 @@ impl Backend {
         assert_eq!(a.rows(), c.rows(), "gemm_nt rows");
         assert_eq!(b.rows(), c.cols(), "gemm_nt cols");
         match self {
-            Backend::Seq => seq::gemm_nt(a, b, c),
+            Backend::Seq => simd::gemm_nt(a, b, c),
             Backend::Par { gemm_parallel_threshold } => {
                 if c.len() < *gemm_parallel_threshold {
-                    seq::gemm_nt(a, b, c);
+                    simd::gemm_nt(a, b, c);
                 } else {
                     par::gemm_nt(a, b, c);
                 }

@@ -120,6 +120,25 @@ impl CsrMatrix {
         CsrMatrix { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
     }
 
+    /// Extracts rows `lo..hi` into an owned CSR matrix with the same
+    /// column count (the distributed layer's shard extraction; the dense
+    /// counterpart is [`Matrix::row_range`]).
+    ///
+    /// # Panics
+    /// Panics unless `lo <= hi <= rows`.
+    pub fn row_range(&self, lo: usize, hi: usize) -> CsrMatrix {
+        assert!(lo <= hi && hi <= self.rows, "row range {lo}..{hi} out of 0..{}", self.rows);
+        let (start, end) = (self.row_ptr[lo], self.row_ptr[hi]);
+        let row_ptr = self.row_ptr[lo..=hi].iter().map(|p| p - start).collect();
+        CsrMatrix {
+            rows: hi - lo,
+            cols: self.cols,
+            row_ptr,
+            col_idx: self.col_idx[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+        }
+    }
+
     /// Materializes the matrix densely.
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
@@ -292,6 +311,26 @@ mod tests {
         assert_eq!(d.at(0, 2), 2.0);
         assert_eq!(d.at(1, 1), 0.0);
         assert_eq!(CsrMatrix::from_dense(&d), m);
+    }
+
+    #[test]
+    fn row_range_extracts_a_valid_slice() {
+        let m = sample();
+        let s = m.row_range(1, 3);
+        s.validate();
+        assert_eq!((s.rows(), s.cols()), (2, 3));
+        assert_eq!(s.to_dense().as_slice(), m.to_dense().row_range(1, 3).as_slice());
+        let empty = m.row_range(2, 2);
+        empty.validate();
+        assert_eq!(empty.rows(), 0);
+        let full = m.row_range(0, 3);
+        assert_eq!(full, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn row_range_rejects_inverted_bounds() {
+        let _ = sample().row_range(2, 1);
     }
 
     #[test]

@@ -246,15 +246,15 @@ pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     // Same flops-based floor as `gemm`: one output row = m dots of len k.
     let rchunk = match chunk_len_weighted(rows, a.cols().saturating_mul(m)) {
         Some(rc) if m > 0 => rc,
-        _ => return seq::gemm_nt(a, b, c),
+        // Below-threshold fallback must stay tier-routed so the result is
+        // bitwise independent of whether the chunking engaged.
+        _ => return simd::gemm_nt(a, b, c),
     };
     for_chunks_mut(c.as_mut_slice(), rchunk * m, |base, piece| {
-        for (off, c_row) in piece.chunks_mut(m).enumerate() {
-            let a_row = a.row(base / m + off);
-            for (j, cij) in c_row.iter_mut().enumerate() {
-                *cij = seq::dot(a_row, b.row(j));
-            }
-        }
+        // Tier-routed inner dot (no zero-skip, so only reduction order
+        // changes): each chunk resolves the ambient tier once, exactly
+        // like the gemv/spmv row chunks.
+        simd::gemm_nt_rows(a, b, base / m, piece);
     });
 }
 

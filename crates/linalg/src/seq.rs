@@ -56,17 +56,9 @@ pub(crate) fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     }
 }
 
-pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
-    // C[i][j] = A.row(i) . B.row(j): both operands stream along rows.
-    let m = b.rows();
-    for i in 0..a.rows() {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (j, cij) in c_row.iter_mut().enumerate().take(m) {
-            *cij = dot(a_row, b.row(j));
-        }
-    }
-}
+// gemm_nt lives in `simd.rs` (`simd::gemm_nt`): its dot-based formulation
+// performs no zero-skip, so the inner dot is tier-routed; the Scalar tier
+// arm there calls `seq::dot` and is the scalar ground truth.
 
 pub(crate) fn gemm_tn(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     // C = A^T B with A: n x k, B: n x m, C: k x m. Accumulate rank-1

@@ -482,6 +482,53 @@ pub(crate) fn gemv_rows(a: &Matrix, x: &[Scalar], base: usize, ys: &mut [Scalar]
     }
 }
 
+/// Rows `base..base + rows` of a `C = A B^T` product — the granularity
+/// `par` chunks at, resolving the tier once per chunk. `c_rows` holds the
+/// output rows contiguously (`rows * b.rows()` scalars).
+///
+/// There is deliberately *no* zero-skip here (see `Backend::gemm` docs):
+/// every product is formed, so NaN/±inf propagate unconditionally in every
+/// tier — which is exactly why the inner dot is free to join the reduction
+/// class (bitwise equal to scalar on integer-valued data, AVX2 == portable
+/// bitwise on any data).
+pub(crate) fn gemm_nt_rows(a: &Matrix, b: &Matrix, base: usize, c_rows: &mut [Scalar]) {
+    let m = b.rows();
+    match resolve() {
+        Resolved::Scalar => {
+            for (off, c_row) in c_rows.chunks_mut(m).enumerate() {
+                let a_row = a.row(base + off);
+                for (j, cij) in c_row.iter_mut().enumerate() {
+                    *cij = seq::dot(a_row, b.row(j));
+                }
+            }
+        }
+        Resolved::Portable => {
+            for (off, c_row) in c_rows.chunks_mut(m).enumerate() {
+                let a_row = a.row(base + off);
+                for (j, cij) in c_row.iter_mut().enumerate() {
+                    *cij = portable::dot(a_row, b.row(j));
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Resolved::Avx2 => {
+            for (off, c_row) in c_rows.chunks_mut(m).enumerate() {
+                let a_row = a.row(base + off);
+                for (j, cij) in c_row.iter_mut().enumerate() {
+                    // SAFETY: `Resolved::Avx2` is only produced after runtime detection.
+                    *cij = unsafe { avx2::dot(a_row, b.row(j)) };
+                }
+            }
+        }
+    }
+}
+
+/// `C = A B^T` with the inner dot routed through the ambient tier (the
+/// whole matrix as one "chunk" of [`gemm_nt_rows`]).
+pub(crate) fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    gemm_nt_rows(a, b, 0, c.as_mut_slice());
+}
+
 /// One sparse row dot under the ambient tier (used by the blocked CSR
 /// layout, whose per-block column views keep indices gather-safe).
 pub(crate) fn csr_row_dot(row: CsrRow<'_>, x: &[Scalar]) -> Scalar {

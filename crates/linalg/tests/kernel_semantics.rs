@@ -131,6 +131,42 @@ fn gemm_nt_performs_no_skip_and_propagates_poison() {
 }
 
 #[test]
+fn gemm_nt_inner_dot_is_tier_routed_as_a_reduction() {
+    // The no-skip contract is what *permits* tier-routing gemm_nt's inner
+    // dot: with every product formed, the only tier-visible effect is
+    // reduction order. Pinned consequences, mirroring the dot/gemv/spmv
+    // reduction class:
+    //
+    // * integer-valued data: all three tiers bitwise equal (the
+    //   reassociated sums are exact);
+    // * any data: Simd == SimdPortable bitwise (identical op order);
+    // * poison: NaN propagates in every tier (no skip anywhere).
+    let a = Matrix::from_fn(13, 19, |i, j| ((i * 19 + j) % 7) as Scalar - 3.0);
+    let bt = Matrix::from_fn(11, 19, |i, j| ((i * 23 + j * 5) % 9) as Scalar - 4.0);
+    assert_bitwise_stable("gemm_nt integer reduction", |be, c| be.gemm_nt(&a, &bt, c), 13, 11);
+
+    // Fractional data: scalar-vs-simd bits may differ (reduction order),
+    // but the two vector implementations must agree bitwise.
+    let af = Matrix::from_fn(13, 19, |i, j| ((i * 19 + j) % 101) as Scalar * 0.013 - 0.5);
+    let btf = Matrix::from_fn(11, 19, |i, j| ((i * 23 + j * 5) % 97) as Scalar * 0.017 - 0.6);
+    let mut simd_c = Matrix::zeros(13, 11);
+    pool::with_tier(KernelTier::Simd, || Backend::seq().gemm_nt(&af, &btf, &mut simd_c));
+    let mut port_c = Matrix::zeros(13, 11);
+    pool::with_tier(KernelTier::SimdPortable, || Backend::seq().gemm_nt(&af, &btf, &mut port_c));
+    assert_bits_eq("gemm_nt fractional", &simd_c, &port_c, "Simd vs SimdPortable".into());
+
+    // No-skip NaN propagation holds in the vector tiers too: a zero A row
+    // against a poison B row still multiplies through.
+    let az = Matrix::from_fn(1, 19, |_, _| 0.0);
+    let bp = Matrix::from_fn(1, 19, |_, j| if j == 7 { payload_nan() } else { 1.0 });
+    for tier in TIERS {
+        let mut c = Matrix::zeros(1, 1);
+        pool::with_tier(tier, || Backend::seq().gemm_nt(&az, &bp, &mut c));
+        assert!(c.at(0, 0).is_nan(), "{tier:?}: gemm_nt must not skip, got {:?}", c.at(0, 0));
+    }
+}
+
+#[test]
 fn poisoned_gemm_is_stable_above_the_parallel_floor() {
     // Big enough (64 * 8 * 9 = 4608 element-ops, C.len() = 576 with
     // threshold 0) that par_unconditional genuinely chunks across the

@@ -1,0 +1,135 @@
+//! Line-framing primitives shared by every TCP front-end.
+//!
+//! Extracted from the scoring wire server so the distributed
+//! parameter-server transport (`sgd-dist`) can speak the same bounded
+//! newline-delimited protocol without re-implementing the overflow and
+//! poison-tolerance discipline: one `\n`-terminated request per line, a
+//! hard byte bound enforced *while reading* (an oversized line is drained,
+//! never buffered), and poison-tolerant locks so one panicking handler
+//! cannot wedge shared state for every later connection.
+
+use std::io::BufRead;
+use std::sync::{Mutex, MutexGuard};
+
+/// One bounded-buffer line read.
+pub enum LineRead {
+    /// A complete line (terminator stripped) within the byte bound; its
+    /// bytes are in the caller's buffer.
+    Line,
+    /// The line exceeded the bound; its bytes were drained, not kept.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line through the reader's own buffer into
+/// `buf` (cleared first, capacity reused across calls), never holding
+/// more than `max_bytes` of it: past the bound the rest of the line is
+/// consumed and discarded. `Ok(None)` is EOF.
+pub fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<LineRead>> {
+    buf.clear();
+    let mut overflow = false;
+    let mut saw_any = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_any = true;
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !overflow {
+            if buf.len().saturating_add(take) > max_bytes {
+                overflow = true;
+                buf.clear();
+            } else {
+                // analyzer: allow(hot-path-alloc) -- growth bounded by max_line_bytes; capacity reused across requests
+                buf.extend_from_slice(chunk.get(..take).unwrap_or(&[]));
+            }
+        }
+        let eat = take + usize::from(newline.is_some());
+        reader.consume(eat);
+        if newline.is_some() {
+            break;
+        }
+    }
+    if overflow {
+        Ok(Some(LineRead::TooLong))
+    } else {
+        Ok(Some(LineRead::Line))
+    }
+}
+
+/// `true` for the error kinds a read timeout surfaces as.
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Poison-tolerant mutex lock: a panicking handler thread must not wedge
+/// shared state for every later request (the registry's discipline,
+/// applied to the front-ends).
+pub fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read_all(input: &[u8], max: usize) -> Vec<(Option<bool>, Vec<u8>)> {
+        let mut reader = BufReader::with_capacity(4, input);
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            match read_bounded_line(&mut reader, max, &mut buf).expect("io") {
+                None => {
+                    out.push((None, Vec::new()));
+                    return out;
+                }
+                Some(LineRead::Line) => out.push((Some(true), buf.clone())),
+                Some(LineRead::TooLong) => out.push((Some(false), Vec::new())),
+            }
+        }
+    }
+
+    #[test]
+    fn lines_are_split_and_bounded() {
+        let got = read_all(b"ab\ncdef\nx", 3);
+        assert_eq!(got[0], (Some(true), b"ab".to_vec()));
+        assert_eq!(got[1], (Some(false), Vec::new()), "4 bytes over a 3-byte bound");
+        assert_eq!(got[2], (Some(true), b"x".to_vec()), "unterminated tail still read");
+        assert_eq!(got[3].0, None);
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered() {
+        // The line spans many 4-byte reader chunks; after the overflow the
+        // next line must come through intact.
+        let long = vec![b'z'; 64];
+        let mut input = long.clone();
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = read_all(&input, 8);
+        assert_eq!(got[0].0, Some(false));
+        assert_eq!(got[1], (Some(true), b"ok".to_vec()));
+    }
+
+    #[test]
+    fn lock_tolerant_recovers_from_poison() {
+        let m = Mutex::new(5);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().expect("fresh");
+            panic!("poison it");
+        }));
+        assert_eq!(*lock_tolerant(&m), 5);
+    }
+}

@@ -36,6 +36,7 @@
 pub mod admission;
 pub mod batcher;
 pub mod checkpoint;
+pub mod framing;
 pub mod loadgen;
 pub mod model;
 pub mod registry;

@@ -33,7 +33,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use sgd_core::{apply_dilation, BackendSession, ComputeBackend, ExecTask, FaultPlan};
@@ -41,6 +41,7 @@ use sgd_datagen::libsvm;
 use sgd_linalg::{Exec, Scalar};
 use sgd_models::Examples;
 
+use crate::framing::{is_timeout, lock_tolerant, read_bounded_line, LineRead};
 use crate::model::ServableModel;
 use crate::registry::ModelRegistry;
 
@@ -115,75 +116,6 @@ impl Drop for InflightGuard<'_> {
         let mut n = lock_tolerant(self.counter);
         *n = n.saturating_sub(1);
     }
-}
-
-/// Poison-tolerant mutex lock: a panicking scorer thread must not wedge
-/// the counter or the session for every later request (the registry's
-/// discipline, applied to the front-end).
-fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
-/// One bounded-buffer line read.
-enum LineRead {
-    /// A complete line (terminator stripped) within the byte bound; its
-    /// bytes are in the caller's buffer.
-    Line,
-    /// The line exceeded the bound; its bytes were drained, not kept.
-    TooLong,
-}
-
-/// Reads one `\n`-terminated line through the reader's own buffer into
-/// `buf` (cleared first, capacity reused across calls), never holding
-/// more than `max_bytes` of it: past the bound the rest of the line is
-/// consumed and discarded. `Ok(None)` is EOF.
-fn read_bounded_line<R: BufRead>(
-    reader: &mut R,
-    max_bytes: usize,
-    buf: &mut Vec<u8>,
-) -> std::io::Result<Option<LineRead>> {
-    buf.clear();
-    let mut overflow = false;
-    let mut saw_any = false;
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            if !saw_any {
-                return Ok(None);
-            }
-            break;
-        }
-        saw_any = true;
-        let newline = chunk.iter().position(|&b| b == b'\n');
-        let take = newline.unwrap_or(chunk.len());
-        if !overflow {
-            if buf.len().saturating_add(take) > max_bytes {
-                overflow = true;
-                buf.clear();
-            } else {
-                // analyzer: allow(hot-path-alloc) -- growth bounded by max_line_bytes; capacity reused across requests
-                buf.extend_from_slice(chunk.get(..take).unwrap_or(&[]));
-            }
-        }
-        let eat = take + usize::from(newline.is_some());
-        reader.consume(eat);
-        if newline.is_some() {
-            break;
-        }
-    }
-    if overflow {
-        Ok(Some(LineRead::TooLong))
-    } else {
-        Ok(Some(LineRead::Line))
-    }
-}
-
-/// `true` for the error kinds a read timeout surfaces as.
-fn is_timeout(e: &std::io::Error) -> bool {
-    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
 }
 
 impl<'a> WireServer<'a> {

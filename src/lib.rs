@@ -6,6 +6,7 @@
 
 pub use sgd_core as core;
 pub use sgd_datagen as datagen;
+pub use sgd_dist as dist;
 pub use sgd_frameworks as frameworks;
 pub use sgd_gpusim as gpusim;
 pub use sgd_linalg as linalg;

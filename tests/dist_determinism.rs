@@ -1,0 +1,170 @@
+//! The modeled parameter-server cluster is deterministic: the same seed
+//! and fault plan replay the exact run — event times, losses, staleness
+//! counts, fault counters, outcome, and best model — bit for bit, in
+//! both consistency modes and through elastic-membership churn. This is
+//! the distributed analog of `fault_determinism.rs`: without it a
+//! scale-out sweep would not be an experiment.
+
+use sgd_study::core::{FaultPlan, RunOptions, RunOutcome, RunReport};
+use sgd_study::dist::{run_dist_modeled, ConsistencyMode, DistConfig, StalePolicy};
+use sgd_study::linalg::Matrix;
+use sgd_study::models::{lr, svm, Batch, Examples, Task};
+
+fn dense() -> (Matrix, Vec<f64>) {
+    let x = Matrix::from_fn(96, 8, |i, j| {
+        let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+        s * (((i * 5 + j) % 11) as f64 + 1.0) / 11.0
+    });
+    let y = (0..96).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    (x, y)
+}
+
+fn opts(seed: u64) -> RunOptions {
+    RunOptions { max_epochs: 10, plateau: None, seed, ..Default::default() }
+}
+
+fn assert_bit_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.outcome, b.outcome, "{}", a.label);
+    assert_eq!(a.opt_seconds.to_bits(), b.opt_seconds.to_bits(), "{}", a.label);
+    assert_eq!(a.trace.epochs(), b.trace.epochs(), "{}", a.label);
+    for (pa, pb) in a.trace.points().iter().zip(b.trace.points()) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "{}: event time not replayed", a.label);
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{}: loss not replayed", a.label);
+    }
+    assert_eq!(a.metrics.epochs.len(), b.metrics.epochs.len());
+    for (ma, mb) in a.metrics.epochs.iter().zip(&b.metrics.epochs) {
+        assert_eq!(ma.staleness_rounds, mb.staleness_rounds, "{}", a.label);
+        assert_eq!(ma.faults.dead_workers, mb.faults.dead_workers, "{}", a.label);
+        assert_eq!(
+            ma.faults.straggler_delay_secs.to_bits(),
+            mb.faults.straggler_delay_secs.to_bits(),
+            "{}",
+            a.label
+        );
+    }
+    assert_eq!(a.best_model, b.best_model, "{}", a.label);
+}
+
+fn modes() -> [ConsistencyMode; 3] {
+    [
+        ConsistencyMode::Sync { grads_to_wait: 3 },
+        ConsistencyMode::Async { max_staleness: 2, policy: StalePolicy::Reject },
+        ConsistencyMode::Async { max_staleness: 1, policy: StalePolicy::DownWeight },
+    ]
+}
+
+#[test]
+fn clean_runs_replay_bit_for_bit_in_every_mode() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(8);
+    for mode in modes() {
+        let cfg = DistConfig { workers: 4, shards: 8, mode, ..Default::default() };
+        let a = run_dist_modeled(&task, &batch, &cfg, 0.3, &opts(42));
+        let b = run_dist_modeled(&task, &batch, &cfg, 0.3, &opts(42));
+        assert_bit_identical(&a, &b);
+    }
+}
+
+#[test]
+fn the_seed_steers_the_lease_order() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(8);
+    let cfg = DistConfig {
+        workers: 3,
+        shards: 9,
+        mode: ConsistencyMode::Async { max_staleness: 4, policy: StalePolicy::Reject },
+        ..Default::default()
+    };
+    let a = run_dist_modeled(&task, &batch, &cfg, 0.3, &opts(1));
+    let b = run_dist_modeled(&task, &batch, &cfg, 0.3, &opts(2));
+    let differs = a
+        .trace
+        .points()
+        .iter()
+        .zip(b.trace.points())
+        .any(|(pa, pb)| pa.1.to_bits() != pb.1.to_bits());
+    assert!(differs, "different seeds must permute shards into a different trajectory");
+}
+
+#[test]
+fn straggler_runs_replay_bit_for_bit() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = svm(8);
+    for mode in modes() {
+        let cfg = DistConfig { workers: 4, shards: 8, mode, ..Default::default() };
+        let mut o = opts(7);
+        o.faults = FaultPlan::default().with_seed(7).with_straggler(1, 6.0);
+        let a = run_dist_modeled(&task, &batch, &cfg, 0.2, &o);
+        let b = run_dist_modeled(&task, &batch, &cfg, 0.2, &o);
+        assert_bit_identical(&a, &b);
+        let delay: f64 = a.metrics.epochs.iter().map(|m| m.faults.straggler_delay_secs).sum();
+        assert!(delay > 0.0, "{}: the straggler must actually charge delay", a.label);
+    }
+}
+
+#[test]
+fn death_and_rejoin_runs_replay_bit_for_bit_in_every_mode() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(8);
+    for mode in modes() {
+        let cfg = DistConfig { workers: 3, shards: 6, mode, ..Default::default() };
+        let mut o = opts(11);
+        o.faults = FaultPlan::default().with_seed(11).with_worker_death(2, 3).with_rejoin(2, 6);
+        let a = run_dist_modeled(&task, &batch, &cfg, 0.3, &o);
+        let b = run_dist_modeled(&task, &batch, &cfg, 0.3, &o);
+        assert_bit_identical(&a, &b);
+        let dead: u64 = a.metrics.epochs.iter().map(|m| m.faults.dead_workers).sum();
+        assert_eq!(dead, 1, "{}: exactly one death event", a.label);
+        assert_eq!(a.trace.epochs(), 10, "{}: the cluster survives the churn", a.label);
+    }
+}
+
+#[test]
+fn a_churned_run_still_reaches_a_convergence_target() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(8);
+    let cfg = DistConfig {
+        workers: 3,
+        shards: 6,
+        mode: ConsistencyMode::Sync { grads_to_wait: 2 },
+        ..Default::default()
+    };
+    let mut probe = opts(11);
+    probe.faults = FaultPlan::default().with_seed(11).with_worker_death(1, 2).with_rejoin(1, 5);
+    let rep = run_dist_modeled(&task, &batch, &cfg, 0.3, &probe);
+    let mut o = probe.clone();
+    o.target_loss = Some(rep.best_loss() * 1.02);
+    let rep2 = run_dist_modeled(&task, &batch, &cfg, 0.3, &o);
+    assert_eq!(rep2.outcome, RunOutcome::Converged, "death + rejoin still converges");
+}
+
+#[test]
+fn one_worker_sync_is_bitwise_the_single_node_trajectory() {
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(8);
+    let cfg = DistConfig {
+        workers: 1,
+        shards: 1,
+        mode: ConsistencyMode::Sync { grads_to_wait: 1 },
+        ..Default::default()
+    };
+    let rep = run_dist_modeled(&task, &batch, &cfg, 0.4, &opts(42));
+    // Reference loop on the same exact kernels.
+    let mut e = sgd_study::linalg::CpuExec::seq();
+    let mut w = task.init_model();
+    let mut g = vec![0.0; 8];
+    for point in rep.trace.points().iter().skip(1) {
+        use sgd_study::linalg::Exec;
+        task.gradient(&mut e, &batch, &w, &mut g);
+        e.axpy(-0.4, &g, &mut w);
+        let loss = task.loss(&mut e, &batch, &w);
+        assert_eq!(point.1.to_bits(), loss.to_bits(), "dist x1 == single-node, bitwise");
+    }
+}

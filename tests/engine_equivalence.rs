@@ -325,6 +325,63 @@ fn sync_training_through_the_backend_replays_exactly_on_every_device() {
 }
 
 #[test]
+fn run_options_kernel_tier_scalar_pins_the_default_trajectory() {
+    // `RunOptions::tier` defaults to Scalar; setting it explicitly must be
+    // a no-op down to the bit — times included, since modeled timing is
+    // deterministic.
+    use sgd_study::linalg::KernelTier;
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let mc = CpuModelConfig::paper_machine(4);
+    let cfg =
+        Configuration::new(mc.device(), Strategy::Sync).with_timing(Timing::Modeled(mc.clone()));
+    let default_run = Engine::run(&cfg, &task, &batch, 0.5, &opts());
+    let pinned =
+        Engine::run(&cfg, &task, &batch, 0.5, &RunOptions { tier: KernelTier::Scalar, ..opts() });
+    assert_identical(&default_run, &pinned);
+    for (p, q) in default_run.trace.points().iter().zip(pinned.trace.points()) {
+        assert_eq!(p.0.to_bits(), q.0.to_bits(), "modeled epoch time drifted");
+        assert_eq!(p.1.to_bits(), q.1.to_bits(), "loss drifted under an explicit Scalar tier");
+    }
+}
+
+#[test]
+fn engine_tier_sweep_is_deterministic_and_vector_tiers_agree() {
+    // The tier-sweep smoke for full training runs: every tier converges,
+    // each tier replays bit-identically, and the two vector tiers (AVX2
+    // when available, portable otherwise vs. forced-portable) agree
+    // bitwise on any data — the same discipline `pool_bit_identity.rs`
+    // pins for bare kernels, now through `Engine::run`.
+    use sgd_study::linalg::KernelTier;
+    let (x, y) = dense();
+    let batch = Batch::new(Examples::Dense(&x), &y);
+    let task = lr(6);
+    let mc = CpuModelConfig::paper_machine(4);
+    let cfg =
+        Configuration::new(mc.device(), Strategy::Sync).with_timing(Timing::Modeled(mc.clone()));
+    let run =
+        |tier: KernelTier| Engine::run(&cfg, &task, &batch, 0.5, &RunOptions { tier, ..opts() });
+    let mut by_tier = Vec::new();
+    for tier in [KernelTier::Scalar, KernelTier::Simd, KernelTier::SimdPortable] {
+        let a = run(tier);
+        let b = run(tier);
+        assert!(a.best_loss().is_finite(), "{tier:?} produced a non-finite loss");
+        assert!(a.best_loss() < 0.5, "{tier:?} failed to make progress: {}", a.best_loss());
+        assert_eq!(a.trace.epochs(), b.trace.epochs(), "{tier:?} epoch count not replayable");
+        for (p, q) in a.trace.points().iter().zip(b.trace.points()) {
+            assert_eq!(p.1.to_bits(), q.1.to_bits(), "{tier:?} not bit-deterministic");
+        }
+        by_tier.push(a);
+    }
+    let (simd, portable) = (&by_tier[1], &by_tier[2]);
+    assert_eq!(simd.trace.epochs(), portable.trace.epochs());
+    for (p, q) in simd.trace.points().iter().zip(portable.trace.points()) {
+        assert_eq!(p.1.to_bits(), q.1.to_bits(), "Simd vs SimdPortable trajectories diverge");
+    }
+}
+
+#[test]
 fn dispatch_modes_agree_bitwise_on_a_deterministic_parallel_corner() {
     // The persistent pool and the measured fork-join baseline split work
     // into identical chunks (assignment depends only on the requested
